@@ -1,0 +1,40 @@
+// Ablation: value of expected-distance-guided selection. Compares the three
+// paper heuristics against uniformly random selection across tight SMC
+// allowances (DESIGN.md ablation index). If the heuristics carry their
+// weight, they dominate Random whenever the allowance cannot cover all
+// unknown pairs.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace hprl;
+
+int main(int argc, char** argv) {
+  bench::CommonFlags common;
+  int64_t* k = common.flags.AddInt("k", 128, "anonymity requirement");
+  common.ParseOrDie(argc, argv);
+  ExperimentData data = common.PrepareOrDie();
+
+  std::printf("# Ablation — heuristic vs random selection (k = %lld)\n",
+              static_cast<long long>(*k));
+  std::printf("%-12s %12s %12s %12s %12s\n", "allowance(%)", "MaxLast",
+              "MinFirst", "MinAvgFirst", "Random");
+
+  for (double allowance : {0.001, 0.0025, 0.005, 0.01, 0.015, 0.02, 0.03}) {
+    std::printf("%-12.2f", 100.0 * allowance);
+    std::vector<SelectionHeuristic> all = bench::PaperHeuristics();
+    all.push_back(SelectionHeuristic::kRandom);
+    for (SelectionHeuristic h : all) {
+      ExperimentConfig cfg;
+      cfg.k = *k;
+      cfg.smc_allowance_fraction = allowance;
+      cfg.heuristic = h;
+      auto out = RunAdultExperiment(data, cfg);
+      if (!out.ok()) bench::Die(out.status());
+      std::printf(" %12.2f", 100.0 * out->hybrid.recall);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+#ifndef HPRL_BENCH_BENCH_UTIL_H_
+#define HPRL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/flags.h"
+#include "core/experiment.h"
+
+namespace hprl::bench {
+
+/// Flags shared by every figure harness. The paper's data set (30,162 rows
+/// before the 3-way split) is the default; --rows shrinks it for smoke runs.
+struct CommonFlags {
+  FlagSet flags;
+  int64_t* rows;
+  int64_t* seed;
+
+  CommonFlags() {
+    rows = flags.AddInt("rows", 30162, "source rows before the 3-way split");
+    seed = flags.AddInt("seed", 20080407, "data synthesis seed");
+  }
+
+  /// Parses argv; exits the process on --help or bad flags.
+  void ParseOrDie(int argc, char** argv) {
+    Status s = flags.Parse(argc, argv);
+    if (s.code() == StatusCode::kNotFound) std::exit(0);  // --help
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                   flags.Usage(argv[0]).c_str());
+      std::exit(2);
+    }
+  }
+
+  ExperimentData PrepareOrDie() const {
+    auto data = PrepareAdultData(*rows, static_cast<uint64_t>(*seed));
+    if (!data.ok()) {
+      std::fprintf(stderr, "data preparation failed: %s\n",
+                   data.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(data).value();
+  }
+};
+
+inline void Die(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  std::exit(1);
+}
+
+/// The three heuristics plotted in the paper's recall figures.
+inline const std::vector<SelectionHeuristic>& PaperHeuristics() {
+  static const std::vector<SelectionHeuristic>* kH =
+      new std::vector<SelectionHeuristic>{SelectionHeuristic::kMaxLast,
+                                          SelectionHeuristic::kMinFirst,
+                                          SelectionHeuristic::kMinAvgFirst};
+  return *kH;
+}
+
+/// The paper's anonymity-requirement sweep (Figs. 2-4).
+inline const std::vector<int64_t>& PaperKSweep() {
+  static const std::vector<int64_t>* kK = new std::vector<int64_t>{
+      2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+  return *kK;
+}
+
+}  // namespace hprl::bench
+
+#endif  // HPRL_BENCH_BENCH_UTIL_H_

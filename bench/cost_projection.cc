@@ -1,0 +1,121 @@
+// Projects the end-to-end wall-clock cost of the paper's alternatives on a
+// full-scale linkage (|D1| x |D2| ≈ 4×10^8 pairs), using *measured* Paillier
+// primitive timings and calibrated per-invocation traffic, under LAN and WAN
+// deployment models. This is the quantified form of the paper's motivation:
+// pure SMC over all pairs is computationally absurd, the hybrid's bounded
+// allowance is not.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "smc/network.h"
+#include "smc/protocol.h"
+
+using namespace hprl;
+
+namespace {
+
+const char* Human(double seconds, char* buf, size_t n) {
+  if (seconds < 120) {
+    std::snprintf(buf, n, "%.1f s", seconds);
+  } else if (seconds < 7200) {
+    std::snprintf(buf, n, "%.1f min", seconds / 60);
+  } else if (seconds < 48 * 3600) {
+    std::snprintf(buf, n, "%.1f h", seconds / 3600);
+  } else if (seconds < 2 * 365.25 * 86400) {
+    std::snprintf(buf, n, "%.1f days", seconds / 86400);
+  } else {
+    std::snprintf(buf, n, "%.1f years", seconds / (365.25 * 86400));
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::CommonFlags common;
+  int64_t* key_bits = common.flags.AddInt("key-bits", 1024, "Paillier bits");
+  common.ParseOrDie(argc, argv);
+  ExperimentData data = common.PrepareOrDie();
+
+  // Per-invocation costs, calibrated by running the real protocol once on a
+  // representative 5-attribute record pair (full match = worst case).
+  smc::SmcConfig cfg;
+  cfg.key_bits = static_cast<int>(*key_bits);
+  cfg.test_seed = 1;
+  MatchRule rule;
+  for (int i = 0; i < 5; ++i) {
+    AttrRule a;
+    a.attr_index = i;
+    a.type = i == 0 ? AttrType::kNumeric : AttrType::kCategorical;
+    a.theta = 0.05;
+    a.norm = i == 0 ? 96 : 1;
+    rule.attrs.push_back(a);
+  }
+  smc::SecureRecordComparator cmp(cfg, rule);
+  if (auto s = cmp.Init(); !s.ok()) bench::Die(s);
+  Record rec(5);
+  rec[0] = Value::Numeric(42);
+  for (int i = 1; i < 5; ++i) rec[i] = Value::Category(3);
+  if (auto r = cmp.Compare(rec, rec); !r.ok()) bench::Die(r.status());
+  smc::SmcCosts per_inv = cmp.costs();
+  int64_t bytes_per_inv = cmp.bus().total_bytes();
+  int64_t msgs_per_inv = cmp.bus().total_messages();
+
+  auto timings = smc::CryptoTimings::Measure(static_cast<int>(*key_bits));
+  if (!timings.ok()) bench::Die(timings.status());
+  std::printf("# measured Paillier-%lld: enc %.2f ms, dec %.2f ms, "
+              "hadd %.1f us, smul %.1f us\n",
+              static_cast<long long>(*key_bits),
+              1e3 * timings->encrypt_seconds, 1e3 * timings->decrypt_seconds,
+              1e6 * timings->hom_add_seconds,
+              1e6 * timings->scalar_mul_seconds);
+  std::printf("# per SMC invocation (worst case, all 5 attrs): %lld enc, "
+              "%lld dec, %lld bytes, %lld msgs\n\n",
+              static_cast<long long>(per_inv.encryptions),
+              static_cast<long long>(per_inv.decryptions),
+              static_cast<long long>(bytes_per_inv),
+              static_cast<long long>(msgs_per_inv));
+
+  // Full-scale experiment at the defaults to get the hybrid's invocation
+  // count on this data.
+  ExperimentConfig exp_cfg;
+  auto out = RunAdultExperiment(data, exp_cfg);
+  if (!out.ok()) bench::Die(out.status());
+  int64_t total_pairs = out->hybrid.total_pairs;
+  int64_t hybrid_invocations = out->hybrid.smc_processed;
+
+  char buf[64];
+  std::printf("%-28s %14s %16s %16s\n", "method", "invocations",
+              "LAN wall-clock", "WAN wall-clock");
+  struct Row {
+    const char* name;
+    int64_t invocations;
+  } rows[] = {
+      {"PureSMC (all pairs)", total_pairs},
+      {"Hybrid (1.5% allowance)", hybrid_invocations},
+  };
+  for (const Row& row : rows) {
+    smc::SmcCosts costs;
+    costs.invocations = row.invocations;
+    costs.encryptions = per_inv.encryptions * row.invocations;
+    costs.decryptions = per_inv.decryptions * row.invocations;
+    costs.homomorphic_adds = per_inv.homomorphic_adds * row.invocations;
+    costs.scalar_muls = per_inv.scalar_muls * row.invocations;
+    double lan = smc::EstimateSeconds(costs, bytes_per_inv * row.invocations,
+                                      msgs_per_inv * row.invocations,
+                                      smc::NetworkModel::Lan(), *timings);
+    double wan = smc::EstimateSeconds(costs, bytes_per_inv * row.invocations,
+                                      msgs_per_inv * row.invocations,
+                                      smc::NetworkModel::Wan(), *timings);
+    std::printf("%-28s %14lld %16s", row.name,
+                static_cast<long long>(row.invocations),
+                Human(lan, buf, sizeof(buf)));
+    std::printf(" %16s\n", Human(wan, buf, sizeof(buf)));
+  }
+  std::printf("\n# paper's equivalent argument: at its 0.43 s/value, the "
+              "4x10^8-pair pure-SMC join needs years;\n"
+              "# the hybrid runs the same workload in the blocking step's "
+              "sub-second plaintext time plus a bounded SMC budget.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Microbenchmarks for the anonymization substrates: wall-clock scaling of
+// each algorithm over data size and k, plus the blocking engine itself.
+// (Absolute anonymization time is part of the paper's §VI timing argument:
+// it must stay negligible next to the cryptographic step.)
+
+#include <benchmark/benchmark.h>
+
+#include "anon/anonymizer.h"
+#include "core/blocking.h"
+#include "core/experiment.h"
+
+namespace hprl {
+namespace {
+
+const ExperimentData& BenchData(int64_t rows) {
+  static std::map<int64_t, ExperimentData>* cache =
+      new std::map<int64_t, ExperimentData>();
+  auto it = cache->find(rows);
+  if (it == cache->end()) {
+    auto data = PrepareAdultData(rows, 1);
+    if (!data.ok()) std::abort();
+    it = cache->emplace(rows, std::move(data).value()).first;
+  }
+  return it->second;
+}
+
+void AnonymizeBench(benchmark::State& state, const char* method) {
+  const ExperimentData& data = BenchData(state.range(0));
+  auto cfg = MakeAdultAnonConfig(data, 5, state.range(1));
+  if (!cfg.ok()) std::abort();
+  auto anonymizer = MakeAnonymizerByName(method, *cfg);
+  if (!anonymizer.ok()) std::abort();
+  int64_t sequences = 0;
+  for (auto _ : state) {
+    auto anon = (*anonymizer)->Anonymize(data.split.d1);
+    if (!anon.ok()) std::abort();
+    sequences = anon->NumSequences();
+    benchmark::DoNotOptimize(anon);
+  }
+  state.counters["rows"] = static_cast<double>(data.split.d1.num_rows());
+  state.counters["sequences"] = static_cast<double>(sequences);
+}
+
+void BM_MaxEntropy(benchmark::State& s) { AnonymizeBench(s, "MaxEntropy"); }
+void BM_Tds(benchmark::State& s) { AnonymizeBench(s, "TDS"); }
+void BM_DataFly(benchmark::State& s) { AnonymizeBench(s, "DataFly"); }
+void BM_Mondrian(benchmark::State& s) { AnonymizeBench(s, "Mondrian"); }
+void BM_Incognito(benchmark::State& s) { AnonymizeBench(s, "Incognito"); }
+
+#define HPRL_ANON_ARGS \
+  ->Args({3000, 32})->Args({30162, 32})->Args({30162, 4})->Unit(benchmark::kMillisecond)
+BENCHMARK(BM_MaxEntropy) HPRL_ANON_ARGS;
+BENCHMARK(BM_Tds) HPRL_ANON_ARGS;
+BENCHMARK(BM_DataFly) HPRL_ANON_ARGS;
+BENCHMARK(BM_Mondrian) HPRL_ANON_ARGS;
+BENCHMARK(BM_Incognito) HPRL_ANON_ARGS;
+
+void BM_BlockingEngine(benchmark::State& state) {
+  const ExperimentData& data = BenchData(30162);
+  auto cfg = MakeAdultAnonConfig(data, 5, state.range(0));
+  if (!cfg.ok()) std::abort();
+  auto anonymizer = MakeMaxEntropyAnonymizer(*cfg);
+  auto anon_r = anonymizer->Anonymize(data.split.d1);
+  auto anon_s = anonymizer->Anonymize(data.split.d2);
+  if (!anon_r.ok() || !anon_s.ok()) std::abort();
+  std::vector<VghPtr> vghs;
+  for (const auto& n : adult::AdultQidNames()) {
+    vghs.push_back(data.hierarchies.ByName(n));
+  }
+  auto rule =
+      MakeUniformRule(data.schema, adult::AdultQidNames(), vghs, 5, 0.05);
+  if (!rule.ok()) std::abort();
+  for (auto _ : state) {
+    auto blocking = RunBlocking(*anon_r, *anon_s, *rule);
+    if (!blocking.ok()) std::abort();
+    benchmark::DoNotOptimize(blocking);
+  }
+  state.counters["seq_pairs"] = static_cast<double>(
+      anon_r->NumSequences() * anon_s->NumSequences());
+}
+BENCHMARK(BM_BlockingEngine)->Arg(2)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hprl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Microbenchmarks for the cryptographic substrate: Paillier primitive costs
+// at the paper's 1024-bit key size (and 2048 for context). These are the
+// per-operation costs behind the paper's 0.43 s/value figure.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/paillier.h"
+
+namespace hprl::crypto {
+namespace {
+
+struct KeyFixture {
+  PaillierKeyPair kp;
+  SecureRandom rng{12345};
+
+  explicit KeyFixture(int bits) {
+    SecureRandom keyrng(777);
+    auto r = GeneratePaillierKeyPair(bits, keyrng);
+    if (!r.ok()) std::abort();
+    kp = std::move(r).value();
+  }
+};
+
+KeyFixture& Fixture(int bits) {
+  static KeyFixture* k1024 = new KeyFixture(1024);
+  static KeyFixture* k2048 = new KeyFixture(2048);
+  return bits == 2048 ? *k2048 : *k1024;
+}
+
+void BM_PaillierKeyGen(benchmark::State& state) {
+  SecureRandom rng(1);
+  for (auto _ : state) {
+    auto kp = GeneratePaillierKeyPair(static_cast<int>(state.range(0)), rng);
+    benchmark::DoNotOptimize(kp);
+  }
+}
+BENCHMARK(BM_PaillierKeyGen)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  KeyFixture& f = Fixture(static_cast<int>(state.range(0)));
+  BigInt m(123456789);
+  for (auto _ : state) {
+    auto c = f.kp.pub.Encrypt(m, f.rng);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_PaillierEncrypt)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+void BM_PaillierDecrypt(benchmark::State& state) {
+  KeyFixture& f = Fixture(static_cast<int>(state.range(0)));
+  auto c = f.kp.pub.Encrypt(BigInt(987654321), f.rng);
+  if (!c.ok()) std::abort();
+  for (auto _ : state) {
+    auto m = f.kp.priv.Decrypt(*c);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_PaillierDecrypt)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+void BM_PaillierHomomorphicAdd(benchmark::State& state) {
+  KeyFixture& f = Fixture(1024);
+  auto c1 = f.kp.pub.Encrypt(BigInt(111), f.rng);
+  auto c2 = f.kp.pub.Encrypt(BigInt(222), f.rng);
+  if (!c1.ok() || !c2.ok()) std::abort();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.kp.pub.Add(*c1, *c2));
+  }
+}
+BENCHMARK(BM_PaillierHomomorphicAdd);
+
+void BM_PaillierScalarMul(benchmark::State& state) {
+  KeyFixture& f = Fixture(1024);
+  auto c = f.kp.pub.Encrypt(BigInt(333), f.rng);
+  if (!c.ok()) std::abort();
+  BigInt scalar(1234567);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.kp.pub.ScalarMul(*c, scalar));
+  }
+}
+BENCHMARK(BM_PaillierScalarMul)->Unit(benchmark::kMicrosecond);
+
+void BM_PrimeGeneration(benchmark::State& state) {
+  SecureRandom rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextPrime(static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_PrimeGeneration)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hprl::crypto
+
+BENCHMARK_MAIN();

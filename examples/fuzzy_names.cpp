@@ -1,0 +1,122 @@
+// The paper's §VIII future-work extension, implemented: private record
+// linkage over alphanumeric attributes (surname, city) compared with edit
+// distance, plus a numeric age.
+//
+// Text attributes are anonymized by *prefix generalization* ("garcia" ->
+// "gar*" -> "g*" -> ANY) inside the same MaxEntropy top-down framework; the
+// blocking step bounds edit distance from below with the trie DP bound, so
+// provable mismatches are still decided from the anonymized releases alone.
+// The SMC step for edit distance is beyond current protocols (that is
+// exactly why the paper leaves it as future work), so the oracle here is the
+// exact counting oracle — the cost unit (invocations) is unchanged.
+//
+// Build & run:  ./build/examples/fuzzy_names
+
+#include <cstdio>
+
+#include "core/hybrid.h"
+#include "data/names.h"
+#include "linkage/ground_truth.h"
+#include "linkage/oracle.h"
+
+using namespace hprl;
+
+namespace {
+void Die(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  std::exit(1);
+}
+}  // namespace
+
+int main() {
+  // Two registries with a noisy overlap: rows [1500, 4500) of the base
+  // population appear in both, but registry B's copies carry transcription
+  // typos (one random edit per field with 35% probability) and ±1 age slips.
+  Table base = GenerateNameRegistry(4500, 77);
+  Table registry_a = base.Gather([] {
+    std::vector<int64_t> idx(3000);
+    for (int64_t i = 0; i < 3000; ++i) idx[i] = i;
+    return idx;
+  }());
+  Table overlap = base.Gather([] {
+    std::vector<int64_t> idx(3000);
+    for (int64_t i = 0; i < 3000; ++i) idx[i] = 1500 + i;
+    return idx;
+  }());
+  Table registry_b = CorruptRegistry(overlap, /*typo_rate=*/0.35,
+                                     /*age_jitter_rate=*/0.3, /*seed=*/88);
+
+  std::printf("registry A: %lld records, registry B: %lld records "
+              "(1500 shared entities, typo'd in B)\n\n",
+              static_cast<long long>(registry_a.num_rows()),
+              static_cast<long long>(registry_b.num_rows()));
+
+  // Matching rule: surname and city within one edit, age within ~2 years.
+  SchemaPtr schema = base.schema();
+  MatchRule rule;
+  {
+    AttrRule surname;
+    surname.attr_index = 0;
+    surname.type = AttrType::kText;
+    surname.theta = 1;  // edit operations
+    surname.name = "surname";
+    AttrRule city = surname;
+    city.attr_index = 1;
+    city.name = "city";
+    AttrRule age;
+    age.attr_index = 2;
+    age.type = AttrType::kNumeric;
+    age.theta = 2.0 / 96.0;
+    age.norm = 96;
+    age.name = "age";
+    rule.attrs = {surname, city, age};
+  }
+
+  // Each registry anonymizes independently: text QIDs use prefix
+  // generalization (no VGH), age uses the equi-width hierarchy.
+  auto age_vgh_or = MakeEquiWidthVgh(16, 8, {3, 2, 2});
+  if (!age_vgh_or.ok()) Die(age_vgh_or.status());
+  auto age_vgh = std::make_shared<const Vgh>(std::move(age_vgh_or).value());
+  AnonymizerConfig anon_cfg;
+  anon_cfg.k = 8;
+  anon_cfg.qid_attrs = {0, 1, 2};
+  anon_cfg.hierarchies = {nullptr, nullptr, age_vgh};
+
+  auto anonymizer = MakeMaxEntropyAnonymizer(anon_cfg);
+  auto anon_a = anonymizer->Anonymize(registry_a);
+  if (!anon_a.ok()) Die(anon_a.status());
+  auto anon_b = anonymizer->Anonymize(registry_b);
+  if (!anon_b.ok()) Die(anon_b.status());
+  std::printf("8-anonymous releases: %lld / %lld prefix-generalized "
+              "sequences\n",
+              static_cast<long long>(anon_a->NumSequences()),
+              static_cast<long long>(anon_b->NumSequences()));
+
+  // Hybrid linkage under a 5% SMC budget.
+  HybridConfig hc;
+  hc.rule = rule;
+  hc.smc_allowance_fraction = 0.05;
+  hc.heuristic = SelectionHeuristic::kMinAvgFirst;
+  CountingPlaintextOracle oracle(rule);
+  auto result_or =
+      RunHybridLinkage(registry_a, registry_b, *anon_a, *anon_b, hc, oracle);
+  if (!result_or.ok()) Die(result_or.status());
+  HybridResult& result = result_or.value();
+  if (auto st = EvaluateRecall(registry_a, registry_b, rule, &result);
+      !st.ok()) {
+    Die(st);
+  }
+
+  std::printf("blocking: %.2f%% of %lld pairs decided from prefixes alone\n",
+              100.0 * result.blocking_efficiency,
+              static_cast<long long>(result.total_pairs));
+  std::printf("oracle comparisons: %lld (budget %lld)\n",
+              static_cast<long long>(result.smc_processed),
+              static_cast<long long>(result.allowance_pairs));
+  std::printf("links: %lld of %lld true fuzzy matches -> recall %.1f%%, "
+              "precision %.0f%%\n",
+              static_cast<long long>(result.reported_matches),
+              static_cast<long long>(result.true_matches),
+              100.0 * result.recall, 100.0 * result.precision);
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Hospital linkage scenario (the paper's §I motivation): two hospitals hold
+// overlapping patient populations; a medical researcher (the querying party)
+// wants the cross-hospital links without either hospital disclosing
+// non-matching records.
+//
+// This example exercises the library's lower-level API directly and shows a
+// capability the experiment driver doesn't: the two data holders pick
+// *different* privacy levels (k=16 vs k=64) and even different anonymization
+// algorithms — the paper explicitly allows participants to choose their own
+// anonymity parameters (§I).
+//
+// Build & run:  ./build/examples/hospital_linkage
+
+#include <cstdio>
+
+#include "adult/adult.h"
+#include "anon/metrics.h"
+#include "core/baselines.h"
+#include "core/hybrid.h"
+#include "data/partition.h"
+#include "linkage/oracle.h"
+
+using namespace hprl;
+
+namespace {
+void Die(const Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+  std::exit(1);
+}
+}  // namespace
+
+int main() {
+  // --- the two hospitals' patient registries (overlapping population) ---
+  auto hierarchies = adult::BuildAdultHierarchies();
+  Table population = adult::GenerateAdult(9000, 2026, hierarchies);
+  Rng rng(7);
+  auto split_or = SplitForLinkage(population, rng);
+  if (!split_or.ok()) Die(split_or.status());
+  const Table& hospital_a = split_or->d1;
+  const Table& hospital_b = split_or->d2;
+  std::printf("hospital A: %lld patients, hospital B: %lld patients "
+              "(%lld shared)\n\n",
+              static_cast<long long>(hospital_a.num_rows()),
+              static_cast<long long>(hospital_b.num_rows()),
+              static_cast<long long>(split_or->shared_count));
+
+  // --- each hospital anonymizes independently ---
+  SchemaPtr schema = population.schema();
+  auto make_config = [&](int64_t k) {
+    AnonymizerConfig cfg;
+    cfg.k = k;
+    for (const auto& name :
+         {"age", "workclass", "education", "marital-status", "occupation"}) {
+      cfg.qid_attrs.push_back(schema->FindIndex(name));
+      cfg.hierarchies.push_back(hierarchies.ByName(name));
+    }
+    cfg.class_attr = schema->FindIndex("income");
+    return cfg;
+  };
+
+  // Hospital A is privacy-conservative but wants good blocking: MaxEntropy
+  // with k=16. Hospital B requires stronger anonymity (k=64) and runs
+  // Mondrian, its in-house anonymizer.
+  auto anon_a_or = MakeMaxEntropyAnonymizer(make_config(16))->Anonymize(hospital_a);
+  if (!anon_a_or.ok()) Die(anon_a_or.status());
+  auto anon_b_or = MakeMondrianAnonymizer(make_config(64))->Anonymize(hospital_b);
+  if (!anon_b_or.ok()) Die(anon_b_or.status());
+  const AnonymizedTable& anon_a = *anon_a_or;
+  const AnonymizedTable& anon_b = *anon_b_or;
+
+  std::printf("hospital A release: %lld sequences, k-anonymous for k=16: %s, "
+              "income l-diversity: %lld\n",
+              static_cast<long long>(anon_a.NumSequences()),
+              anon_a.IsKAnonymous(16) ? "yes" : "NO",
+              static_cast<long long>(
+                  LDiversity(hospital_a, anon_a, schema->FindIndex("income"))));
+  std::printf("hospital B release: %lld sequences, k-anonymous for k=64: %s\n\n",
+              static_cast<long long>(anon_b.NumSequences()),
+              anon_b.IsKAnonymous(64) ? "yes" : "NO");
+
+  // --- the researcher's classifier: 5 demographic QIDs, θ = 0.05 ---
+  std::vector<VghPtr> vghs;
+  for (const auto& n : adult::AdultQidNames()) {
+    vghs.push_back(hierarchies.ByName(n));
+  }
+  auto rule_or =
+      MakeUniformRule(schema, adult::AdultQidNames(), vghs, 5, 0.05);
+  if (!rule_or.ok()) Die(rule_or.status());
+
+  // --- hybrid linkage under a 2% SMC budget ---
+  HybridConfig hc;
+  hc.rule = *rule_or;
+  hc.smc_allowance_fraction = 0.02;
+  hc.heuristic = SelectionHeuristic::kMinAvgFirst;
+  CountingPlaintextOracle oracle(*rule_or);  // stand-in for the SMC circuit
+  auto result_or =
+      RunHybridLinkage(hospital_a, hospital_b, anon_a, anon_b, hc, oracle);
+  if (!result_or.ok()) Die(result_or.status());
+  HybridResult& result = result_or.value();
+  if (auto st = EvaluateRecall(hospital_a, hospital_b, *rule_or, &result);
+      !st.ok()) {
+    Die(st);
+  }
+
+  std::printf("hybrid linkage:\n");
+  std::printf("  blocking efficiency: %.2f%% of %lld pairs\n",
+              100.0 * result.blocking_efficiency,
+              static_cast<long long>(result.total_pairs));
+  std::printf("  SMC invocations: %lld (budget %lld)\n",
+              static_cast<long long>(result.smc_processed),
+              static_cast<long long>(result.allowance_pairs));
+  std::printf("  links reported to the researcher: %lld\n",
+              static_cast<long long>(result.reported_matches));
+  std::printf("  precision %.0f%%, recall %.1f%%\n\n",
+              100.0 * result.precision, 100.0 * result.recall);
+
+  // --- what the alternatives would have cost ---
+  auto pure = PureSmcBaseline(hospital_a, hospital_b, *rule_or);
+  if (!pure.ok()) Die(pure.status());
+  auto sanitized = SanitizationOnlyBaseline(hospital_a, hospital_b, anon_a,
+                                            anon_b, *rule_or,
+                                            /*optimistic=*/true);
+  if (!sanitized.ok()) Die(sanitized.status());
+  std::printf("for comparison:\n");
+  std::printf("  pure SMC: %lld invocations (%.0fx the hybrid cost)\n",
+              static_cast<long long>(pure->smc_invocations),
+              static_cast<double>(pure->smc_invocations) /
+                  static_cast<double>(std::max<int64_t>(1, result.smc_processed)));
+  std::printf("  sanitization only (recall-first): precision %.2f%% — the "
+              "researcher would drown in false links\n",
+              100.0 * sanitized->precision);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Trade-off explorer: the paper's central claim is that the hybrid method
+// exposes a *three-way* dial between privacy (k), cost (SMC allowance) and
+// accuracy (recall; precision is pinned at 100%). This example sweeps the
+// (k, allowance) grid and prints the recall surface plus the actual SMC
+// spend, so a deployment can pick its operating point.
+//
+// Build & run:  ./build/examples/tradeoff_explorer [--rows N]
+
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/experiment.h"
+
+using namespace hprl;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  int64_t* rows = flags.AddInt("rows", 9000, "source rows before the split");
+  int64_t* seed = flags.AddInt("seed", 1, "data seed");
+  Status st = flags.Parse(argc, argv);
+  if (st.code() == StatusCode::kNotFound) return 0;  // --help
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+
+  auto data_or = PrepareAdultData(*rows, static_cast<uint64_t>(*seed));
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "%s\n", data_or.status().ToString().c_str());
+    return 1;
+  }
+  const ExperimentData& data = *data_or;
+
+  const std::vector<int64_t> ks = {4, 16, 64, 256};
+  const std::vector<double> allowances = {0.0, 0.005, 0.01, 0.02, 0.05};
+
+  std::printf("privacy / cost / accuracy surface "
+              "(|D1| = |D2| = %lld, theta = 0.05, MinAvgFirst)\n\n",
+              static_cast<long long>(data.split.d1.num_rows()));
+  std::printf("%-6s %-14s %-12s %-14s %-10s\n", "k", "allowance(%)",
+              "recall(%)", "SMC spent(%)", "blocked(%)");
+
+  for (int64_t k : ks) {
+    for (double allowance : allowances) {
+      ExperimentConfig cfg;
+      cfg.k = k;
+      cfg.smc_allowance_fraction = allowance;
+      auto out = RunAdultExperiment(data, cfg);
+      if (!out.ok()) {
+        std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
+        return 1;
+      }
+      double spent = out->hybrid.total_pairs == 0
+                         ? 0
+                         : 100.0 *
+                               static_cast<double>(out->hybrid.smc_processed) /
+                               static_cast<double>(out->hybrid.total_pairs);
+      std::printf("%-6lld %-14.2f %-12.2f %-14.3f %-10.2f\n",
+                  static_cast<long long>(k), 100.0 * allowance,
+                  100.0 * out->hybrid.recall, spent,
+                  100.0 * out->hybrid.blocking_efficiency);
+    }
+    std::printf("\n");
+  }
+  std::printf("reading the surface: moving down a k-block raises privacy and "
+              "lowers accuracy at fixed cost;\nmoving right within a block "
+              "buys accuracy with cryptographic work; precision is 100%% "
+              "everywhere.\n");
+  return 0;
+}

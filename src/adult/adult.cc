@@ -1,0 +1,232 @@
+#include "adult/adult.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hprl::adult {
+
+namespace {
+
+VghPtr BuildOrDie(Result<Vgh> r) {
+  HPRL_CHECK(r.ok());
+  return std::make_shared<const Vgh>(std::move(r).value());
+}
+
+VghPtr BuildWorkclass() {
+  VghBuilder b(Vgh::Kind::kCategorical);
+  int any = b.AddRoot("ANY");
+  int self = b.AddChild(any, "Self-Employed");
+  b.AddChild(self, "Self-emp-not-inc");
+  b.AddChild(self, "Self-emp-inc");
+  int gov = b.AddChild(any, "Government");
+  b.AddChild(gov, "Federal-gov");
+  b.AddChild(gov, "Local-gov");
+  b.AddChild(gov, "State-gov");
+  int other = b.AddChild(any, "Other");
+  b.AddChild(other, "Private");
+  b.AddChild(other, "Without-pay");
+  return BuildOrDie(b.Build());
+}
+
+VghPtr BuildEducation() {
+  VghBuilder b(Vgh::Kind::kCategorical);
+  int any = b.AddRoot("ANY");
+  int sec = b.AddChild(any, "Secondary");
+  int junior = b.AddChild(sec, "Junior Sec.");
+  b.AddChild(junior, "Preschool");
+  b.AddChild(junior, "1st-4th");
+  b.AddChild(junior, "5th-6th");
+  b.AddChild(junior, "7th-8th");
+  b.AddChild(junior, "9th");
+  int senior = b.AddChild(sec, "Senior Sec.");
+  b.AddChild(senior, "10th");
+  b.AddChild(senior, "11th");
+  b.AddChild(senior, "12th");
+  b.AddChild(senior, "HS-grad");
+  int uni = b.AddChild(any, "University");
+  int undergrad = b.AddChild(uni, "Undergraduate");
+  b.AddChild(undergrad, "Some-college");
+  b.AddChild(undergrad, "Assoc-voc");
+  b.AddChild(undergrad, "Assoc-acdm");
+  b.AddChild(undergrad, "Bachelors");
+  int grad = b.AddChild(uni, "Grad School");
+  b.AddChild(grad, "Masters");
+  b.AddChild(grad, "Prof-school");
+  b.AddChild(grad, "Doctorate");
+  return BuildOrDie(b.Build());
+}
+
+VghPtr BuildMarital() {
+  VghBuilder b(Vgh::Kind::kCategorical);
+  int any = b.AddRoot("ANY");
+  int married = b.AddChild(any, "Married");
+  b.AddChild(married, "Married-civ-spouse");
+  b.AddChild(married, "Married-AF-spouse");
+  b.AddChild(married, "Married-spouse-absent");
+  int past = b.AddChild(any, "Formerly-Married");
+  b.AddChild(past, "Divorced");
+  b.AddChild(past, "Separated");
+  b.AddChild(past, "Widowed");
+  int never = b.AddChild(any, "Single");
+  b.AddChild(never, "Never-married");
+  return BuildOrDie(b.Build());
+}
+
+VghPtr BuildOccupation() {
+  VghBuilder b(Vgh::Kind::kCategorical);
+  int any = b.AddRoot("ANY");
+  int white = b.AddChild(any, "White-Collar");
+  b.AddChild(white, "Exec-managerial");
+  b.AddChild(white, "Prof-specialty");
+  b.AddChild(white, "Adm-clerical");
+  b.AddChild(white, "Sales");
+  b.AddChild(white, "Tech-support");
+  int blue = b.AddChild(any, "Blue-Collar");
+  b.AddChild(blue, "Craft-repair");
+  b.AddChild(blue, "Machine-op-inspct");
+  b.AddChild(blue, "Handlers-cleaners");
+  b.AddChild(blue, "Transport-moving");
+  b.AddChild(blue, "Farming-fishing");
+  int service = b.AddChild(any, "Service");
+  b.AddChild(service, "Other-service");
+  b.AddChild(service, "Priv-house-serv");
+  b.AddChild(service, "Protective-serv");
+  b.AddChild(service, "Armed-Forces");
+  return BuildOrDie(b.Build());
+}
+
+VghPtr BuildRace() {
+  VghBuilder b(Vgh::Kind::kCategorical);
+  int any = b.AddRoot("ANY");
+  b.AddChild(any, "White");
+  b.AddChild(any, "Black");
+  b.AddChild(any, "Asian-Pac-Islander");
+  b.AddChild(any, "Amer-Indian-Eskimo");
+  b.AddChild(any, "Other");
+  return BuildOrDie(b.Build());
+}
+
+VghPtr BuildSex() {
+  VghBuilder b(Vgh::Kind::kCategorical);
+  int any = b.AddRoot("ANY");
+  b.AddChild(any, "Male");
+  b.AddChild(any, "Female");
+  return BuildOrDie(b.Build());
+}
+
+VghPtr BuildCountry() {
+  VghBuilder b(Vgh::Kind::kCategorical);
+  int any = b.AddRoot("ANY");
+  int americas = b.AddChild(any, "Americas");
+  int na = b.AddChild(americas, "North-America");
+  for (const char* c : {"United-States", "Canada",
+                        "Outlying-US(Guam-USVI-etc)"}) {
+    b.AddChild(na, c);
+  }
+  int latin = b.AddChild(americas, "Latin-America");
+  for (const char* c :
+       {"Mexico", "Puerto-Rico", "Cuba", "Honduras", "Jamaica",
+        "Dominican-Republic", "Ecuador", "Haiti", "Columbia", "Guatemala",
+        "Nicaragua", "El-Salvador", "Trinadad&Tobago", "Peru"}) {
+    b.AddChild(latin, c);
+  }
+  int eurasia = b.AddChild(any, "Eurasia");
+  int europe = b.AddChild(eurasia, "Europe");
+  for (const char* c :
+       {"England", "Germany", "Greece", "Italy", "Poland", "Portugal",
+        "Ireland", "France", "Hungary", "Scotland", "Yugoslavia",
+        "Holand-Netherlands"}) {
+    b.AddChild(europe, c);
+  }
+  int asia = b.AddChild(eurasia, "Asia");
+  for (const char* c : {"Cambodia", "India", "Japan", "South", "China", "Iran",
+                        "Philippines", "Vietnam", "Laos", "Taiwan", "Thailand",
+                        "Hong"}) {
+    b.AddChild(asia, c);
+  }
+  return BuildOrDie(b.Build());
+}
+
+}  // namespace
+
+VghPtr AdultHierarchies::ByName(const std::string& name) const {
+  if (name == "age") return age;
+  if (name == "workclass") return workclass;
+  if (name == "education") return education;
+  if (name == "marital-status") return marital_status;
+  if (name == "occupation") return occupation;
+  if (name == "race") return race;
+  if (name == "sex") return sex;
+  if (name == "native-country") return native_country;
+  return nullptr;
+}
+
+AdultHierarchies BuildAdultHierarchies() {
+  AdultHierarchies h;
+  // 4-level age hierarchy, 8-unit leaves, covering [16, 112): ANY, three
+  // 32-unit bands, six 16-unit bands, twelve 8-unit leaves (paper §VI).
+  h.age = BuildOrDie(MakeEquiWidthVgh(16.0, 8.0, {3, 2, 2}));
+  h.workclass = BuildWorkclass();
+  h.education = BuildEducation();
+  h.marital_status = BuildMarital();
+  h.occupation = BuildOccupation();
+  h.race = BuildRace();
+  h.sex = BuildSex();
+  h.native_country = BuildCountry();
+  return h;
+}
+
+const std::vector<std::string>& AdultQidNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "age",        "workclass", "education", "marital-status",
+      "occupation", "race",      "sex",       "native-country"};
+  return *kNames;
+}
+
+SchemaPtr BuildAdultSchema(const AdultHierarchies& h) {
+  auto schema = std::make_shared<Schema>();
+  schema->AddNumeric("age");
+  schema->AddCategorical("workclass", h.workclass->MakeDomain());
+  schema->AddCategorical("education", h.education->MakeDomain());
+  schema->AddCategorical("marital-status", h.marital_status->MakeDomain());
+  schema->AddCategorical("occupation", h.occupation->MakeDomain());
+  schema->AddCategorical("race", h.race->MakeDomain());
+  schema->AddCategorical("sex", h.sex->MakeDomain());
+  schema->AddCategorical("native-country", h.native_country->MakeDomain());
+  schema->AddNumeric("hours-per-week");
+  auto income = std::make_shared<CategoryDomain>(
+      std::vector<std::string>{"<=50K", ">50K"});
+  schema->AddCategorical("income", income);
+  return schema;
+}
+
+Result<Vgh> MakeWorkHrsVgh() {
+  VghBuilder b(Vgh::Kind::kNumeric);
+  int any = b.AddNumericRoot(1, 99);
+  int low = b.AddNumericChild(any, 1, 37);
+  b.AddNumericChild(low, 1, 35);
+  b.AddNumericChild(low, 35, 37);
+  b.AddNumericChild(any, 37, 99);
+  return b.Build();
+}
+
+Result<Vgh> MakeExampleEducationVgh() {
+  VghBuilder b(Vgh::Kind::kCategorical);
+  int any = b.AddRoot("ANY");
+  int sec = b.AddChild(any, "Secondary");
+  int junior = b.AddChild(sec, "Junior Sec.");
+  b.AddChild(junior, "9th");
+  b.AddChild(junior, "10th");
+  int senior = b.AddChild(sec, "Senior Sec.");
+  b.AddChild(senior, "11th");
+  b.AddChild(senior, "12th");
+  int uni = b.AddChild(any, "University");
+  b.AddChild(uni, "Bachelors");
+  int grad = b.AddChild(uni, "Grad School");
+  b.AddChild(grad, "Masters");
+  b.AddChild(grad, "Doctorate");
+  return b.Build();
+}
+
+}  // namespace hprl::adult

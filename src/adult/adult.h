@@ -1,0 +1,67 @@
+#ifndef HPRL_ADULT_ADULT_H_
+#define HPRL_ADULT_ADULT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "data/table.h"
+#include "hierarchy/vgh.h"
+
+namespace hprl::adult {
+
+/// Value generalization hierarchies for the Adult data set's quasi-identifier
+/// attributes, following Fung et al. (TDS, ICDE'05) and the paper's §VI setup
+/// (age: 4 levels, equi-width 8-unit leaves).
+struct AdultHierarchies {
+  VghPtr age;             // numeric, [16, 112), leaves of width 8
+  VghPtr workclass;       // 7 leaves
+  VghPtr education;       // 16 leaves (paper Fig. 1 shape)
+  VghPtr marital_status;  // 7 leaves
+  VghPtr occupation;      // 14 leaves
+  VghPtr race;            // 5 leaves
+  VghPtr sex;             // 2 leaves
+  VghPtr native_country;  // 41 leaves, grouped by region
+
+  /// Hierarchy for attribute name, nullptr if unknown.
+  VghPtr ByName(const std::string& name) const;
+};
+
+/// Builds all Adult hierarchies. Infallible by construction (specs are
+/// static); CHECK-fails on programming errors.
+AdultHierarchies BuildAdultHierarchies();
+
+/// The paper's quasi-identifier list in "top-q" order (§VI-D): experiments
+/// with q QIDs use the first q names.
+const std::vector<std::string>& AdultQidNames();
+
+/// Schema of the generated table: the 8 QIDs in top-q order, then
+/// hours-per-week (numeric) and income (categorical class attribute).
+/// Categorical domains are derived from the hierarchies, so category ids are
+/// VGH leaf indexes.
+SchemaPtr BuildAdultSchema(const AdultHierarchies& h);
+
+/// Synthesizes `n` Adult-like records. Deterministic in `seed`.
+///
+/// This replaces the UCI Adult file (not available offline): category domains
+/// are the real Adult domains and the sampling marginals follow the published
+/// Adult statistics, with mild conditional structure (education->occupation,
+/// age->marital-status, education/age/sex->income) so that classifier-driven
+/// anonymizers (TDS) have signal to use.
+Table GenerateAdult(int64_t n, uint64_t seed,
+                    const AdultHierarchies& hierarchies);
+
+/// The WorkHrs hierarchy of the paper's Fig. 1 worked example:
+/// [1-99) -> { [1-37) -> { [1-35), [35-37) }, [37-99) }.
+Result<Vgh> MakeWorkHrsVgh();
+
+/// The Education hierarchy restricted to the worked example's Fig. 1 labels
+/// (ANY / Secondary / University / Junior Sec. / Senior Sec. / Bachelors /
+/// Grad School / 9th 10th 11th 12th Masters Doctorate).
+Result<Vgh> MakeExampleEducationVgh();
+
+}  // namespace hprl::adult
+
+#endif  // HPRL_ADULT_ADULT_H_

@@ -1,0 +1,319 @@
+#include <cmath>
+#include <cstring>
+
+#include "adult/adult.h"
+#include "common/logging.h"
+
+namespace hprl::adult {
+
+namespace {
+
+/// A named marginal distribution over category labels.
+struct Marginal {
+  std::vector<const char*> labels;
+  std::vector<double> weights;  // same length; need not sum to 1
+};
+
+// Published Adult (complete cases) marginals, lightly rounded.
+const Marginal kWorkclass = {
+    {"Private", "Self-emp-not-inc", "Local-gov", "State-gov", "Self-emp-inc",
+     "Federal-gov", "Without-pay"},
+    {73.7, 8.3, 6.9, 4.3, 3.7, 3.2, 0.05}};
+
+const Marginal kEducation = {
+    {"HS-grad", "Some-college", "Bachelors", "Masters", "Assoc-voc", "11th",
+     "Assoc-acdm", "10th", "7th-8th", "Prof-school", "9th", "12th",
+     "Doctorate", "5th-6th", "1st-4th", "Preschool"},
+    {32.5, 22.2, 16.6, 5.4, 4.6, 3.6, 3.5, 2.8, 2.0, 1.8, 1.6, 1.3, 1.2, 1.0,
+     0.5, 0.17}};
+
+const Marginal kOccupation = {
+    {"Prof-specialty", "Craft-repair", "Exec-managerial", "Adm-clerical",
+     "Sales", "Other-service", "Machine-op-inspct", "Transport-moving",
+     "Handlers-cleaners", "Farming-fishing", "Tech-support",
+     "Protective-serv", "Priv-house-serv", "Armed-Forces"},
+    {13.4, 13.4, 13.2, 12.3, 12.0, 10.7, 6.6, 5.2, 4.5, 3.3, 3.0, 2.1, 0.5,
+     0.03}};
+
+const Marginal kRace = {
+    {"White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other"},
+    {85.5, 9.4, 3.1, 0.96, 0.8}};
+
+const Marginal kCountry = {
+    {"United-States", "Mexico",   "Philippines",
+     "Germany",       "Canada",   "Puerto-Rico",
+     "El-Salvador",   "India",    "Cuba",
+     "England",       "Jamaica",  "South",
+     "China",         "Italy",    "Dominican-Republic",
+     "Vietnam",       "Guatemala", "Japan",
+     "Poland",        "Columbia", "Taiwan",
+     "Haiti",         "Iran",     "Portugal",
+     "Nicaragua",     "Peru",     "Greece",
+     "France",        "Ecuador",  "Ireland",
+     "Hong",          "Cambodia", "Trinadad&Tobago",
+     "Thailand",      "Laos",     "Yugoslavia",
+     "Outlying-US(Guam-USVI-etc)", "Hungary", "Honduras",
+     "Scotland",      "Holand-Netherlands"},
+    {91.2, 2.0,  0.65, 0.45, 0.40, 0.38, 0.35, 0.33, 0.31, 0.30, 0.27, 0.24,
+     0.25, 0.24, 0.23, 0.22, 0.21, 0.20, 0.19, 0.19, 0.17, 0.15, 0.14, 0.12,
+     0.11, 0.10, 0.10, 0.09, 0.09, 0.08, 0.07, 0.06, 0.06, 0.06, 0.06, 0.05,
+     0.05, 0.04, 0.04, 0.04, 0.003}};
+
+// Age histogram: bucket boundaries and weights (~Adult shape: median 37,
+// long right tail).
+const double kAgeBounds[] = {17, 20, 25, 30, 35, 40, 45, 50, 55, 60, 65, 75, 91};
+const double kAgeWeights[] = {5.0, 11.5, 13.0, 13.5, 13.0, 12.0,
+                              10.0, 8.0,  5.5,  3.8,  2.7,  2.0};
+
+/// Resolves marginal labels to category ids once per attribute.
+struct ResolvedMarginal {
+  std::vector<int32_t> ids;
+  std::vector<double> weights;
+};
+
+ResolvedMarginal Resolve(const Marginal& m, const CategoryDomain& domain) {
+  ResolvedMarginal r;
+  r.ids.reserve(m.labels.size());
+  for (size_t i = 0; i < m.labels.size(); ++i) {
+    int32_t id = domain.Find(m.labels[i]);
+    HPRL_CHECK(id >= 0);
+    r.ids.push_back(id);
+    r.weights.push_back(m.weights[i]);
+  }
+  return r;
+}
+
+int32_t Sample(const ResolvedMarginal& m, Rng& rng) {
+  return m.ids[rng.NextDiscrete(m.weights)];
+}
+
+int32_t SampleAdjusted(const ResolvedMarginal& m,
+                       const std::vector<double>& factors, Rng& rng) {
+  std::vector<double> w = m.weights;
+  for (size_t i = 0; i < w.size(); ++i) w[i] *= factors[i];
+  return m.ids[rng.NextDiscrete(w)];
+}
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+Table GenerateAdult(int64_t n, uint64_t seed,
+                    const AdultHierarchies& hierarchies) {
+  SchemaPtr schema = BuildAdultSchema(hierarchies);
+  Rng rng(seed);
+
+  const int kAge = 0, kWork = 1, kEdu = 2, kMarital = 3, kOcc = 4, kRaceA = 5,
+            kSex = 6, kCountryA = 7, kHours = 8, kIncome = 9;
+
+  const CategoryDomain& work_dom = *schema->attribute(kWork).domain;
+  const CategoryDomain& edu_dom = *schema->attribute(kEdu).domain;
+  const CategoryDomain& marital_dom = *schema->attribute(kMarital).domain;
+  const CategoryDomain& occ_dom = *schema->attribute(kOcc).domain;
+  const CategoryDomain& race_dom = *schema->attribute(kRaceA).domain;
+  const CategoryDomain& sex_dom = *schema->attribute(kSex).domain;
+  const CategoryDomain& country_dom = *schema->attribute(kCountryA).domain;
+
+  ResolvedMarginal work_m = Resolve(kWorkclass, work_dom);
+  ResolvedMarginal edu_m = Resolve(kEducation, edu_dom);
+  ResolvedMarginal occ_m = Resolve(kOccupation, occ_dom);
+  ResolvedMarginal race_m = Resolve(kRace, race_dom);
+  ResolvedMarginal country_m = Resolve(kCountry, country_dom);
+
+  const int32_t male = sex_dom.Find("Male");
+  const int32_t female = sex_dom.Find("Female");
+  HPRL_CHECK(male >= 0 && female >= 0);
+
+  // Education tier lookup via the VGH: level-1 ancestor distinguishes
+  // Secondary from University; level-2 separates Grad School.
+  const Vgh& edu_vgh = *hierarchies.education;
+  const int uni_node = edu_vgh.FindByLabel("University");
+  const int grad_node = edu_vgh.FindByLabel("Grad School");
+  const int bachelors_node = edu_vgh.FindByLabel("Bachelors");
+  HPRL_CHECK(uni_node >= 0 && grad_node >= 0 && bachelors_node >= 0);
+  auto edu_tier = [&](int32_t edu_id) {
+    int leaf = edu_vgh.LeafForCategory(edu_id);
+    int l2 = edu_vgh.AncestorAtLevel(leaf, 2);
+    if (l2 == grad_node) return 3;                         // graduate degree
+    if (leaf == bachelors_node) return 2;                  // bachelors
+    if (edu_vgh.AncestorAtLevel(leaf, 1) == uni_node) return 1;  // some college
+    return 0;                                              // secondary
+  };
+
+  // Occupation group boundaries in leaf-index space (cheap tier adjustment).
+  const Vgh& occ_vgh = *hierarchies.occupation;
+  const int white_collar = occ_vgh.FindByLabel("White-Collar");
+  GenValue white_range = occ_vgh.Gen(white_collar);
+
+  const int32_t never_married = marital_dom.Find("Never-married");
+  const int32_t civ_spouse = marital_dom.Find("Married-civ-spouse");
+  const int32_t af_spouse = marital_dom.Find("Married-AF-spouse");
+  const int32_t spouse_absent = marital_dom.Find("Married-spouse-absent");
+  const int32_t divorced = marital_dom.Find("Divorced");
+  const int32_t separated = marital_dom.Find("Separated");
+  const int32_t widowed = marital_dom.Find("Widowed");
+
+  Table table(schema);
+  table.Reserve(n);
+  const size_t num_age_buckets = std::size(kAgeWeights);
+  std::vector<double> age_weights(kAgeWeights, kAgeWeights + num_age_buckets);
+
+  for (int64_t row = 0; row < n; ++row) {
+    // --- age ---
+    size_t bucket = rng.NextDiscrete(age_weights);
+    int age = static_cast<int>(rng.NextInt(
+        static_cast<int64_t>(kAgeBounds[bucket]),
+        static_cast<int64_t>(kAgeBounds[bucket + 1]) - 1));
+
+    // --- sex ---
+    int32_t sex = rng.NextBernoulli(0.675) ? male : female;
+
+    // --- education (age-conditioned: the young rarely hold degrees) ---
+    std::vector<double> edu_factors(edu_m.ids.size(), 1.0);
+    for (size_t i = 0; i < edu_m.ids.size(); ++i) {
+      int tier = edu_tier(edu_m.ids[i]);
+      if (age < 20 && tier >= 1) edu_factors[i] = 0.02;
+      else if (age < 23 && tier >= 2) edu_factors[i] = 0.1;
+      else if (age < 27 && tier == 3) edu_factors[i] = 0.3;
+    }
+    int32_t edu = SampleAdjusted(edu_m, edu_factors, rng);
+    int tier = edu_tier(edu);
+
+    // --- workclass (graduates lean to government / incorporated self-emp) ---
+    std::vector<double> work_factors(work_m.ids.size(), 1.0);
+    if (tier == 3) {
+      for (size_t i = 0; i < work_m.ids.size(); ++i) {
+        const std::string& label = work_dom.label(work_m.ids[i]);
+        if (label == "State-gov" || label == "Local-gov" ||
+            label == "Federal-gov" || label == "Self-emp-inc") {
+          work_factors[i] = 2.0;
+        }
+      }
+    }
+    int32_t work = SampleAdjusted(work_m, work_factors, rng);
+
+    // --- marital status (strongly age-conditioned) ---
+    int32_t marital;
+    {
+      double p_never, p_married, p_past;
+      if (age < 25) {
+        p_never = 0.78;
+        p_married = 0.17;
+        p_past = 0.05;
+      } else if (age < 35) {
+        p_never = 0.38;
+        p_married = 0.50;
+        p_past = 0.12;
+      } else if (age < 50) {
+        p_never = 0.15;
+        p_married = 0.62;
+        p_past = 0.23;
+      } else {
+        p_never = 0.07;
+        p_married = 0.63;
+        p_past = 0.30;
+      }
+      size_t cls = rng.NextDiscrete({p_never, p_married, p_past});
+      if (cls == 0) {
+        marital = never_married;
+      } else if (cls == 1) {
+        size_t which = rng.NextDiscrete({95.5, 0.2, 2.7});
+        marital = which == 0 ? civ_spouse
+                  : which == 1 ? af_spouse
+                               : spouse_absent;
+      } else {
+        // Widowhood skews old.
+        double w_wid = age >= 50 ? 40.0 : 3.0;
+        size_t which = rng.NextDiscrete({68.0, 16.0, w_wid});
+        marital = which == 0 ? divorced : which == 1 ? separated : widowed;
+      }
+    }
+
+    // --- occupation (education-conditioned) ---
+    std::vector<double> occ_factors(occ_m.ids.size(), 1.0);
+    for (size_t i = 0; i < occ_m.ids.size(); ++i) {
+      int32_t id = occ_m.ids[i];
+      bool is_white = id >= white_range.cat_lo && id < white_range.cat_hi;
+      const std::string& label = occ_dom.label(id);
+      if (tier == 3) {
+        occ_factors[i] = label == "Prof-specialty" ? 6.0
+                         : label == "Exec-managerial" ? 2.5
+                         : is_white ? 1.2
+                                    : 0.25;
+      } else if (tier == 2) {
+        occ_factors[i] = is_white ? 2.2 : 0.5;
+      } else if (tier == 0) {
+        occ_factors[i] = is_white ? 0.55 : 1.6;
+      }
+    }
+    int32_t occ = SampleAdjusted(occ_m, occ_factors, rng);
+
+    // --- race, native country (country mildly race-conditioned) ---
+    int32_t race = Sample(race_m, rng);
+    std::vector<double> country_factors(country_m.ids.size(), 1.0);
+    {
+      const std::string& race_label = race_dom.label(race);
+      const Vgh& cv = *hierarchies.native_country;
+      int asia = cv.FindByLabel("Asia");
+      int latin = cv.FindByLabel("Latin-America");
+      GenValue asia_range = cv.Gen(asia);
+      GenValue latin_range = cv.Gen(latin);
+      for (size_t i = 0; i < country_m.ids.size(); ++i) {
+        int32_t id = country_m.ids[i];
+        bool in_asia = id >= asia_range.cat_lo && id < asia_range.cat_hi;
+        bool in_latin = id >= latin_range.cat_lo && id < latin_range.cat_hi;
+        if (race_label == "Asian-Pac-Islander") {
+          country_factors[i] = in_asia ? 40.0 : in_latin ? 0.5 : 1.0;
+        } else if (race_label == "White" || race_label == "Black") {
+          country_factors[i] = in_asia ? 0.15 : 1.0;
+        }
+      }
+    }
+    int32_t country = SampleAdjusted(country_m, country_factors, rng);
+
+    // --- hours per week ---
+    int hours;
+    {
+      size_t cls = rng.NextDiscrete({47.0, 25.0, 24.0, 4.0});
+      switch (cls) {
+        case 0:
+          hours = 40;
+          break;
+        case 1:
+          hours = static_cast<int>(rng.NextInt(1, 39));
+          break;
+        case 2:
+          hours = static_cast<int>(rng.NextInt(41, 60));
+          break;
+        default:
+          hours = static_cast<int>(rng.NextInt(61, 98));
+          break;
+      }
+    }
+
+    // --- income class: logistic in education tier, age, sex, marital ---
+    double z = -2.6;
+    z += tier == 3 ? 2.2 : tier == 2 ? 1.4 : tier == 1 ? 0.5 : 0.0;
+    z += (marital == civ_spouse || marital == af_spouse) ? 0.9 : 0.0;
+    z += sex == male ? 0.35 : 0.0;
+    double age_peak = 1.0 - std::fabs(age - 47.0) / 35.0;  // peaks near 47
+    z += 0.9 * std::max(0.0, age_peak);
+    int32_t income = rng.NextBernoulli(Sigmoid(z)) ? 1 : 0;  // 1 == ">50K"
+
+    Record rec(schema->num_attributes());
+    rec[kAge] = Value::Numeric(age);
+    rec[kWork] = Value::Category(work);
+    rec[kEdu] = Value::Category(edu);
+    rec[kMarital] = Value::Category(marital);
+    rec[kOcc] = Value::Category(occ);
+    rec[kRaceA] = Value::Category(race);
+    rec[kSex] = Value::Category(sex);
+    rec[kCountryA] = Value::Category(country);
+    rec[kHours] = Value::Numeric(hours);
+    rec[kIncome] = Value::Category(income);
+    table.AppendUnchecked(std::move(rec));
+  }
+  return table;
+}
+
+}  // namespace hprl::adult

@@ -1,0 +1,71 @@
+#ifndef HPRL_ANON_ANONYMIZED_TABLE_H_
+#define HPRL_ANON_ANONYMIZED_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linkage/slack.h"
+
+namespace hprl {
+
+/// One anonymized equivalence class: a generalization sequence and the rows
+/// released under it.
+struct AnonymizedGroup {
+  GenSequence seq;
+  std::vector<int64_t> rows;
+
+  /// Group cardinality for *published* releases that carry no row ids
+  /// (release_io with include_rows = false); -1 when rows are present.
+  int64_t published_size = -1;
+
+  /// Rows in the group whether or not the ids themselves are available.
+  int64_t size() const {
+    return rows.empty() && published_size >= 0
+               ? published_size
+               : static_cast<int64_t>(rows.size());
+  }
+
+  /// True for DataFly's suppression group (fully generalized outliers); it is
+  /// exempt from the k-anonymity group-size check, mirroring suppression in
+  /// the original algorithm (which deletes these rows outright).
+  bool is_suppression_group = false;
+};
+
+/// The released, anonymized view of a table: a partition of its rows into
+/// groups sharing a generalization sequence over the quasi-identifiers.
+/// This is the only information the blocking step may use (paper §IV).
+struct AnonymizedTable {
+  /// Original-table column index per sequence position.
+  std::vector<int> qid_attrs;
+
+  std::vector<AnonymizedGroup> groups;
+
+  int64_t num_rows = 0;
+
+  /// Rows DataFly suppressed (they are kept, fully generalized, in their own
+  /// root group so linkage semantics stay well-defined). 0 for other methods.
+  int64_t suppressed = 0;
+
+  int64_t NumSequences() const { return static_cast<int64_t>(groups.size()); }
+
+  /// Smallest released group, ignoring the suppression group.
+  int64_t MinGroupSize() const {
+    int64_t m = num_rows;
+    bool any = false;
+    for (const auto& g : groups) {
+      if (g.is_suppression_group) continue;
+      m = std::min<int64_t>(m, g.size());
+      any = true;
+    }
+    return any ? m : 0;
+  }
+
+  /// k-anonymity check over the released groups.
+  bool IsKAnonymous(int64_t k) const {
+    return !groups.empty() && MinGroupSize() >= k;
+  }
+};
+
+}  // namespace hprl
+
+#endif  // HPRL_ANON_ANONYMIZED_TABLE_H_

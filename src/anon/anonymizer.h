@@ -1,0 +1,76 @@
+#ifndef HPRL_ANON_ANONYMIZER_H_
+#define HPRL_ANON_ANONYMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anon/anonymized_table.h"
+#include "common/result.h"
+#include "data/table.h"
+#include "hierarchy/vgh.h"
+
+namespace hprl {
+
+/// Parameters shared by every anonymization algorithm.
+struct AnonymizerConfig {
+  /// Anonymity requirement: every released group must have >= k rows.
+  int64_t k = 32;
+
+  /// Quasi-identifier columns and their hierarchies (parallel vectors).
+  std::vector<int> qid_attrs;
+  std::vector<VghPtr> hierarchies;
+
+  /// Class column for TDS's information-gain metric (Adult: `income`).
+  /// Required by MakeTdsAnonymizer, ignored by the other methods.
+  int class_attr = -1;
+
+  /// When true, numeric VGH leaves may specialize one step further into the
+  /// exact values present in the data (so k=1 releases the original table,
+  /// matching the paper's §III extreme case (1)).
+  bool numeric_exact_leaves = true;
+
+  /// Optional l-diversity requirement (Machanavajjhala et al., the paper's
+  /// §VII extension [10]): every released group must contain at least
+  /// `l_diversity` distinct values of the categorical `sensitive_attr`.
+  /// l_diversity <= 1 disables the constraint. Currently enforced by
+  /// MaxEntropy (specializations that would break it are invalid).
+  int64_t l_diversity = 1;
+  int sensitive_attr = -1;
+};
+
+/// Interface of all anonymizers. Implementations are deterministic pure
+/// functions of (config, table).
+class Anonymizer {
+ public:
+  virtual ~Anonymizer() = default;
+  virtual std::string name() const = 0;
+  virtual Result<AnonymizedTable> Anonymize(const Table& table) const = 0;
+};
+
+/// The paper's §VI-A contribution: top-down, per-partition specialization
+/// choosing the maximum-entropy attribute, maximizing the number of distinct
+/// generalization sequences (and thus blocking efficiency).
+std::unique_ptr<Anonymizer> MakeMaxEntropyAnonymizer(AnonymizerConfig config);
+
+/// Fung et al.'s Top-Down Specialization: single global cut, specializations
+/// must be valid *and beneficial* (information gain > 0 w.r.t. class_attr);
+/// numeric attributes split on-the-fly at max-gain points.
+std::unique_ptr<Anonymizer> MakeTdsAnonymizer(AnonymizerConfig config);
+
+/// Sweeney's DataFly: bottom-up full-domain generalization of the attribute
+/// with the most distinct values, suppressing up to k outlier rows.
+std::unique_ptr<Anonymizer> MakeDataflyAnonymizer(AnonymizerConfig config);
+
+/// LeFevre et al.'s Mondrian (strict multidimensional recoding), included as
+/// an extension/ablation; boxes need not align with hierarchy nodes.
+std::unique_ptr<Anonymizer> MakeMondrianAnonymizer(AnonymizerConfig config);
+
+/// LeFevre et al.'s Incognito (full-domain lattice search, simplified):
+/// enumerates per-attribute level vectors, keeps the minimal k-anonymous
+/// ones, and releases the one with the lowest discernibility cost.
+std::unique_ptr<Anonymizer> MakeIncognitoAnonymizer(AnonymizerConfig config);
+
+}  // namespace hprl
+
+#endif  // HPRL_ANON_ANONYMIZER_H_

@@ -1,0 +1,243 @@
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "anon/anonymizer.h"
+#include "anon/qid_data.h"
+#include "common/math_util.h"
+
+namespace hprl {
+
+namespace {
+
+/// A work-list partition: rows plus the current generalization state.
+/// For hierarchy QIDs, node is the VGH node id (-1 once numeric-exact).
+/// For text QIDs (prefix generalization, paper §VIII), node is the revealed
+/// prefix length (-1 once fully revealed).
+struct Part {
+  std::vector<int64_t> rows;
+  std::vector<int> node;
+  GenSequence seq;
+};
+
+std::string_view PrefixOf(const std::string& s, int len) {
+  return std::string_view(s).substr(0, static_cast<size_t>(len));
+}
+
+class MaxEntropyAnonymizer : public Anonymizer {
+ public:
+  explicit MaxEntropyAnonymizer(AnonymizerConfig config)
+      : config_(std::move(config)) {}
+
+  std::string name() const override { return "MaxEntropy"; }
+
+  Result<AnonymizedTable> Anonymize(const Table& table) const override {
+    auto qd_or = QidData::Build(table, config_);
+    if (!qd_or.ok()) return qd_or.status();
+    const QidData& qd = *qd_or;
+    const int64_t k = config_.k;
+    const int q_count = qd.num_qids;
+
+    AnonymizedTable out;
+    out.qid_attrs = config_.qid_attrs;
+    out.num_rows = qd.num_rows;
+
+    Part root;
+    root.rows.resize(qd.num_rows);
+    for (int64_t i = 0; i < qd.num_rows; ++i) root.rows[i] = i;
+    root.node.assign(q_count, Vgh::kRoot);
+    root.seq.reserve(q_count);
+    for (int q = 0; q < q_count; ++q) {
+      if (qd.type[q] == AttrType::kText) {
+        root.node[q] = 0;  // zero-length prefix == ANY
+        root.seq.push_back(GenValue::TextPrefix("", false));
+      } else {
+        root.seq.push_back(qd.vgh[q]->Gen(Vgh::kRoot));
+      }
+    }
+
+    const bool ldiv = config_.l_diversity > 1;
+    const int64_t l = config_.l_diversity;
+
+    std::vector<Part> stack;
+    stack.push_back(std::move(root));
+    while (!stack.empty()) {
+      Part part = std::move(stack.back());
+      stack.pop_back();
+
+      // Evaluate every specialization candidate; keep the valid one with
+      // maximum entropy (paper §VI-A: every specialization is beneficial,
+      // validity is the k-anonymity requirement on the resulting groups).
+      int best_q = -1;
+      bool best_exact = false;
+      double best_entropy = -1.0;
+
+      for (int q = 0; q < q_count; ++q) {
+        int node = part.node[q];
+        if (node < 0) continue;  // already fully specific
+        if (qd.type[q] == AttrType::kText) {
+          // Split by one more prefix character.
+          std::map<std::string_view, int64_t> by_prefix;
+          std::map<std::string_view, std::set<int32_t>> sens;
+          for (int64_t row : part.rows) {
+            std::string_view p = PrefixOf(qd.text[q][row], node + 1);
+            ++by_prefix[p];
+            if (ldiv) sens[p].insert(qd.sensitive[row]);
+          }
+          bool valid = true;
+          std::vector<int64_t> counts;
+          counts.reserve(by_prefix.size());
+          for (const auto& [p, c] : by_prefix) {
+            if (c < k) valid = false;
+            if (ldiv && static_cast<int64_t>(sens[p].size()) < l) valid = false;
+            counts.push_back(c);
+          }
+          if (!valid) continue;
+          double h = ShannonEntropy(counts);
+          if (h > best_entropy) {
+            best_entropy = h;
+            best_q = q;
+            best_exact = false;
+          }
+          continue;
+        }
+        const Vgh& vgh = *qd.vgh[q];
+        bool exact_split = false;
+        if (vgh.IsLeaf(node)) {
+          if (qd.type[q] != AttrType::kNumeric ||
+              !config_.numeric_exact_leaves) {
+            continue;
+          }
+          exact_split = true;  // specialize the leaf interval to raw values
+        }
+
+        // Count the child groups (and their sensitive-value diversity when
+        // the l-diversity constraint is active).
+        std::vector<int64_t> counts;
+        std::vector<std::set<int32_t>> child_sens;
+        if (exact_split) {
+          std::map<double, int64_t> by_value;
+          std::map<double, std::set<int32_t>> sens;
+          for (int64_t row : part.rows) {
+            double v = qd.value[q][row];
+            ++by_value[v];
+            if (ldiv) sens[v].insert(qd.sensitive[row]);
+          }
+          counts.reserve(by_value.size());
+          for (const auto& [v, c] : by_value) {
+            counts.push_back(c);
+            if (ldiv) child_sens.push_back(std::move(sens[v]));
+          }
+        } else {
+          const auto& children = vgh.node(node).children;
+          counts.assign(children.size(), 0);
+          if (ldiv) child_sens.assign(children.size(), {});
+          for (int64_t row : part.rows) {
+            int32_t li = qd.leaf[q][row];
+            for (size_t ci = 0; ci < children.size(); ++ci) {
+              const Vgh::Node& cn = vgh.node(children[ci]);
+              if (li >= cn.leaf_begin && li < cn.leaf_end) {
+                ++counts[ci];
+                if (ldiv) child_sens[ci].insert(qd.sensitive[row]);
+                break;
+              }
+            }
+          }
+        }
+        bool valid = true;
+        for (size_t ci = 0; ci < counts.size(); ++ci) {
+          if (counts[ci] > 0 && counts[ci] < k) {
+            valid = false;
+            break;
+          }
+          if (ldiv && counts[ci] > 0 &&
+              static_cast<int64_t>(child_sens[ci].size()) < l) {
+            valid = false;
+            break;
+          }
+        }
+        if (!valid) continue;
+        double h = ShannonEntropy(counts);
+        if (h > best_entropy) {
+          best_entropy = h;
+          best_q = q;
+          best_exact = exact_split;
+        }
+      }
+
+      if (best_q < 0) {
+        // No valid specialization remains: release the partition.
+        AnonymizedGroup g;
+        g.seq = std::move(part.seq);
+        g.rows = std::move(part.rows);
+        out.groups.push_back(std::move(g));
+        continue;
+      }
+
+      // Apply the winning specialization.
+      if (qd.type[best_q] == AttrType::kText) {
+        int plen = part.node[best_q];
+        std::map<std::string_view, std::vector<int64_t>> by_prefix;
+        for (int64_t row : part.rows) {
+          by_prefix[PrefixOf(qd.text[best_q][row], plen + 1)].push_back(row);
+        }
+        for (auto& [prefix, rows] : by_prefix) {
+          bool exact = true;
+          for (int64_t row : rows) {
+            if (qd.text[best_q][row].size() != prefix.size()) {
+              exact = false;
+              break;
+            }
+          }
+          Part child = part;
+          child.rows = std::move(rows);
+          child.node[best_q] = exact ? -1 : plen + 1;
+          child.seq[best_q] = GenValue::TextPrefix(std::string(prefix), exact);
+          stack.push_back(std::move(child));
+        }
+        continue;
+      }
+      const Vgh& vgh = *qd.vgh[best_q];
+      if (best_exact) {
+        std::map<double, std::vector<int64_t>> by_value;
+        for (int64_t row : part.rows) {
+          by_value[qd.value[best_q][row]].push_back(row);
+        }
+        for (auto& [v, rows] : by_value) {
+          Part child = part;
+          child.rows = std::move(rows);
+          child.node[best_q] = -1;
+          child.seq[best_q] = GenValue::NumericExact(v);
+          stack.push_back(std::move(child));
+        }
+      } else {
+        std::unordered_map<int, std::vector<int64_t>> by_child;
+        for (int64_t row : part.rows) {
+          by_child[qd.ChildToward(best_q, part.node[best_q], row)].push_back(
+              row);
+        }
+        for (auto& [child_node, rows] : by_child) {
+          Part child = part;
+          child.rows = std::move(rows);
+          child.node[best_q] = child_node;
+          child.seq[best_q] = vgh.Gen(child_node);
+          stack.push_back(std::move(child));
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  AnonymizerConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<Anonymizer> MakeMaxEntropyAnonymizer(AnonymizerConfig config) {
+  return std::make_unique<MaxEntropyAnonymizer>(std::move(config));
+}
+
+}  // namespace hprl

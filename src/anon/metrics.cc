@@ -1,0 +1,92 @@
+#include "anon/metrics.h"
+
+#include <unordered_set>
+
+namespace hprl {
+
+int64_t DistinctSequences(const AnonymizedTable& anon) {
+  return static_cast<int64_t>(anon.groups.size());
+}
+
+double AverageGroupSize(const AnonymizedTable& anon) {
+  if (anon.groups.empty()) return 0;
+  return static_cast<double>(anon.num_rows) /
+         static_cast<double>(anon.groups.size());
+}
+
+int64_t DiscernibilityCost(const AnonymizedTable& anon) {
+  int64_t cost = 0;
+  for (const auto& g : anon.groups) {
+    int64_t size = static_cast<int64_t>(g.rows.size());
+    if (g.is_suppression_group) {
+      cost += size * anon.num_rows;
+    } else {
+      cost += size * size;
+    }
+  }
+  return cost;
+}
+
+int64_t LDiversity(const Table& table, const AnonymizedTable& anon,
+                   int sensitive_attr) {
+  int64_t l = anon.num_rows;
+  bool any = false;
+  for (const auto& g : anon.groups) {
+    if (g.rows.empty()) continue;
+    std::unordered_set<int32_t> distinct;
+    for (int64_t row : g.rows) {
+      distinct.insert(table.at(row, sensitive_attr).category());
+    }
+    l = std::min<int64_t>(l, static_cast<int64_t>(distinct.size()));
+    any = true;
+  }
+  return any ? l : 0;
+}
+
+Result<double> AverageGeneralizationLoss(
+    const AnonymizedTable& anon, const std::vector<VghPtr>& hierarchies) {
+  if (hierarchies.size() != anon.qid_attrs.size()) {
+    return Status::InvalidArgument("hierarchies/qid_attrs size mismatch");
+  }
+  double loss_sum = 0;
+  int64_t cells = 0;
+  for (const auto& g : anon.groups) {
+    int64_t size = g.size();
+    if (size == 0) continue;
+    for (size_t q = 0; q < g.seq.size(); ++q) {
+      const GenValue& gv = g.seq[q];
+      double loss = 0;
+      switch (gv.type) {
+        case AttrType::kCategorical: {
+          if (hierarchies[q] == nullptr) {
+            return Status::InvalidArgument("categorical QID needs a VGH");
+          }
+          double domain = hierarchies[q]->num_leaves();
+          loss = domain > 1
+                     ? (static_cast<double>(gv.CategoryCount()) - 1) /
+                           (domain - 1)
+                     : 0;
+          break;
+        }
+        case AttrType::kNumeric: {
+          if (hierarchies[q] == nullptr) {
+            return Status::InvalidArgument("numeric QID needs a VGH");
+          }
+          double range = hierarchies[q]->RootRange();
+          loss = range > 0 ? (gv.num_hi - gv.num_lo) / range : 0;
+          break;
+        }
+        case AttrType::kText:
+          loss = gv.text_exact
+                     ? 0
+                     : 1.0 / (1.0 + static_cast<double>(gv.text_prefix.size()));
+          break;
+      }
+      loss_sum += loss * static_cast<double>(size);
+      cells += size;
+    }
+  }
+  return cells == 0 ? 0.0 : loss_sum / static_cast<double>(cells);
+}
+
+}  // namespace hprl

@@ -1,0 +1,44 @@
+#ifndef HPRL_ANON_METRICS_H_
+#define HPRL_ANON_METRICS_H_
+
+#include <cstdint>
+
+#include <vector>
+
+#include "anon/anonymized_table.h"
+#include "data/table.h"
+#include "hierarchy/vgh.h"
+
+namespace hprl {
+
+/// Number of distinct generalization sequences released (paper Fig. 2's
+/// y-axis). Groups always carry distinct sequences, so this is the group
+/// count; the suppression group counts once.
+int64_t DistinctSequences(const AnonymizedTable& anon);
+
+/// Mean released group size.
+double AverageGroupSize(const AnonymizedTable& anon);
+
+/// Discernibility metric: sum over groups of |G|^2 (suppressed rows cost
+/// |table| each, the usual convention).
+int64_t DiscernibilityCost(const AnonymizedTable& anon);
+
+/// l-diversity of a sensitive attribute: the minimum, over released groups,
+/// of the number of distinct sensitive values in the group (Machanavajjhala
+/// et al.; distinct-value variant).
+int64_t LDiversity(const Table& table, const AnonymizedTable& anon,
+                   int sensitive_attr);
+
+/// Average per-cell generalization loss in [0, 1] (a Prec-style information
+/// loss metric, Sweeney 2002): 0 when every released value is fully
+/// specific, 1 when everything is generalized to the root.
+///  - categorical: (leaves covered - 1) / (domain leaves - 1)
+///  - numeric: interval width / root range
+///  - text (no hierarchy; pass nullptr): 0 when exact, else 1/(1+|prefix|)
+/// `hierarchies` is parallel to anon.qid_attrs.
+Result<double> AverageGeneralizationLoss(const AnonymizedTable& anon,
+                                         const std::vector<VghPtr>& hierarchies);
+
+}  // namespace hprl
+
+#endif  // HPRL_ANON_METRICS_H_

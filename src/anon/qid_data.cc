@@ -1,0 +1,136 @@
+#include "anon/qid_data.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace hprl {
+
+Result<QidData> QidData::Build(const Table& table,
+                               const AnonymizerConfig& config) {
+  if (config.qid_attrs.empty()) {
+    return Status::InvalidArgument("no quasi-identifier attributes");
+  }
+  if (config.qid_attrs.size() != config.hierarchies.size()) {
+    return Status::InvalidArgument("qid_attrs/hierarchies size mismatch");
+  }
+  if (config.k < 1) return Status::InvalidArgument("k must be >= 1");
+
+  QidData qd;
+  qd.num_qids = static_cast<int>(config.qid_attrs.size());
+  qd.num_rows = table.num_rows();
+  qd.vgh = config.hierarchies;
+  qd.type.resize(qd.num_qids);
+  qd.leaf_node.assign(qd.num_qids, {});
+  qd.leaf.assign(qd.num_qids, {});
+  qd.value.assign(qd.num_qids, {});
+  qd.text.assign(qd.num_qids, {});
+
+  const Schema& schema = *table.schema();
+  for (int q = 0; q < qd.num_qids; ++q) {
+    int attr = config.qid_attrs[q];
+    if (attr < 0 || attr >= schema.num_attributes()) {
+      return Status::OutOfRange("qid attribute index out of range");
+    }
+    AttrType t = schema.attribute(attr).type;
+    if (t == AttrType::kText) {
+      // Text QIDs (the paper's §VIII extension) use prefix generalization
+      // and carry no hierarchy.
+      if (qd.vgh[q] != nullptr) {
+        return Status::InvalidArgument(
+            "text QIDs use prefix generalization, not a VGH: " +
+            schema.attribute(attr).name);
+      }
+      qd.type[q] = t;
+      qd.text[q].resize(qd.num_rows);
+      for (int64_t row = 0; row < qd.num_rows; ++row) {
+        const Value& v = table.at(row, attr);
+        if (v.is_null()) {
+          return Status::InvalidArgument("null text QID value");
+        }
+        qd.text[q][row] = v.text();
+      }
+      continue;
+    }
+    if (qd.vgh[q] == nullptr) {
+      return Status::InvalidArgument("missing hierarchy for QID " +
+                                     schema.attribute(attr).name);
+    }
+    bool vgh_is_numeric = qd.vgh[q]->kind() == Vgh::Kind::kNumeric;
+    if ((t == AttrType::kNumeric) != vgh_is_numeric) {
+      return Status::InvalidArgument("hierarchy kind mismatch for QID " +
+                                     schema.attribute(attr).name);
+    }
+    qd.type[q] = t;
+    qd.leaf_node[q].resize(qd.num_rows);
+    qd.leaf[q].resize(qd.num_rows);
+    if (t == AttrType::kNumeric) qd.value[q].resize(qd.num_rows);
+
+    const Vgh& vgh = *qd.vgh[q];
+    for (int64_t row = 0; row < qd.num_rows; ++row) {
+      const Value& v = table.at(row, attr);
+      if (v.is_null()) {
+        return Status::InvalidArgument(
+            StrFormat("null QID value at row %lld, attribute %s",
+                      static_cast<long long>(row),
+                      schema.attribute(attr).name.c_str()));
+      }
+      if (t == AttrType::kNumeric) {
+        auto leaf = vgh.LeafForNumeric(v.num());
+        if (!leaf.ok()) return leaf.status();
+        qd.leaf_node[q][row] = *leaf;
+        qd.leaf[q][row] = vgh.node(*leaf).leaf_begin;
+        qd.value[q][row] = v.num();
+      } else {
+        int32_t id = v.category();
+        if (id < 0 || id >= vgh.num_leaves()) {
+          return Status::OutOfRange("category id outside VGH leaves");
+        }
+        qd.leaf_node[q][row] = vgh.LeafForCategory(id);
+        qd.leaf[q][row] = id;
+      }
+    }
+  }
+
+  if (config.l_diversity > 1) {
+    if (config.sensitive_attr < 0 ||
+        config.sensitive_attr >= schema.num_attributes() ||
+        schema.attribute(config.sensitive_attr).type !=
+            AttrType::kCategorical) {
+      return Status::InvalidArgument(
+          "l-diversity needs a categorical sensitive_attr");
+    }
+    qd.sensitive.resize(qd.num_rows);
+    for (int64_t row = 0; row < qd.num_rows; ++row) {
+      const Value& v = table.at(row, config.sensitive_attr);
+      if (v.is_null()) return Status::InvalidArgument("null sensitive value");
+      qd.sensitive[row] = v.category();
+    }
+  }
+
+  if (config.class_attr >= 0) {
+    if (config.class_attr >= schema.num_attributes() ||
+        schema.attribute(config.class_attr).type != AttrType::kCategorical) {
+      return Status::InvalidArgument("class_attr must be categorical");
+    }
+    qd.class_label.resize(qd.num_rows);
+    for (int64_t row = 0; row < qd.num_rows; ++row) {
+      const Value& v = table.at(row, config.class_attr);
+      if (v.is_null()) return Status::InvalidArgument("null class label");
+      qd.class_label[row] = v.category();
+    }
+  }
+  return qd;
+}
+
+int QidData::ChildToward(int qid, int node, int64_t row) const {
+  const Vgh& vgh = *this->vgh[qid];
+  int32_t li = leaf[qid][row];
+  for (int c : vgh.node(node).children) {
+    const Vgh::Node& cn = vgh.node(c);
+    if (li >= cn.leaf_begin && li < cn.leaf_end) return c;
+  }
+  HPRL_CHECK(false && "row leaf not under node");
+  return -1;
+}
+
+}  // namespace hprl

@@ -1,0 +1,41 @@
+#ifndef HPRL_ANON_QID_DATA_H_
+#define HPRL_ANON_QID_DATA_H_
+
+#include <string>
+#include <vector>
+
+#include "anon/anonymizer.h"
+#include "common/result.h"
+#include "data/table.h"
+#include "hierarchy/vgh.h"
+
+namespace hprl {
+
+/// Precomputed per-row quasi-identifier encodings shared by the anonymizers:
+/// for every (qid, row), the VGH leaf node, its leaf index, and (numeric
+/// attributes) the raw value. Building this once turns all "which child of
+/// node n contains row x" queries into leaf-range lookups.
+struct QidData {
+  int num_qids = 0;
+  int64_t num_rows = 0;
+  std::vector<VghPtr> vgh;                   // per qid (null for text QIDs)
+  std::vector<AttrType> type;                // per qid
+  std::vector<std::vector<int>> leaf_node;   // [qid][row] VGH node id
+  std::vector<std::vector<int32_t>> leaf;    // [qid][row] DFS leaf index
+  std::vector<std::vector<double>> value;    // [qid][row] numeric value, else empty
+  std::vector<std::vector<std::string>> text;  // [qid][row] text value, else empty
+  std::vector<int32_t> class_label;          // [row] class id, empty if none
+  std::vector<int32_t> sensitive;            // [row] sensitive id, empty if none
+
+  /// Validates the config against the table and encodes all rows.
+  static Result<QidData> Build(const Table& table,
+                               const AnonymizerConfig& config);
+
+  /// Child of `node` (in qid's VGH) whose leaf range contains row's leaf.
+  /// Requires: node is a proper ancestor of the row's leaf.
+  int ChildToward(int qid, int node, int64_t row) const;
+};
+
+}  // namespace hprl
+
+#endif  // HPRL_ANON_QID_DATA_H_

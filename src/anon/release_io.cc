@@ -1,0 +1,189 @@
+#include "anon/release_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace hprl {
+
+namespace {
+
+const char kMagic[] = "hprl-release";
+constexpr int kVersion = 1;
+
+std::string HexEncode(const std::string& s) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() * 2);
+  for (unsigned char c : s) {
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xF]);
+  }
+  return out;
+}
+
+Result<std::string> HexDecode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("odd-length hex string");
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]);
+    int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return Status::InvalidArgument("bad hex digit");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatRelease(const AnonymizedTable& anon, bool include_rows) {
+  std::ostringstream out;
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "rows " << anon.num_rows << " suppressed " << anon.suppressed << '\n';
+  out << "qids";
+  for (int a : anon.qid_attrs) out << ' ' << a;
+  out << '\n';
+  for (const auto& g : anon.groups) {
+    out << "group " << g.size() << ' ' << (g.is_suppression_group ? 1 : 0);
+    if (include_rows) {
+      for (int64_t row : g.rows) out << ' ' << row;
+    }
+    out << '\n';
+    for (const GenValue& gv : g.seq) {
+      switch (gv.type) {
+        case AttrType::kCategorical:
+          out << "cat " << gv.cat_lo << ' ' << gv.cat_hi << '\n';
+          break;
+        case AttrType::kNumeric:
+          out << "num " << StrFormat("%.17g %.17g", gv.num_lo, gv.num_hi)
+              << '\n';
+          break;
+        case AttrType::kText:
+          out << "text " << (gv.text_exact ? 1 : 0) << ' '
+              << HexEncode(gv.text_prefix) << '\n';
+          break;
+      }
+    }
+  }
+  return out.str();
+}
+
+Result<AnonymizedTable> ParseRelease(const std::string& text) {
+  std::istringstream in(text);
+  std::string word;
+  int version = 0;
+  if (!(in >> word >> version) || word != kMagic || version != kVersion) {
+    return Status::InvalidArgument("not an hprl release (bad header)");
+  }
+  AnonymizedTable anon;
+  if (!(in >> word >> anon.num_rows) || word != "rows") {
+    return Status::InvalidArgument("missing rows header");
+  }
+  if (!(in >> word >> anon.suppressed) || word != "suppressed") {
+    return Status::InvalidArgument("missing suppressed count");
+  }
+  if (!(in >> word) || word != "qids") {
+    return Status::InvalidArgument("missing qids line");
+  }
+  {
+    std::string rest;
+    std::getline(in, rest);
+    for (const auto& tok : Split(std::string(Trim(rest)), ' ')) {
+      if (tok.empty()) continue;
+      auto v = ParseInt(tok);
+      if (!v.ok()) return v.status();
+      anon.qid_attrs.push_back(static_cast<int>(*v));
+    }
+  }
+  const size_t num_qids = anon.qid_attrs.size();
+
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    std::istringstream ls{std::string(trimmed)};
+    std::string tag;
+    ls >> tag;
+    if (tag != "group") {
+      return Status::InvalidArgument("expected group line, got: " + line);
+    }
+    AnonymizedGroup g;
+    int64_t size = 0;
+    int suppression = 0;
+    if (!(ls >> size >> suppression)) {
+      return Status::InvalidArgument("malformed group line: " + line);
+    }
+    g.is_suppression_group = suppression != 0;
+    int64_t row;
+    while (ls >> row) g.rows.push_back(row);
+    if (g.rows.empty()) {
+      g.published_size = size;
+    } else if (static_cast<int64_t>(g.rows.size()) != size) {
+      return Status::InvalidArgument("group size/rows mismatch");
+    }
+    for (size_t q = 0; q < num_qids; ++q) {
+      if (!std::getline(in, line)) {
+        return Status::InvalidArgument("truncated group value list");
+      }
+      std::istringstream vs{std::string(Trim(line))};
+      std::string kind;
+      vs >> kind;
+      if (kind == "cat") {
+        int32_t lo, hi;
+        if (!(vs >> lo >> hi)) {
+          return Status::InvalidArgument("malformed cat value");
+        }
+        g.seq.push_back(GenValue::CategoryRange(lo, hi));
+      } else if (kind == "num") {
+        double lo, hi;
+        if (!(vs >> lo >> hi)) {
+          return Status::InvalidArgument("malformed num value");
+        }
+        g.seq.push_back(GenValue::NumericInterval(lo, hi));
+      } else if (kind == "text") {
+        int exact;
+        std::string hex;
+        if (!(vs >> exact)) {
+          return Status::InvalidArgument("malformed text value");
+        }
+        vs >> hex;  // may be empty (zero-length prefix)
+        auto prefix = HexDecode(hex);
+        if (!prefix.ok()) return prefix.status();
+        g.seq.push_back(GenValue::TextPrefix(std::move(prefix).value(),
+                                             exact != 0));
+      } else {
+        return Status::InvalidArgument("unknown value kind: " + kind);
+      }
+    }
+    anon.groups.push_back(std::move(g));
+  }
+  return anon;
+}
+
+Status WriteRelease(const AnonymizedTable& anon, bool include_rows,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IOError("cannot open for write: " + path);
+  out << FormatRelease(anon, include_rows);
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<AnonymizedTable> LoadRelease(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open for read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseRelease(buf.str());
+}
+
+}  // namespace hprl

@@ -1,0 +1,36 @@
+#ifndef HPRL_ANON_RELEASE_IO_H_
+#define HPRL_ANON_RELEASE_IO_H_
+
+#include <string>
+
+#include "anon/anonymized_table.h"
+#include "common/result.h"
+
+namespace hprl {
+
+/// Text serialization of an anonymized release. Two uses:
+///  - `include_rows = false`: the *published* form — generalization
+///    sequences and group sizes only, which is exactly what the other
+///    parties may see (row membership stays with the data holder);
+///  - `include_rows = true`: the holder's own persistence format, lossless.
+///
+/// Format (line oriented):
+///   hprl-release 1
+///   rows <num_rows> suppressed <count>
+///   qids <attr0> <attr1> ...
+///   group <size> <suppression 0|1> [<row ids...>]
+///   cat <lo> <hi> | num <lo> <hi> | text <exact 0|1> <hex prefix>
+/// One `group` line followed by one value line per QID, repeated.
+std::string FormatRelease(const AnonymizedTable& anon, bool include_rows);
+
+/// Parses FormatRelease output. Releases without rows come back with empty
+/// group row lists; sizes survive in AnonymizedGroup::published_size.
+Result<AnonymizedTable> ParseRelease(const std::string& text);
+
+Status WriteRelease(const AnonymizedTable& anon, bool include_rows,
+                    const std::string& path);
+Result<AnonymizedTable> LoadRelease(const std::string& path);
+
+}  // namespace hprl
+
+#endif  // HPRL_ANON_RELEASE_IO_H_

@@ -1,0 +1,277 @@
+#include "cli/runner.h"
+
+#include <fstream>
+
+#include "anon/release_io.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/experiment.h"
+#include "data/csv.h"
+#include "hierarchy/vgh_parser.h"
+#include "linkage/ground_truth.h"
+#include "linkage/oracle.h"
+#include "smc/smc_oracle.h"
+
+namespace hprl::cli {
+
+namespace {
+
+/// Everything derived from the spec that both input files share.
+struct Plan {
+  SchemaPtr schema;                 // QID attrs in spec order (+class/+sensitive)
+  std::vector<VghPtr> hierarchies;  // per QID (nullptr for text)
+  MatchRule rule;
+  AnonymizerConfig anon_cfg;
+};
+
+Result<Plan> BuildPlan(const LinkageSpec& spec, const RawCsv& raw_r,
+                       const RawCsv& raw_s) {
+  Plan plan;
+  auto schema = std::make_shared<Schema>();
+
+  for (const AttrSpec& attr : spec.attrs) {
+    switch (attr.type) {
+      case AttrType::kNumeric: {
+        auto vgh = attr.vgh_file.empty()
+                       ? MakeEquiWidthVgh(attr.lo, attr.leaf_width,
+                                          attr.fanouts)
+                       : LoadNumericVgh(attr.vgh_file);
+        if (!vgh.ok()) return vgh.status();
+        plan.hierarchies.push_back(
+            std::make_shared<const Vgh>(std::move(vgh).value()));
+        schema->AddNumeric(attr.name);
+        break;
+      }
+      case AttrType::kCategorical: {
+        auto vgh = LoadCategoricalVgh(attr.vgh_file);
+        if (!vgh.ok()) return vgh.status();
+        auto shared = std::make_shared<const Vgh>(std::move(vgh).value());
+        schema->AddCategorical(attr.name, shared->MakeDomain());
+        plan.hierarchies.push_back(shared);
+        break;
+      }
+      case AttrType::kText:
+        schema->AddText(attr.name);
+        plan.hierarchies.push_back(nullptr);
+        break;
+    }
+  }
+
+  // Extra (non-QID) columns named by the spec: collect their categories from
+  // both inputs so ids are consistent.
+  auto add_extra = [&](const std::string& name) -> Status {
+    if (name.empty() || schema->FindIndex(name) >= 0) return Status::OK();
+    auto domain = std::make_shared<CategoryDomain>();
+    for (const RawCsv* raw : {&raw_r, &raw_s}) {
+      int col = raw->FindColumn(name);
+      if (col < 0) {
+        return Status::NotFound("column missing from CSV: " + name);
+      }
+      for (const auto& row : raw->rows) domain->GetOrAdd(row[col]);
+    }
+    schema->AddCategorical(name, domain);
+    return Status::OK();
+  };
+  HPRL_RETURN_IF_ERROR(add_extra(spec.class_attr));
+  HPRL_RETURN_IF_ERROR(add_extra(spec.sensitive_attr));
+  plan.schema = schema;
+
+  // Match rule over the QIDs.
+  for (size_t i = 0; i < spec.attrs.size(); ++i) {
+    AttrRule r;
+    r.attr_index = static_cast<int>(i);
+    r.type = spec.attrs[i].type;
+    r.theta = spec.attrs[i].theta;
+    r.name = spec.attrs[i].name;
+    if (r.type == AttrType::kNumeric) {
+      r.norm = plan.hierarchies[i]->RootRange();
+    }
+    plan.rule.attrs.push_back(std::move(r));
+  }
+
+  // Anonymizer configuration.
+  plan.anon_cfg.k = spec.k;
+  for (size_t i = 0; i < spec.attrs.size(); ++i) {
+    plan.anon_cfg.qid_attrs.push_back(static_cast<int>(i));
+    plan.anon_cfg.hierarchies.push_back(plan.hierarchies[i]);
+  }
+  if (!spec.class_attr.empty()) {
+    plan.anon_cfg.class_attr = plan.schema->FindIndex(spec.class_attr);
+  }
+  if (!spec.sensitive_attr.empty()) {
+    plan.anon_cfg.sensitive_attr = plan.schema->FindIndex(spec.sensitive_attr);
+    plan.anon_cfg.l_diversity = spec.l_diversity;
+  }
+  return plan;
+}
+
+/// Converts one raw CSV into a typed table under the plan's schema, locating
+/// columns by header name.
+Result<Table> Typed(const RawCsv& raw, const Plan& plan,
+                    const std::string& which) {
+  const Schema& schema = *plan.schema;
+  std::vector<int> col(schema.num_attributes());
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    col[i] = raw.FindColumn(schema.attribute(i).name);
+    if (col[i] < 0) {
+      return Status::NotFound(which + ": column missing from CSV: " +
+                              schema.attribute(i).name);
+    }
+  }
+  Table table(plan.schema);
+  table.Reserve(static_cast<int64_t>(raw.rows.size()));
+  for (size_t r = 0; r < raw.rows.size(); ++r) {
+    Record rec(schema.num_attributes());
+    for (int i = 0; i < schema.num_attributes(); ++i) {
+      const std::string& f = raw.rows[r][col[i]];
+      const AttributeDef& attr = schema.attribute(i);
+      switch (attr.type) {
+        case AttrType::kNumeric: {
+          auto v = ParseDouble(f);
+          if (!v.ok()) {
+            return Status::InvalidArgument(
+                StrFormat("%s row %zu: bad numeric '%s' for %s", which.c_str(),
+                          r + 1, f.c_str(), attr.name.c_str()));
+          }
+          rec[i] = Value::Numeric(*v);
+          break;
+        }
+        case AttrType::kCategorical: {
+          int32_t id = attr.domain->Find(f);
+          if (id < 0) {
+            return Status::NotFound(
+                StrFormat("%s row %zu: '%s' is not a leaf of %s's hierarchy",
+                          which.c_str(), r + 1, f.c_str(),
+                          attr.name.c_str()));
+          }
+          rec[i] = Value::Category(id);
+          break;
+        }
+        case AttrType::kText:
+          rec[i] = Value::Text(f);
+          break;
+      }
+    }
+    table.AppendUnchecked(std::move(rec));
+  }
+  return table;
+}
+
+Status WriteLinksCsv(const std::string& path, const Table& r, const Table& s,
+                     const HybridResult& result) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IOError("cannot open for write: " + path);
+  out << "row_r,row_s\n";
+  for (const auto& [rr, sr] : result.matched_row_pairs) {
+    out << rr << ',' << sr << '\n';
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string RunnerReport::ToString() const {
+  std::string out;
+  out += StrFormat("inputs: R=%lld rows, S=%lld rows (%lld pairs)\n",
+                   static_cast<long long>(rows_r),
+                   static_cast<long long>(rows_s),
+                   static_cast<long long>(result.total_pairs));
+  out += StrFormat("releases: %lld / %lld sequences (%.3fs to anonymize)\n",
+                   static_cast<long long>(sequences_r),
+                   static_cast<long long>(sequences_s), anon_seconds);
+  out += StrFormat(
+      "blocking: %.2f%% decided (M=%lld pairs, N=%lld pairs, U=%lld pairs)\n",
+      100.0 * result.blocking_efficiency,
+      static_cast<long long>(result.blocked_match_pairs),
+      static_cast<long long>(result.blocked_mismatch_pairs),
+      static_cast<long long>(result.unknown_pairs));
+  out += StrFormat("SMC step (%s oracle): %lld invocations of %lld budgeted\n",
+                   oracle.c_str(),
+                   static_cast<long long>(result.smc_processed),
+                   static_cast<long long>(result.allowance_pairs));
+  out += StrFormat("links reported: %lld (precision 100%% by construction)\n",
+                   static_cast<long long>(result.reported_matches));
+  if (result.true_matches >= 0) {
+    out += StrFormat("evaluation: recall %.2f%% of %lld true matches\n",
+                     100.0 * result.recall,
+                     static_cast<long long>(result.true_matches));
+  }
+  return out;
+}
+
+Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
+                                         const std::string& csv_r,
+                                         const std::string& csv_s,
+                                         const RunnerOptions& options) {
+  auto raw_r = ReadCsvRaw(csv_r);
+  if (!raw_r.ok()) return raw_r.status();
+  auto raw_s = ReadCsvRaw(csv_s);
+  if (!raw_s.ok()) return raw_s.status();
+  auto plan = BuildPlan(spec, *raw_r, *raw_s);
+  if (!plan.ok()) return plan.status();
+
+  auto table_r = Typed(*raw_r, *plan, "R");
+  if (!table_r.ok()) return table_r.status();
+  auto table_s = Typed(*raw_s, *plan, "S");
+  if (!table_s.ok()) return table_s.status();
+
+  auto anonymizer = MakeAnonymizerByName(spec.anonymizer, plan->anon_cfg);
+  if (!anonymizer.ok()) return anonymizer.status();
+
+  RunnerReport report;
+  report.rows_r = table_r->num_rows();
+  report.rows_s = table_s->num_rows();
+
+  WallTimer anon_timer;
+  auto anon_r = (*anonymizer)->Anonymize(*table_r);
+  if (!anon_r.ok()) return anon_r.status();
+  auto anon_s = (*anonymizer)->Anonymize(*table_s);
+  if (!anon_s.ok()) return anon_s.status();
+  report.anon_seconds = anon_timer.ElapsedSeconds();
+  report.sequences_r = anon_r->NumSequences();
+  report.sequences_s = anon_s->NumSequences();
+
+  HybridConfig hc;
+  hc.rule = plan->rule;
+  hc.smc_allowance_fraction = spec.allowance;
+  hc.heuristic = spec.heuristic;
+  hc.collect_matches = !options.links_out.empty();
+  hc.blocking_threads = spec.threads;
+
+  Result<HybridResult> result = Status::Internal("unset");
+  if (spec.key_bits > 0) {
+    smc::SmcConfig smc_cfg;
+    smc_cfg.key_bits = spec.key_bits;
+    smc::SmcMatchOracle oracle(smc_cfg, plan->rule);
+    HPRL_RETURN_IF_ERROR(oracle.Init());
+    report.oracle = StrFormat("paillier-%d", spec.key_bits);
+    result = RunHybridLinkage(*table_r, *table_s, *anon_r, *anon_s, hc, oracle);
+  } else {
+    CountingPlaintextOracle oracle(plan->rule);
+    report.oracle = "plaintext";
+    result = RunHybridLinkage(*table_r, *table_s, *anon_r, *anon_s, hc, oracle);
+  }
+  if (!result.ok()) return result.status();
+  report.result = std::move(result).value();
+
+  if (options.evaluate) {
+    HPRL_RETURN_IF_ERROR(
+        EvaluateRecall(*table_r, *table_s, plan->rule, &report.result));
+  }
+  if (!options.links_out.empty()) {
+    HPRL_RETURN_IF_ERROR(
+        WriteLinksCsv(options.links_out, *table_r, *table_s, report.result));
+  }
+  if (!options.release_r_out.empty()) {
+    HPRL_RETURN_IF_ERROR(WriteRelease(*anon_r, !options.publish_releases,
+                                      options.release_r_out));
+  }
+  if (!options.release_s_out.empty()) {
+    HPRL_RETURN_IF_ERROR(WriteRelease(*anon_s, !options.publish_releases,
+                                      options.release_s_out));
+  }
+  return report;
+}
+
+}  // namespace hprl::cli

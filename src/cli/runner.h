@@ -1,0 +1,45 @@
+#ifndef HPRL_CLI_RUNNER_H_
+#define HPRL_CLI_RUNNER_H_
+
+#include <string>
+
+#include "cli/spec.h"
+#include "common/result.h"
+#include "core/hybrid.h"
+
+namespace hprl::cli {
+
+/// What the tool should do besides printing the report.
+struct RunnerOptions {
+  std::string links_out;      ///< CSV of matched row pairs ("" = skip)
+  std::string release_r_out;  ///< anonymized release of R ("" = skip)
+  std::string release_s_out;  ///< anonymized release of S ("" = skip)
+  bool publish_releases = true;  ///< strip row ids from written releases
+  bool evaluate = false;      ///< compute ground-truth recall (needs cleartext)
+};
+
+/// Outcome of a file-driven run.
+struct RunnerReport {
+  HybridResult result;
+  int64_t rows_r = 0;
+  int64_t rows_s = 0;
+  int64_t sequences_r = 0;
+  int64_t sequences_s = 0;
+  double anon_seconds = 0;
+  std::string oracle;  // "plaintext" or "paillier-<bits>"
+
+  /// Human-readable multi-line summary.
+  std::string ToString() const;
+};
+
+/// Runs the full hybrid private record linkage described by `spec` over two
+/// CSV files (columns located by header name; extra columns ignored), and
+/// performs the side outputs requested in `options`.
+Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
+                                         const std::string& csv_r,
+                                         const std::string& csv_s,
+                                         const RunnerOptions& options);
+
+}  // namespace hprl::cli
+
+#endif  // HPRL_CLI_RUNNER_H_

@@ -1,0 +1,160 @@
+#include "cli/spec.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace hprl::cli {
+
+namespace {
+
+Result<AttrSpec> ParseAttrLine(const std::vector<std::string>& tok,
+                               const std::string& base_dir, int line_no) {
+  auto err = [&](const std::string& msg) {
+    return Status::InvalidArgument(
+        StrFormat("spec line %d: %s", line_no, msg.c_str()));
+  };
+  if (tok.size() < 3) return err("attr needs a name and a type");
+  AttrSpec attr;
+  attr.name = tok[1];
+  size_t i = 3;
+  if (tok[2] == "numeric") {
+    attr.type = AttrType::kNumeric;
+    if (i < tok.size() && tok[i] == "vghfile") {
+      if (i + 1 >= tok.size()) return err("vghfile needs a path");
+      std::filesystem::path p(tok[i + 1]);
+      attr.vgh_file = p.is_absolute()
+                          ? p.string()
+                          : (std::filesystem::path(base_dir) / p).string();
+      i += 2;
+    } else if (i + 3 < tok.size() && tok[i] == "equiwidth") {
+      auto lo = ParseDouble(tok[i + 1]);
+      auto width = ParseDouble(tok[i + 2]);
+      if (!lo.ok() || !width.ok()) return err("bad equiwidth bounds");
+      attr.lo = *lo;
+      attr.leaf_width = *width;
+      for (const auto& f : Split(tok[i + 3], ',')) {
+        auto v = ParseInt(f);
+        if (!v.ok() || *v < 1) return err("bad fanout list");
+        attr.fanouts.push_back(static_cast<int>(*v));
+      }
+      i += 4;
+    } else {
+      return err(
+          "numeric attr needs: equiwidth <lo> <leaf_width> <fanouts> "
+          "or vghfile <path>");
+    }
+  } else if (tok[2] == "categorical") {
+    attr.type = AttrType::kCategorical;
+    if (i + 1 >= tok.size() || tok[i] != "vghfile") {
+      return err("categorical attr needs: vghfile <path>");
+    }
+    std::filesystem::path p(tok[i + 1]);
+    attr.vgh_file =
+        p.is_absolute() ? p.string() : (std::filesystem::path(base_dir) / p)
+                                           .string();
+    i += 2;
+  } else if (tok[2] == "text") {
+    attr.type = AttrType::kText;
+  } else {
+    return err("unknown attr type: " + tok[2]);
+  }
+  if (i + 1 < tok.size() && tok[i] == "theta") {
+    auto t = ParseDouble(tok[i + 1]);
+    if (!t.ok() || *t < 0) return err("bad theta");
+    attr.theta = *t;
+    i += 2;
+  }
+  if (i != tok.size()) return err("trailing tokens on attr line");
+  return attr;
+}
+
+}  // namespace
+
+Result<LinkageSpec> ParseLinkageSpec(const std::string& text,
+                                     const std::string& base_dir) {
+  LinkageSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  auto err = [&](const std::string& msg) {
+    return Status::InvalidArgument(
+        StrFormat("spec line %d: %s", line_no, msg.c_str()));
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::string trimmed(Trim(line));
+    if (trimmed.empty()) continue;
+    std::vector<std::string> tok;
+    for (auto& t : Split(trimmed, ' ')) {
+      if (!t.empty()) tok.push_back(t);
+    }
+    const std::string& key = tok[0];
+    if (key == "attr") {
+      auto attr = ParseAttrLine(tok, base_dir, line_no);
+      if (!attr.ok()) return attr.status();
+      spec.attrs.push_back(std::move(attr).value());
+    } else if (key == "class") {
+      if (tok.size() != 2) return err("class needs a column name");
+      spec.class_attr = tok[1];
+    } else if (key == "sensitive") {
+      if (tok.size() != 4 || tok[2] != "ldiv") {
+        return err("sensitive needs: <column> ldiv <l>");
+      }
+      auto l = ParseInt(tok[3]);
+      if (!l.ok() || *l < 1) return err("bad l");
+      spec.sensitive_attr = tok[1];
+      spec.l_diversity = *l;
+    } else if (key == "k") {
+      if (tok.size() != 2) return err("k needs a value");
+      auto v = ParseInt(tok[1]);
+      if (!v.ok() || *v < 1) return err("bad k");
+      spec.k = *v;
+    } else if (key == "allowance") {
+      if (tok.size() != 2) return err("allowance needs a value");
+      auto v = ParseDouble(tok[1]);
+      if (!v.ok() || *v < 0 || *v > 1) return err("allowance must be in [0,1]");
+      spec.allowance = *v;
+    } else if (key == "heuristic") {
+      if (tok.size() != 2) return err("heuristic needs a name");
+      auto h = ParseHeuristic(tok[1]);
+      if (!h.ok()) return h.status();
+      spec.heuristic = *h;
+    } else if (key == "anonymizer") {
+      if (tok.size() != 2) return err("anonymizer needs a name");
+      spec.anonymizer = tok[1];
+    } else if (key == "keybits") {
+      if (tok.size() != 2) return err("keybits needs a value");
+      auto v = ParseInt(tok[1]);
+      if (!v.ok() || *v < 0) return err("bad keybits");
+      spec.key_bits = static_cast<int>(*v);
+    } else if (key == "threads") {
+      if (tok.size() != 2) return err("threads needs a value");
+      auto v = ParseInt(tok[1]);
+      if (!v.ok() || *v < 1) return err("bad threads");
+      spec.threads = static_cast<int>(*v);
+    } else {
+      return err("unknown directive: " + key);
+    }
+  }
+  if (spec.attrs.empty()) {
+    return Status::InvalidArgument("spec declares no attributes");
+  }
+  return spec;
+}
+
+Result<LinkageSpec> LoadLinkageSpec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open spec: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseLinkageSpec(buf.str(),
+                          std::filesystem::path(path).parent_path().string());
+}
+
+}  // namespace hprl::cli

@@ -1,0 +1,67 @@
+#ifndef HPRL_CLI_SPEC_H_
+#define HPRL_CLI_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/heuristics.h"
+#include "hierarchy/vgh.h"
+
+namespace hprl::cli {
+
+/// One attribute declaration from a linkage spec file.
+struct AttrSpec {
+  std::string name;
+  AttrType type = AttrType::kCategorical;
+  double theta = 0.05;
+  /// Categorical (required) or numeric (optional, instead of equiwidth):
+  /// path to an indentation-format VGH file (relative paths are resolved
+  /// against the spec file's directory).
+  std::string vgh_file;
+  /// Numeric: equi-width hierarchy parameters (when vgh_file is empty).
+  double lo = 0;
+  double leaf_width = 0;
+  std::vector<int> fanouts;
+};
+
+/// Parsed linkage specification: everything the `hprl_link` tool needs to
+/// run the hybrid protocol over two CSV files. Line-oriented format:
+///
+///   # hybrid linkage spec
+///   attr age numeric equiwidth 16 8 3,2,2 theta 0.05
+///   attr education categorical vghfile education.vgh theta 0.05
+///   attr surname text theta 1
+///   class income
+///   sensitive income ldiv 2
+///   k 32
+///   allowance 0.015
+///   heuristic MinAvgFirst
+///   anonymizer MaxEntropy
+///   keybits 0            # 0 = exact plaintext oracle; >0 = Paillier bits
+///
+/// Attribute order in the spec is the CSV column-matching order (columns are
+/// located by header name, so the CSV may contain extra columns).
+struct LinkageSpec {
+  std::vector<AttrSpec> attrs;
+  std::string class_attr;      // empty = none
+  std::string sensitive_attr;  // empty = none
+  int64_t l_diversity = 1;
+  int64_t k = 32;
+  double allowance = 0.015;
+  SelectionHeuristic heuristic = SelectionHeuristic::kMinAvgFirst;
+  std::string anonymizer = "MaxEntropy";
+  int key_bits = 0;
+  int threads = 1;  ///< blocking-step worker threads
+};
+
+/// Parses the spec text. `base_dir` resolves relative vgh paths.
+Result<LinkageSpec> ParseLinkageSpec(const std::string& text,
+                                     const std::string& base_dir);
+
+/// Loads and parses a spec file (base_dir = the file's directory).
+Result<LinkageSpec> LoadLinkageSpec(const std::string& path);
+
+}  // namespace hprl::cli
+
+#endif  // HPRL_CLI_SPEC_H_

@@ -1,0 +1,137 @@
+#include "common/flags.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace hprl {
+
+int64_t* FlagSet::AddInt(const std::string& name, int64_t def,
+                         const std::string& help) {
+  Flag& f = flags_[name];
+  f.kind = Kind::kInt;
+  f.help = help;
+  f.int_value = def;
+  return &f.int_value;
+}
+
+double* FlagSet::AddDouble(const std::string& name, double def,
+                           const std::string& help) {
+  Flag& f = flags_[name];
+  f.kind = Kind::kDouble;
+  f.help = help;
+  f.double_value = def;
+  return &f.double_value;
+}
+
+bool* FlagSet::AddBool(const std::string& name, bool def,
+                       const std::string& help) {
+  Flag& f = flags_[name];
+  f.kind = Kind::kBool;
+  f.help = help;
+  f.bool_value = def;
+  return &f.bool_value;
+}
+
+std::string* FlagSet::AddString(const std::string& name, const std::string& def,
+                                const std::string& help) {
+  Flag& f = flags_[name];
+  f.kind = Kind::kString;
+  f.help = help;
+  f.string_value = def;
+  return &f.string_value;
+}
+
+Status FlagSet::SetValue(Flag& flag, const std::string& text) {
+  switch (flag.kind) {
+    case Kind::kInt: {
+      auto v = ParseInt(text);
+      if (!v.ok()) return v.status();
+      flag.int_value = *v;
+      return Status::OK();
+    }
+    case Kind::kDouble: {
+      auto v = ParseDouble(text);
+      if (!v.ok()) return v.status();
+      flag.double_value = *v;
+      return Status::OK();
+    }
+    case Kind::kBool: {
+      if (text == "true" || text == "1") {
+        flag.bool_value = true;
+      } else if (text == "false" || text == "0") {
+        flag.bool_value = false;
+      } else {
+        return Status::InvalidArgument("bad bool value: " + text);
+      }
+      return Status::OK();
+    }
+    case Kind::kString:
+      flag.string_value = text;
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    if (arg == "help") {
+      std::fputs(Usage(argv[0]).c_str(), stdout);
+      return Status::NotFound("--help requested");
+    }
+    std::string name = arg;
+    std::string value;
+    bool have_value = false;
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag: --" + name);
+    }
+    if (!have_value) {
+      if (it->second.kind == Kind::kBool) {
+        value = "true";  // bare --flag sets a bool
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("flag --" + name + " needs a value");
+      }
+    }
+    HPRL_RETURN_IF_ERROR(SetValue(it->second, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagSet::Usage(const std::string& program) const {
+  std::string out = "Usage: " + program + " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    std::string def;
+    switch (flag.kind) {
+      case Kind::kInt:
+        def = StrFormat("%lld", static_cast<long long>(flag.int_value));
+        break;
+      case Kind::kDouble:
+        def = StrFormat("%g", flag.double_value);
+        break;
+      case Kind::kBool:
+        def = flag.bool_value ? "true" : "false";
+        break;
+      case Kind::kString:
+        def = flag.string_value;
+        break;
+    }
+    out += "  --" + name + " (default: " + def + ")  " + flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace hprl

@@ -1,0 +1,51 @@
+#ifndef HPRL_COMMON_FLAGS_H_
+#define HPRL_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace hprl {
+
+/// Minimal command-line flag parser for the bench / example binaries.
+///
+/// Usage:
+///   FlagSet flags;
+///   int64_t* k = flags.AddInt("k", 32, "anonymity requirement");
+///   Status s = flags.Parse(argc, argv);   // accepts --k=64 or --k 64
+///
+/// Unknown flags are an error; `--help` prints usage and Parse returns
+/// a NotFound status the caller can treat as "exit 0".
+class FlagSet {
+ public:
+  int64_t* AddInt(const std::string& name, int64_t def, const std::string& help);
+  double* AddDouble(const std::string& name, double def, const std::string& help);
+  bool* AddBool(const std::string& name, bool def, const std::string& help);
+  std::string* AddString(const std::string& name, const std::string& def,
+                         const std::string& help);
+
+  Status Parse(int argc, char** argv);
+
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    // Owned storage; stable addresses handed out to callers.
+    int64_t int_value = 0;
+    double double_value = 0;
+    bool bool_value = false;
+    std::string string_value;
+  };
+  Status SetValue(Flag& flag, const std::string& text);
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace hprl
+
+#endif  // HPRL_COMMON_FLAGS_H_

@@ -1,0 +1,76 @@
+#ifndef HPRL_COMMON_LOGGING_H_
+#define HPRL_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hprl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink: builds the message in a buffer and emits it (with
+/// timestamp and level tag, to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define HPRL_DEBUG()                                                 \
+  ::hprl::internal_logging::LogMessage(::hprl::LogLevel::kDebug, __FILE__, \
+                                       __LINE__)
+#define HPRL_INFO()                                                  \
+  ::hprl::internal_logging::LogMessage(::hprl::LogLevel::kInfo, __FILE__,  \
+                                       __LINE__)
+#define HPRL_WARN()                                                  \
+  ::hprl::internal_logging::LogMessage(::hprl::LogLevel::kWarning, __FILE__, \
+                                       __LINE__)
+#define HPRL_ERROR()                                                 \
+  ::hprl::internal_logging::LogMessage(::hprl::LogLevel::kError, __FILE__, \
+                                       __LINE__)
+
+/// Fatal invariant check: always on, aborts with a message on failure.
+#define HPRL_CHECK(cond)                                                      \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::hprl::internal_logging::CheckFailed(#cond, __FILE__, __LINE__);       \
+    }                                                                         \
+  } while (0)
+
+namespace internal_logging {
+[[noreturn]] void CheckFailed(const char* cond, const char* file, int line);
+}  // namespace internal_logging
+
+}  // namespace hprl
+
+#endif  // HPRL_COMMON_LOGGING_H_

@@ -1,0 +1,46 @@
+#ifndef HPRL_COMMON_MATH_UTIL_H_
+#define HPRL_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace hprl {
+
+/// Shannon entropy (base 2) of a histogram of non-negative counts.
+/// Zero-count buckets contribute nothing. Returns 0 for an empty or
+/// single-bucket distribution.
+inline double ShannonEntropy(const std::vector<int64_t>& counts) {
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total <= 0) return 0.0;
+  double h = 0.0;
+  for (int64_t c : counts) {
+    if (c <= 0) continue;
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+/// Entropy of a two-way split {a, b}.
+inline double BinaryEntropy(int64_t a, int64_t b) {
+  return ShannonEntropy({a, b});
+}
+
+/// Arithmetic mean; 0 for empty input.
+inline double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+/// True when |a-b| <= eps.
+inline bool ApproxEq(double a, double b, double eps = 1e-9) {
+  return std::fabs(a - b) <= eps;
+}
+
+}  // namespace hprl
+
+#endif  // HPRL_COMMON_MATH_UTIL_H_

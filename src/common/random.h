@@ -1,0 +1,62 @@
+#ifndef HPRL_COMMON_RANDOM_H_
+#define HPRL_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hprl {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256++) used by
+/// everything that needs *reproducible* randomness: data generation,
+/// partitioning, random selection heuristics, property tests.
+///
+/// NOT suitable for cryptography — crypto code uses crypto::SecureRandom.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling, so
+  /// the distribution is exactly uniform.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// True with probability p.
+  bool NextBernoulli(double p);
+
+  /// Samples an index i with probability weights[i] / sum(weights).
+  /// Weights must be non-negative with a positive sum.
+  size_t NextDiscrete(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace hprl
+
+#endif  // HPRL_COMMON_RANDOM_H_

@@ -1,0 +1,78 @@
+#ifndef HPRL_COMMON_RESULT_H_
+#define HPRL_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace hprl {
+
+/// Holds either a value of type T or an error Status. Modeled after
+/// absl::StatusOr / arrow::Result.
+///
+/// Accessing the value of a non-OK Result aborts in debug builds; always
+/// check `ok()` (or use ValueOrDie only when failure is a programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value makes `return value;` work.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status makes
+  /// `return Status::InvalidArgument(...)` work.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status
+/// from the enclosing function, otherwise assigns the value to `lhs`.
+#define HPRL_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  auto HPRL_CONCAT_(_hprl_result_, __LINE__) = (rexpr);          \
+  if (!HPRL_CONCAT_(_hprl_result_, __LINE__).ok())               \
+    return HPRL_CONCAT_(_hprl_result_, __LINE__).status();       \
+  lhs = std::move(HPRL_CONCAT_(_hprl_result_, __LINE__)).value()
+
+#define HPRL_CONCAT_INNER_(a, b) a##b
+#define HPRL_CONCAT_(a, b) HPRL_CONCAT_INNER_(a, b)
+
+}  // namespace hprl
+
+#endif  // HPRL_COMMON_RESULT_H_

@@ -1,0 +1,29 @@
+#ifndef HPRL_COMMON_TIMER_H_
+#define HPRL_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace hprl {
+
+/// Simple wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hprl
+
+#endif  // HPRL_COMMON_TIMER_H_

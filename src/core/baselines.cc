@@ -1,0 +1,55 @@
+#include "core/baselines.h"
+
+#include "core/blocking.h"
+#include "linkage/ground_truth.h"
+
+namespace hprl {
+
+Result<BaselineResult> PureSmcBaseline(const Table& r, const Table& s,
+                                       const MatchRule& rule) {
+  auto truth = CountMatchingPairs(r, s, rule);
+  if (!truth.ok()) return truth.status();
+  BaselineResult out;
+  out.name = "PureSMC";
+  out.smc_invocations = r.num_rows() * s.num_rows();
+  out.reported_matches = *truth;
+  out.true_reported_matches = *truth;
+  out.recall = 1.0;
+  out.precision = 1.0;
+  return out;
+}
+
+Result<BaselineResult> SanitizationOnlyBaseline(
+    const Table& r, const Table& s, const AnonymizedTable& anon_r,
+    const AnonymizedTable& anon_s, const MatchRule& rule, bool optimistic) {
+  auto truth = CountMatchingPairs(r, s, rule);
+  if (!truth.ok()) return truth.status();
+  auto blocking = RunBlocking(anon_r, anon_s, rule);
+  if (!blocking.ok()) return blocking.status();
+
+  BaselineResult out;
+  out.name = optimistic ? "SanitizationOptimistic" : "SanitizationPessimistic";
+  out.smc_invocations = 0;
+  out.reported_matches = blocking->matched_pairs;
+  out.true_reported_matches = blocking->matched_pairs;  // M labels are sound
+
+  if (optimistic) {
+    // Strategy 2 (paper §V-B) with no SMC budget: every unknown pair is
+    // declared a match. All true matches live in M ∪ U (the N label is
+    // sound), so the declared set contains exactly `truth` real matches.
+    out.reported_matches += blocking->unknown_pairs;
+    out.true_reported_matches = *truth;
+  }
+
+  out.recall = *truth == 0
+                   ? 1.0
+                   : static_cast<double>(out.true_reported_matches) /
+                         static_cast<double>(*truth);
+  out.precision = out.reported_matches == 0
+                      ? 1.0
+                      : static_cast<double>(out.true_reported_matches) /
+                            static_cast<double>(out.reported_matches);
+  return out;
+}
+
+}  // namespace hprl

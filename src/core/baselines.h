@@ -1,0 +1,41 @@
+#ifndef HPRL_CORE_BASELINES_H_
+#define HPRL_CORE_BASELINES_H_
+
+#include <string>
+
+#include "anon/anonymized_table.h"
+#include "common/result.h"
+#include "data/table.h"
+#include "linkage/match_rule.h"
+
+namespace hprl {
+
+/// Comparison point against the hybrid method.
+struct BaselineResult {
+  std::string name;
+  int64_t smc_invocations = 0;  ///< cryptographic cost (paper's cost unit)
+  int64_t reported_matches = 0;
+  int64_t true_reported_matches = 0;  ///< of the reported, how many are real
+  double recall = 0;
+  double precision = 0;
+};
+
+/// Pure cryptographic linkage: every record pair goes through the SMC
+/// protocol. Exact (recall = precision = 1) at |R| x |S| invocations.
+Result<BaselineResult> PureSmcBaseline(const Table& r, const Table& s,
+                                       const MatchRule& rule);
+
+/// Pure sanitization linkage: only the anonymized releases are used, no SMC.
+///  - pessimistic (the paper's privacy-first stance): only provably matching
+///    (M) pairs are reported; precision 1, recall suffers.
+///  - optimistic (the paper's §V-B strategy 2 with zero SMC budget): every
+///    pair not provably mismatched is reported as a match; recall is 100%
+///    by construction, precision collapses — the sanitization accuracy loss
+///    the paper contrasts.
+Result<BaselineResult> SanitizationOnlyBaseline(
+    const Table& r, const Table& s, const AnonymizedTable& anon_r,
+    const AnonymizedTable& anon_s, const MatchRule& rule, bool optimistic);
+
+}  // namespace hprl
+
+#endif  // HPRL_CORE_BASELINES_H_

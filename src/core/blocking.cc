@@ -1,0 +1,91 @@
+#include "core/blocking.h"
+
+#include <thread>
+
+namespace hprl {
+
+namespace {
+
+/// Labels the sequence pairs for R groups in [begin, end) x all S groups.
+void BlockRange(const AnonymizedTable& anon_r, const AnonymizedTable& anon_s,
+                const MatchRule& rule, size_t begin, size_t end,
+                BlockingResult* out) {
+  for (size_t i = begin; i < end; ++i) {
+    const AnonymizedGroup& gr = anon_r.groups[i];
+    const int64_t r_size = gr.size();
+    if (r_size == 0) continue;
+    for (size_t j = 0; j < anon_s.groups.size(); ++j) {
+      const AnonymizedGroup& gs = anon_s.groups[j];
+      const int64_t s_size = gs.size();
+      if (s_size == 0) continue;
+      const int64_t pairs = r_size * s_size;
+      switch (SlackDecide(gr.seq, gs.seq, rule)) {
+        case PairLabel::kMismatch:
+          out->mismatched_pairs += pairs;
+          break;
+        case PairLabel::kMatch:
+          out->matched_pairs += pairs;
+          out->matches.push_back({static_cast<int32_t>(i),
+                                  static_cast<int32_t>(j), pairs});
+          break;
+        case PairLabel::kUnknown:
+          out->unknown_pairs += pairs;
+          out->unknown.push_back({static_cast<int32_t>(i),
+                                  static_cast<int32_t>(j), pairs});
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<BlockingResult> RunBlocking(const AnonymizedTable& anon_r,
+                                   const AnonymizedTable& anon_s,
+                                   const MatchRule& rule, int threads) {
+  const size_t num_attrs = static_cast<size_t>(rule.num_attrs());
+  for (const auto& g : anon_r.groups) {
+    if (g.seq.size() != num_attrs) {
+      return Status::InvalidArgument(
+          "R sequence length does not match rule attribute count");
+    }
+  }
+  for (const auto& g : anon_s.groups) {
+    if (g.seq.size() != num_attrs) {
+      return Status::InvalidArgument(
+          "S sequence length does not match rule attribute count");
+    }
+  }
+
+  if (threads < 1) return Status::InvalidArgument("threads must be >= 1");
+  BlockingResult out;
+  out.total_pairs = anon_r.num_rows * anon_s.num_rows;
+
+  const size_t n = anon_r.groups.size();
+  if (threads == 1 || n < 2 * static_cast<size_t>(threads)) {
+    BlockRange(anon_r, anon_s, rule, 0, n, &out);
+    return out;
+  }
+
+  std::vector<BlockingResult> partial(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    size_t begin = n * static_cast<size_t>(t) / static_cast<size_t>(threads);
+    size_t end =
+        n * static_cast<size_t>(t + 1) / static_cast<size_t>(threads);
+    workers.emplace_back(BlockRange, std::cref(anon_r), std::cref(anon_s),
+                         std::cref(rule), begin, end, &partial[t]);
+  }
+  for (auto& w : workers) w.join();
+  for (const BlockingResult& p : partial) {
+    out.matched_pairs += p.matched_pairs;
+    out.mismatched_pairs += p.mismatched_pairs;
+    out.unknown_pairs += p.unknown_pairs;
+    out.matches.insert(out.matches.end(), p.matches.begin(), p.matches.end());
+    out.unknown.insert(out.unknown.end(), p.unknown.begin(), p.unknown.end());
+  }
+  return out;
+}
+
+}  // namespace hprl

@@ -1,0 +1,56 @@
+#ifndef HPRL_CORE_BLOCKING_H_
+#define HPRL_CORE_BLOCKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "anon/anonymized_table.h"
+#include "common/result.h"
+#include "linkage/match_rule.h"
+#include "linkage/slack.h"
+
+namespace hprl {
+
+/// A labeled pair of anonymized groups. All |G_r| x |G_s| record pairs in the
+/// cross product share this label (records generalized to the same sequence
+/// are indistinguishable — paper §III).
+struct SequencePair {
+  int32_t group_r = 0;  ///< index into anon_r.groups
+  int32_t group_s = 0;  ///< index into anon_s.groups
+  int64_t pair_count = 0;
+};
+
+/// Output of the blocking step, aggregated at sequence-pair granularity so
+/// the engine scales to |R| x |S| in the hundreds of millions.
+struct BlockingResult {
+  int64_t total_pairs = 0;       ///< |R| x |S|
+  int64_t matched_pairs = 0;     ///< record pairs in Match sequence pairs
+  int64_t mismatched_pairs = 0;  ///< record pairs labeled N by blocking
+  int64_t unknown_pairs = 0;     ///< record pairs needing the SMC step
+
+  std::vector<SequencePair> matches;  ///< M sequence pairs (reported as links)
+  std::vector<SequencePair> unknown;  ///< U sequence pairs (SMC candidates)
+
+  /// Fraction of record pairs permanently labeled by blocking (paper §VI's
+  /// blocking efficiency).
+  double BlockingEfficiency() const {
+    if (total_pairs == 0) return 0;
+    return static_cast<double>(matched_pairs + mismatched_pairs) /
+           static_cast<double>(total_pairs);
+  }
+};
+
+/// Runs the slack decision rule over every sequence pair of the two
+/// anonymized releases. The sequences must cover exactly the rule's
+/// attributes, in rule order.
+///
+/// `threads` > 1 partitions R's groups across worker threads; the result is
+/// bit-identical to the sequential run (per-thread outputs are concatenated
+/// in group order).
+Result<BlockingResult> RunBlocking(const AnonymizedTable& anon_r,
+                                   const AnonymizedTable& anon_s,
+                                   const MatchRule& rule, int threads = 1);
+
+}  // namespace hprl
+
+#endif  // HPRL_CORE_BLOCKING_H_

@@ -1,0 +1,93 @@
+#include "core/experiment.h"
+
+#include "common/timer.h"
+#include "linkage/oracle.h"
+
+namespace hprl {
+
+Result<ExperimentData> PrepareAdultData(int64_t rows, uint64_t seed) {
+  ExperimentData data;
+  data.hierarchies = adult::BuildAdultHierarchies();
+  data.source = adult::GenerateAdult(rows, seed, data.hierarchies);
+  data.schema = data.source.schema();
+  Rng rng(seed ^ 0xD1D2D3ULL);
+  auto split = SplitForLinkage(data.source, rng);
+  if (!split.ok()) return split.status();
+  data.split = std::move(split).value();
+  return data;
+}
+
+Result<AnonymizerConfig> MakeAdultAnonConfig(const ExperimentData& data,
+                                             int num_qids, int64_t k) {
+  const auto& names = adult::AdultQidNames();
+  if (num_qids < 1 || num_qids > static_cast<int>(names.size())) {
+    return Status::InvalidArgument("num_qids out of range [1, 8]");
+  }
+  AnonymizerConfig cfg;
+  cfg.k = k;
+  for (int i = 0; i < num_qids; ++i) {
+    int idx = data.schema->FindIndex(names[i]);
+    if (idx < 0) return Status::NotFound("QID missing: " + names[i]);
+    cfg.qid_attrs.push_back(idx);
+    cfg.hierarchies.push_back(data.hierarchies.ByName(names[i]));
+  }
+  cfg.class_attr = data.schema->FindIndex("income");
+  return cfg;
+}
+
+Result<std::unique_ptr<Anonymizer>> MakeAnonymizerByName(
+    const std::string& name, AnonymizerConfig config) {
+  if (name == "MaxEntropy") return MakeMaxEntropyAnonymizer(std::move(config));
+  if (name == "TDS") return MakeTdsAnonymizer(std::move(config));
+  if (name == "DataFly") return MakeDataflyAnonymizer(std::move(config));
+  if (name == "Mondrian") return MakeMondrianAnonymizer(std::move(config));
+  if (name == "Incognito") return MakeIncognitoAnonymizer(std::move(config));
+  return Status::InvalidArgument("unknown anonymizer: " + name);
+}
+
+Result<ExperimentOutcome> RunAdultExperiment(const ExperimentData& data,
+                                             const ExperimentConfig& config) {
+  auto anon_cfg = MakeAdultAnonConfig(data, config.num_qids, config.k);
+  if (!anon_cfg.ok()) return anon_cfg.status();
+  auto anonymizer = MakeAnonymizerByName(config.anonymizer, *anon_cfg);
+  if (!anonymizer.ok()) return anonymizer.status();
+
+  ExperimentOutcome out;
+  WallTimer t1;
+  auto anon_r = (*anonymizer)->Anonymize(data.split.d1);
+  if (!anon_r.ok()) return anon_r.status();
+  out.anon_seconds_r = t1.ElapsedSeconds();
+  WallTimer t2;
+  auto anon_s = (*anonymizer)->Anonymize(data.split.d2);
+  if (!anon_s.ok()) return anon_s.status();
+  out.anon_seconds_s = t2.ElapsedSeconds();
+  out.sequences_r = anon_r->NumSequences();
+  out.sequences_s = anon_s->NumSequences();
+
+  std::vector<VghPtr> rule_hierarchies;
+  const auto& names = adult::AdultQidNames();
+  for (const auto& n : names) {
+    rule_hierarchies.push_back(data.hierarchies.ByName(n));
+  }
+  auto rule = MakeUniformRule(data.schema, names, rule_hierarchies,
+                              config.num_qids, config.theta);
+  if (!rule.ok()) return rule.status();
+
+  HybridConfig hc;
+  hc.rule = *rule;
+  hc.smc_allowance_fraction = config.smc_allowance_fraction;
+  hc.heuristic = config.heuristic;
+
+  CountingPlaintextOracle oracle(*rule);
+  auto hybrid = RunHybridLinkage(data.split.d1, data.split.d2, *anon_r,
+                                 *anon_s, hc, oracle);
+  if (!hybrid.ok()) return hybrid.status();
+  out.hybrid = std::move(hybrid).value();
+  if (config.evaluate_recall) {
+    HPRL_RETURN_IF_ERROR(
+        EvaluateRecall(data.split.d1, data.split.d2, *rule, &out.hybrid));
+  }
+  return out;
+}
+
+}  // namespace hprl

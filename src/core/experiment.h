@@ -1,0 +1,64 @@
+#ifndef HPRL_CORE_EXPERIMENT_H_
+#define HPRL_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "adult/adult.h"
+#include "anon/anonymizer.h"
+#include "common/result.h"
+#include "core/hybrid.h"
+#include "data/partition.h"
+
+namespace hprl {
+
+/// Everything the paper's §VI experiments share: the synthesized Adult
+/// source table and the D1 = d1∪d3, D2 = d2∪d3 linkage inputs. Build once,
+/// reuse across parameter sweeps.
+struct ExperimentData {
+  adult::AdultHierarchies hierarchies;
+  SchemaPtr schema;
+  Table source{nullptr};
+  LinkageSplit split{Table{nullptr}, Table{nullptr}, {}, {}, 0};
+};
+
+/// Synthesizes `rows` Adult records (paper: 30,162) and splits them.
+Result<ExperimentData> PrepareAdultData(int64_t rows, uint64_t seed);
+
+/// Anonymizer configuration for the first `num_qids` Adult QIDs; class
+/// attribute is `income` (for TDS).
+Result<AnonymizerConfig> MakeAdultAnonConfig(const ExperimentData& data,
+                                             int num_qids, int64_t k);
+
+/// Factory by display name: MaxEntropy | TDS | DataFly | Mondrian | Incognito.
+Result<std::unique_ptr<Anonymizer>> MakeAnonymizerByName(
+    const std::string& name, AnonymizerConfig config);
+
+/// One §VI configuration.
+struct ExperimentConfig {
+  int64_t k = 32;
+  int num_qids = 5;
+  double theta = 0.05;
+  double smc_allowance_fraction = 0.015;
+  SelectionHeuristic heuristic = SelectionHeuristic::kMinAvgFirst;
+  std::string anonymizer = "MaxEntropy";
+  bool evaluate_recall = true;
+};
+
+/// The full outcome of one configuration run.
+struct ExperimentOutcome {
+  HybridResult hybrid;
+  double anon_seconds_r = 0;
+  double anon_seconds_s = 0;
+  int64_t sequences_r = 0;
+  int64_t sequences_s = 0;
+};
+
+/// Runs anonymize(D1), anonymize(D2), blocking, heuristic SMC step (exact
+/// counting oracle — the paper's cost model), and recall evaluation.
+Result<ExperimentOutcome> RunAdultExperiment(const ExperimentData& data,
+                                             const ExperimentConfig& config);
+
+}  // namespace hprl
+
+#endif  // HPRL_CORE_EXPERIMENT_H_

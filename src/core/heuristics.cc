@@ -1,0 +1,80 @@
+#include "core/heuristics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "linkage/expected.h"
+
+namespace hprl {
+
+std::string HeuristicName(SelectionHeuristic h) {
+  switch (h) {
+    case SelectionHeuristic::kMinFirst:
+      return "MinFirst";
+    case SelectionHeuristic::kMaxLast:
+      return "MaxLast";
+    case SelectionHeuristic::kMinAvgFirst:
+      return "MinAvgFirst";
+    case SelectionHeuristic::kRandom:
+      return "Random";
+  }
+  return "?";
+}
+
+Result<SelectionHeuristic> ParseHeuristic(const std::string& name) {
+  if (name == "MinFirst" || name == "minfirst") {
+    return SelectionHeuristic::kMinFirst;
+  }
+  if (name == "MaxLast" || name == "maxlast") {
+    return SelectionHeuristic::kMaxLast;
+  }
+  if (name == "MinAvgFirst" || name == "minavgfirst") {
+    return SelectionHeuristic::kMinAvgFirst;
+  }
+  if (name == "Random" || name == "random") {
+    return SelectionHeuristic::kRandom;
+  }
+  return Status::InvalidArgument("unknown heuristic: " + name);
+}
+
+std::vector<size_t> OrderUnknownPairs(const BlockingResult& blocking,
+                                      const AnonymizedTable& anon_r,
+                                      const AnonymizedTable& anon_s,
+                                      const MatchRule& rule,
+                                      SelectionHeuristic heuristic, Rng& rng) {
+  std::vector<size_t> order(blocking.unknown.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  if (heuristic == SelectionHeuristic::kRandom) {
+    rng.Shuffle(order);
+    return order;
+  }
+
+  std::vector<double> key(blocking.unknown.size());
+  for (size_t i = 0; i < blocking.unknown.size(); ++i) {
+    const SequencePair& sp = blocking.unknown[i];
+    std::vector<double> ed =
+        ExpectedDistances(anon_r.groups[sp.group_r].seq,
+                          anon_s.groups[sp.group_s].seq, rule);
+    double k = 0;
+    switch (heuristic) {
+      case SelectionHeuristic::kMinFirst:
+        k = *std::min_element(ed.begin(), ed.end());
+        break;
+      case SelectionHeuristic::kMaxLast:
+        k = *std::max_element(ed.begin(), ed.end());
+        break;
+      case SelectionHeuristic::kMinAvgFirst:
+        k = std::accumulate(ed.begin(), ed.end(), 0.0) /
+            static_cast<double>(ed.size());
+        break;
+      case SelectionHeuristic::kRandom:
+        break;  // handled above
+    }
+    key[i] = k;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return key[a] < key[b]; });
+  return order;
+}
+
+}  // namespace hprl

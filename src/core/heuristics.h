@@ -1,0 +1,37 @@
+#ifndef HPRL_CORE_HEURISTICS_H_
+#define HPRL_CORE_HEURISTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/blocking.h"
+
+namespace hprl {
+
+/// Strategies for spending the SMC allowance on unknown pairs (paper §V-C,
+/// §VI): pairs most likely to match go to the SMC protocol first.
+enum class SelectionHeuristic {
+  kMinFirst,     ///< minimum attribute-wise expected distance first
+  kMaxLast,      ///< maximum attribute-wise expected distance last
+  kMinAvgFirst,  ///< minimum average attribute-wise expected distance first
+  kRandom,       ///< uniformly random order (ablation baseline)
+};
+
+std::string HeuristicName(SelectionHeuristic h);
+Result<SelectionHeuristic> ParseHeuristic(const std::string& name);
+
+/// Returns the indexes of blocking.unknown in SMC-consumption order. All
+/// record pairs within a sequence pair share their expected distances, so
+/// ordering happens at sequence-pair granularity. `rng` is used only by
+/// kRandom.
+std::vector<size_t> OrderUnknownPairs(const BlockingResult& blocking,
+                                      const AnonymizedTable& anon_r,
+                                      const AnonymizedTable& anon_s,
+                                      const MatchRule& rule,
+                                      SelectionHeuristic heuristic, Rng& rng);
+
+}  // namespace hprl
+
+#endif  // HPRL_CORE_HEURISTICS_H_

@@ -1,0 +1,86 @@
+#ifndef HPRL_CORE_HYBRID_H_
+#define HPRL_CORE_HYBRID_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "anon/anonymizer.h"
+#include "common/result.h"
+#include "core/blocking.h"
+#include "core/heuristics.h"
+#include "linkage/oracle.h"
+
+namespace hprl {
+
+/// Parameters of the hybrid private record linkage pipeline (paper §III).
+struct HybridConfig {
+  MatchRule rule;
+
+  /// SMC allowance as a fraction of |R| x |S| (paper default: 1.5 %).
+  double smc_allowance_fraction = 0.015;
+
+  SelectionHeuristic heuristic = SelectionHeuristic::kMinAvgFirst;
+
+  /// Seed for the Random heuristic.
+  uint64_t random_seed = 42;
+
+  /// When true, the matched record-pair (row_r, row_s) list is collected
+  /// (memory-heavy on large inputs; off for the figure harnesses).
+  bool collect_matches = false;
+
+  /// Worker threads for the blocking step (1 = sequential; results are
+  /// identical either way).
+  int blocking_threads = 1;
+};
+
+/// Outcome of one hybrid linkage run.
+struct HybridResult {
+  // Blocking step.
+  int64_t total_pairs = 0;
+  int64_t blocked_match_pairs = 0;
+  int64_t blocked_mismatch_pairs = 0;
+  int64_t unknown_pairs = 0;
+  double blocking_efficiency = 0;
+
+  // SMC step.
+  int64_t allowance_pairs = 0;   ///< budgeted protocol invocations
+  int64_t smc_processed = 0;     ///< invocations actually spent
+  int64_t smc_matched = 0;       ///< matches confirmed by the SMC step
+  int64_t unprocessed_pairs = 0; ///< U pairs defaulted to non-match
+
+  /// Links reported to the querying party: blocked matches + SMC matches.
+  /// Precision is 100% by construction (both sources are exact).
+  int64_t reported_matches = 0;
+
+  /// Optional captured links (collect_matches).
+  std::vector<std::pair<int64_t, int64_t>> matched_row_pairs;
+
+  // Wall-clock timings (seconds).
+  double blocking_seconds = 0;
+  double smc_seconds = 0;
+
+  // Evaluation against ground truth (EvaluateRecall fills these; -1/-0
+  // until then).
+  int64_t true_matches = -1;
+  double recall = 0;
+  double precision = 1.0;
+};
+
+/// Runs blocking + heuristic selection + the SMC step over pre-anonymized
+/// releases, labeling unknown pairs with `oracle` until the allowance is
+/// exhausted; the rest default to non-match (paper §V-B strategy 1,
+/// maximizing precision).
+Result<HybridResult> RunHybridLinkage(const Table& r, const Table& s,
+                                      const AnonymizedTable& anon_r,
+                                      const AnonymizedTable& anon_s,
+                                      const HybridConfig& config,
+                                      MatchOracle& oracle);
+
+/// Fills result->true_matches / recall / precision from exact ground truth.
+Status EvaluateRecall(const Table& r, const Table& s, const MatchRule& rule,
+                      HybridResult* result);
+
+}  // namespace hprl
+
+#endif  // HPRL_CORE_HYBRID_H_

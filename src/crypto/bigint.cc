@@ -1,0 +1,87 @@
+#include "crypto/bigint.h"
+
+namespace hprl::crypto {
+
+Result<BigInt> BigInt::FromString(const std::string& s, int base) {
+  BigInt r;
+  if (s.empty() || mpz_set_str(r.z_, s.c_str(), base) != 0) {
+    return Status::InvalidArgument("not a valid base-" + std::to_string(base) +
+                                   " integer: " + s);
+  }
+  return r;
+}
+
+BigInt BigInt::FromBytes(const std::vector<uint8_t>& bytes) {
+  BigInt r;
+  if (!bytes.empty()) {
+    mpz_import(r.z_, bytes.size(), /*order=*/1, /*size=*/1, /*endian=*/1,
+               /*nails=*/0, bytes.data());
+  }
+  return r;
+}
+
+std::vector<uint8_t> BigInt::ToBytes() const {
+  if (IsZero()) return {};
+  size_t count = 0;
+  size_t bytes = (BitLength() + 7) / 8;
+  std::vector<uint8_t> out(bytes);
+  mpz_export(out.data(), &count, /*order=*/1, /*size=*/1, /*endian=*/1,
+             /*nails=*/0, z_);
+  out.resize(count);
+  return out;
+}
+
+std::string BigInt::ToString(int base) const {
+  char* s = mpz_get_str(nullptr, base, z_);
+  std::string out(s);
+  void (*free_fn)(void*, size_t);
+  mp_get_memory_functions(nullptr, nullptr, &free_fn);
+  free_fn(s, out.size() + 1);
+  return out;
+}
+
+Result<int64_t> BigInt::ToInt64() const {
+  if (!mpz_fits_slong_p(z_)) {
+    return Status::OutOfRange("BigInt does not fit in int64");
+  }
+  return static_cast<int64_t>(mpz_get_si(z_));
+}
+
+BigInt BigInt::PowMod(const BigInt& base, const BigInt& exp,
+                      const BigInt& mod) {
+  BigInt r;
+  mpz_powm(r.z_, base.z_, exp.z_, mod.z_);
+  return r;
+}
+
+Result<BigInt> BigInt::ModInverse(const BigInt& a, const BigInt& mod) {
+  BigInt r;
+  if (mpz_invert(r.z_, a.z_, mod.z_) == 0) {
+    return Status::InvalidArgument("no modular inverse (gcd != 1)");
+  }
+  return r;
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt r;
+  mpz_gcd(r.z_, a.z_, b.z_);
+  return r;
+}
+
+BigInt BigInt::Lcm(const BigInt& a, const BigInt& b) {
+  BigInt r;
+  mpz_lcm(r.z_, a.z_, b.z_);
+  return r;
+}
+
+bool BigInt::IsProbablePrime(int reps) const {
+  return mpz_probab_prime_p(z_, reps) != 0;
+}
+
+BigInt BigInt::NextPrime() const {
+  BigInt r;
+  mpz_nextprime(r.z_, z_);
+  return r;
+}
+
+}  // namespace hprl::crypto

@@ -1,0 +1,87 @@
+#include "crypto/commutative.h"
+
+namespace hprl::crypto {
+
+Result<BigInt> CommutativeCipher::GenerateSafePrime(int bits,
+                                                    SecureRandom& rng) {
+  if (bits < 32) return Status::InvalidArgument("safe prime too small");
+  // Sample q until both q and 2q + 1 are prime. Expected O(bits^2) primality
+  // tests; fine for the sizes used here.
+  for (int attempt = 0; attempt < 200000; ++attempt) {
+    BigInt q = rng.NextPrime(bits - 1);
+    BigInt p = q + q + BigInt(1);
+    if (p.IsProbablePrime()) return p;
+  }
+  return Status::Internal("safe prime generation did not converge");
+}
+
+Result<CommutativeCipher> CommutativeCipher::Create(const BigInt& safe_prime,
+                                                    SecureRandom& rng) {
+  if (!safe_prime.IsProbablePrime()) {
+    return Status::InvalidArgument("modulus is not prime");
+  }
+  BigInt q = (safe_prime - BigInt(1)) / BigInt(2);
+  if (!q.IsProbablePrime()) {
+    return Status::InvalidArgument("modulus is not a safe prime");
+  }
+  for (int attempt = 0; attempt < 128; ++attempt) {
+    BigInt e = rng.NextBelow(q);
+    if (e <= BigInt(1)) continue;
+    auto inv = BigInt::ModInverse(e, q);
+    if (!inv.ok()) continue;
+    return CommutativeCipher(safe_prime, std::move(q), std::move(e),
+                             std::move(inv).value());
+  }
+  return Status::Internal("could not sample an invertible exponent");
+}
+
+CommutativeCipher::CommutativeCipher(BigInt p, BigInt q, BigInt e,
+                                     BigInt e_inv)
+    : p_(std::move(p)),
+      q_(std::move(q)),
+      e_(std::move(e)),
+      e_inv_(std::move(e_inv)) {}
+
+namespace {
+
+uint64_t SplitMix(uint64_t& x) {
+  uint64_t z = (x += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+BigInt CommutativeCipher::EncodeToGroup(std::string_view data) const {
+  // Sponge: absorb the bytes into a 64-bit state, then squeeze as many
+  // 64-bit words as the modulus needs.
+  uint64_t state = 0xC0FFEE1234ABCDEFULL ^ (data.size() * 0x9E3779B97F4A7C15ULL);
+  for (unsigned char c : data) {
+    state ^= c;
+    state = SplitMix(state);
+  }
+  size_t words = (p_.BitLength() + 63) / 64 + 1;
+  std::vector<uint8_t> bytes;
+  bytes.reserve(words * 8);
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t v = SplitMix(state);
+    for (int b = 7; b >= 0; --b) {
+      bytes.push_back(static_cast<uint8_t>(v >> (8 * b)));
+    }
+  }
+  BigInt x = BigInt::FromBytes(bytes) % p_;
+  if (x.IsZero()) x = BigInt(2);
+  // Square into the QR subgroup (order q).
+  return (x * x) % p_;
+}
+
+BigInt CommutativeCipher::Encrypt(const BigInt& x) const {
+  return BigInt::PowMod(x, e_, p_);
+}
+
+BigInt CommutativeCipher::Decrypt(const BigInt& x) const {
+  return BigInt::PowMod(x, e_inv_, p_);
+}
+
+}  // namespace hprl::crypto

@@ -1,0 +1,59 @@
+#ifndef HPRL_CRYPTO_COMMUTATIVE_H_
+#define HPRL_CRYPTO_COMMUTATIVE_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "crypto/bigint.h"
+#include "crypto/secure_random.h"
+
+namespace hprl::crypto {
+
+/// Pohlig-Hellman (SRA) commutative exponentiation cipher over the quadratic
+/// residues of a shared safe prime p = 2q + 1:
+///
+///   E_e(x) = x^e mod p,   E_a(E_b(x)) = E_b(E_a(x)) = x^(ab mod q) mod p.
+///
+/// This is the primitive behind Agrawal et al.'s private information-sharing
+/// protocols (paper ref. [15]) — the exact-matching, intersection-style
+/// alternative the hybrid method is compared against in §VII.
+///
+/// Messages are hashed into the QR subgroup (hash then square), so all
+/// ciphertexts live in the prime-order-q subgroup and leak no Legendre
+/// symbol. The built-in hash is a fixed-key sponge over splitmix64 — fine
+/// for a reproduction, not a vetted PRF.
+class CommutativeCipher {
+ public:
+  /// Generates a safe prime p = 2q + 1 with `bits` bits. Both parties must
+  /// use the same prime.
+  static Result<BigInt> GenerateSafePrime(int bits, SecureRandom& rng);
+
+  /// Creates a cipher with a fresh secret exponent e, 1 < e < q,
+  /// gcd(e, q) = 1 (so decryption exists).
+  static Result<CommutativeCipher> Create(const BigInt& safe_prime,
+                                          SecureRandom& rng);
+
+  /// Deterministically maps a byte string into the QR subgroup.
+  BigInt EncodeToGroup(std::string_view data) const;
+
+  /// x^e mod p. `x` must be in (1, p).
+  BigInt Encrypt(const BigInt& x) const;
+
+  /// Inverse transform: Encrypt followed by Decrypt is the identity on the
+  /// QR subgroup.
+  BigInt Decrypt(const BigInt& x) const;
+
+  const BigInt& prime() const { return p_; }
+
+ private:
+  CommutativeCipher(BigInt p, BigInt q, BigInt e, BigInt e_inv);
+
+  BigInt p_;      // safe prime
+  BigInt q_;      // (p - 1) / 2, prime subgroup order
+  BigInt e_;      // secret exponent
+  BigInt e_inv_;  // e^{-1} mod q
+};
+
+}  // namespace hprl::crypto
+
+#endif  // HPRL_CRYPTO_COMMUTATIVE_H_

@@ -1,0 +1,101 @@
+#include "crypto/paillier.h"
+
+namespace hprl::crypto {
+
+PaillierPublicKey::PaillierPublicKey(BigInt n)
+    : n_(std::move(n)), n2_(n_ * n_) {}
+
+Result<BigInt> PaillierPublicKey::Encrypt(const BigInt& m,
+                                          SecureRandom& rng) const {
+  if (m.Sign() < 0 || m >= n_) {
+    return Status::InvalidArgument("Paillier plaintext out of [0, n)");
+  }
+  // r uniform in [1, n) with gcd(r, n) = 1 (fails with negligible
+  // probability only when r shares a prime factor with n).
+  BigInt r;
+  do {
+    r = rng.NextBelow(n_);
+  } while (r.IsZero() || BigInt::Gcd(r, n_) != BigInt(1));
+  // (1 + m*n) * r^n mod n^2
+  BigInt gm = (BigInt(1) + m * n_) % n2_;
+  BigInt rn = BigInt::PowMod(r, n_, n2_);
+  return (gm * rn) % n2_;
+}
+
+BigInt PaillierPublicKey::EncodeSigned(const BigInt& x) const {
+  return x % n_;  // Euclidean remainder maps negatives to n + x
+}
+
+Result<BigInt> PaillierPublicKey::EncryptSigned(const BigInt& x,
+                                                SecureRandom& rng) const {
+  return Encrypt(EncodeSigned(x), rng);
+}
+
+BigInt PaillierPublicKey::Add(const BigInt& c1, const BigInt& c2) const {
+  return (c1 * c2) % n2_;
+}
+
+BigInt PaillierPublicKey::ScalarMul(const BigInt& c, const BigInt& k) const {
+  BigInt e = k % n_;  // negative scalars map to n - |k|
+  return BigInt::PowMod(c, e, n2_);
+}
+
+Result<BigInt> PaillierPublicKey::Rerandomize(const BigInt& c,
+                                              SecureRandom& rng) const {
+  auto zero = Encrypt(BigInt(0), rng);
+  if (!zero.ok()) return zero.status();
+  return Add(c, *zero);
+}
+
+PaillierPrivateKey::PaillierPrivateKey(BigInt n, BigInt lambda, BigInt mu)
+    : n_(std::move(n)),
+      n2_(n_ * n_),
+      lambda_(std::move(lambda)),
+      mu_(std::move(mu)) {}
+
+Result<BigInt> PaillierPrivateKey::Decrypt(const BigInt& c) const {
+  if (c.Sign() <= 0 || c >= n2_) {
+    return Status::InvalidArgument("Paillier ciphertext out of (0, n^2)");
+  }
+  // m = L(c^lambda mod n^2) * mu mod n, with L(x) = (x - 1) / n.
+  BigInt u = BigInt::PowMod(c, lambda_, n2_);
+  BigInt l = (u - BigInt(1)) / n_;
+  return (l * mu_) % n_;
+}
+
+Result<BigInt> PaillierPrivateKey::DecryptSigned(const BigInt& c) const {
+  auto m = Decrypt(c);
+  if (!m.ok()) return m.status();
+  BigInt half = n_ / BigInt(2);
+  if (*m > half) return *m - n_;
+  return m;
+}
+
+Result<PaillierKeyPair> GeneratePaillierKeyPair(int modulus_bits,
+                                                SecureRandom& rng) {
+  if (modulus_bits < 64) {
+    return Status::InvalidArgument("modulus too small (need >= 64 bits)");
+  }
+  int half = modulus_bits / 2;
+  for (int attempt = 0; attempt < 128; ++attempt) {
+    BigInt p = rng.NextPrime(half);
+    BigInt q = rng.NextPrime(modulus_bits - half);
+    if (p == q) continue;
+    BigInt n = p * q;
+    // Require gcd(n, (p-1)(q-1)) == 1; guaranteed when p, q have equal bit
+    // length per Paillier, but check anyway for the uneven case.
+    BigInt p1 = p - BigInt(1);
+    BigInt q1 = q - BigInt(1);
+    if (BigInt::Gcd(n, p1 * q1) != BigInt(1)) continue;
+    BigInt lambda = BigInt::Lcm(p1, q1);
+    auto mu = BigInt::ModInverse(lambda, n);
+    if (!mu.ok()) continue;
+    PaillierKeyPair kp;
+    kp.pub = PaillierPublicKey(n);
+    kp.priv = PaillierPrivateKey(n, lambda, std::move(mu).value());
+    return kp;
+  }
+  return Status::Internal("Paillier key generation failed repeatedly");
+}
+
+}  // namespace hprl::crypto

@@ -1,0 +1,84 @@
+#ifndef HPRL_CRYPTO_PAILLIER_H_
+#define HPRL_CRYPTO_PAILLIER_H_
+
+#include "common/result.h"
+#include "crypto/bigint.h"
+#include "crypto/secure_random.h"
+
+namespace hprl::crypto {
+
+/// Paillier public key (Paillier, Eurocrypt'99) with the standard g = n + 1
+/// optimization: Enc(m; r) = (1 + m·n) · r^n mod n².
+///
+/// The scheme is additively homomorphic:
+///   Add:       Enc(m1) ·  Enc(m2)  = Enc(m1 + m2)   (the paper's  +_h)
+///   ScalarMul: Enc(m)^k            = Enc(k · m)     (the paper's  ×_h)
+class PaillierPublicKey {
+ public:
+  PaillierPublicKey() = default;
+  explicit PaillierPublicKey(BigInt n);
+
+  const BigInt& n() const { return n_; }
+  const BigInt& n_squared() const { return n2_; }
+  int modulus_bits() const { return static_cast<int>(n_.BitLength()); }
+
+  /// Encrypts m ∈ [0, n). Fails on out-of-range plaintext.
+  Result<BigInt> Encrypt(const BigInt& m, SecureRandom& rng) const;
+
+  /// Maps a signed value into [0, n) (negative x becomes n + x) so that
+  /// homomorphic sums decode correctly as long as |result| < n/2.
+  BigInt EncodeSigned(const BigInt& x) const;
+
+  /// Encrypt(EncodeSigned(x)).
+  Result<BigInt> EncryptSigned(const BigInt& x, SecureRandom& rng) const;
+
+  /// Homomorphic addition of plaintexts.
+  BigInt Add(const BigInt& c1, const BigInt& c2) const;
+
+  /// Homomorphic multiplication by a (possibly negative) scalar.
+  BigInt ScalarMul(const BigInt& c, const BigInt& k) const;
+
+  /// Fresh randomness on an existing ciphertext (same plaintext).
+  Result<BigInt> Rerandomize(const BigInt& c, SecureRandom& rng) const;
+
+ private:
+  BigInt n_;
+  BigInt n2_;
+};
+
+/// Paillier private key: lambda = lcm(p-1, q-1), mu = lambda^{-1} mod n
+/// (valid for g = n + 1).
+class PaillierPrivateKey {
+ public:
+  PaillierPrivateKey() = default;
+  PaillierPrivateKey(BigInt n, BigInt lambda, BigInt mu);
+
+  /// Decrypts to [0, n).
+  Result<BigInt> Decrypt(const BigInt& c) const;
+
+  /// Decrypts and decodes the signed embedding: results in (-n/2, n/2].
+  Result<BigInt> DecryptSigned(const BigInt& c) const;
+
+  const BigInt& n() const { return n_; }
+
+ private:
+  BigInt n_;
+  BigInt n2_;
+  BigInt lambda_;
+  BigInt mu_;
+};
+
+struct PaillierKeyPair {
+  PaillierPublicKey pub;
+  PaillierPrivateKey priv;
+};
+
+/// Generates a key pair with an (approximately) `modulus_bits`-bit modulus
+/// n = p·q, p and q random primes of modulus_bits/2 bits. The paper's
+/// experiments use 1024-bit keys.
+Result<PaillierKeyPair> GeneratePaillierKeyPair(int modulus_bits,
+                                                SecureRandom& rng);
+
+}  // namespace hprl::crypto
+
+#endif  // HPRL_CRYPTO_PAILLIER_H_

@@ -1,0 +1,74 @@
+#include "crypto/secure_random.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace hprl::crypto {
+
+SecureRandom::SecureRandom() : deterministic_(false), test_rng_(0) {
+  urandom_fd_ = ::open("/dev/urandom", O_RDONLY | O_CLOEXEC);
+  HPRL_CHECK(urandom_fd_ >= 0);
+}
+
+SecureRandom::SecureRandom(uint64_t test_seed)
+    : deterministic_(true), test_rng_(test_seed) {}
+
+void SecureRandom::NextBytes(uint8_t* buf, size_t n) {
+  if (deterministic_) {
+    size_t i = 0;
+    while (i < n) {
+      uint64_t x = test_rng_.Next();
+      size_t take = std::min<size_t>(8, n - i);
+      std::memcpy(buf + i, &x, take);
+      i += take;
+    }
+    return;
+  }
+  size_t off = 0;
+  while (off < n) {
+    ssize_t got = ::read(urandom_fd_, buf + off, n - off);
+    HPRL_CHECK(got > 0);
+    off += static_cast<size_t>(got);
+  }
+}
+
+BigInt SecureRandom::NextBits(int bits) {
+  HPRL_CHECK(bits > 0);
+  size_t bytes = (static_cast<size_t>(bits) + 7) / 8;
+  std::vector<uint8_t> buf(bytes);
+  NextBytes(buf.data(), bytes);
+  // Mask the excess high bits.
+  int excess = static_cast<int>(bytes * 8) - bits;
+  buf[0] &= static_cast<uint8_t>(0xFF >> excess);
+  return BigInt::FromBytes(buf);
+}
+
+BigInt SecureRandom::NextBelow(const BigInt& bound) {
+  HPRL_CHECK(bound.Sign() > 0);
+  int bits = static_cast<int>(bound.BitLength());
+  // Rejection sampling: expected < 2 iterations.
+  for (;;) {
+    BigInt candidate = NextBits(bits);
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigInt SecureRandom::NextPrime(int bits) {
+  HPRL_CHECK(bits >= 8);
+  for (;;) {
+    BigInt candidate = NextBits(bits);
+    // Force exact bit length and oddness.
+    mpz_setbit(candidate.raw(), static_cast<mp_bitcnt_t>(bits - 1));
+    mpz_setbit(candidate.raw(), 0);
+    if (candidate.IsProbablePrime()) return candidate;
+    // Scan forward a little before resampling (cheap sieve behavior).
+    BigInt next = candidate.NextPrime();
+    if (next.BitLength() == static_cast<size_t>(bits)) return next;
+  }
+}
+
+}  // namespace hprl::crypto

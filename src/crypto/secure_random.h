@@ -1,0 +1,44 @@
+#ifndef HPRL_CRYPTO_SECURE_RANDOM_H_
+#define HPRL_CRYPTO_SECURE_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/random.h"
+#include "crypto/bigint.h"
+
+namespace hprl::crypto {
+
+/// Randomness source for key generation and encryption.
+///
+/// The default constructor reads the OS entropy pool (/dev/urandom).
+/// The seeded constructor is DETERMINISTIC and exists for reproducible tests
+/// and benchmarks only — never use it for real keys.
+class SecureRandom {
+ public:
+  SecureRandom();
+  explicit SecureRandom(uint64_t test_seed);
+
+  SecureRandom(const SecureRandom&) = delete;
+  SecureRandom& operator=(const SecureRandom&) = delete;
+
+  void NextBytes(uint8_t* buf, size_t n);
+
+  /// Uniform integer in [0, 2^bits).
+  BigInt NextBits(int bits);
+
+  /// Uniform integer in [0, bound); bound must be positive.
+  BigInt NextBelow(const BigInt& bound);
+
+  /// Random probable prime with exactly `bits` bits (top bit set).
+  BigInt NextPrime(int bits);
+
+ private:
+  bool deterministic_;
+  Rng test_rng_;   // deterministic mode
+  int urandom_fd_  = -1;
+};
+
+}  // namespace hprl::crypto
+
+#endif  // HPRL_CRYPTO_SECURE_RANDOM_H_

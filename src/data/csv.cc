@@ -1,0 +1,235 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <memory>
+
+#include "common/string_util.h"
+
+namespace hprl {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      if (!cur.empty()) {
+        return Status::InvalidArgument("quote inside unquoted CSV field");
+      }
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated quote in CSV");
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Status WriteCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IOError("cannot open for write: " + path);
+  const Schema& schema = *table.schema();
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) out << ',';
+    out << QuoteField(schema.attribute(i).name);
+  }
+  out << '\n';
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int i = 0; i < schema.num_attributes(); ++i) {
+      if (i > 0) out << ',';
+      out << QuoteField(schema.RenderValue(i, table.at(r, i)));
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Table> ReadCsv(const std::string& path, const SchemaPtr& schema,
+                      bool strict_categories) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open for read: " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) return Status::IOError("empty CSV: " + path);
+  auto header = ParseCsvLine(line);
+  if (!header.ok()) return header.status();
+  if (static_cast<int>(header->size()) != schema->num_attributes()) {
+    return Status::InvalidArgument(
+        StrFormat("CSV has %zu columns, schema expects %d", header->size(),
+                  schema->num_attributes()));
+  }
+  for (int i = 0; i < schema->num_attributes(); ++i) {
+    if ((*header)[i] != schema->attribute(i).name) {
+      return Status::InvalidArgument("CSV header mismatch at column " +
+                                     (*header)[i]);
+    }
+  }
+
+  // In lenient mode, domains may grow; build mutable copies up front and a
+  // new schema at the end.
+  std::vector<std::shared_ptr<CategoryDomain>> mutable_domains(
+      schema->num_attributes());
+  if (!strict_categories) {
+    for (int i = 0; i < schema->num_attributes(); ++i) {
+      const AttributeDef& a = schema->attribute(i);
+      if (a.type == AttrType::kCategorical) {
+        mutable_domains[i] =
+            std::make_shared<CategoryDomain>(a.domain->labels());
+      }
+    }
+  }
+
+  std::vector<Record> rows;
+  int64_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto fields = ParseCsvLine(line);
+    if (!fields.ok()) return fields.status();
+    if (static_cast<int>(fields->size()) != schema->num_attributes()) {
+      return Status::InvalidArgument(
+          StrFormat("line %lld: %zu fields, expected %d",
+                    static_cast<long long>(line_no), fields->size(),
+                    schema->num_attributes()));
+    }
+    Record row(schema->num_attributes());
+    for (int i = 0; i < schema->num_attributes(); ++i) {
+      const AttributeDef& a = schema->attribute(i);
+      const std::string& f = (*fields)[i];
+      if (f == "?" || f.empty()) {
+        row[i] = Value::Null();
+        continue;
+      }
+      switch (a.type) {
+        case AttrType::kNumeric: {
+          auto v = ParseDouble(f);
+          if (!v.ok()) {
+            return Status::InvalidArgument(
+                StrFormat("line %lld: bad numeric '%s' for %s",
+                          static_cast<long long>(line_no), f.c_str(),
+                          a.name.c_str()));
+          }
+          row[i] = Value::Numeric(*v);
+          break;
+        }
+        case AttrType::kCategorical: {
+          int32_t id;
+          if (strict_categories) {
+            id = a.domain->Find(f);
+            if (id < 0) {
+              return Status::NotFound(
+                  StrFormat("line %lld: unknown category '%s' for %s",
+                            static_cast<long long>(line_no), f.c_str(),
+                            a.name.c_str()));
+            }
+          } else {
+            id = mutable_domains[i]->GetOrAdd(f);
+          }
+          row[i] = Value::Category(id);
+          break;
+        }
+        case AttrType::kText:
+          row[i] = Value::Text(f);
+          break;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  SchemaPtr out_schema = schema;
+  if (!strict_categories) {
+    auto rebuilt = std::make_shared<Schema>();
+    for (int i = 0; i < schema->num_attributes(); ++i) {
+      const AttributeDef& a = schema->attribute(i);
+      switch (a.type) {
+        case AttrType::kNumeric:
+          rebuilt->AddNumeric(a.name);
+          break;
+        case AttrType::kCategorical:
+          rebuilt->AddCategorical(a.name, mutable_domains[i]);
+          break;
+        case AttrType::kText:
+          rebuilt->AddText(a.name);
+          break;
+      }
+    }
+    out_schema = rebuilt;
+  }
+  Table table(out_schema);
+  table.Reserve(static_cast<int64_t>(rows.size()));
+  for (auto& r : rows) table.AppendUnchecked(std::move(r));
+  return table;
+}
+
+int RawCsv::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<RawCsv> ReadCsvRaw(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line)) return Status::IOError("empty CSV: " + path);
+  auto header = ParseCsvLine(line);
+  if (!header.ok()) return header.status();
+  RawCsv out;
+  out.header = std::move(header).value();
+  int64_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto fields = ParseCsvLine(line);
+    if (!fields.ok()) return fields.status();
+    if (fields->size() != out.header.size()) {
+      return Status::InvalidArgument(
+          StrFormat("line %lld: %zu fields, header has %zu",
+                    static_cast<long long>(line_no), fields->size(),
+                    out.header.size()));
+    }
+    out.rows.push_back(std::move(fields).value());
+  }
+  return out;
+}
+
+}  // namespace hprl

@@ -1,0 +1,44 @@
+#ifndef HPRL_DATA_CSV_H_
+#define HPRL_DATA_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/table.h"
+
+namespace hprl {
+
+/// Writes `table` to `path` as comma-separated values with a header row.
+/// Categorical values are written as their labels. Fields containing commas,
+/// quotes or newlines are quoted.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Reads a CSV file produced for the given schema. The header must name
+/// exactly the schema's attributes (same order). Unknown categorical labels
+/// are an error when `strict_categories` is true, otherwise they are added
+/// to a copy of the domain.
+///
+/// The returned table shares `schema` (strict mode) or a rebuilt schema with
+/// extended domains (lenient mode).
+Result<Table> ReadCsv(const std::string& path, const SchemaPtr& schema,
+                      bool strict_categories = true);
+
+/// Parses one CSV line into fields, honoring double-quote quoting with ""
+/// escapes. Exposed for tests.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line);
+
+/// Schema-free CSV contents: the header and all rows as strings. Used when
+/// column positions must be resolved by name (e.g. the hprl_link tool).
+struct RawCsv {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or -1.
+  int FindColumn(const std::string& name) const;
+};
+
+Result<RawCsv> ReadCsvRaw(const std::string& path);
+
+}  // namespace hprl
+
+#endif  // HPRL_DATA_CSV_H_

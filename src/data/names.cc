@@ -1,0 +1,110 @@
+#include "data/names.h"
+
+#include "common/logging.h"
+
+namespace hprl {
+
+namespace {
+
+const char* const kSurnames[] = {
+    "smith",    "johnson",  "williams", "brown",    "jones",    "garcia",
+    "miller",   "davis",    "rodriguez", "martinez", "hernandez", "lopez",
+    "gonzalez", "wilson",   "anderson", "thomas",   "taylor",   "moore",
+    "jackson",  "martin",   "lee",      "perez",    "thompson", "white",
+    "harris",   "sanchez",  "clark",    "ramirez",  "lewis",    "robinson",
+    "walker",   "young",    "allen",    "king",     "wright",   "scott",
+    "torres",   "nguyen",   "hill",     "flores",   "green",    "adams",
+    "nelson",   "baker",    "hall",     "rivera",   "campbell", "mitchell",
+    "carter",   "roberts",  "gomez",    "phillips", "evans",    "turner",
+    "diaz",     "parker",   "cruz",     "edwards",  "collins",  "reyes",
+    "stewart",  "morris",   "morales",  "murphy",   "cook",     "rogers",
+    "gutierrez", "ortiz",   "morgan",   "cooper",   "peterson", "bailey",
+    "reed",     "kelly",    "howard",   "ramos",    "kim",      "cox",
+    "ward",     "richardson"};
+
+const char* const kCities[] = {
+    "springfield", "riverside",  "franklin",   "greenville", "bristol",
+    "clinton",     "fairview",   "salem",      "madison",    "georgetown",
+    "arlington",   "ashland",    "burlington", "manchester", "oxford",
+    "clayton",     "jackson",    "milton",     "auburn",     "dayton",
+    "lexington",   "milford",    "winchester", "cleveland",  "hudson",
+    "kingston",    "newport",    "oakland",    "dover",      "centerville"};
+
+/// Zipf-like weight for rank i (1-based): 1 / (i + 1).
+std::vector<double> ZipfWeights(size_t n) {
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) w[i] = 1.0 / static_cast<double>(i + 2);
+  return w;
+}
+
+}  // namespace
+
+Table GenerateNameRegistry(int64_t n, uint64_t seed) {
+  auto schema = std::make_shared<Schema>();
+  schema->AddText("surname");
+  schema->AddText("city");
+  schema->AddNumeric("age");
+
+  Rng rng(seed);
+  std::vector<double> surname_w = ZipfWeights(std::size(kSurnames));
+  std::vector<double> city_w = ZipfWeights(std::size(kCities));
+
+  Table t(schema);
+  t.Reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    Record rec(3);
+    rec[0] = Value::Text(kSurnames[rng.NextDiscrete(surname_w)]);
+    rec[1] = Value::Text(kCities[rng.NextDiscrete(city_w)]);
+    rec[2] = Value::Numeric(static_cast<double>(rng.NextInt(17, 90)));
+    t.AppendUnchecked(std::move(rec));
+  }
+  return t;
+}
+
+std::string ApplyRandomEdit(const std::string& s, Rng& rng) {
+  std::string out = s;
+  char letter = static_cast<char>('a' + rng.NextBounded(26));
+  switch (out.empty() ? 1 : rng.NextBounded(3)) {
+    case 0: {  // substitution
+      size_t pos = rng.NextBounded(out.size());
+      out[pos] = letter;
+      break;
+    }
+    case 1: {  // insertion
+      size_t pos = rng.NextBounded(out.size() + 1);
+      out.insert(out.begin() + static_cast<long>(pos), letter);
+      break;
+    }
+    default: {  // deletion
+      size_t pos = rng.NextBounded(out.size());
+      out.erase(out.begin() + static_cast<long>(pos));
+      break;
+    }
+  }
+  return out;
+}
+
+Table CorruptRegistry(const Table& source, double typo_rate,
+                      double age_jitter_rate, uint64_t seed) {
+  HPRL_CHECK(typo_rate >= 0 && typo_rate <= 1);
+  Rng rng(seed);
+  Table out(source.schema());
+  out.Reserve(source.num_rows());
+  for (int64_t i = 0; i < source.num_rows(); ++i) {
+    Record rec = source.row(i);
+    for (int col = 0; col < source.num_attributes(); ++col) {
+      const AttributeDef& attr = source.schema()->attribute(col);
+      if (attr.type == AttrType::kText && rng.NextBernoulli(typo_rate)) {
+        rec[col] = Value::Text(ApplyRandomEdit(rec[col].text(), rng));
+      } else if (attr.type == AttrType::kNumeric &&
+                 rng.NextBernoulli(age_jitter_rate)) {
+        rec[col] = Value::Numeric(rec[col].num() +
+                                  (rng.NextBernoulli(0.5) ? 1.0 : -1.0));
+      }
+    }
+    out.AppendUnchecked(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace hprl

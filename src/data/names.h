@@ -1,0 +1,33 @@
+#ifndef HPRL_DATA_NAMES_H_
+#define HPRL_DATA_NAMES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "data/table.h"
+
+namespace hprl {
+
+/// Synthetic person-registry generator for the paper's §VIII alphanumeric
+/// extension: records carry a text surname, a text city, and a numeric age.
+/// Surnames/cities are drawn from fixed pools with Zipf-ish weights so that
+/// prefix generalization has structure to exploit.
+///
+/// Schema: {surname: text, city: text, age: numeric in [16, 112)}.
+Table GenerateNameRegistry(int64_t n, uint64_t seed);
+
+/// Returns a "dirtied" copy of a registry: each text field independently
+/// receives a random edit (substitution, insertion or deletion of one
+/// lowercase letter) with probability `typo_rate`; ages are jittered by ±1
+/// with probability `age_jitter_rate`. Simulates the transcription noise
+/// that motivates approximate matching in record linkage.
+Table CorruptRegistry(const Table& source, double typo_rate,
+                      double age_jitter_rate, uint64_t seed);
+
+/// Applies one random single-character edit to `s` (exposed for tests).
+std::string ApplyRandomEdit(const std::string& s, Rng& rng);
+
+}  // namespace hprl
+
+#endif  // HPRL_DATA_NAMES_H_

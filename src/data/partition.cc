@@ -1,0 +1,31 @@
+#include "data/partition.h"
+
+#include <numeric>
+
+namespace hprl {
+
+Result<LinkageSplit> SplitForLinkage(const Table& source, Rng& rng) {
+  int64_t n = source.num_rows();
+  if (n < 3) return Status::InvalidArgument("need at least 3 rows to split");
+  int64_t part = n / 3;  // remainder rows are dropped (paper: 30162 -> 3x10054)
+
+  std::vector<int64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+
+  std::vector<int64_t> d1_idx(perm.begin(), perm.begin() + part);
+  std::vector<int64_t> d2_idx(perm.begin() + part, perm.begin() + 2 * part);
+  std::vector<int64_t> d3_idx(perm.begin() + 2 * part,
+                              perm.begin() + 3 * part);
+
+  LinkageSplit split{Table(source.schema()), Table(source.schema()), {}, {}, part};
+  split.d1_source = d1_idx;
+  split.d1_source.insert(split.d1_source.end(), d3_idx.begin(), d3_idx.end());
+  split.d2_source = d2_idx;
+  split.d2_source.insert(split.d2_source.end(), d3_idx.begin(), d3_idx.end());
+  split.d1 = source.Gather(split.d1_source);
+  split.d2 = source.Gather(split.d2_source);
+  return split;
+}
+
+}  // namespace hprl

@@ -1,0 +1,37 @@
+#ifndef HPRL_DATA_PARTITION_H_
+#define HPRL_DATA_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "data/table.h"
+
+namespace hprl {
+
+/// Output of the paper's §VI data-set construction: the source table is
+/// randomly split into thirds d1, d2, d3; the two linkage inputs are
+/// D1 = d1 ∪ d3 and D2 = d2 ∪ d3, so the overlap d3 guarantees a non-empty
+/// set of matching pairs regardless of the matching thresholds.
+struct LinkageSplit {
+  Table d1;  // first linkage input (d1 ∪ d3)
+  Table d2;  // second linkage input (d2 ∪ d3)
+
+  /// Row indexes (into the source table) backing each output row, in order.
+  /// The last `shared_count` rows of each output come from d3, so
+  /// d1_source[d1.num_rows()-shared_count+i] == d2_source[...+i] for each i.
+  std::vector<int64_t> d1_source;
+  std::vector<int64_t> d2_source;
+  int64_t shared_count = 0;
+};
+
+/// Shuffles the rows of `source` with `rng` and builds the D1/D2 linkage
+/// inputs. The source is split into three near-equal parts (sizes differing
+/// by at most one; any remainder rows are dropped to keep the parts equal,
+/// matching the paper's 3 x 10,054 construction from 30,162 rows).
+Result<LinkageSplit> SplitForLinkage(const Table& source, Rng& rng);
+
+}  // namespace hprl
+
+#endif  // HPRL_DATA_PARTITION_H_

@@ -1,0 +1,78 @@
+#include "data/schema.h"
+
+#include "common/string_util.h"
+
+namespace hprl {
+
+CategoryDomain::CategoryDomain(std::vector<std::string> labels)
+    : labels_(std::move(labels)) {
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    ids_.emplace(labels_[i], static_cast<int32_t>(i));
+  }
+}
+
+Result<int32_t> CategoryDomain::Add(const std::string& label) {
+  if (ids_.count(label) > 0) {
+    return Status::InvalidArgument("duplicate category label: " + label);
+  }
+  int32_t id = static_cast<int32_t>(labels_.size());
+  labels_.push_back(label);
+  ids_.emplace(label, id);
+  return id;
+}
+
+int32_t CategoryDomain::GetOrAdd(const std::string& label) {
+  auto it = ids_.find(label);
+  if (it != ids_.end()) return it->second;
+  int32_t id = static_cast<int32_t>(labels_.size());
+  labels_.push_back(label);
+  ids_.emplace(label, id);
+  return id;
+}
+
+int32_t CategoryDomain::Find(const std::string& label) const {
+  auto it = ids_.find(label);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+void Schema::AddNumeric(const std::string& name) {
+  index_.emplace(name, static_cast<int>(attrs_.size()));
+  attrs_.push_back({name, AttrType::kNumeric, nullptr});
+}
+
+void Schema::AddCategorical(const std::string& name,
+                            std::shared_ptr<const CategoryDomain> domain) {
+  index_.emplace(name, static_cast<int>(attrs_.size()));
+  attrs_.push_back({name, AttrType::kCategorical, std::move(domain)});
+}
+
+void Schema::AddText(const std::string& name) {
+  index_.emplace(name, static_cast<int>(attrs_.size()));
+  attrs_.push_back({name, AttrType::kText, nullptr});
+}
+
+int Schema::FindIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::string Schema::RenderValue(int i, const Value& v) const {
+  const AttributeDef& a = attrs_[i];
+  if (v.is_null()) return "?";
+  switch (a.type) {
+    case AttrType::kNumeric:
+      return StrFormat("%g", v.num());
+    case AttrType::kCategorical: {
+      int32_t id = v.category();
+      if (a.domain != nullptr && id >= 0 && id < a.domain->size()) {
+        return a.domain->label(id);
+      }
+      return StrFormat("#%d", id);
+    }
+    case AttrType::kText:
+      return v.text();
+  }
+  return "?";
+}
+
+}  // namespace hprl

@@ -1,0 +1,80 @@
+#ifndef HPRL_DATA_SCHEMA_H_
+#define HPRL_DATA_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "data/value.h"
+
+namespace hprl {
+
+/// Dictionary of labels for one categorical attribute. Category ids are
+/// dense, 0-based, and stable for the lifetime of the domain.
+///
+/// When a domain is derived from a value generalization hierarchy, ids equal
+/// the DFS leaf index of the corresponding hierarchy leaf, which makes
+/// specialization sets contiguous id ranges (see hierarchy/vgh.h).
+class CategoryDomain {
+ public:
+  CategoryDomain() = default;
+  explicit CategoryDomain(std::vector<std::string> labels);
+
+  /// Adds a label; returns its id. Fails if the label already exists.
+  Result<int32_t> Add(const std::string& label);
+
+  /// Returns the id for `label`, adding it if absent.
+  int32_t GetOrAdd(const std::string& label);
+
+  /// Returns the id for `label`, or -1 if unknown.
+  int32_t Find(const std::string& label) const;
+
+  const std::string& label(int32_t id) const { return labels_[id]; }
+  int32_t size() const { return static_cast<int32_t>(labels_.size()); }
+  const std::vector<std::string>& labels() const { return labels_; }
+
+ private:
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, int32_t> ids_;
+};
+
+/// One attribute: a name, a type, and (for categoricals) the shared domain.
+struct AttributeDef {
+  std::string name;
+  AttrType type = AttrType::kNumeric;
+  std::shared_ptr<const CategoryDomain> domain;  // categorical only
+};
+
+/// Ordered list of attributes. Shared (immutably) by tables and anonymized
+/// releases; build it once, then wrap in shared_ptr<const Schema>.
+class Schema {
+ public:
+  Schema() = default;
+
+  void AddNumeric(const std::string& name);
+  void AddCategorical(const std::string& name,
+                      std::shared_ptr<const CategoryDomain> domain);
+  void AddText(const std::string& name);
+
+  int num_attributes() const { return static_cast<int>(attrs_.size()); }
+  const AttributeDef& attribute(int i) const { return attrs_[i]; }
+
+  /// Index of the attribute named `name`, or -1.
+  int FindIndex(const std::string& name) const;
+
+  /// Human-readable rendering of a value of attribute `i` (labels for
+  /// categoricals, plain numbers otherwise).
+  std::string RenderValue(int i, const Value& v) const;
+
+ private:
+  std::vector<AttributeDef> attrs_;
+  std::unordered_map<std::string, int> index_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+}  // namespace hprl
+
+#endif  // HPRL_DATA_SCHEMA_H_

@@ -1,0 +1,58 @@
+#include "data/table.h"
+
+#include "common/string_util.h"
+
+namespace hprl {
+
+namespace {
+
+bool KindMatches(AttrType type, const Value& v) {
+  if (v.is_null()) return true;  // nulls allowed anywhere
+  switch (type) {
+    case AttrType::kNumeric:
+      return v.kind() == Value::Kind::kNumeric;
+    case AttrType::kCategorical:
+      return v.kind() == Value::Kind::kCategory;
+    case AttrType::kText:
+      return v.kind() == Value::Kind::kText;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status Table::Append(Record row) {
+  if (static_cast<int>(row.size()) != schema_->num_attributes()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu values, schema has %d attributes", row.size(),
+                  schema_->num_attributes()));
+  }
+  for (int i = 0; i < schema_->num_attributes(); ++i) {
+    const AttributeDef& a = schema_->attribute(i);
+    if (!KindMatches(a.type, row[i])) {
+      return Status::InvalidArgument("value kind mismatch for attribute " +
+                                     a.name);
+    }
+    if (a.type == AttrType::kCategorical && !row[i].is_null()) {
+      int32_t id = row[i].category();
+      if (a.domain == nullptr || id < 0 || id >= a.domain->size()) {
+        return Status::OutOfRange(
+            StrFormat("category id %d out of domain for attribute %s", id,
+                      a.name.c_str()));
+      }
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Table Table::Gather(const std::vector<int64_t>& row_indexes) const {
+  Table out(schema_);
+  out.Reserve(static_cast<int64_t>(row_indexes.size()));
+  for (int64_t idx : row_indexes) {
+    out.AppendUnchecked(rows_[idx]);
+  }
+  return out;
+}
+
+}  // namespace hprl

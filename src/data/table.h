@@ -1,0 +1,52 @@
+#ifndef HPRL_DATA_TABLE_H_
+#define HPRL_DATA_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/schema.h"
+#include "data/value.h"
+
+namespace hprl {
+
+/// A record: one value per schema attribute.
+using Record = std::vector<Value>;
+
+/// Row-oriented in-memory relation. Rows are identified by their index; the
+/// schema is shared and immutable.
+class Table {
+ public:
+  explicit Table(SchemaPtr schema) : schema_(std::move(schema)) {}
+
+  const SchemaPtr& schema() const { return schema_; }
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+  int num_attributes() const { return schema_->num_attributes(); }
+
+  /// Appends a row after validating arity and value kinds against the schema.
+  Status Append(Record row);
+
+  /// Appends without validation (callers that construct values from the
+  /// schema directly, e.g. generators, use this for speed).
+  void AppendUnchecked(Record row) { rows_.push_back(std::move(row)); }
+
+  const Record& row(int64_t i) const { return rows_[i]; }
+  Record& mutable_row(int64_t i) { return rows_[i]; }
+  const Value& at(int64_t row, int col) const { return rows_[row][col]; }
+
+  const std::vector<Record>& rows() const { return rows_; }
+
+  void Reserve(int64_t n) { rows_.reserve(n); }
+
+  /// New table containing the rows whose indexes appear in `row_indexes`
+  /// (in that order). Indexes must be valid.
+  Table Gather(const std::vector<int64_t>& row_indexes) const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Record> rows_;
+};
+
+}  // namespace hprl
+
+#endif  // HPRL_DATA_TABLE_H_

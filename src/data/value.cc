@@ -1,0 +1,33 @@
+#include "data/value.h"
+
+#include "common/string_util.h"
+
+namespace hprl {
+
+std::string AttrTypeName(AttrType t) {
+  switch (t) {
+    case AttrType::kNumeric:
+      return "numeric";
+    case AttrType::kCategorical:
+      return "categorical";
+    case AttrType::kText:
+      return "text";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kNumeric:
+      return StrFormat("%g", num_);
+    case Kind::kCategory:
+      return StrFormat("#%d", cat_);
+    case Kind::kText:
+      return text_;
+  }
+  return "?";
+}
+
+}  // namespace hprl

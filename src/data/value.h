@@ -1,0 +1,89 @@
+#ifndef HPRL_DATA_VALUE_H_
+#define HPRL_DATA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace hprl {
+
+/// Attribute kinds supported by the linkage engine.
+///  - kNumeric: continuous values (double), compared with normalized
+///    Euclidean distance.
+///  - kCategorical: values from a finite domain (stored as integer ids into a
+///    CategoryDomain), compared with Hamming distance.
+///  - kText: free-form strings (the paper's future-work extension), compared
+///    with edit distance.
+enum class AttrType { kNumeric, kCategorical, kText };
+
+std::string AttrTypeName(AttrType t);
+
+/// A single cell value: null, numeric, categorical id, or text.
+///
+/// Value is a small tagged union; copying is cheap except for text values.
+class Value {
+ public:
+  enum class Kind { kNull, kNumeric, kCategory, kText };
+
+  Value() : kind_(Kind::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Numeric(double v) {
+    Value x;
+    x.kind_ = Kind::kNumeric;
+    x.num_ = v;
+    return x;
+  }
+  static Value Category(int32_t id) {
+    Value x;
+    x.kind_ = Kind::kCategory;
+    x.cat_ = id;
+    return x;
+  }
+  static Value Text(std::string s) {
+    Value x;
+    x.kind_ = Kind::kText;
+    x.text_ = std::move(s);
+    return x;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Numeric payload; only valid when kind()==kNumeric.
+  double num() const { return num_; }
+  /// Category id; only valid when kind()==kCategory.
+  int32_t category() const { return cat_; }
+  /// Text payload; only valid when kind()==kText.
+  const std::string& text() const { return text_; }
+
+  bool operator==(const Value& o) const {
+    if (kind_ != o.kind_) return false;
+    switch (kind_) {
+      case Kind::kNull:
+        return true;
+      case Kind::kNumeric:
+        return num_ == o.num_;
+      case Kind::kCategory:
+        return cat_ == o.cat_;
+      case Kind::kText:
+        return text_ == o.text_;
+    }
+    return false;
+  }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+  /// Debug rendering; categorical values print as "#<id>" (the schema is
+  /// needed to recover the label).
+  std::string ToString() const;
+
+ private:
+  Kind kind_;
+  double num_ = 0;
+  int32_t cat_ = -1;
+  std::string text_;
+};
+
+}  // namespace hprl
+
+#endif  // HPRL_DATA_VALUE_H_

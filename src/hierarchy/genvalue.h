@@ -1,0 +1,102 @@
+#ifndef HPRL_HIERARCHY_GENVALUE_H_
+#define HPRL_HIERARCHY_GENVALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/value.h"
+
+namespace hprl {
+
+/// A generalized attribute value: the released, imprecise-but-accurate form
+/// of an original value (paper §IV). A GenValue denotes the *specialization
+/// set* specSet(.) of values the original may assume:
+///
+///  - categorical: a contiguous range [cat_lo, cat_hi) of leaf indexes in the
+///    attribute's VGH (leaves are numbered in DFS order, so every hierarchy
+///    node's specialization set is contiguous); a singleton range is a fully
+///    specific value.
+///  - numeric: an interval treated as closed [num_lo, num_hi] for slack
+///    distance math. Closing the paper's half-open [lo, hi) intervals only
+///    relaxes the infimum and supremum, so blocking decisions remain sound
+///    (never a wrong Match/Mismatch, at worst an extra Unknown).
+///  - text (future-work extension): a prefix pattern; `text_exact` means the
+///    string is fully specific.
+struct GenValue {
+  AttrType type = AttrType::kCategorical;
+
+  int32_t cat_lo = 0;  // inclusive leaf index
+  int32_t cat_hi = 0;  // exclusive leaf index
+
+  double num_lo = 0;
+  double num_hi = 0;
+
+  std::string text_prefix;
+  bool text_exact = false;
+
+  /// VGH node this generalization came from, or -1 when synthesized directly
+  /// (e.g. Mondrian boxes, exact numeric values).
+  int node = -1;
+
+  static GenValue CategoryRange(int32_t lo, int32_t hi, int node = -1) {
+    GenValue g;
+    g.type = AttrType::kCategorical;
+    g.cat_lo = lo;
+    g.cat_hi = hi;
+    g.node = node;
+    return g;
+  }
+  static GenValue CategorySingleton(int32_t leaf, int node = -1) {
+    return CategoryRange(leaf, leaf + 1, node);
+  }
+  static GenValue NumericInterval(double lo, double hi, int node = -1) {
+    GenValue g;
+    g.type = AttrType::kNumeric;
+    g.num_lo = lo;
+    g.num_hi = hi;
+    g.node = node;
+    return g;
+  }
+  static GenValue NumericExact(double v) { return NumericInterval(v, v); }
+  static GenValue TextPrefix(std::string prefix, bool exact) {
+    GenValue g;
+    g.type = AttrType::kText;
+    g.text_prefix = std::move(prefix);
+    g.text_exact = exact;
+    return g;
+  }
+
+  /// True when the generalization admits exactly one value.
+  bool IsSingleton() const {
+    switch (type) {
+      case AttrType::kCategorical:
+        return cat_hi == cat_lo + 1;
+      case AttrType::kNumeric:
+        return num_lo == num_hi;
+      case AttrType::kText:
+        return text_exact;
+    }
+    return false;
+  }
+
+  /// Number of leaf categories covered (categorical only).
+  int32_t CategoryCount() const { return cat_hi - cat_lo; }
+
+  bool operator==(const GenValue& o) const {
+    if (type != o.type) return false;
+    switch (type) {
+      case AttrType::kCategorical:
+        return cat_lo == o.cat_lo && cat_hi == o.cat_hi;
+      case AttrType::kNumeric:
+        return num_lo == o.num_lo && num_hi == o.num_hi;
+      case AttrType::kText:
+        return text_prefix == o.text_prefix && text_exact == o.text_exact;
+    }
+    return false;
+  }
+  bool operator!=(const GenValue& o) const { return !(*this == o); }
+};
+
+}  // namespace hprl
+
+#endif  // HPRL_HIERARCHY_GENVALUE_H_

@@ -1,0 +1,214 @@
+#include "hierarchy/vgh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace hprl {
+
+int Vgh::FindByLabel(const std::string& label) const {
+  auto it = by_label_.find(label);
+  return it == by_label_.end() ? -1 : it->second;
+}
+
+Result<int> Vgh::LeafForNumeric(double v) const {
+  const Node& root = nodes_[kRoot];
+  if (v < root.lo || v >= root.hi) {
+    return Status::OutOfRange(
+        StrFormat("value %g outside root range [%g, %g)", v, root.lo, root.hi));
+  }
+  int id = kRoot;
+  while (!IsLeaf(id)) {
+    int next = -1;
+    for (int c : nodes_[id].children) {
+      if (v >= nodes_[c].lo && v < nodes_[c].hi) {
+        next = c;
+        break;
+      }
+    }
+    if (next < 0) {
+      return Status::Internal(StrFormat("numeric VGH gap at value %g", v));
+    }
+    id = next;
+  }
+  return id;
+}
+
+int Vgh::AncestorAtLevel(int id, int target_level) const {
+  while (nodes_[id].level > target_level) id = nodes_[id].parent;
+  return id;
+}
+
+GenValue Vgh::Gen(int id) const {
+  const Node& n = nodes_[id];
+  if (kind_ == Kind::kCategorical) {
+    return GenValue::CategoryRange(n.leaf_begin, n.leaf_end, id);
+  }
+  return GenValue::NumericInterval(n.lo, n.hi, id);
+}
+
+std::string Vgh::NodeLabel(int id) const {
+  const Node& n = nodes_[id];
+  if (kind_ == Kind::kCategorical) return n.label;
+  return StrFormat("[%g-%g)", n.lo, n.hi);
+}
+
+std::shared_ptr<const CategoryDomain> Vgh::MakeDomain() const {
+  std::vector<std::string> labels;
+  labels.reserve(leaves_.size());
+  for (int leaf : leaves_) labels.push_back(nodes_[leaf].label);
+  return std::make_shared<CategoryDomain>(std::move(labels));
+}
+
+VghBuilder::VghBuilder(Vgh::Kind kind) { vgh_.kind_ = kind; }
+
+int VghBuilder::AddRoot(const std::string& label) {
+  HPRL_CHECK(!has_root_);
+  has_root_ = true;
+  Vgh::Node n;
+  n.label = label;
+  vgh_.nodes_.push_back(std::move(n));
+  return Vgh::kRoot;
+}
+
+int VghBuilder::AddNumericRoot(double lo, double hi) {
+  HPRL_CHECK(!has_root_);
+  has_root_ = true;
+  Vgh::Node n;
+  n.lo = lo;
+  n.hi = hi;
+  vgh_.nodes_.push_back(std::move(n));
+  return Vgh::kRoot;
+}
+
+int VghBuilder::AddChild(int parent, const std::string& label) {
+  Vgh::Node n;
+  n.label = label;
+  n.parent = parent;
+  int id = static_cast<int>(vgh_.nodes_.size());
+  vgh_.nodes_.push_back(std::move(n));
+  vgh_.nodes_[parent].children.push_back(id);
+  return id;
+}
+
+int VghBuilder::AddNumericChild(int parent, double lo, double hi) {
+  Vgh::Node n;
+  n.lo = lo;
+  n.hi = hi;
+  n.parent = parent;
+  int id = static_cast<int>(vgh_.nodes_.size());
+  vgh_.nodes_.push_back(std::move(n));
+  vgh_.nodes_[parent].children.push_back(id);
+  return id;
+}
+
+Result<Vgh> VghBuilder::Build() {
+  if (!has_root_) return Status::FailedPrecondition("VGH has no root");
+
+  // Assign levels and DFS leaf numbering with an explicit stack.
+  std::vector<int> stack = {Vgh::kRoot};
+  vgh_.leaves_.clear();
+  vgh_.height_ = 0;
+  // Pre-order pass assigns levels; we need post-order for leaf ranges, so do
+  // pre-order leaf numbering (leaves are numbered as encountered in DFS) and
+  // then a second pass to propagate [leaf_begin, leaf_end) upward.
+  std::vector<int> order;  // pre-order
+  while (!stack.empty()) {
+    int id = stack.back();
+    stack.pop_back();
+    order.push_back(id);
+    Vgh::Node& n = vgh_.nodes_[id];
+    if (n.parent >= 0) {
+      n.level = vgh_.nodes_[n.parent].level + 1;
+      vgh_.height_ = std::max(vgh_.height_, n.level);
+    }
+    // Push children in reverse so DFS visits them left-to-right.
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+    if (n.children.empty()) {
+      n.leaf_begin = static_cast<int32_t>(vgh_.leaves_.size());
+      n.leaf_end = n.leaf_begin + 1;
+      vgh_.leaves_.push_back(id);
+    }
+  }
+  // Propagate leaf ranges bottom-up: reverse pre-order visits children before
+  // parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Vgh::Node& n = vgh_.nodes_[*it];
+    if (n.children.empty()) continue;
+    n.leaf_begin = vgh_.nodes_[n.children.front()].leaf_begin;
+    n.leaf_end = vgh_.nodes_[n.children.back()].leaf_end;
+  }
+
+  if (vgh_.kind_ == Vgh::Kind::kCategorical) {
+    vgh_.by_label_.clear();
+    for (int id = 0; id < vgh_.num_nodes(); ++id) {
+      const std::string& label = vgh_.nodes_[id].label;
+      auto [it, inserted] = vgh_.by_label_.emplace(label, id);
+      if (!inserted) {
+        return Status::InvalidArgument("duplicate VGH label: " + label);
+      }
+    }
+  } else {
+    // Numeric: children must contiguously partition the parent.
+    for (int id = 0; id < vgh_.num_nodes(); ++id) {
+      const Vgh::Node& n = vgh_.nodes_[id];
+      if (n.children.empty()) continue;
+      double cursor = n.lo;
+      for (int c : n.children) {
+        const Vgh::Node& child = vgh_.nodes_[c];
+        if (std::fabs(child.lo - cursor) > 1e-9) {
+          return Status::InvalidArgument(StrFormat(
+              "numeric VGH children of [%g-%g) leave a gap at %g", n.lo, n.hi,
+              cursor));
+        }
+        if (child.hi <= child.lo) {
+          return Status::InvalidArgument("empty numeric VGH interval");
+        }
+        cursor = child.hi;
+      }
+      if (std::fabs(cursor - n.hi) > 1e-9) {
+        return Status::InvalidArgument(StrFormat(
+            "numeric VGH children of [%g-%g) stop at %g", n.lo, n.hi, cursor));
+      }
+    }
+  }
+  return std::move(vgh_);
+}
+
+Result<Vgh> MakeEquiWidthVgh(double lo, double leaf_width,
+                             const std::vector<int>& fanouts) {
+  if (leaf_width <= 0) return Status::InvalidArgument("leaf_width must be > 0");
+  double total = leaf_width;
+  for (int f : fanouts) {
+    if (f < 1) return Status::InvalidArgument("fanout must be >= 1");
+    total *= f;
+  }
+  VghBuilder b(Vgh::Kind::kNumeric);
+  int root = b.AddNumericRoot(lo, lo + total);
+  // Breadth-first expansion level by level.
+  struct Item {
+    int node;
+    double lo, hi;
+  };
+  std::vector<Item> frontier = {{root, lo, lo + total}};
+  for (int f : fanouts) {
+    std::vector<Item> next;
+    for (const Item& item : frontier) {
+      double width = (item.hi - item.lo) / f;
+      for (int i = 0; i < f; ++i) {
+        double clo = item.lo + i * width;
+        double chi = (i == f - 1) ? item.hi : item.lo + (i + 1) * width;
+        int id = b.AddNumericChild(item.node, clo, chi);
+        next.push_back({id, clo, chi});
+      }
+    }
+    frontier = std::move(next);
+  }
+  return b.Build();
+}
+
+}  // namespace hprl

@@ -1,0 +1,209 @@
+#include "hierarchy/vgh_parser.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace hprl {
+
+namespace {
+
+/// Parses "[lo,hi)" into a pair; whitespace-tolerant.
+Result<std::pair<double, double>> ParseInterval(std::string_view s) {
+  if (s.size() < 5 || s.front() != '[' || s.back() != ')') {
+    return Status::InvalidArgument("interval must look like [lo,hi): " +
+                                   std::string(s));
+  }
+  std::string_view body = s.substr(1, s.size() - 2);
+  size_t comma = body.find(',');
+  if (comma == std::string_view::npos) {
+    return Status::InvalidArgument("interval missing comma: " +
+                                   std::string(s));
+  }
+  auto lo = ParseDouble(std::string(body.substr(0, comma)));
+  auto hi = ParseDouble(std::string(body.substr(comma + 1)));
+  if (!lo.ok()) return lo.status();
+  if (!hi.ok()) return hi.status();
+  if (*hi <= *lo) {
+    return Status::InvalidArgument("empty interval: " + std::string(s));
+  }
+  return std::make_pair(*lo, *hi);
+}
+
+/// Shared indentation-walker: calls add(parent_id, label, level) and returns
+/// the created node id. Root has parent -1.
+template <typename AddFn>
+Status WalkIndented(const std::string& text, AddFn add) {
+  std::vector<std::pair<int, int>> path;  // (indent level, node id)
+  bool have_root = false;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+      line.pop_back();
+    }
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    int spaces = 0;
+    while (spaces < static_cast<int>(line.size()) && line[spaces] == ' ') {
+      ++spaces;
+    }
+    if (spaces % 2 != 0) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: odd indentation (%d spaces)", line_no, spaces));
+    }
+    int level = spaces / 2;
+    if (!have_root) {
+      if (level != 0) {
+        return Status::InvalidArgument("first VGH entry must be unindented");
+      }
+      auto id = add(-1, trimmed, line_no);
+      if (!id.ok()) return id.status();
+      path = {{0, *id}};
+      have_root = true;
+      continue;
+    }
+    if (level == 0) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: second root", line_no));
+    }
+    while (!path.empty() && path.back().first >= level) path.pop_back();
+    if (path.empty() || path.back().first != level - 1) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: indentation jumps levels", line_no));
+    }
+    auto id = add(path.back().second, trimmed, line_no);
+    if (!id.ok()) return id.status();
+    path.emplace_back(level, *id);
+  }
+  if (!have_root) return Status::InvalidArgument("empty VGH spec");
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Vgh> ParseNumericVgh(const std::string& text) {
+  VghBuilder builder(Vgh::Kind::kNumeric);
+  Status walked = WalkIndented(
+      text, [&](int parent, std::string_view token,
+                int line_no) -> Result<int> {
+        auto iv = ParseInterval(token);
+        if (!iv.ok()) {
+          return Status::InvalidArgument(
+              StrFormat("line %d: %s", line_no,
+                        iv.status().message().c_str()));
+        }
+        return parent < 0
+                   ? builder.AddNumericRoot(iv->first, iv->second)
+                   : builder.AddNumericChild(parent, iv->first, iv->second);
+      });
+  if (!walked.ok()) return walked;
+  return builder.Build();
+}
+
+Result<Vgh> LoadNumericVgh(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open VGH file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseNumericVgh(buf.str());
+}
+
+namespace {
+void FormatNumericNode(const Vgh& vgh, int id, int depth, std::string& out) {
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+  out += StrFormat("[%.17g,%.17g)", vgh.node(id).lo, vgh.node(id).hi);
+  out += '\n';
+  for (int c : vgh.node(id).children) FormatNumericNode(vgh, c, depth + 1, out);
+}
+}  // namespace
+
+std::string FormatNumericVgh(const Vgh& vgh) {
+  std::string out;
+  FormatNumericNode(vgh, Vgh::kRoot, 0, out);
+  return out;
+}
+
+Result<Vgh> ParseCategoricalVgh(const std::string& text) {
+  VghBuilder builder(Vgh::Kind::kCategorical);
+  // Stack of (indent_level, node_id) for the current path from the root.
+  std::vector<std::pair<int, int>> path;
+  bool have_root = false;
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip trailing CR and skip blanks/comments.
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+      line.pop_back();
+    }
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+
+    int spaces = 0;
+    while (spaces < static_cast<int>(line.size()) && line[spaces] == ' ') {
+      ++spaces;
+    }
+    if (spaces % 2 != 0) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: odd indentation (%d spaces)", line_no, spaces));
+    }
+    int level = spaces / 2;
+    std::string label(trimmed);
+
+    if (!have_root) {
+      if (level != 0) {
+        return Status::InvalidArgument("first VGH entry must be unindented");
+      }
+      int id = builder.AddRoot(label);
+      path = {{0, id}};
+      have_root = true;
+      continue;
+    }
+    if (level == 0) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: second root '%s'", line_no, label.c_str()));
+    }
+    // Pop to the parent level.
+    while (!path.empty() && path.back().first >= level) path.pop_back();
+    if (path.empty() || path.back().first != level - 1) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: indentation jumps levels", line_no));
+    }
+    int id = builder.AddChild(path.back().second, label);
+    path.emplace_back(level, id);
+  }
+  if (!have_root) return Status::InvalidArgument("empty VGH spec");
+  return builder.Build();
+}
+
+Result<Vgh> LoadCategoricalVgh(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open VGH file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCategoricalVgh(buf.str());
+}
+
+namespace {
+void FormatNode(const Vgh& vgh, int id, int depth, std::string& out) {
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+  out += vgh.node(id).label;
+  out += '\n';
+  for (int c : vgh.node(id).children) FormatNode(vgh, c, depth + 1, out);
+}
+}  // namespace
+
+std::string FormatCategoricalVgh(const Vgh& vgh) {
+  std::string out;
+  FormatNode(vgh, Vgh::kRoot, 0, out);
+  return out;
+}
+
+}  // namespace hprl

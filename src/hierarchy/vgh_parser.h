@@ -1,0 +1,49 @@
+#ifndef HPRL_HIERARCHY_VGH_PARSER_H_
+#define HPRL_HIERARCHY_VGH_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "hierarchy/vgh.h"
+
+namespace hprl {
+
+/// Parses a categorical VGH from an indentation-based text format:
+///
+///   ANY
+///     Secondary
+///       Junior Sec.
+///         9th
+///         10th
+///     University
+///       Bachelors
+///
+/// Rules: the first non-empty line is the root at indent 0; each subsequent
+/// line indents by exactly two spaces per level relative to its parent; blank
+/// lines and lines starting with '#' are ignored.
+Result<Vgh> ParseCategoricalVgh(const std::string& text);
+
+/// Loads and parses a VGH file from disk.
+Result<Vgh> LoadCategoricalVgh(const std::string& path);
+
+/// Serializes a categorical VGH back to the text format (inverse of
+/// ParseCategoricalVgh up to whitespace).
+std::string FormatCategoricalVgh(const Vgh& vgh);
+
+/// Parses a numeric VGH from the same indentation format with interval
+/// nodes, e.g. the paper's WorkHrs hierarchy:
+///
+///   [1,99)
+///     [1,37)
+///       [1,35)
+///       [35,37)
+///     [37,99)
+///
+/// Children must contiguously partition their parent (validated by Build).
+Result<Vgh> ParseNumericVgh(const std::string& text);
+Result<Vgh> LoadNumericVgh(const std::string& path);
+std::string FormatNumericVgh(const Vgh& vgh);
+
+}  // namespace hprl
+
+#endif  // HPRL_HIERARCHY_VGH_PARSER_H_

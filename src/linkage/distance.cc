@@ -1,0 +1,49 @@
+#include "linkage/distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace hprl {
+
+int EditDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<int>(m);
+  if (m == 0) return static_cast<int>(n);
+  std::vector<int> prev(m + 1);
+  std::vector<int> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      int sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+int PrefixEditDistanceLowerBound(std::string_view p, std::string_view q) {
+  const size_t n = p.size();
+  const size_t m = q.size();
+  if (n == 0 || m == 0) return 0;  // the empty prefix extends to anything
+  // Full DP matrix: we need its last row and last column.
+  std::vector<std::vector<int>> d(n + 1, std::vector<int>(m + 1));
+  for (size_t i = 0; i <= n; ++i) d[i][0] = static_cast<int>(i);
+  for (size_t j = 0; j <= m; ++j) d[0][j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      int sub = d[i - 1][j - 1] + (p[i - 1] == q[j - 1] ? 0 : 1);
+      d[i][j] = std::min({d[i - 1][j] + 1, d[i][j - 1] + 1, sub});
+    }
+  }
+  // Any extensions can append matching suffixes, so the alignment may end
+  // anywhere on the DP frontier: take the minimum over last row and column.
+  int best = d[n][m];
+  for (size_t j = 0; j <= m; ++j) best = std::min(best, d[n][j]);
+  for (size_t i = 0; i <= n; ++i) best = std::min(best, d[i][m]);
+  return best;
+}
+
+}  // namespace hprl

@@ -1,0 +1,35 @@
+#ifndef HPRL_LINKAGE_DISTANCE_H_
+#define HPRL_LINKAGE_DISTANCE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace hprl {
+
+/// Hamming distance on category ids: 0 when equal, 1 otherwise (paper §V-C).
+inline double HammingDistance(int32_t a, int32_t b) {
+  return a == b ? 0.0 : 1.0;
+}
+
+/// Euclidean distance on scalars, normalized by the attribute range so the
+/// matching threshold θ is a fraction of the domain (paper §III:
+/// d(x,y) <= θ * normFactor  <=>  |x-y|/normFactor <= θ).
+inline double NormalizedNumericDistance(double x, double y, double range) {
+  double d = x > y ? x - y : y - x;
+  return range > 0 ? d / range : (d == 0 ? 0.0 : 1.0);
+}
+
+/// Levenshtein edit distance (unit costs). Used by the future-work text
+/// attribute extension (paper §VIII).
+int EditDistance(std::string_view a, std::string_view b);
+
+/// Lower bound on the edit distance between any extension of prefix `p` and
+/// any extension of prefix `q` (i.e. min over x ⊇ p·*, y ⊇ q·* of ed(x, y)).
+/// Computed as the minimum over the last row and last column of the DP
+/// matrix — the classical trie-search bound. Exact strings are a special
+/// case with no extensions (use EditDistance instead).
+int PrefixEditDistanceLowerBound(std::string_view p, std::string_view q);
+
+}  // namespace hprl
+
+#endif  // HPRL_LINKAGE_DISTANCE_H_

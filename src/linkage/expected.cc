@@ -1,0 +1,62 @@
+#include "linkage/expected.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hprl {
+
+namespace {
+
+double ExpectedCategorical(const GenValue& v, const GenValue& w) {
+  // Eq. 1-5 of the paper with uniform, independent V and W:
+  // E[d] = 1 - |V ∩ W| / (|V| |W|).
+  double nv = v.CategoryCount();
+  double nw = w.CategoryCount();
+  double inter = std::max(
+      0, std::min(v.cat_hi, w.cat_hi) - std::max(v.cat_lo, w.cat_lo));
+  HPRL_CHECK(nv > 0 && nw > 0);
+  return 1.0 - inter / (nv * nw);
+}
+
+double ExpectedNumericSquared(const GenValue& v, const GenValue& w,
+                              double norm) {
+  // Eq. 6-8: E[(V-W)^2] for independent uniforms on [a1,b1] and [a2,b2]:
+  //   1/3 (a1^2 + b1^2 + a2^2 + b2^2 + a1 b1 + a2 b2)
+  // - 1/2 (a1 + b1)(a2 + b2)
+  // Degenerate intervals (exact values) fall out naturally.
+  double a1 = v.num_lo, b1 = v.num_hi;
+  double a2 = w.num_lo, b2 = w.num_hi;
+  double ed = (a1 * a1 + b1 * b1 + a2 * a2 + b2 * b2 + a1 * b1 + a2 * b2) / 3.0 -
+              (a1 + b1) * (a2 + b2) / 2.0;
+  if (ed < 0) ed = 0;  // guard tiny negative from cancellation
+  if (norm <= 0) norm = 1;
+  return ed / (norm * norm);
+}
+
+}  // namespace
+
+double ExpectedAttrDistance(const GenValue& v, const GenValue& w,
+                            const AttrRule& rule) {
+  switch (rule.type) {
+    case AttrType::kCategorical:
+      return ExpectedCategorical(v, w);
+    case AttrType::kNumeric:
+      return ExpectedNumericSquared(v, w, rule.norm);
+    case AttrType::kText:
+      return AttrSlack(v, w, rule).inf;
+  }
+  return 0;
+}
+
+std::vector<double> ExpectedDistances(const GenSequence& a,
+                                      const GenSequence& b,
+                                      const MatchRule& rule) {
+  std::vector<double> out(rule.num_attrs());
+  for (int i = 0; i < rule.num_attrs(); ++i) {
+    out[i] = ExpectedAttrDistance(a[i], b[i], rule.attrs[i]);
+  }
+  return out;
+}
+
+}  // namespace hprl

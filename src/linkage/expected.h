@@ -1,0 +1,30 @@
+#ifndef HPRL_LINKAGE_EXPECTED_H_
+#define HPRL_LINKAGE_EXPECTED_H_
+
+#include <vector>
+
+#include "hierarchy/genvalue.h"
+#include "linkage/match_rule.h"
+#include "linkage/slack.h"
+
+namespace hprl {
+
+/// Expected distance between two generalized values under the paper's §V-C
+/// uniform-distribution assumption, normalized so values of different
+/// attributes are comparable (all in [0, 1] except text):
+///
+///  - categorical (Eq. 5): E[Hamming] = 1 - |V∩W| / (|V|·|W|)
+///  - numeric (Eq. 8): E[(V-W)^2] for V~U[a1,b1], W~U[a2,b2], divided by
+///    norm^2 (the expectation of the squared *normalized* distance)
+///  - text: the slack infimum (no distribution over extensions exists)
+double ExpectedAttrDistance(const GenValue& v, const GenValue& w,
+                            const AttrRule& rule);
+
+/// Attribute-wise expected distances for a sequence pair (rule order).
+std::vector<double> ExpectedDistances(const GenSequence& a,
+                                      const GenSequence& b,
+                                      const MatchRule& rule);
+
+}  // namespace hprl
+
+#endif  // HPRL_LINKAGE_EXPECTED_H_

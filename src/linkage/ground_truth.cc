@@ -1,0 +1,139 @@
+#include "linkage/ground_truth.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "linkage/distance.h"
+
+namespace hprl {
+
+namespace {
+
+struct VecHash {
+  size_t operator()(const std::vector<int32_t>& v) const {
+    size_t h = 1469598103934665603ULL;
+    for (int32_t x : v) {
+      h ^= static_cast<size_t>(static_cast<uint32_t>(x));
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+Result<int64_t> CountMatchingPairs(const Table& r, const Table& s,
+                                   const MatchRule& rule) {
+  // Partition the rule: categorical θ<1 => key equality; categorical θ>=1 is
+  // vacuous; numeric => window; text => checked pairwise.
+  std::vector<int> key_attrs;      // table columns requiring equality
+  std::vector<const AttrRule*> window_rules;  // numeric windows
+  std::vector<const AttrRule*> text_rules;
+  for (const AttrRule& a : rule.attrs) {
+    switch (a.type) {
+      case AttrType::kCategorical:
+        if (a.theta < 1.0) key_attrs.push_back(a.attr_index);
+        break;
+      case AttrType::kNumeric:
+        window_rules.push_back(&a);
+        break;
+      case AttrType::kText:
+        text_rules.push_back(&a);
+        break;
+    }
+  }
+
+  // Bucket S rows by categorical key.
+  struct Bucket {
+    std::vector<int64_t> rows;  // S row indexes, sorted by first window attr
+  };
+  std::unordered_map<std::vector<int32_t>, Bucket, VecHash> buckets;
+  buckets.reserve(static_cast<size_t>(s.num_rows()));
+  std::vector<int32_t> key(key_attrs.size());
+  for (int64_t i = 0; i < s.num_rows(); ++i) {
+    for (size_t j = 0; j < key_attrs.size(); ++j) {
+      const Value& v = s.at(i, key_attrs[j]);
+      if (v.is_null()) return Status::InvalidArgument("null key value");
+      key[j] = v.category();
+    }
+    buckets[key].rows.push_back(i);
+  }
+  const AttrRule* first_window =
+      window_rules.empty() ? nullptr : window_rules[0];
+  if (first_window != nullptr) {
+    for (auto& [k, b] : buckets) {
+      std::sort(b.rows.begin(), b.rows.end(), [&](int64_t x, int64_t y) {
+        return s.at(x, first_window->attr_index).num() <
+               s.at(y, first_window->attr_index).num();
+      });
+    }
+  }
+
+  int64_t count = 0;
+  for (int64_t i = 0; i < r.num_rows(); ++i) {
+    for (size_t j = 0; j < key_attrs.size(); ++j) {
+      const Value& v = r.at(i, key_attrs[j]);
+      if (v.is_null()) return Status::InvalidArgument("null key value");
+      key[j] = v.category();
+    }
+    auto it = buckets.find(key);
+    if (it == buckets.end()) continue;
+    const Bucket& b = it->second;
+
+    size_t lo = 0, hi = b.rows.size();
+    if (first_window != nullptr) {
+      double x = r.at(i, first_window->attr_index).num();
+      double w = first_window->theta * first_window->norm;
+      // Binary search the sorted window [x-w, x+w].
+      lo = std::lower_bound(b.rows.begin(), b.rows.end(), x - w,
+                            [&](int64_t row, double bound) {
+                              return s.at(row, first_window->attr_index).num() <
+                                     bound;
+                            }) -
+           b.rows.begin();
+      hi = std::upper_bound(b.rows.begin() + lo, b.rows.end(), x + w,
+                            [&](double bound, int64_t row) {
+                              return bound <
+                                     s.at(row, first_window->attr_index).num();
+                            }) -
+           b.rows.begin();
+    }
+    if (window_rules.size() <= 1 && text_rules.empty()) {
+      count += static_cast<int64_t>(hi - lo);
+      continue;
+    }
+    for (size_t p = lo; p < hi; ++p) {
+      int64_t srow = b.rows[p];
+      bool ok = true;
+      for (size_t wi = 1; wi < window_rules.size() && ok; ++wi) {
+        const AttrRule* a = window_rules[wi];
+        double d = NormalizedNumericDistance(r.at(i, a->attr_index).num(),
+                                             s.at(srow, a->attr_index).num(),
+                                             a->norm);
+        ok = d <= a->theta;
+      }
+      for (size_t ti = 0; ti < text_rules.size() && ok; ++ti) {
+        const AttrRule* a = text_rules[ti];
+        double d = EditDistance(r.at(i, a->attr_index).text(),
+                                s.at(srow, a->attr_index).text());
+        ok = d <= a->theta;
+      }
+      if (ok) ++count;
+    }
+  }
+  return count;
+}
+
+int64_t CountMatchingPairsNaive(const Table& r, const Table& s,
+                                const MatchRule& rule) {
+  int64_t count = 0;
+  for (int64_t i = 0; i < r.num_rows(); ++i) {
+    for (int64_t j = 0; j < s.num_rows(); ++j) {
+      if (RecordsMatch(r.row(i), s.row(j), rule)) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace hprl

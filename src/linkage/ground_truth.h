@@ -1,0 +1,30 @@
+#ifndef HPRL_LINKAGE_GROUND_TRUTH_H_
+#define HPRL_LINKAGE_GROUND_TRUTH_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "data/table.h"
+#include "linkage/match_rule.h"
+
+namespace hprl {
+
+/// Exact count of matching record pairs between R and S under `rule`,
+/// computed in the clear. This is the recall denominator for the evaluation
+/// harnesses (never part of the private protocol).
+///
+/// Implementation: records are bucketed by the equality-constrained
+/// categorical attributes (θ < 1 forces equality under Hamming distance);
+/// inside each bucket the numeric window constraints are checked, using a
+/// sort + two-pointer sweep when a single numeric attribute dominates.
+/// Complexity ~O(|R| + |S| + sum of bucket-pair work).
+Result<int64_t> CountMatchingPairs(const Table& r, const Table& s,
+                                   const MatchRule& rule);
+
+/// Naive O(|R| x |S|) reference used by tests to validate CountMatchingPairs.
+int64_t CountMatchingPairsNaive(const Table& r, const Table& s,
+                                const MatchRule& rule);
+
+}  // namespace hprl
+
+#endif  // HPRL_LINKAGE_GROUND_TRUTH_H_

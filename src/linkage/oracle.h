@@ -1,0 +1,53 @@
+#ifndef HPRL_LINKAGE_ORACLE_H_
+#define HPRL_LINKAGE_ORACLE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "linkage/match_rule.h"
+
+namespace hprl {
+
+/// Labels one record pair exactly. In production this is the SMC protocol
+/// (smc::SmcMatchOracle); the figure harnesses use CountingPlaintextOracle,
+/// which produces identical labels (SMC is exact) while counting invocations
+/// — the paper's §VI cost model.
+class MatchOracle {
+ public:
+  virtual ~MatchOracle() = default;
+
+  /// True when the pair satisfies the decision rule.
+  virtual Result<bool> Compare(const Record& a, const Record& b) = 0;
+
+  /// Row-aware variant: `a_id`/`b_id` are stable row identities. Oracles
+  /// that amortize per-record work (ciphertext caching) override this; the
+  /// default ignores the ids.
+  virtual Result<bool> CompareRows(int64_t a_id, int64_t b_id,
+                                   const Record& a, const Record& b) {
+    return Compare(a, b);
+  }
+
+  /// Number of Compare calls so far (the paper's SMC cost unit).
+  virtual int64_t invocations() const = 0;
+};
+
+/// Exact in-the-clear oracle with invocation accounting.
+class CountingPlaintextOracle : public MatchOracle {
+ public:
+  explicit CountingPlaintextOracle(MatchRule rule) : rule_(std::move(rule)) {}
+
+  Result<bool> Compare(const Record& a, const Record& b) override {
+    ++invocations_;
+    return RecordsMatch(a, b, rule_);
+  }
+
+  int64_t invocations() const override { return invocations_; }
+
+ private:
+  MatchRule rule_;
+  int64_t invocations_ = 0;
+};
+
+}  // namespace hprl
+
+#endif  // HPRL_LINKAGE_ORACLE_H_

@@ -1,0 +1,86 @@
+#include "linkage/slack.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "linkage/distance.h"
+
+namespace hprl {
+
+std::string PairLabelName(PairLabel label) {
+  switch (label) {
+    case PairLabel::kMatch:
+      return "M";
+    case PairLabel::kMismatch:
+      return "N";
+    case PairLabel::kUnknown:
+      return "U";
+  }
+  return "?";
+}
+
+namespace {
+
+SlackBounds CategoricalSlack(const GenValue& v, const GenValue& w) {
+  // Hamming distance is 0 iff the concrete values are equal.
+  // inf = 0 iff the specialization sets intersect;
+  // sup = 0 iff both sets are the same singleton.
+  int32_t lo = std::max(v.cat_lo, w.cat_lo);
+  int32_t hi = std::min(v.cat_hi, w.cat_hi);
+  bool intersect = lo < hi;
+  bool same_singleton =
+      v.IsSingleton() && w.IsSingleton() && v.cat_lo == w.cat_lo;
+  return {intersect ? 0.0 : 1.0, same_singleton ? 0.0 : 1.0};
+}
+
+SlackBounds NumericSlack(const GenValue& v, const GenValue& w, double norm) {
+  // Intervals treated as closed (see GenValue docs): the infimum is the gap
+  // between them, the supremum the farthest endpoints.
+  double gap = std::max({0.0, v.num_lo - w.num_hi, w.num_lo - v.num_hi});
+  double far = std::max(v.num_hi - w.num_lo, w.num_hi - v.num_lo);
+  if (norm <= 0) norm = 1;
+  return {gap / norm, far / norm};
+}
+
+SlackBounds TextSlack(const GenValue& v, const GenValue& w) {
+  if (v.text_exact && w.text_exact) {
+    double d = static_cast<double>(EditDistance(v.text_prefix, w.text_prefix));
+    return {d, d};
+  }
+  // At least one side is a prefix pattern: the infimum is the trie DP bound
+  // (valid — though not tight — also when one side is exact) and the
+  // supremum is unbounded, since prefix extensions can diverge arbitrarily.
+  double lb = static_cast<double>(
+      PrefixEditDistanceLowerBound(v.text_prefix, w.text_prefix));
+  return {lb, std::numeric_limits<double>::infinity()};
+}
+
+}  // namespace
+
+SlackBounds AttrSlack(const GenValue& v, const GenValue& w,
+                      const AttrRule& rule) {
+  HPRL_CHECK(v.type == rule.type && w.type == rule.type);
+  switch (rule.type) {
+    case AttrType::kCategorical:
+      return CategoricalSlack(v, w);
+    case AttrType::kNumeric:
+      return NumericSlack(v, w, rule.norm);
+    case AttrType::kText:
+      return TextSlack(v, w);
+  }
+  return {0, 0};
+}
+
+PairLabel SlackDecide(const GenSequence& a, const GenSequence& b,
+                      const MatchRule& rule) {
+  bool all_within = true;
+  for (int i = 0; i < rule.num_attrs(); ++i) {
+    SlackBounds sb = AttrSlack(a[i], b[i], rule.attrs[i]);
+    if (sb.inf > rule.attrs[i].theta) return PairLabel::kMismatch;
+    if (sb.sup > rule.attrs[i].theta) all_within = false;
+  }
+  return all_within ? PairLabel::kMatch : PairLabel::kUnknown;
+}
+
+}  // namespace hprl

@@ -1,0 +1,45 @@
+#ifndef HPRL_LINKAGE_SLACK_H_
+#define HPRL_LINKAGE_SLACK_H_
+
+#include <string>
+#include <vector>
+
+#include "hierarchy/genvalue.h"
+#include "linkage/match_rule.h"
+
+namespace hprl {
+
+/// Three-way label produced by the blocking step (paper §IV).
+enum class PairLabel { kMatch, kMismatch, kUnknown };
+
+std::string PairLabelName(PairLabel label);
+
+/// Infimum (sdl) and supremum (sds) of the normalized attribute distance over
+/// specSet(v) x specSet(w) — the paper's slack distance functions. `sup` may
+/// be +infinity for text prefixes (arbitrary extensions).
+struct SlackBounds {
+  double inf = 0;
+  double sup = 0;
+};
+
+/// Slack bounds for one attribute pair. Both GenValues must have the rule's
+/// attribute type.
+SlackBounds AttrSlack(const GenValue& v, const GenValue& w,
+                      const AttrRule& rule);
+
+/// A generalization sequence: one GenValue per rule attribute (same order as
+/// MatchRule::attrs).
+using GenSequence = std::vector<GenValue>;
+
+/// The slack decision rule sdr (paper §IV):
+///   Mismatch when some attribute's infimum distance exceeds θ_i,
+///   Match when every attribute's supremum distance is within θ_i,
+///   Unknown otherwise.
+/// Sound by construction: Match/Mismatch labels are always correct for every
+/// concrete record pair consistent with the generalizations.
+PairLabel SlackDecide(const GenSequence& a, const GenSequence& b,
+                      const MatchRule& rule);
+
+}  // namespace hprl
+
+#endif  // HPRL_LINKAGE_SLACK_H_

@@ -1,0 +1,70 @@
+#include "smc/channel.h"
+
+namespace hprl::smc {
+
+void MessageBus::Send(Message msg) {
+  LinkStats& link = links_[{msg.from, msg.to}];
+  link.messages += 1;
+  link.bytes += static_cast<int64_t>(msg.payload.size());
+  total_messages_ += 1;
+  total_bytes_ += static_cast<int64_t>(msg.payload.size());
+  inboxes_[msg.to].push_back(std::move(msg));
+}
+
+Result<Message> MessageBus::Receive(const std::string& to) {
+  auto it = inboxes_.find(to);
+  if (it == inboxes_.end() || it->second.empty()) {
+    return Status::NotFound("no message pending for " + to);
+  }
+  Message msg = std::move(it->second.front());
+  it->second.pop_front();
+  return msg;
+}
+
+Result<Message> MessageBus::Expect(const std::string& to,
+                                   const std::string& tag) {
+  auto msg = Receive(to);
+  if (!msg.ok()) return msg.status();
+  if (msg->tag != tag) {
+    return Status::Internal("protocol desync: " + to + " expected '" + tag +
+                            "' but got '" + msg->tag + "'");
+  }
+  return msg;
+}
+
+void MessageBus::ResetStats() {
+  links_.clear();
+  total_bytes_ = 0;
+  total_messages_ = 0;
+}
+
+void AppendBigInt(const crypto::BigInt& x, std::vector<uint8_t>* out) {
+  std::vector<uint8_t> bytes = x.ToBytes();
+  uint32_t len = static_cast<uint32_t>(bytes.size());
+  out->push_back(static_cast<uint8_t>(len >> 24));
+  out->push_back(static_cast<uint8_t>(len >> 16));
+  out->push_back(static_cast<uint8_t>(len >> 8));
+  out->push_back(static_cast<uint8_t>(len));
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+Result<crypto::BigInt> ConsumeBigInt(const std::vector<uint8_t>& buf,
+                                     size_t* offset) {
+  if (*offset + 4 > buf.size()) {
+    return Status::InvalidArgument("truncated BigInt length");
+  }
+  uint32_t len = (static_cast<uint32_t>(buf[*offset]) << 24) |
+                 (static_cast<uint32_t>(buf[*offset + 1]) << 16) |
+                 (static_cast<uint32_t>(buf[*offset + 2]) << 8) |
+                 static_cast<uint32_t>(buf[*offset + 3]);
+  *offset += 4;
+  if (*offset + len > buf.size()) {
+    return Status::InvalidArgument("truncated BigInt payload");
+  }
+  std::vector<uint8_t> bytes(buf.begin() + static_cast<long>(*offset),
+                             buf.begin() + static_cast<long>(*offset + len));
+  *offset += len;
+  return crypto::BigInt::FromBytes(bytes);
+}
+
+}  // namespace hprl::smc

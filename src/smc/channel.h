@@ -1,0 +1,69 @@
+#ifndef HPRL_SMC_CHANNEL_H_
+#define HPRL_SMC_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/bigint.h"
+
+namespace hprl::smc {
+
+/// One protocol message.
+struct Message {
+  std::string from;
+  std::string to;
+  std::string tag;
+  std::vector<uint8_t> payload;
+};
+
+/// Traffic counters for one directed link.
+struct LinkStats {
+  int64_t messages = 0;
+  int64_t bytes = 0;
+};
+
+/// In-process message transport between the three linkage parties. The
+/// protocol logic is identical to a networked deployment; only the transport
+/// is simulated, and every byte is accounted so communication costs can be
+/// reported (paper §VI cost model).
+class MessageBus {
+ public:
+  void Send(Message msg);
+
+  /// Pops the oldest message addressed to `to`; NotFound when none pending.
+  Result<Message> Receive(const std::string& to);
+
+  /// Pops the oldest message for `to`, requiring a tag; error on mismatch
+  /// (protocol desynchronization is a bug, not a recoverable state).
+  Result<Message> Expect(const std::string& to, const std::string& tag);
+
+  const std::map<std::pair<std::string, std::string>, LinkStats>& links()
+      const {
+    return links_;
+  }
+
+  int64_t total_bytes() const { return total_bytes_; }
+  int64_t total_messages() const { return total_messages_; }
+
+  void ResetStats();
+
+ private:
+  std::map<std::string, std::deque<Message>> inboxes_;
+  std::map<std::pair<std::string, std::string>, LinkStats> links_;
+  int64_t total_bytes_ = 0;
+  int64_t total_messages_ = 0;
+};
+
+/// Serialization helpers: BigInts travel as 4-byte big-endian length followed
+/// by magnitude bytes.
+void AppendBigInt(const crypto::BigInt& x, std::vector<uint8_t>* out);
+Result<crypto::BigInt> ConsumeBigInt(const std::vector<uint8_t>& buf,
+                                     size_t* offset);
+
+}  // namespace hprl::smc
+
+#endif  // HPRL_SMC_CHANNEL_H_

@@ -1,0 +1,38 @@
+#ifndef HPRL_SMC_COSTS_H_
+#define HPRL_SMC_COSTS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hprl::smc {
+
+/// Operation counters for the cryptographic step. The paper reduces the cost
+/// model to the number of SMC protocol invocations after observing that
+/// cryptographic operations dominate everything else (§VI); these counters
+/// let the benches report both the invocation count and its breakdown.
+struct SmcCosts {
+  int64_t invocations = 0;       ///< record-pair comparisons
+  int64_t attr_comparisons = 0;  ///< per-attribute secure distance runs
+  int64_t encryptions = 0;
+  int64_t decryptions = 0;
+  int64_t homomorphic_adds = 0;
+  int64_t scalar_muls = 0;
+
+  void Clear() { *this = SmcCosts{}; }
+
+  SmcCosts& operator+=(const SmcCosts& o) {
+    invocations += o.invocations;
+    attr_comparisons += o.attr_comparisons;
+    encryptions += o.encryptions;
+    decryptions += o.decryptions;
+    homomorphic_adds += o.homomorphic_adds;
+    scalar_muls += o.scalar_muls;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace hprl::smc
+
+#endif  // HPRL_SMC_COSTS_H_

@@ -1,0 +1,62 @@
+#include "smc/network.h"
+
+#include "common/timer.h"
+#include "crypto/paillier.h"
+
+namespace hprl::smc {
+
+Result<CryptoTimings> CryptoTimings::Measure(int key_bits, int reps) {
+  if (reps < 1) return Status::InvalidArgument("reps must be >= 1");
+  crypto::SecureRandom rng(0xBEEF);
+  auto kp = crypto::GeneratePaillierKeyPair(key_bits, rng);
+  if (!kp.ok()) return kp.status();
+
+  CryptoTimings t;
+  t.key_bits = key_bits;
+  crypto::BigInt m(123456789);
+
+  {
+    WallTimer timer;
+    Result<crypto::BigInt> c = crypto::BigInt(0);
+    for (int i = 0; i < reps; ++i) {
+      c = kp->pub.Encrypt(m, rng);
+      if (!c.ok()) return c.status();
+    }
+    t.encrypt_seconds = timer.ElapsedSeconds() / reps;
+
+    timer.Reset();
+    for (int i = 0; i < reps; ++i) {
+      auto d = kp->priv.Decrypt(*c);
+      if (!d.ok()) return d.status();
+    }
+    t.decrypt_seconds = timer.ElapsedSeconds() / reps;
+
+    // Cheap ops: more reps for resolution.
+    const int cheap_reps = reps * 64;
+    timer.Reset();
+    crypto::BigInt acc = *c;
+    for (int i = 0; i < cheap_reps; ++i) acc = kp->pub.Add(acc, *c);
+    t.hom_add_seconds = timer.ElapsedSeconds() / cheap_reps;
+
+    timer.Reset();
+    for (int i = 0; i < reps; ++i) {
+      acc = kp->pub.ScalarMul(*c, crypto::BigInt(987654));
+    }
+    t.scalar_mul_seconds = timer.ElapsedSeconds() / reps;
+  }
+  return t;
+}
+
+double EstimateSeconds(const SmcCosts& costs, int64_t bytes, int64_t messages,
+                       const NetworkModel& net, const CryptoTimings& crypto) {
+  double compute =
+      static_cast<double>(costs.encryptions) * crypto.encrypt_seconds +
+      static_cast<double>(costs.decryptions) * crypto.decrypt_seconds +
+      static_cast<double>(costs.homomorphic_adds) * crypto.hom_add_seconds +
+      static_cast<double>(costs.scalar_muls) * crypto.scalar_mul_seconds;
+  double comm = static_cast<double>(messages) * net.latency_seconds +
+                static_cast<double>(bytes) / net.bandwidth_bytes_per_second;
+  return compute + comm;
+}
+
+}  // namespace hprl::smc

@@ -1,0 +1,44 @@
+#ifndef HPRL_SMC_NETWORK_H_
+#define HPRL_SMC_NETWORK_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "smc/costs.h"
+
+namespace hprl::smc {
+
+/// Simple deployment model for projecting protocol wall-clock time from the
+/// operation counters: every message pays one latency, payloads stream at
+/// the given bandwidth, and cryptographic work is serialized on the parties.
+struct NetworkModel {
+  std::string name = "LAN";
+  double latency_seconds = 0.0005;          ///< per message
+  double bandwidth_bytes_per_second = 125e6;  ///< 1 Gbit/s
+
+  static NetworkModel Lan() { return {"LAN", 0.0005, 125e6}; }
+  static NetworkModel Wan() { return {"WAN", 0.040, 1.25e6}; }  // 10 Mbit/s
+  static NetworkModel Local() { return {"in-process", 0.0, 1e18}; }
+};
+
+/// Measured per-operation costs of the Paillier primitives (seconds).
+struct CryptoTimings {
+  int key_bits = 0;
+  double encrypt_seconds = 0;
+  double decrypt_seconds = 0;
+  double hom_add_seconds = 0;
+  double scalar_mul_seconds = 0;
+
+  /// Times the primitives at the given key size with a few repetitions
+  /// (deterministic randomness; ~tens of milliseconds for 1024 bits).
+  static Result<CryptoTimings> Measure(int key_bits, int reps = 8);
+};
+
+/// Projects the wall-clock seconds of a protocol run described by its
+/// operation counters and traffic under a deployment model.
+double EstimateSeconds(const SmcCosts& costs, int64_t bytes, int64_t messages,
+                       const NetworkModel& net, const CryptoTimings& crypto);
+
+}  // namespace hprl::smc
+
+#endif  // HPRL_SMC_NETWORK_H_

@@ -1,0 +1,173 @@
+#include "smc/parties.h"
+
+namespace hprl::smc {
+
+using crypto::BigInt;
+
+namespace {
+constexpr char kQp[] = "qp";
+
+std::unique_ptr<crypto::SecureRandom> MakeRng(uint64_t test_seed) {
+  return test_seed != 0 ? std::make_unique<crypto::SecureRandom>(test_seed)
+                        : std::make_unique<crypto::SecureRandom>();
+}
+}  // namespace
+
+QueryingParty::QueryingParty(const ProtocolParams& params, uint64_t test_seed)
+    : params_(params), rng_(MakeRng(test_seed)) {}
+
+Status QueryingParty::PublishKey(MessageBus* bus, SmcCosts* costs) {
+  auto kp = crypto::GeneratePaillierKeyPair(params_.key_bits, *rng_);
+  if (!kp.ok()) return kp.status();
+  pub_ = kp->pub;
+  priv_ = kp->priv;
+  std::vector<uint8_t> payload;
+  AppendBigInt(pub_.n(), &payload);
+  bus->Send({kQp, "alice", "pubkey", payload});
+  bus->Send({kQp, "bob", "pubkey", std::move(payload)});
+  return Status::OK();
+}
+
+Result<bool> QueryingParty::DecideAttr(MessageBus* bus,
+                                       const BigInt& threshold,
+                                       SmcCosts* costs) {
+  auto msg = bus->Expect(kQp, "bob_ct");
+  if (!msg.ok()) return msg.status();
+  size_t off = 0;
+  auto c = ConsumeBigInt(msg->payload, &off);
+  if (!c.ok()) return c.status();
+  auto plain = priv_.DecryptSigned(*c);
+  if (!plain.ok()) return plain.status();
+  costs->decryptions += 1;
+  if (params_.reveal_distances) {
+    return *plain <= threshold;
+  }
+  return plain->Sign() >= 0;
+}
+
+Result<BigInt> QueryingParty::ReceivePlain(MessageBus* bus, SmcCosts* costs) {
+  auto msg = bus->Expect(kQp, "bob_ct");
+  if (!msg.ok()) return msg.status();
+  size_t off = 0;
+  auto c = ConsumeBigInt(msg->payload, &off);
+  if (!c.ok()) return c.status();
+  auto plain = priv_.DecryptSigned(*c);
+  if (!plain.ok()) return plain.status();
+  costs->decryptions += 1;
+  return plain;
+}
+
+Status QueryingParty::AnnounceResult(MessageBus* bus, bool match) {
+  std::vector<uint8_t> result = {static_cast<uint8_t>(match ? 1 : 0)};
+  bus->Send({kQp, "alice", "result", result});
+  bus->Send({kQp, "bob", "result", std::move(result)});
+  return Status::OK();
+}
+
+DataHolder::DataHolder(std::string name, const ProtocolParams& params,
+                       uint64_t test_seed)
+    : name_(std::move(name)), params_(params), rng_(MakeRng(test_seed)) {}
+
+Status DataHolder::ReceiveKey(MessageBus* bus) {
+  auto msg = bus->Expect(name_, "pubkey");
+  if (!msg.ok()) return msg.status();
+  size_t off = 0;
+  auto n = ConsumeBigInt(msg->payload, &off);
+  if (!n.ok()) return n.status();
+  pub_ = crypto::PaillierPublicKey(std::move(n).value());
+  have_key_ = true;
+  return Status::OK();
+}
+
+Status DataHolder::SendAttr(MessageBus* bus, const std::string& peer,
+                            const BigInt& x, int64_t cache_key,
+                            SmcCosts* costs) {
+  if (!have_key_) return Status::FailedPrecondition("no public key yet");
+  std::vector<uint8_t> payload;
+  if (params_.cache_ciphertexts && cache_key >= 0) {
+    auto it = send_cache_.find(cache_key);
+    if (it != send_cache_.end()) {
+      AppendBigInt(it->second.first, &payload);
+      AppendBigInt(it->second.second, &payload);
+      bus->Send({name_, peer, "alice_ct", std::move(payload)});
+      return Status::OK();
+    }
+  }
+  auto c1 = pub_.EncryptSigned(x * x, *rng_);
+  if (!c1.ok()) return c1.status();
+  auto c2 = pub_.EncryptSigned(BigInt(-2) * x, *rng_);
+  if (!c2.ok()) return c2.status();
+  costs->encryptions += 2;
+  if (params_.cache_ciphertexts && cache_key >= 0) {
+    send_cache_.emplace(cache_key, std::make_pair(*c1, *c2));
+  }
+  AppendBigInt(*c1, &payload);
+  AppendBigInt(*c2, &payload);
+  bus->Send({name_, peer, "alice_ct", std::move(payload)});
+  return Status::OK();
+}
+
+Status DataHolder::FoldAndForward(MessageBus* bus, const BigInt& y,
+                                  const BigInt& threshold, int64_t cache_key,
+                                  SmcCosts* costs) {
+  if (!have_key_) return Status::FailedPrecondition("no public key yet");
+  auto msg = bus->Expect(name_, "alice_ct");
+  if (!msg.ok()) return msg.status();
+  size_t off = 0;
+  auto c_x2 = ConsumeBigInt(msg->payload, &off);
+  if (!c_x2.ok()) return c_x2.status();
+  auto c_m2x = ConsumeBigInt(msg->payload, &off);
+  if (!c_m2x.ok()) return c_m2x.status();
+
+  // Enc(d) = Enc(x²) +h (Enc(-2x) ×h y) +h Enc(y²), d = (x-y)².
+  BigInt c_y2;
+  auto cached = params_.cache_ciphertexts && cache_key >= 0
+                    ? fold_cache_.find(cache_key)
+                    : fold_cache_.end();
+  if (cached != fold_cache_.end()) {
+    c_y2 = cached->second;
+  } else {
+    auto fresh = pub_.EncryptSigned(y * y, *rng_);
+    if (!fresh.ok()) return fresh.status();
+    costs->encryptions += 1;
+    if (params_.cache_ciphertexts && cache_key >= 0) {
+      fold_cache_.emplace(cache_key, *fresh);
+    }
+    c_y2 = std::move(fresh).value();
+  }
+  BigInt c_d = pub_.Add(pub_.Add(*c_x2, pub_.ScalarMul(*c_m2x, y)), c_y2);
+  costs->homomorphic_adds += 2;
+  costs->scalar_muls += 1;
+
+  BigInt out;
+  if (params_.reveal_distances) {
+    out = c_d;
+  } else {
+    // Blind the comparison: Enc(rho * (T - d) + sigma), rho >= 1 random,
+    // sigma in [0, rho). The plaintext's sign is the outcome:
+    // d <= T <=> plaintext >= 0.
+    BigInt rho = rng_->NextBits(params_.blind_bits) + BigInt(1);
+    BigInt sigma = rng_->NextBelow(rho);
+    auto c_blind = pub_.EncryptSigned(rho * threshold + sigma, *rng_);
+    if (!c_blind.ok()) return c_blind.status();
+    out = pub_.Add(*c_blind, pub_.ScalarMul(c_d, -rho));
+    costs->encryptions += 1;
+    costs->homomorphic_adds += 1;
+    costs->scalar_muls += 1;
+  }
+  std::vector<uint8_t> payload;
+  AppendBigInt(out, &payload);
+  bus->Send({name_, kQp, "bob_ct", std::move(payload)});
+  return Status::OK();
+}
+
+Result<bool> DataHolder::ReceiveResult(MessageBus* bus) {
+  auto msg = bus->Expect(name_, "result");
+  if (!msg.ok()) return msg.status();
+  if (msg->payload.size() != 1) {
+    return Status::Internal("malformed result message");
+  }
+  return msg->payload[0] != 0;
+}
+
+}  // namespace hprl::smc

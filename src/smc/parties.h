@@ -1,0 +1,102 @@
+#ifndef HPRL_SMC_PARTIES_H_
+#define HPRL_SMC_PARTIES_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "crypto/fixed_point.h"
+#include "crypto/paillier.h"
+#include "smc/channel.h"
+#include "smc/costs.h"
+
+namespace hprl::smc {
+
+/// Protocol-level parameters shared by the parties (mirrors the fields of
+/// SmcConfig that cross trust boundaries: everyone knows the key size, the
+/// fixed-point scale, the blinding width and the protocol variant).
+struct ProtocolParams {
+  int key_bits = 1024;
+  int64_t fp_scale = 1000;
+  int blind_bits = 40;
+  bool reveal_distances = true;
+  bool cache_ciphertexts = false;
+};
+
+/// The querying party of §V-A: the only holder of the Paillier private key.
+/// It publishes the public key, and per compared attribute receives Bob's
+/// ciphertext and decides whether the (possibly blinded) distance is within
+/// the threshold.
+class QueryingParty {
+ public:
+  QueryingParty(const ProtocolParams& params, uint64_t test_seed);
+
+  /// Generates the key pair and broadcasts the public key on the bus.
+  Status PublishKey(MessageBus* bus, SmcCosts* costs);
+
+  const crypto::PaillierPublicKey& public_key() const { return pub_; }
+
+  /// Consumes one "bob_ct" message; true when the attribute is within its
+  /// threshold. `threshold` is the scaled integer bound on (x-y)^2.
+  Result<bool> DecideAttr(MessageBus* bus, const crypto::BigInt& threshold,
+                          SmcCosts* costs);
+
+  /// Consumes one "bob_ct" message and returns the decrypted signed
+  /// plaintext (distance-revealing variant only; test/benchmark hook).
+  Result<crypto::BigInt> ReceivePlain(MessageBus* bus, SmcCosts* costs);
+
+  /// Broadcasts the final pair label to both holders (who consume it).
+  Status AnnounceResult(MessageBus* bus, bool match);
+
+ private:
+  ProtocolParams params_;
+  std::unique_ptr<crypto::SecureRandom> rng_;
+  crypto::PaillierPublicKey pub_;
+  crypto::PaillierPrivateKey priv_;
+};
+
+/// A data holder (Alice or Bob). Holds only the public key, its own
+/// randomness and its ciphertext cache; its cleartext values are passed in
+/// per call by its owner, never stored.
+class DataHolder {
+ public:
+  DataHolder(std::string name, const ProtocolParams& params,
+             uint64_t test_seed);
+
+  const std::string& name() const { return name_; }
+
+  /// Consumes the published public key from the bus.
+  Status ReceiveKey(MessageBus* bus);
+
+  /// Alice's role for one attribute: ship Enc(x²), Enc(-2x) to `peer`.
+  /// cache_key >= 0 reuses ciphertexts for that (record, attribute).
+  Status SendAttr(MessageBus* bus, const std::string& peer,
+                  const crypto::BigInt& x, int64_t cache_key, SmcCosts* costs);
+
+  /// Bob's role: fold its value into Alice's ciphertexts producing
+  /// Enc((x-y)²), optionally blind against the threshold, and forward to the
+  /// querying party.
+  Status FoldAndForward(MessageBus* bus, const crypto::BigInt& y,
+                        const crypto::BigInt& threshold, int64_t cache_key,
+                        SmcCosts* costs);
+
+  /// Consumes the querying party's result announcement.
+  Result<bool> ReceiveResult(MessageBus* bus);
+
+ private:
+  std::string name_;
+  ProtocolParams params_;
+  std::unique_ptr<crypto::SecureRandom> rng_;
+  crypto::PaillierPublicKey pub_;
+  bool have_key_ = false;
+
+  // (record id << 8 | attr) -> ciphertexts; see ProtocolParams.
+  std::map<int64_t, std::pair<crypto::BigInt, crypto::BigInt>> send_cache_;
+  std::map<int64_t, crypto::BigInt> fold_cache_;
+};
+
+}  // namespace hprl::smc
+
+#endif  // HPRL_SMC_PARTIES_H_

@@ -1,0 +1,135 @@
+#include "smc/protocol.h"
+
+#include <cmath>
+
+namespace hprl::smc {
+
+using crypto::BigInt;
+
+namespace {
+
+ProtocolParams ToParams(const SmcConfig& cfg) {
+  ProtocolParams p;
+  p.key_bits = cfg.key_bits;
+  p.fp_scale = cfg.fp_scale;
+  p.blind_bits = cfg.blind_bits;
+  p.reveal_distances = cfg.reveal_distances;
+  p.cache_ciphertexts = cfg.cache_ciphertexts;
+  return p;
+}
+
+/// Derives per-party deterministic seeds in test mode (0 stays 0 == OS
+/// entropy for every party).
+uint64_t Seed(uint64_t base, uint64_t salt) { return base == 0 ? 0 : base ^ salt; }
+
+}  // namespace
+
+SecureRecordComparator::SecureRecordComparator(SmcConfig config,
+                                               MatchRule rule)
+    : config_(config),
+      rule_(std::move(rule)),
+      codec_(config.fp_scale),
+      qp_(ToParams(config), Seed(config.test_seed, 0x9999)),
+      alice_(std::string("alice"), ToParams(config),
+             Seed(config.test_seed, 0xA11CE)),
+      bob_(std::string("bob"), ToParams(config),
+           Seed(config.test_seed, 0xB0B)) {}
+
+Status SecureRecordComparator::Init() {
+  HPRL_RETURN_IF_ERROR(qp_.PublishKey(&bus_, &costs_));
+  HPRL_RETURN_IF_ERROR(alice_.ReceiveKey(&bus_));
+  HPRL_RETURN_IF_ERROR(bob_.ReceiveKey(&bus_));
+  initialized_ = true;
+  return Status::OK();
+}
+
+Result<BigInt> SecureRecordComparator::EncodeAttr(const Value& v,
+                                                  const AttrRule& rule) const {
+  switch (rule.type) {
+    case AttrType::kCategorical:
+      return BigInt(v.category());
+    case AttrType::kNumeric:
+      return codec_.Encode(v.num());
+    case AttrType::kText:
+      return Status::Unimplemented(
+          "text attributes in the SMC step are future work (paper §VIII)");
+  }
+  return Status::Internal("unreachable");
+}
+
+BigInt SecureRecordComparator::AttrThreshold(const AttrRule& rule) const {
+  if (rule.type == AttrType::kCategorical) {
+    // Hamming: within threshold iff equal (θ < 1), i.e. (x-y)^2 <= 0.
+    return BigInt(0);
+  }
+  // Numeric: |x - y| <= θ * norm, so on scaled integers
+  // (X - Y)^2 <= (θ * norm * scale)^2.
+  double t = rule.theta * rule.norm * static_cast<double>(codec_.scale());
+  return BigInt(static_cast<int64_t>(std::floor(t * t + 1e-9)));
+}
+
+Result<bool> SecureRecordComparator::Compare(const Record& a,
+                                             const Record& b) {
+  return CompareRows(-1, -1, a, b);
+}
+
+Result<bool> SecureRecordComparator::CompareRows(int64_t a_id, int64_t b_id,
+                                                 const Record& a,
+                                                 const Record& b) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Init() before Compare()");
+  }
+  const bool cache = config_.cache_ciphertexts && a_id >= 0 && b_id >= 0;
+  costs_.invocations += 1;
+  bool match = true;
+  for (size_t attr_pos = 0; attr_pos < rule_.attrs.size(); ++attr_pos) {
+    const AttrRule& rule = rule_.attrs[attr_pos];
+    if (rule.type == AttrType::kCategorical && rule.theta >= 1.0) {
+      continue;  // Hamming distance never exceeds 1: vacuous threshold
+    }
+    auto x = EncodeAttr(a[rule.attr_index], rule);
+    if (!x.ok()) return x.status();
+    auto y = EncodeAttr(b[rule.attr_index], rule);
+    if (!y.ok()) return y.status();
+    BigInt threshold = AttrThreshold(rule);
+
+    int64_t a_key = cache ? (a_id << 8) | static_cast<int64_t>(attr_pos) : -1;
+    int64_t b_key = cache ? (b_id << 8) | static_cast<int64_t>(attr_pos) : -1;
+    costs_.attr_comparisons += 1;
+    HPRL_RETURN_IF_ERROR(alice_.SendAttr(&bus_, bob_.name(), *x, a_key,
+                                         &costs_));
+    HPRL_RETURN_IF_ERROR(
+        bob_.FoldAndForward(&bus_, *y, threshold, b_key, &costs_));
+    auto within = qp_.DecideAttr(&bus_, threshold, &costs_);
+    if (!within.ok()) return within.status();
+    if (!*within) {
+      match = false;
+      break;  // conjunction: first failing attribute decides
+    }
+  }
+  // The querying party reports the pair's label to both holders.
+  HPRL_RETURN_IF_ERROR(qp_.AnnounceResult(&bus_, match));
+  HPRL_RETURN_IF_ERROR(alice_.ReceiveResult(&bus_).status());
+  HPRL_RETURN_IF_ERROR(bob_.ReceiveResult(&bus_).status());
+  return match;
+}
+
+Result<double> SecureRecordComparator::SecureSquaredDistance(double x,
+                                                             double y) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Init() before use");
+  }
+  if (!config_.reveal_distances) {
+    return Status::FailedPrecondition(
+        "SecureSquaredDistance requires reveal_distances");
+  }
+  BigInt xi = codec_.Encode(x);
+  BigInt yi = codec_.Encode(y);
+  HPRL_RETURN_IF_ERROR(alice_.SendAttr(&bus_, bob_.name(), xi, -1, &costs_));
+  HPRL_RETURN_IF_ERROR(bob_.FoldAndForward(&bus_, yi, BigInt(0), -1, &costs_));
+  auto plain = qp_.ReceivePlain(&bus_, &costs_);
+  if (!plain.ok()) return plain.status();
+  return codec_.DecodeSquared(*plain);
+}
+
+}  // namespace hprl::smc

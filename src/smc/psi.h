@@ -1,0 +1,42 @@
+#ifndef HPRL_SMC_PSI_H_
+#define HPRL_SMC_PSI_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "data/table.h"
+#include "smc/channel.h"
+
+namespace hprl::smc {
+
+/// Parameters of the commutative-encryption equijoin.
+struct PsiConfig {
+  int prime_bits = 512;   ///< safe-prime modulus size
+  uint64_t test_seed = 0; ///< non-zero: deterministic randomness (tests)
+};
+
+/// Result of the private exact-match linkage.
+struct PsiResult {
+  /// (row in A, row in B) pairs whose keys agree exactly.
+  std::vector<std::pair<int64_t, int64_t>> links;
+  int64_t exponentiations = 0;  ///< cost unit of the commutative cipher
+  int64_t bytes = 0;            ///< total traffic on the bus
+};
+
+/// Private set-intersection-style record linkage via commutative encryption
+/// (Agrawal et al., the paper's related-work alternative [15]): both holders
+/// double-encrypt the join keys h(key)^{ab}; the querying party joins the
+/// double-encrypted multisets and learns only which row pairs agree.
+///
+/// Exact matching only (the limitation the paper's §VII points out — no
+/// thresholds, no semantics beyond equality), over the concatenation of
+/// `key_attrs` rendered as text.
+Result<PsiResult> RunPsiLinkage(const Table& a, const Table& b,
+                                const std::vector<int>& key_attrs,
+                                const PsiConfig& config);
+
+}  // namespace hprl::smc
+
+#endif  // HPRL_SMC_PSI_H_

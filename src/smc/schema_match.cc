@@ -1,0 +1,178 @@
+#include "smc/schema_match.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "crypto/commutative.h"
+
+namespace hprl::smc {
+
+using crypto::BigInt;
+using crypto::CommutativeCipher;
+
+std::vector<std::string> AttributeProfile(const AttributeDef& attr) {
+  std::string norm = "$";
+  for (char c : attr.name) {
+    if (c == '-' || c == '_' || c == ' ') continue;
+    norm += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  norm += '$';
+  std::set<std::string> grams;  // set semantics: Jaccard over distinct grams
+  if (norm.size() < 3) {
+    grams.insert(norm);
+  } else {
+    for (size_t i = 0; i + 3 <= norm.size(); ++i) {
+      grams.insert(norm.substr(i, 3));
+    }
+  }
+  grams.insert("type:" + AttrTypeName(attr.type));
+  return {grams.begin(), grams.end()};
+}
+
+namespace {
+
+/// Encrypts every gram of every attribute profile with `own`, preserving
+/// (attribute, gram) order.
+std::vector<std::vector<BigInt>> EncryptProfiles(
+    const Schema& schema, const CommutativeCipher& own, int64_t* expos) {
+  std::vector<std::vector<BigInt>> out(schema.num_attributes());
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    for (const std::string& gram : AttributeProfile(schema.attribute(i))) {
+      out[i].push_back(own.Encrypt(own.EncodeToGroup(gram)));
+      ++*expos;
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> PackProfiles(const std::vector<std::vector<BigInt>>& ps) {
+  std::vector<uint8_t> payload;
+  for (const auto& attr : ps) {
+    // Attribute boundary: a zero-length BigInt sentinel.
+    for (const BigInt& x : attr) AppendBigInt(x, &payload);
+    AppendBigInt(BigInt(0), &payload);
+  }
+  return payload;
+}
+
+Result<std::vector<std::vector<BigInt>>> UnpackProfiles(
+    const std::vector<uint8_t>& payload) {
+  std::vector<std::vector<BigInt>> out;
+  std::vector<BigInt> cur;
+  size_t off = 0;
+  while (off < payload.size()) {
+    auto x = ConsumeBigInt(payload, &off);
+    if (!x.ok()) return x.status();
+    if (x->IsZero()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(std::move(x).value());
+    }
+  }
+  if (!cur.empty()) {
+    return Status::InvalidArgument("profile payload missing terminator");
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SchemaMatchResult> RunPrivateSchemaMatch(
+    const Schema& r, const Schema& s, const SchemaMatchConfig& config) {
+  if (r.num_attributes() == 0 || s.num_attributes() == 0) {
+    return Status::InvalidArgument("schemas must have attributes");
+  }
+  auto rng = config.test_seed != 0
+                 ? std::make_unique<crypto::SecureRandom>(config.test_seed)
+                 : std::make_unique<crypto::SecureRandom>();
+  auto prime = CommutativeCipher::GenerateSafePrime(config.prime_bits, *rng);
+  if (!prime.ok()) return prime.status();
+  auto alice = CommutativeCipher::Create(*prime, *rng);
+  if (!alice.ok()) return alice.status();
+  auto bob = CommutativeCipher::Create(*prime, *rng);
+  if (!bob.ok()) return bob.status();
+
+  SchemaMatchResult result;
+  MessageBus bus;
+
+  // Round 1: single encryptions cross the wire.
+  auto r_once = EncryptProfiles(r, *alice, &result.exponentiations);
+  bus.Send({"alice", "bob", "profiles_r", PackProfiles(r_once)});
+  auto s_once = EncryptProfiles(s, *bob, &result.exponentiations);
+  bus.Send({"bob", "alice", "profiles_s", PackProfiles(s_once)});
+
+  // Round 2: the peer adds its exponent; double encryptions go to the QP.
+  auto msg_r = bus.Expect("bob", "profiles_r");
+  if (!msg_r.ok()) return msg_r.status();
+  auto r_double = UnpackProfiles(msg_r->payload);
+  if (!r_double.ok()) return r_double.status();
+  for (auto& attr : *r_double) {
+    for (BigInt& x : attr) {
+      x = bob->Encrypt(x);
+      ++result.exponentiations;
+    }
+  }
+  bus.Send({"bob", "qp", "double_r", PackProfiles(*r_double)});
+
+  auto msg_s = bus.Expect("alice", "profiles_s");
+  if (!msg_s.ok()) return msg_s.status();
+  auto s_double = UnpackProfiles(msg_s->payload);
+  if (!s_double.ok()) return s_double.status();
+  for (auto& attr : *s_double) {
+    for (BigInt& x : attr) {
+      x = alice->Encrypt(x);
+      ++result.exponentiations;
+    }
+  }
+  bus.Send({"alice", "qp", "double_s", PackProfiles(*s_double)});
+
+  // Querying party: pairwise Jaccard over double-encrypted gram sets.
+  auto qp_r = bus.Expect("qp", "double_r");
+  if (!qp_r.ok()) return qp_r.status();
+  auto pr = UnpackProfiles(qp_r->payload);
+  if (!pr.ok()) return pr.status();
+  auto qp_s = bus.Expect("qp", "double_s");
+  if (!qp_s.ok()) return qp_s.status();
+  auto ps = UnpackProfiles(qp_s->payload);
+  if (!ps.ok()) return ps.status();
+
+  struct Candidate {
+    double sim;
+    int i, j;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t i = 0; i < pr->size(); ++i) {
+    std::set<std::string> gi;
+    for (const BigInt& x : (*pr)[i]) gi.insert(x.ToString(16));
+    for (size_t j = 0; j < ps->size(); ++j) {
+      int64_t common = 0;
+      std::set<std::string> gj;
+      for (const BigInt& x : (*ps)[j]) gj.insert(x.ToString(16));
+      for (const auto& g : gj) common += gi.count(g);
+      double uni =
+          static_cast<double>(gi.size() + gj.size()) - static_cast<double>(common);
+      double sim = uni > 0 ? static_cast<double>(common) / uni : 0;
+      if (sim >= config.threshold) {
+        candidates.push_back({sim, static_cast<int>(i), static_cast<int>(j)});
+      }
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.sim > b.sim;
+                   });
+  std::set<int> used_r, used_s;
+  for (const Candidate& c : candidates) {
+    if (used_r.count(c.i) || used_s.count(c.j)) continue;
+    used_r.insert(c.i);
+    used_s.insert(c.j);
+    result.matches.push_back({c.i, c.j, c.sim});
+  }
+  result.bytes = bus.total_bytes();
+  return result;
+}
+
+}  // namespace hprl::smc

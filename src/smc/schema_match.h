@@ -1,0 +1,50 @@
+#ifndef HPRL_SMC_SCHEMA_MATCH_H_
+#define HPRL_SMC_SCHEMA_MATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/schema.h"
+#include "smc/channel.h"
+
+namespace hprl::smc {
+
+/// Parameters of the private schema matcher.
+struct SchemaMatchConfig {
+  int prime_bits = 256;       ///< commutative-cipher modulus
+  uint64_t test_seed = 0;     ///< non-zero: deterministic randomness
+  double threshold = 0.5;     ///< minimum Jaccard similarity to report
+};
+
+struct AttributeMatch {
+  int r_attr = -1;
+  int s_attr = -1;
+  double similarity = 0;
+};
+
+struct SchemaMatchResult {
+  /// Greedy one-to-one correspondence, highest similarity first.
+  std::vector<AttributeMatch> matches;
+  int64_t exponentiations = 0;
+  int64_t bytes = 0;
+};
+
+/// Private schema matching (the paper's §II preprocessing step, delegated
+/// there to Scannapieco et al. [5]; this is a simplified faithful variant):
+/// each attribute is profiled as the trigram set of its normalized name plus
+/// a type token; the holders double-encrypt the trigrams with commutative
+/// ciphers (as in the PSI protocol) so the querying party can compute
+/// pairwise Jaccard similarities — and hence the attribute correspondence —
+/// without ever seeing a cleartext name fragment.
+Result<SchemaMatchResult> RunPrivateSchemaMatch(const Schema& r,
+                                                const Schema& s,
+                                                const SchemaMatchConfig& config);
+
+/// The trigram profile used by the protocol (exposed for tests): trigrams of
+/// "$<lowercase name with [-_ ] removed>$" plus "type:<kind>".
+std::vector<std::string> AttributeProfile(const AttributeDef& attr);
+
+}  // namespace hprl::smc
+
+#endif  // HPRL_SMC_SCHEMA_MATCH_H_

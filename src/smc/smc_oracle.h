@@ -1,0 +1,40 @@
+#ifndef HPRL_SMC_SMC_ORACLE_H_
+#define HPRL_SMC_SMC_ORACLE_H_
+
+#include "linkage/oracle.h"
+#include "smc/protocol.h"
+
+namespace hprl::smc {
+
+/// MatchOracle backed by the real three-party Paillier protocol. Every
+/// Compare runs the full §V-A exchange (keys are generated once at Init).
+class SmcMatchOracle : public MatchOracle {
+ public:
+  SmcMatchOracle(SmcConfig config, MatchRule rule)
+      : comparator_(config, std::move(rule)) {}
+
+  Status Init() { return comparator_.Init(); }
+
+  Result<bool> Compare(const Record& a, const Record& b) override {
+    return comparator_.Compare(a, b);
+  }
+
+  Result<bool> CompareRows(int64_t a_id, int64_t b_id, const Record& a,
+                           const Record& b) override {
+    return comparator_.CompareRows(a_id, b_id, a, b);
+  }
+
+  int64_t invocations() const override {
+    return comparator_.costs().invocations;
+  }
+
+  const SmcCosts& costs() const { return comparator_.costs(); }
+  const MessageBus& bus() const { return comparator_.bus(); }
+
+ private:
+  SecureRecordComparator comparator_;
+};
+
+}  // namespace hprl::smc
+
+#endif  // HPRL_SMC_SMC_ORACLE_H_

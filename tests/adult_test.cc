@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "adult/adult.h"
+
+namespace hprl::adult {
+namespace {
+
+class AdultTest : public ::testing::Test {
+ protected:
+  AdultHierarchies h_ = BuildAdultHierarchies();
+};
+
+TEST_F(AdultTest, HierarchyLeafCountsMatchAdultDomains) {
+  EXPECT_EQ(h_.workclass->num_leaves(), 7);
+  EXPECT_EQ(h_.education->num_leaves(), 16);
+  EXPECT_EQ(h_.marital_status->num_leaves(), 7);
+  EXPECT_EQ(h_.occupation->num_leaves(), 14);
+  EXPECT_EQ(h_.race->num_leaves(), 5);
+  EXPECT_EQ(h_.sex->num_leaves(), 2);
+  EXPECT_EQ(h_.native_country->num_leaves(), 41);
+  EXPECT_EQ(h_.age->num_leaves(), 12);
+}
+
+TEST_F(AdultTest, AgeHierarchyIsPaperShape) {
+  // 4 levels (ANY + 3), equi-width 8-unit leaves covering [16, 112).
+  EXPECT_EQ(h_.age->height(), 3);
+  EXPECT_DOUBLE_EQ(h_.age->node(Vgh::kRoot).lo, 16);
+  EXPECT_DOUBLE_EQ(h_.age->node(Vgh::kRoot).hi, 112);
+  for (int32_t i = 0; i < h_.age->num_leaves(); ++i) {
+    const auto& n = h_.age->node(h_.age->leaf_node(i));
+    EXPECT_DOUBLE_EQ(n.hi - n.lo, 8);
+  }
+}
+
+TEST_F(AdultTest, ByNameResolvesAllQids) {
+  for (const auto& name : AdultQidNames()) {
+    EXPECT_NE(h_.ByName(name), nullptr) << name;
+  }
+  EXPECT_EQ(h_.ByName("bogus"), nullptr);
+}
+
+TEST_F(AdultTest, SchemaLayout) {
+  SchemaPtr schema = BuildAdultSchema(h_);
+  EXPECT_EQ(schema->num_attributes(), 10);
+  EXPECT_EQ(schema->attribute(0).name, "age");
+  EXPECT_EQ(schema->attribute(0).type, AttrType::kNumeric);
+  EXPECT_EQ(schema->attribute(9).name, "income");
+  // QIDs come first, in top-q order.
+  const auto& names = AdultQidNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(schema->attribute(static_cast<int>(i)).name, names[i]);
+  }
+  // Category ids equal VGH leaf indexes.
+  EXPECT_EQ(schema->attribute(2).domain->Find("9th"),
+            h_.education->node(h_.education->FindByLabel("9th")).leaf_begin);
+}
+
+TEST_F(AdultTest, GeneratorIsDeterministic) {
+  Table a = GenerateAdult(200, 7, h_);
+  Table b = GenerateAdult(200, 7, h_);
+  ASSERT_EQ(a.num_rows(), 200);
+  for (int64_t i = 0; i < a.num_rows(); ++i) {
+    EXPECT_EQ(a.row(i), b.row(i)) << "row " << i;
+  }
+  Table c = GenerateAdult(200, 8, h_);
+  int diff = 0;
+  for (int64_t i = 0; i < a.num_rows(); ++i) diff += a.row(i) != c.row(i);
+  EXPECT_GT(diff, 150);
+}
+
+TEST_F(AdultTest, GeneratedValuesAreInDomain) {
+  SchemaPtr schema = BuildAdultSchema(h_);
+  Table t = GenerateAdult(2000, 42, h_);
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    double age = t.at(i, 0).num();
+    EXPECT_GE(age, 17);
+    EXPECT_LE(age, 90);
+    double hours = t.at(i, 8).num();
+    EXPECT_GE(hours, 1);
+    EXPECT_LE(hours, 98);
+    for (int c : {1, 2, 3, 4, 5, 6, 7, 9}) {
+      int32_t id = t.at(i, c).category();
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, schema->attribute(c).domain->size());
+    }
+  }
+}
+
+TEST_F(AdultTest, MarginalsRoughlyMatchPublishedAdult) {
+  SchemaPtr schema = BuildAdultSchema(h_);
+  Table t = GenerateAdult(30000, 1, h_);
+  std::map<std::string, int> work_counts;
+  int male = 0, high_income = 0, us = 0;
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    work_counts[schema->RenderValue(1, t.at(i, 1))]++;
+    male += schema->RenderValue(6, t.at(i, 6)) == "Male";
+    high_income += schema->RenderValue(9, t.at(i, 9)) == ">50K";
+    us += schema->RenderValue(7, t.at(i, 7)) == "United-States";
+  }
+  double n = static_cast<double>(t.num_rows());
+  EXPECT_NEAR(work_counts["Private"] / n, 0.737, 0.03);
+  EXPECT_NEAR(male / n, 0.675, 0.02);
+  EXPECT_NEAR(us / n, 0.90, 0.04);
+  // Income skew in the published Adult ballpark (~25% >50K).
+  EXPECT_GT(high_income / n, 0.12);
+  EXPECT_LT(high_income / n, 0.40);
+}
+
+TEST_F(AdultTest, CorrelationsHaveExpectedSign) {
+  SchemaPtr schema = BuildAdultSchema(h_);
+  Table t = GenerateAdult(30000, 2, h_);
+  // Graduate education should make >50K much more likely than junior-sec.
+  int grad_n = 0, grad_hi = 0, sec_n = 0, sec_hi = 0;
+  int young_never = 0, young_n = 0, old_never = 0, old_n = 0;
+  const Vgh& edu = *h_.education;
+  int grad_node = edu.FindByLabel("Grad School");
+  for (int64_t i = 0; i < t.num_rows(); ++i) {
+    int leaf = edu.LeafForCategory(t.at(i, 2).category());
+    bool hi = schema->RenderValue(9, t.at(i, 9)) == ">50K";
+    if (edu.AncestorAtLevel(leaf, 2) == grad_node) {
+      ++grad_n;
+      grad_hi += hi;
+    } else if (edu.AncestorAtLevel(leaf, 1) == edu.FindByLabel("Secondary")) {
+      ++sec_n;
+      sec_hi += hi;
+    }
+    bool never =
+        schema->RenderValue(3, t.at(i, 3)) == "Never-married";
+    if (t.at(i, 0).num() < 25) {
+      ++young_n;
+      young_never += never;
+    } else if (t.at(i, 0).num() >= 40) {
+      ++old_n;
+      old_never += never;
+    }
+  }
+  ASSERT_GT(grad_n, 100);
+  ASSERT_GT(sec_n, 100);
+  EXPECT_GT(static_cast<double>(grad_hi) / grad_n,
+            2.0 * static_cast<double>(sec_hi) / sec_n);
+  EXPECT_GT(static_cast<double>(young_never) / young_n,
+            3.0 * static_cast<double>(old_never) / old_n);
+}
+
+TEST_F(AdultTest, WorkHrsVghMatchesPaperFigure) {
+  auto vgh = MakeWorkHrsVgh();
+  ASSERT_TRUE(vgh.ok());
+  EXPECT_DOUBLE_EQ(vgh->RootRange(), 98);  // the paper's normFactor
+  auto leaf35 = vgh->LeafForNumeric(35);
+  ASSERT_TRUE(leaf35.ok());
+  EXPECT_DOUBLE_EQ(vgh->node(*leaf35).lo, 35);
+  EXPECT_DOUBLE_EQ(vgh->node(*leaf35).hi, 37);
+  auto leaf50 = vgh->LeafForNumeric(50);
+  ASSERT_TRUE(leaf50.ok());
+  EXPECT_DOUBLE_EQ(vgh->node(*leaf50).lo, 37);
+}
+
+TEST_F(AdultTest, ExampleEducationVghShape) {
+  auto vgh = MakeExampleEducationVgh();
+  ASSERT_TRUE(vgh.ok());
+  EXPECT_EQ(vgh->num_leaves(), 7);
+  EXPECT_GE(vgh->FindByLabel("Masters"), 0);
+  EXPECT_EQ(vgh->node(vgh->FindByLabel("Senior Sec.")).children.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hprl::adult

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "adult/adult.h"
+#include "anon/anonymizer.h"
+#include "anon/metrics.h"
+#include "core/experiment.h"
+
+namespace hprl {
+namespace {
+
+/// Shared small Adult sample.
+class AnonFixture {
+ public:
+  static const ExperimentData& Data() {
+    static const ExperimentData* data = [] {
+      auto d = PrepareAdultData(900, 11);
+      EXPECT_TRUE(d.ok());
+      return new ExperimentData(std::move(d).value());
+    }();
+    return *data;
+  }
+};
+
+/// Every row of every group must be consistent with the group's sequence:
+/// the generalization is imprecise but always accurate (paper §IV).
+void CheckConsistency(const Table& table, const AnonymizedTable& anon,
+                      const AnonymizerConfig& cfg) {
+  int64_t covered = 0;
+  std::set<int64_t> seen;
+  for (const auto& g : anon.groups) {
+    for (int64_t row : g.rows) {
+      EXPECT_TRUE(seen.insert(row).second) << "row in two groups";
+      ++covered;
+      for (size_t q = 0; q < cfg.qid_attrs.size(); ++q) {
+        const GenValue& gv = g.seq[q];
+        const Value& v = table.at(row, cfg.qid_attrs[q]);
+        if (gv.type == AttrType::kCategorical) {
+          EXPECT_GE(v.category(), gv.cat_lo);
+          EXPECT_LT(v.category(), gv.cat_hi);
+        } else {
+          EXPECT_GE(v.num(), gv.num_lo);
+          EXPECT_LE(v.num(), gv.num_hi + 1e-9);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(covered, table.num_rows());
+}
+
+struct MethodK {
+  std::string method;
+  int64_t k;
+};
+
+class AnonymizerParamTest : public ::testing::TestWithParam<MethodK> {};
+
+TEST_P(AnonymizerParamTest, ProducesValidKAnonymousPartition) {
+  const auto& data = AnonFixture::Data();
+  auto cfg = MakeAdultAnonConfig(data, 5, GetParam().k);
+  ASSERT_TRUE(cfg.ok());
+  auto anonymizer = MakeAnonymizerByName(GetParam().method, *cfg);
+  ASSERT_TRUE(anonymizer.ok());
+
+  auto anon = (*anonymizer)->Anonymize(data.split.d1);
+  ASSERT_TRUE(anon.ok()) << anon.status().ToString();
+  EXPECT_EQ(anon->num_rows, data.split.d1.num_rows());
+  EXPECT_TRUE(anon->IsKAnonymous(GetParam().k))
+      << GetParam().method << " k=" << GetParam().k
+      << " min group=" << anon->MinGroupSize();
+  CheckConsistency(data.split.d1, *anon, *cfg);
+  // DataFly may suppress at most k rows.
+  EXPECT_LE(anon->suppressed, GetParam().k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndKs, AnonymizerParamTest,
+    ::testing::Values(MethodK{"MaxEntropy", 2}, MethodK{"MaxEntropy", 8},
+                      MethodK{"MaxEntropy", 32}, MethodK{"MaxEntropy", 128},
+                      MethodK{"TDS", 2}, MethodK{"TDS", 8}, MethodK{"TDS", 32},
+                      MethodK{"TDS", 128}, MethodK{"DataFly", 2},
+                      MethodK{"DataFly", 8}, MethodK{"DataFly", 32},
+                      MethodK{"DataFly", 128}, MethodK{"Mondrian", 2},
+                      MethodK{"Mondrian", 8}, MethodK{"Mondrian", 32},
+                      MethodK{"Mondrian", 128}, MethodK{"Incognito", 2},
+                      MethodK{"Incognito", 8}, MethodK{"Incognito", 32},
+                      MethodK{"Incognito", 128}),
+    [](const ::testing::TestParamInfo<MethodK>& info) {
+      return info.param.method + "_k" + std::to_string(info.param.k);
+    });
+
+TEST(MaxEntropyTest, KOneReleasesOriginalNumericValues) {
+  const auto& data = AnonFixture::Data();
+  auto cfg = MakeAdultAnonConfig(data, 5, 1);
+  ASSERT_TRUE(cfg.ok());
+  auto anon = MakeMaxEntropyAnonymizer(*cfg)->Anonymize(data.split.d1);
+  ASSERT_TRUE(anon.ok());
+  // Paper §III extreme (1): k=1 means the release is fully specific — every
+  // sequence value is a singleton.
+  for (const auto& g : anon->groups) {
+    for (const auto& gv : g.seq) {
+      EXPECT_TRUE(gv.IsSingleton());
+    }
+  }
+}
+
+TEST(MaxEntropyTest, LargeKCollapsesTowardRoot) {
+  const auto& data = AnonFixture::Data();
+  int64_t n = data.split.d1.num_rows();
+  auto cfg = MakeAdultAnonConfig(data, 5, n);
+  ASSERT_TRUE(cfg.ok());
+  auto anon = MakeMaxEntropyAnonymizer(*cfg)->Anonymize(data.split.d1);
+  ASSERT_TRUE(anon.ok());
+  // Paper §III extreme (2): k=|R| leaves (essentially) one root group.
+  EXPECT_EQ(anon->NumSequences(), 1);
+}
+
+TEST(MaxEntropyTest, SequencesDecreaseWithK) {
+  const auto& data = AnonFixture::Data();
+  int64_t prev = -1;
+  for (int64_t k : {2, 8, 32, 128}) {
+    auto cfg = MakeAdultAnonConfig(data, 5, k);
+    ASSERT_TRUE(cfg.ok());
+    auto anon = MakeMaxEntropyAnonymizer(*cfg)->Anonymize(data.split.d1);
+    ASSERT_TRUE(anon.ok());
+    if (prev >= 0) {
+      EXPECT_LE(anon->NumSequences(), prev) << "k=" << k;
+    }
+    prev = anon->NumSequences();
+  }
+}
+
+TEST(MaxEntropyTest, BeatsTdsAndDataflyOnSequenceCount) {
+  // The paper's Fig. 2 headline at small k.
+  const auto& data = AnonFixture::Data();
+  auto cfg = MakeAdultAnonConfig(data, 5, 8);
+  ASSERT_TRUE(cfg.ok());
+  auto me = MakeMaxEntropyAnonymizer(*cfg)->Anonymize(data.split.d1);
+  auto tds = MakeTdsAnonymizer(*cfg)->Anonymize(data.split.d1);
+  auto df = MakeDataflyAnonymizer(*cfg)->Anonymize(data.split.d1);
+  ASSERT_TRUE(me.ok());
+  ASSERT_TRUE(tds.ok());
+  ASSERT_TRUE(df.ok());
+  EXPECT_GT(me->NumSequences(), tds->NumSequences());
+  EXPECT_GT(me->NumSequences(), df->NumSequences());
+}
+
+TEST(TdsTest, RequiresClassAttribute) {
+  const auto& data = AnonFixture::Data();
+  auto cfg = MakeAdultAnonConfig(data, 5, 8);
+  ASSERT_TRUE(cfg.ok());
+  cfg->class_attr = -1;
+  auto anon = MakeTdsAnonymizer(*cfg)->Anonymize(data.split.d1);
+  EXPECT_FALSE(anon.ok());
+}
+
+TEST(DataflySuppressionTest, SuppressionGroupIsRootSequence) {
+  const auto& data = AnonFixture::Data();
+  auto cfg = MakeAdultAnonConfig(data, 5, 16);
+  ASSERT_TRUE(cfg.ok());
+  auto anon = MakeDataflyAnonymizer(*cfg)->Anonymize(data.split.d1);
+  ASSERT_TRUE(anon.ok());
+  for (const auto& g : anon->groups) {
+    if (!g.is_suppression_group) continue;
+    EXPECT_EQ(static_cast<int64_t>(g.rows.size()), anon->suppressed);
+    for (size_t q = 0; q < g.seq.size(); ++q) {
+      const GenValue& gv = g.seq[q];
+      if (gv.type == AttrType::kCategorical) {
+        EXPECT_EQ(gv.cat_lo, 0);
+        EXPECT_EQ(gv.cat_hi, cfg->hierarchies[q]->num_leaves());
+      } else {
+        EXPECT_DOUBLE_EQ(gv.num_lo, cfg->hierarchies[q]->node(Vgh::kRoot).lo);
+      }
+    }
+  }
+}
+
+TEST(QidDataTest, RejectsBadConfigs) {
+  const auto& data = AnonFixture::Data();
+  {
+    AnonymizerConfig cfg;  // no QIDs
+    cfg.k = 4;
+    EXPECT_FALSE(MakeMaxEntropyAnonymizer(cfg)
+                     ->Anonymize(data.split.d1)
+                     .ok());
+  }
+  {
+    auto cfg = MakeAdultAnonConfig(data, 3, 0);  // k < 1
+    ASSERT_TRUE(cfg.ok());
+    EXPECT_FALSE(MakeMaxEntropyAnonymizer(*cfg)
+                     ->Anonymize(data.split.d1)
+                     .ok());
+  }
+  {
+    auto cfg = MakeAdultAnonConfig(data, 3, 4);
+    ASSERT_TRUE(cfg.ok());
+    cfg->hierarchies[1] = cfg->hierarchies[0];  // kind mismatch (numeric VGH
+                                                // for categorical attribute)
+    EXPECT_FALSE(MakeMaxEntropyAnonymizer(*cfg)
+                     ->Anonymize(data.split.d1)
+                     .ok());
+  }
+}
+
+TEST(MetricsTest, BasicAccounting) {
+  const auto& data = AnonFixture::Data();
+  auto cfg = MakeAdultAnonConfig(data, 5, 16);
+  ASSERT_TRUE(cfg.ok());
+  auto anon = MakeMaxEntropyAnonymizer(*cfg)->Anonymize(data.split.d1);
+  ASSERT_TRUE(anon.ok());
+
+  EXPECT_EQ(DistinctSequences(*anon), anon->NumSequences());
+  EXPECT_NEAR(AverageGroupSize(*anon) * static_cast<double>(anon->NumSequences()),
+              static_cast<double>(anon->num_rows), 1e-6);
+  // Discernibility is at least k * N (every row is in a group of >= k).
+  EXPECT_GE(DiscernibilityCost(*anon), 16 * anon->num_rows);
+  // l-diversity of income is at least 1 and at most 2 (binary class).
+  int64_t l = LDiversity(data.split.d1, *anon, data.schema->FindIndex("income"));
+  EXPECT_GE(l, 1);
+  EXPECT_LE(l, 2);
+}
+
+TEST(LDiversityTest, ConstraintIsEnforcedWhenRequested) {
+  const auto& data = AnonFixture::Data();
+  int income = data.schema->FindIndex("income");
+  ASSERT_GE(income, 0);
+  auto cfg = MakeAdultAnonConfig(data, 5, 8);
+  ASSERT_TRUE(cfg.ok());
+  cfg->l_diversity = 2;
+  cfg->sensitive_attr = income;
+  auto anon = MakeMaxEntropyAnonymizer(*cfg)->Anonymize(data.split.d1);
+  ASSERT_TRUE(anon.ok()) << anon.status().ToString();
+  EXPECT_TRUE(anon->IsKAnonymous(8));
+  EXPECT_GE(LDiversity(data.split.d1, *anon, income), 2);
+}
+
+TEST(LDiversityTest, ConstraintCostsGranularity) {
+  const auto& data = AnonFixture::Data();
+  auto cfg = MakeAdultAnonConfig(data, 5, 8);
+  ASSERT_TRUE(cfg.ok());
+  auto plain = MakeMaxEntropyAnonymizer(*cfg)->Anonymize(data.split.d1);
+  ASSERT_TRUE(plain.ok());
+  cfg->l_diversity = 2;
+  cfg->sensitive_attr = data.schema->FindIndex("income");
+  auto diverse = MakeMaxEntropyAnonymizer(*cfg)->Anonymize(data.split.d1);
+  ASSERT_TRUE(diverse.ok());
+  EXPECT_LE(diverse->NumSequences(), plain->NumSequences());
+}
+
+TEST(LDiversityTest, NeedsCategoricalSensitiveAttr) {
+  const auto& data = AnonFixture::Data();
+  auto cfg = MakeAdultAnonConfig(data, 5, 8);
+  ASSERT_TRUE(cfg.ok());
+  cfg->l_diversity = 2;
+  cfg->sensitive_attr = -1;
+  EXPECT_FALSE(MakeMaxEntropyAnonymizer(*cfg)->Anonymize(data.split.d1).ok());
+  cfg->sensitive_attr = data.schema->FindIndex("age");  // numeric
+  EXPECT_FALSE(MakeMaxEntropyAnonymizer(*cfg)->Anonymize(data.split.d1).ok());
+}
+
+TEST(MetricsTest, GeneralizationLossOrderedByK) {
+  // Loss is 0 at k=1 (fully specific), grows with k, and reaches ~1 at k=n.
+  const auto& data = AnonFixture::Data();
+  double prev = -1;
+  for (int64_t k : std::vector<int64_t>{1, 8, 64, data.split.d1.num_rows()}) {
+    auto cfg = MakeAdultAnonConfig(data, 5, k);
+    ASSERT_TRUE(cfg.ok());
+    auto anon = MakeMaxEntropyAnonymizer(*cfg)->Anonymize(data.split.d1);
+    ASSERT_TRUE(anon.ok());
+    auto loss = AverageGeneralizationLoss(*anon, cfg->hierarchies);
+    ASSERT_TRUE(loss.ok());
+    EXPECT_GE(*loss, prev - 1e-9) << k;
+    EXPECT_GE(*loss, 0.0);
+    EXPECT_LE(*loss, 1.0);
+    if (k == 1) {
+      EXPECT_NEAR(*loss, 0.0, 1e-9);
+    }
+    if (k == data.split.d1.num_rows()) {
+      EXPECT_GT(*loss, 0.9);
+    }
+    prev = *loss;
+  }
+}
+
+TEST(MetricsTest, GeneralizationLossValidatesInput) {
+  const auto& data = AnonFixture::Data();
+  auto cfg = MakeAdultAnonConfig(data, 5, 8);
+  ASSERT_TRUE(cfg.ok());
+  auto anon = MakeMaxEntropyAnonymizer(*cfg)->Anonymize(data.split.d1);
+  ASSERT_TRUE(anon.ok());
+  std::vector<VghPtr> too_few(cfg->hierarchies.begin(),
+                              cfg->hierarchies.end() - 1);
+  EXPECT_FALSE(AverageGeneralizationLoss(*anon, too_few).ok());
+}
+
+TEST(MondrianTest, BoxesAreTight) {
+  const auto& data = AnonFixture::Data();
+  auto cfg = MakeAdultAnonConfig(data, 4, 8);
+  ASSERT_TRUE(cfg.ok());
+  auto anon = MakeMondrianAnonymizer(*cfg)->Anonymize(data.split.d1);
+  ASSERT_TRUE(anon.ok());
+  // Tightness: each box's bounds are attained by some row.
+  for (const auto& g : anon->groups) {
+    for (size_t q = 0; q < g.seq.size(); ++q) {
+      const GenValue& gv = g.seq[q];
+      bool lo_hit = false, hi_hit = false;
+      for (int64_t row : g.rows) {
+        const Value& v = data.split.d1.at(row, cfg->qid_attrs[q]);
+        if (gv.type == AttrType::kNumeric) {
+          lo_hit |= v.num() == gv.num_lo;
+          hi_hit |= v.num() == gv.num_hi;
+        } else {
+          lo_hit |= v.category() == gv.cat_lo;
+          hi_hit |= v.category() == gv.cat_hi - 1;
+        }
+      }
+      EXPECT_TRUE(lo_hit && hi_hit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hprl

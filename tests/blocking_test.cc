@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "adult/adult.h"
+#include "anon/anonymizer.h"
+#include "core/blocking.h"
+#include "core/heuristics.h"
+#include "data/partition.h"
+
+namespace hprl {
+namespace {
+
+/// The paper's §III worked example: relations R (Table I) and S (Table II)
+/// with their 3- and 2-anonymous generalizations, θ1 = 0.5 (Hamming on
+/// Education), θ2 = 0.2 (Euclidean on WorkHrs, normFactor 98).
+class WorkedExampleBlocking : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto edu = adult::MakeExampleEducationVgh();
+    ASSERT_TRUE(edu.ok());
+    edu_ = std::make_shared<const Vgh>(std::move(edu).value());
+    auto hrs = adult::MakeWorkHrsVgh();
+    ASSERT_TRUE(hrs.ok());
+    hrs_ = std::make_shared<const Vgh>(std::move(hrs).value());
+
+    AttrRule a1;
+    a1.attr_index = 0;
+    a1.type = AttrType::kCategorical;
+    a1.theta = 0.5;
+    AttrRule a2;
+    a2.attr_index = 1;
+    a2.type = AttrType::kNumeric;
+    a2.theta = 0.2;
+    a2.norm = hrs_->RootRange();
+    rule_.attrs = {a1, a2};
+
+    // R' = { r1..r3 -> (Masters, [35-37)), r4..r6 -> (Secondary, [1-35)) }
+    anon_r_.num_rows = 6;
+    anon_r_.groups.push_back(
+        {{Gen("Masters"), GenValue::NumericInterval(35, 37)}, {0, 1, 2}});
+    anon_r_.groups.push_back(
+        {{Gen("Secondary"), GenValue::NumericInterval(1, 35)}, {3, 4, 5}});
+
+    // S' = { s1,s2 -> (Masters, [35-37)), s3,s4 -> (ANY, [1-35)),
+    //        s5,s6 -> (Senior Sec., [1-35)) }
+    anon_s_.num_rows = 6;
+    anon_s_.groups.push_back(
+        {{Gen("Masters"), GenValue::NumericInterval(35, 37)}, {0, 1}});
+    anon_s_.groups.push_back(
+        {{Gen("ANY"), GenValue::NumericInterval(1, 35)}, {2, 3}});
+    anon_s_.groups.push_back(
+        {{Gen("Senior Sec."), GenValue::NumericInterval(1, 35)}, {4, 5}});
+  }
+
+  GenValue Gen(const std::string& label) {
+    int node = edu_->FindByLabel(label);
+    EXPECT_GE(node, 0) << label;
+    return edu_->Gen(node);
+  }
+
+  VghPtr edu_;
+  VghPtr hrs_;
+  MatchRule rule_;
+  AnonymizedTable anon_r_;
+  AnonymizedTable anon_s_;
+};
+
+TEST_F(WorkedExampleBlocking, PaperCounts12N6M18U) {
+  auto blocking = RunBlocking(anon_r_, anon_s_, rule_);
+  ASSERT_TRUE(blocking.ok()) << blocking.status().ToString();
+  EXPECT_EQ(blocking->total_pairs, 36);
+  EXPECT_EQ(blocking->mismatched_pairs, 12);
+  EXPECT_EQ(blocking->matched_pairs, 6);
+  EXPECT_EQ(blocking->unknown_pairs, 18);
+  // Blocking efficiency: 18/36 = 50% (paper §VI's example).
+  EXPECT_DOUBLE_EQ(blocking->BlockingEfficiency(), 0.5);
+}
+
+TEST_F(WorkedExampleBlocking, MatchGroupIsMastersByMasters) {
+  auto blocking = RunBlocking(anon_r_, anon_s_, rule_);
+  ASSERT_TRUE(blocking.ok());
+  ASSERT_EQ(blocking->matches.size(), 1u);
+  EXPECT_EQ(blocking->matches[0].group_r, 0);
+  EXPECT_EQ(blocking->matches[0].group_s, 0);
+  EXPECT_EQ(blocking->matches[0].pair_count, 6);
+}
+
+TEST_F(WorkedExampleBlocking, UnknownGroupsAreTheExpectedThree) {
+  auto blocking = RunBlocking(anon_r_, anon_s_, rule_);
+  ASSERT_TRUE(blocking.ok());
+  // U: (r1-3) x (s3,s4); (r4-6) x (s3,s4); (r4-6) x (s5,s6).
+  ASSERT_EQ(blocking->unknown.size(), 3u);
+  int64_t u_pairs = 0;
+  for (const auto& sp : blocking->unknown) u_pairs += sp.pair_count;
+  EXPECT_EQ(u_pairs, 18);
+}
+
+TEST_F(WorkedExampleBlocking, SequenceLengthMismatchRejected) {
+  anon_r_.groups[0].seq.pop_back();
+  EXPECT_FALSE(RunBlocking(anon_r_, anon_s_, rule_).ok());
+}
+
+TEST_F(WorkedExampleBlocking, HeuristicsOrderUnknownGroups) {
+  auto blocking = RunBlocking(anon_r_, anon_s_, rule_);
+  ASSERT_TRUE(blocking.ok());
+  Rng rng(1);
+  for (SelectionHeuristic h :
+       {SelectionHeuristic::kMinFirst, SelectionHeuristic::kMaxLast,
+        SelectionHeuristic::kMinAvgFirst, SelectionHeuristic::kRandom}) {
+    auto order =
+        OrderUnknownPairs(*blocking, anon_r_, anon_s_, rule_, h, rng);
+    ASSERT_EQ(order.size(), blocking->unknown.size());
+    std::set<size_t> unique(order.begin(), order.end());
+    EXPECT_EQ(unique.size(), order.size()) << HeuristicName(h);
+  }
+}
+
+TEST_F(WorkedExampleBlocking, MinAvgPrefersMastersAnyOverSecondaryAny) {
+  // (Masters,[35-37)) vs (ANY,[1-35)) has avg expected distance dominated by
+  // the numeric gap; (Secondary,[1-35)) vs (Senior Sec.,[1-35)) overlaps on
+  // both attributes and should be preferred (smaller expected distances).
+  auto blocking = RunBlocking(anon_r_, anon_s_, rule_);
+  ASSERT_TRUE(blocking.ok());
+  Rng rng(1);
+  auto order = OrderUnknownPairs(*blocking, anon_r_, anon_s_, rule_,
+                                 SelectionHeuristic::kMinAvgFirst, rng);
+  const SequencePair& first = blocking->unknown[order.front()];
+  // First choice pairs (Secondary,[1-35)) with (Senior Sec.,[1-35)).
+  EXPECT_EQ(first.group_r, 1);
+  EXPECT_EQ(first.group_s, 2);
+}
+
+TEST(ParallelBlockingTest, IdenticalToSequential) {
+  // Random-ish releases with enough groups that every thread gets work.
+  auto h = adult::BuildAdultHierarchies();
+  Table source = adult::GenerateAdult(1200, 21, h);
+  Rng rng(3);
+  auto split = SplitForLinkage(source, rng);
+  ASSERT_TRUE(split.ok());
+  std::vector<VghPtr> vghs;
+  for (const auto& n : adult::AdultQidNames()) vghs.push_back(h.ByName(n));
+  auto rule = MakeUniformRule(source.schema(), adult::AdultQidNames(), vghs,
+                              5, 0.05);
+  ASSERT_TRUE(rule.ok());
+
+  AnonymizerConfig cfg;
+  cfg.k = 4;
+  for (int i = 0; i < 5; ++i) {
+    cfg.qid_attrs.push_back(source.schema()->FindIndex(
+        adult::AdultQidNames()[i]));
+    cfg.hierarchies.push_back(vghs[i]);
+  }
+  auto anon_r = MakeMaxEntropyAnonymizer(cfg)->Anonymize(split->d1);
+  auto anon_s = MakeMaxEntropyAnonymizer(cfg)->Anonymize(split->d2);
+  ASSERT_TRUE(anon_r.ok() && anon_s.ok());
+
+  auto seq = RunBlocking(*anon_r, *anon_s, *rule, 1);
+  ASSERT_TRUE(seq.ok());
+  for (int threads : {2, 3, 8}) {
+    auto par = RunBlocking(*anon_r, *anon_s, *rule, threads);
+    ASSERT_TRUE(par.ok()) << threads;
+    EXPECT_EQ(par->matched_pairs, seq->matched_pairs);
+    EXPECT_EQ(par->mismatched_pairs, seq->mismatched_pairs);
+    EXPECT_EQ(par->unknown_pairs, seq->unknown_pairs);
+    ASSERT_EQ(par->unknown.size(), seq->unknown.size());
+    for (size_t i = 0; i < seq->unknown.size(); ++i) {
+      EXPECT_EQ(par->unknown[i].group_r, seq->unknown[i].group_r);
+      EXPECT_EQ(par->unknown[i].group_s, seq->unknown[i].group_s);
+    }
+    ASSERT_EQ(par->matches.size(), seq->matches.size());
+  }
+  EXPECT_FALSE(RunBlocking(*anon_r, *anon_s, *rule, 0).ok());
+}
+
+TEST(HeuristicNamesTest, ParseRoundTrip) {
+  for (SelectionHeuristic h :
+       {SelectionHeuristic::kMinFirst, SelectionHeuristic::kMaxLast,
+        SelectionHeuristic::kMinAvgFirst, SelectionHeuristic::kRandom}) {
+    auto parsed = ParseHeuristic(HeuristicName(h));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, h);
+  }
+  EXPECT_FALSE(ParseHeuristic("bogus").ok());
+}
+
+}  // namespace
+}  // namespace hprl

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "adult/adult.h"
+#include "cli/runner.h"
+#include "cli/spec.h"
+#include "data/csv.h"
+#include "common/string_util.h"
+#include "data/partition.h"
+#include "hierarchy/vgh_parser.h"
+
+namespace hprl::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- spec
+
+TEST(SpecParserTest, ParsesFullSpec) {
+  const char* text = R"(
+# demo spec
+attr age numeric equiwidth 16 8 3,2,2 theta 0.05
+attr education categorical vghfile edu.vgh theta 0.05
+attr surname text theta 1
+class income
+sensitive income ldiv 2
+k 16
+allowance 0.02
+heuristic MaxLast
+anonymizer DataFly
+keybits 512
+)";
+  auto spec = ParseLinkageSpec(text, "/base");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->attrs.size(), 3u);
+  EXPECT_EQ(spec->attrs[0].type, AttrType::kNumeric);
+  EXPECT_DOUBLE_EQ(spec->attrs[0].lo, 16);
+  EXPECT_EQ(spec->attrs[0].fanouts, (std::vector<int>{3, 2, 2}));
+  EXPECT_EQ(spec->attrs[1].vgh_file, "/base/edu.vgh");
+  EXPECT_EQ(spec->attrs[2].type, AttrType::kText);
+  EXPECT_DOUBLE_EQ(spec->attrs[2].theta, 1.0);
+  EXPECT_EQ(spec->class_attr, "income");
+  EXPECT_EQ(spec->l_diversity, 2);
+  EXPECT_EQ(spec->k, 16);
+  EXPECT_DOUBLE_EQ(spec->allowance, 0.02);
+  EXPECT_EQ(spec->heuristic, SelectionHeuristic::kMaxLast);
+  EXPECT_EQ(spec->anonymizer, "DataFly");
+  EXPECT_EQ(spec->key_bits, 512);
+}
+
+TEST(SpecParserTest, NumericVghFileVariant) {
+  auto spec =
+      ParseLinkageSpec("attr hours numeric vghfile hrs.vgh theta 0.2\n", "/d");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->attrs[0].type, AttrType::kNumeric);
+  EXPECT_EQ(spec->attrs[0].vgh_file, "/d/hrs.vgh");
+  EXPECT_TRUE(spec->attrs[0].fanouts.empty());
+}
+
+TEST(SpecParserTest, ThreadsDirective) {
+  auto spec = ParseLinkageSpec("attr x text\nthreads 4\n", ".");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->threads, 4);
+  EXPECT_FALSE(ParseLinkageSpec("attr x text\nthreads 0\n", ".").ok());
+}
+
+TEST(SpecParserTest, DefaultsApply) {
+  auto spec = ParseLinkageSpec("attr age numeric equiwidth 0 10 4\n", ".");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->threads, 1);
+  EXPECT_EQ(spec->k, 32);
+  EXPECT_DOUBLE_EQ(spec->allowance, 0.015);
+  EXPECT_EQ(spec->heuristic, SelectionHeuristic::kMinAvgFirst);
+  EXPECT_EQ(spec->anonymizer, "MaxEntropy");
+  EXPECT_EQ(spec->key_bits, 0);
+  EXPECT_DOUBLE_EQ(spec->attrs[0].theta, 0.05);
+}
+
+TEST(SpecParserTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseLinkageSpec("", ".").ok());           // no attrs
+  EXPECT_FALSE(ParseLinkageSpec("bogus 1\n", ".").ok());  // unknown directive
+  EXPECT_FALSE(ParseLinkageSpec("attr x numeric theta 0.1\n", ".").ok());
+  EXPECT_FALSE(ParseLinkageSpec("attr x categorical theta 0.1\n", ".").ok());
+  EXPECT_FALSE(ParseLinkageSpec("attr x wrongtype\n", ".").ok());
+  EXPECT_FALSE(
+      ParseLinkageSpec("attr x numeric equiwidth 0 8 2 theta -1\n", ".").ok());
+  EXPECT_FALSE(
+      ParseLinkageSpec("attr x text\nallowance 2\n", ".").ok());  // > 1
+  EXPECT_FALSE(ParseLinkageSpec("attr x text\nk 0\n", ".").ok());
+  EXPECT_FALSE(
+      ParseLinkageSpec("attr x text\nheuristic Bogus\n", ".").ok());
+  EXPECT_FALSE(
+      ParseLinkageSpec("attr x text\nsensitive y ldiv x\n", ".").ok());
+}
+
+// ---------------------------------------------------------------- runner
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "hprl_cli_test";
+    fs::create_directories(dir_);
+
+    // Materialize a small Adult-like scenario on disk.
+    auto h = adult::BuildAdultHierarchies();
+    Table source = adult::GenerateAdult(450, 1234, h);
+    Rng rng(5);
+    auto split = SplitForLinkage(source, rng);
+    ASSERT_TRUE(split.ok());
+    ASSERT_TRUE(WriteCsv(split->d1, (dir_ / "r.csv").string()).ok());
+    ASSERT_TRUE(WriteCsv(split->d2, (dir_ / "s.csv").string()).ok());
+
+    // VGH files for the categorical QIDs.
+    for (const char* name : {"workclass", "education", "marital-status"}) {
+      std::ofstream out(dir_ / (std::string(name) + ".vgh"));
+      out << FormatCategoricalVgh(*h.ByName(name));
+    }
+    std::ofstream spec(dir_ / "linkage.spec");
+    spec << "attr age numeric equiwidth 16 8 3,2,2 theta 0.05\n"
+         << "attr workclass categorical vghfile workclass.vgh theta 0.05\n"
+         << "attr education categorical vghfile education.vgh theta 0.05\n"
+         << "attr marital-status categorical vghfile marital-status.vgh "
+            "theta 0.05\n"
+         << "class income\n"
+         << "k 8\n"
+         << "allowance 1.0\n";
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(RunnerTest, EndToEndFromFiles) {
+  auto spec = LoadLinkageSpec((dir_ / "linkage.spec").string());
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+
+  RunnerOptions options;
+  options.evaluate = true;
+  options.links_out = (dir_ / "links.csv").string();
+  options.release_r_out = (dir_ / "release_r.txt").string();
+  options.publish_releases = true;
+
+  auto report = RunLinkageFromFiles(*spec, (dir_ / "r.csv").string(),
+                                    (dir_ / "s.csv").string(), options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_r, 300);
+  EXPECT_EQ(report->rows_s, 300);
+  EXPECT_EQ(report->oracle, "plaintext");
+  // allowance 1.0 => everything labeled => perfect recall.
+  EXPECT_DOUBLE_EQ(report->result.recall, 1.0);
+  EXPECT_GE(report->result.true_matches, 150);  // the shared d3 block
+
+  // Side outputs exist and have the expected shape.
+  auto raw = ReadCsvRaw(options.links_out);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->header, (std::vector<std::string>{"row_r", "row_s"}));
+  EXPECT_EQ(static_cast<int64_t>(raw->rows.size()),
+            report->result.reported_matches);
+
+  std::ifstream release(options.release_r_out);
+  std::string first_line;
+  ASSERT_TRUE(std::getline(release, first_line));
+  EXPECT_EQ(first_line, "hprl-release 1");
+
+  // The textual summary mentions the key numbers.
+  std::string text = report->ToString();
+  EXPECT_NE(text.find("R=300 rows"), std::string::npos);
+  EXPECT_NE(text.find("recall 100.00%"), std::string::npos);
+}
+
+TEST_F(RunnerTest, RealPaillierOracleThroughTheCli) {
+  auto spec = LoadLinkageSpec((dir_ / "linkage.spec").string());
+  ASSERT_TRUE(spec.ok());
+  spec->key_bits = 256;       // real crypto, small key for speed
+  spec->allowance = 0.002;    // keep the invocation count tiny
+  RunnerOptions options;
+  auto report = RunLinkageFromFiles(*spec, (dir_ / "r.csv").string(),
+                                    (dir_ / "s.csv").string(), options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->oracle, "paillier-256");
+  EXPECT_LE(report->result.smc_processed, report->result.allowance_pairs);
+}
+
+TEST_F(RunnerTest, MissingColumnIsReported) {
+  auto spec = LoadLinkageSpec((dir_ / "linkage.spec").string());
+  ASSERT_TRUE(spec.ok());
+  spec->attrs[0].name = "not-a-column";
+  auto report = RunLinkageFromFiles(*spec, (dir_ / "r.csv").string(),
+                                    (dir_ / "s.csv").string(), {});
+  EXPECT_EQ(report.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RunnerTest, UnknownCategoryIsReportedWithRowContext) {
+  // Corrupt one field of r.csv so it no longer matches the VGH leaves.
+  auto raw = ReadCsvRaw((dir_ / "r.csv").string());
+  ASSERT_TRUE(raw.ok());
+  int col = raw->FindColumn("education");
+  ASSERT_GE(col, 0);
+  raw->rows[5][col] = "PhD-in-something-else";
+  {
+    std::ofstream out(dir_ / "r.csv");
+    out << Join(raw->header, ",") << "\n";
+    for (const auto& row : raw->rows) out << Join(row, ",") << "\n";
+  }
+  auto spec = LoadLinkageSpec((dir_ / "linkage.spec").string());
+  ASSERT_TRUE(spec.ok());
+  auto report = RunLinkageFromFiles(*spec, (dir_ / "r.csv").string(),
+                                    (dir_ / "s.csv").string(), {});
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("row 6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hprl::cli

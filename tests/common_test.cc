@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace hprl {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kUnimplemented, StatusCode::kInternal,
+        StatusCode::kIOError}) {
+    EXPECT_NE(StatusCodeToString(c), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fail = []() -> Status { return Status::NotFound("x"); };
+  auto wrap = [&]() -> Status {
+    HPRL_RETURN_IF_ERROR(fail());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrap().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.value_or(9), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::OutOfRange("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.value_or(9), 9);
+}
+
+TEST(ResultTest, MovesValueOut) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int diff = 0;
+  for (int i = 0; i < 16; ++i) diff += a.Next() != b.Next();
+  EXPECT_GT(diff, 0);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+}
+
+TEST(RngTest, NextIntCoversInclusiveRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextInt(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(11);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.NextDiscrete(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0]);
+  // Roughly 1:3.
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.7);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtilTest, JoinInvertsSplit) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ","), "a,b,c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, TrimRemovesWhitespace) {
+  EXPECT_EQ(Trim("  x \t\n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("hello", "hello!"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_FALSE(EndsWith("hello", "hel"));
+}
+
+TEST(StringUtilTest, ParseIntStrict) {
+  EXPECT_EQ(*ParseInt("42"), 42);
+  EXPECT_EQ(*ParseInt(" -7 "), -7);
+  EXPECT_FALSE(ParseInt("12x").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("999999999999999999999999").ok());
+}
+
+TEST(StringUtilTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("0.5"), 0.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_FALSE(ParseDouble("0.5.6").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(StringUtilTest, StrFormatFormats) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+// ---------------------------------------------------------------- math
+
+TEST(MathUtilTest, EntropyUniformIsLog2) {
+  EXPECT_NEAR(ShannonEntropy({1, 1, 1, 1}), 2.0, 1e-12);
+  EXPECT_NEAR(ShannonEntropy({5, 5}), 1.0, 1e-12);
+}
+
+TEST(MathUtilTest, EntropyDegenerateIsZero) {
+  EXPECT_EQ(ShannonEntropy({}), 0.0);
+  EXPECT_EQ(ShannonEntropy({10}), 0.0);
+  EXPECT_EQ(ShannonEntropy({10, 0, 0}), 0.0);
+}
+
+TEST(MathUtilTest, EntropyIgnoresZeros) {
+  EXPECT_NEAR(ShannonEntropy({3, 0, 3}), 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------- flags
+
+TEST(FlagsTest, ParsesAllKinds) {
+  FlagSet flags;
+  int64_t* k = flags.AddInt("k", 32, "anonymity");
+  double* theta = flags.AddDouble("theta", 0.05, "threshold");
+  bool* verbose = flags.AddBool("verbose", false, "verbosity");
+  std::string* name = flags.AddString("name", "x", "label");
+
+  const char* argv[] = {"prog", "--k=64",       "--theta", "0.1",
+                        "--verbose", "--name=hello"};
+  ASSERT_TRUE(flags.Parse(6, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(*k, 64);
+  EXPECT_DOUBLE_EQ(*theta, 0.1);
+  EXPECT_TRUE(*verbose);
+  EXPECT_EQ(*name, "hello");
+}
+
+TEST(FlagsTest, RejectsUnknownFlag) {
+  FlagSet flags;
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, RejectsBadValue) {
+  FlagSet flags;
+  flags.AddInt("k", 1, "");
+  const char* argv[] = {"prog", "--k=abc"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, DefaultsSurviveEmptyParse) {
+  FlagSet flags;
+  int64_t* k = flags.AddInt("k", 5, "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(*k, 5);
+}
+
+}  // namespace
+}  // namespace hprl

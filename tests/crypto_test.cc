@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "crypto/bigint.h"
+#include "crypto/fixed_point.h"
+#include "crypto/paillier.h"
+#include "crypto/secure_random.h"
+
+namespace hprl::crypto {
+namespace {
+
+// Small keys keep the suite fast; real-size keys are covered by one test and
+// the micro benches.
+constexpr int kTestKeyBits = 256;
+
+TEST(BigIntTest, BasicArithmetic) {
+  BigInt a(100), b(7);
+  EXPECT_EQ((a + b).ToString(), "107");
+  EXPECT_EQ((a - b).ToString(), "93");
+  EXPECT_EQ((a * b).ToString(), "700");
+  EXPECT_EQ((a / b).ToString(), "14");
+  EXPECT_EQ((a % b).ToString(), "2");
+  EXPECT_EQ((-a).ToString(), "-100");
+}
+
+TEST(BigIntTest, EuclideanModOfNegative) {
+  BigInt a(-5), m(7);
+  EXPECT_EQ((a % m).ToString(), "2");  // mpz_mod is non-negative
+}
+
+TEST(BigIntTest, Comparisons) {
+  EXPECT_LT(BigInt(1), BigInt(2));
+  EXPECT_LE(BigInt(2), BigInt(2));
+  EXPECT_GT(BigInt(3), BigInt(-3));
+  EXPECT_EQ(BigInt(0), BigInt());
+}
+
+TEST(BigIntTest, StringRoundTrip) {
+  const std::string big = "123456789012345678901234567890123456789";
+  auto x = BigInt::FromString(big);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x->ToString(), big);
+  EXPECT_FALSE(BigInt::FromString("12z").ok());
+  EXPECT_FALSE(BigInt::FromString("").ok());
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  auto x = BigInt::FromString("987654321098765432109876543210");
+  ASSERT_TRUE(x.ok());
+  auto bytes = x->ToBytes();
+  EXPECT_EQ(BigInt::FromBytes(bytes), *x);
+  EXPECT_TRUE(BigInt(0).ToBytes().empty());
+  EXPECT_EQ(BigInt::FromBytes({}), BigInt(0));
+}
+
+TEST(BigIntTest, ToInt64Bounds) {
+  EXPECT_EQ(*BigInt(-42).ToInt64(), -42);
+  auto huge = BigInt::FromString("99999999999999999999999999");
+  ASSERT_TRUE(huge.ok());
+  EXPECT_FALSE(huge->ToInt64().ok());
+}
+
+TEST(BigIntTest, PowModAndInverse) {
+  BigInt base(4), exp(13), mod(497);
+  EXPECT_EQ(BigInt::PowMod(base, exp, mod), BigInt(445));
+  auto inv = BigInt::ModInverse(BigInt(3), BigInt(11));
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(*inv, BigInt(4));
+  EXPECT_FALSE(BigInt::ModInverse(BigInt(6), BigInt(9)).ok());  // gcd 3
+}
+
+TEST(BigIntTest, GcdLcmPrime) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Lcm(BigInt(4), BigInt(6)), BigInt(12));
+  EXPECT_TRUE(BigInt(104729).IsProbablePrime());
+  EXPECT_FALSE(BigInt(104730).IsProbablePrime());
+  EXPECT_EQ(BigInt(100).NextPrime(), BigInt(101));
+}
+
+TEST(SecureRandomTest, DeterministicSeedReproduces) {
+  SecureRandom a(5), b(5);
+  EXPECT_EQ(a.NextBits(128), b.NextBits(128));
+  EXPECT_EQ(a.NextBelow(BigInt(1000000)), b.NextBelow(BigInt(1000000)));
+}
+
+TEST(SecureRandomTest, BitsBound) {
+  SecureRandom rng(6);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LE(rng.NextBits(64).BitLength(), 64u);
+  }
+}
+
+TEST(SecureRandomTest, BelowBound) {
+  SecureRandom rng(7);
+  BigInt bound(1000);
+  for (int i = 0; i < 200; ++i) {
+    BigInt x = rng.NextBelow(bound);
+    EXPECT_GE(x.Sign(), 0);
+    EXPECT_LT(x, bound);
+  }
+}
+
+TEST(SecureRandomTest, PrimesHaveExactBitLength) {
+  SecureRandom rng(8);
+  for (int i = 0; i < 5; ++i) {
+    BigInt p = rng.NextPrime(96);
+    EXPECT_EQ(p.BitLength(), 96u);
+    EXPECT_TRUE(p.IsProbablePrime());
+  }
+}
+
+TEST(SecureRandomTest, OsEntropyWorks) {
+  SecureRandom rng;  // real /dev/urandom
+  BigInt a = rng.NextBits(128);
+  BigInt b = rng.NextBits(128);
+  EXPECT_NE(a, b);  // 2^-128 false-failure probability
+}
+
+class PaillierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SecureRandom rng(1234);
+    auto kp = GeneratePaillierKeyPair(kTestKeyBits, rng);
+    ASSERT_TRUE(kp.ok()) << kp.status().ToString();
+    pub_ = kp->pub;
+    priv_ = kp->priv;
+  }
+  SecureRandom rng_{99};
+  PaillierPublicKey pub_;
+  PaillierPrivateKey priv_;
+};
+
+TEST_F(PaillierTest, EncryptDecryptRoundTrip) {
+  for (int64_t m : {0LL, 1LL, 42LL, 1234567890LL}) {
+    auto c = pub_.Encrypt(BigInt(m), rng_);
+    ASSERT_TRUE(c.ok());
+    auto d = priv_.Decrypt(*c);
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(*d, BigInt(m)) << m;
+  }
+}
+
+TEST_F(PaillierTest, EncryptionIsProbabilistic) {
+  auto c1 = pub_.Encrypt(BigInt(5), rng_);
+  auto c2 = pub_.Encrypt(BigInt(5), rng_);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_NE(*c1, *c2);
+  EXPECT_EQ(*priv_.Decrypt(*c1), *priv_.Decrypt(*c2));
+}
+
+TEST_F(PaillierTest, RejectsOutOfRangePlaintext) {
+  EXPECT_FALSE(pub_.Encrypt(BigInt(-1), rng_).ok());
+  EXPECT_FALSE(pub_.Encrypt(pub_.n(), rng_).ok());
+}
+
+TEST_F(PaillierTest, RejectsBadCiphertext) {
+  EXPECT_FALSE(priv_.Decrypt(BigInt(0)).ok());
+  EXPECT_FALSE(priv_.Decrypt(pub_.n_squared()).ok());
+}
+
+TEST_F(PaillierTest, HomomorphicAdd) {
+  auto c1 = pub_.Encrypt(BigInt(1111), rng_);
+  auto c2 = pub_.Encrypt(BigInt(2222), rng_);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  auto sum = priv_.Decrypt(pub_.Add(*c1, *c2));
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, BigInt(3333));
+}
+
+TEST_F(PaillierTest, HomomorphicScalarMul) {
+  auto c = pub_.Encrypt(BigInt(77), rng_);
+  ASSERT_TRUE(c.ok());
+  auto prod = priv_.Decrypt(pub_.ScalarMul(*c, BigInt(9)));
+  ASSERT_TRUE(prod.ok());
+  EXPECT_EQ(*prod, BigInt(693));
+}
+
+TEST_F(PaillierTest, SignedEncodingSurvivesArithmetic) {
+  // Enc(x) +h Enc(-2x) should decode (signed) to -x.
+  auto c1 = pub_.EncryptSigned(BigInt(500), rng_);
+  auto c2 = pub_.EncryptSigned(BigInt(-1000), rng_);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  auto d = priv_.DecryptSigned(pub_.Add(*c1, *c2));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, BigInt(-500));
+}
+
+TEST_F(PaillierTest, NegativeScalarMul) {
+  auto c = pub_.EncryptSigned(BigInt(30), rng_);
+  ASSERT_TRUE(c.ok());
+  auto d = priv_.DecryptSigned(pub_.ScalarMul(*c, BigInt(-4)));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, BigInt(-120));
+}
+
+TEST_F(PaillierTest, PaperSquaredDistanceIdentity) {
+  // The §V-A computation: Enc(x²) +h (Enc(-2x) ×h y) +h Enc(y²) = Enc((x-y)²).
+  int64_t x = 357, y = 123;
+  auto cx2 = pub_.EncryptSigned(BigInt(x * x), rng_);
+  auto cm2x = pub_.EncryptSigned(BigInt(-2 * x), rng_);
+  auto cy2 = pub_.EncryptSigned(BigInt(y * y), rng_);
+  ASSERT_TRUE(cx2.ok() && cm2x.ok() && cy2.ok());
+  BigInt c = pub_.Add(pub_.Add(*cx2, pub_.ScalarMul(*cm2x, BigInt(y))), *cy2);
+  auto d = priv_.DecryptSigned(c);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, BigInt((x - y) * (x - y)));
+}
+
+TEST_F(PaillierTest, RerandomizePreservesPlaintext) {
+  auto c = pub_.Encrypt(BigInt(31337), rng_);
+  ASSERT_TRUE(c.ok());
+  auto c2 = pub_.Rerandomize(*c, rng_);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NE(*c, *c2);
+  EXPECT_EQ(*priv_.Decrypt(*c2), BigInt(31337));
+}
+
+TEST(PaillierKeyGenTest, RejectsTinyModulus) {
+  SecureRandom rng(1);
+  EXPECT_FALSE(GeneratePaillierKeyPair(32, rng).ok());
+}
+
+TEST(PaillierKeyGenTest, PaperSize1024Works) {
+  SecureRandom rng(77);
+  auto kp = GeneratePaillierKeyPair(1024, rng);
+  ASSERT_TRUE(kp.ok());
+  EXPECT_GE(kp->pub.modulus_bits(), 1023);
+  SecureRandom enc_rng(78);
+  auto c = kp->pub.Encrypt(BigInt(424242), enc_rng);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*kp->priv.Decrypt(*c), BigInt(424242));
+}
+
+TEST(FixedPointTest, RoundTripAndSquares) {
+  FixedPointCodec codec(1000);
+  EXPECT_EQ(codec.Encode(1.5), BigInt(1500));
+  EXPECT_EQ(codec.Encode(-2.5), BigInt(-2500));
+  EXPECT_DOUBLE_EQ(codec.Decode(BigInt(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(codec.DecodeSquared(BigInt(2250000)), 2.25);  // 1.5^2
+}
+
+}  // namespace
+}  // namespace hprl::crypto

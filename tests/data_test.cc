@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/random.h"
+#include "data/csv.h"
+#include "data/partition.h"
+#include "data/schema.h"
+#include "data/table.h"
+#include "data/value.h"
+
+namespace hprl {
+namespace {
+
+SchemaPtr MakeTestSchema() {
+  auto domain = std::make_shared<CategoryDomain>(
+      std::vector<std::string>{"red", "green", "blue"});
+  auto schema = std::make_shared<Schema>();
+  schema->AddNumeric("x");
+  schema->AddCategorical("color", domain);
+  schema->AddText("note");
+  return schema;
+}
+
+// ---------------------------------------------------------------- Value
+
+TEST(ValueTest, KindsAndPayloads) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_DOUBLE_EQ(Value::Numeric(2.5).num(), 2.5);
+  EXPECT_EQ(Value::Category(3).category(), 3);
+  EXPECT_EQ(Value::Text("hi").text(), "hi");
+}
+
+TEST(ValueTest, EqualityIsKindAndPayload) {
+  EXPECT_EQ(Value::Numeric(1.0), Value::Numeric(1.0));
+  EXPECT_NE(Value::Numeric(1.0), Value::Numeric(2.0));
+  EXPECT_NE(Value::Numeric(1.0), Value::Category(1));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_EQ(Value::Text("a"), Value::Text("a"));
+}
+
+// ---------------------------------------------------------------- Domain
+
+TEST(CategoryDomainTest, AddAndFind) {
+  CategoryDomain d;
+  EXPECT_EQ(*d.Add("a"), 0);
+  EXPECT_EQ(*d.Add("b"), 1);
+  EXPECT_FALSE(d.Add("a").ok());
+  EXPECT_EQ(d.Find("b"), 1);
+  EXPECT_EQ(d.Find("zz"), -1);
+  EXPECT_EQ(d.GetOrAdd("b"), 1);
+  EXPECT_EQ(d.GetOrAdd("c"), 2);
+  EXPECT_EQ(d.size(), 3);
+  EXPECT_EQ(d.label(2), "c");
+}
+
+// ---------------------------------------------------------------- Schema
+
+TEST(SchemaTest, LookupAndRender) {
+  SchemaPtr s = MakeTestSchema();
+  EXPECT_EQ(s->num_attributes(), 3);
+  EXPECT_EQ(s->FindIndex("color"), 1);
+  EXPECT_EQ(s->FindIndex("nope"), -1);
+  EXPECT_EQ(s->RenderValue(0, Value::Numeric(2)), "2");
+  EXPECT_EQ(s->RenderValue(1, Value::Category(2)), "blue");
+  EXPECT_EQ(s->RenderValue(2, Value::Text("n")), "n");
+  EXPECT_EQ(s->RenderValue(0, Value::Null()), "?");
+}
+
+// ---------------------------------------------------------------- Table
+
+TEST(TableTest, AppendValidates) {
+  Table t(MakeTestSchema());
+  EXPECT_TRUE(
+      t.Append({Value::Numeric(1), Value::Category(0), Value::Text("a")})
+          .ok());
+  // Wrong arity.
+  EXPECT_FALSE(t.Append({Value::Numeric(1)}).ok());
+  // Wrong kind.
+  EXPECT_FALSE(
+      t.Append({Value::Category(0), Value::Category(0), Value::Text("a")})
+          .ok());
+  // Out-of-domain category.
+  EXPECT_FALSE(
+      t.Append({Value::Numeric(1), Value::Category(9), Value::Text("a")})
+          .ok());
+  EXPECT_EQ(t.num_rows(), 1);
+}
+
+TEST(TableTest, GatherSelectsRows) {
+  Table t(MakeTestSchema());
+  for (int i = 0; i < 5; ++i) {
+    t.AppendUnchecked(
+        {Value::Numeric(i), Value::Category(i % 3), Value::Text("r")});
+  }
+  Table g = t.Gather({4, 0, 4});
+  ASSERT_EQ(g.num_rows(), 3);
+  EXPECT_DOUBLE_EQ(g.at(0, 0).num(), 4);
+  EXPECT_DOUBLE_EQ(g.at(1, 0).num(), 0);
+  EXPECT_DOUBLE_EQ(g.at(2, 0).num(), 4);
+}
+
+// ---------------------------------------------------------------- CSV
+
+TEST(CsvTest, ParseLineHandlesQuotes) {
+  auto f = ParseCsvLine("a,\"b,c\",\"d\"\"e\"");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(*f, (std::vector<std::string>{"a", "b,c", "d\"e"}));
+}
+
+TEST(CsvTest, ParseLineRejectsBadQuoting) {
+  EXPECT_FALSE(ParseCsvLine("a,\"unterminated").ok());
+  EXPECT_FALSE(ParseCsvLine("a,b\"c").ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  SchemaPtr schema = MakeTestSchema();
+  Table t(schema);
+  t.AppendUnchecked(
+      {Value::Numeric(1.5), Value::Category(2), Value::Text("hello, world")});
+  t.AppendUnchecked({Value::Null(), Value::Category(0), Value::Text("x\"y")});
+
+  std::string path =
+      (std::filesystem::temp_directory_path() / "hprl_csv_test.csv").string();
+  ASSERT_TRUE(WriteCsv(t, path).ok());
+  auto back = ReadCsv(path, schema);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), 2);
+  EXPECT_DOUBLE_EQ(back->at(0, 0).num(), 1.5);
+  EXPECT_EQ(back->at(0, 1).category(), 2);
+  EXPECT_EQ(back->at(0, 2).text(), "hello, world");
+  EXPECT_TRUE(back->at(1, 0).is_null());
+  EXPECT_EQ(back->at(1, 2).text(), "x\"y");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, StrictRejectsUnknownCategory) {
+  SchemaPtr schema = MakeTestSchema();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "hprl_csv_cat.csv").string();
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("x,color,note\n1,magenta,n\n", f);
+    fclose(f);
+  }
+  EXPECT_FALSE(ReadCsv(path, schema, /*strict_categories=*/true).ok());
+  auto lenient = ReadCsv(path, schema, /*strict_categories=*/false);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_EQ(lenient->schema()->attribute(1).domain->Find("magenta"), 3);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, HeaderMismatchFails) {
+  SchemaPtr schema = MakeTestSchema();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "hprl_csv_hdr.csv").string();
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("x,wrong,note\n", f);
+    fclose(f);
+  }
+  EXPECT_FALSE(ReadCsv(path, schema).ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- split
+
+TEST(PartitionTest, SplitShapesMatchPaperConstruction) {
+  auto schema = std::make_shared<Schema>();
+  schema->AddNumeric("id");
+  Table t(schema);
+  const int64_t n = 301;  // not divisible by 3: remainder dropped
+  for (int64_t i = 0; i < n; ++i) t.AppendUnchecked({Value::Numeric(i)});
+
+  Rng rng(5);
+  auto split = SplitForLinkage(t, rng);
+  ASSERT_TRUE(split.ok());
+  int64_t part = n / 3;
+  EXPECT_EQ(split->d1.num_rows(), 2 * part);
+  EXPECT_EQ(split->d2.num_rows(), 2 * part);
+  EXPECT_EQ(split->shared_count, part);
+
+  // The trailing `part` rows coincide (d3 shared block).
+  for (int64_t i = 0; i < part; ++i) {
+    EXPECT_EQ(split->d1_source[part + i], split->d2_source[part + i]);
+    EXPECT_EQ(split->d1.at(part + i, 0).num(), split->d2.at(part + i, 0).num());
+  }
+  // The leading parts are disjoint.
+  std::set<int64_t> d1_own(split->d1_source.begin(),
+                           split->d1_source.begin() + part);
+  for (int64_t i = 0; i < part; ++i) {
+    EXPECT_EQ(d1_own.count(split->d2_source[i]), 0u);
+  }
+}
+
+TEST(PartitionTest, TooSmallFails) {
+  auto schema = std::make_shared<Schema>();
+  schema->AddNumeric("id");
+  Table t(schema);
+  t.AppendUnchecked({Value::Numeric(0)});
+  Rng rng(1);
+  EXPECT_FALSE(SplitForLinkage(t, rng).ok());
+}
+
+}  // namespace
+}  // namespace hprl

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "linkage/distance.h"
+
+namespace hprl {
+namespace {
+
+TEST(HammingTest, ZeroOrOne) {
+  EXPECT_DOUBLE_EQ(HammingDistance(3, 3), 0.0);
+  EXPECT_DOUBLE_EQ(HammingDistance(3, 4), 1.0);
+}
+
+TEST(NumericDistanceTest, NormalizedAndSymmetric) {
+  EXPECT_DOUBLE_EQ(NormalizedNumericDistance(10, 30, 100), 0.2);
+  EXPECT_DOUBLE_EQ(NormalizedNumericDistance(30, 10, 100), 0.2);
+  EXPECT_DOUBLE_EQ(NormalizedNumericDistance(5, 5, 100), 0.0);
+}
+
+TEST(NumericDistanceTest, DegenerateRange) {
+  EXPECT_DOUBLE_EQ(NormalizedNumericDistance(5, 5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedNumericDistance(5, 6, 0), 1.0);
+}
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0);
+  EXPECT_EQ(EditDistance("abc", ""), 3);
+  EXPECT_EQ(EditDistance("", "ab"), 2);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2);
+  EXPECT_EQ(EditDistance("same", "same"), 0);
+}
+
+TEST(EditDistanceTest, MetricProperties) {
+  const char* words[] = {"smith", "smyth", "smithe", "jones", ""};
+  for (const char* a : words) {
+    for (const char* b : words) {
+      int dab = EditDistance(a, b);
+      EXPECT_EQ(dab, EditDistance(b, a));        // symmetry
+      EXPECT_EQ(dab == 0, std::string(a) == b);  // identity
+      for (const char* c : words) {
+        EXPECT_LE(EditDistance(a, c), dab + EditDistance(b, c));  // triangle
+      }
+    }
+  }
+}
+
+TEST(PrefixBoundTest, EmptyPrefixIsZero) {
+  EXPECT_EQ(PrefixEditDistanceLowerBound("", "abc"), 0);
+  EXPECT_EQ(PrefixEditDistanceLowerBound("abc", ""), 0);
+}
+
+TEST(PrefixBoundTest, ExtensionCanRepair) {
+  // "ab"* and "abc"* share extension "abc...".
+  EXPECT_EQ(PrefixEditDistanceLowerBound("ab", "abc"), 0);
+  EXPECT_EQ(PrefixEditDistanceLowerBound("abc", "ab"), 0);
+}
+
+TEST(PrefixBoundTest, DivergentPrefixesKeepDistance) {
+  // Mismatch inside the prefix cannot be repaired by appending.
+  EXPECT_GE(PrefixEditDistanceLowerBound("axc", "abc"), 1);
+  EXPECT_GE(PrefixEditDistanceLowerBound("xyz", "abc"), 1);
+}
+
+TEST(PrefixBoundTest, IsLowerBoundOnExtensions) {
+  // Property: for concrete extensions x of p and y of q,
+  // bound(p, q) <= ed(x, y).
+  const char* ps[] = {"sm", "smi", "jo"};
+  const char* exts[] = {"", "th", "thers", "nes"};
+  for (const char* p : ps) {
+    for (const char* q : ps) {
+      int bound = PrefixEditDistanceLowerBound(p, q);
+      for (const char* e1 : exts) {
+        for (const char* e2 : exts) {
+          std::string x = std::string(p) + e1;
+          std::string y = std::string(q) + e2;
+          EXPECT_LE(bound, EditDistance(x, y))
+              << p << "+" << e1 << " vs " << q << "+" << e2;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hprl

@@ -1,0 +1,234 @@
+// Edge-case suite: degenerate inputs and extreme parameters across the whole
+// pipeline. Behaviors asserted here are the documented contracts for the
+// corners (empty inputs, k > n, vacuous thresholds, zero budgets, ...).
+
+#include <gtest/gtest.h>
+
+#include "anon/anonymizer.h"
+#include "core/blocking.h"
+#include "core/hybrid.h"
+#include "linkage/ground_truth.h"
+#include "linkage/oracle.h"
+
+namespace hprl {
+namespace {
+
+/// Tiny single-attribute world: one categorical QID with 4 leaves.
+struct TinyWorld {
+  VghPtr vgh;
+  SchemaPtr schema;
+  MatchRule rule;
+  AnonymizerConfig anon_cfg;
+
+  TinyWorld() {
+    VghBuilder b(Vgh::Kind::kCategorical);
+    int any = b.AddRoot("ANY");
+    int left = b.AddChild(any, "L");
+    b.AddChild(left, "a");
+    b.AddChild(left, "b");
+    int right = b.AddChild(any, "R");
+    b.AddChild(right, "c");
+    b.AddChild(right, "d");
+    auto built = b.Build();
+    EXPECT_TRUE(built.ok());
+    vgh = std::make_shared<const Vgh>(std::move(built).value());
+
+    auto s = std::make_shared<Schema>();
+    s->AddCategorical("x", vgh->MakeDomain());
+    schema = s;
+
+    AttrRule r;
+    r.attr_index = 0;
+    r.type = AttrType::kCategorical;
+    r.theta = 0.5;
+    rule.attrs = {r};
+
+    anon_cfg.k = 2;
+    anon_cfg.qid_attrs = {0};
+    anon_cfg.hierarchies = {vgh};
+  }
+
+  Table MakeTable(const std::vector<int32_t>& cats) const {
+    Table t(schema);
+    for (int32_t c : cats) t.AppendUnchecked({Value::Category(c)});
+    return t;
+  }
+};
+
+TEST(EdgeTest, EmptyTableAnonymizesToNothingUseful) {
+  TinyWorld w;
+  Table empty = w.MakeTable({});
+  auto anon = MakeMaxEntropyAnonymizer(w.anon_cfg)->Anonymize(empty);
+  ASSERT_TRUE(anon.ok());
+  EXPECT_EQ(anon->num_rows, 0);
+  // Whatever groups exist must be empty; blocking over them decides nothing.
+  auto blocking = RunBlocking(*anon, *anon, w.rule);
+  ASSERT_TRUE(blocking.ok());
+  EXPECT_EQ(blocking->total_pairs, 0);
+  EXPECT_EQ(blocking->matched_pairs + blocking->mismatched_pairs +
+                blocking->unknown_pairs,
+            0);
+}
+
+TEST(EdgeTest, KGreaterThanTableSizeReleasesOneRootGroup) {
+  TinyWorld w;
+  w.anon_cfg.k = 100;
+  Table t = w.MakeTable({0, 1, 2, 3});
+  auto anon = MakeMaxEntropyAnonymizer(w.anon_cfg)->Anonymize(t);
+  ASSERT_TRUE(anon.ok());
+  EXPECT_EQ(anon->NumSequences(), 1);
+  EXPECT_FALSE(anon->IsKAnonymous(100));  // cannot be helped: n < k
+  EXPECT_TRUE(anon->IsKAnonymous(4));
+}
+
+TEST(EdgeTest, DataflySuppressesEverythingWhenKExceedsN) {
+  TinyWorld w;
+  w.anon_cfg.k = 100;
+  Table t = w.MakeTable({0, 1, 2, 3});
+  auto anon = MakeDataflyAnonymizer(w.anon_cfg)->Anonymize(t);
+  ASSERT_TRUE(anon.ok());
+  // All rows are outliers (4 <= k) -> one fully generalized group; since
+  // everything is suppressed the release still covers every row.
+  int64_t covered = 0;
+  for (const auto& g : anon->groups) covered += g.rows.size();
+  EXPECT_EQ(covered, 4);
+}
+
+TEST(EdgeTest, SingleRowTables) {
+  TinyWorld w;
+  w.anon_cfg.k = 1;
+  Table r = w.MakeTable({0});
+  Table s_match = w.MakeTable({0});
+  Table s_miss = w.MakeTable({3});
+  auto anon_r = MakeMaxEntropyAnonymizer(w.anon_cfg)->Anonymize(r);
+  auto anon_sm = MakeMaxEntropyAnonymizer(w.anon_cfg)->Anonymize(s_match);
+  auto anon_sx = MakeMaxEntropyAnonymizer(w.anon_cfg)->Anonymize(s_miss);
+  ASSERT_TRUE(anon_r.ok() && anon_sm.ok() && anon_sx.ok());
+
+  auto b1 = RunBlocking(*anon_r, *anon_sm, w.rule);
+  ASSERT_TRUE(b1.ok());
+  EXPECT_EQ(b1->matched_pairs, 1);  // singleton == singleton: provable match
+  auto b2 = RunBlocking(*anon_r, *anon_sx, w.rule);
+  ASSERT_TRUE(b2.ok());
+  EXPECT_EQ(b2->mismatched_pairs, 1);
+}
+
+TEST(EdgeTest, VacuousCategoricalThresholdMatchesEverything) {
+  TinyWorld w;
+  w.rule.attrs[0].theta = 1.0;  // Hamming never exceeds 1
+  Table r = w.MakeTable({0, 1});
+  Table s = w.MakeTable({2, 3});
+  EXPECT_EQ(CountMatchingPairsNaive(r, s, w.rule), 4);
+  auto fast = CountMatchingPairs(r, s, w.rule);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(*fast, 4);
+
+  // Blocking agrees: sup distance 1 <= theta, every pair is a provable match.
+  w.anon_cfg.k = 2;
+  auto anon_r = MakeMaxEntropyAnonymizer(w.anon_cfg)->Anonymize(r);
+  auto anon_s = MakeMaxEntropyAnonymizer(w.anon_cfg)->Anonymize(s);
+  ASSERT_TRUE(anon_r.ok() && anon_s.ok());
+  auto blocking = RunBlocking(*anon_r, *anon_s, w.rule);
+  ASSERT_TRUE(blocking.ok());
+  EXPECT_EQ(blocking->matched_pairs, 4);
+}
+
+TEST(EdgeTest, ZeroThetaNumericMeansExactEquality) {
+  auto vgh_or = MakeEquiWidthVgh(0, 10, {4});
+  ASSERT_TRUE(vgh_or.ok());
+  auto vgh = std::make_shared<const Vgh>(std::move(vgh_or).value());
+  auto schema = std::make_shared<Schema>();
+  schema->AddNumeric("v");
+  MatchRule rule;
+  AttrRule a;
+  a.attr_index = 0;
+  a.type = AttrType::kNumeric;
+  a.theta = 0;
+  a.norm = vgh->RootRange();
+  rule.attrs = {a};
+
+  Table r(schema), s(schema);
+  r.AppendUnchecked({Value::Numeric(7)});
+  s.AppendUnchecked({Value::Numeric(7)});
+  s.AppendUnchecked({Value::Numeric(7.0001)});
+  auto n = CountMatchingPairs(r, s, rule);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1);
+}
+
+TEST(EdgeTest, TinyAllowanceRoundsDownToZeroInvocations) {
+  TinyWorld w;
+  Table r = w.MakeTable({0, 1, 0, 1});
+  Table s = w.MakeTable({0, 1, 1, 0});
+  auto anon_r = MakeMaxEntropyAnonymizer(w.anon_cfg)->Anonymize(r);
+  auto anon_s = MakeMaxEntropyAnonymizer(w.anon_cfg)->Anonymize(s);
+  ASSERT_TRUE(anon_r.ok() && anon_s.ok());
+  HybridConfig hc;
+  hc.rule = w.rule;
+  hc.smc_allowance_fraction = 1e-9;  // 16 pairs * 1e-9 -> floor 0
+  CountingPlaintextOracle oracle(w.rule);
+  auto result = RunHybridLinkage(r, s, *anon_r, *anon_s, hc, oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->allowance_pairs, 0);
+  EXPECT_EQ(result->smc_processed, 0);
+}
+
+TEST(EdgeTest, MismatchedReleaseIsRejectedByPipeline) {
+  TinyWorld w;
+  Table r = w.MakeTable({0, 1});
+  Table s = w.MakeTable({0, 1});
+  auto anon = MakeMaxEntropyAnonymizer(w.anon_cfg)->Anonymize(r);
+  ASSERT_TRUE(anon.ok());
+  AnonymizedTable wrong = *anon;
+  wrong.num_rows = 99;  // claims rows it does not have
+  HybridConfig hc;
+  hc.rule = w.rule;
+  CountingPlaintextOracle oracle(w.rule);
+  EXPECT_FALSE(RunHybridLinkage(r, s, wrong, *anon, hc, oracle).ok());
+}
+
+TEST(EdgeTest, PublishedReleaseRejectedByPipeline) {
+  TinyWorld w;
+  Table r = w.MakeTable({0, 1});
+  auto anon = MakeMaxEntropyAnonymizer(w.anon_cfg)->Anonymize(r);
+  ASSERT_TRUE(anon.ok());
+  AnonymizedTable published = *anon;
+  for (auto& g : published.groups) {
+    g.published_size = static_cast<int64_t>(g.rows.size());
+    g.rows.clear();
+  }
+  HybridConfig hc;
+  hc.rule = w.rule;
+  CountingPlaintextOracle oracle(w.rule);
+  auto result = RunHybridLinkage(r, r, published, *anon, hc, oracle);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EdgeTest, DuplicateRowsStayTogether) {
+  TinyWorld w;
+  Table t = w.MakeTable({2, 2, 2, 2, 2, 2});
+  auto anon = MakeMaxEntropyAnonymizer(w.anon_cfg)->Anonymize(t);
+  ASSERT_TRUE(anon.ok());
+  EXPECT_EQ(anon->NumSequences(), 1);
+  EXPECT_TRUE(anon->groups[0].seq[0].IsSingleton());
+  // Self-join: all 36 pairs are provable matches from the release alone.
+  auto blocking = RunBlocking(*anon, *anon, w.rule);
+  ASSERT_TRUE(blocking.ok());
+  EXPECT_EQ(blocking->matched_pairs, 36);
+}
+
+TEST(EdgeTest, SingleLeafHierarchy) {
+  VghBuilder b(Vgh::Kind::kCategorical);
+  int any = b.AddRoot("ANY");
+  b.AddChild(any, "only");
+  auto built = b.Build();
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->num_leaves(), 1);
+  EXPECT_EQ(built->height(), 1);
+  GenValue g = built->Gen(Vgh::kRoot);
+  EXPECT_EQ(g.CategoryCount(), 1);
+  EXPECT_TRUE(g.IsSingleton());  // the root admits exactly one value
+}
+
+}  // namespace
+}  // namespace hprl

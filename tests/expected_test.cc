@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "linkage/expected.h"
+
+namespace hprl {
+namespace {
+
+AttrRule CatRule() {
+  AttrRule r;
+  r.type = AttrType::kCategorical;
+  return r;
+}
+
+AttrRule NumRule(double norm) {
+  AttrRule r;
+  r.type = AttrType::kNumeric;
+  r.norm = norm;
+  return r;
+}
+
+// Paper Eq. 5: E[d] = 1 - |V ∩ W| / (|V| |W|).
+TEST(ExpectedCategoricalTest, Equation5KnownValues) {
+  // Disjoint: expected Hamming distance is 1.
+  EXPECT_DOUBLE_EQ(ExpectedAttrDistance(GenValue::CategoryRange(0, 2),
+                                        GenValue::CategoryRange(2, 4),
+                                        CatRule()),
+                   1.0);
+  // Identical singletons: 0.
+  EXPECT_DOUBLE_EQ(ExpectedAttrDistance(GenValue::CategorySingleton(1),
+                                        GenValue::CategorySingleton(1),
+                                        CatRule()),
+                   0.0);
+  // |V| = |W| = 2, same range: 1 - 2/4 = 0.5.
+  EXPECT_DOUBLE_EQ(ExpectedAttrDistance(GenValue::CategoryRange(0, 2),
+                                        GenValue::CategoryRange(0, 2),
+                                        CatRule()),
+                   0.5);
+  // |V| = 1 inside |W| = 4: 1 - 1/4.
+  EXPECT_DOUBLE_EQ(ExpectedAttrDistance(GenValue::CategorySingleton(2),
+                                        GenValue::CategoryRange(0, 4),
+                                        CatRule()),
+                   0.75);
+}
+
+TEST(ExpectedCategoricalTest, MatchesMonteCarlo) {
+  Rng rng(3);
+  GenValue v = GenValue::CategoryRange(1, 5);   // {1,2,3,4}
+  GenValue w = GenValue::CategoryRange(3, 9);   // {3,...,8}
+  double analytic = ExpectedAttrDistance(v, w, CatRule());
+  int64_t mism = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    int32_t x = static_cast<int32_t>(rng.NextInt(v.cat_lo, v.cat_hi - 1));
+    int32_t y = static_cast<int32_t>(rng.NextInt(w.cat_lo, w.cat_hi - 1));
+    mism += x != y;
+  }
+  EXPECT_NEAR(analytic, static_cast<double>(mism) / n, 0.01);
+}
+
+// Paper Eq. 8 for uniform V ~ [a1,b1], W ~ [a2,b2].
+TEST(ExpectedNumericTest, DegenerateIntervalsGiveSquaredDistance) {
+  double ed = ExpectedAttrDistance(GenValue::NumericExact(3),
+                                   GenValue::NumericExact(7), NumRule(10));
+  EXPECT_NEAR(ed, 16.0 / 100.0, 1e-12);  // (3-7)^2 / norm^2
+}
+
+TEST(ExpectedNumericTest, IdenticalIntervalHasKnownClosedForm) {
+  // V, W ~ U[0, w]: E[(V-W)^2] = w^2 / 6.
+  double w = 12;
+  double ed = ExpectedAttrDistance(GenValue::NumericInterval(0, w),
+                                   GenValue::NumericInterval(0, w),
+                                   NumRule(1));
+  EXPECT_NEAR(ed, w * w / 6.0, 1e-9);
+}
+
+TEST(ExpectedNumericTest, MatchesMonteCarlo) {
+  Rng rng(17);
+  double a1 = 5, b1 = 20, a2 = 10, b2 = 40;
+  double analytic =
+      ExpectedAttrDistance(GenValue::NumericInterval(a1, b1),
+                           GenValue::NumericInterval(a2, b2), NumRule(1));
+  double sum = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.NextDouble(a1, b1);
+    double y = rng.NextDouble(a2, b2);
+    sum += (x - y) * (x - y);
+  }
+  EXPECT_NEAR(analytic, sum / n, analytic * 0.02);
+}
+
+TEST(ExpectedNumericTest, FartherIntervalsHaveLargerExpectation) {
+  GenValue v = GenValue::NumericInterval(0, 10);
+  double near = ExpectedAttrDistance(v, GenValue::NumericInterval(10, 20),
+                                     NumRule(100));
+  double far = ExpectedAttrDistance(v, GenValue::NumericInterval(50, 60),
+                                    NumRule(100));
+  EXPECT_LT(near, far);
+}
+
+TEST(ExpectedDistancesTest, VectorCoversAllAttributes) {
+  MatchRule rule;
+  rule.attrs = {CatRule(), NumRule(10)};
+  GenSequence a = {GenValue::CategorySingleton(0), GenValue::NumericExact(1)};
+  GenSequence b = {GenValue::CategorySingleton(0), GenValue::NumericExact(3)};
+  auto ed = ExpectedDistances(a, b, rule);
+  ASSERT_EQ(ed.size(), 2u);
+  EXPECT_DOUBLE_EQ(ed[0], 0.0);
+  EXPECT_NEAR(ed[1], 4.0 / 100.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hprl

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "smc/smc_oracle.h"
+
+namespace hprl {
+namespace {
+
+const ExperimentData& TinyData() {
+  static const ExperimentData* data = [] {
+    auto d = PrepareAdultData(300, 55);
+    EXPECT_TRUE(d.ok());
+    return new ExperimentData(std::move(d).value());
+  }();
+  return *data;
+}
+
+TEST(ExperimentDriverTest, PrepareValidatesRows) {
+  EXPECT_FALSE(PrepareAdultData(2, 1).ok());
+  auto ok = PrepareAdultData(9, 1);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->split.d1.num_rows(), 6);
+}
+
+TEST(ExperimentDriverTest, ConfigValidation) {
+  const auto& data = TinyData();
+  EXPECT_FALSE(MakeAdultAnonConfig(data, 0, 4).ok());
+  EXPECT_FALSE(MakeAdultAnonConfig(data, 9, 4).ok());
+  auto cfg = MakeAdultAnonConfig(data, 8, 4);
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->qid_attrs.size(), 8u);
+  EXPECT_GE(cfg->class_attr, 0);
+  EXPECT_FALSE(MakeAnonymizerByName("Nope", *cfg).ok());
+}
+
+TEST(ExperimentDriverTest, AllAnonymizersRunThroughTheDriver) {
+  for (const char* method : {"MaxEntropy", "TDS", "DataFly", "Mondrian"}) {
+    ExperimentConfig cfg;
+    cfg.k = 4;
+    cfg.anonymizer = method;
+    cfg.smc_allowance_fraction = 1.0;
+    auto out = RunAdultExperiment(TinyData(), cfg);
+    ASSERT_TRUE(out.ok()) << method << ": " << out.status().ToString();
+    EXPECT_DOUBLE_EQ(out->hybrid.recall, 1.0) << method;
+    EXPECT_GT(out->sequences_r, 0);
+  }
+}
+
+TEST(ExperimentDriverTest, SkippingRecallEvaluationLeavesSentinel) {
+  ExperimentConfig cfg;
+  cfg.k = 4;
+  cfg.evaluate_recall = false;
+  auto out = RunAdultExperiment(TinyData(), cfg);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->hybrid.true_matches, -1);
+}
+
+// The whole pipeline driven by the REAL Paillier protocol end to end: the
+// cryptographic oracle must produce exactly the plaintext oracle's outcome.
+TEST(ExperimentDriverTest, RealSmcOracleMatchesPlaintextPipeline) {
+  auto small = PrepareAdultData(60, 77);
+  ASSERT_TRUE(small.ok());
+  auto cfg = MakeAdultAnonConfig(*small, 3, 4);
+  ASSERT_TRUE(cfg.ok());
+  auto anonymizer = MakeMaxEntropyAnonymizer(*cfg);
+  auto anon_r = anonymizer->Anonymize(small->split.d1);
+  auto anon_s = anonymizer->Anonymize(small->split.d2);
+  ASSERT_TRUE(anon_r.ok() && anon_s.ok());
+
+  std::vector<VghPtr> vghs;
+  for (const auto& n : adult::AdultQidNames()) {
+    vghs.push_back(small->hierarchies.ByName(n));
+  }
+  auto rule = MakeUniformRule(small->schema, adult::AdultQidNames(), vghs, 3,
+                              0.05);
+  ASSERT_TRUE(rule.ok());
+
+  HybridConfig hc;
+  hc.rule = *rule;
+  hc.smc_allowance_fraction = 1.0;
+
+  CountingPlaintextOracle plain(*rule);
+  auto expected = RunHybridLinkage(small->split.d1, small->split.d2, *anon_r,
+                                   *anon_s, hc, plain);
+  ASSERT_TRUE(expected.ok());
+
+  smc::SmcConfig smc_cfg;
+  smc_cfg.key_bits = 256;  // small key keeps the test fast; semantics equal
+  smc_cfg.test_seed = 11;
+  smc::SmcMatchOracle secure(smc_cfg, *rule);
+  ASSERT_TRUE(secure.Init().ok());
+  auto got = RunHybridLinkage(small->split.d1, small->split.d2, *anon_r,
+                              *anon_s, hc, secure);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+
+  EXPECT_EQ(got->reported_matches, expected->reported_matches);
+  EXPECT_EQ(got->smc_matched, expected->smc_matched);
+  EXPECT_EQ(got->smc_processed, expected->smc_processed);
+  EXPECT_GT(secure.costs().encryptions, 0);
+  EXPECT_GT(secure.bus().total_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace hprl

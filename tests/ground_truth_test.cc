@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "adult/adult.h"
+#include "common/random.h"
+#include "data/partition.h"
+#include "linkage/ground_truth.h"
+
+namespace hprl {
+namespace {
+
+/// Small random tables over a mixed schema for cross-validation against the
+/// naive counter.
+struct Fixture {
+  SchemaPtr schema;
+  MatchRule rule;
+
+  Fixture() {
+    auto dom = std::make_shared<CategoryDomain>(
+        std::vector<std::string>{"a", "b", "c", "d"});
+    auto s = std::make_shared<Schema>();
+    s->AddCategorical("cat", dom);
+    s->AddNumeric("num");
+    s->AddNumeric("num2");
+    schema = s;
+
+    AttrRule r0;
+    r0.attr_index = 0;
+    r0.type = AttrType::kCategorical;
+    r0.theta = 0.5;
+    AttrRule r1;
+    r1.attr_index = 1;
+    r1.type = AttrType::kNumeric;
+    r1.theta = 0.1;
+    r1.norm = 100;
+    AttrRule r2;
+    r2.attr_index = 2;
+    r2.type = AttrType::kNumeric;
+    r2.theta = 0.2;
+    r2.norm = 50;
+    rule.attrs = {r0, r1, r2};
+  }
+
+  Table RandomTable(int64_t n, Rng& rng) const {
+    Table t(schema);
+    for (int64_t i = 0; i < n; ++i) {
+      t.AppendUnchecked({Value::Category(static_cast<int32_t>(
+                             rng.NextBounded(4))),
+                         Value::Numeric(rng.NextDouble(0, 100)),
+                         Value::Numeric(rng.NextDouble(0, 50))});
+    }
+    return t;
+  }
+};
+
+TEST(GroundTruthTest, AgreesWithNaiveOnRandomData) {
+  Fixture f;
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    Table r = f.RandomTable(60, rng);
+    Table s = f.RandomTable(80, rng);
+    auto fast = CountMatchingPairs(r, s, f.rule);
+    ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+    EXPECT_EQ(*fast, CountMatchingPairsNaive(r, s, f.rule)) << trial;
+  }
+}
+
+TEST(GroundTruthTest, VacuousCategoricalThreshold) {
+  Fixture f;
+  f.rule.attrs[0].theta = 1.0;  // Hamming never exceeds 1: no key constraint
+  Rng rng(22);
+  Table r = f.RandomTable(40, rng);
+  Table s = f.RandomTable(40, rng);
+  auto fast = CountMatchingPairs(r, s, f.rule);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(*fast, CountMatchingPairsNaive(r, s, f.rule));
+}
+
+TEST(GroundTruthTest, SelfJoinCountsDiagonal) {
+  Fixture f;
+  Rng rng(23);
+  Table r = f.RandomTable(50, rng);
+  auto fast = CountMatchingPairs(r, r, f.rule);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_GE(*fast, 50);  // every record matches itself
+}
+
+TEST(GroundTruthTest, EmptyTables) {
+  Fixture f;
+  Table r(f.schema), s(f.schema);
+  auto n = CountMatchingPairs(r, s, f.rule);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0);
+}
+
+TEST(GroundTruthTest, SharedD3BlockGuaranteesMatches) {
+  // The paper's construction: D1 ∩ D2 ⊇ d3, so true matches >= |d3|.
+  auto h = adult::BuildAdultHierarchies();
+  Table source = adult::GenerateAdult(900, 4, h);
+  Rng rng(5);
+  auto split = SplitForLinkage(source, rng);
+  ASSERT_TRUE(split.ok());
+
+  std::vector<VghPtr> vghs;
+  for (const auto& n : adult::AdultQidNames()) vghs.push_back(h.ByName(n));
+  auto rule = MakeUniformRule(source.schema(), adult::AdultQidNames(), vghs,
+                              5, 0.05);
+  ASSERT_TRUE(rule.ok());
+
+  auto matches = CountMatchingPairs(split->d1, split->d2, *rule);
+  ASSERT_TRUE(matches.ok());
+  EXPECT_GE(*matches, split->shared_count);
+  EXPECT_EQ(*matches, CountMatchingPairsNaive(split->d1, split->d2, *rule));
+}
+
+TEST(GroundTruthTest, TextAttributesAreSupported) {
+  auto s = std::make_shared<Schema>();
+  s->AddText("name");
+  SchemaPtr schema = s;
+  MatchRule rule;
+  AttrRule tr;
+  tr.attr_index = 0;
+  tr.type = AttrType::kText;
+  tr.theta = 1;  // at most one edit
+  rule.attrs = {tr};
+
+  Table r(schema), t(schema);
+  r.AppendUnchecked({Value::Text("smith")});
+  r.AppendUnchecked({Value::Text("jones")});
+  t.AppendUnchecked({Value::Text("smyth")});
+  t.AppendUnchecked({Value::Text("jonas")});
+  t.AppendUnchecked({Value::Text("baker")});
+  auto n = CountMatchingPairs(r, t, rule);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2);  // smith~smyth, jones~jonas
+}
+
+}  // namespace
+}  // namespace hprl

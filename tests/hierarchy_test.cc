@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "hierarchy/vgh.h"
+#include "hierarchy/vgh_parser.h"
+
+namespace hprl {
+namespace {
+
+Vgh MakeEducationExample() {
+  VghBuilder b(Vgh::Kind::kCategorical);
+  int any = b.AddRoot("ANY");
+  int sec = b.AddChild(any, "Secondary");
+  int junior = b.AddChild(sec, "Junior Sec.");
+  b.AddChild(junior, "9th");
+  b.AddChild(junior, "10th");
+  int senior = b.AddChild(sec, "Senior Sec.");
+  b.AddChild(senior, "11th");
+  b.AddChild(senior, "12th");
+  int uni = b.AddChild(any, "University");
+  b.AddChild(uni, "Bachelors");
+  int grad = b.AddChild(uni, "Grad School");
+  b.AddChild(grad, "Masters");
+  b.AddChild(grad, "Doctorate");
+  auto r = b.Build();
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(VghTest, LeafNumberingIsDfsContiguous) {
+  Vgh vgh = MakeEducationExample();
+  EXPECT_EQ(vgh.num_leaves(), 7);
+  // Leaves in DFS order: 9th, 10th, 11th, 12th, Bachelors, Masters, Doctorate.
+  EXPECT_EQ(vgh.node(vgh.leaf_node(0)).label, "9th");
+  EXPECT_EQ(vgh.node(vgh.leaf_node(4)).label, "Bachelors");
+  EXPECT_EQ(vgh.node(vgh.leaf_node(6)).label, "Doctorate");
+
+  int secondary = vgh.FindByLabel("Secondary");
+  EXPECT_EQ(vgh.node(secondary).leaf_begin, 0);
+  EXPECT_EQ(vgh.node(secondary).leaf_end, 4);
+  int uni = vgh.FindByLabel("University");
+  EXPECT_EQ(vgh.node(uni).leaf_begin, 4);
+  EXPECT_EQ(vgh.node(uni).leaf_end, 7);
+  EXPECT_EQ(vgh.node(Vgh::kRoot).leaf_begin, 0);
+  EXPECT_EQ(vgh.node(Vgh::kRoot).leaf_end, 7);
+}
+
+TEST(VghTest, LevelsAndHeight) {
+  Vgh vgh = MakeEducationExample();
+  EXPECT_EQ(vgh.level(Vgh::kRoot), 0);
+  EXPECT_EQ(vgh.level(vgh.FindByLabel("Secondary")), 1);
+  EXPECT_EQ(vgh.level(vgh.FindByLabel("9th")), 3);
+  EXPECT_EQ(vgh.level(vgh.FindByLabel("Bachelors")), 2);  // irregular depth
+  EXPECT_EQ(vgh.height(), 3);
+}
+
+TEST(VghTest, AncestorAtLevelClimbsAndClamps) {
+  Vgh vgh = MakeEducationExample();
+  int ninth = vgh.FindByLabel("9th");
+  EXPECT_EQ(vgh.AncestorAtLevel(ninth, 3), ninth);
+  EXPECT_EQ(vgh.AncestorAtLevel(ninth, 2), vgh.FindByLabel("Junior Sec."));
+  EXPECT_EQ(vgh.AncestorAtLevel(ninth, 1), vgh.FindByLabel("Secondary"));
+  EXPECT_EQ(vgh.AncestorAtLevel(ninth, 0), Vgh::kRoot);
+  // Shallow leaf stays put when the target level is below it.
+  int bachelors = vgh.FindByLabel("Bachelors");
+  EXPECT_EQ(vgh.AncestorAtLevel(bachelors, 3), bachelors);
+}
+
+TEST(VghTest, GenProducesLeafRanges) {
+  Vgh vgh = MakeEducationExample();
+  GenValue g = vgh.Gen(vgh.FindByLabel("Senior Sec."));
+  EXPECT_EQ(g.type, AttrType::kCategorical);
+  EXPECT_EQ(g.cat_lo, 2);
+  EXPECT_EQ(g.cat_hi, 4);
+  EXPECT_FALSE(g.IsSingleton());
+  GenValue leaf = vgh.Gen(vgh.FindByLabel("Masters"));
+  EXPECT_TRUE(leaf.IsSingleton());
+}
+
+TEST(VghTest, MakeDomainMatchesLeafOrder) {
+  Vgh vgh = MakeEducationExample();
+  auto domain = vgh.MakeDomain();
+  EXPECT_EQ(domain->size(), 7);
+  EXPECT_EQ(domain->Find("9th"), 0);
+  EXPECT_EQ(domain->Find("Doctorate"), 6);
+  EXPECT_EQ(vgh.LeafForCategory(domain->Find("11th")),
+            vgh.FindByLabel("11th"));
+}
+
+TEST(VghTest, DuplicateLabelRejected) {
+  VghBuilder b(Vgh::Kind::kCategorical);
+  int any = b.AddRoot("ANY");
+  b.AddChild(any, "X");
+  b.AddChild(any, "X");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(VghTest, NumericPartitionValidated) {
+  {
+    VghBuilder b(Vgh::Kind::kNumeric);
+    int any = b.AddNumericRoot(0, 10);
+    b.AddNumericChild(any, 0, 5);
+    b.AddNumericChild(any, 6, 10);  // gap at [5,6)
+    EXPECT_FALSE(b.Build().ok());
+  }
+  {
+    VghBuilder b(Vgh::Kind::kNumeric);
+    int any = b.AddNumericRoot(0, 10);
+    b.AddNumericChild(any, 0, 5);
+    b.AddNumericChild(any, 5, 9);  // stops short of 10
+    EXPECT_FALSE(b.Build().ok());
+  }
+  {
+    VghBuilder b(Vgh::Kind::kNumeric);
+    int any = b.AddNumericRoot(0, 10);
+    b.AddNumericChild(any, 0, 5);
+    b.AddNumericChild(any, 5, 10);
+    EXPECT_TRUE(b.Build().ok());
+  }
+}
+
+TEST(VghTest, LeafForNumericDescends) {
+  auto vgh = MakeEquiWidthVgh(16, 8, {3, 2, 2});
+  ASSERT_TRUE(vgh.ok());
+  EXPECT_EQ(vgh->num_leaves(), 12);
+  EXPECT_EQ(vgh->height(), 3);
+  EXPECT_DOUBLE_EQ(vgh->RootRange(), 96);
+
+  auto leaf = vgh->LeafForNumeric(17);
+  ASSERT_TRUE(leaf.ok());
+  EXPECT_DOUBLE_EQ(vgh->node(*leaf).lo, 16);
+  EXPECT_DOUBLE_EQ(vgh->node(*leaf).hi, 24);
+
+  auto last = vgh->LeafForNumeric(111.9);
+  ASSERT_TRUE(last.ok());
+  EXPECT_DOUBLE_EQ(vgh->node(*last).hi, 112);
+
+  EXPECT_FALSE(vgh->LeafForNumeric(112).ok());  // hi is exclusive
+  EXPECT_FALSE(vgh->LeafForNumeric(15.9).ok());
+}
+
+TEST(VghTest, EquiWidthBoundaryContainment) {
+  auto vgh = MakeEquiWidthVgh(0, 1, {4, 4});
+  ASSERT_TRUE(vgh.ok());
+  // Every integer boundary lands in the leaf starting there.
+  for (int v = 0; v < 16; ++v) {
+    auto leaf = vgh->LeafForNumeric(v);
+    ASSERT_TRUE(leaf.ok());
+    EXPECT_DOUBLE_EQ(vgh->node(*leaf).lo, v);
+  }
+}
+
+TEST(VghParserTest, ParsesIndentedSpec) {
+  const char* spec =
+      "# comment\n"
+      "ANY\n"
+      "  A\n"
+      "    a1\n"
+      "    a2\n"
+      "  B\n"
+      "    b1\n";
+  auto vgh = ParseCategoricalVgh(spec);
+  ASSERT_TRUE(vgh.ok()) << vgh.status().ToString();
+  EXPECT_EQ(vgh->num_leaves(), 3);
+  EXPECT_EQ(vgh->node(vgh->FindByLabel("a2")).parent,
+            vgh->FindByLabel("A"));
+  EXPECT_EQ(vgh->height(), 2);
+}
+
+TEST(VghParserTest, RoundTripsThroughFormat) {
+  Vgh vgh = MakeEducationExample();
+  std::string text = FormatCategoricalVgh(vgh);
+  auto back = ParseCategoricalVgh(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_nodes(), vgh.num_nodes());
+  EXPECT_EQ(back->num_leaves(), vgh.num_leaves());
+  EXPECT_EQ(FormatCategoricalVgh(*back), text);
+}
+
+TEST(VghParserTest, NumericSpecRoundTrips) {
+  const char* spec =
+      "# WorkHrs (paper Fig. 1)\n"
+      "[1,99)\n"
+      "  [1,37)\n"
+      "    [1,35)\n"
+      "    [35,37)\n"
+      "  [37,99)\n";
+  auto vgh = ParseNumericVgh(spec);
+  ASSERT_TRUE(vgh.ok()) << vgh.status().ToString();
+  EXPECT_EQ(vgh->kind(), Vgh::Kind::kNumeric);
+  EXPECT_DOUBLE_EQ(vgh->RootRange(), 98);
+  EXPECT_EQ(vgh->num_leaves(), 3);
+  auto leaf = vgh->LeafForNumeric(36);
+  ASSERT_TRUE(leaf.ok());
+  EXPECT_DOUBLE_EQ(vgh->node(*leaf).lo, 35);
+
+  auto back = ParseNumericVgh(FormatNumericVgh(*vgh));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_nodes(), vgh->num_nodes());
+  EXPECT_DOUBLE_EQ(back->RootRange(), vgh->RootRange());
+}
+
+TEST(VghParserTest, NumericSpecRejectsBadIntervals) {
+  EXPECT_FALSE(ParseNumericVgh("[1,99]\n").ok());     // wrong bracket
+  EXPECT_FALSE(ParseNumericVgh("[5,5)\n").ok());      // empty
+  EXPECT_FALSE(ParseNumericVgh("[a,b)\n").ok());      // not numbers
+  EXPECT_FALSE(ParseNumericVgh("1,99\n").ok());       // no brackets
+  // Children leaving a gap fail Build's partition check.
+  EXPECT_FALSE(ParseNumericVgh("[0,10)\n  [0,4)\n  [5,10)\n").ok());
+}
+
+TEST(VghParserTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseCategoricalVgh("").ok());
+  EXPECT_FALSE(ParseCategoricalVgh("  indented root\n").ok());
+  EXPECT_FALSE(ParseCategoricalVgh("ANY\n    jumps two levels\n").ok());
+  EXPECT_FALSE(ParseCategoricalVgh("ANY\nsecond root\n").ok());
+  EXPECT_FALSE(ParseCategoricalVgh("ANY\n   odd indent\n").ok());
+}
+
+}  // namespace
+}  // namespace hprl

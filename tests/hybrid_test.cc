@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/experiment.h"
+#include "linkage/ground_truth.h"
+#include "linkage/oracle.h"
+
+namespace hprl {
+namespace {
+
+const ExperimentData& SmallData() {
+  static const ExperimentData* data = [] {
+    auto d = PrepareAdultData(900, 31);
+    EXPECT_TRUE(d.ok());
+    return new ExperimentData(std::move(d).value());
+  }();
+  return *data;
+}
+
+ExperimentConfig DefaultConfig() {
+  ExperimentConfig cfg;
+  cfg.k = 8;
+  cfg.num_qids = 5;
+  cfg.theta = 0.05;
+  cfg.smc_allowance_fraction = 0.02;
+  return cfg;
+}
+
+TEST(HybridPipelineTest, AccountingInvariantsHold) {
+  auto out = RunAdultExperiment(SmallData(), DefaultConfig());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const HybridResult& h = out->hybrid;
+
+  EXPECT_EQ(h.total_pairs,
+            SmallData().split.d1.num_rows() * SmallData().split.d2.num_rows());
+  EXPECT_EQ(h.blocked_match_pairs + h.blocked_mismatch_pairs + h.unknown_pairs,
+            h.total_pairs);
+  EXPECT_LE(h.smc_processed, h.allowance_pairs);
+  EXPECT_LE(h.smc_processed, h.unknown_pairs);
+  EXPECT_EQ(h.unprocessed_pairs, h.unknown_pairs - h.smc_processed);
+  EXPECT_EQ(h.reported_matches, h.blocked_match_pairs + h.smc_matched);
+  EXPECT_GE(h.blocking_efficiency, 0);
+  EXPECT_LE(h.blocking_efficiency, 1);
+}
+
+TEST(HybridPipelineTest, PrecisionIsAlwaysPerfect) {
+  // Verify the headline claim: every reported link is a true match. Collect
+  // pairs and check them in the clear.
+  const auto& data = SmallData();
+  auto anon_cfg = MakeAdultAnonConfig(data, 5, 8);
+  ASSERT_TRUE(anon_cfg.ok());
+  auto anonymizer = MakeMaxEntropyAnonymizer(*anon_cfg);
+  auto anon_r = anonymizer->Anonymize(data.split.d1);
+  auto anon_s = anonymizer->Anonymize(data.split.d2);
+  ASSERT_TRUE(anon_r.ok() && anon_s.ok());
+
+  std::vector<VghPtr> vghs;
+  for (const auto& n : adult::AdultQidNames()) {
+    vghs.push_back(data.hierarchies.ByName(n));
+  }
+  auto rule = MakeUniformRule(data.schema, adult::AdultQidNames(), vghs, 5,
+                              0.05);
+  ASSERT_TRUE(rule.ok());
+
+  HybridConfig hc;
+  hc.rule = *rule;
+  hc.smc_allowance_fraction = 0.02;
+  hc.collect_matches = true;
+  CountingPlaintextOracle oracle(*rule);
+  auto result = RunHybridLinkage(data.split.d1, data.split.d2, *anon_r,
+                                 *anon_s, hc, oracle);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(static_cast<int64_t>(result->matched_row_pairs.size()),
+            result->reported_matches);
+  for (const auto& [rr, sr] : result->matched_row_pairs) {
+    EXPECT_TRUE(
+        RecordsMatch(data.split.d1.row(rr), data.split.d2.row(sr), *rule));
+  }
+}
+
+TEST(HybridPipelineTest, FullAllowanceReachesPerfectRecall) {
+  ExperimentConfig cfg = DefaultConfig();
+  cfg.smc_allowance_fraction = 1.0;  // no budget pressure
+  auto out = RunAdultExperiment(SmallData(), cfg);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->hybrid.recall, 1.0);
+  EXPECT_EQ(out->hybrid.unprocessed_pairs, 0);
+}
+
+TEST(HybridPipelineTest, ZeroAllowanceReliesOnBlockingOnly) {
+  ExperimentConfig cfg = DefaultConfig();
+  cfg.smc_allowance_fraction = 0.0;
+  auto out = RunAdultExperiment(SmallData(), cfg);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->hybrid.smc_processed, 0);
+  EXPECT_EQ(out->hybrid.reported_matches, out->hybrid.blocked_match_pairs);
+  EXPECT_LE(out->hybrid.recall, 1.0);
+}
+
+TEST(HybridPipelineTest, RecallMonotoneInAllowance) {
+  double prev = -1;
+  for (double allowance : {0.0, 0.005, 0.02, 0.1, 1.0}) {
+    ExperimentConfig cfg = DefaultConfig();
+    cfg.smc_allowance_fraction = allowance;
+    auto out = RunAdultExperiment(SmallData(), cfg);
+    ASSERT_TRUE(out.ok());
+    EXPECT_GE(out->hybrid.recall, prev - 1e-12) << allowance;
+    prev = out->hybrid.recall;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+TEST(HybridPipelineTest, KOneLabelsEverythingInBlocking) {
+  // Paper §III extreme (1): with k=1 the releases are fully specific, so
+  // blocking decides every pair and SMC costs vanish.
+  ExperimentConfig cfg = DefaultConfig();
+  cfg.k = 1;
+  cfg.smc_allowance_fraction = 0.0;
+  auto out = RunAdultExperiment(SmallData(), cfg);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->hybrid.unknown_pairs, 0);
+  EXPECT_DOUBLE_EQ(out->hybrid.blocking_efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(out->hybrid.recall, 1.0);
+}
+
+TEST(HybridPipelineTest, HeuristicsBeatRandomUnderTightBudget) {
+  // With a small allowance, expected-distance-guided selection should find
+  // at least as many matches as random selection (the paper's motivation
+  // for §V-C).
+  double random_recall = 0, guided_recall = 0;
+  {
+    ExperimentConfig cfg = DefaultConfig();
+    cfg.smc_allowance_fraction = 0.004;
+    cfg.heuristic = SelectionHeuristic::kRandom;
+    auto out = RunAdultExperiment(SmallData(), cfg);
+    ASSERT_TRUE(out.ok());
+    random_recall = out->hybrid.recall;
+  }
+  {
+    ExperimentConfig cfg = DefaultConfig();
+    cfg.smc_allowance_fraction = 0.004;
+    cfg.heuristic = SelectionHeuristic::kMinAvgFirst;
+    auto out = RunAdultExperiment(SmallData(), cfg);
+    ASSERT_TRUE(out.ok());
+    guided_recall = out->hybrid.recall;
+  }
+  EXPECT_GE(guided_recall, random_recall);
+}
+
+TEST(HybridPipelineTest, TighterThetaOnlyShrinksMatchedSet) {
+  ExperimentConfig loose = DefaultConfig();
+  loose.theta = 0.10;
+  loose.smc_allowance_fraction = 1.0;
+  ExperimentConfig tight = DefaultConfig();
+  tight.theta = 0.01;
+  tight.smc_allowance_fraction = 1.0;
+  auto lo = RunAdultExperiment(SmallData(), loose);
+  auto ti = RunAdultExperiment(SmallData(), tight);
+  ASSERT_TRUE(lo.ok() && ti.ok());
+  EXPECT_GE(lo->hybrid.true_matches, ti->hybrid.true_matches);
+}
+
+// ---------------------------------------------------------------- baselines
+
+TEST(BaselinesTest, PureSmcIsExactButExpensive) {
+  const auto& data = SmallData();
+  std::vector<VghPtr> vghs;
+  for (const auto& n : adult::AdultQidNames()) {
+    vghs.push_back(data.hierarchies.ByName(n));
+  }
+  auto rule = MakeUniformRule(data.schema, adult::AdultQidNames(), vghs, 5,
+                              0.05);
+  ASSERT_TRUE(rule.ok());
+  auto base = PureSmcBaseline(data.split.d1, data.split.d2, *rule);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->smc_invocations,
+            data.split.d1.num_rows() * data.split.d2.num_rows());
+  EXPECT_DOUBLE_EQ(base->recall, 1.0);
+  EXPECT_DOUBLE_EQ(base->precision, 1.0);
+}
+
+TEST(BaselinesTest, SanitizationTradesAccuracyForZeroCost) {
+  const auto& data = SmallData();
+  auto anon_cfg = MakeAdultAnonConfig(data, 5, 8);
+  ASSERT_TRUE(anon_cfg.ok());
+  auto anonymizer = MakeMaxEntropyAnonymizer(*anon_cfg);
+  auto anon_r = anonymizer->Anonymize(data.split.d1);
+  auto anon_s = anonymizer->Anonymize(data.split.d2);
+  ASSERT_TRUE(anon_r.ok() && anon_s.ok());
+  std::vector<VghPtr> vghs;
+  for (const auto& n : adult::AdultQidNames()) {
+    vghs.push_back(data.hierarchies.ByName(n));
+  }
+  auto rule = MakeUniformRule(data.schema, adult::AdultQidNames(), vghs, 5,
+                              0.05);
+  ASSERT_TRUE(rule.ok());
+
+  auto pess = SanitizationOnlyBaseline(data.split.d1, data.split.d2, *anon_r,
+                                       *anon_s, *rule, /*optimistic=*/false);
+  ASSERT_TRUE(pess.ok());
+  EXPECT_EQ(pess->smc_invocations, 0);
+  EXPECT_DOUBLE_EQ(pess->precision, 1.0);
+  EXPECT_LT(pess->recall, 1.0);  // 8-unit age leaves can never prove a match
+
+  auto opt = SanitizationOnlyBaseline(data.split.d1, data.split.d2, *anon_r,
+                                      *anon_s, *rule, /*optimistic=*/true);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_GE(opt->recall, pess->recall);
+}
+
+}  // namespace
+}  // namespace hprl

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/commutative.h"
+#include "smc/psi.h"
+
+namespace hprl {
+namespace {
+
+using crypto::BigInt;
+using crypto::CommutativeCipher;
+using crypto::SecureRandom;
+
+class CommutativeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SecureRandom rng(1001);
+    auto p = CommutativeCipher::GenerateSafePrime(192, rng);
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    prime_ = std::move(p).value();
+  }
+  BigInt prime_;
+};
+
+TEST_F(CommutativeTest, SafePrimeStructure) {
+  EXPECT_TRUE(prime_.IsProbablePrime());
+  BigInt q = (prime_ - BigInt(1)) / BigInt(2);
+  EXPECT_TRUE(q.IsProbablePrime());
+  EXPECT_EQ(prime_.BitLength(), 192u);
+}
+
+TEST_F(CommutativeTest, EncryptDecryptRoundTrip) {
+  SecureRandom rng(7);
+  auto cipher = CommutativeCipher::Create(prime_, rng);
+  ASSERT_TRUE(cipher.ok());
+  for (const char* msg : {"smith|1970", "jones|1985", ""}) {
+    BigInt x = cipher->EncodeToGroup(msg);
+    EXPECT_EQ(cipher->Decrypt(cipher->Encrypt(x)), x) << msg;
+  }
+}
+
+TEST_F(CommutativeTest, EncryptionCommutes) {
+  SecureRandom rng(8);
+  auto a = CommutativeCipher::Create(prime_, rng);
+  auto b = CommutativeCipher::Create(prime_, rng);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (const char* msg : {"alpha", "beta", "gamma"}) {
+    BigInt x = a->EncodeToGroup(msg);
+    EXPECT_EQ(a->Encrypt(b->Encrypt(x)), b->Encrypt(a->Encrypt(x))) << msg;
+  }
+}
+
+TEST_F(CommutativeTest, EncodingIsDeterministicAndDiscriminating) {
+  SecureRandom rng(9);
+  auto cipher = CommutativeCipher::Create(prime_, rng);
+  ASSERT_TRUE(cipher.ok());
+  EXPECT_EQ(cipher->EncodeToGroup("x"), cipher->EncodeToGroup("x"));
+  std::set<std::string> images;
+  for (const char* msg : {"a", "b", "ab", "ba", "aa", "", "A"}) {
+    images.insert(cipher->EncodeToGroup(msg).ToString());
+  }
+  EXPECT_EQ(images.size(), 7u);
+}
+
+TEST_F(CommutativeTest, RejectsNonSafePrime) {
+  SecureRandom rng(10);
+  EXPECT_FALSE(CommutativeCipher::Create(BigInt(104729), rng).ok());  // 104729 prime but 52364 = 2^2*...
+  EXPECT_FALSE(CommutativeCipher::Create(BigInt(100), rng).ok());
+}
+
+// ---------------------------------------------------------------- PSI
+
+SchemaPtr PsiSchema() {
+  auto schema = std::make_shared<Schema>();
+  schema->AddText("name");
+  schema->AddNumeric("year");
+  return schema;
+}
+
+TEST(PsiTest, LinksExactlyTheEqualKeys) {
+  SchemaPtr schema = PsiSchema();
+  Table a(schema), b(schema);
+  a.AppendUnchecked({Value::Text("smith"), Value::Numeric(1970)});
+  a.AppendUnchecked({Value::Text("jones"), Value::Numeric(1985)});
+  a.AppendUnchecked({Value::Text("garcia"), Value::Numeric(1990)});
+  b.AppendUnchecked({Value::Text("garcia"), Value::Numeric(1990)});
+  b.AppendUnchecked({Value::Text("smith"), Value::Numeric(1971)});  // year off
+  b.AppendUnchecked({Value::Text("smith"), Value::Numeric(1970)});
+
+  smc::PsiConfig cfg;
+  cfg.prime_bits = 192;
+  cfg.test_seed = 42;
+  auto result = smc::RunPsiLinkage(a, b, {0, 1}, cfg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  std::set<std::pair<int64_t, int64_t>> links(result->links.begin(),
+                                              result->links.end());
+  EXPECT_EQ(links,
+            (std::set<std::pair<int64_t, int64_t>>{{0, 2}, {2, 0}}));
+  // 2 encryptions per record: once by the owner, once by the peer.
+  EXPECT_EQ(result->exponentiations, 2 * (a.num_rows() + b.num_rows()));
+  EXPECT_GT(result->bytes, 0);
+}
+
+TEST(PsiTest, HandlesDuplicatesAsMultiset) {
+  SchemaPtr schema = PsiSchema();
+  Table a(schema), b(schema);
+  for (int i = 0; i < 2; ++i) {
+    a.AppendUnchecked({Value::Text("dup"), Value::Numeric(1)});
+  }
+  b.AppendUnchecked({Value::Text("dup"), Value::Numeric(1)});
+  smc::PsiConfig cfg;
+  cfg.prime_bits = 192;
+  cfg.test_seed = 5;
+  auto result = smc::RunPsiLinkage(a, b, {0, 1}, cfg);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->links.size(), 2u);  // both A copies link to the B row
+}
+
+TEST(PsiTest, EmptyInputsAndBadConfig) {
+  SchemaPtr schema = PsiSchema();
+  Table a(schema), b(schema);
+  smc::PsiConfig cfg;
+  cfg.prime_bits = 192;
+  cfg.test_seed = 6;
+  auto empty = smc::RunPsiLinkage(a, b, {0}, cfg);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->links.empty());
+  EXPECT_FALSE(smc::RunPsiLinkage(a, b, {}, cfg).ok());
+}
+
+TEST(PsiTest, AgreesWithPlaintextJoinOnRandomData) {
+  SchemaPtr schema = PsiSchema();
+  Rng rng(77);
+  Table a(schema), b(schema);
+  const char* names[] = {"n0", "n1", "n2", "n3", "n4"};
+  for (int i = 0; i < 40; ++i) {
+    a.AppendUnchecked({Value::Text(names[rng.NextBounded(5)]),
+                       Value::Numeric(static_cast<double>(rng.NextBounded(3)))});
+    b.AppendUnchecked({Value::Text(names[rng.NextBounded(5)]),
+                       Value::Numeric(static_cast<double>(rng.NextBounded(3)))});
+  }
+  smc::PsiConfig cfg;
+  cfg.prime_bits = 192;
+  cfg.test_seed = 7;
+  auto result = smc::RunPsiLinkage(a, b, {0, 1}, cfg);
+  ASSERT_TRUE(result.ok());
+
+  std::set<std::pair<int64_t, int64_t>> expected;
+  for (int64_t i = 0; i < a.num_rows(); ++i) {
+    for (int64_t j = 0; j < b.num_rows(); ++j) {
+      if (a.at(i, 0).text() == b.at(j, 0).text() &&
+          a.at(i, 1).num() == b.at(j, 1).num()) {
+        expected.emplace(i, j);
+      }
+    }
+  }
+  std::set<std::pair<int64_t, int64_t>> got(result->links.begin(),
+                                            result->links.end());
+  EXPECT_EQ(got, expected);
+}
+
+}  // namespace
+}  // namespace hprl

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "anon/metrics.h"
+#include "anon/release_io.h"
+#include "core/blocking.h"
+#include "core/experiment.h"
+#include "data/names.h"
+
+namespace hprl {
+namespace {
+
+AnonymizedTable MakeSample() {
+  const ExperimentData* data = [] {
+    static auto d = PrepareAdultData(600, 3);
+    EXPECT_TRUE(d.ok());
+    return &d.value();
+  }();
+  auto cfg = MakeAdultAnonConfig(*data, 5, 8);
+  EXPECT_TRUE(cfg.ok());
+  auto anon = MakeMaxEntropyAnonymizer(*cfg)->Anonymize(data->split.d1);
+  EXPECT_TRUE(anon.ok());
+  return std::move(anon).value();
+}
+
+TEST(ReleaseIoTest, LosslessRoundTripWithRows) {
+  AnonymizedTable anon = MakeSample();
+  auto back = ParseRelease(FormatRelease(anon, /*include_rows=*/true));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_rows, anon.num_rows);
+  EXPECT_EQ(back->suppressed, anon.suppressed);
+  EXPECT_EQ(back->qid_attrs, anon.qid_attrs);
+  ASSERT_EQ(back->groups.size(), anon.groups.size());
+  for (size_t i = 0; i < anon.groups.size(); ++i) {
+    EXPECT_EQ(back->groups[i].rows, anon.groups[i].rows);
+    EXPECT_EQ(back->groups[i].seq, anon.groups[i].seq) << i;
+    EXPECT_EQ(back->groups[i].is_suppression_group,
+              anon.groups[i].is_suppression_group);
+  }
+}
+
+TEST(ReleaseIoTest, PublishedFormHidesRowsButKeepsSizes) {
+  AnonymizedTable anon = MakeSample();
+  std::string published = FormatRelease(anon, /*include_rows=*/false);
+  // No row ids anywhere in the published text beyond sizes: parse and check.
+  auto back = ParseRelease(published);
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 0; i < anon.groups.size(); ++i) {
+    EXPECT_TRUE(back->groups[i].rows.empty());
+    EXPECT_EQ(back->groups[i].size(), anon.groups[i].size());
+  }
+  EXPECT_EQ(DistinctSequences(*back), DistinctSequences(anon));
+  EXPECT_EQ(back->MinGroupSize(), anon.MinGroupSize());
+}
+
+TEST(ReleaseIoTest, BlockingWorksOnPublishedReleases) {
+  // The querying party can run the blocking step from published releases
+  // alone (sequence + size information), matching the paper's data flow.
+  const ExperimentData* data = [] {
+    static auto d = PrepareAdultData(600, 4);
+    EXPECT_TRUE(d.ok());
+    return &d.value();
+  }();
+  auto cfg = MakeAdultAnonConfig(*data, 5, 8);
+  ASSERT_TRUE(cfg.ok());
+  auto anonymizer = MakeMaxEntropyAnonymizer(*cfg);
+  auto anon_r = anonymizer->Anonymize(data->split.d1);
+  auto anon_s = anonymizer->Anonymize(data->split.d2);
+  ASSERT_TRUE(anon_r.ok() && anon_s.ok());
+
+  auto pub_r = ParseRelease(FormatRelease(*anon_r, false));
+  auto pub_s = ParseRelease(FormatRelease(*anon_s, false));
+  ASSERT_TRUE(pub_r.ok() && pub_s.ok());
+
+  std::vector<VghPtr> vghs;
+  for (const auto& n : adult::AdultQidNames()) {
+    vghs.push_back(data->hierarchies.ByName(n));
+  }
+  auto rule = MakeUniformRule(data->schema, adult::AdultQidNames(), vghs, 5,
+                              0.05);
+  ASSERT_TRUE(rule.ok());
+
+  auto full = RunBlocking(*anon_r, *anon_s, *rule);
+  auto published = RunBlocking(*pub_r, *pub_s, *rule);
+  ASSERT_TRUE(full.ok() && published.ok());
+  EXPECT_EQ(published->matched_pairs, full->matched_pairs);
+  EXPECT_EQ(published->mismatched_pairs, full->mismatched_pairs);
+  EXPECT_EQ(published->unknown_pairs, full->unknown_pairs);
+}
+
+TEST(ReleaseIoTest, TextSequencesSurviveHexEncoding) {
+  Table reg = GenerateNameRegistry(200, 9);
+  auto age_vgh = MakeEquiWidthVgh(16, 8, {3, 2, 2});
+  ASSERT_TRUE(age_vgh.ok());
+  AnonymizerConfig cfg;
+  cfg.k = 4;
+  cfg.qid_attrs = {0, 1, 2};
+  cfg.hierarchies = {nullptr, nullptr,
+                     std::make_shared<const Vgh>(std::move(age_vgh).value())};
+  auto anon = MakeMaxEntropyAnonymizer(cfg)->Anonymize(reg);
+  ASSERT_TRUE(anon.ok());
+  auto back = ParseRelease(FormatRelease(*anon, true));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->groups.size(), anon->groups.size());
+  for (size_t i = 0; i < anon->groups.size(); ++i) {
+    EXPECT_EQ(back->groups[i].seq, anon->groups[i].seq) << i;
+  }
+}
+
+TEST(ReleaseIoTest, FileRoundTrip) {
+  AnonymizedTable anon = MakeSample();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "hprl_release_test.txt")
+          .string();
+  ASSERT_TRUE(WriteRelease(anon, true, path).ok());
+  auto back = LoadRelease(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->groups.size(), anon.groups.size());
+  std::remove(path.c_str());
+}
+
+TEST(ReleaseIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseRelease("").ok());
+  EXPECT_FALSE(ParseRelease("wrong-magic 1\n").ok());
+  EXPECT_FALSE(ParseRelease("hprl-release 99\n").ok());
+  EXPECT_FALSE(
+      ParseRelease("hprl-release 1\nrows 5 suppressed 0\nqids 0\nbogus\n")
+          .ok());
+  // Truncated group (missing value lines).
+  EXPECT_FALSE(
+      ParseRelease(
+          "hprl-release 1\nrows 5 suppressed 0\nqids 0 1\ngroup 5 0\ncat 0 1\n")
+          .ok());
+  // Size/rows mismatch.
+  EXPECT_FALSE(
+      ParseRelease(
+          "hprl-release 1\nrows 2 suppressed 0\nqids 0\ngroup 2 0 7\ncat 0 1\n")
+          .ok());
+}
+
+}  // namespace
+}  // namespace hprl

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "smc/schema_match.h"
+
+namespace hprl::smc {
+namespace {
+
+SchemaMatchConfig FastConfig() {
+  SchemaMatchConfig cfg;
+  cfg.prime_bits = 160;
+  cfg.test_seed = 31337;
+  return cfg;
+}
+
+SchemaPtr MakeSchema(const std::vector<std::pair<std::string, AttrType>>& attrs) {
+  auto s = std::make_shared<Schema>();
+  auto dummy = std::make_shared<CategoryDomain>(std::vector<std::string>{"x"});
+  for (const auto& [name, type] : attrs) {
+    switch (type) {
+      case AttrType::kNumeric:
+        s->AddNumeric(name);
+        break;
+      case AttrType::kCategorical:
+        s->AddCategorical(name, dummy);
+        break;
+      case AttrType::kText:
+        s->AddText(name);
+        break;
+    }
+  }
+  return s;
+}
+
+TEST(AttributeProfileTest, NormalizesAndTagsType) {
+  auto s = MakeSchema({{"Marital-Status", AttrType::kCategorical}});
+  auto grams = AttributeProfile(s->attribute(0));
+  // Grams come from "$maritalstatus$" — the dash is gone, case folded.
+  EXPECT_NE(std::find(grams.begin(), grams.end(), "$ma"), grams.end());
+  EXPECT_NE(std::find(grams.begin(), grams.end(), "lst"), grams.end());
+  EXPECT_NE(std::find(grams.begin(), grams.end(), "type:categorical"),
+            grams.end());
+  // Short names degrade gracefully.
+  auto tiny = MakeSchema({{"a", AttrType::kNumeric}});
+  auto tgrams = AttributeProfile(tiny->attribute(0));
+  EXPECT_GE(tgrams.size(), 2u);
+}
+
+TEST(SchemaMatchTest, IdenticalSchemasMapIdentically) {
+  auto r = MakeSchema({{"age", AttrType::kNumeric},
+                       {"education", AttrType::kCategorical},
+                       {"occupation", AttrType::kCategorical}});
+  auto result = RunPrivateSchemaMatch(*r, *r, FastConfig());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->matches.size(), 3u);
+  for (const auto& m : result->matches) {
+    EXPECT_EQ(m.r_attr, m.s_attr);
+    EXPECT_DOUBLE_EQ(m.similarity, 1.0);
+  }
+  EXPECT_GT(result->exponentiations, 0);
+  EXPECT_GT(result->bytes, 0);
+}
+
+TEST(SchemaMatchTest, MatchesRenamedVariants) {
+  auto r = MakeSchema({{"age", AttrType::kNumeric},
+                       {"marital-status", AttrType::kCategorical},
+                       {"native-country", AttrType::kCategorical}});
+  auto s = MakeSchema({{"country_native", AttrType::kCategorical},
+                       {"MaritalStatus", AttrType::kCategorical},
+                       {"age_years", AttrType::kNumeric}});
+  SchemaMatchConfig cfg = FastConfig();
+  cfg.threshold = 0.3;
+  auto result = RunPrivateSchemaMatch(*r, *s, cfg);
+  ASSERT_TRUE(result.ok());
+  std::map<int, int> mapping;
+  for (const auto& m : result->matches) mapping[m.r_attr] = m.s_attr;
+  EXPECT_EQ(mapping[0], 2);  // age ~ age_years
+  EXPECT_EQ(mapping[1], 1);  // marital-status ~ MaritalStatus
+  // native-country vs country_native share most grams but scrambled order;
+  // they should still be each other's best available partner.
+  EXPECT_EQ(mapping.count(2) ? mapping[2] : 0, 0);
+}
+
+TEST(SchemaMatchTest, DissimilarAttributesStayUnmatched) {
+  auto r = MakeSchema({{"age", AttrType::kNumeric}});
+  auto s = MakeSchema({{"occupation", AttrType::kCategorical}});
+  auto result = RunPrivateSchemaMatch(*r, *s, FastConfig());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->matches.empty());
+}
+
+TEST(SchemaMatchTest, GreedyMatchingIsOneToOne) {
+  auto r = MakeSchema({{"name", AttrType::kText}, {"name2", AttrType::kText}});
+  auto s = MakeSchema({{"name", AttrType::kText}});
+  SchemaMatchConfig cfg = FastConfig();
+  cfg.threshold = 0.2;
+  auto result = RunPrivateSchemaMatch(*r, *s, cfg);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->matches.size(), 1u);
+  EXPECT_EQ(result->matches[0].r_attr, 0);  // exact beats near-duplicate
+  EXPECT_EQ(result->matches[0].s_attr, 0);
+}
+
+TEST(SchemaMatchTest, EmptySchemaRejected) {
+  auto r = MakeSchema({{"x", AttrType::kNumeric}});
+  Schema empty;
+  EXPECT_FALSE(RunPrivateSchemaMatch(*r, empty, FastConfig()).ok());
+}
+
+}  // namespace
+}  // namespace hprl::smc

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "adult/adult.h"
+#include "common/random.h"
+#include "linkage/distance.h"
+#include "linkage/slack.h"
+
+namespace hprl {
+namespace {
+
+AttrRule CatRule(double theta = 0.5) {
+  AttrRule r;
+  r.type = AttrType::kCategorical;
+  r.theta = theta;
+  return r;
+}
+
+AttrRule NumRule(double theta, double norm) {
+  AttrRule r;
+  r.type = AttrType::kNumeric;
+  r.theta = theta;
+  r.norm = norm;
+  return r;
+}
+
+AttrRule TextRule(double theta) {
+  AttrRule r;
+  r.type = AttrType::kText;
+  r.theta = theta;
+  return r;
+}
+
+TEST(CategoricalSlackTest, DisjointRangesAreDistanceOne) {
+  auto v = GenValue::CategoryRange(0, 2);
+  auto w = GenValue::CategoryRange(2, 5);
+  SlackBounds sb = AttrSlack(v, w, CatRule());
+  EXPECT_DOUBLE_EQ(sb.inf, 1.0);
+  EXPECT_DOUBLE_EQ(sb.sup, 1.0);
+}
+
+TEST(CategoricalSlackTest, OverlapGivesZeroInfimum) {
+  auto v = GenValue::CategoryRange(0, 3);
+  auto w = GenValue::CategoryRange(2, 5);
+  SlackBounds sb = AttrSlack(v, w, CatRule());
+  EXPECT_DOUBLE_EQ(sb.inf, 0.0);
+  EXPECT_DOUBLE_EQ(sb.sup, 1.0);
+}
+
+TEST(CategoricalSlackTest, SameSingletonIsExactZero) {
+  auto v = GenValue::CategorySingleton(4);
+  auto w = GenValue::CategorySingleton(4);
+  SlackBounds sb = AttrSlack(v, w, CatRule());
+  EXPECT_DOUBLE_EQ(sb.inf, 0.0);
+  EXPECT_DOUBLE_EQ(sb.sup, 0.0);
+}
+
+TEST(CategoricalSlackTest, SingletonInsideRangeIsUnknownish) {
+  auto v = GenValue::CategorySingleton(4);
+  auto w = GenValue::CategoryRange(0, 7);
+  SlackBounds sb = AttrSlack(v, w, CatRule());
+  EXPECT_DOUBLE_EQ(sb.inf, 0.0);
+  EXPECT_DOUBLE_EQ(sb.sup, 1.0);
+}
+
+TEST(NumericSlackTest, GapAndFarthest) {
+  auto v = GenValue::NumericInterval(0, 10);
+  auto w = GenValue::NumericInterval(30, 50);
+  SlackBounds sb = AttrSlack(v, w, NumRule(0.1, 100));
+  EXPECT_DOUBLE_EQ(sb.inf, 0.2);  // gap 20 / 100
+  EXPECT_DOUBLE_EQ(sb.sup, 0.5);  // farthest 50 / 100
+}
+
+TEST(NumericSlackTest, OverlappingIntervals) {
+  auto v = GenValue::NumericInterval(0, 40);
+  auto w = GenValue::NumericInterval(30, 50);
+  SlackBounds sb = AttrSlack(v, w, NumRule(0.1, 100));
+  EXPECT_DOUBLE_EQ(sb.inf, 0.0);
+  EXPECT_DOUBLE_EQ(sb.sup, 0.5);
+}
+
+TEST(NumericSlackTest, ExactValues) {
+  auto v = GenValue::NumericExact(35);
+  auto w = GenValue::NumericExact(36);
+  SlackBounds sb = AttrSlack(v, w, NumRule(0.2, 98));
+  EXPECT_NEAR(sb.inf, 1.0 / 98, 1e-12);
+  EXPECT_NEAR(sb.sup, 1.0 / 98, 1e-12);
+}
+
+TEST(NumericSlackTest, SlackBoundsAreSoundForSampledValues) {
+  // Property: for values x in v and y in w, inf <= |x-y|/norm <= sup.
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    double a1 = rng.NextDouble(0, 50), b1 = a1 + rng.NextDouble(0, 30);
+    double a2 = rng.NextDouble(0, 50), b2 = a2 + rng.NextDouble(0, 30);
+    auto v = GenValue::NumericInterval(a1, b1);
+    auto w = GenValue::NumericInterval(a2, b2);
+    AttrRule rule = NumRule(0.1, 80);
+    SlackBounds sb = AttrSlack(v, w, rule);
+    for (int s = 0; s < 20; ++s) {
+      double x = rng.NextDouble(a1, b1);
+      double y = rng.NextDouble(a2, b2);
+      double d = std::fabs(x - y) / rule.norm;
+      EXPECT_GE(d, sb.inf - 1e-9);
+      EXPECT_LE(d, sb.sup + 1e-9);
+    }
+  }
+}
+
+TEST(TextSlackTest, ExactPairIsEditDistance) {
+  auto v = GenValue::TextPrefix("smith", true);
+  auto w = GenValue::TextPrefix("smyth", true);
+  SlackBounds sb = AttrSlack(v, w, TextRule(1));
+  EXPECT_DOUBLE_EQ(sb.inf, 1.0);
+  EXPECT_DOUBLE_EQ(sb.sup, 1.0);
+}
+
+TEST(TextSlackTest, PrefixSupremumIsInfinite) {
+  auto v = GenValue::TextPrefix("smi", false);
+  auto w = GenValue::TextPrefix("smi", false);
+  SlackBounds sb = AttrSlack(v, w, TextRule(1));
+  EXPECT_DOUBLE_EQ(sb.inf, 0.0);
+  EXPECT_TRUE(std::isinf(sb.sup));
+}
+
+TEST(TextSlackTest, DivergentPrefixesBlockable) {
+  auto v = GenValue::TextPrefix("xx", false);
+  auto w = GenValue::TextPrefix("yyyy", false);
+  SlackBounds sb = AttrSlack(v, w, TextRule(1));
+  EXPECT_GE(sb.inf, 2.0);  // at least two substitutions, whatever is appended
+}
+
+// ------------------------------------------------------- decision rule
+
+class WorkedExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto edu = adult::MakeExampleEducationVgh();
+    ASSERT_TRUE(edu.ok());
+    edu_ = std::make_shared<const Vgh>(std::move(edu).value());
+    auto hrs = adult::MakeWorkHrsVgh();
+    ASSERT_TRUE(hrs.ok());
+    hrs_ = std::make_shared<const Vgh>(std::move(hrs).value());
+
+    AttrRule a1;
+    a1.attr_index = 0;
+    a1.type = AttrType::kCategorical;
+    a1.theta = 0.5;  // paper θ1
+    a1.name = "education";
+    AttrRule a2;
+    a2.attr_index = 1;
+    a2.type = AttrType::kNumeric;
+    a2.theta = 0.2;  // paper θ2
+    a2.norm = hrs_->RootRange();  // 98 -> threshold 19.6
+    a2.name = "workhrs";
+    rule_.attrs = {a1, a2};
+  }
+
+  GenValue Edu(const std::string& label) {
+    int node = edu_->FindByLabel(label);
+    EXPECT_GE(node, 0) << label;
+    return edu_->Gen(node);
+  }
+
+  VghPtr edu_;
+  VghPtr hrs_;
+  MatchRule rule_;
+};
+
+TEST_F(WorkedExampleTest, R1S5IsMismatch) {
+  // gen(r1) = (Masters, [35-37)), gen(s5) = (Senior Sec., [1-35)).
+  GenSequence r1 = {Edu("Masters"), GenValue::NumericInterval(35, 37)};
+  GenSequence s5 = {Edu("Senior Sec."), GenValue::NumericInterval(1, 35)};
+  EXPECT_EQ(SlackDecide(r1, s5, rule_), PairLabel::kMismatch);
+}
+
+TEST_F(WorkedExampleTest, R1S1IsMatch) {
+  // Both (Masters, [35-37)): any two values are < 19.6 apart.
+  GenSequence r1 = {Edu("Masters"), GenValue::NumericInterval(35, 37)};
+  GenSequence s1 = {Edu("Masters"), GenValue::NumericInterval(35, 37)};
+  EXPECT_EQ(SlackDecide(r1, s1, rule_), PairLabel::kMatch);
+}
+
+TEST_F(WorkedExampleTest, R1S3IsUnknown) {
+  // gen(s3) = (ANY, [1-35)): education could match or not (paper §III).
+  GenSequence r1 = {Edu("Masters"), GenValue::NumericInterval(35, 37)};
+  GenSequence s3 = {Edu("ANY"), GenValue::NumericInterval(1, 35)};
+  EXPECT_EQ(SlackDecide(r1, s3, rule_), PairLabel::kUnknown);
+}
+
+TEST_F(WorkedExampleTest, R4S5IsUnknown) {
+  // (Secondary, [1-35)) vs (Senior Sec., [1-35)): specSets intersect on
+  // {11th, 12th} and hours may differ by up to 34 > 19.6.
+  GenSequence r4 = {Edu("Secondary"), GenValue::NumericInterval(1, 35)};
+  GenSequence s5 = {Edu("Senior Sec."), GenValue::NumericInterval(1, 35)};
+  EXPECT_EQ(SlackDecide(r4, s5, rule_), PairLabel::kUnknown);
+}
+
+TEST_F(WorkedExampleTest, R4S1IsMismatch) {
+  GenSequence r4 = {Edu("Secondary"), GenValue::NumericInterval(1, 35)};
+  GenSequence s1 = {Edu("Masters"), GenValue::NumericInterval(35, 37)};
+  EXPECT_EQ(SlackDecide(r4, s1, rule_), PairLabel::kMismatch);
+}
+
+TEST_F(WorkedExampleTest, DecisionIsSoundOnConcretePairs) {
+  // Draw concrete records consistent with generalizations; labels must hold.
+  struct Case {
+    GenSequence gen;
+    std::vector<std::pair<std::string, double>> concretes;
+  };
+  // (Masters, [35-37)) admits exactly Masters x {35, 36}.
+  GenSequence gen_m = {Edu("Masters"), GenValue::NumericInterval(35, 37)};
+  GenSequence gen_ss = {Edu("Senior Sec."), GenValue::NumericInterval(1, 35)};
+  ASSERT_EQ(SlackDecide(gen_m, gen_ss, rule_), PairLabel::kMismatch);
+  // All concrete pairs must indeed mismatch on education.
+  for (const char* e2 : {"11th", "12th"}) {
+    double d = HammingDistance(
+        edu_->node(edu_->FindByLabel("Masters")).leaf_begin,
+        edu_->node(edu_->FindByLabel(e2)).leaf_begin);
+    EXPECT_GT(d, rule_.attrs[0].theta);
+  }
+}
+
+}  // namespace
+}  // namespace hprl

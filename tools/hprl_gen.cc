@@ -1,0 +1,88 @@
+// hprl_gen — materialize a ready-to-run demo workspace for hprl_link:
+// two overlapping Adult-like CSVs, the VGH files, and a linkage spec.
+//
+//   hprl_gen --out demo --rows 3000 [--seed 7]
+//   hprl_link --spec demo/linkage.spec --r demo/r.csv --s demo/s.csv --evaluate
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "adult/adult.h"
+#include "common/flags.h"
+#include "data/csv.h"
+#include "data/partition.h"
+#include "hierarchy/vgh_parser.h"
+
+using namespace hprl;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  std::string* out_dir = flags.AddString("out", "hprl-demo", "output directory");
+  int64_t* rows = flags.AddInt("rows", 3000, "source rows before the split");
+  int64_t* seed = flags.AddInt("seed", 7, "generator seed");
+  Status st = flags.Parse(argc, argv);
+  if (st.code() == StatusCode::kNotFound) return 0;
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.Usage(argv[0]).c_str());
+    return 2;
+  }
+
+  std::filesystem::path dir(*out_dir);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  auto h = adult::BuildAdultHierarchies();
+  Table source = adult::GenerateAdult(*rows, static_cast<uint64_t>(*seed), h);
+  Rng rng(static_cast<uint64_t>(*seed) ^ 0xD1D2D3ULL);
+  auto split = SplitForLinkage(source, rng);
+  if (!split.ok()) {
+    std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
+    return 1;
+  }
+  if (auto s = WriteCsv(split->d1, (dir / "r.csv").string()); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (auto s = WriteCsv(split->d2, (dir / "s.csv").string()); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  for (const char* name :
+       {"workclass", "education", "marital-status", "occupation"}) {
+    std::ofstream out(dir / (std::string(name) + ".vgh"));
+    out << FormatCategoricalVgh(*h.ByName(name));
+  }
+  {
+    std::ofstream spec(dir / "linkage.spec");
+    spec << "# hybrid private record linkage demo (paper defaults)\n"
+         << "attr age numeric equiwidth 16 8 3,2,2 theta 0.05\n"
+         << "attr workclass categorical vghfile workclass.vgh theta 0.05\n"
+         << "attr education categorical vghfile education.vgh theta 0.05\n"
+         << "attr marital-status categorical vghfile marital-status.vgh "
+            "theta 0.05\n"
+         << "attr occupation categorical vghfile occupation.vgh theta 0.05\n"
+         << "class income\n"
+         << "k 32\n"
+         << "allowance 0.015\n"
+         << "heuristic MinAvgFirst\n"
+         << "anonymizer MaxEntropy\n"
+         << "keybits 0    # set to 1024 for the real Paillier oracle\n";
+  }
+  std::printf("wrote %s/{r.csv,s.csv,*.vgh,linkage.spec} "
+              "(%lld + %lld rows, %lld shared)\n",
+              dir.c_str(), static_cast<long long>(split->d1.num_rows()),
+              static_cast<long long>(split->d2.num_rows()),
+              static_cast<long long>(split->shared_count));
+  std::printf("next: hprl_link --spec %s/linkage.spec --r %s/r.csv --s "
+              "%s/s.csv --evaluate\n",
+              dir.c_str(), dir.c_str(), dir.c_str());
+  return 0;
+}
