@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   auto pure = PureSmcBaseline(data.split.d1, data.split.d2, *rule);
   if (!pure.ok()) bench::Die(pure.status());
   std::printf("%-26s %18lld %10.2f %12.2f\n", pure->name.c_str(),
-              static_cast<long long>(pure->smc_invocations),
+              static_cast<long long>(pure->smc_processed),
               100.0 * pure->recall, 100.0 * pure->precision);
 
   for (bool optimistic : {false, true}) {
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
                                  *anon_s, *rule, optimistic);
     if (!base.ok()) bench::Die(base.status());
     std::printf("%-26s %18lld %10.2f %12.2f\n", base->name.c_str(),
-                static_cast<long long>(base->smc_invocations),
+                static_cast<long long>(base->smc_processed),
                 100.0 * base->recall, 100.0 * base->precision);
   }
 
@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
   std::printf("\n# hybrid cost = %.2f%% of pure SMC at %.1f%% recall; "
               "sanitization is free but inaccurate\n",
               100.0 * static_cast<double>(hybrid->smc_processed) /
-                  static_cast<double>(pure->smc_invocations),
+                  static_cast<double>(pure->smc_processed),
               100.0 * hybrid->recall);
   return 0;
 }

@@ -3,10 +3,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/flags.h"
 #include "core/experiment.h"
+#include "obs/report.h"
 
 namespace hprl::bench {
 
@@ -16,10 +21,13 @@ struct CommonFlags {
   FlagSet flags;
   int64_t* rows;
   int64_t* seed;
+  std::string* metrics_out;
 
   CommonFlags() {
     rows = flags.AddInt("rows", 30162, "source rows before the 3-way split");
     seed = flags.AddInt("seed", 20080407, "data synthesis seed");
+    metrics_out = flags.AddString(
+        "metrics_out", "", "write the swept metrics as JSON here");
   }
 
   /// Parses argv; exits the process on --help or bad flags.
@@ -48,6 +56,52 @@ inline void Die(const Status& s) {
   std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
   std::exit(1);
 }
+
+/// Collects one labeled LinkageMetrics row per swept configuration and, when
+/// the harness was given --metrics_out, dumps the whole series as JSON
+/// ("hprl-bench-series/1", see docs/OBSERVABILITY.md). The tables printed to
+/// stdout stay the primary human output; this is the machine-readable twin.
+class MetricsSeries {
+ public:
+  explicit MetricsSeries(std::string tool) : tool_(std::move(tool)) {}
+
+  void Add(std::string label, const LinkageMetrics& metrics) {
+    rows_.emplace_back(std::move(label), metrics);
+  }
+
+  /// No-op when `path` is empty; dies on I/O errors like the rest of the
+  /// bench harness.
+  void WriteIfRequested(const std::string& path) const {
+    if (path.empty()) return;
+    std::ostringstream out;
+    obs::JsonWriter w(&out);
+    w.BeginObject();
+    w.Key("schema");
+    w.String("hprl-bench-series/1");
+    w.Key("tool");
+    w.String(tool_);
+    w.Key("series");
+    w.BeginArray();
+    for (const auto& [label, m] : rows_) {
+      w.BeginObject();
+      w.Key("label");
+      w.String(label);
+      obs::WriteLinkageMetricsFields(&w, m);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    out << '\n';
+    std::ofstream file(path);
+    if (!file.is_open()) Die(Status::IOError("cannot open for write: " + path));
+    file << out.str();
+    if (!file.good()) Die(Status::IOError("write failed: " + path));
+  }
+
+ private:
+  std::string tool_;
+  std::vector<std::pair<std::string, LinkageMetrics>> rows_;
+};
 
 /// The three heuristics plotted in the paper's recall figures.
 inline const std::vector<SelectionHeuristic>& PaperHeuristics() {

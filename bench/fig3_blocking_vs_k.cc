@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   std::printf("%-6s %22s %14s %14s\n", "k", "blocking-efficiency(%)",
               "seqs(D1')", "seqs(D2')");
 
+  bench::MetricsSeries series("fig3_blocking_vs_k");
   for (int64_t k : bench::PaperKSweep()) {
     ExperimentConfig cfg;
     cfg.k = k;
@@ -39,6 +40,8 @@ int main(int argc, char** argv) {
                 100.0 * out->hybrid.blocking_efficiency,
                 static_cast<long long>(out->sequences_r),
                 static_cast<long long>(out->sequences_s));
+    series.Add("k=" + std::to_string(k), out->hybrid);
   }
+  series.WriteIfRequested(*common.metrics_out);
   return 0;
 }

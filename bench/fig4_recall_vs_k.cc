@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   std::printf("%-6s %12s %12s %12s\n", "k", "MaxLast", "MinFirst",
               "MinAvgFirst");
 
+  bench::MetricsSeries series("fig4_recall_vs_k");
   for (int64_t k : bench::PaperKSweep()) {
     std::printf("%-6lld", static_cast<long long>(k));
     for (SelectionHeuristic h : bench::PaperHeuristics()) {
@@ -35,8 +36,11 @@ int main(int argc, char** argv) {
       auto out = RunAdultExperiment(data, cfg);
       if (!out.ok()) bench::Die(out.status());
       std::printf(" %12.2f", 100.0 * out->hybrid.recall);
+      series.Add("k=" + std::to_string(k) + " " + HeuristicName(h),
+                 out->hybrid);
     }
     std::printf("\n");
   }
+  series.WriteIfRequested(*common.metrics_out);
   return 0;
 }

@@ -110,5 +110,17 @@ int main(int argc, char** argv) {
   std::printf(
       "=> cryptographic cost dominates; the cost model can be reduced to "
       "the number of SMC invocations (§VI)\n");
+
+  bench::MetricsSeries series("timing_table");
+  LinkageMetrics timing;
+  timing.rows_r = data.split.d1.num_rows();
+  timing.rows_s = data.split.d2.num_rows();
+  timing.sequences_r = anons[0].NumSequences();
+  timing.sequences_s = anons[1].NumSequences();
+  timing.anon_seconds = anon_seconds[0] + anon_seconds[1];
+  timing.blocking_seconds = blocking_seconds;
+  timing.smc_seconds = smc_per_value;  // per secure value comparison
+  series.Add("k=" + std::to_string(*k), timing);
+  series.WriteIfRequested(*common.metrics_out);
   return 0;
 }

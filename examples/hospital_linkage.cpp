@@ -123,8 +123,8 @@ int main() {
   if (!sanitized.ok()) Die(sanitized.status());
   std::printf("for comparison:\n");
   std::printf("  pure SMC: %lld invocations (%.0fx the hybrid cost)\n",
-              static_cast<long long>(pure->smc_invocations),
-              static_cast<double>(pure->smc_invocations) /
+              static_cast<long long>(pure->smc_processed),
+              static_cast<double>(pure->smc_processed) /
                   static_cast<double>(std::max<int64_t>(1, result.smc_processed)));
   std::printf("  sanitization only (recall-first): precision %.2f%% — the "
               "researcher would drown in false links\n",

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the concurrency-
+# sensitive pieces (metrics registry, threaded blocking, session plumbing).
+#
+#   scripts/verify.sh            # full: tier-1 build+tests, then TSan subset
+#   scripts/verify.sh --fast     # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "== skipped TSan pass (--fast) =="
+  exit 0
+fi
+
+echo "== TSan: metrics registry + threaded blocking =="
+cmake -B build-tsan -S . -DHPRL_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j --target obs_test blocking_test session_test
+./build-tsan/tests/obs_test
+./build-tsan/tests/blocking_test
+./build-tsan/tests/session_test
+
+echo "== verify OK =="

@@ -10,6 +10,10 @@
 #include "data/table.h"
 #include "hierarchy/vgh.h"
 
+namespace hprl::obs {
+class MetricsRegistry;
+}  // namespace hprl::obs
+
 namespace hprl {
 
 /// Parameters shared by every anonymization algorithm.
@@ -37,6 +41,11 @@ struct AnonymizerConfig {
   /// MaxEntropy (specializations that would break it are invalid).
   int64_t l_diversity = 1;
   int sensitive_attr = -1;
+
+  /// Optional observability sink (not owned; may be null). Anonymizers
+  /// publish cheap aggregate counters (anon.groups, anon.specializations)
+  /// once per run — nothing is recorded inside the partitioning loops.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Interface of all anonymizers. Implementations are deterministic pure

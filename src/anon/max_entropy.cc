@@ -7,6 +7,7 @@
 #include "anon/anonymizer.h"
 #include "anon/qid_data.h"
 #include "common/math_util.h"
+#include "obs/metrics.h"
 
 namespace hprl {
 
@@ -61,6 +62,7 @@ class MaxEntropyAnonymizer : public Anonymizer {
     const bool ldiv = config_.l_diversity > 1;
     const int64_t l = config_.l_diversity;
 
+    int64_t specializations = 0;
     std::vector<Part> stack;
     stack.push_back(std::move(root));
     while (!stack.empty()) {
@@ -177,6 +179,7 @@ class MaxEntropyAnonymizer : public Anonymizer {
       }
 
       // Apply the winning specialization.
+      specializations += 1;
       if (qd.type[best_q] == AttrType::kText) {
         int plen = part.node[best_q];
         std::map<std::string_view, std::vector<int64_t>> by_prefix;
@@ -227,6 +230,9 @@ class MaxEntropyAnonymizer : public Anonymizer {
         }
       }
     }
+    obs::Add(config_.metrics, "anon.specializations", specializations);
+    obs::Add(config_.metrics, "anon.groups",
+             static_cast<int64_t>(out.groups.size()));
     return out;
   }
 

@@ -6,10 +6,13 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/experiment.h"
+#include "core/session.h"
 #include "data/csv.h"
 #include "hierarchy/vgh_parser.h"
 #include "linkage/ground_truth.h"
 #include "linkage/oracle.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 #include "smc/smc_oracle.h"
 
 namespace hprl::cli {
@@ -174,12 +177,13 @@ Status WriteLinksCsv(const std::string& path, const Table& r, const Table& s,
 std::string RunnerReport::ToString() const {
   std::string out;
   out += StrFormat("inputs: R=%lld rows, S=%lld rows (%lld pairs)\n",
-                   static_cast<long long>(rows_r),
-                   static_cast<long long>(rows_s),
+                   static_cast<long long>(result.rows_r),
+                   static_cast<long long>(result.rows_s),
                    static_cast<long long>(result.total_pairs));
   out += StrFormat("releases: %lld / %lld sequences (%.3fs to anonymize)\n",
-                   static_cast<long long>(sequences_r),
-                   static_cast<long long>(sequences_s), anon_seconds);
+                   static_cast<long long>(result.sequences_r),
+                   static_cast<long long>(result.sequences_s),
+                   result.anon_seconds);
   out += StrFormat(
       "blocking: %.2f%% decided (M=%lld pairs, N=%lld pairs, U=%lld pairs)\n",
       100.0 * result.blocking_efficiency,
@@ -216,28 +220,42 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
   auto table_s = Typed(*raw_s, *plan, "S");
   if (!table_s.ok()) return table_s.status();
 
+  // An external registry wins; otherwise a private one backs --metrics_out.
+  obs::MetricsRegistry local_registry;
+  obs::MetricsRegistry* metrics = options.metrics;
+  if (metrics == nullptr && !options.metrics_out.empty()) {
+    metrics = &local_registry;
+  }
+  plan->anon_cfg.metrics = metrics;
+
   auto anonymizer = MakeAnonymizerByName(spec.anonymizer, plan->anon_cfg);
   if (!anonymizer.ok()) return anonymizer.status();
 
   RunnerReport report;
-  report.rows_r = table_r->num_rows();
-  report.rows_s = table_s->num_rows();
 
+  obs::ScopedSpan anon_span(metrics, "linkage/anonymize");
   WallTimer anon_timer;
   auto anon_r = (*anonymizer)->Anonymize(*table_r);
   if (!anon_r.ok()) return anon_r.status();
   auto anon_s = (*anonymizer)->Anonymize(*table_s);
   if (!anon_s.ok()) return anon_s.status();
-  report.anon_seconds = anon_timer.ElapsedSeconds();
-  report.sequences_r = anon_r->NumSequences();
-  report.sequences_s = anon_s->NumSequences();
+  anon_span.Stop();
+  double anon_seconds = anon_timer.ElapsedSeconds();
 
   HybridConfig hc;
   hc.rule = plan->rule;
   hc.smc_allowance_fraction = spec.allowance;
   hc.heuristic = spec.heuristic;
   hc.collect_matches = !options.links_out.empty();
-  hc.blocking_threads = spec.threads;
+  hc.blocking_threads =
+      options.threads_override > 0 ? options.threads_override : spec.threads;
+
+  LinkageSession session;
+  session.WithTables(*table_r, *table_s)
+      .WithReleases(*anon_r, *anon_s)
+      .WithConfig(hc)
+      .WithMetrics(metrics)
+      .WithEvaluation(options.evaluate);
 
   Result<HybridResult> result = Status::Internal("unset");
   if (spec.key_bits > 0) {
@@ -246,18 +264,35 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
     smc::SmcMatchOracle oracle(smc_cfg, plan->rule);
     HPRL_RETURN_IF_ERROR(oracle.Init());
     report.oracle = StrFormat("paillier-%d", spec.key_bits);
-    result = RunHybridLinkage(*table_r, *table_s, *anon_r, *anon_s, hc, oracle);
+    result = session.WithOracle(oracle).Run();
   } else {
     CountingPlaintextOracle oracle(plan->rule);
     report.oracle = "plaintext";
-    result = RunHybridLinkage(*table_r, *table_s, *anon_r, *anon_s, hc, oracle);
+    result = session.WithOracle(oracle).Run();
   }
   if (!result.ok()) return result.status();
   report.result = std::move(result).value();
+  report.result.anon_seconds = anon_seconds;
 
-  if (options.evaluate) {
-    HPRL_RETURN_IF_ERROR(
-        EvaluateRecall(*table_r, *table_s, plan->rule, &report.result));
+  if (!options.metrics_out.empty()) {
+    obs::RunReport run;
+    run.tool = "hprl_link";
+    run.AddConfig("spec_k", StrFormat("%lld", static_cast<long long>(spec.k)));
+    run.AddConfig("allowance", StrFormat("%g", spec.allowance));
+    run.AddConfig("heuristic", HeuristicName(spec.heuristic));
+    run.AddConfig("anonymizer", spec.anonymizer);
+    run.AddConfig("key_bits", StrFormat("%d", spec.key_bits));
+    run.AddConfig("threads", StrFormat("%d", hc.blocking_threads));
+    run.AddConfig("oracle", report.oracle);
+    std::string attrs;
+    for (const AttrSpec& a : spec.attrs) {
+      if (!attrs.empty()) attrs += ",";
+      attrs += a.name;
+    }
+    run.AddConfig("attrs", attrs);
+    run.metrics = report.result;
+    run.registry = metrics;
+    HPRL_RETURN_IF_ERROR(obs::WriteRunReport(run, options.metrics_out));
   }
   if (!options.links_out.empty()) {
     HPRL_RETURN_IF_ERROR(

@@ -7,6 +7,10 @@
 #include "common/result.h"
 #include "core/hybrid.h"
 
+namespace hprl::obs {
+class MetricsRegistry;
+}  // namespace hprl::obs
+
 namespace hprl::cli {
 
 /// What the tool should do besides printing the report.
@@ -14,18 +18,23 @@ struct RunnerOptions {
   std::string links_out;      ///< CSV of matched row pairs ("" = skip)
   std::string release_r_out;  ///< anonymized release of R ("" = skip)
   std::string release_s_out;  ///< anonymized release of S ("" = skip)
+  std::string metrics_out;    ///< JSON run report ("" = skip)
   bool publish_releases = true;  ///< strip row ids from written releases
   bool evaluate = false;      ///< compute ground-truth recall (needs cleartext)
+
+  /// > 0: overrides the spec's `threads` directive for the blocking step.
+  int threads_override = 0;
+
+  /// Optional external registry (not owned; may be null). When null and
+  /// metrics_out is set, the runner uses a private registry for the report.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
-/// Outcome of a file-driven run.
+/// Outcome of a file-driven run. All pipeline numbers (input sizes, stage
+/// timings, blocking tallies, SMC counts, recall) live in `result`'s shared
+/// LinkageMetrics base — see src/obs/linkage_metrics.h.
 struct RunnerReport {
   HybridResult result;
-  int64_t rows_r = 0;
-  int64_t rows_s = 0;
-  int64_t sequences_r = 0;
-  int64_t sequences_s = 0;
-  double anon_seconds = 0;
   std::string oracle;  // "plaintext" or "paillier-<bits>"
 
   /// Human-readable multi-line summary.

@@ -5,15 +5,27 @@
 
 namespace hprl {
 
+namespace {
+
+void FillInputs(const Table& r, const Table& s, BaselineResult* out) {
+  out->rows_r = r.num_rows();
+  out->rows_s = s.num_rows();
+  out->total_pairs = r.num_rows() * s.num_rows();
+}
+
+}  // namespace
+
 Result<BaselineResult> PureSmcBaseline(const Table& r, const Table& s,
                                        const MatchRule& rule) {
   auto truth = CountMatchingPairs(r, s, rule);
   if (!truth.ok()) return truth.status();
   BaselineResult out;
   out.name = "PureSMC";
-  out.smc_invocations = r.num_rows() * s.num_rows();
+  FillInputs(r, s, &out);
+  out.smc_processed = r.num_rows() * s.num_rows();
   out.reported_matches = *truth;
   out.true_reported_matches = *truth;
+  out.true_matches = *truth;
   out.recall = 1.0;
   out.precision = 1.0;
   return out;
@@ -29,7 +41,15 @@ Result<BaselineResult> SanitizationOnlyBaseline(
 
   BaselineResult out;
   out.name = optimistic ? "SanitizationOptimistic" : "SanitizationPessimistic";
-  out.smc_invocations = 0;
+  FillInputs(r, s, &out);
+  out.sequences_r = anon_r.NumSequences();
+  out.sequences_s = anon_s.NumSequences();
+  out.blocked_match_pairs = blocking->matched_pairs;
+  out.blocked_mismatch_pairs = blocking->mismatched_pairs;
+  out.unknown_pairs = blocking->unknown_pairs;
+  out.blocking_efficiency = blocking->BlockingEfficiency();
+  out.smc_processed = 0;
+  out.true_matches = *truth;
   out.reported_matches = blocking->matched_pairs;
   out.true_reported_matches = blocking->matched_pairs;  // M labels are sound
 

@@ -7,17 +7,16 @@
 #include "common/result.h"
 #include "data/table.h"
 #include "linkage/match_rule.h"
+#include "obs/linkage_metrics.h"
 
 namespace hprl {
 
-/// Comparison point against the hybrid method.
-struct BaselineResult {
+/// Comparison point against the hybrid method. Shares the LinkageMetrics
+/// base with HybridResult, so a baseline serializes into the same JSON row
+/// shape and diffs field-by-field against the hybrid run; its cryptographic
+/// cost (the paper's cost unit) is the inherited `smc_processed`.
+struct BaselineResult : LinkageMetrics {
   std::string name;
-  int64_t smc_invocations = 0;  ///< cryptographic cost (paper's cost unit)
-  int64_t reported_matches = 0;
-  int64_t true_reported_matches = 0;  ///< of the reported, how many are real
-  double recall = 0;
-  double precision = 0;
 };
 
 /// Pure cryptographic linkage: every record pair goes through the SMC

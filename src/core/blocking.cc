@@ -42,7 +42,8 @@ void BlockRange(const AnonymizedTable& anon_r, const AnonymizedTable& anon_s,
 
 Result<BlockingResult> RunBlocking(const AnonymizedTable& anon_r,
                                    const AnonymizedTable& anon_s,
-                                   const MatchRule& rule, int threads) {
+                                   const MatchRule& rule, int threads,
+                                   obs::MetricsRegistry* metrics) {
   const size_t num_attrs = static_cast<size_t>(rule.num_attrs());
   for (const auto& g : anon_r.groups) {
     if (g.seq.size() != num_attrs) {
@@ -61,9 +62,24 @@ Result<BlockingResult> RunBlocking(const AnonymizedTable& anon_r,
   BlockingResult out;
   out.total_pairs = anon_r.num_rows * anon_s.num_rows;
 
+  // Tallies are published once, after the sweep; nothing per-pair.
+  auto publish = [metrics](const BlockingResult& res) {
+    if (metrics == nullptr) return;
+    obs::Add(metrics, "blocking.pairs_total", res.total_pairs);
+    obs::Add(metrics, "blocking.pairs_m", res.matched_pairs);
+    obs::Add(metrics, "blocking.pairs_n", res.mismatched_pairs);
+    obs::Add(metrics, "blocking.pairs_u", res.unknown_pairs);
+    obs::Add(metrics, "blocking.sequence_pairs_m",
+             static_cast<int64_t>(res.matches.size()));
+    obs::Add(metrics, "blocking.sequence_pairs_u",
+             static_cast<int64_t>(res.unknown.size()));
+    obs::SetGauge(metrics, "blocking.efficiency", res.BlockingEfficiency());
+  };
+
   const size_t n = anon_r.groups.size();
   if (threads == 1 || n < 2 * static_cast<size_t>(threads)) {
     BlockRange(anon_r, anon_s, rule, 0, n, &out);
+    publish(out);
     return out;
   }
 
@@ -85,6 +101,7 @@ Result<BlockingResult> RunBlocking(const AnonymizedTable& anon_r,
     out.matches.insert(out.matches.end(), p.matches.begin(), p.matches.end());
     out.unknown.insert(out.unknown.end(), p.unknown.begin(), p.unknown.end());
   }
+  publish(out);
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "linkage/match_rule.h"
 #include "linkage/slack.h"
+#include "obs/metrics.h"
 
 namespace hprl {
 
@@ -47,9 +48,14 @@ struct BlockingResult {
 /// `threads` > 1 partitions R's groups across worker threads; the result is
 /// bit-identical to the sequential run (per-thread outputs are concatenated
 /// in group order).
+///
+/// When `metrics` is attached the M/N/U tallies are published once, after
+/// the sweep, as the blocking.* counters — the hot loop is untouched either
+/// way.
 Result<BlockingResult> RunBlocking(const AnonymizedTable& anon_r,
                                    const AnonymizedTable& anon_s,
-                                   const MatchRule& rule, int threads = 1);
+                                   const MatchRule& rule, int threads = 1,
+                                   obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace hprl
 

@@ -1,7 +1,9 @@
 #include "core/experiment.h"
 
 #include "common/timer.h"
+#include "core/session.h"
 #include "linkage/oracle.h"
+#include "obs/metrics.h"
 
 namespace hprl {
 
@@ -49,10 +51,12 @@ Result<ExperimentOutcome> RunAdultExperiment(const ExperimentData& data,
                                              const ExperimentConfig& config) {
   auto anon_cfg = MakeAdultAnonConfig(data, config.num_qids, config.k);
   if (!anon_cfg.ok()) return anon_cfg.status();
+  anon_cfg->metrics = config.metrics;
   auto anonymizer = MakeAnonymizerByName(config.anonymizer, *anon_cfg);
   if (!anonymizer.ok()) return anonymizer.status();
 
   ExperimentOutcome out;
+  obs::ScopedSpan anon_span(config.metrics, "linkage/anonymize");
   WallTimer t1;
   auto anon_r = (*anonymizer)->Anonymize(data.split.d1);
   if (!anon_r.ok()) return anon_r.status();
@@ -61,6 +65,7 @@ Result<ExperimentOutcome> RunAdultExperiment(const ExperimentData& data,
   auto anon_s = (*anonymizer)->Anonymize(data.split.d2);
   if (!anon_s.ok()) return anon_s.status();
   out.anon_seconds_s = t2.ElapsedSeconds();
+  anon_span.Stop();
   out.sequences_r = anon_r->NumSequences();
   out.sequences_s = anon_s->NumSequences();
 
@@ -79,14 +84,17 @@ Result<ExperimentOutcome> RunAdultExperiment(const ExperimentData& data,
   hc.heuristic = config.heuristic;
 
   CountingPlaintextOracle oracle(*rule);
-  auto hybrid = RunHybridLinkage(data.split.d1, data.split.d2, *anon_r,
-                                 *anon_s, hc, oracle);
+  auto hybrid = LinkageSession()
+                    .WithTables(data.split.d1, data.split.d2)
+                    .WithReleases(*anon_r, *anon_s)
+                    .WithConfig(hc)
+                    .WithOracle(oracle)
+                    .WithMetrics(config.metrics)
+                    .WithEvaluation(config.evaluate_recall)
+                    .Run();
   if (!hybrid.ok()) return hybrid.status();
   out.hybrid = std::move(hybrid).value();
-  if (config.evaluate_recall) {
-    HPRL_RETURN_IF_ERROR(
-        EvaluateRecall(data.split.d1, data.split.d2, *rule, &out.hybrid));
-  }
+  out.hybrid.anon_seconds = out.anon_seconds_r + out.anon_seconds_s;
   return out;
 }
 

@@ -43,9 +43,14 @@ struct ExperimentConfig {
   SelectionHeuristic heuristic = SelectionHeuristic::kMinAvgFirst;
   std::string anonymizer = "MaxEntropy";
   bool evaluate_recall = true;
+
+  /// Optional observability sink for the whole run (not owned; may be null).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
-/// The full outcome of one configuration run.
+/// The full outcome of one configuration run. `hybrid`'s LinkageMetrics base
+/// carries the unified numbers (input sizes, stage timings, tallies); the
+/// per-table anonymization split is the only experiment-specific extra.
 struct ExperimentOutcome {
   HybridResult hybrid;
   double anon_seconds_r = 0;

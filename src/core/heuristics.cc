@@ -41,9 +41,12 @@ std::vector<size_t> OrderUnknownPairs(const BlockingResult& blocking,
                                       const AnonymizedTable& anon_r,
                                       const AnonymizedTable& anon_s,
                                       const MatchRule& rule,
-                                      SelectionHeuristic heuristic, Rng& rng) {
+                                      SelectionHeuristic heuristic, Rng& rng,
+                                      obs::MetricsRegistry* metrics) {
   std::vector<size_t> order(blocking.unknown.size());
   std::iota(order.begin(), order.end(), size_t{0});
+  obs::Add(metrics, "select.candidate_sequence_pairs",
+           static_cast<int64_t>(order.size()));
   if (heuristic == SelectionHeuristic::kRandom) {
     rng.Shuffle(order);
     return order;
@@ -71,6 +74,10 @@ std::vector<size_t> OrderUnknownPairs(const BlockingResult& blocking,
         break;  // handled above
     }
     key[i] = k;
+  }
+  if (metrics != nullptr) {
+    obs::Histogram* dist = metrics->histogram("select.expected_distance");
+    for (double k : key) dist->Observe(k);
   }
   std::stable_sort(order.begin(), order.end(),
                    [&](size_t a, size_t b) { return key[a] < key[b]; });

@@ -7,6 +7,7 @@
 #include "common/random.h"
 #include "common/result.h"
 #include "core/blocking.h"
+#include "obs/metrics.h"
 
 namespace hprl {
 
@@ -25,12 +26,14 @@ Result<SelectionHeuristic> ParseHeuristic(const std::string& name);
 /// Returns the indexes of blocking.unknown in SMC-consumption order. All
 /// record pairs within a sequence pair share their expected distances, so
 /// ordering happens at sequence-pair granularity. `rng` is used only by
-/// kRandom.
+/// kRandom. With `metrics` attached the candidate count and the
+/// expected-distance distribution are published after ordering.
 std::vector<size_t> OrderUnknownPairs(const BlockingResult& blocking,
                                       const AnonymizedTable& anon_r,
                                       const AnonymizedTable& anon_s,
                                       const MatchRule& rule,
-                                      SelectionHeuristic heuristic, Rng& rng);
+                                      SelectionHeuristic heuristic, Rng& rng,
+                                      obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace hprl
 

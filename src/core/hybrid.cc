@@ -1,8 +1,6 @@
 #include "core/hybrid.h"
 
-#include <cmath>
-
-#include "common/timer.h"
+#include "core/session.h"
 #include "linkage/ground_truth.h"
 
 namespace hprl {
@@ -12,97 +10,23 @@ Result<HybridResult> RunHybridLinkage(const Table& r, const Table& s,
                                       const AnonymizedTable& anon_s,
                                       const HybridConfig& config,
                                       MatchOracle& oracle) {
-  if (anon_r.num_rows != r.num_rows() || anon_s.num_rows != s.num_rows()) {
-    return Status::InvalidArgument("anonymized releases do not cover tables");
-  }
-  // The SMC step needs the holder-side releases (with row ids); published
-  // (row-free) releases only support blocking.
-  auto covered = [](const AnonymizedTable& anon) {
-    int64_t rows = 0;
-    for (const auto& g : anon.groups) rows += static_cast<int64_t>(g.rows.size());
-    return rows == anon.num_rows;
-  };
-  if (!covered(anon_r) || !covered(anon_s)) {
-    return Status::FailedPrecondition(
-        "hybrid linkage needs holder-side releases with row ids "
-        "(published releases only support the blocking step)");
-  }
-  HybridResult out;
-
-  WallTimer block_timer;
-  auto blocking =
-      RunBlocking(anon_r, anon_s, config.rule, config.blocking_threads);
-  if (!blocking.ok()) return blocking.status();
-  out.blocking_seconds = block_timer.ElapsedSeconds();
-
-  out.total_pairs = blocking->total_pairs;
-  out.blocked_match_pairs = blocking->matched_pairs;
-  out.blocked_mismatch_pairs = blocking->mismatched_pairs;
-  out.unknown_pairs = blocking->unknown_pairs;
-  out.blocking_efficiency = blocking->BlockingEfficiency();
-  out.reported_matches = blocking->matched_pairs;
-
-  if (config.collect_matches) {
-    for (const SequencePair& sp : blocking->matches) {
-      for (int64_t rr : anon_r.groups[sp.group_r].rows) {
-        for (int64_t sr : anon_s.groups[sp.group_s].rows) {
-          out.matched_row_pairs.emplace_back(rr, sr);
-        }
-      }
-    }
-  }
-
-  // --- SMC step under the allowance budget ---
-  WallTimer smc_timer;
-  out.allowance_pairs = static_cast<int64_t>(
-      std::floor(config.smc_allowance_fraction *
-                 static_cast<double>(blocking->total_pairs)));
-  Rng rng(config.random_seed);
-  std::vector<size_t> order = OrderUnknownPairs(
-      *blocking, anon_r, anon_s, config.rule, config.heuristic, rng);
-
-  int64_t budget = out.allowance_pairs;
-  const int64_t oracle_start = oracle.invocations();
-  for (size_t idx : order) {
-    if (budget <= 0) break;
-    const SequencePair& sp = blocking->unknown[idx];
-    const auto& rows_r = anon_r.groups[sp.group_r].rows;
-    const auto& rows_s = anon_s.groups[sp.group_s].rows;
-    bool exhausted = false;
-    for (size_t a = 0; a < rows_r.size() && !exhausted; ++a) {
-      for (size_t b = 0; b < rows_s.size(); ++b) {
-        if (budget <= 0) {
-          exhausted = true;
-          break;
-        }
-        --budget;
-        auto matched = oracle.CompareRows(rows_r[a], rows_s[b],
-                                          r.row(rows_r[a]), s.row(rows_s[b]));
-        if (!matched.ok()) return matched.status();
-        if (*matched) {
-          ++out.smc_matched;
-          if (config.collect_matches) {
-            out.matched_row_pairs.emplace_back(rows_r[a], rows_s[b]);
-          }
-        }
-      }
-    }
-  }
-  out.smc_processed = oracle.invocations() - oracle_start;
-  out.unprocessed_pairs = out.unknown_pairs - out.smc_processed;
-  out.reported_matches += out.smc_matched;
-  out.smc_seconds = smc_timer.ElapsedSeconds();
-  return out;
+  return LinkageSession()
+      .WithTables(r, s)
+      .WithReleases(anon_r, anon_s)
+      .WithConfig(config)
+      .WithOracle(oracle)
+      .Run();
 }
 
 Status EvaluateRecall(const Table& r, const Table& s, const MatchRule& rule,
-                      HybridResult* result) {
+                      LinkageMetrics* result) {
   auto truth = CountMatchingPairs(r, s, rule);
   if (!truth.ok()) return truth.status();
   result->true_matches = *truth;
   // Every reported link is a true match: blocked matches are sound by the
   // slack rule, SMC labels are exact. Hence precision is 1 whenever anything
   // is reported, and recall is reported / truth.
+  result->true_reported_matches = result->reported_matches;
   result->precision = 1.0;
   result->recall =
       *truth == 0 ? 1.0

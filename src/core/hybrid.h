@@ -10,6 +10,7 @@
 #include "core/blocking.h"
 #include "core/heuristics.h"
 #include "linkage/oracle.h"
+#include "obs/linkage_metrics.h"
 
 namespace hprl {
 
@@ -34,43 +35,22 @@ struct HybridConfig {
   int blocking_threads = 1;
 };
 
-/// Outcome of one hybrid linkage run.
-struct HybridResult {
-  // Blocking step.
-  int64_t total_pairs = 0;
-  int64_t blocked_match_pairs = 0;
-  int64_t blocked_mismatch_pairs = 0;
-  int64_t unknown_pairs = 0;
-  double blocking_efficiency = 0;
-
-  // SMC step.
-  int64_t allowance_pairs = 0;   ///< budgeted protocol invocations
-  int64_t smc_processed = 0;     ///< invocations actually spent
-  int64_t smc_matched = 0;       ///< matches confirmed by the SMC step
-  int64_t unprocessed_pairs = 0; ///< U pairs defaulted to non-match
-
-  /// Links reported to the querying party: blocked matches + SMC matches.
-  /// Precision is 100% by construction (both sources are exact).
-  int64_t reported_matches = 0;
-
+/// Outcome of one hybrid linkage run. All scalar outcome fields live in the
+/// shared LinkageMetrics base (obs/linkage_metrics.h), so the run serializes
+/// into the same JSON report shape as the baselines.
+struct HybridResult : LinkageMetrics {
   /// Optional captured links (collect_matches).
   std::vector<std::pair<int64_t, int64_t>> matched_row_pairs;
-
-  // Wall-clock timings (seconds).
-  double blocking_seconds = 0;
-  double smc_seconds = 0;
-
-  // Evaluation against ground truth (EvaluateRecall fills these; -1/-0
-  // until then).
-  int64_t true_matches = -1;
-  double recall = 0;
-  double precision = 1.0;
 };
 
 /// Runs blocking + heuristic selection + the SMC step over pre-anonymized
 /// releases, labeling unknown pairs with `oracle` until the allowance is
 /// exhausted; the rest default to non-match (paper §V-B strategy 1,
 /// maximizing precision).
+///
+/// Deprecated: thin wrapper over LinkageSession (core/session.h), which is
+/// the primary API — it adds metrics/span instrumentation and a builder
+/// interface. Kept so existing callers compile unchanged.
 Result<HybridResult> RunHybridLinkage(const Table& r, const Table& s,
                                       const AnonymizedTable& anon_r,
                                       const AnonymizedTable& anon_s,
@@ -78,8 +58,9 @@ Result<HybridResult> RunHybridLinkage(const Table& r, const Table& s,
                                       MatchOracle& oracle);
 
 /// Fills result->true_matches / recall / precision from exact ground truth.
+/// Works on any LinkageMetrics-derived result (hybrid or baseline).
 Status EvaluateRecall(const Table& r, const Table& s, const MatchRule& rule,
-                      HybridResult* result);
+                      LinkageMetrics* result);
 
 }  // namespace hprl
 

@@ -1,0 +1,137 @@
+#include "core/session.h"
+
+#include <cmath>
+
+#include "linkage/ground_truth.h"
+
+namespace hprl {
+
+Result<HybridResult> LinkageSession::Run() {
+  if (r_ == nullptr || s_ == nullptr) {
+    return Status::InvalidArgument("LinkageSession: WithTables() not called");
+  }
+  if (anon_r_ == nullptr || anon_s_ == nullptr) {
+    return Status::InvalidArgument(
+        "LinkageSession: WithReleases() not called");
+  }
+  if (config_ == nullptr) {
+    return Status::InvalidArgument("LinkageSession: WithConfig() not called");
+  }
+  if (oracle_ == nullptr) {
+    return Status::InvalidArgument("LinkageSession: WithOracle() not called");
+  }
+  const Table& r = *r_;
+  const Table& s = *s_;
+  const AnonymizedTable& anon_r = *anon_r_;
+  const AnonymizedTable& anon_s = *anon_s_;
+  const HybridConfig& config = *config_;
+
+  if (anon_r.num_rows != r.num_rows() || anon_s.num_rows != s.num_rows()) {
+    return Status::InvalidArgument("anonymized releases do not cover tables");
+  }
+  // The SMC step needs the holder-side releases (with row ids); published
+  // (row-free) releases only support blocking.
+  auto covered = [](const AnonymizedTable& anon) {
+    int64_t rows = 0;
+    for (const auto& g : anon.groups) rows += static_cast<int64_t>(g.rows.size());
+    return rows == anon.num_rows;
+  };
+  if (!covered(anon_r) || !covered(anon_s)) {
+    return Status::FailedPrecondition(
+        "hybrid linkage needs holder-side releases with row ids "
+        "(published releases only support the blocking step)");
+  }
+
+  oracle_->AttachMetrics(metrics_);
+  obs::ScopedSpan run_span(metrics_, "linkage");
+
+  HybridResult out;
+  out.rows_r = r.num_rows();
+  out.rows_s = s.num_rows();
+  out.sequences_r = anon_r.NumSequences();
+  out.sequences_s = anon_s.NumSequences();
+
+  obs::ScopedSpan block_span(metrics_, "block", &run_span);
+  auto blocking = RunBlocking(anon_r, anon_s, config.rule,
+                              config.blocking_threads, metrics_);
+  if (!blocking.ok()) return blocking.status();
+  out.blocking_seconds = block_span.Stop();
+
+  out.total_pairs = blocking->total_pairs;
+  out.blocked_match_pairs = blocking->matched_pairs;
+  out.blocked_mismatch_pairs = blocking->mismatched_pairs;
+  out.unknown_pairs = blocking->unknown_pairs;
+  out.blocking_efficiency = blocking->BlockingEfficiency();
+  out.reported_matches = blocking->matched_pairs;
+
+  if (config.collect_matches) {
+    for (const SequencePair& sp : blocking->matches) {
+      for (int64_t rr : anon_r.groups[sp.group_r].rows) {
+        for (int64_t sr : anon_s.groups[sp.group_s].rows) {
+          out.matched_row_pairs.emplace_back(rr, sr);
+        }
+      }
+    }
+  }
+
+  // --- SMC step under the allowance budget ---
+  // smc_seconds keeps its historical meaning (selection + protocol); the
+  // spans break it down into "linkage/select" and "linkage/smc".
+  WallTimer smc_timer;
+  out.allowance_pairs = static_cast<int64_t>(
+      std::floor(config.smc_allowance_fraction *
+                 static_cast<double>(blocking->total_pairs)));
+  Rng rng(config.random_seed);
+  obs::ScopedSpan select_span(metrics_, "select", &run_span);
+  std::vector<size_t> order =
+      OrderUnknownPairs(*blocking, anon_r, anon_s, config.rule,
+                        config.heuristic, rng, metrics_);
+  select_span.Stop();
+
+  obs::ScopedSpan smc_span(metrics_, "smc", &run_span);
+  int64_t budget = out.allowance_pairs;
+  const int64_t oracle_start = oracle_->invocations();
+  for (size_t idx : order) {
+    if (budget <= 0) break;
+    const SequencePair& sp = blocking->unknown[idx];
+    const auto& rows_r = anon_r.groups[sp.group_r].rows;
+    const auto& rows_s = anon_s.groups[sp.group_s].rows;
+    bool exhausted = false;
+    for (size_t a = 0; a < rows_r.size() && !exhausted; ++a) {
+      for (size_t b = 0; b < rows_s.size(); ++b) {
+        if (budget <= 0) {
+          exhausted = true;
+          break;
+        }
+        --budget;
+        auto matched = oracle_->CompareRows(rows_r[a], rows_s[b],
+                                            r.row(rows_r[a]), s.row(rows_s[b]));
+        if (!matched.ok()) return matched.status();
+        if (*matched) {
+          ++out.smc_matched;
+          if (config.collect_matches) {
+            out.matched_row_pairs.emplace_back(rows_r[a], rows_s[b]);
+          }
+        }
+      }
+    }
+  }
+  smc_span.Stop();
+  out.smc_processed = oracle_->invocations() - oracle_start;
+  out.unprocessed_pairs = out.unknown_pairs - out.smc_processed;
+  out.reported_matches += out.smc_matched;
+  out.smc_seconds = smc_timer.ElapsedSeconds();
+
+  obs::Add(metrics_, "smc.allowance_pairs", out.allowance_pairs);
+  obs::Add(metrics_, "smc.invocations", out.smc_processed);
+  obs::Add(metrics_, "smc.matched", out.smc_matched);
+  obs::Add(metrics_, "linkage.reported_matches", out.reported_matches);
+
+  if (evaluate_) {
+    obs::ScopedSpan eval_span(metrics_, "evaluate", &run_span);
+    HPRL_RETURN_IF_ERROR(EvaluateRecall(r, s, config.rule, &out));
+  }
+  return out;
+}
+
+}  // namespace hprl

@@ -1,0 +1,92 @@
+#ifndef HPRL_CORE_SESSION_H_
+#define HPRL_CORE_SESSION_H_
+
+#include "anon/anonymizer.h"
+#include "common/result.h"
+#include "core/hybrid.h"
+#include "linkage/oracle.h"
+#include "obs/metrics.h"
+
+namespace hprl {
+
+/// Primary entry point of the hybrid pipeline: a builder that names each
+/// ingredient, replacing the six-positional-argument RunHybridLinkage.
+///
+///   obs::MetricsRegistry registry;
+///   auto result = hprl::LinkageSession()
+///                     .WithTables(table_r, table_s)
+///                     .WithReleases(*anon_r, *anon_s)
+///                     .WithConfig(config)
+///                     .WithOracle(oracle)
+///                     .WithMetrics(&registry)   // optional; default: no-op
+///                     .WithEvaluation(true)     // optional ground-truth pass
+///                     .Run();
+///
+/// Run() executes blocking -> selection -> SMC (-> evaluation), records the
+/// stage spans "linkage/{block,select,smc,evaluate}" and the counters
+/// documented in docs/OBSERVABILITY.md into the attached registry, and
+/// returns the same HybridResult as the legacy free function —
+/// byte-identical for identical inputs, with or without a registry.
+///
+/// The session borrows everything it is given; all referenced objects must
+/// outlive Run(). A session is single-use state-wise but Run() may be called
+/// repeatedly (each call re-executes the pipeline).
+class LinkageSession {
+ public:
+  LinkageSession() = default;
+
+  LinkageSession& WithTables(const Table& r, const Table& s) {
+    r_ = &r;
+    s_ = &s;
+    return *this;
+  }
+
+  LinkageSession& WithReleases(const AnonymizedTable& anon_r,
+                               const AnonymizedTable& anon_s) {
+    anon_r_ = &anon_r;
+    anon_s_ = &anon_s;
+    return *this;
+  }
+
+  LinkageSession& WithConfig(const HybridConfig& config) {
+    config_ = &config;
+    return *this;
+  }
+
+  LinkageSession& WithOracle(MatchOracle& oracle) {
+    oracle_ = &oracle;
+    return *this;
+  }
+
+  /// Attaches a metrics registry (nullptr detaches — the default null sink).
+  /// The oracle's own instrumentation hook is attached lazily inside Run().
+  LinkageSession& WithMetrics(obs::MetricsRegistry* registry) {
+    metrics_ = registry;
+    return *this;
+  }
+
+  /// When enabled, Run() finishes with an exact ground-truth pass filling
+  /// true_matches / recall / precision (reads cleartext; evaluation only).
+  LinkageSession& WithEvaluation(bool evaluate) {
+    evaluate_ = evaluate;
+    return *this;
+  }
+
+  /// Executes the pipeline. InvalidArgument when a required ingredient
+  /// (tables, releases, config, oracle) was not supplied.
+  Result<HybridResult> Run();
+
+ private:
+  const Table* r_ = nullptr;
+  const Table* s_ = nullptr;
+  const AnonymizedTable* anon_r_ = nullptr;
+  const AnonymizedTable* anon_s_ = nullptr;
+  const HybridConfig* config_ = nullptr;
+  MatchOracle* oracle_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  bool evaluate_ = false;
+};
+
+}  // namespace hprl
+
+#endif  // HPRL_CORE_SESSION_H_

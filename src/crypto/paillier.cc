@@ -16,6 +16,7 @@ Result<BigInt> PaillierPublicKey::Encrypt(const BigInt& m,
   do {
     r = rng.NextBelow(n_);
   } while (r.IsZero() || BigInt::Gcd(r, n_) != BigInt(1));
+  if (encryptions_ != nullptr) encryptions_->Increment();
   // (1 + m*n) * r^n mod n^2
   BigInt gm = (BigInt(1) + m * n_) % n2_;
   BigInt rn = BigInt::PowMod(r, n_, n2_);
@@ -32,12 +33,20 @@ Result<BigInt> PaillierPublicKey::EncryptSigned(const BigInt& x,
 }
 
 BigInt PaillierPublicKey::Add(const BigInt& c1, const BigInt& c2) const {
+  if (adds_ != nullptr) adds_->Increment();
   return (c1 * c2) % n2_;
 }
 
 BigInt PaillierPublicKey::ScalarMul(const BigInt& c, const BigInt& k) const {
+  if (scalar_muls_ != nullptr) scalar_muls_->Increment();
   BigInt e = k % n_;  // negative scalars map to n - |k|
   return BigInt::PowMod(c, e, n2_);
+}
+
+void PaillierPublicKey::AttachMetrics(obs::MetricsRegistry* registry) {
+  encryptions_ = registry ? registry->counter("paillier.encryptions") : nullptr;
+  adds_ = registry ? registry->counter("paillier.homomorphic_adds") : nullptr;
+  scalar_muls_ = registry ? registry->counter("paillier.scalar_muls") : nullptr;
 }
 
 Result<BigInt> PaillierPublicKey::Rerandomize(const BigInt& c,
@@ -57,10 +66,15 @@ Result<BigInt> PaillierPrivateKey::Decrypt(const BigInt& c) const {
   if (c.Sign() <= 0 || c >= n2_) {
     return Status::InvalidArgument("Paillier ciphertext out of (0, n^2)");
   }
+  if (decryptions_ != nullptr) decryptions_->Increment();
   // m = L(c^lambda mod n^2) * mu mod n, with L(x) = (x - 1) / n.
   BigInt u = BigInt::PowMod(c, lambda_, n2_);
   BigInt l = (u - BigInt(1)) / n_;
   return (l * mu_) % n_;
+}
+
+void PaillierPrivateKey::AttachMetrics(obs::MetricsRegistry* registry) {
+  decryptions_ = registry ? registry->counter("paillier.decryptions") : nullptr;
 }
 
 Result<BigInt> PaillierPrivateKey::DecryptSigned(const BigInt& c) const {

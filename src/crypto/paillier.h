@@ -4,6 +4,7 @@
 #include "common/result.h"
 #include "crypto/bigint.h"
 #include "crypto/secure_random.h"
+#include "obs/metrics.h"
 
 namespace hprl::crypto {
 
@@ -41,9 +42,22 @@ class PaillierPublicKey {
   /// Fresh randomness on an existing ciphertext (same plaintext).
   Result<BigInt> Rerandomize(const BigInt& c, SecureRandom& rng) const;
 
+  /// Streams per-operation counts (paillier.encryptions /
+  /// .homomorphic_adds / .scalar_muls) into `registry`; nullptr detaches.
+  /// Counter handles are resolved once here, so the per-op cost with a
+  /// registry attached is a single relaxed atomic add — and with none, a
+  /// branch. Note keys are value types: re-assigning a key object replaces
+  /// its attachment.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   BigInt n_;
   BigInt n2_;
+  // Not owned; the registry outlives the key at every call site (see
+  // SecureRecordComparator::AttachMetrics).
+  obs::Counter* encryptions_ = nullptr;
+  obs::Counter* adds_ = nullptr;
+  obs::Counter* scalar_muls_ = nullptr;
 };
 
 /// Paillier private key: lambda = lcm(p-1, q-1), mu = lambda^{-1} mod n
@@ -61,11 +75,15 @@ class PaillierPrivateKey {
 
   const BigInt& n() const { return n_; }
 
+  /// Streams paillier.decryptions into `registry`; nullptr detaches.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   BigInt n_;
   BigInt n2_;
   BigInt lambda_;
   BigInt mu_;
+  obs::Counter* decryptions_ = nullptr;  // not owned
 };
 
 struct PaillierKeyPair {

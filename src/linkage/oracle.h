@@ -6,6 +6,10 @@
 #include "common/result.h"
 #include "linkage/match_rule.h"
 
+namespace hprl::obs {
+class MetricsRegistry;
+}  // namespace hprl::obs
+
 namespace hprl {
 
 /// Labels one record pair exactly. In production this is the SMC protocol
@@ -29,6 +33,13 @@ class MatchOracle {
 
   /// Number of Compare calls so far (the paper's SMC cost unit).
   virtual int64_t invocations() const = 0;
+
+  /// Attaches an observability sink (nullptr detaches). Oracles with
+  /// internal cost accounting (smc::SmcMatchOracle) stream their per-compare
+  /// counters and latencies into it; the default ignores it.
+  virtual void AttachMetrics(obs::MetricsRegistry* registry) {
+    (void)registry;
+  }
 };
 
 /// Exact in-the-clear oracle with invocation accounting.

@@ -1,0 +1,351 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hprl::obs {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Indent() {
+  *out_ << '\n';
+  for (size_t i = 0; i < has_items_.size(); ++i) *out_ << "  ";
+}
+
+void JsonWriter::Prepare(bool is_key) {
+  if (after_key_) {
+    // Value directly after "key": stays on the key's line.
+    after_key_ = false;
+    return;
+  }
+  if (!has_items_.empty()) {
+    if (has_items_.back()) *out_ << ',';
+    has_items_.back() = true;
+    Indent();
+  }
+  (void)is_key;
+}
+
+void JsonWriter::BeginObject() {
+  Prepare(false);
+  *out_ << '{';
+  has_items_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  bool had = has_items_.back();
+  has_items_.pop_back();
+  if (had) Indent();
+  *out_ << '}';
+}
+
+void JsonWriter::BeginArray() {
+  Prepare(false);
+  *out_ << '[';
+  has_items_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  bool had = has_items_.back();
+  has_items_.pop_back();
+  if (had) Indent();
+  *out_ << ']';
+}
+
+void JsonWriter::Key(const std::string& name) {
+  Prepare(true);
+  *out_ << '"' << EscapeJson(name) << "\": ";
+  after_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  Prepare(false);
+  *out_ << '"' << EscapeJson(value) << '"';
+}
+
+void JsonWriter::Int(int64_t value) {
+  Prepare(false);
+  *out_ << value;
+}
+
+void JsonWriter::Double(double value) {
+  Prepare(false);
+  if (!std::isfinite(value)) {
+    *out_ << "null";
+    return;
+  }
+  // Shortest representation that round-trips a double.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  double parsed = std::strtod(buf, nullptr);
+  if (parsed == value) {
+    for (int prec = 1; prec < 17; ++prec) {
+      char shorter[32];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, value);
+      if (std::strtod(shorter, nullptr) == value) {
+        std::snprintf(buf, sizeof(buf), "%s", shorter);
+        break;
+      }
+    }
+  }
+  *out_ << buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  Prepare(false);
+  *out_ << (value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  Prepare(false);
+  *out_ << "null";
+}
+
+// ---------------------------------------------------------------------------
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::MakeObject(std::map<std::string, JsonValue> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a bounded view.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    auto value = ParseValue();
+    if (!value.ok()) return value;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("json: " + msg + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      auto s = ParseString();
+      if (!s.ok()) return s.status();
+      return JsonValue::MakeString(std::move(s).value());
+    }
+    if (ConsumeWord("null")) return JsonValue::MakeNull();
+    if (ConsumeWord("true")) return JsonValue::MakeBool(true);
+    if (ConsumeWord("false")) return JsonValue::MakeBool(false);
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    std::map<std::string, JsonValue> members;
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue::MakeObject(std::move(members));
+    while (true) {
+      SkipWhitespace();
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      auto value = ParseValue();
+      if (!value.ok()) return value;
+      members.emplace(std::move(key).value(), std::move(value).value());
+      SkipWhitespace();
+      if (Consume('}')) return JsonValue::MakeObject(std::move(members));
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue::MakeArray(std::move(items));
+    while (true) {
+      auto value = ParseValue();
+      if (!value.ok()) return value;
+      items.push_back(std::move(value).value());
+      SkipWhitespace();
+      if (Consume(']')) return JsonValue::MakeArray(std::move(items));
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected string");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad \\u escape");
+          }
+          // Reports only ever emit \u00xx (control characters); encode the
+          // general case as UTF-8 anyway.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Error("bad number");
+    return JsonValue::MakeNumber(value);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace hprl::obs

@@ -1,0 +1,94 @@
+#ifndef HPRL_OBS_JSON_H_
+#define HPRL_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hprl::obs {
+
+/// Escapes `s` for use inside a JSON string literal (no surrounding quotes).
+std::string EscapeJson(const std::string& s);
+
+/// Streaming JSON writer with no external dependencies. The caller drives
+/// the structure; the writer inserts commas, quoting and two-space
+/// indentation. Non-finite doubles serialize as null (JSON has no NaN).
+///
+///   JsonWriter w(&out);
+///   w.BeginObject();
+///   w.Key("pairs"); w.Int(42);
+///   w.Key("stages"); w.BeginArray(); w.String("block"); w.EndArray();
+///   w.EndObject();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream* out) : out_(out) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(const std::string& name);
+
+  void String(const std::string& value);
+  void Int(int64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+ private:
+  /// Comma/newline/indent handling before a value or key.
+  void Prepare(bool is_key);
+  void Indent();
+
+  std::ostream* out_;
+  // One level per open container: whether anything was emitted inside.
+  std::vector<bool> has_items_;
+  bool after_key_ = false;
+};
+
+/// Parsed JSON value — just enough for round-trip tests and for tools that
+/// read the run reports back (no external dependency).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+  const std::map<std::string, JsonValue>& AsObject() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one JSON document (trailing garbage is an error).
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace hprl::obs
+
+#endif  // HPRL_OBS_JSON_H_

@@ -1,0 +1,102 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hprl::obs {
+
+void Histogram::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(value);
+}
+
+Histogram::Summary Histogram::Summarize() const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted = samples_;
+  }
+  Summary s;
+  s.count = static_cast<int64_t>(sorted.size());
+  if (sorted.empty()) return s;
+  std::sort(sorted.begin(), sorted.end());
+  for (double v : sorted) s.sum += v;
+  s.min = sorted.front();
+  s.max = sorted.back();
+  // Nearest-rank percentile: the smallest sample with at least q of the
+  // mass at or below it.
+  auto pct = [&](double q) {
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    if (rank == 0) rank = 1;
+    return sorted[rank - 1];
+  };
+  s.p50 = pct(0.50);
+  s.p95 = pct(0.95);
+  s.p99 = pct(0.99);
+  return s;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::RecordSpan(const std::string& path, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanStats& stats = spans_[path];
+  stats.count += 1;
+  stats.total_seconds += seconds;
+}
+
+std::map<std::string, int64_t> MetricsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
+}
+
+std::map<std::string, double> MetricsRegistry::GaugeValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, g] : gauges_) out[name] = g->value();
+  return out;
+}
+
+std::map<std::string, Histogram::Summary> MetricsRegistry::HistogramSummaries()
+    const {
+  // Summarize outside the registry lock: Histogram has its own mutex, and
+  // Summarize() copies the samples.
+  std::vector<std::pair<std::string, const Histogram*>> items;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    items.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) items.emplace_back(name, h.get());
+  }
+  std::map<std::string, Histogram::Summary> out;
+  for (const auto& [name, h] : items) out[name] = h->Summarize();
+  return out;
+}
+
+std::map<std::string, SpanStats> MetricsRegistry::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+}  // namespace hprl::obs

@@ -1,0 +1,173 @@
+#ifndef HPRL_OBS_METRICS_H_
+#define HPRL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace hprl::obs {
+
+/// Monotonic counter. Handles returned by MetricsRegistry::counter() are
+/// stable for the registry's lifetime, so hot paths can cache the pointer
+/// and skip the name lookup.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Latency histogram. Samples are retained exactly (runs observe at most a
+/// few hundred thousand latencies), so the reported percentiles are true
+/// order statistics, not bucket approximations.
+class Histogram {
+ public:
+  struct Summary {
+    int64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+  };
+
+  void Observe(double value);
+  Summary Summarize() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+};
+
+/// Wall-clock statistics of one span path, aggregated across entries.
+struct SpanStats {
+  int64_t count = 0;
+  double total_seconds = 0;
+};
+
+/// Thread-safe registry of named counters, gauges, latency histograms and
+/// stage spans. Every instrumentation site in the pipeline takes a
+/// `MetricsRegistry*` that defaults to nullptr (the null sink): with no
+/// registry attached the instrumented code performs a single branch and
+/// nothing else, so published benchmark numbers do not move.
+///
+/// Metric names are dot-separated lowercase paths ("smc.invocations"); span
+/// paths are slash-separated stage names ("linkage/block"). See
+/// docs/OBSERVABILITY.md for the full catalog.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. The returned pointer stays valid (and thread-safe to
+  /// use) until the registry is destroyed.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// Adds one completed span entry to the per-path aggregate.
+  void RecordSpan(const std::string& path, double seconds);
+
+  // Snapshots for serialization (name-sorted; safe while writers run).
+  std::map<std::string, int64_t> CounterValues() const;
+  std::map<std::string, double> GaugeValues() const;
+  std::map<std::string, Histogram::Summary> HistogramSummaries() const;
+  std::map<std::string, SpanStats> Spans() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, SpanStats> spans_;
+};
+
+// ---------------------------------------------------------------------------
+// Null-safe helpers: the idiomatic way to instrument a call site that holds
+// a possibly-null registry.
+
+inline void Add(MetricsRegistry* m, const std::string& name,
+                int64_t delta = 1) {
+  if (m != nullptr) m->counter(name)->Increment(delta);
+}
+
+inline void SetGauge(MetricsRegistry* m, const std::string& name, double v) {
+  if (m != nullptr) m->gauge(name)->Set(v);
+}
+
+inline void Observe(MetricsRegistry* m, const std::string& name, double v) {
+  if (m != nullptr) m->histogram(name)->Observe(v);
+}
+
+/// RAII stage timer. Spans nest by passing the parent, producing
+/// slash-separated paths ("linkage" -> "linkage/smc"); the registry
+/// aggregates entries per path. With a null registry construction and
+/// destruction are branches only.
+///
+///   obs::ScopedSpan run(metrics, "linkage");
+///   {
+///     obs::ScopedSpan block(metrics, "block", &run);  // "linkage/block"
+///     ...
+///   }  // recorded on scope exit
+class ScopedSpan {
+ public:
+  ScopedSpan(MetricsRegistry* registry, const std::string& name,
+             const ScopedSpan* parent = nullptr)
+      : registry_(registry) {
+    if (registry_ != nullptr) {
+      path_ = (parent != nullptr && !parent->path_.empty())
+                  ? parent->path_ + "/" + name
+                  : name;
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() { Stop(); }
+
+  /// Ends the span early (idempotent) and returns its duration — handy when
+  /// the same measurement also feeds a LinkageMetrics field.
+  double Stop() {
+    if (stopped_) return seconds_;
+    stopped_ = true;
+    seconds_ = timer_.ElapsedSeconds();
+    if (registry_ != nullptr) registry_->RecordSpan(path_, seconds_);
+    return seconds_;
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  MetricsRegistry* registry_;
+  std::string path_;
+  WallTimer timer_;
+  bool stopped_ = false;
+  double seconds_ = 0;
+};
+
+}  // namespace hprl::obs
+
+#endif  // HPRL_OBS_METRICS_H_

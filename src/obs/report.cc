@@ -1,0 +1,125 @@
+#include "obs/report.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace hprl::obs {
+
+void WriteLinkageMetricsFields(JsonWriter* w, const LinkageMetrics& m) {
+  w->Key("rows_r"); w->Int(m.rows_r);
+  w->Key("rows_s"); w->Int(m.rows_s);
+  w->Key("sequences_r"); w->Int(m.sequences_r);
+  w->Key("sequences_s"); w->Int(m.sequences_s);
+  w->Key("total_pairs"); w->Int(m.total_pairs);
+  w->Key("blocked_match_pairs"); w->Int(m.blocked_match_pairs);
+  w->Key("blocked_mismatch_pairs"); w->Int(m.blocked_mismatch_pairs);
+  w->Key("unknown_pairs"); w->Int(m.unknown_pairs);
+  w->Key("blocking_efficiency"); w->Double(m.blocking_efficiency);
+  w->Key("allowance_pairs"); w->Int(m.allowance_pairs);
+  w->Key("smc_processed"); w->Int(m.smc_processed);
+  w->Key("smc_matched"); w->Int(m.smc_matched);
+  w->Key("unprocessed_pairs"); w->Int(m.unprocessed_pairs);
+  w->Key("reported_matches"); w->Int(m.reported_matches);
+  w->Key("true_reported_matches"); w->Int(m.true_reported_matches);
+  w->Key("anon_seconds"); w->Double(m.anon_seconds);
+  w->Key("blocking_seconds"); w->Double(m.blocking_seconds);
+  w->Key("smc_seconds"); w->Double(m.smc_seconds);
+  w->Key("true_matches"); w->Int(m.true_matches);
+  w->Key("recall"); w->Double(m.recall);
+  w->Key("precision"); w->Double(m.precision);
+}
+
+std::string RunReportToJson(const RunReport& report) {
+  std::ostringstream out;
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.Key("schema");
+  w.String("hprl-run-report/1");
+  w.Key("tool");
+  w.String(report.tool);
+
+  w.Key("config");
+  w.BeginObject();
+  for (const auto& [key, value] : report.config) {
+    w.Key(key);
+    w.String(value);
+  }
+  w.EndObject();
+
+  w.Key("metrics");
+  w.BeginObject();
+  WriteLinkageMetricsFields(&w, report.metrics);
+  w.EndObject();
+
+  if (!report.baselines.empty()) {
+    w.Key("baselines");
+    w.BeginArray();
+    for (const auto& [name, metrics] : report.baselines) {
+      w.BeginObject();
+      w.Key("name");
+      w.String(name);
+      WriteLinkageMetricsFields(&w, metrics);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+
+  if (report.registry != nullptr) {
+    w.Key("counters");
+    w.BeginObject();
+    for (const auto& [name, value] : report.registry->CounterValues()) {
+      w.Key(name);
+      w.Int(value);
+    }
+    w.EndObject();
+
+    w.Key("gauges");
+    w.BeginObject();
+    for (const auto& [name, value] : report.registry->GaugeValues()) {
+      w.Key(name);
+      w.Double(value);
+    }
+    w.EndObject();
+
+    w.Key("histograms");
+    w.BeginObject();
+    for (const auto& [name, s] : report.registry->HistogramSummaries()) {
+      w.Key(name);
+      w.BeginObject();
+      w.Key("count"); w.Int(s.count);
+      w.Key("sum"); w.Double(s.sum);
+      w.Key("min"); w.Double(s.min);
+      w.Key("max"); w.Double(s.max);
+      w.Key("p50"); w.Double(s.p50);
+      w.Key("p95"); w.Double(s.p95);
+      w.Key("p99"); w.Double(s.p99);
+      w.EndObject();
+    }
+    w.EndObject();
+
+    w.Key("spans");
+    w.BeginObject();
+    for (const auto& [path, stats] : report.registry->Spans()) {
+      w.Key(path);
+      w.BeginObject();
+      w.Key("count"); w.Int(stats.count);
+      w.Key("seconds"); w.Double(stats.total_seconds);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+
+  w.EndObject();
+  out << '\n';
+  return out.str();
+}
+
+Status WriteRunReport(const RunReport& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IOError("cannot open for write: " + path);
+  out << RunReportToJson(report);
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace hprl::obs

@@ -1,0 +1,55 @@
+#ifndef HPRL_OBS_REPORT_H_
+#define HPRL_OBS_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/json.h"
+#include "obs/linkage_metrics.h"
+#include "obs/metrics.h"
+
+namespace hprl::obs {
+
+/// Everything one machine-readable run report carries. Serialized schema
+/// (see docs/OBSERVABILITY.md):
+///
+///   {
+///     "schema": "hprl-run-report/1",
+///     "tool": "...",
+///     "config": { "<key>": "<value>", ... },            // echo, verbatim
+///     "metrics": { ...LinkageMetrics fields... },
+///     "baselines": [ {"name": ..., ...metrics...}, ... ],
+///     "counters": { "<name>": <int>, ... },
+///     "gauges": { "<name>": <double>, ... },
+///     "histograms": { "<name>": {count,sum,min,max,p50,p95,p99}, ... },
+///     "spans": { "<path>": {"count": <int>, "seconds": <double>}, ... }
+///   }
+struct RunReport {
+  std::string tool;
+  /// Config echo in insertion order (serialized as one JSON object).
+  std::vector<std::pair<std::string, std::string>> config;
+  LinkageMetrics metrics;
+  /// Optional baseline rows, directly diffable against `metrics`.
+  std::vector<std::pair<std::string, LinkageMetrics>> baselines;
+  /// Not owned; nullptr leaves counters/gauges/histograms/spans empty.
+  const MetricsRegistry* registry = nullptr;
+
+  void AddConfig(const std::string& key, const std::string& value) {
+    config.emplace_back(key, value);
+  }
+};
+
+/// Serializes the LinkageMetrics fields into the currently open JSON object.
+void WriteLinkageMetricsFields(JsonWriter* w, const LinkageMetrics& m);
+
+/// Full report as a JSON document (trailing newline included).
+std::string RunReportToJson(const RunReport& report);
+
+/// Writes RunReportToJson(report) to `path`.
+Status WriteRunReport(const RunReport& report, const std::string& path);
+
+}  // namespace hprl::obs
+
+#endif  // HPRL_OBS_REPORT_H_

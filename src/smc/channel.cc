@@ -8,7 +8,16 @@ void MessageBus::Send(Message msg) {
   link.bytes += static_cast<int64_t>(msg.payload.size());
   total_messages_ += 1;
   total_bytes_ += static_cast<int64_t>(msg.payload.size());
+  if (messages_counter_ != nullptr) {
+    messages_counter_->Increment();
+    bytes_counter_->Increment(static_cast<int64_t>(msg.payload.size()));
+  }
   inboxes_[msg.to].push_back(std::move(msg));
+}
+
+void MessageBus::AttachMetrics(obs::MetricsRegistry* registry) {
+  bytes_counter_ = registry ? registry->counter("smc.bytes_sent") : nullptr;
+  messages_counter_ = registry ? registry->counter("smc.messages") : nullptr;
 }
 
 Result<Message> MessageBus::Receive(const std::string& to) {

@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "crypto/bigint.h"
+#include "obs/metrics.h"
 
 namespace hprl::smc {
 
@@ -51,11 +52,17 @@ class MessageBus {
 
   void ResetStats();
 
+  /// Streams smc.bytes_sent / smc.messages into `registry` on every Send
+  /// (nullptr detaches). The per-link LinkStats accounting is unaffected.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   std::map<std::string, std::deque<Message>> inboxes_;
   std::map<std::pair<std::string, std::string>, LinkStats> links_;
   int64_t total_bytes_ = 0;
   int64_t total_messages_ = 0;
+  obs::Counter* bytes_counter_ = nullptr;     // not owned
+  obs::Counter* messages_counter_ = nullptr;  // not owned
 };
 
 /// Serialization helpers: BigInts travel as 4-byte big-endian length followed

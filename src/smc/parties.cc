@@ -28,6 +28,11 @@ Status QueryingParty::PublishKey(MessageBus* bus, SmcCosts* costs) {
   return Status::OK();
 }
 
+void QueryingParty::AttachMetrics(obs::MetricsRegistry* registry) {
+  pub_.AttachMetrics(registry);
+  priv_.AttachMetrics(registry);
+}
+
 Result<bool> QueryingParty::DecideAttr(MessageBus* bus,
                                        const BigInt& threshold,
                                        SmcCosts* costs) {
@@ -77,6 +82,10 @@ Status DataHolder::ReceiveKey(MessageBus* bus) {
   pub_ = crypto::PaillierPublicKey(std::move(n).value());
   have_key_ = true;
   return Status::OK();
+}
+
+void DataHolder::AttachMetrics(obs::MetricsRegistry* registry) {
+  pub_.AttachMetrics(registry);
 }
 
 Status DataHolder::SendAttr(MessageBus* bus, const std::string& peer,

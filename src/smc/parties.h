@@ -50,6 +50,11 @@ class QueryingParty {
   /// Broadcasts the final pair label to both holders (who consume it).
   Status AnnounceResult(MessageBus* bus, bool match);
 
+  /// Attaches the party's Paillier keys to `registry` (paillier.* op
+  /// counters). Call after PublishKey — key generation replaces the key
+  /// objects and with them the attachment.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   ProtocolParams params_;
   std::unique_ptr<crypto::SecureRandom> rng_;
@@ -84,6 +89,10 @@ class DataHolder {
 
   /// Consumes the querying party's result announcement.
   Result<bool> ReceiveResult(MessageBus* bus);
+
+  /// Attaches the holder's public-key copy to `registry` (paillier.* op
+  /// counters). Call after ReceiveKey — receiving replaces the key object.
+  void AttachMetrics(obs::MetricsRegistry* registry);
 
  private:
   std::string name_;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/timer.h"
+
 namespace hprl::smc {
 
 using crypto::BigInt;
@@ -40,7 +42,16 @@ Status SecureRecordComparator::Init() {
   HPRL_RETURN_IF_ERROR(alice_.ReceiveKey(&bus_));
   HPRL_RETURN_IF_ERROR(bob_.ReceiveKey(&bus_));
   initialized_ = true;
+  if (metrics_ != nullptr) AttachMetrics(metrics_);  // re-attach fresh keys
   return Status::OK();
+}
+
+void SecureRecordComparator::AttachMetrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  bus_.AttachMetrics(registry);
+  qp_.AttachMetrics(registry);
+  alice_.AttachMetrics(registry);
+  bob_.AttachMetrics(registry);
 }
 
 Result<BigInt> SecureRecordComparator::EncodeAttr(const Value& v,
@@ -81,6 +92,8 @@ Result<bool> SecureRecordComparator::CompareRows(int64_t a_id, int64_t b_id,
   }
   const bool cache = config_.cache_ciphertexts && a_id >= 0 && b_id >= 0;
   costs_.invocations += 1;
+  WallTimer compare_timer;
+  int64_t rounds = 0;
   bool match = true;
   for (size_t attr_pos = 0; attr_pos < rule_.attrs.size(); ++attr_pos) {
     const AttrRule& rule = rule_.attrs[attr_pos];
@@ -96,6 +109,7 @@ Result<bool> SecureRecordComparator::CompareRows(int64_t a_id, int64_t b_id,
     int64_t a_key = cache ? (a_id << 8) | static_cast<int64_t>(attr_pos) : -1;
     int64_t b_key = cache ? (b_id << 8) | static_cast<int64_t>(attr_pos) : -1;
     costs_.attr_comparisons += 1;
+    rounds += 1;  // one alice -> bob -> qp round trip per attribute
     HPRL_RETURN_IF_ERROR(alice_.SendAttr(&bus_, bob_.name(), *x, a_key,
                                          &costs_));
     HPRL_RETURN_IF_ERROR(
@@ -111,6 +125,13 @@ Result<bool> SecureRecordComparator::CompareRows(int64_t a_id, int64_t b_id,
   HPRL_RETURN_IF_ERROR(qp_.AnnounceResult(&bus_, match));
   HPRL_RETURN_IF_ERROR(alice_.ReceiveResult(&bus_).status());
   HPRL_RETURN_IF_ERROR(bob_.ReceiveResult(&bus_).status());
+  rounds += 1;  // result announcement
+  if (metrics_ != nullptr) {
+    obs::Add(metrics_, "smc.rounds", rounds);
+    obs::Add(metrics_, "smc.attr_comparisons", rounds - 1);
+    obs::Observe(metrics_, "smc.compare_seconds",
+                 compare_timer.ElapsedSeconds());
+  }
   return match;
 }
 

@@ -92,6 +92,14 @@ class SecureRecordComparator {
     return qp_.public_key();
   }
 
+  /// Streams protocol observability into `registry` (nullptr detaches):
+  /// smc.bytes_sent / smc.messages from the bus, paillier.* op counters
+  /// from every party's keys, smc.rounds and the smc.compare_seconds
+  /// latency histogram from the comparator itself. Call after Init() (key
+  /// setup replaces the key objects). The SmcCosts accountant is always on
+  /// and unaffected.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   /// Scaled integer encoding of attribute `rule` for value `v`.
   Result<crypto::BigInt> EncodeAttr(const Value& v, const AttrRule& rule) const;
@@ -104,6 +112,7 @@ class SecureRecordComparator {
   MessageBus bus_;
   SmcCosts costs_;
   bool initialized_ = false;
+  obs::MetricsRegistry* metrics_ = nullptr;  // not owned; may be null
 
   // The three §V-A roles; each owns only its own secrets (see smc/parties.h).
   QueryingParty qp_;

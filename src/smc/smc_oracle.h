@@ -28,6 +28,12 @@ class SmcMatchOracle : public MatchOracle {
     return comparator_.costs().invocations;
   }
 
+  /// Wires the registry through the whole protocol stack: message bus,
+  /// party key objects (paillier.* counters) and per-compare latencies.
+  void AttachMetrics(obs::MetricsRegistry* registry) override {
+    comparator_.AttachMetrics(registry);
+  }
+
   const SmcCosts& costs() const { return comparator_.costs(); }
   const MessageBus& bus() const { return comparator_.bus(); }
 

@@ -11,6 +11,8 @@
 #include "common/string_util.h"
 #include "data/partition.h"
 #include "hierarchy/vgh_parser.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace hprl::cli {
 namespace {
@@ -147,8 +149,8 @@ TEST_F(RunnerTest, EndToEndFromFiles) {
   auto report = RunLinkageFromFiles(*spec, (dir_ / "r.csv").string(),
                                     (dir_ / "s.csv").string(), options);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
-  EXPECT_EQ(report->rows_r, 300);
-  EXPECT_EQ(report->rows_s, 300);
+  EXPECT_EQ(report->result.rows_r, 300);
+  EXPECT_EQ(report->result.rows_s, 300);
   EXPECT_EQ(report->oracle, "plaintext");
   // allowance 1.0 => everything labeled => perfect recall.
   EXPECT_DOUBLE_EQ(report->result.recall, 1.0);
@@ -183,6 +185,94 @@ TEST_F(RunnerTest, RealPaillierOracleThroughTheCli) {
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(report->oracle, "paillier-256");
   EXPECT_LE(report->result.smc_processed, report->result.allowance_pairs);
+}
+
+TEST_F(RunnerTest, ThreadsOverrideMatchesSequentialRun) {
+  auto spec = LoadLinkageSpec((dir_ / "linkage.spec").string());
+  ASSERT_TRUE(spec.ok());
+
+  RunnerOptions sequential;
+  auto base = RunLinkageFromFiles(*spec, (dir_ / "r.csv").string(),
+                                  (dir_ / "s.csv").string(), sequential);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+  RunnerOptions threaded;
+  threaded.threads_override = 4;
+  auto out = RunLinkageFromFiles(*spec, (dir_ / "r.csv").string(),
+                                 (dir_ / "s.csv").string(), threaded);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  // The blocking decision rule is deterministic: worker count must not
+  // change a single M/N/U tally nor anything downstream of them.
+  EXPECT_EQ(out->result.blocked_match_pairs, base->result.blocked_match_pairs);
+  EXPECT_EQ(out->result.blocked_mismatch_pairs,
+            base->result.blocked_mismatch_pairs);
+  EXPECT_EQ(out->result.unknown_pairs, base->result.unknown_pairs);
+  EXPECT_EQ(out->result.reported_matches, base->result.reported_matches);
+  EXPECT_EQ(out->result.smc_processed, base->result.smc_processed);
+}
+
+TEST_F(RunnerTest, MetricsOutWritesParsableRunReport) {
+  auto spec = LoadLinkageSpec((dir_ / "linkage.spec").string());
+  ASSERT_TRUE(spec.ok());
+
+  RunnerOptions options;
+  options.evaluate = true;
+  options.metrics_out = (dir_ / "run.json").string();
+  auto report = RunLinkageFromFiles(*spec, (dir_ / "r.csv").string(),
+                                    (dir_ / "s.csv").string(), options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  std::ifstream in(options.metrics_out);
+  ASSERT_TRUE(in.is_open());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto json = obs::ParseJson(text);
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+
+  EXPECT_EQ(json->Find("schema")->AsString(), "hprl-run-report/1");
+  EXPECT_EQ(json->Find("tool")->AsString(), "hprl_link");
+
+  const obs::JsonValue* metrics = json->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->Find("rows_r")->AsInt(), report->result.rows_r);
+  EXPECT_EQ(metrics->Find("unknown_pairs")->AsInt(),
+            report->result.unknown_pairs);
+  EXPECT_EQ(metrics->Find("reported_matches")->AsInt(),
+            report->result.reported_matches);
+
+  // The registry dump carries the pipeline counters and the stage spans.
+  const obs::JsonValue* counters = json->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Find("blocking.pairs_total")->AsInt(),
+            report->result.total_pairs);
+  EXPECT_EQ(counters->Find("smc.invocations")->AsInt(),
+            report->result.smc_processed);
+  EXPECT_GT(counters->Find("anon.groups")->AsInt(), 0);
+
+  const obs::JsonValue* spans = json->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  for (const char* path : {"linkage/anonymize", "linkage", "linkage/block",
+                           "linkage/select", "linkage/smc",
+                           "linkage/evaluate"}) {
+    ASSERT_NE(spans->Find(path), nullptr) << path;
+    EXPECT_GE(spans->Find(path)->Find("seconds")->AsDouble(), 0.0) << path;
+  }
+}
+
+TEST_F(RunnerTest, ExternalRegistrySeesPipelineCounters) {
+  auto spec = LoadLinkageSpec((dir_ / "linkage.spec").string());
+  ASSERT_TRUE(spec.ok());
+  obs::MetricsRegistry registry;
+  RunnerOptions options;
+  options.metrics = &registry;
+  auto report = RunLinkageFromFiles(*spec, (dir_ / "r.csv").string(),
+                                    (dir_ / "s.csv").string(), options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  auto counters = registry.CounterValues();
+  EXPECT_EQ(counters["blocking.pairs_total"], report->result.total_pairs);
+  EXPECT_EQ(counters["linkage.reported_matches"],
+            report->result.reported_matches);
 }
 
 TEST_F(RunnerTest, MissingColumnIsReported) {

@@ -173,7 +173,7 @@ TEST(BaselinesTest, PureSmcIsExactButExpensive) {
   ASSERT_TRUE(rule.ok());
   auto base = PureSmcBaseline(data.split.d1, data.split.d2, *rule);
   ASSERT_TRUE(base.ok());
-  EXPECT_EQ(base->smc_invocations,
+  EXPECT_EQ(base->smc_processed,
             data.split.d1.num_rows() * data.split.d2.num_rows());
   EXPECT_DOUBLE_EQ(base->recall, 1.0);
   EXPECT_DOUBLE_EQ(base->precision, 1.0);
@@ -198,7 +198,7 @@ TEST(BaselinesTest, SanitizationTradesAccuracyForZeroCost) {
   auto pess = SanitizationOnlyBaseline(data.split.d1, data.split.d2, *anon_r,
                                        *anon_s, *rule, /*optimistic=*/false);
   ASSERT_TRUE(pess.ok());
-  EXPECT_EQ(pess->smc_invocations, 0);
+  EXPECT_EQ(pess->smc_processed, 0);
   EXPECT_DOUBLE_EQ(pess->precision, 1.0);
   EXPECT_LT(pess->recall, 1.0);  // 8-unit age leaves can never prove a match
 

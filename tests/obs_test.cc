@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace hprl::obs {
+namespace {
+
+// ---------------------------------------------------------------- registry
+
+TEST(MetricsRegistryTest, CounterHandlesAreStableAndSharedByName) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("x");
+  Counter* b = registry.counter("x");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  b->Increment(4);
+  EXPECT_EQ(registry.CounterValues().at("x"), 5);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsLoseNothing) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int64_t kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      // Half the threads resolve the name every time, half cache the
+      // handle — both patterns must be safe concurrently.
+      Counter* cached = registry.counter("hits");
+      for (int64_t i = 0; i < kPerThread; ++i) {
+        if (i % 2 == 0) {
+          cached->Increment();
+        } else {
+          registry.counter("hits")->Increment();
+        }
+        registry.gauge("last")->Set(static_cast<double>(i));
+        registry.histogram("lat")->Observe(1.0);
+        registry.RecordSpan("stage", 0.001);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(registry.CounterValues().at("hits"), kThreads * kPerThread);
+  EXPECT_EQ(registry.HistogramSummaries().at("lat").count,
+            kThreads * kPerThread);
+  EXPECT_EQ(registry.Spans().at("stage").count, kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, HistogramPercentilesAreOrderStatistics) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("lat");
+  for (int i = 100; i >= 1; --i) h->Observe(static_cast<double>(i));
+  Histogram::Summary s = h->Summarize();
+  EXPECT_EQ(s.count, 100);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 100);
+  EXPECT_DOUBLE_EQ(s.sum, 5050);
+  EXPECT_DOUBLE_EQ(s.p50, 50);  // nearest-rank: ceil(0.5 * 100) = 50th
+  EXPECT_DOUBLE_EQ(s.p95, 95);
+  EXPECT_DOUBLE_EQ(s.p99, 99);
+}
+
+TEST(MetricsRegistryTest, EmptyHistogramSummarizesToZeros) {
+  MetricsRegistry registry;
+  Histogram::Summary s = registry.histogram("lat")->Summarize();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.p99, 0);
+}
+
+TEST(NullSinkTest, HelpersIgnoreNullRegistry) {
+  Add(nullptr, "x", 3);
+  SetGauge(nullptr, "g", 1.0);
+  Observe(nullptr, "h", 1.0);
+  ScopedSpan span(nullptr, "stage");
+  EXPECT_EQ(span.path(), "");
+  EXPECT_GE(span.Stop(), 0.0);
+}
+
+TEST(ScopedSpanTest, NestingBuildsSlashPathsAndStopIsIdempotent) {
+  MetricsRegistry registry;
+  {
+    ScopedSpan run(&registry, "linkage");
+    EXPECT_EQ(run.path(), "linkage");
+    {
+      ScopedSpan block(&registry, "block", &run);
+      EXPECT_EQ(block.path(), "linkage/block");
+      block.Stop();
+      block.Stop();  // second stop must not double-record
+    }
+    ScopedSpan smc(&registry, "smc", &run);
+  }
+  auto spans = registry.Spans();
+  EXPECT_EQ(spans.at("linkage").count, 1);
+  EXPECT_EQ(spans.at("linkage/block").count, 1);
+  EXPECT_EQ(spans.at("linkage/smc").count, 1);
+  EXPECT_GE(spans.at("linkage").total_seconds,
+            spans.at("linkage/block").total_seconds);
+}
+
+// ---------------------------------------------------------------- json
+
+TEST(JsonTest, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(EscapeJson("plain"), "plain");
+  EXPECT_EQ(EscapeJson("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(EscapeJson("\n\t"), "\\n\\t");
+  EXPECT_EQ(EscapeJson(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonTest, WriterProducesParsableDocument) {
+  std::ostringstream out;
+  JsonWriter w(&out);
+  w.BeginObject();
+  w.Key("name");
+  w.String("hprl \"quoted\"");
+  w.Key("count");
+  w.Int(42);
+  w.Key("ratio");
+  w.Double(0.1);
+  w.Key("flag");
+  w.Bool(true);
+  w.Key("none");
+  w.Null();
+  w.Key("items");
+  w.BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.EndArray();
+  w.EndObject();
+
+  auto v = ParseJson(out.str());
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->Find("name")->AsString(), "hprl \"quoted\"");
+  EXPECT_EQ(v->Find("count")->AsInt(), 42);
+  EXPECT_DOUBLE_EQ(v->Find("ratio")->AsDouble(), 0.1);
+  EXPECT_TRUE(v->Find("flag")->AsBool());
+  EXPECT_TRUE(v->Find("none")->is_null());
+  ASSERT_EQ(v->Find("items")->AsArray().size(), 2u);
+  EXPECT_EQ(v->Find("items")->AsArray()[1].AsInt(), 2);
+}
+
+TEST(JsonTest, DoublesRoundTripShortest) {
+  for (double d : {0.1, 1.0 / 3.0, 12345.6789, -2.5e-8, 1e300}) {
+    std::ostringstream out;
+    JsonWriter w(&out);
+    w.BeginArray();
+    w.Double(d);
+    w.EndArray();
+    auto v = ParseJson(out.str());
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->AsArray()[0].AsDouble(), d);
+  }
+}
+
+TEST(JsonTest, NonFiniteDoublesBecomeNull) {
+  std::ostringstream out;
+  JsonWriter w(&out);
+  w.BeginArray();
+  w.Double(std::nan(""));
+  w.EndArray();
+  auto v = ParseJson(out.str());
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->AsArray()[0].is_null());
+}
+
+TEST(JsonTest, ParserHandlesEscapesAndRejectsGarbage) {
+  auto v = ParseJson(R"({"s": "aA\n\"b\""})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->Find("s")->AsString(), "aA\n\"b\"");
+
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+}
+
+// ---------------------------------------------------------------- report
+
+TEST(RunReportTest, SerializesMetricsAndRegistryDump) {
+  MetricsRegistry registry;
+  registry.counter("smc.invocations")->Increment(7);
+  registry.gauge("blocking.efficiency")->Set(0.75);
+  registry.histogram("smc.compare_seconds")->Observe(0.25);
+  registry.RecordSpan("linkage", 1.5);
+  registry.RecordSpan("linkage/block", 0.5);
+
+  RunReport report;
+  report.tool = "obs_test";
+  report.AddConfig("k", "32");
+  report.metrics.rows_r = 300;
+  report.metrics.total_pairs = 90000;
+  report.metrics.blocking_efficiency = 0.75;
+  report.metrics.reported_matches = 42;
+  report.baselines.emplace_back("pure-smc", LinkageMetrics{});
+  report.registry = &registry;
+
+  std::string json = RunReportToJson(report);
+  auto v = ParseJson(json);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->Find("schema")->AsString(), "hprl-run-report/1");
+  EXPECT_EQ(v->Find("tool")->AsString(), "obs_test");
+  EXPECT_EQ(v->Find("config")->Find("k")->AsString(), "32");
+  EXPECT_EQ(v->Find("metrics")->Find("rows_r")->AsInt(), 300);
+  EXPECT_EQ(v->Find("metrics")->Find("reported_matches")->AsInt(), 42);
+  EXPECT_EQ(v->Find("baselines")->AsArray()[0].Find("name")->AsString(),
+            "pure-smc");
+  EXPECT_EQ(v->Find("counters")->Find("smc.invocations")->AsInt(), 7);
+  EXPECT_DOUBLE_EQ(
+      v->Find("gauges")->Find("blocking.efficiency")->AsDouble(), 0.75);
+  EXPECT_EQ(
+      v->Find("histograms")->Find("smc.compare_seconds")->Find("count")->AsInt(),
+      1);
+  EXPECT_DOUBLE_EQ(
+      v->Find("spans")->Find("linkage/block")->Find("seconds")->AsDouble(),
+      0.5);
+}
+
+TEST(RunReportTest, GoldenShapeWithoutRegistry) {
+  RunReport report;
+  report.tool = "t";
+  std::string json = RunReportToJson(report);
+  // No registry attached: the dump sections must be absent entirely, not
+  // emitted empty.
+  EXPECT_EQ(json.find("counters"), std::string::npos);
+  EXPECT_EQ(json.find("spans"), std::string::npos);
+  auto v = ParseJson(json);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("metrics")->Find("precision")->AsDouble(), 1.0);
+  EXPECT_EQ(v->Find("metrics")->Find("true_matches")->AsInt(), -1);
+}
+
+}  // namespace
+}  // namespace hprl::obs

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/session.h"
+#include "linkage/oracle.h"
+#include "obs/metrics.h"
+
+namespace hprl {
+namespace {
+
+/// Shared small scenario: synthesized Adult data, MaxEntropy releases and
+/// the uniform 5-QID rule, built once for the whole suite.
+class SessionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto d = PrepareAdultData(600, 17);
+    ASSERT_TRUE(d.ok());
+    data_ = new ExperimentData(std::move(d).value());
+
+    auto anon_cfg = MakeAdultAnonConfig(*data_, 5, 8);
+    ASSERT_TRUE(anon_cfg.ok());
+    auto anonymizer = MakeMaxEntropyAnonymizer(*anon_cfg);
+    auto anon_r = anonymizer->Anonymize(data_->split.d1);
+    auto anon_s = anonymizer->Anonymize(data_->split.d2);
+    ASSERT_TRUE(anon_r.ok() && anon_s.ok());
+    anon_r_ = new AnonymizedTable(std::move(anon_r).value());
+    anon_s_ = new AnonymizedTable(std::move(anon_s).value());
+
+    std::vector<VghPtr> vghs;
+    for (const auto& n : adult::AdultQidNames()) {
+      vghs.push_back(data_->hierarchies.ByName(n));
+    }
+    auto rule = MakeUniformRule(data_->schema, adult::AdultQidNames(), vghs,
+                                5, 0.05);
+    ASSERT_TRUE(rule.ok());
+    rule_ = new MatchRule(std::move(rule).value());
+  }
+
+  static HybridConfig DefaultConfig() {
+    HybridConfig hc;
+    hc.rule = *rule_;
+    hc.smc_allowance_fraction = 0.02;
+    hc.collect_matches = true;
+    return hc;
+  }
+
+  static const ExperimentData* data_;
+  static const AnonymizedTable* anon_r_;
+  static const AnonymizedTable* anon_s_;
+  static const MatchRule* rule_;
+};
+
+const ExperimentData* SessionTest::data_ = nullptr;
+const AnonymizedTable* SessionTest::anon_r_ = nullptr;
+const AnonymizedTable* SessionTest::anon_s_ = nullptr;
+const MatchRule* SessionTest::rule_ = nullptr;
+
+TEST_F(SessionTest, MatchesLegacyFreeFunctionExactly) {
+  HybridConfig hc = DefaultConfig();
+
+  CountingPlaintextOracle legacy_oracle(*rule_);
+  auto legacy = RunHybridLinkage(data_->split.d1, data_->split.d2, *anon_r_,
+                                 *anon_s_, hc, legacy_oracle);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+
+  obs::MetricsRegistry registry;
+  CountingPlaintextOracle oracle(*rule_);
+  auto session = LinkageSession()
+                     .WithTables(data_->split.d1, data_->split.d2)
+                     .WithReleases(*anon_r_, *anon_s_)
+                     .WithConfig(hc)
+                     .WithOracle(oracle)
+                     .WithMetrics(&registry)
+                     .Run();
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  // Attaching a registry must not perturb a single number.
+  EXPECT_EQ(session->rows_r, legacy->rows_r);
+  EXPECT_EQ(session->total_pairs, legacy->total_pairs);
+  EXPECT_EQ(session->blocked_match_pairs, legacy->blocked_match_pairs);
+  EXPECT_EQ(session->blocked_mismatch_pairs, legacy->blocked_mismatch_pairs);
+  EXPECT_EQ(session->unknown_pairs, legacy->unknown_pairs);
+  EXPECT_EQ(session->allowance_pairs, legacy->allowance_pairs);
+  EXPECT_EQ(session->smc_processed, legacy->smc_processed);
+  EXPECT_EQ(session->smc_matched, legacy->smc_matched);
+  EXPECT_EQ(session->reported_matches, legacy->reported_matches);
+  EXPECT_EQ(session->matched_row_pairs, legacy->matched_row_pairs);
+}
+
+TEST_F(SessionTest, PopulatesRegistryCountersAndSpans) {
+  HybridConfig hc = DefaultConfig();
+  obs::MetricsRegistry registry;
+  CountingPlaintextOracle oracle(*rule_);
+  auto out = LinkageSession()
+                 .WithTables(data_->split.d1, data_->split.d2)
+                 .WithReleases(*anon_r_, *anon_s_)
+                 .WithConfig(hc)
+                 .WithOracle(oracle)
+                 .WithMetrics(&registry)
+                 .WithEvaluation(true)
+                 .Run();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  auto counters = registry.CounterValues();
+  EXPECT_EQ(counters.at("blocking.pairs_total"), out->total_pairs);
+  EXPECT_EQ(counters.at("blocking.pairs_m"), out->blocked_match_pairs);
+  EXPECT_EQ(counters.at("blocking.pairs_n"), out->blocked_mismatch_pairs);
+  EXPECT_EQ(counters.at("blocking.pairs_u"), out->unknown_pairs);
+  EXPECT_EQ(counters.at("smc.allowance_pairs"), out->allowance_pairs);
+  EXPECT_EQ(counters.at("smc.invocations"), out->smc_processed);
+  EXPECT_EQ(counters.at("smc.matched"), out->smc_matched);
+  EXPECT_EQ(counters.at("linkage.reported_matches"), out->reported_matches);
+  EXPECT_GT(counters.at("select.candidate_sequence_pairs"), 0);
+
+  EXPECT_DOUBLE_EQ(registry.GaugeValues().at("blocking.efficiency"),
+                   out->blocking_efficiency);
+
+  auto spans = registry.Spans();
+  for (const char* path :
+       {"linkage", "linkage/block", "linkage/select", "linkage/smc",
+        "linkage/evaluate"}) {
+    ASSERT_TRUE(spans.count(path)) << path;
+    EXPECT_EQ(spans.at(path).count, 1) << path;
+  }
+  // The stage spans partition the run span.
+  EXPECT_GE(spans.at("linkage").total_seconds,
+            spans.at("linkage/block").total_seconds +
+                spans.at("linkage/select").total_seconds +
+                spans.at("linkage/smc").total_seconds);
+
+  // The expected-distance histogram saw every candidate sequence pair.
+  EXPECT_EQ(registry.HistogramSummaries().at("select.expected_distance").count,
+            counters.at("select.candidate_sequence_pairs"));
+}
+
+TEST_F(SessionTest, MissingIngredientsAreInvalidArgument) {
+  HybridConfig hc = DefaultConfig();
+  CountingPlaintextOracle oracle(*rule_);
+
+  EXPECT_EQ(LinkageSession().Run().status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(LinkageSession()
+                .WithTables(data_->split.d1, data_->split.d2)
+                .Run()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(LinkageSession()
+                .WithTables(data_->split.d1, data_->split.d2)
+                .WithReleases(*anon_r_, *anon_s_)
+                .Run()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(LinkageSession()
+                .WithTables(data_->split.d1, data_->split.d2)
+                .WithReleases(*anon_r_, *anon_s_)
+                .WithConfig(hc)
+                .Run()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SessionTest, LegacyWrapperStillWorksWithoutMetrics) {
+  HybridConfig hc = DefaultConfig();
+  hc.smc_allowance_fraction = 0.0;
+  CountingPlaintextOracle oracle(*rule_);
+  auto out = RunHybridLinkage(data_->split.d1, data_->split.d2, *anon_r_,
+                              *anon_s_, hc, oracle);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->smc_processed, 0);
+  EXPECT_EQ(out->reported_matches, out->blocked_match_pairs);
+}
+
+}  // namespace
+}  // namespace hprl

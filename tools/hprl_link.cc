@@ -2,7 +2,8 @@
 //
 //   hprl_link --spec linkage.spec --r holder_a.csv --s holder_b.csv
 //             [--links links.csv] [--release-r ra.txt] [--release-s rb.txt]
-//             [--with-rows] [--evaluate]
+//             [--with-rows] [--evaluate] [--metrics_out run.json]
+//             [--threads N]
 //
 // The spec file declares attributes, hierarchies, thresholds and protocol
 // parameters (see src/cli/spec.h for the format). With `keybits > 0` in the
@@ -27,6 +28,10 @@ int main(int argc, char** argv) {
       flags.AddBool("with-rows", false, "keep row ids in written releases");
   bool* evaluate = flags.AddBool(
       "evaluate", false, "compute ground-truth recall (reads cleartext)");
+  std::string* metrics_out = flags.AddString(
+      "metrics_out", "", "write a JSON run report (spans, counters) here");
+  int64_t* threads = flags.AddInt(
+      "threads", 0, "blocking worker threads (0 = use the spec's setting)");
 
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kNotFound) return 0;  // --help
@@ -52,6 +57,8 @@ int main(int argc, char** argv) {
   options.release_s_out = *rel_s;
   options.publish_releases = !*with_rows;
   options.evaluate = *evaluate;
+  options.metrics_out = *metrics_out;
+  options.threads_override = static_cast<int>(*threads);
 
   auto report = cli::RunLinkageFromFiles(*spec, *csv_r, *csv_s, options);
   if (!report.ok()) {
