@@ -1,0 +1,142 @@
+// Blocking-sweep microbench: the seed implementation's direct SlackDecide
+// double loop vs the memoized SlackTable sweep inside RunBlocking (threads 1
+// and N). Verifies that all variants produce identical M/N/U tallies before
+// printing, so a speedup can never come from a wrong answer.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/blocking.h"
+
+using namespace hprl;
+
+namespace {
+
+struct Tallies {
+  int64_t m = 0, n = 0, u = 0;
+  bool operator==(const Tallies& o) const {
+    return m == o.m && n == o.n && u == o.u;
+  }
+};
+
+// The pre-memoization sweep: fresh slack arithmetic for every group pair.
+Tallies DirectSweep(const AnonymizedTable& anon_r, const AnonymizedTable& anon_s,
+                    const MatchRule& rule) {
+  Tallies t;
+  for (const auto& gr : anon_r.groups) {
+    for (const auto& gs : anon_s.groups) {
+      int64_t pairs = gr.size() * gs.size();
+      switch (SlackDecide(gr.seq, gs.seq, rule)) {
+        case PairLabel::kMatch:
+          t.m += pairs;
+          break;
+        case PairLabel::kMismatch:
+          t.n += pairs;
+          break;
+        case PairLabel::kUnknown:
+          t.u += pairs;
+          break;
+      }
+    }
+  }
+  return t;
+}
+
+Tallies FromResult(const BlockingResult& r) {
+  return {r.matched_pairs, r.mismatched_pairs, r.unknown_pairs};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::CommonFlags common;
+  int64_t* k = common.flags.AddInt("k", 8, "anonymity requirement");
+  int64_t* threads =
+      common.flags.AddInt("threads", 4, "workers for the parallel sweep");
+  int64_t* sweeps =
+      common.flags.AddInt("sweeps", 3, "timed repetitions per variant");
+  common.ParseOrDie(argc, argv);
+  ExperimentData data = common.PrepareOrDie();
+
+  auto anon_cfg = MakeAdultAnonConfig(data, 5, *k);
+  if (!anon_cfg.ok()) bench::Die(anon_cfg.status());
+  auto anonymizer = MakeMaxEntropyAnonymizer(*anon_cfg);
+  auto anon_r = anonymizer->Anonymize(data.split.d1);
+  auto anon_s = anonymizer->Anonymize(data.split.d2);
+  if (!anon_r.ok() || !anon_s.ok()) bench::Die(anon_r.status());
+
+  std::vector<VghPtr> vghs;
+  for (const auto& n : adult::AdultQidNames()) {
+    vghs.push_back(data.hierarchies.ByName(n));
+  }
+  auto rule =
+      MakeUniformRule(data.schema, adult::AdultQidNames(), vghs, 5, 0.05);
+  if (!rule.ok()) bench::Die(rule.status());
+
+  std::printf("# blocking sweep: %lld x %lld groups (k=%lld)\n",
+              static_cast<long long>(anon_r->NumSequences()),
+              static_cast<long long>(anon_s->NumSequences()),
+              static_cast<long long>(*k));
+
+  auto best_of = [&](auto&& fn) {
+    double best = 0;
+    for (int64_t i = 0; i < *sweeps; ++i) {
+      WallTimer t;
+      fn();
+      double s = t.ElapsedSeconds();
+      if (i == 0 || s < best) best = s;
+    }
+    return best;
+  };
+
+  Tallies direct_tallies;
+  double direct_seconds = best_of(
+      [&] { direct_tallies = DirectSweep(*anon_r, *anon_s, *rule); });
+  std::printf("%-44s %10.4f s\n", "direct SlackDecide sweep (seed)",
+              direct_seconds);
+
+  Tallies memo_tallies;
+  double memo_seconds = best_of([&] {
+    auto res = RunBlocking(*anon_r, *anon_s, *rule, 1);
+    if (!res.ok()) bench::Die(res.status());
+    memo_tallies = FromResult(*res);
+  });
+  std::printf("%-44s %10.4f s   (%.2fx)\n", "memoized sweep, 1 thread",
+              memo_seconds, direct_seconds / memo_seconds);
+
+  Tallies par_tallies;
+  double par_seconds = best_of([&] {
+    auto res =
+        RunBlocking(*anon_r, *anon_s, *rule, static_cast<int>(*threads));
+    if (!res.ok()) bench::Die(res.status());
+    par_tallies = FromResult(*res);
+  });
+  std::printf("memoized sweep, %lld threads %*s %10.4f s   (%.2fx)\n",
+              static_cast<long long>(*threads), 16, "", par_seconds,
+              direct_seconds / par_seconds);
+
+  if (!(direct_tallies == memo_tallies) || !(direct_tallies == par_tallies)) {
+    bench::Die(Status::Internal("blocking variants disagree on M/N/U"));
+  }
+  std::printf("tallies agree: M=%lld N=%lld U=%lld\n",
+              static_cast<long long>(direct_tallies.m),
+              static_cast<long long>(direct_tallies.n),
+              static_cast<long long>(direct_tallies.u));
+
+  bench::MetricsSeries series("micro_blocking");
+  LinkageMetrics m;
+  m.rows_r = data.split.d1.num_rows();
+  m.rows_s = data.split.d2.num_rows();
+  m.sequences_r = anon_r->NumSequences();
+  m.sequences_s = anon_s->NumSequences();
+  m.blocking_seconds = direct_seconds;
+  series.Add("direct_slack_decide", m);
+  m.blocking_seconds = memo_seconds;
+  series.Add("memoized_1_thread", m);
+  m.blocking_seconds = par_seconds;
+  series.Add("memoized_" + std::to_string(*threads) + "_threads", m);
+  series.WriteIfRequested(*common.metrics_out);
+  return 0;
+}

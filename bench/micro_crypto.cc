@@ -57,6 +57,59 @@ void BM_PaillierDecrypt(benchmark::State& state) {
 }
 BENCHMARK(BM_PaillierDecrypt)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
 
+// The CRT fast path vs the reference lambda/mu path on the same key and
+// ciphertext — the before/after pair behind docs/PERFORMANCE.md.
+void BM_PaillierDecryptCrt(benchmark::State& state) {
+  KeyFixture& f = Fixture(static_cast<int>(state.range(0)));
+  if (!f.kp.priv.has_crt()) std::abort();
+  auto c = f.kp.pub.Encrypt(BigInt(987654321), f.rng);
+  if (!c.ok()) std::abort();
+  for (auto _ : state) {
+    auto m = f.kp.priv.Decrypt(*c);  // dispatches to the CRT path
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_PaillierDecryptCrt)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PaillierDecryptReference(benchmark::State& state) {
+  KeyFixture& f = Fixture(static_cast<int>(state.range(0)));
+  auto c = f.kp.pub.Encrypt(BigInt(987654321), f.rng);
+  if (!c.ok()) std::abort();
+  for (auto _ : state) {
+    auto m = f.kp.priv.DecryptReference(*c);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_PaillierDecryptReference)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+// Encryption with the r^n mod n² factor served by a prefilled randomizer
+// pool: the latency left on the critical path once precomputation is moved
+// to idle time. The per-iteration Prefill runs outside the timed region.
+void BM_PaillierEncryptPooled(benchmark::State& state) {
+  KeyFixture& f = Fixture(static_cast<int>(state.range(0)));
+  PaillierPublicKey pub = f.kp.pub;  // local copy: attachment stays local
+  RandomizerPool pool(pub, /*target_depth=*/1, /*test_seed=*/42);
+  pub.AttachRandomizerPool(&pool);
+  BigInt m(123456789);
+  for (auto _ : state) {
+    state.PauseTiming();
+    pool.Prefill(1);
+    state.ResumeTiming();
+    auto c = pub.Encrypt(m, f.rng);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_PaillierEncryptPooled)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PaillierHomomorphicAdd(benchmark::State& state) {
   KeyFixture& f = Fixture(1024);
   auto c1 = f.kp.pub.Encrypt(BigInt(111), f.rng);

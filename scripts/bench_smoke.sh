@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Hot-path benchmark smoke run. Builds the release tree, runs the three
+# hot-path benches at smoke sizes and writes the before/after ratios to
+# BENCH_hotpath.json at the repo root:
+#   - Paillier decryption: CRT fast path vs reference lambda/mu path
+#   - SMC stage: batched engine (threads + CRT + randomizer pool) vs the
+#     serial reference engine, on the timing-table workload
+#   - blocking: memoized SlackTable sweep vs the seed's direct sweep
+#
+#   scripts/bench_smoke.sh [build-dir]   # default build dir: build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j --target micro_crypto micro_blocking timing_table
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== micro_crypto: Paillier decrypt, CRT vs reference (1024 bit) =="
+"./$BUILD/bench/micro_crypto" \
+  --benchmark_filter='BM_PaillierDecrypt(Crt|Reference)/1024' \
+  --benchmark_format=json --benchmark_out="$TMP/crypto.json" \
+  --benchmark_out_format=json
+
+echo "== timing_table: batched SMC stage vs serial reference =="
+"./$BUILD/bench/timing_table" --rows 400 --smc-reps 3 --smc-threads 4 \
+  --smc-batch 16 --metrics_out "$TMP/timing.json"
+
+echo "== micro_blocking: memoized sweep vs direct sweep =="
+"./$BUILD/bench/micro_blocking" --rows 4000 --k 8 --threads 4 \
+  --metrics_out "$TMP/blocking.json"
+
+python3 - "$TMP" <<'EOF'
+import json, sys, os
+
+tmp = sys.argv[1]
+
+with open(os.path.join(tmp, "crypto.json")) as f:
+    crypto = json.load(f)
+bench_ms = {b["name"]: b["real_time"] for b in crypto["benchmarks"]
+            if b.get("run_type", "iteration") == "iteration"}
+crt_ms = bench_ms["BM_PaillierDecryptCrt/1024"]
+ref_ms = bench_ms["BM_PaillierDecryptReference/1024"]
+
+def series(path):
+    with open(os.path.join(tmp, path)) as f:
+        return {row["label"]: row for row in json.load(f)["series"]}
+
+timing = series("timing.json")
+smc_serial = timing["smc_stage_serial_reference"]["smc_seconds"]
+smc_fast = timing["smc_stage_fast"]["smc_seconds"]
+
+blocking = series("blocking.json")
+direct = blocking["direct_slack_decide"]["blocking_seconds"]
+memo = blocking["memoized_1_thread"]["blocking_seconds"]
+par_label = [l for l in blocking if l.startswith("memoized_") and
+             l.endswith("_threads")][0]
+par = blocking[par_label]["blocking_seconds"]
+
+report = {
+    "schema": "hprl-bench-hotpath/1",
+    "paillier_decrypt_1024": {
+        "reference_ms": ref_ms,
+        "crt_ms": crt_ms,
+        "speedup": ref_ms / crt_ms,
+    },
+    "smc_stage": {
+        "serial_reference_seconds": smc_serial,
+        "fast_seconds": smc_fast,
+        "speedup": smc_serial / smc_fast,
+    },
+    "blocking_sweep": {
+        "direct_seconds": direct,
+        "memoized_seconds": memo,
+        "memoized_parallel_seconds": par,
+        "speedup": direct / memo if memo > 0 else float("inf"),
+    },
+}
+with open("BENCH_hotpath.json", "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(json.dumps(report, indent=2))
+EOF
+
+echo "== wrote BENCH_hotpath.json =="

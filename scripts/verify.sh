@@ -17,11 +17,14 @@ if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
-echo "== TSan: metrics registry + threaded blocking =="
+echo "== TSan: metrics registry + threaded blocking + parallel SMC =="
 cmake -B build-tsan -S . -DHPRL_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target obs_test blocking_test session_test
+cmake --build build-tsan -j --target obs_test blocking_test session_test \
+  parallel_smc_test crypto_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/blocking_test
 ./build-tsan/tests/session_test
+./build-tsan/tests/parallel_smc_test
+./build-tsan/tests/crypto_test
 
 echo "== verify OK =="

@@ -1,6 +1,8 @@
 #include "cli/runner.h"
 
+#include <algorithm>
 #include <fstream>
+#include <thread>
 
 #include "anon/release_io.h"
 #include "common/string_util.h"
@@ -242,13 +244,23 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
   anon_span.Stop();
   double anon_seconds = anon_timer.ElapsedSeconds();
 
+  // Thread resolution: CLI override > spec directive > the machine
+  // (hardware_concurrency; 0 on exotic platforms, hence the clamp).
+  const int hw_threads = std::max(1, static_cast<int>(
+                                         std::thread::hardware_concurrency()));
+  auto resolve = [hw_threads](int override_v, int spec_v) {
+    if (override_v > 0) return override_v;
+    return spec_v > 0 ? spec_v : hw_threads;
+  };
+
   HybridConfig hc;
   hc.rule = plan->rule;
   hc.smc_allowance_fraction = spec.allowance;
   hc.heuristic = spec.heuristic;
   hc.collect_matches = !options.links_out.empty();
-  hc.blocking_threads =
-      options.threads_override > 0 ? options.threads_override : spec.threads;
+  hc.blocking_threads = resolve(options.threads_override, spec.threads);
+  const int smc_threads =
+      resolve(options.smc_threads_override, spec.smc_threads);
 
   LinkageSession session;
   session.WithTables(*table_r, *table_s)
@@ -261,7 +273,7 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
   if (spec.key_bits > 0) {
     smc::SmcConfig smc_cfg;
     smc_cfg.key_bits = spec.key_bits;
-    smc::SmcMatchOracle oracle(smc_cfg, plan->rule);
+    smc::SmcMatchOracle oracle(smc_cfg, plan->rule, smc_threads);
     HPRL_RETURN_IF_ERROR(oracle.Init());
     report.oracle = StrFormat("paillier-%d", spec.key_bits);
     result = session.WithOracle(oracle).Run();
@@ -283,6 +295,7 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
     run.AddConfig("anonymizer", spec.anonymizer);
     run.AddConfig("key_bits", StrFormat("%d", spec.key_bits));
     run.AddConfig("threads", StrFormat("%d", hc.blocking_threads));
+    run.AddConfig("smc_threads", StrFormat("%d", smc_threads));
     run.AddConfig("oracle", report.oracle);
     std::string attrs;
     for (const AttrSpec& a : spec.attrs) {

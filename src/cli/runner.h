@@ -25,6 +25,10 @@ struct RunnerOptions {
   /// > 0: overrides the spec's `threads` directive for the blocking step.
   int threads_override = 0;
 
+  /// > 0: overrides the spec's `smc_threads` directive (worker comparators
+  /// of the batched SMC oracle).
+  int smc_threads_override = 0;
+
   /// Optional external registry (not owned; may be null). When null and
   /// metrics_out is set, the runner uses a private registry for the report.
   obs::MetricsRegistry* metrics = nullptr;

@@ -133,11 +133,17 @@ Result<LinkageSpec> ParseLinkageSpec(const std::string& text,
       auto v = ParseInt(tok[1]);
       if (!v.ok() || *v < 0) return err("bad keybits");
       spec.key_bits = static_cast<int>(*v);
-    } else if (key == "threads") {
-      if (tok.size() != 2) return err("threads needs a value");
-      auto v = ParseInt(tok[1]);
-      if (!v.ok() || *v < 1) return err("bad threads");
-      spec.threads = static_cast<int>(*v);
+    } else if (key == "threads" || key == "smc_threads") {
+      if (tok.size() != 2) return err(key + " needs a value");
+      int parsed = 0;
+      if (tok[1] == "auto") {
+        parsed = 0;  // resolved to hardware_concurrency by the runner
+      } else {
+        auto v = ParseInt(tok[1]);
+        if (!v.ok() || *v < 1) return err("bad " + key);
+        parsed = static_cast<int>(*v);
+      }
+      (key == "threads" ? spec.threads : spec.smc_threads) = parsed;
     } else {
       return err("unknown directive: " + key);
     }

@@ -52,7 +52,11 @@ struct LinkageSpec {
   SelectionHeuristic heuristic = SelectionHeuristic::kMinAvgFirst;
   std::string anonymizer = "MaxEntropy";
   int key_bits = 0;
-  int threads = 1;  ///< blocking-step worker threads
+  /// Blocking-step worker threads; 0 (or the literal `auto`) defers to the
+  /// runner, which uses std::thread::hardware_concurrency().
+  int threads = 0;
+  /// SMC worker comparators for the batched oracle; 0 / `auto` as above.
+  int smc_threads = 0;
 };
 
 /// Parses the spec text. `base_dir` resolves relative vgh paths.

@@ -1,15 +1,19 @@
 #include "core/blocking.h"
 
+#include <algorithm>
+#include <atomic>
 #include <thread>
 
 namespace hprl {
 
 namespace {
 
-/// Labels the sequence pairs for R groups in [begin, end) x all S groups.
+/// Labels the sequence pairs for R groups in [begin, end) x all S groups,
+/// deciding through the precomputed slack table. `lookups` accumulates the
+/// number of memoized per-attribute decisions served.
 void BlockRange(const AnonymizedTable& anon_r, const AnonymizedTable& anon_s,
-                const MatchRule& rule, size_t begin, size_t end,
-                BlockingResult* out) {
+                const SlackTable& table, size_t begin, size_t end,
+                BlockingResult* out, int64_t* lookups) {
   for (size_t i = begin; i < end; ++i) {
     const AnonymizedGroup& gr = anon_r.groups[i];
     const int64_t r_size = gr.size();
@@ -19,7 +23,7 @@ void BlockRange(const AnonymizedTable& anon_r, const AnonymizedTable& anon_s,
       const int64_t s_size = gs.size();
       if (s_size == 0) continue;
       const int64_t pairs = r_size * s_size;
-      switch (SlackDecide(gr.seq, gs.seq, rule)) {
+      switch (table.Decide(i, j, lookups)) {
         case PairLabel::kMismatch:
           out->mismatched_pairs += pairs;
           break;
@@ -37,6 +41,14 @@ void BlockRange(const AnonymizedTable& anon_r, const AnonymizedTable& anon_s,
     }
   }
 }
+
+/// One work-stealing unit: R groups [begin, end) with its own partial
+/// result, merged back in chunk order so the concatenation equals the
+/// sequential sweep exactly.
+struct ChunkPartial {
+  BlockingResult result;
+  int64_t lookups = 0;
+};
 
 }  // namespace
 
@@ -62,8 +74,18 @@ Result<BlockingResult> RunBlocking(const AnonymizedTable& anon_r,
   BlockingResult out;
   out.total_pairs = anon_r.num_rows * anon_s.num_rows;
 
+  // Intern the distinct GenValues per attribute and precompute the verdict
+  // matrices; the sweep below is pure table lookups.
+  std::vector<const GenSequence*> seqs_r, seqs_s;
+  seqs_r.reserve(anon_r.groups.size());
+  for (const auto& g : anon_r.groups) seqs_r.push_back(&g.seq);
+  seqs_s.reserve(anon_s.groups.size());
+  for (const auto& g : anon_s.groups) seqs_s.push_back(&g.seq);
+  const SlackTable table(seqs_r, seqs_s, rule);
+
   // Tallies are published once, after the sweep; nothing per-pair.
-  auto publish = [metrics](const BlockingResult& res) {
+  auto publish = [metrics, &table](const BlockingResult& res,
+                                   int64_t lookups) {
     if (metrics == nullptr) return;
     obs::Add(metrics, "blocking.pairs_total", res.total_pairs);
     obs::Add(metrics, "blocking.pairs_m", res.matched_pairs);
@@ -74,34 +96,68 @@ Result<BlockingResult> RunBlocking(const AnonymizedTable& anon_r,
     obs::Add(metrics, "blocking.sequence_pairs_u",
              static_cast<int64_t>(res.unknown.size()));
     obs::SetGauge(metrics, "blocking.efficiency", res.BlockingEfficiency());
+    // Every lookup is an AttrSlack evaluation the memo table absorbed; the
+    // misses are the distinct entries it actually had to compute.
+    obs::Add(metrics, "blocking.slack_cache_hits", lookups);
+    obs::Add(metrics, "blocking.slack_cache_misses", table.entries_computed());
   };
 
   const size_t n = anon_r.groups.size();
   if (threads == 1 || n < 2 * static_cast<size_t>(threads)) {
-    BlockRange(anon_r, anon_s, rule, 0, n, &out);
-    publish(out);
+    int64_t lookups = 0;
+    BlockRange(anon_r, anon_s, table, 0, n, &out, &lookups);
+    publish(out, lookups);
     return out;
   }
 
-  std::vector<BlockingResult> partial(static_cast<size_t>(threads));
+  // Chunked work-stealing: fixed chunks of R groups claimed off an atomic
+  // cursor, so a thread stuck on large groups doesn't serialize the sweep
+  // the way the old static range split did. Chunk boundaries depend only on
+  // (n, threads) and partials are merged in chunk order — bit-identical
+  // output for every thread count.
+  const size_t chunk = std::max<size_t>(
+      1, std::min<size_t>(64, n / (static_cast<size_t>(threads) * 4)));
+  const size_t num_chunks = (n + chunk - 1) / chunk;
+  std::vector<ChunkPartial> partial(num_chunks);
+  std::atomic<size_t> cursor{0};
+
+  auto drain = [&]() {
+    while (true) {
+      const size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const size_t begin = c * chunk;
+      const size_t end = std::min(n, begin + chunk);
+      BlockRange(anon_r, anon_s, table, begin, end, &partial[c].result,
+                 &partial[c].lookups);
+    }
+  };
+
   std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    size_t begin = n * static_cast<size_t>(t) / static_cast<size_t>(threads);
-    size_t end =
-        n * static_cast<size_t>(t + 1) / static_cast<size_t>(threads);
-    workers.emplace_back(BlockRange, std::cref(anon_r), std::cref(anon_s),
-                         std::cref(rule), begin, end, &partial[t]);
-  }
+  workers.reserve(static_cast<size_t>(threads) - 1);
+  for (int t = 1; t < threads; ++t) workers.emplace_back(drain);
+  drain();
   for (auto& w : workers) w.join();
-  for (const BlockingResult& p : partial) {
-    out.matched_pairs += p.matched_pairs;
-    out.mismatched_pairs += p.mismatched_pairs;
-    out.unknown_pairs += p.unknown_pairs;
-    out.matches.insert(out.matches.end(), p.matches.begin(), p.matches.end());
-    out.unknown.insert(out.unknown.end(), p.unknown.begin(), p.unknown.end());
+
+  size_t total_matches = 0;
+  size_t total_unknown = 0;
+  for (const ChunkPartial& p : partial) {
+    total_matches += p.result.matches.size();
+    total_unknown += p.result.unknown.size();
   }
-  publish(out);
+  out.matches.reserve(total_matches);
+  out.unknown.reserve(total_unknown);
+  int64_t lookups = 0;
+  for (const ChunkPartial& p : partial) {
+    out.matched_pairs += p.result.matched_pairs;
+    out.mismatched_pairs += p.result.mismatched_pairs;
+    out.unknown_pairs += p.result.unknown_pairs;
+    out.matches.insert(out.matches.end(), p.result.matches.begin(),
+                       p.result.matches.end());
+    out.unknown.insert(out.unknown.end(), p.result.unknown.begin(),
+                       p.result.unknown.end());
+    lookups += p.lookups;
+  }
+  publish(out, lookups);
   return out;
 }
 

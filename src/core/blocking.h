@@ -45,13 +45,19 @@ struct BlockingResult {
 /// anonymized releases. The sequences must cover exactly the rule's
 /// attributes, in rule order.
 ///
-/// `threads` > 1 partitions R's groups across worker threads; the result is
-/// bit-identical to the sequential run (per-thread outputs are concatenated
-/// in group order).
+/// The sweep is memoized: distinct GenValues are interned per attribute and
+/// the per-attribute slack verdicts precomputed (linkage/slack.h
+/// SlackTable), so each sequence pair costs attribute-count table lookups
+/// with early mismatch exit instead of fresh slack arithmetic.
 ///
-/// When `metrics` is attached the M/N/U tallies are published once, after
-/// the sweep, as the blocking.* counters — the hot loop is untouched either
-/// way.
+/// `threads` > 1 spreads R's groups across worker threads with chunked
+/// work-stealing (robust to skewed group sizes); the result is bit-identical
+/// to the sequential run (per-chunk outputs are concatenated in group
+/// order).
+///
+/// When `metrics` is attached the M/N/U tallies plus the memo-table
+/// hit/miss counters (blocking.slack_cache_hits / _misses) are published
+/// once, after the sweep — the hot loop is untouched either way.
 Result<BlockingResult> RunBlocking(const AnonymizedTable& anon_r,
                                    const AnonymizedTable& anon_s,
                                    const MatchRule& rule, int threads = 1,

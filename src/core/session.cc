@@ -1,8 +1,10 @@
 #include "core/session.h"
 
 #include <cmath>
+#include <numeric>
 
 #include "linkage/ground_truth.h"
+#include "linkage/oracle.h"
 
 namespace hprl {
 
@@ -43,6 +45,13 @@ Result<HybridResult> LinkageSession::Run() {
   }
 
   oracle_->AttachMetrics(metrics_);
+  // Detach on every exit path: the oracle (and any background precompute
+  // thread it owns, like the randomizer-pool filler) may outlive the per-run
+  // registry, and must not touch it after Run returns.
+  struct MetricsDetacher {
+    MatchOracle* oracle;
+    ~MetricsDetacher() { oracle->AttachMetrics(nullptr); }
+  } detacher{oracle_};
   obs::ScopedSpan run_span(metrics_, "linkage");
 
   HybridResult out;
@@ -65,6 +74,8 @@ Result<HybridResult> LinkageSession::Run() {
   out.reported_matches = blocking->matched_pairs;
 
   if (config.collect_matches) {
+    // matched_pairs is exactly the number of row pairs the loop emits.
+    out.matched_row_pairs.reserve(static_cast<size_t>(blocking->matched_pairs));
     for (const SequencePair& sp : blocking->matches) {
       for (int64_t rr : anon_r.groups[sp.group_r].rows) {
         for (int64_t sr : anon_s.groups[sp.group_s].rows) {
@@ -83,14 +94,51 @@ Result<HybridResult> LinkageSession::Run() {
                  static_cast<double>(blocking->total_pairs)));
   Rng rng(config.random_seed);
   obs::ScopedSpan select_span(metrics_, "select", &run_span);
-  std::vector<size_t> order =
-      OrderUnknownPairs(*blocking, anon_r, anon_s, config.rule,
-                        config.heuristic, rng, metrics_);
+  std::vector<size_t> order;
+  if (out.allowance_pairs > 0) {
+    if (out.allowance_pairs >= out.unknown_pairs) {
+      // The budget covers every unknown pair, so ordering cannot change
+      // which pairs are compared — skip the expected-distance sort and
+      // drain in blocking order.
+      order.resize(blocking->unknown.size());
+      std::iota(order.begin(), order.end(), size_t{0});
+      obs::Add(metrics_, "select.candidate_sequence_pairs",
+               static_cast<int64_t>(order.size()));
+    } else {
+      order = OrderUnknownPairs(*blocking, anon_r, anon_s, config.rule,
+                                config.heuristic, rng, metrics_);
+    }
+  }
+  // With a zero allowance no pair can be compared; `order` stays empty and
+  // the selection work is skipped entirely.
   select_span.Stop();
 
   obs::ScopedSpan smc_span(metrics_, "smc", &run_span);
   int64_t budget = out.allowance_pairs;
   const int64_t oracle_start = oracle_->invocations();
+  // The allowance is drained in batches: requests are enqueued in exactly
+  // the serial comparison order and CompareBatch writes each pair's label
+  // into its request slot, so results (and with them matched_row_pairs,
+  // smc_matched and the budget) are identical to pair-at-a-time draining
+  // for every oracle thread count.
+  constexpr size_t kSmcBatchSize = 256;
+  std::vector<RowPairRequest> batch;
+  batch.reserve(kSmcBatchSize);
+  auto flush = [&]() -> Status {
+    if (batch.empty()) return Status::OK();
+    auto labels = oracle_->CompareBatch(batch);
+    if (!labels.ok()) return labels.status();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if ((*labels)[i] != 0) {
+        ++out.smc_matched;
+        if (config.collect_matches) {
+          out.matched_row_pairs.emplace_back(batch[i].a_id, batch[i].b_id);
+        }
+      }
+    }
+    batch.clear();
+    return Status::OK();
+  };
   for (size_t idx : order) {
     if (budget <= 0) break;
     const SequencePair& sp = blocking->unknown[idx];
@@ -104,18 +152,15 @@ Result<HybridResult> LinkageSession::Run() {
           break;
         }
         --budget;
-        auto matched = oracle_->CompareRows(rows_r[a], rows_s[b],
-                                            r.row(rows_r[a]), s.row(rows_s[b]));
-        if (!matched.ok()) return matched.status();
-        if (*matched) {
-          ++out.smc_matched;
-          if (config.collect_matches) {
-            out.matched_row_pairs.emplace_back(rows_r[a], rows_s[b]);
-          }
+        batch.push_back({rows_r[a], rows_s[b], &r.row(rows_r[a]),
+                         &s.row(rows_s[b])});
+        if (batch.size() >= kSmcBatchSize) {
+          HPRL_RETURN_IF_ERROR(flush());
         }
       }
     }
   }
+  HPRL_RETURN_IF_ERROR(flush());
   smc_span.Stop();
   out.smc_processed = oracle_->invocations() - oracle_start;
   out.unprocessed_pairs = out.unknown_pairs - out.smc_processed;

@@ -1,5 +1,8 @@
 #include "crypto/paillier.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace hprl::crypto {
 
 PaillierPublicKey::PaillierPublicKey(BigInt n)
@@ -10,16 +13,22 @@ Result<BigInt> PaillierPublicKey::Encrypt(const BigInt& m,
   if (m.Sign() < 0 || m >= n_) {
     return Status::InvalidArgument("Paillier plaintext out of [0, n)");
   }
-  // r uniform in [1, n) with gcd(r, n) = 1 (fails with negligible
-  // probability only when r shares a prime factor with n).
-  BigInt r;
-  do {
-    r = rng.NextBelow(n_);
-  } while (r.IsZero() || BigInt::Gcd(r, n_) != BigInt(1));
   if (encryptions_ != nullptr) encryptions_->Increment();
-  // (1 + m*n) * r^n mod n^2
+  // (1 + m*n) * r^n mod n^2 — with a pool attached the r^n factor (the
+  // expensive full-width PowMod) was computed ahead of time.
+  BigInt rn;
+  if (pool_ != nullptr) {
+    rn = pool_->Take();
+  } else {
+    // r uniform in [1, n) with gcd(r, n) = 1 (fails with negligible
+    // probability only when r shares a prime factor with n).
+    BigInt r;
+    do {
+      r = rng.NextBelow(n_);
+    } while (r.IsZero() || BigInt::Gcd(r, n_) != BigInt(1));
+    rn = BigInt::PowMod(r, n_, n2_);
+  }
   BigInt gm = (BigInt(1) + m * n_) % n2_;
-  BigInt rn = BigInt::PowMod(r, n_, n2_);
   return (gm * rn) % n2_;
 }
 
@@ -62,10 +71,63 @@ PaillierPrivateKey::PaillierPrivateKey(BigInt n, BigInt lambda, BigInt mu)
       lambda_(std::move(lambda)),
       mu_(std::move(mu)) {}
 
-Result<BigInt> PaillierPrivateKey::Decrypt(const BigInt& c) const {
+namespace {
+// L_p(x) = (x - 1) / p, the CRT analogue of Paillier's L function.
+BigInt LFunction(const BigInt& x, const BigInt& p) {
+  return (x - BigInt(1)) / p;
+}
+}  // namespace
+
+Result<PaillierPrivateKey> PaillierPrivateKey::FromPrimes(const BigInt& p,
+                                                          const BigInt& q) {
+  if (p.Sign() <= 0 || q.Sign() <= 0 || p == q) {
+    return Status::InvalidArgument("Paillier primes must be distinct and > 0");
+  }
+  BigInt n = p * q;
+  BigInt p1 = p - BigInt(1);
+  BigInt q1 = q - BigInt(1);
+  if (BigInt::Gcd(n, p1 * q1) != BigInt(1)) {
+    return Status::InvalidArgument("gcd(n, phi(n)) != 1");
+  }
+  BigInt lambda = BigInt::Lcm(p1, q1);
+  auto mu = BigInt::ModInverse(lambda, n);
+  if (!mu.ok()) return mu.status();
+
+  PaillierPrivateKey key(n, std::move(lambda), std::move(mu).value());
+  key.p_ = p;
+  key.q_ = q;
+  key.p2_ = p * p;
+  key.q2_ = q * q;
+  // With g = n + 1: (n+1)^{p-1} mod p² = 1 + (p-1)·n mod p², so
+  // L_p of it is (p-1)·q mod p — invertible because gcd(p, q) = 1.
+  BigInt g = n + BigInt(1);
+  auto hp = BigInt::ModInverse(LFunction(BigInt::PowMod(g, p1, key.p2_), p), p);
+  if (!hp.ok()) return hp.status();
+  auto hq = BigInt::ModInverse(LFunction(BigInt::PowMod(g, q1, key.q2_), q), q);
+  if (!hq.ok()) return hq.status();
+  auto p_inv_q = BigInt::ModInverse(p, q);
+  if (!p_inv_q.ok()) return p_inv_q.status();
+  key.hp_ = std::move(hp).value();
+  key.hq_ = std::move(hq).value();
+  key.p_inv_q_ = std::move(p_inv_q).value();
+  key.has_crt_ = true;
+  return key;
+}
+
+Status PaillierPrivateKey::CheckCiphertext(const BigInt& c) const {
   if (c.Sign() <= 0 || c >= n2_) {
     return Status::InvalidArgument("Paillier ciphertext out of (0, n^2)");
   }
+  return Status::OK();
+}
+
+Result<BigInt> PaillierPrivateKey::Decrypt(const BigInt& c) const {
+  if (has_crt_) return DecryptCrt(c);
+  return DecryptReference(c);
+}
+
+Result<BigInt> PaillierPrivateKey::DecryptReference(const BigInt& c) const {
+  HPRL_RETURN_IF_ERROR(CheckCiphertext(c));
   if (decryptions_ != nullptr) decryptions_->Increment();
   // m = L(c^lambda mod n^2) * mu mod n, with L(x) = (x - 1) / n.
   BigInt u = BigInt::PowMod(c, lambda_, n2_);
@@ -73,16 +135,41 @@ Result<BigInt> PaillierPrivateKey::Decrypt(const BigInt& c) const {
   return (l * mu_) % n_;
 }
 
+Result<BigInt> PaillierPrivateKey::DecryptCrt(const BigInt& c) const {
+  HPRL_RETURN_IF_ERROR(CheckCiphertext(c));
+  if (decryptions_ != nullptr) decryptions_->Increment();
+  // Two half-width exponentiations (exponents p-1 / q-1, moduli p² / q²)
+  // instead of one full-width c^lambda mod n², then Garner recombination:
+  //   m_p = L_p(c^{p-1} mod p²) · hp mod p
+  //   m_q = L_q(c^{q-1} mod q²) · hq mod q
+  //   m   = m_p + p · ((m_q - m_p) · p⁻¹ mod q)
+  BigInt mp = (LFunction(BigInt::PowMod(c, p_ - BigInt(1), p2_), p_) * hp_) % p_;
+  BigInt mq = (LFunction(BigInt::PowMod(c, q_ - BigInt(1), q2_), q_) * hq_) % q_;
+  BigInt t = ((mq - mp) * p_inv_q_) % q_;  // Euclidean % keeps t in [0, q)
+  return mp + p_ * t;
+}
+
 void PaillierPrivateKey::AttachMetrics(obs::MetricsRegistry* registry) {
   decryptions_ = registry ? registry->counter("paillier.decryptions") : nullptr;
+}
+
+BigInt PaillierPrivateKey::DecodeSignedValue(BigInt m) const {
+  BigInt half = n_ / BigInt(2);
+  if (m > half) return m - n_;
+  return m;
 }
 
 Result<BigInt> PaillierPrivateKey::DecryptSigned(const BigInt& c) const {
   auto m = Decrypt(c);
   if (!m.ok()) return m.status();
-  BigInt half = n_ / BigInt(2);
-  if (*m > half) return *m - n_;
-  return m;
+  return DecodeSignedValue(std::move(m).value());
+}
+
+Result<BigInt> PaillierPrivateKey::DecryptSignedReference(
+    const BigInt& c) const {
+  auto m = DecryptReference(c);
+  if (!m.ok()) return m.status();
+  return DecodeSignedValue(std::move(m).value());
 }
 
 Result<PaillierKeyPair> GeneratePaillierKeyPair(int modulus_bits,
@@ -95,21 +182,127 @@ Result<PaillierKeyPair> GeneratePaillierKeyPair(int modulus_bits,
     BigInt p = rng.NextPrime(half);
     BigInt q = rng.NextPrime(modulus_bits - half);
     if (p == q) continue;
-    BigInt n = p * q;
-    // Require gcd(n, (p-1)(q-1)) == 1; guaranteed when p, q have equal bit
-    // length per Paillier, but check anyway for the uneven case.
-    BigInt p1 = p - BigInt(1);
-    BigInt q1 = q - BigInt(1);
-    if (BigInt::Gcd(n, p1 * q1) != BigInt(1)) continue;
-    BigInt lambda = BigInt::Lcm(p1, q1);
-    auto mu = BigInt::ModInverse(lambda, n);
-    if (!mu.ok()) continue;
+    auto priv = PaillierPrivateKey::FromPrimes(p, q);
+    if (!priv.ok()) continue;
     PaillierKeyPair kp;
-    kp.pub = PaillierPublicKey(n);
-    kp.priv = PaillierPrivateKey(n, lambda, std::move(mu).value());
+    kp.pub = PaillierPublicKey(priv->n());
+    kp.priv = std::move(priv).value();
     return kp;
   }
   return Status::Internal("Paillier key generation failed repeatedly");
+}
+
+RandomizerPool::RandomizerPool(const PaillierPublicKey& pub, int target_depth,
+                               uint64_t test_seed)
+    : n_(pub.n()),
+      n2_(pub.n_squared()),
+      target_(std::max(1, target_depth)),
+      rng_(test_seed != 0 ? std::make_unique<SecureRandom>(test_seed)
+                          : std::make_unique<SecureRandom>()) {}
+
+RandomizerPool::~RandomizerPool() { Stop(); }
+
+void RandomizerPool::Start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (filler_.joinable()) return;
+  stop_ = false;
+  filler_ = std::thread(&RandomizerPool::FillLoop, this);
+}
+
+void RandomizerPool::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+    to_join = std::move(filler_);
+  }
+  need_fill_.notify_all();
+  if (to_join.joinable()) to_join.join();
+}
+
+BigInt RandomizerPool::ComputeOne() {
+  BigInt r;
+  {
+    std::lock_guard<std::mutex> lk(rng_mu_);
+    do {
+      r = rng_->NextBelow(n_);
+    } while (r.IsZero() || BigInt::Gcd(r, n_) != BigInt(1));
+  }
+  return BigInt::PowMod(r, n_, n2_);
+}
+
+void RandomizerPool::Prefill(int count) {
+  for (int i = 0; i < count; ++i) {
+    BigInt rn = ComputeOne();
+    std::lock_guard<std::mutex> lk(mu_);
+    if (static_cast<int>(ready_.size()) >= target_) return;
+    ready_.push_back(std::move(rn));
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->Set(static_cast<double>(ready_.size()));
+    }
+  }
+}
+
+BigInt RandomizerPool::Take() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!ready_.empty()) {
+      BigInt rn = std::move(ready_.front());
+      ready_.pop_front();
+      ++hits_;
+      if (hits_counter_ != nullptr) hits_counter_->Increment();
+      if (depth_gauge_ != nullptr) {
+        depth_gauge_->Set(static_cast<double>(ready_.size()));
+      }
+      need_fill_.notify_one();
+      return rn;
+    }
+    ++misses_;
+    if (misses_counter_ != nullptr) misses_counter_->Increment();
+  }
+  return ComputeOne();  // pool ran dry — fall back to the inline PowMod
+}
+
+void RandomizerPool::FillLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    need_fill_.wait(lk, [this] {
+      return stop_ || static_cast<int>(ready_.size()) < target_;
+    });
+    if (stop_) return;
+    lk.unlock();
+    BigInt rn = ComputeOne();
+    lk.lock();
+    ready_.push_back(std::move(rn));
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->Set(static_cast<double>(ready_.size()));
+    }
+  }
+}
+
+int RandomizerPool::depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(ready_.size());
+}
+
+int64_t RandomizerPool::hits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hits_;
+}
+
+int64_t RandomizerPool::misses() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return misses_;
+}
+
+void RandomizerPool::AttachMetrics(obs::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lk(mu_);
+  hits_counter_ =
+      registry ? registry->counter("paillier.randomizer_pool_hits") : nullptr;
+  misses_counter_ =
+      registry ? registry->counter("paillier.randomizer_pool_misses") : nullptr;
+  depth_gauge_ =
+      registry ? registry->gauge("paillier.randomizer_pool_depth") : nullptr;
 }
 
 }  // namespace hprl::crypto

@@ -2,6 +2,7 @@
 #define HPRL_LINKAGE_ORACLE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/result.h"
 #include "linkage/match_rule.h"
@@ -11,6 +12,15 @@ class MetricsRegistry;
 }  // namespace hprl::obs
 
 namespace hprl {
+
+/// One unit of batched oracle work: a row pair to label. The records are
+/// borrowed — the caller keeps them alive across the CompareBatch call.
+struct RowPairRequest {
+  int64_t a_id = -1;
+  int64_t b_id = -1;
+  const Record* a = nullptr;
+  const Record* b = nullptr;
+};
 
 /// Labels one record pair exactly. In production this is the SMC protocol
 /// (smc::SmcMatchOracle); the figure harnesses use CountingPlaintextOracle,
@@ -29,6 +39,24 @@ class MatchOracle {
   virtual Result<bool> CompareRows(int64_t a_id, int64_t b_id,
                                    const Record& a, const Record& b) {
     return Compare(a, b);
+  }
+
+  /// Labels a batch of row pairs. Slot i of the returned vector is the label
+  /// of batch[i] (1 = match), so results are position-addressed and the
+  /// outcome is independent of any internal evaluation order — parallel
+  /// oracles (smc::SmcMatchOracle with smc_threads > 1) produce the same
+  /// vector as this serial default. On error the whole batch fails; partial
+  /// work is discarded but still accounted in invocations().
+  virtual Result<std::vector<uint8_t>> CompareBatch(
+      const std::vector<RowPairRequest>& batch) {
+    std::vector<uint8_t> labels(batch.size(), 0);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      auto m = CompareRows(batch[i].a_id, batch[i].b_id, *batch[i].a,
+                           *batch[i].b);
+      if (!m.ok()) return m.status();
+      labels[i] = *m ? 1 : 0;
+    }
+    return labels;
   }
 
   /// Number of Compare calls so far (the paper's SMC cost unit).

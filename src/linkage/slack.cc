@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
+#include <tuple>
 
 #include "common/logging.h"
 #include "linkage/distance.h"
@@ -81,6 +83,97 @@ PairLabel SlackDecide(const GenSequence& a, const GenSequence& b,
     if (sb.sup > rule.attrs[i].theta) all_within = false;
   }
   return all_within ? PairLabel::kMatch : PairLabel::kUnknown;
+}
+
+SlackVerdict ClassifySlack(const SlackBounds& sb, double theta) {
+  if (sb.inf > theta) return SlackVerdict::kAbove;
+  if (sb.sup > theta) return SlackVerdict::kStraddles;
+  return SlackVerdict::kBelow;
+}
+
+namespace {
+
+/// Strict weak ordering over GenValues of one attribute (one type), for the
+/// interning maps. Only the fields that AttrSlack reads participate, so two
+/// values comparing equivalent are guaranteed slack-identical.
+struct GenValueLess {
+  bool operator()(const GenValue& a, const GenValue& b) const {
+    if (a.type != b.type) return a.type < b.type;
+    switch (a.type) {
+      case AttrType::kCategorical:
+        return std::tie(a.cat_lo, a.cat_hi) < std::tie(b.cat_lo, b.cat_hi);
+      case AttrType::kNumeric:
+        return std::tie(a.num_lo, a.num_hi) < std::tie(b.num_lo, b.num_hi);
+      case AttrType::kText:
+        return std::tie(a.text_exact, a.text_prefix) <
+               std::tie(b.text_exact, b.text_prefix);
+    }
+    return false;
+  }
+};
+
+/// Interns attribute `attr` of every sequence: fills `ids` with one value id
+/// per sequence and returns the distinct values in id order.
+std::vector<GenValue> InternAttr(const std::vector<const GenSequence*>& seqs,
+                                 int attr, std::vector<int32_t>* ids) {
+  std::map<GenValue, int32_t, GenValueLess> interned;
+  std::vector<GenValue> distinct;
+  ids->resize(seqs.size());
+  for (size_t g = 0; g < seqs.size(); ++g) {
+    const GenValue& v = (*seqs[g])[attr];
+    auto [it, fresh] =
+        interned.emplace(v, static_cast<int32_t>(distinct.size()));
+    if (fresh) distinct.push_back(v);
+    (*ids)[g] = it->second;
+  }
+  return distinct;
+}
+
+}  // namespace
+
+SlackTable::SlackTable(const std::vector<const GenSequence*>& seqs_r,
+                       const std::vector<const GenSequence*>& seqs_s,
+                       const MatchRule& rule)
+    : num_attrs_(rule.num_attrs()),
+      r_ids_(num_attrs_),
+      s_ids_(num_attrs_),
+      verdicts_(num_attrs_),
+      stride_(num_attrs_, 0) {
+  for (int i = 0; i < num_attrs_; ++i) {
+    std::vector<GenValue> vr = InternAttr(seqs_r, i, &r_ids_[i]);
+    std::vector<GenValue> vs = InternAttr(seqs_s, i, &s_ids_[i]);
+    stride_[i] = vs.size();
+    verdicts_[i].resize(vr.size() * vs.size());
+    const AttrRule& attr = rule.attrs[i];
+    for (size_t a = 0; a < vr.size(); ++a) {
+      for (size_t b = 0; b < vs.size(); ++b) {
+        verdicts_[i][a * stride_[i] + b] =
+            ClassifySlack(AttrSlack(vr[a], vs[b], attr), attr.theta);
+      }
+    }
+    entries_computed_ += static_cast<int64_t>(verdicts_[i].size());
+  }
+}
+
+PairLabel SlackTable::Decide(size_t r, size_t s, int64_t* lookups) const {
+  bool all_below = true;
+  int examined = 0;
+  PairLabel label = PairLabel::kMatch;
+  for (int i = 0; i < num_attrs_; ++i) {
+    SlackVerdict v =
+        verdicts_[i][static_cast<size_t>(r_ids_[i][r]) * stride_[i] +
+                     static_cast<size_t>(s_ids_[i][s])];
+    ++examined;
+    if (v == SlackVerdict::kAbove) {
+      label = PairLabel::kMismatch;
+      all_below = false;
+      break;  // early mismatch exit, mirroring SlackDecide
+    }
+    if (v == SlackVerdict::kStraddles) all_below = false;
+  }
+  if (lookups != nullptr) *lookups += examined;
+  if (label == PairLabel::kMismatch) return label;
+  return all_below ? PairLabel::kMatch : PairLabel::kUnknown;
 }
 
 }  // namespace hprl

@@ -1,6 +1,7 @@
 #ifndef HPRL_LINKAGE_SLACK_H_
 #define HPRL_LINKAGE_SLACK_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,57 @@ using GenSequence = std::vector<GenValue>;
 /// concrete record pair consistent with the generalizations.
 PairLabel SlackDecide(const GenSequence& a, const GenSequence& b,
                       const MatchRule& rule);
+
+/// How one attribute's slack bounds sit relative to its threshold θ — the
+/// full information SlackDecide needs from the attribute:
+///   kBelow     sup <= θ  (contributes to Match)
+///   kStraddles inf <= θ < sup  (forces Unknown unless some attr mismatches)
+///   kAbove     inf >  θ  (decides Mismatch outright)
+enum class SlackVerdict : uint8_t { kBelow, kStraddles, kAbove };
+
+/// ClassifySlack(AttrSlack(v, w, rule), θ) as used by SlackDecide.
+SlackVerdict ClassifySlack(const SlackBounds& sb, double theta);
+
+/// Memoized slack decisions over two sets of generalization sequences.
+///
+/// A k-anonymized release reuses a small vocabulary of distinct GenValues
+/// per attribute (VGH nodes / partition boxes), so most of the slack
+/// arithmetic in a |G^R| × |G^S| blocking sweep is redundant. The table
+/// interns each side's distinct values per attribute and precomputes the
+/// |V_i^R| × |V_i^S| verdict matrix once; Decide then replaces AttrSlack
+/// with one table lookup per attribute, exiting early on the first kAbove
+/// (mismatch), exactly like SlackDecide's early return.
+///
+/// Construction costs O(Σ_i |V_i^R|·|V_i^S|) slack evaluations — for the
+/// paper's workloads orders of magnitude below the |G^R|·|G^S| evaluations
+/// it replaces. Decide is const and thread-safe.
+class SlackTable {
+ public:
+  /// The sequence pointers are borrowed for the constructor call only; each
+  /// must have one GenValue per rule attribute (as SlackDecide requires).
+  SlackTable(const std::vector<const GenSequence*>& seqs_r,
+             const std::vector<const GenSequence*>& seqs_s,
+             const MatchRule& rule);
+
+  /// Label of (seqs_r[r], seqs_s[s]); identical to SlackDecide on the same
+  /// sequences. `lookups` (optional) accumulates the number of table
+  /// lookups performed — each one a memoized AttrSlack evaluation.
+  PairLabel Decide(size_t r, size_t s, int64_t* lookups = nullptr) const;
+
+  /// Distinct (value-pair, attribute) slack evaluations actually computed —
+  /// the cache-miss count of a full sweep.
+  int64_t entries_computed() const { return entries_computed_; }
+
+ private:
+  int num_attrs_ = 0;
+  // [attr][sequence index] -> interned value id per side.
+  std::vector<std::vector<int32_t>> r_ids_;
+  std::vector<std::vector<int32_t>> s_ids_;
+  // [attr] row-major |V_i^R| x |V_i^S| verdict matrix and its row stride.
+  std::vector<std::vector<SlackVerdict>> verdicts_;
+  std::vector<size_t> stride_;
+  int64_t entries_computed_ = 0;
+};
 
 }  // namespace hprl
 

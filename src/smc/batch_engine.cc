@@ -1,0 +1,164 @@
+#include "smc/batch_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "common/timer.h"
+
+namespace hprl::smc {
+
+namespace {
+/// Pairs handed to a worker per steal. Small enough to keep skewed batches
+/// balanced (a single Paillier comparison is milliseconds), large enough
+/// that the atomic cursor never contends.
+constexpr size_t kStealChunk = 8;
+
+uint64_t WorkerSeed(uint64_t base, int worker) {
+  // 0 stays 0 (OS entropy); otherwise decorrelate the workers' blinding and
+  // encryption randomness without touching the shared key.
+  return base == 0 ? 0 : base ^ (0x51Dull * static_cast<uint64_t>(worker + 1));
+}
+}  // namespace
+
+BatchSmcEngine::BatchSmcEngine(SmcConfig config, MatchRule rule, int threads)
+    : config_(config), rule_(std::move(rule)), threads_(std::max(1, threads)) {}
+
+BatchSmcEngine::~BatchSmcEngine() = default;
+
+Status BatchSmcEngine::Init() {
+  auto rng = config_.test_seed != 0
+                 ? std::make_unique<crypto::SecureRandom>(config_.test_seed ^
+                                                          0x9999)
+                 : std::make_unique<crypto::SecureRandom>();
+  auto kp = crypto::GeneratePaillierKeyPair(config_.key_bits, *rng);
+  if (!kp.ok()) return kp.status();
+  keypair_ = std::move(kp).value();
+
+  if (config_.randomizer_pool_depth > 0) {
+    pool_ = std::make_unique<crypto::RandomizerPool>(
+        keypair_.pub, config_.randomizer_pool_depth,
+        WorkerSeed(config_.test_seed, 0xF11));
+    pool_->Start();
+  }
+
+  workers_.clear();
+  workers_.reserve(static_cast<size_t>(threads_));
+  for (int t = 0; t < threads_; ++t) {
+    SmcConfig worker_cfg = config_;
+    worker_cfg.test_seed = WorkerSeed(config_.test_seed, t);
+    auto worker =
+        std::make_unique<SecureRecordComparator>(worker_cfg, rule_);
+    HPRL_RETURN_IF_ERROR(worker->InitWithKeyPair(keypair_));
+    if (pool_ != nullptr) worker->AttachRandomizerPool(pool_.get());
+    workers_.push_back(std::move(worker));
+  }
+  initialized_ = true;
+  if (metrics_ != nullptr) AttachMetrics(metrics_);  // re-attach fresh keys
+  return Status::OK();
+}
+
+Result<bool> BatchSmcEngine::CompareRows(int64_t a_id, int64_t b_id,
+                                         const Record& a, const Record& b) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Init() before comparing");
+  }
+  return workers_.front()->CompareRows(a_id, b_id, a, b);
+}
+
+Result<std::vector<uint8_t>> BatchSmcEngine::CompareBatch(
+    const std::vector<RowPairRequest>& batch) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Init() before comparing");
+  }
+  WallTimer batch_timer;
+  std::vector<uint8_t> labels(batch.size(), 0);
+  const size_t active = std::min(
+      static_cast<size_t>(threads_),
+      std::max<size_t>(1, (batch.size() + kStealChunk - 1) / kStealChunk));
+
+  if (active <= 1) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const RowPairRequest& req = batch[i];
+      auto m = workers_.front()->CompareRows(req.a_id, req.b_id, *req.a,
+                                             *req.b);
+      if (!m.ok()) return m.status();
+      labels[i] = *m ? 1 : 0;
+    }
+  } else {
+    std::atomic<size_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::vector<Status> worker_status(active, Status::OK());
+    std::vector<size_t> error_index(active, batch.size());
+
+    auto drain = [&](size_t w) {
+      SecureRecordComparator* cmp = workers_[w].get();
+      while (!failed.load(std::memory_order_relaxed)) {
+        const size_t begin =
+            cursor.fetch_add(kStealChunk, std::memory_order_relaxed);
+        if (begin >= batch.size()) break;
+        const size_t end = std::min(begin + kStealChunk, batch.size());
+        for (size_t i = begin; i < end; ++i) {
+          const RowPairRequest& req = batch[i];
+          auto m = cmp->CompareRows(req.a_id, req.b_id, *req.a, *req.b);
+          if (!m.ok()) {
+            worker_status[w] = m.status();
+            error_index[w] = i;
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+          labels[i] = *m ? 1 : 0;
+        }
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(active - 1);
+    for (size_t w = 1; w < active; ++w) pool.emplace_back(drain, w);
+    drain(0);
+    for (auto& th : pool) th.join();
+
+    if (failed.load()) {
+      // Deterministic error reporting: the smallest-index failing pair wins.
+      size_t best = active;
+      for (size_t w = 0; w < active; ++w) {
+        if (!worker_status[w].ok() &&
+            (best == active || error_index[w] < error_index[best])) {
+          best = w;
+        }
+      }
+      return worker_status[best];
+    }
+  }
+
+  if (metrics_ != nullptr) {
+    obs::Add(metrics_, "smc.batches");
+    obs::Observe(metrics_, "smc.batch_seconds", batch_timer.ElapsedSeconds());
+  }
+  return labels;
+}
+
+const SmcCosts& BatchSmcEngine::costs() const {
+  // Summed on demand; sums are order-independent, so the totals are
+  // identical for every thread count. Only call between batches (the
+  // session's usage) — workers mutate their costs while a batch runs.
+  aggregated_.Clear();
+  for (const auto& worker : workers_) aggregated_ += worker->costs();
+  return aggregated_;
+}
+
+const MessageBus& BatchSmcEngine::bus() const {
+  return workers_.front()->bus();
+}
+
+void BatchSmcEngine::AttachMetrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  for (auto& worker : workers_) worker->AttachMetrics(registry);
+  if (pool_ != nullptr) pool_->AttachMetrics(registry);
+  if (registry != nullptr && initialized_) {
+    obs::SetGauge(registry, "smc.workers", static_cast<double>(threads_));
+  }
+}
+
+}  // namespace hprl::smc

@@ -1,0 +1,86 @@
+#ifndef HPRL_SMC_BATCH_ENGINE_H_
+#define HPRL_SMC_BATCH_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "linkage/oracle.h"
+#include "smc/protocol.h"
+
+namespace hprl::smc {
+
+/// Batch-parallel driver for the §V-A protocol: N worker comparator stacks
+/// (each a full qp/alice/bob trio with its own in-process bus) that share
+/// ONE published Paillier key pair — generated once at Init, not once per
+/// worker — and one pool of precomputed encryption randomizers.
+///
+/// CompareBatch distributes a batch of row pairs over the workers with
+/// chunked work-stealing (an atomic cursor over fixed-size chunks), and each
+/// worker writes the label of pair i into slot i of the shared result
+/// vector. Because results are position-addressed, the merged output is
+/// bit-identical for every thread count — determinism by construction, with
+/// no ordering pass. Budget accounting matches too: the aggregated costs()
+/// are sums over workers, independent of which worker ran which pair (with
+/// ciphertext caching off; caching makes encryption counts schedule-
+/// dependent, which is why the session never enables it across workers).
+///
+/// Security note: sharing the key pair changes nothing in the trust model —
+/// the workers are in-process replicas of the same three parties, exactly
+/// as if one querying party answered N interleaved conversations.
+class BatchSmcEngine {
+ public:
+  /// `threads` <= 1 runs every batch inline on the calling thread.
+  BatchSmcEngine(SmcConfig config, MatchRule rule, int threads = 1);
+  ~BatchSmcEngine();
+
+  BatchSmcEngine(const BatchSmcEngine&) = delete;
+  BatchSmcEngine& operator=(const BatchSmcEngine&) = delete;
+
+  /// Generates the shared key pair, spins up the randomizer pool (when
+  /// SmcConfig::randomizer_pool_depth > 0) and initializes the workers.
+  Status Init();
+
+  int threads() const { return threads_; }
+
+  /// Single-pair comparison on worker 0 (the serial API surface).
+  Result<bool> CompareRows(int64_t a_id, int64_t b_id, const Record& a,
+                           const Record& b);
+
+  /// Labels batch[i] into slot i of the result (1 = match); see class
+  /// comment for the determinism argument. On any worker error the batch
+  /// fails with the error of the smallest-index failing pair.
+  Result<std::vector<uint8_t>> CompareBatch(
+      const std::vector<RowPairRequest>& batch);
+
+  /// Aggregated protocol costs across all workers (order-independent sums).
+  const SmcCosts& costs() const;
+
+  /// Worker 0's message bus (per-worker traffic; tests and demos).
+  const MessageBus& bus() const;
+
+  const crypto::PaillierPublicKey& public_key() const { return keypair_.pub; }
+
+  /// The shared randomizer pool; nullptr when disabled. Benches use this to
+  /// Prefill before timing.
+  crypto::RandomizerPool* randomizer_pool() { return pool_.get(); }
+
+  /// Streams every worker's protocol stack plus the pool gauges and the
+  /// engine's smc.batches / smc.batch_seconds into `registry`.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
+ private:
+  SmcConfig config_;
+  MatchRule rule_;
+  int threads_;
+  bool initialized_ = false;
+  crypto::PaillierKeyPair keypair_;
+  std::unique_ptr<crypto::RandomizerPool> pool_;
+  std::vector<std::unique_ptr<SecureRecordComparator>> workers_;
+  mutable SmcCosts aggregated_;  // scratch for costs(); see .cc
+  obs::MetricsRegistry* metrics_ = nullptr;  // not owned; may be null
+};
+
+}  // namespace hprl::smc
+
+#endif  // HPRL_SMC_BATCH_ENGINE_H_

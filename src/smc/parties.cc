@@ -19,13 +19,23 @@ QueryingParty::QueryingParty(const ProtocolParams& params, uint64_t test_seed)
 Status QueryingParty::PublishKey(MessageBus* bus, SmcCosts* costs) {
   auto kp = crypto::GeneratePaillierKeyPair(params_.key_bits, *rng_);
   if (!kp.ok()) return kp.status();
-  pub_ = kp->pub;
-  priv_ = kp->priv;
+  return PublishKeyPair(*kp, bus, costs);
+}
+
+Status QueryingParty::PublishKeyPair(const crypto::PaillierKeyPair& kp,
+                                     MessageBus* bus, SmcCosts* costs) {
+  pub_ = kp.pub;
+  priv_ = kp.priv;
   std::vector<uint8_t> payload;
   AppendBigInt(pub_.n(), &payload);
   bus->Send({kQp, "alice", "pubkey", payload});
   bus->Send({kQp, "bob", "pubkey", std::move(payload)});
   return Status::OK();
+}
+
+Result<BigInt> QueryingParty::DecryptSignedCt(const BigInt& c) const {
+  if (!params_.crt_decrypt) return priv_.DecryptSignedReference(c);
+  return priv_.DecryptSigned(c);
 }
 
 void QueryingParty::AttachMetrics(obs::MetricsRegistry* registry) {
@@ -41,7 +51,7 @@ Result<bool> QueryingParty::DecideAttr(MessageBus* bus,
   size_t off = 0;
   auto c = ConsumeBigInt(msg->payload, &off);
   if (!c.ok()) return c.status();
-  auto plain = priv_.DecryptSigned(*c);
+  auto plain = DecryptSignedCt(*c);
   if (!plain.ok()) return plain.status();
   costs->decryptions += 1;
   if (params_.reveal_distances) {
@@ -56,7 +66,7 @@ Result<BigInt> QueryingParty::ReceivePlain(MessageBus* bus, SmcCosts* costs) {
   size_t off = 0;
   auto c = ConsumeBigInt(msg->payload, &off);
   if (!c.ok()) return c.status();
-  auto plain = priv_.DecryptSigned(*c);
+  auto plain = DecryptSignedCt(*c);
   if (!plain.ok()) return plain.status();
   costs->decryptions += 1;
   return plain;
@@ -86,6 +96,10 @@ Status DataHolder::ReceiveKey(MessageBus* bus) {
 
 void DataHolder::AttachMetrics(obs::MetricsRegistry* registry) {
   pub_.AttachMetrics(registry);
+}
+
+void DataHolder::AttachRandomizerPool(crypto::RandomizerPool* pool) {
+  pub_.AttachRandomizerPool(pool);
 }
 
 Status DataHolder::SendAttr(MessageBus* bus, const std::string& peer,

@@ -23,6 +23,10 @@ struct ProtocolParams {
   int blind_bits = 40;
   bool reveal_distances = true;
   bool cache_ciphertexts = false;
+  /// When false the querying party decrypts through the reference lambda/mu
+  /// path even if the key carries CRT data — the honest "before" baseline
+  /// for benchmarking the CRT fast path.
+  bool crt_decrypt = true;
 };
 
 /// The querying party of §V-A: the only holder of the Paillier private key.
@@ -35,6 +39,12 @@ class QueryingParty {
 
   /// Generates the key pair and broadcasts the public key on the bus.
   Status PublishKey(MessageBus* bus, SmcCosts* costs);
+
+  /// Installs an externally generated key pair and broadcasts its public
+  /// key — the batch engine's workers all publish the SAME key pair so the
+  /// expensive generation happens once, not once per worker.
+  Status PublishKeyPair(const crypto::PaillierKeyPair& kp, MessageBus* bus,
+                        SmcCosts* costs);
 
   const crypto::PaillierPublicKey& public_key() const { return pub_; }
 
@@ -56,6 +66,10 @@ class QueryingParty {
   void AttachMetrics(obs::MetricsRegistry* registry);
 
  private:
+  /// DecryptSigned through the CRT fast path or, when
+  /// params_.crt_decrypt is false, the reference path.
+  Result<crypto::BigInt> DecryptSignedCt(const crypto::BigInt& c) const;
+
   ProtocolParams params_;
   std::unique_ptr<crypto::SecureRandom> rng_;
   crypto::PaillierPublicKey pub_;
@@ -93,6 +107,11 @@ class DataHolder {
   /// Attaches the holder's public-key copy to `registry` (paillier.* op
   /// counters). Call after ReceiveKey — receiving replaces the key object.
   void AttachMetrics(obs::MetricsRegistry* registry);
+
+  /// Routes this holder's encryptions through a pool of precomputed
+  /// randomizers (nullptr detaches). Like AttachMetrics, call after
+  /// ReceiveKey; the pool must outlive the holder.
+  void AttachRandomizerPool(crypto::RandomizerPool* pool);
 
  private:
   std::string name_;

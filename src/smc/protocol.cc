@@ -17,6 +17,7 @@ ProtocolParams ToParams(const SmcConfig& cfg) {
   p.blind_bits = cfg.blind_bits;
   p.reveal_distances = cfg.reveal_distances;
   p.cache_ciphertexts = cfg.cache_ciphertexts;
+  p.crt_decrypt = cfg.crt_decrypt;
   return p;
 }
 
@@ -43,7 +44,26 @@ Status SecureRecordComparator::Init() {
   HPRL_RETURN_IF_ERROR(bob_.ReceiveKey(&bus_));
   initialized_ = true;
   if (metrics_ != nullptr) AttachMetrics(metrics_);  // re-attach fresh keys
+  if (pool_ != nullptr) AttachRandomizerPool(pool_);
   return Status::OK();
+}
+
+Status SecureRecordComparator::InitWithKeyPair(
+    const crypto::PaillierKeyPair& kp) {
+  HPRL_RETURN_IF_ERROR(qp_.PublishKeyPair(kp, &bus_, &costs_));
+  HPRL_RETURN_IF_ERROR(alice_.ReceiveKey(&bus_));
+  HPRL_RETURN_IF_ERROR(bob_.ReceiveKey(&bus_));
+  initialized_ = true;
+  if (metrics_ != nullptr) AttachMetrics(metrics_);  // re-attach fresh keys
+  if (pool_ != nullptr) AttachRandomizerPool(pool_);
+  return Status::OK();
+}
+
+void SecureRecordComparator::AttachRandomizerPool(
+    crypto::RandomizerPool* pool) {
+  pool_ = pool;
+  alice_.AttachRandomizerPool(pool);
+  bob_.AttachRandomizerPool(pool);
 }
 
 void SecureRecordComparator::AttachMetrics(obs::MetricsRegistry* registry) {

@@ -46,6 +46,17 @@ struct SmcConfig {
   /// reveals nothing beyond the group structure the querying party already
   /// sees. Cuts per-pair encryptions from 3 per attribute to ~0 amortized.
   bool cache_ciphertexts = false;
+
+  /// Decrypt through the CRT fast path (two half-width exponentiations).
+  /// false forces the reference lambda/mu path — the honest baseline for
+  /// before/after benchmarks.
+  bool crt_decrypt = true;
+
+  /// Target depth of the precomputed-randomizer pool used by the batch
+  /// engine (BatchSmcEngine); 0 disables the pool. Standalone comparators
+  /// never pool (their encryptions stay inline), so this knob only matters
+  /// when comparing through SmcMatchOracle / BatchSmcEngine.
+  int randomizer_pool_depth = 64;
 };
 
 /// Drives the paper's §V-A secure record comparison among the three party
@@ -70,6 +81,18 @@ class SecureRecordComparator {
 
   /// Generates the querying party's key pair and publishes the public key.
   Status Init();
+
+  /// Init with an externally generated key pair: the querying party installs
+  /// `kp` instead of generating its own. Lets N worker comparators share one
+  /// published key (batch engine) and lets benches exclude key generation.
+  Status InitWithKeyPair(const crypto::PaillierKeyPair& kp);
+
+  /// Routes the data holders' encryptions through a pool of precomputed
+  /// r^n mod n² randomizers (nullptr detaches). Call after Init — key setup
+  /// replaces the holders' key objects and with them the attachment; the
+  /// comparator re-applies the pool if Init runs again. The pool must
+  /// outlive the comparator's use of it.
+  void AttachRandomizerPool(crypto::RandomizerPool* pool);
 
   /// Runs the full protocol on one record pair. Text attributes are not
   /// supported by the cryptographic step (paper future work).
@@ -113,6 +136,7 @@ class SecureRecordComparator {
   SmcCosts costs_;
   bool initialized_ = false;
   obs::MetricsRegistry* metrics_ = nullptr;  // not owned; may be null
+  crypto::RandomizerPool* pool_ = nullptr;   // not owned; may be null
 
   // The three §V-A roles; each owns only its own secrets (see smc/parties.h).
   QueryingParty qp_;

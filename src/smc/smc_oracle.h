@@ -1,44 +1,64 @@
 #ifndef HPRL_SMC_SMC_ORACLE_H_
 #define HPRL_SMC_SMC_ORACLE_H_
 
+#include <utility>
+
 #include "linkage/oracle.h"
-#include "smc/protocol.h"
+#include "smc/batch_engine.h"
 
 namespace hprl::smc {
 
 /// MatchOracle backed by the real three-party Paillier protocol. Every
-/// Compare runs the full §V-A exchange (keys are generated once at Init).
+/// Compare runs the full §V-A exchange. Backed by BatchSmcEngine: the key
+/// pair is generated once at Init and shared by `threads` worker comparator
+/// stacks, so CompareBatch drains a batch in parallel while single
+/// comparisons run on worker 0. Results and cost accounting are identical
+/// for every thread count (see BatchSmcEngine).
 class SmcMatchOracle : public MatchOracle {
  public:
-  SmcMatchOracle(SmcConfig config, MatchRule rule)
-      : comparator_(config, std::move(rule)) {}
+  SmcMatchOracle(SmcConfig config, MatchRule rule, int threads = 1)
+      : engine_(config, std::move(rule), threads) {}
 
-  Status Init() { return comparator_.Init(); }
+  Status Init() { return engine_.Init(); }
 
   Result<bool> Compare(const Record& a, const Record& b) override {
-    return comparator_.Compare(a, b);
+    return engine_.CompareRows(-1, -1, a, b);
   }
 
   Result<bool> CompareRows(int64_t a_id, int64_t b_id, const Record& a,
                            const Record& b) override {
-    return comparator_.CompareRows(a_id, b_id, a, b);
+    return engine_.CompareRows(a_id, b_id, a, b);
   }
 
-  int64_t invocations() const override {
-    return comparator_.costs().invocations;
+  Result<std::vector<uint8_t>> CompareBatch(
+      const std::vector<RowPairRequest>& batch) override {
+    return engine_.CompareBatch(batch);
   }
 
-  /// Wires the registry through the whole protocol stack: message bus,
-  /// party key objects (paillier.* counters) and per-compare latencies.
+  int64_t invocations() const override { return engine_.costs().invocations; }
+
+  /// Wires the registry through the whole protocol stack: every worker's
+  /// message bus and party keys (paillier.* counters), per-compare
+  /// latencies, batch latencies and the randomizer-pool gauges.
   void AttachMetrics(obs::MetricsRegistry* registry) override {
-    comparator_.AttachMetrics(registry);
+    engine_.AttachMetrics(registry);
   }
 
-  const SmcCosts& costs() const { return comparator_.costs(); }
-  const MessageBus& bus() const { return comparator_.bus(); }
+  int threads() const { return engine_.threads(); }
+
+  /// Aggregated costs across the engine's workers.
+  const SmcCosts& costs() const { return engine_.costs(); }
+
+  /// Worker 0's message bus (per-worker traffic).
+  const MessageBus& bus() const { return engine_.bus(); }
+
+  /// The engine's shared randomizer pool; nullptr when disabled.
+  crypto::RandomizerPool* randomizer_pool() {
+    return engine_.randomizer_pool();
+  }
 
  private:
-  SecureRecordComparator comparator_;
+  BatchSmcEngine engine_;
 };
 
 }  // namespace hprl::smc

@@ -171,6 +171,62 @@ TEST(ParallelBlockingTest, IdenticalToSequential) {
   EXPECT_FALSE(RunBlocking(*anon_r, *anon_s, *rule, 0).ok());
 }
 
+TEST_F(WorkedExampleBlocking, SlackCacheCountersPublished) {
+  obs::MetricsRegistry registry;
+  auto blocking = RunBlocking(anon_r_, anon_s_, rule_, 1, &registry);
+  ASSERT_TRUE(blocking.ok());
+  auto counters = registry.CounterValues();
+  // 2 R-groups x 3 S-groups x 2 attrs = 12 lookups minus early mismatch
+  // exits; every lookup hits the memo table, which computed at most
+  // |V1^R|·|V1^S| + |V2^R|·|V2^S| = 2*3 + 2*2 = 10 entries.
+  EXPECT_GT(counters.at("blocking.slack_cache_hits"), 0);
+  EXPECT_LE(counters.at("blocking.slack_cache_misses"), 10);
+  EXPECT_EQ(counters.at("blocking.pairs_u"), 18);
+}
+
+TEST(ParallelBlockingTest, WorkStealingHandlesSkewedGroupCounts) {
+  // One giant education range plus many singletons — under a static range
+  // split most threads would finish instantly; chunked stealing must still
+  // produce the sequential result bit for bit.
+  AttrRule a;
+  a.attr_index = 0;
+  a.type = AttrType::kCategorical;
+  a.theta = 0.3;
+  MatchRule rule;
+  rule.attrs = {a};
+
+  AnonymizedTable anon_r, anon_s;
+  const int kGroups = 97;  // not a multiple of any thread count below
+  anon_r.num_rows = kGroups;
+  anon_s.num_rows = kGroups;
+  for (int i = 0; i < kGroups; ++i) {
+    anon_r.groups.push_back(
+        {{GenValue::CategoryRange(i % 11, i % 11 + 1 + i % 3)}, {i}});
+    anon_s.groups.push_back(
+        {{GenValue::CategoryRange((i * 7) % 13, (i * 7) % 13 + 1)}, {i}});
+  }
+
+  auto seq = RunBlocking(anon_r, anon_s, rule, 1);
+  ASSERT_TRUE(seq.ok());
+  for (int threads : {2, 5, 16}) {
+    auto par = RunBlocking(anon_r, anon_s, rule, threads);
+    ASSERT_TRUE(par.ok()) << threads;
+    EXPECT_EQ(par->matched_pairs, seq->matched_pairs) << threads;
+    EXPECT_EQ(par->mismatched_pairs, seq->mismatched_pairs) << threads;
+    EXPECT_EQ(par->unknown_pairs, seq->unknown_pairs) << threads;
+    ASSERT_EQ(par->unknown.size(), seq->unknown.size()) << threads;
+    for (size_t i = 0; i < seq->unknown.size(); ++i) {
+      EXPECT_EQ(par->unknown[i].group_r, seq->unknown[i].group_r);
+      EXPECT_EQ(par->unknown[i].group_s, seq->unknown[i].group_s);
+    }
+    ASSERT_EQ(par->matches.size(), seq->matches.size()) << threads;
+    for (size_t i = 0; i < seq->matches.size(); ++i) {
+      EXPECT_EQ(par->matches[i].group_r, seq->matches[i].group_r);
+      EXPECT_EQ(par->matches[i].group_s, seq->matches[i].group_s);
+    }
+  }
+}
+
 TEST(HeuristicNamesTest, ParseRoundTrip) {
   for (SelectionHeuristic h :
        {SelectionHeuristic::kMinFirst, SelectionHeuristic::kMaxLast,

@@ -67,12 +67,30 @@ TEST(SpecParserTest, ThreadsDirective) {
   ASSERT_TRUE(spec.ok());
   EXPECT_EQ(spec->threads, 4);
   EXPECT_FALSE(ParseLinkageSpec("attr x text\nthreads 0\n", ".").ok());
+
+  auto auto_spec = ParseLinkageSpec("attr x text\nthreads auto\n", ".");
+  ASSERT_TRUE(auto_spec.ok());
+  EXPECT_EQ(auto_spec->threads, 0);
+}
+
+TEST(SpecParserTest, SmcThreadsDirective) {
+  auto spec = ParseLinkageSpec("attr x text\nsmc_threads 3\n", ".");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->smc_threads, 3);
+  EXPECT_EQ(spec->threads, 0);  // independent knobs
+  EXPECT_FALSE(ParseLinkageSpec("attr x text\nsmc_threads 0\n", ".").ok());
+
+  auto auto_spec = ParseLinkageSpec("attr x text\nsmc_threads auto\n", ".");
+  ASSERT_TRUE(auto_spec.ok());
+  EXPECT_EQ(auto_spec->smc_threads, 0);
 }
 
 TEST(SpecParserTest, DefaultsApply) {
   auto spec = ParseLinkageSpec("attr age numeric equiwidth 0 10 4\n", ".");
   ASSERT_TRUE(spec.ok());
-  EXPECT_EQ(spec->threads, 1);
+  // 0 = auto: the runner resolves both to hardware_concurrency.
+  EXPECT_EQ(spec->threads, 0);
+  EXPECT_EQ(spec->smc_threads, 0);
   EXPECT_EQ(spec->k, 32);
   EXPECT_DOUBLE_EQ(spec->allowance, 0.015);
   EXPECT_EQ(spec->heuristic, SelectionHeuristic::kMinAvgFirst);

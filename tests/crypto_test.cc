@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "crypto/bigint.h"
 #include "crypto/fixed_point.h"
 #include "crypto/paillier.h"
@@ -212,6 +214,173 @@ TEST_F(PaillierTest, RerandomizePreservesPlaintext) {
   ASSERT_TRUE(c2.ok());
   EXPECT_NE(*c, *c2);
   EXPECT_EQ(*priv_.Decrypt(*c2), BigInt(31337));
+}
+
+TEST_F(PaillierTest, CrtDecryptMatchesReferenceOnEdgePlaintexts) {
+  ASSERT_TRUE(priv_.has_crt());
+  const BigInt n = pub_.n();
+  const BigInt half = n / BigInt(2);
+  const std::vector<BigInt> plaintexts = {
+      BigInt(0),          BigInt(1),         BigInt(2),
+      BigInt(424242),     half - BigInt(1),  half,
+      half + BigInt(1),   n - BigInt(2),     n - BigInt(1)};
+  for (const BigInt& m : plaintexts) {
+    auto c = pub_.Encrypt(m, rng_);
+    ASSERT_TRUE(c.ok());
+    auto fast = priv_.Decrypt(*c);
+    auto ref = priv_.DecryptReference(*c);
+    ASSERT_TRUE(fast.ok() && ref.ok());
+    EXPECT_EQ(*fast, *ref) << m.ToString();
+    EXPECT_EQ(*fast, m) << m.ToString();
+  }
+}
+
+TEST_F(PaillierTest, CrtSignedDecryptMatchesReference) {
+  for (int64_t x : {0LL, 1LL, -1LL, 1000LL, -1000LL, 123456789LL,
+                    -123456789LL}) {
+    auto c = pub_.EncryptSigned(BigInt(x), rng_);
+    ASSERT_TRUE(c.ok());
+    auto fast = priv_.DecryptSigned(*c);
+    auto ref = priv_.DecryptSignedReference(*c);
+    ASSERT_TRUE(fast.ok() && ref.ok());
+    EXPECT_EQ(*fast, *ref) << x;
+    EXPECT_EQ(*fast, BigInt(x)) << x;
+  }
+}
+
+TEST_F(PaillierTest, CrtSurvivesHomomorphicArithmetic) {
+  // Homomorphic results are the ciphertexts the SMC protocol actually
+  // decrypts — check the fast path on those, not just fresh encryptions.
+  int64_t x = 357, y = 123;
+  auto cx2 = pub_.EncryptSigned(BigInt(x * x), rng_);
+  auto cm2x = pub_.EncryptSigned(BigInt(-2 * x), rng_);
+  auto cy2 = pub_.EncryptSigned(BigInt(y * y), rng_);
+  ASSERT_TRUE(cx2.ok() && cm2x.ok() && cy2.ok());
+  BigInt c = pub_.Add(pub_.Add(*cx2, pub_.ScalarMul(*cm2x, BigInt(y))), *cy2);
+  auto fast = priv_.DecryptSigned(c);
+  auto ref = priv_.DecryptSignedReference(c);
+  ASSERT_TRUE(fast.ok() && ref.ok());
+  EXPECT_EQ(*fast, *ref);
+  EXPECT_EQ(*fast, BigInt((x - y) * (x - y)));
+}
+
+TEST(PaillierCrtTest, ReferenceOnlyKeyStillDecrypts) {
+  // A key built through the legacy (n, lambda, mu) ctor has no CRT data and
+  // must transparently fall back to the reference path.
+  SecureRandom rng(4321);
+  BigInt p = rng.NextPrime(128);
+  BigInt q = rng.NextPrime(128);
+  while (q == p) q = rng.NextPrime(128);
+  BigInt n = p * q;
+  BigInt lambda = BigInt::Lcm(p - BigInt(1), q - BigInt(1));
+  auto mu = BigInt::ModInverse(lambda, n);  // g = n+1 ⇒ L(g^λ) = λ mod n
+  ASSERT_TRUE(mu.ok());
+  PaillierPublicKey pub(n);
+  PaillierPrivateKey priv(n, lambda, *mu);
+  EXPECT_FALSE(priv.has_crt());
+
+  auto crt = PaillierPrivateKey::FromPrimes(p, q);
+  ASSERT_TRUE(crt.ok());
+  EXPECT_TRUE(crt->has_crt());
+
+  SecureRandom enc_rng(55);
+  for (int64_t m : {0LL, 7LL, 31337LL}) {
+    auto c = pub.Encrypt(BigInt(m), enc_rng);
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(*priv.Decrypt(*c), BigInt(m));
+    EXPECT_EQ(*crt->Decrypt(*c), BigInt(m));
+  }
+}
+
+TEST(PaillierCrtTest, FromPrimesRejectsBadModulus) {
+  // p == q gives gcd(n, λ) != 1 — FromPrimes must refuse it.
+  BigInt p(104729);
+  EXPECT_FALSE(PaillierPrivateKey::FromPrimes(p, p).ok());
+}
+
+class RandomizerPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SecureRandom rng(2024);
+    auto kp = GeneratePaillierKeyPair(kTestKeyBits, rng);
+    ASSERT_TRUE(kp.ok()) << kp.status().ToString();
+    pub_ = kp->pub;
+    priv_ = kp->priv;
+  }
+  SecureRandom rng_{7};
+  PaillierPublicKey pub_;
+  PaillierPrivateKey priv_;
+};
+
+TEST_F(RandomizerPoolTest, PooledEncryptionRoundTrips) {
+  RandomizerPool pool(pub_, /*target_depth=*/8, /*test_seed=*/99);
+  pool.Prefill(8);
+  EXPECT_EQ(pool.depth(), 8);
+  pub_.AttachRandomizerPool(&pool);
+  for (int64_t m : {0LL, 1LL, 123456LL}) {
+    auto c = pub_.Encrypt(BigInt(m), rng_);
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(*priv_.Decrypt(*c), BigInt(m)) << m;
+  }
+  auto cs = pub_.EncryptSigned(BigInt(-777), rng_);
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(*priv_.DecryptSigned(*cs), BigInt(-777));
+  EXPECT_GT(pool.hits(), 0);
+  EXPECT_EQ(pool.misses(), 0);
+}
+
+TEST_F(RandomizerPoolTest, PooledRerandomizePreservesPlaintext) {
+  RandomizerPool pool(pub_, 4, 5);
+  pool.Prefill(4);
+  pub_.AttachRandomizerPool(&pool);
+  auto c = pub_.Encrypt(BigInt(31337), rng_);
+  ASSERT_TRUE(c.ok());
+  auto c2 = pub_.Rerandomize(*c, rng_);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NE(*c, *c2);
+  EXPECT_EQ(*priv_.Decrypt(*c2), BigInt(31337));
+}
+
+TEST_F(RandomizerPoolTest, DrainedPoolFallsBackInline) {
+  RandomizerPool pool(pub_, 2, 11);
+  pool.Prefill(2);
+  pub_.AttachRandomizerPool(&pool);
+  for (int i = 0; i < 5; ++i) {
+    auto c = pub_.Encrypt(BigInt(i), rng_);
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(*priv_.Decrypt(*c), BigInt(i));
+  }
+  EXPECT_EQ(pool.hits(), 2);
+  EXPECT_EQ(pool.misses(), 3);
+}
+
+TEST_F(RandomizerPoolTest, BackgroundFillerServesTakes) {
+  // Exercises the filler thread / Take() handoff (TSan covers the races).
+  RandomizerPool pool(pub_, 6, 13);
+  pool.Start();
+  for (int i = 0; i < 20; ++i) {
+    BigInt rn = pool.Take();
+    // Every value must be a valid unit r^n mod n²: decrypting it as a
+    // ciphertext of 0 must give 0.
+    EXPECT_EQ(*priv_.Decrypt(rn), BigInt(0));
+  }
+  pool.Stop();
+  EXPECT_EQ(pool.hits() + pool.misses(), 20);
+}
+
+TEST_F(RandomizerPoolTest, MetricsStreamHitsMissesDepth) {
+  obs::MetricsRegistry registry;
+  RandomizerPool pool(pub_, 3, 17);
+  pool.AttachMetrics(&registry);
+  pool.Prefill(3);
+  pub_.AttachRandomizerPool(&pool);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(pub_.Encrypt(BigInt(i), rng_).ok());
+  }
+  auto counters = registry.CounterValues();
+  EXPECT_EQ(counters.at("paillier.randomizer_pool_hits"), 3);
+  EXPECT_EQ(counters.at("paillier.randomizer_pool_misses"), 1);
+  EXPECT_EQ(registry.GaugeValues().at("paillier.randomizer_pool_depth"), 0);
 }
 
 TEST(PaillierKeyGenTest, RejectsTinyModulus) {

@@ -1,0 +1,194 @@
+// Determinism of the batch-parallel SMC engine: every thread count must
+// produce bit-identical labels, identical budget accounting and identical
+// deterministic metrics. (smc.bytes_sent is deliberately NOT compared — the
+// serialized length of a ciphertext depends on its random value, so byte
+// traffic is equal only in distribution across thread counts.)
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/session.h"
+#include "smc/batch_engine.h"
+#include "smc/smc_oracle.h"
+
+namespace hprl {
+namespace {
+
+struct Workload {
+  ExperimentData data;
+  AnonymizedTable anon_r;
+  AnonymizedTable anon_s;
+  MatchRule rule;
+};
+
+const Workload& SmallWorkload() {
+  static const Workload* w = [] {
+    auto data = PrepareAdultData(80, 77);
+    EXPECT_TRUE(data.ok());
+    auto cfg = MakeAdultAnonConfig(*data, 3, 4);
+    EXPECT_TRUE(cfg.ok());
+    auto anonymizer = MakeMaxEntropyAnonymizer(*cfg);
+    auto anon_r = anonymizer->Anonymize(data->split.d1);
+    auto anon_s = anonymizer->Anonymize(data->split.d2);
+    EXPECT_TRUE(anon_r.ok() && anon_s.ok());
+    std::vector<VghPtr> vghs;
+    for (const auto& n : adult::AdultQidNames()) {
+      vghs.push_back(data->hierarchies.ByName(n));
+    }
+    auto rule =
+        MakeUniformRule(data->schema, adult::AdultQidNames(), vghs, 3, 0.05);
+    EXPECT_TRUE(rule.ok());
+    return new Workload{std::move(data).value(), std::move(anon_r).value(),
+                        std::move(anon_s).value(), std::move(rule).value()};
+  }();
+  return *w;
+}
+
+smc::SmcConfig TestSmcConfig() {
+  smc::SmcConfig cfg;
+  cfg.key_bits = 256;  // small key keeps the suite fast; semantics equal
+  cfg.test_seed = 11;
+  return cfg;
+}
+
+std::vector<RowPairRequest> MakeBatch(const Workload& w, size_t limit) {
+  std::vector<RowPairRequest> batch;
+  const Table& r = w.data.split.d1;
+  const Table& s = w.data.split.d2;
+  for (int64_t i = 0; i < r.num_rows() && batch.size() < limit; ++i) {
+    for (int64_t j = 0; j < s.num_rows() && batch.size() < limit; ++j) {
+      batch.push_back({i, j, &r.row(i), &s.row(j)});
+    }
+  }
+  return batch;
+}
+
+TEST(BatchSmcEngineTest, BatchLabelsIdenticalAcrossThreadCounts) {
+  const Workload& w = SmallWorkload();
+  const auto batch = MakeBatch(w, 40);
+
+  std::vector<std::vector<uint8_t>> labels_by_threads;
+  std::vector<smc::SmcCosts> costs_by_threads;
+  for (int threads : {1, 4}) {
+    smc::BatchSmcEngine engine(TestSmcConfig(), w.rule, threads);
+    ASSERT_TRUE(engine.Init().ok());
+    auto labels = engine.CompareBatch(batch);
+    ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+    labels_by_threads.push_back(std::move(labels).value());
+    costs_by_threads.push_back(engine.costs());
+  }
+  EXPECT_EQ(labels_by_threads[0], labels_by_threads[1]);
+  EXPECT_EQ(costs_by_threads[0].invocations, costs_by_threads[1].invocations);
+  EXPECT_EQ(costs_by_threads[0].encryptions, costs_by_threads[1].encryptions);
+  EXPECT_EQ(costs_by_threads[0].decryptions, costs_by_threads[1].decryptions);
+
+  // And the labels are the exact plaintext outcomes (SMC is exact).
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(labels_by_threads[0][i] != 0,
+              RecordsMatch(*batch[i].a, *batch[i].b, w.rule))
+        << i;
+  }
+}
+
+TEST(BatchSmcEngineTest, BatchAgreesWithSerialCompareRows) {
+  const Workload& w = SmallWorkload();
+  const auto batch = MakeBatch(w, 20);
+
+  smc::BatchSmcEngine engine(TestSmcConfig(), w.rule, 3);
+  ASSERT_TRUE(engine.Init().ok());
+  auto labels = engine.CompareBatch(batch);
+  ASSERT_TRUE(labels.ok());
+
+  smc::BatchSmcEngine serial(TestSmcConfig(), w.rule, 1);
+  ASSERT_TRUE(serial.Init().ok());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto m = serial.CompareRows(batch[i].a_id, batch[i].b_id, *batch[i].a,
+                                *batch[i].b);
+    ASSERT_TRUE(m.ok());
+    EXPECT_EQ((*labels)[i] != 0, *m) << i;
+  }
+}
+
+// The full pipeline: serial and parallel SMC oracles must produce identical
+// HybridResults — same links, same budget accounting — and identical
+// deterministic metrics.
+TEST(ParallelSmcPipelineTest, SerialAndParallelRunsAreIdentical) {
+  const Workload& w = SmallWorkload();
+
+  HybridConfig hc;
+  hc.rule = w.rule;
+  hc.smc_allowance_fraction = 1.0;
+  hc.collect_matches = true;
+
+  struct RunOutcome {
+    HybridResult result;
+    std::map<std::string, int64_t> counters;
+    std::map<std::string, obs::Histogram::Summary> histograms;
+  };
+  auto run_with = [&](int smc_threads) -> RunOutcome {
+    smc::SmcMatchOracle oracle(TestSmcConfig(), w.rule, smc_threads);
+    EXPECT_TRUE(oracle.Init().ok());
+    obs::MetricsRegistry registry;
+    auto out = LinkageSession()
+                   .WithTables(w.data.split.d1, w.data.split.d2)
+                   .WithReleases(w.anon_r, w.anon_s)
+                   .WithConfig(hc)
+                   .WithOracle(oracle)
+                   .WithMetrics(&registry)
+                   .Run();
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return {std::move(out).value(), registry.CounterValues(),
+            registry.HistogramSummaries()};
+  };
+
+  RunOutcome serial = run_with(1);
+  RunOutcome parallel = run_with(4);
+
+  // Identical links (order included: results are position-addressed).
+  EXPECT_EQ(serial.result.matched_row_pairs, parallel.result.matched_row_pairs);
+  EXPECT_GT(serial.result.matched_row_pairs.size(), 0u);
+
+  // Identical budget accounting.
+  EXPECT_EQ(serial.result.smc_processed, parallel.result.smc_processed);
+  EXPECT_EQ(serial.result.smc_matched, parallel.result.smc_matched);
+  EXPECT_EQ(serial.result.reported_matches, parallel.result.reported_matches);
+  EXPECT_EQ(serial.result.allowance_pairs, parallel.result.allowance_pairs);
+  EXPECT_EQ(serial.result.unknown_pairs, parallel.result.unknown_pairs);
+  EXPECT_GT(serial.result.smc_processed, 0);
+
+  // Identical deterministic counters. Byte/traffic counters are excluded on
+  // purpose (see file comment); pool hit/miss split depends on filler timing
+  // but the total number of takes does not.
+  for (const char* name :
+       {"smc.invocations", "smc.matched", "smc.allowance_pairs", "smc.rounds",
+        "smc.attr_comparisons", "smc.batches", "linkage.reported_matches",
+        "paillier.decryptions", "paillier.encryptions",
+        "paillier.homomorphic_adds", "paillier.scalar_muls",
+        "blocking.pairs_total", "blocking.pairs_m", "blocking.pairs_u",
+        "blocking.slack_cache_hits", "blocking.slack_cache_misses"}) {
+    ASSERT_TRUE(serial.counters.count(name)) << name;
+    ASSERT_TRUE(parallel.counters.count(name)) << name;
+    EXPECT_EQ(serial.counters.at(name), parallel.counters.at(name)) << name;
+  }
+  const int64_t serial_takes =
+      serial.counters.at("paillier.randomizer_pool_hits") +
+      serial.counters.at("paillier.randomizer_pool_misses");
+  const int64_t parallel_takes =
+      parallel.counters.at("paillier.randomizer_pool_hits") +
+      parallel.counters.at("paillier.randomizer_pool_misses");
+  EXPECT_EQ(serial_takes, parallel_takes);
+
+  // Same number of per-compare and per-batch latency samples.
+  EXPECT_EQ(serial.histograms.at("smc.compare_seconds").count,
+            parallel.histograms.at("smc.compare_seconds").count);
+  EXPECT_EQ(serial.histograms.at("smc.batch_seconds").count,
+            parallel.histograms.at("smc.batch_seconds").count);
+}
+
+}  // namespace
+}  // namespace hprl

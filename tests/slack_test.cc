@@ -223,5 +223,82 @@ TEST_F(WorkedExampleTest, DecisionIsSoundOnConcretePairs) {
   }
 }
 
+// ------------------------------------------------------- memoized table
+
+TEST_F(WorkedExampleTest, SlackTableMatchesSlackDecide) {
+  // The paper's §III sequences, with duplicates so interning has work to do.
+  std::vector<GenSequence> seqs_r = {
+      {Edu("Masters"), GenValue::NumericInterval(35, 37)},
+      {Edu("Secondary"), GenValue::NumericInterval(1, 35)},
+      {Edu("Masters"), GenValue::NumericInterval(1, 35)},
+      {Edu("Secondary"), GenValue::NumericInterval(1, 35)},  // dup of [1]
+  };
+  std::vector<GenSequence> seqs_s = {
+      {Edu("Masters"), GenValue::NumericInterval(35, 37)},
+      {Edu("ANY"), GenValue::NumericInterval(1, 35)},
+      {Edu("Senior Sec."), GenValue::NumericInterval(1, 35)},
+      {Edu("ANY"), GenValue::NumericInterval(1, 35)},  // dup of [1]
+  };
+  std::vector<const GenSequence*> ptrs_r, ptrs_s;
+  for (const auto& s : seqs_r) ptrs_r.push_back(&s);
+  for (const auto& s : seqs_s) ptrs_s.push_back(&s);
+
+  SlackTable table(ptrs_r, ptrs_s, rule_);
+  int64_t lookups = 0;
+  for (size_t r = 0; r < seqs_r.size(); ++r) {
+    for (size_t s = 0; s < seqs_s.size(); ++s) {
+      EXPECT_EQ(table.Decide(r, s, &lookups),
+                SlackDecide(seqs_r[r], seqs_s[s], rule_))
+          << r << "," << s;
+    }
+  }
+  EXPECT_GT(lookups, 0);
+  // Education: 2 distinct R values x 3 distinct S values; numeric: 2 x 2.
+  // 2*3 + 2*2 = 10 computed entries, far fewer than the 4*4*2 = 32 AttrSlack
+  // calls of the direct sweep.
+  EXPECT_EQ(table.entries_computed(), 10);
+  EXPECT_LT(table.entries_computed(), lookups);
+}
+
+TEST(SlackTableRandomTest, AgreesWithSlackDecideOnRandomNumericSequences) {
+  AttrRule num1 = NumRule(0.1, 100);
+  num1.attr_index = 0;
+  AttrRule num2 = NumRule(0.3, 100);
+  num2.attr_index = 1;
+  MatchRule rule;
+  rule.attrs = {num1, num2};
+
+  Rng rng(123);
+  auto random_seqs = [&](int count) {
+    std::vector<GenSequence> seqs;
+    for (int i = 0; i < count; ++i) {
+      GenSequence seq;
+      for (int a = 0; a < 2; ++a) {
+        // Coarse grid so values repeat across sequences.
+        double lo = 10 * static_cast<int>(rng.NextDouble(0, 8));
+        double hi = lo + 10 * (1 + static_cast<int>(rng.NextDouble(0, 3)));
+        seq.push_back(GenValue::NumericInterval(lo, hi));
+      }
+      seqs.push_back(std::move(seq));
+    }
+    return seqs;
+  };
+  auto seqs_r = random_seqs(30);
+  auto seqs_s = random_seqs(25);
+  std::vector<const GenSequence*> ptrs_r, ptrs_s;
+  for (const auto& s : seqs_r) ptrs_r.push_back(&s);
+  for (const auto& s : seqs_s) ptrs_s.push_back(&s);
+
+  SlackTable table(ptrs_r, ptrs_s, rule);
+  for (size_t r = 0; r < seqs_r.size(); ++r) {
+    for (size_t s = 0; s < seqs_s.size(); ++s) {
+      EXPECT_EQ(table.Decide(r, s), SlackDecide(seqs_r[r], seqs_s[s], rule))
+          << r << "," << s;
+    }
+  }
+  EXPECT_LT(table.entries_computed(),
+            static_cast<int64_t>(2 * seqs_r.size() * seqs_s.size()));
+}
+
 }  // namespace
 }  // namespace hprl

@@ -3,7 +3,7 @@
 //   hprl_link --spec linkage.spec --r holder_a.csv --s holder_b.csv
 //             [--links links.csv] [--release-r ra.txt] [--release-s rb.txt]
 //             [--with-rows] [--evaluate] [--metrics_out run.json]
-//             [--threads N]
+//             [--threads N] [--smc_threads N]
 //
 // The spec file declares attributes, hierarchies, thresholds and protocol
 // parameters (see src/cli/spec.h for the format). With `keybits > 0` in the
@@ -32,6 +32,10 @@ int main(int argc, char** argv) {
       "metrics_out", "", "write a JSON run report (spans, counters) here");
   int64_t* threads = flags.AddInt(
       "threads", 0, "blocking worker threads (0 = use the spec's setting)");
+  int64_t* smc_threads = flags.AddInt(
+      "smc_threads", 0,
+      "SMC worker comparators (0 = use the spec's setting; both default to "
+      "the machine's hardware concurrency)");
 
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kNotFound) return 0;  // --help
@@ -59,6 +63,7 @@ int main(int argc, char** argv) {
   options.evaluate = *evaluate;
   options.metrics_out = *metrics_out;
   options.threads_override = static_cast<int>(*threads);
+  options.smc_threads_override = static_cast<int>(*smc_threads);
 
   auto report = cli::RunLinkageFromFiles(*spec, *csv_r, *csv_s, options);
   if (!report.ok()) {
