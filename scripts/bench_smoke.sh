@@ -51,6 +51,8 @@ def series(path):
 timing = series("timing.json")
 smc_serial = timing["smc_stage_serial_reference"]["smc_seconds"]
 smc_fast = timing["smc_stage_fast"]["smc_seconds"]
+smc_plain_call = timing["smc_compare_plain"]["smc_seconds"]
+smc_fault_call = timing["smc_compare_fault_layer"]["smc_seconds"]
 
 blocking = series("blocking.json")
 direct = blocking["direct_slack_decide"]["blocking_seconds"]
@@ -70,6 +72,15 @@ report = {
         "serial_reference_seconds": smc_serial,
         "fast_seconds": smc_fast,
         "speedup": smc_serial / smc_fast,
+    },
+    # Fault-injection layer decorating the transport at all-zero rates,
+    # measured as the per-comparison latency floor on the serial protocol:
+    # the overhead_fraction target on the SMC stage is < 0.03.
+    "smc_stage_fault_overhead": {
+        "plain_compare_seconds": smc_plain_call,
+        "fault_layer_compare_seconds": smc_fault_call,
+        "overhead_fraction": (smc_fault_call - smc_plain_call)
+                             / smc_plain_call,
     },
     "blocking_sweep": {
         "direct_seconds": direct,

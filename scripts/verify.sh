@@ -12,19 +12,33 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+echo "== fault-matrix smoke: three pinned fault schedules =="
+# ctest already ran the suite at the default seed (11); sweep two more
+# schedules so a fix tuned to one seed cannot pass silently.
+for seed in 11 23 47; do
+  echo "-- fault schedule seed ${seed}"
+  HPRL_FAULT_SEED="${seed}" ./build/tests/fault_test --gtest_brief=1
+done
+
 if [[ "${1:-}" == "--fast" ]]; then
-  echo "== skipped TSan pass (--fast) =="
+  echo "== skipped sanitizer passes (--fast) =="
   exit 0
 fi
 
-echo "== TSan: metrics registry + threaded blocking + parallel SMC =="
+echo "== ASan: fault injection (corrupted payloads, retries, checkpoints) =="
+cmake -B build-asan -S . -DHPRL_SANITIZE=address >/dev/null
+cmake --build build-asan -j --target fault_test
+./build-asan/tests/fault_test
+
+echo "== TSan: metrics registry + threaded blocking + parallel/faulty SMC =="
 cmake -B build-tsan -S . -DHPRL_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target obs_test blocking_test session_test \
-  parallel_smc_test crypto_test
+  parallel_smc_test crypto_test fault_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/blocking_test
 ./build-tsan/tests/session_test
 ./build-tsan/tests/parallel_smc_test
 ./build-tsan/tests/crypto_test
+./build-tsan/tests/fault_test
 
 echo "== verify OK =="

@@ -198,6 +198,16 @@ std::string RunnerReport::ToString() const {
                    static_cast<long long>(result.allowance_pairs));
   out += StrFormat("links reported: %lld (precision 100%% by construction)\n",
                    static_cast<long long>(result.reported_matches));
+  if (result.quarantined_pairs > 0) {
+    out += StrFormat(
+        "degradation: %lld pairs quarantined by transport faults "
+        "(treated as non-matches)\n",
+        static_cast<long long>(result.quarantined_pairs));
+  }
+  if (result.resumed_pairs > 0) {
+    out += StrFormat("resume: %lld pairs restored from checkpoint\n",
+                     static_cast<long long>(result.resumed_pairs));
+  }
   if (result.true_matches >= 0) {
     out += StrFormat("evaluation: recall %.2f%% of %lld true matches\n",
                      100.0 * result.recall,
@@ -262,17 +272,47 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
   const int smc_threads =
       resolve(options.smc_threads_override, spec.smc_threads);
 
+  // Fault plan: CLI overrides (>= 0 rates, > 0 seed/latency) beat the
+  // spec's `fault` directives.
+  smc::FaultPlan fault_plan;
+  fault_plan.seed = options.fault_seed_override > 0
+                        ? static_cast<uint64_t>(options.fault_seed_override)
+                        : spec.fault_seed;
+  auto pick_rate = [](double override_v, double spec_v) {
+    return override_v >= 0 ? override_v : spec_v;
+  };
+  fault_plan.drop_rate = pick_rate(options.fault_drop_override,
+                                   spec.fault_drop);
+  fault_plan.corrupt_rate = pick_rate(options.fault_corrupt_override,
+                                      spec.fault_corrupt);
+  fault_plan.delay_rate = pick_rate(options.fault_delay_override,
+                                    spec.fault_delay);
+  fault_plan.crash_rate = pick_rate(options.fault_crash_override,
+                                    spec.fault_crash);
+  fault_plan.delay_micros =
+      options.fault_delay_micros_override >= 0
+          ? static_cast<int>(options.fault_delay_micros_override)
+          : spec.fault_delay_micros;
+
   LinkageSession session;
   session.WithTables(*table_r, *table_s)
       .WithReleases(*anon_r, *anon_s)
       .WithConfig(hc)
       .WithMetrics(metrics)
       .WithEvaluation(options.evaluate);
+  if (!options.checkpoint.empty()) session.WithCheckpoint(options.checkpoint);
 
   Result<HybridResult> result = Status::Internal("unset");
+  if (fault_plan.enabled() && spec.key_bits == 0) {
+    return Status::InvalidArgument(
+        "fault injection targets the SMC transport; it requires keybits > 0 "
+        "(the plaintext oracle has no transport to fault)");
+  }
   if (spec.key_bits > 0) {
     smc::SmcConfig smc_cfg;
     smc_cfg.key_bits = spec.key_bits;
+    smc_cfg.fault_plan = fault_plan;
+    smc_cfg.max_retries = spec.smc_retries;
     smc::SmcMatchOracle oracle(smc_cfg, plan->rule, smc_threads);
     HPRL_RETURN_IF_ERROR(oracle.Init());
     report.oracle = StrFormat("paillier-%d", spec.key_bits);
@@ -297,6 +337,15 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
     run.AddConfig("threads", StrFormat("%d", hc.blocking_threads));
     run.AddConfig("smc_threads", StrFormat("%d", smc_threads));
     run.AddConfig("oracle", report.oracle);
+    if (fault_plan.enabled()) {
+      run.AddConfig("fault_seed",
+                    StrFormat("%llu", static_cast<unsigned long long>(
+                                          fault_plan.seed)));
+      run.AddConfig("fault_rates",
+                    StrFormat("drop=%g corrupt=%g delay=%g crash=%g",
+                              fault_plan.drop_rate, fault_plan.corrupt_rate,
+                              fault_plan.delay_rate, fault_plan.crash_rate));
+    }
     std::string attrs;
     for (const AttrSpec& a : spec.attrs) {
       if (!attrs.empty()) attrs += ",";

@@ -29,6 +29,19 @@ struct RunnerOptions {
   /// of the batched SMC oracle).
   int smc_threads_override = 0;
 
+  /// Non-empty: resumable allowance drain — the session checkpoints after
+  /// every SMC batch and resumes from this path (core/checkpoint.h).
+  std::string checkpoint;
+
+  /// >= 0: override the spec's fault-injection rates (< 0 keeps the spec's
+  /// value). > 0 for the seed / delay overrides.
+  double fault_drop_override = -1;
+  double fault_corrupt_override = -1;
+  double fault_delay_override = -1;
+  double fault_crash_override = -1;
+  int64_t fault_seed_override = 0;
+  int64_t fault_delay_micros_override = -1;
+
   /// Optional external registry (not owned; may be null). When null and
   /// metrics_out is set, the runner uses a private registry for the report.
   obs::MetricsRegistry* metrics = nullptr;

@@ -1,5 +1,6 @@
 #include "cli/spec.h"
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -32,7 +33,12 @@ Result<AttrSpec> ParseAttrLine(const std::vector<std::string>& tok,
     } else if (i + 3 < tok.size() && tok[i] == "equiwidth") {
       auto lo = ParseDouble(tok[i + 1]);
       auto width = ParseDouble(tok[i + 2]);
-      if (!lo.ok() || !width.ok()) return err("bad equiwidth bounds");
+      // std::isfinite: ParseDouble accepts "nan"/"inf", and every NaN
+      // comparison is false, so a plain range check would wave them through.
+      if (!lo.ok() || !width.ok() || !std::isfinite(*lo) ||
+          !std::isfinite(*width) || *width <= 0) {
+        return err("bad equiwidth bounds");
+      }
       attr.lo = *lo;
       attr.leaf_width = *width;
       for (const auto& f : Split(tok[i + 3], ',')) {
@@ -63,7 +69,7 @@ Result<AttrSpec> ParseAttrLine(const std::vector<std::string>& tok,
   }
   if (i + 1 < tok.size() && tok[i] == "theta") {
     auto t = ParseDouble(tok[i + 1]);
-    if (!t.ok() || *t < 0) return err("bad theta");
+    if (!t.ok() || !std::isfinite(*t) || *t < 0) return err("bad theta");
     attr.theta = *t;
     i += 2;
   }
@@ -118,7 +124,9 @@ Result<LinkageSpec> ParseLinkageSpec(const std::string& text,
     } else if (key == "allowance") {
       if (tok.size() != 2) return err("allowance needs a value");
       auto v = ParseDouble(tok[1]);
-      if (!v.ok() || *v < 0 || *v > 1) return err("allowance must be in [0,1]");
+      if (!v.ok() || !std::isfinite(*v) || *v < 0 || *v > 1) {
+        return err("allowance must be in [0,1]");
+      }
       spec.allowance = *v;
     } else if (key == "heuristic") {
       if (tok.size() != 2) return err("heuristic needs a name");
@@ -133,6 +141,40 @@ Result<LinkageSpec> ParseLinkageSpec(const std::string& text,
       auto v = ParseInt(tok[1]);
       if (!v.ok() || *v < 0) return err("bad keybits");
       spec.key_bits = static_cast<int>(*v);
+    } else if (key == "smc_retries") {
+      if (tok.size() != 2) return err("smc_retries needs a value");
+      auto v = ParseInt(tok[1]);
+      if (!v.ok() || *v < 0) return err("bad smc_retries");
+      spec.smc_retries = static_cast<int>(*v);
+    } else if (key == "fault") {
+      if (tok.size() < 3) return err("fault needs: <kind> <value>");
+      const std::string& kind = tok[1];
+      if (kind == "seed") {
+        auto v = ParseInt(tok[2]);
+        if (!v.ok() || *v < 0 || tok.size() != 3) return err("bad fault seed");
+        spec.fault_seed = static_cast<uint64_t>(*v);
+      } else {
+        auto rate = ParseDouble(tok[2]);
+        if (!rate.ok() || !std::isfinite(*rate) || *rate < 0 || *rate > 1) {
+          return err("fault " + kind + " rate must be in [0,1]");
+        }
+        if (kind == "drop" && tok.size() == 3) {
+          spec.fault_drop = *rate;
+        } else if (kind == "corrupt" && tok.size() == 3) {
+          spec.fault_corrupt = *rate;
+        } else if (kind == "crash" && tok.size() == 3) {
+          spec.fault_crash = *rate;
+        } else if (kind == "delay" && (tok.size() == 3 || tok.size() == 4)) {
+          spec.fault_delay = *rate;
+          if (tok.size() == 4) {
+            auto us = ParseInt(tok[3]);
+            if (!us.ok() || *us < 0) return err("bad fault delay microseconds");
+            spec.fault_delay_micros = static_cast<int>(*us);
+          }
+        } else {
+          return err("unknown fault directive: " + kind);
+        }
+      }
     } else if (key == "threads" || key == "smc_threads") {
       if (tok.size() != 2) return err(key + " needs a value");
       int parsed = 0;

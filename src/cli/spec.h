@@ -1,6 +1,7 @@
 #ifndef HPRL_CLI_SPEC_H_
 #define HPRL_CLI_SPEC_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,12 @@ struct AttrSpec {
 ///   heuristic MinAvgFirst
 ///   anonymizer MaxEntropy
 ///   keybits 0            # 0 = exact plaintext oracle; >0 = Paillier bits
+///   smc_retries 3        # transient-fault retries per protocol exchange
+///   fault seed 11        # deterministic fault-injection schedule (smc/fault.h)
+///   fault drop 0.25      # rates are per protocol step, in [0,1]
+///   fault corrupt 0.25
+///   fault delay 0.1 50   # rate, then injected latency in microseconds
+///   fault crash 0.15
 ///
 /// Attribute order in the spec is the CSV column-matching order (columns are
 /// located by header name, so the CSV may contain extra columns).
@@ -57,6 +64,18 @@ struct LinkageSpec {
   int threads = 0;
   /// SMC worker comparators for the batched oracle; 0 / `auto` as above.
   int smc_threads = 0;
+
+  /// Transient-fault retries per protocol exchange (smc::SmcConfig).
+  int smc_retries = 3;
+
+  /// Fault-injection schedule for the SMC transport (smc::FaultPlan); all
+  /// rates zero (the default) leaves the transport undecorated.
+  uint64_t fault_seed = 1;
+  double fault_drop = 0;
+  double fault_corrupt = 0;
+  double fault_delay = 0;
+  int fault_delay_micros = 100;
+  double fault_crash = 0;
 };
 
 /// Parses the spec text. `base_dir` resolves relative vgh paths.

@@ -19,6 +19,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kIOError,
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -60,6 +61,9 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

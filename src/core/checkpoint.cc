@@ -1,0 +1,125 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace hprl {
+
+namespace {
+constexpr char kSchema[] = "hprl-smc-checkpoint/1";
+
+/// The fingerprint is a full uint64; JSON numbers are doubles, so it travels
+/// as a hex string to survive the round trip exactly.
+std::string FingerprintToHex(uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp));
+  return std::string(buf);
+}
+}  // namespace
+
+Status SaveSmcCheckpoint(const std::string& path, const SmcCheckpoint& cp) {
+  std::ostringstream body;
+  obs::JsonWriter w(&body);
+  w.BeginObject();
+  w.Key("schema"); w.String(kSchema);
+  w.Key("fingerprint"); w.String(FingerprintToHex(cp.fingerprint));
+  w.Key("pairs_done"); w.Int(cp.pairs_done);
+  w.Key("smc_matched"); w.Int(cp.smc_matched);
+  w.Key("quarantined"); w.Int(cp.quarantined);
+  w.Key("matched_row_pairs");
+  w.BeginArray();
+  for (const auto& [a, b] : cp.matched_row_pairs) {
+    w.BeginArray();
+    w.Int(a);
+    w.Int(b);
+    w.EndArray();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  // Write-to-temp + rename: a kill mid-write leaves the previous checkpoint
+  // intact instead of a truncated file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      return Status::IOError("cannot write checkpoint temp file: " + tmp);
+    }
+    out << body.str() << "\n";
+    if (!out.good()) {
+      return Status::IOError("short write on checkpoint temp file: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("cannot rename checkpoint into place: " + path);
+  }
+  return Status::OK();
+}
+
+Result<SmcCheckpoint> LoadSmcCheckpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("no checkpoint at " + path);
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto doc = obs::ParseJson(buf.str());
+  if (!doc.ok()) {
+    return Status::InvalidArgument("unreadable checkpoint " + path + ": " +
+                                   doc.status().message());
+  }
+  const obs::JsonValue* schema = doc->Find("schema");
+  if (schema == nullptr || schema->AsString() != kSchema) {
+    return Status::InvalidArgument("checkpoint " + path +
+                                   " has an unknown schema");
+  }
+  SmcCheckpoint cp;
+  const obs::JsonValue* fp = doc->Find("fingerprint");
+  if (fp == nullptr || fp->kind() != obs::JsonValue::Kind::kString) {
+    return Status::InvalidArgument("checkpoint " + path +
+                                   " is missing its fingerprint");
+  }
+  try {
+    cp.fingerprint = std::stoull(fp->AsString(), nullptr, 16);
+  } catch (...) {
+    return Status::InvalidArgument("checkpoint " + path +
+                                   " has a malformed fingerprint");
+  }
+  auto read_count = [&](const char* key, int64_t* dst) -> Status {
+    const obs::JsonValue* v = doc->Find(key);
+    if (v == nullptr || v->kind() != obs::JsonValue::Kind::kNumber ||
+        v->AsInt() < 0) {
+      return Status::InvalidArgument(std::string("checkpoint ") + path +
+                                     " has a malformed '" + key + "'");
+    }
+    *dst = v->AsInt();
+    return Status::OK();
+  };
+  HPRL_RETURN_IF_ERROR(read_count("pairs_done", &cp.pairs_done));
+  HPRL_RETURN_IF_ERROR(read_count("smc_matched", &cp.smc_matched));
+  HPRL_RETURN_IF_ERROR(read_count("quarantined", &cp.quarantined));
+  if (cp.smc_matched + cp.quarantined > cp.pairs_done) {
+    return Status::InvalidArgument("checkpoint " + path +
+                                   " counts more outcomes than pairs");
+  }
+  const obs::JsonValue* pairs = doc->Find("matched_row_pairs");
+  if (pairs != nullptr && pairs->kind() == obs::JsonValue::Kind::kArray) {
+    cp.matched_row_pairs.reserve(pairs->AsArray().size());
+    for (const obs::JsonValue& item : pairs->AsArray()) {
+      if (item.kind() != obs::JsonValue::Kind::kArray ||
+          item.AsArray().size() != 2) {
+        return Status::InvalidArgument("checkpoint " + path +
+                                       " has a malformed matched pair");
+      }
+      cp.matched_row_pairs.emplace_back(item.AsArray()[0].AsInt(),
+                                        item.AsArray()[1].AsInt());
+    }
+  }
+  return cp;
+}
+
+}  // namespace hprl

@@ -1,0 +1,42 @@
+#ifndef HPRL_CORE_CHECKPOINT_H_
+#define HPRL_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hprl {
+
+/// Durable progress of a LinkageSession's allowance drain, written after
+/// every completed SMC batch (schema "hprl-smc-checkpoint/1"). A killed run
+/// restarted with the same inputs, config and checkpoint path recomputes
+/// blocking and selection deterministically, skips the first `pairs_done`
+/// pairs of the (identical) drain order, restores the counts below, and
+/// produces the same HybridResult as an uninterrupted run.
+///
+/// `fingerprint` binds the file to one run shape (tables, blocking outcome,
+/// allowance, seed, heuristic, ...): resuming against a different run is
+/// refused instead of silently mixing two drains.
+struct SmcCheckpoint {
+  uint64_t fingerprint = 0;
+  int64_t pairs_done = 0;     ///< pairs labeled in completed batches
+  int64_t smc_matched = 0;    ///< matches among them
+  int64_t quarantined = 0;    ///< quarantined among them
+  /// SMC-matched (row_r, row_s) pairs, in drain order; only populated when
+  /// the session collects matches.
+  std::vector<std::pair<int64_t, int64_t>> matched_row_pairs;
+};
+
+/// Atomically (write-to-temp + rename) persists `cp` as JSON.
+Status SaveSmcCheckpoint(const std::string& path, const SmcCheckpoint& cp);
+
+/// Loads and validates a checkpoint. NotFound when no file exists (a fresh
+/// run); InvalidArgument on schema or parse problems.
+Result<SmcCheckpoint> LoadSmcCheckpoint(const std::string& path);
+
+}  // namespace hprl
+
+#endif  // HPRL_CORE_CHECKPOINT_H_

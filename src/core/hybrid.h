@@ -33,6 +33,12 @@ struct HybridConfig {
   /// Worker threads for the blocking step (1 = sequential; results are
   /// identical either way).
   int blocking_threads = 1;
+
+  /// Pairs per oracle batch in the allowance drain — also the checkpoint
+  /// granularity: a checkpointed session persists progress after every
+  /// completed batch, so a killed run resumes at the last multiple of this.
+  /// Results are identical for every value (<= 0 falls back to 256).
+  int64_t smc_batch_pairs = 256;
 };
 
 /// Outcome of one hybrid linkage run. All scalar outcome fields live in the

@@ -1,12 +1,64 @@
 #include "core/session.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <numeric>
 
+#include "core/checkpoint.h"
 #include "linkage/ground_truth.h"
 #include "linkage/oracle.h"
 
 namespace hprl {
+
+namespace {
+
+/// SplitMix64 finalizer, used to fold the run shape into a fingerprint.
+uint64_t MixFp(uint64_t h, uint64_t x) {
+  h ^= x + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  h += 0x9E3779B97F4A7C15ull;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+  return h ^ (h >> 31);
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d), "double is not 64-bit");
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+/// Binds a checkpoint to one run shape: the tables' sizes, the blocking
+/// outcome, the decision rule, and every knob that influences which pairs
+/// the drain visits in which order. Two runs that agree on all of these
+/// drain the identical pair sequence, so resuming one from the other's
+/// checkpoint is sound.
+uint64_t CheckpointFingerprint(const HybridConfig& config,
+                               const LinkageMetrics& m, size_t order_size) {
+  uint64_t h = 0x48505243ull;  // "HPRC"
+  h = MixFp(h, static_cast<uint64_t>(m.rows_r));
+  h = MixFp(h, static_cast<uint64_t>(m.rows_s));
+  h = MixFp(h, static_cast<uint64_t>(m.total_pairs));
+  h = MixFp(h, static_cast<uint64_t>(m.blocked_match_pairs));
+  h = MixFp(h, static_cast<uint64_t>(m.blocked_mismatch_pairs));
+  h = MixFp(h, static_cast<uint64_t>(m.unknown_pairs));
+  h = MixFp(h, static_cast<uint64_t>(m.allowance_pairs));
+  h = MixFp(h, static_cast<uint64_t>(order_size));
+  h = MixFp(h, config.random_seed);
+  h = MixFp(h, static_cast<uint64_t>(config.heuristic));
+  h = MixFp(h, config.collect_matches ? 1 : 0);
+  h = MixFp(h, DoubleBits(config.smc_allowance_fraction));
+  for (const AttrRule& rule : config.rule.attrs) {
+    h = MixFp(h, static_cast<uint64_t>(rule.attr_index));
+    h = MixFp(h, static_cast<uint64_t>(rule.type));
+    h = MixFp(h, DoubleBits(rule.theta));
+    h = MixFp(h, DoubleBits(rule.norm));
+  }
+  return h;
+}
+
+}  // namespace
 
 Result<HybridResult> LinkageSession::Run() {
   if (r_ == nullptr || s_ == nullptr) {
@@ -113,6 +165,38 @@ Result<HybridResult> LinkageSession::Run() {
   // the selection work is skipped entirely.
   select_span.Stop();
 
+  // --- Resumable drain: restore progress from a matching checkpoint ---
+  const uint64_t fingerprint =
+      CheckpointFingerprint(config, out, order.size());
+  // Index into out.matched_row_pairs where SMC-found links begin (blocking
+  // links were appended above); the checkpoint persists only the SMC part.
+  const size_t smc_matches_begin = out.matched_row_pairs.size();
+  int64_t resume_done = 0;
+  if (!checkpoint_path_.empty()) {
+    obs::ScopedSpan resume_span(metrics_, "resume", &run_span);
+    auto cp = LoadSmcCheckpoint(checkpoint_path_);
+    if (cp.ok()) {
+      if (cp->fingerprint != fingerprint) {
+        return Status::FailedPrecondition(
+            "checkpoint " + checkpoint_path_ +
+            " belongs to a different run (fingerprint mismatch); "
+            "delete it or point the session elsewhere");
+      }
+      resume_done = cp->pairs_done;
+      out.smc_matched = cp->smc_matched;
+      out.quarantined_pairs = cp->quarantined;
+      out.resumed_pairs = cp->pairs_done;
+      if (config.collect_matches) {
+        out.matched_row_pairs.insert(out.matched_row_pairs.end(),
+                                     cp->matched_row_pairs.begin(),
+                                     cp->matched_row_pairs.end());
+      }
+      obs::Add(metrics_, "linkage.resumed_pairs", cp->pairs_done);
+    } else if (cp.status().code() != StatusCode::kNotFound) {
+      return cp.status();  // a corrupt checkpoint is an error, not a restart
+    }
+  }
+
   obs::ScopedSpan smc_span(metrics_, "smc", &run_span);
   int64_t budget = out.allowance_pairs;
   const int64_t oracle_start = oracle_->invocations();
@@ -121,24 +205,51 @@ Result<HybridResult> LinkageSession::Run() {
   // into its request slot, so results (and with them matched_row_pairs,
   // smc_matched and the budget) are identical to pair-at-a-time draining
   // for every oracle thread count.
-  constexpr size_t kSmcBatchSize = 256;
+  const size_t batch_pairs = config.smc_batch_pairs > 0
+                                 ? static_cast<size_t>(config.smc_batch_pairs)
+                                 : size_t{256};
   std::vector<RowPairRequest> batch;
-  batch.reserve(kSmcBatchSize);
+  batch.reserve(batch_pairs);
+  int64_t pairs_done = resume_done;
+  int64_t batches_flushed = 0;
   auto flush = [&]() -> Status {
     if (batch.empty()) return Status::OK();
     auto labels = oracle_->CompareBatch(batch);
     if (!labels.ok()) return labels.status();
     for (size_t i = 0; i < batch.size(); ++i) {
-      if ((*labels)[i] != 0) {
+      if ((*labels)[i] == kPairMatch) {
         ++out.smc_matched;
         if (config.collect_matches) {
           out.matched_row_pairs.emplace_back(batch[i].a_id, batch[i].b_id);
         }
+      } else if ((*labels)[i] == kPairQuarantined) {
+        ++out.quarantined_pairs;
       }
     }
+    pairs_done += static_cast<int64_t>(batch.size());
     batch.clear();
+    ++batches_flushed;
+    if (!checkpoint_path_.empty()) {
+      SmcCheckpoint cp;
+      cp.fingerprint = fingerprint;
+      cp.pairs_done = pairs_done;
+      cp.smc_matched = out.smc_matched;
+      cp.quarantined = out.quarantined_pairs;
+      if (config.collect_matches) {
+        cp.matched_row_pairs.assign(
+            out.matched_row_pairs.begin() +
+                static_cast<int64_t>(smc_matches_begin),
+            out.matched_row_pairs.end());
+      }
+      HPRL_RETURN_IF_ERROR(SaveSmcCheckpoint(checkpoint_path_, cp));
+    }
+    if (max_batches_ > 0 && batches_flushed >= max_batches_) {
+      return Status::Unavailable(
+          "smc batch limit reached (simulated interruption)");
+    }
     return Status::OK();
   };
+  int64_t emitted = 0;  // pairs drawn from the allowance, drain order
   for (size_t idx : order) {
     if (budget <= 0) break;
     const SequencePair& sp = blocking->unknown[idx];
@@ -152,9 +263,13 @@ Result<HybridResult> LinkageSession::Run() {
           break;
         }
         --budget;
+        ++emitted;
+        if (emitted <= resume_done) {
+          continue;  // labeled by the checkpointed run; counts restored
+        }
         batch.push_back({rows_r[a], rows_s[b], &r.row(rows_r[a]),
                          &s.row(rows_s[b])});
-        if (batch.size() >= kSmcBatchSize) {
+        if (batch.size() >= batch_pairs) {
           HPRL_RETURN_IF_ERROR(flush());
         }
       }
@@ -162,14 +277,22 @@ Result<HybridResult> LinkageSession::Run() {
   }
   HPRL_RETURN_IF_ERROR(flush());
   smc_span.Stop();
-  out.smc_processed = oracle_->invocations() - oracle_start;
+  // Resumed pairs were protocol invocations of the interrupted run; the
+  // budget accounting stays whole across the kill.
+  out.smc_processed = (oracle_->invocations() - oracle_start) + resume_done;
   out.unprocessed_pairs = out.unknown_pairs - out.smc_processed;
   out.reported_matches += out.smc_matched;
   out.smc_seconds = smc_timer.ElapsedSeconds();
+  if (!checkpoint_path_.empty()) {
+    // The drain completed; the checkpoint has served its purpose, and a
+    // stale file must not leak into an unrelated future run.
+    std::remove(checkpoint_path_.c_str());
+  }
 
   obs::Add(metrics_, "smc.allowance_pairs", out.allowance_pairs);
   obs::Add(metrics_, "smc.invocations", out.smc_processed);
   obs::Add(metrics_, "smc.matched", out.smc_matched);
+  obs::Add(metrics_, "smc.quarantined", out.quarantined_pairs);
   obs::Add(metrics_, "linkage.reported_matches", out.reported_matches);
 
   if (evaluate_) {

@@ -72,6 +72,26 @@ class LinkageSession {
     return *this;
   }
 
+  /// Makes the allowance drain resumable: after every completed SMC batch
+  /// the session persists an SmcCheckpoint (core/checkpoint.h) at `path`,
+  /// and at startup a checkpoint matching this run's fingerprint restores
+  /// progress — the drain continues at the first unlabeled pair, and the
+  /// final HybridResult equals an uninterrupted run's (resumed_pairs records
+  /// how much was restored). A checkpoint from a different run is refused
+  /// (FailedPrecondition). Empty path (the default) disables checkpointing.
+  LinkageSession& WithCheckpoint(const std::string& path) {
+    checkpoint_path_ = path;
+    return *this;
+  }
+
+  /// Aborts the drain with Unavailable after `max_batches` flushed SMC
+  /// batches — a deterministic stand-in for killing the process, used by the
+  /// resume tests. <= 0 (the default) never aborts.
+  LinkageSession& WithSmcBatchLimit(int64_t max_batches) {
+    max_batches_ = max_batches;
+    return *this;
+  }
+
   /// Executes the pipeline. InvalidArgument when a required ingredient
   /// (tables, releases, config, oracle) was not supplied.
   Result<HybridResult> Run();
@@ -85,6 +105,8 @@ class LinkageSession {
   MatchOracle* oracle_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   bool evaluate_ = false;
+  std::string checkpoint_path_;
+  int64_t max_batches_ = 0;
 };
 
 }  // namespace hprl

@@ -41,6 +41,16 @@ Result<BigInt> PaillierPublicKey::EncryptSigned(const BigInt& x,
   return Encrypt(EncodeSigned(x), rng);
 }
 
+Status PaillierPublicKey::ValidateCiphertext(const BigInt& c) const {
+  if (n_.IsZero()) {
+    return Status::FailedPrecondition("public key not initialized");
+  }
+  if (c.Sign() <= 0 || c >= n2_) {
+    return Status::InvalidArgument("Paillier ciphertext out of (0, n^2)");
+  }
+  return Status::OK();
+}
+
 BigInt PaillierPublicKey::Add(const BigInt& c1, const BigInt& c2) const {
   if (adds_ != nullptr) adds_->Increment();
   return (c1 * c2) % n2_;

@@ -43,6 +43,13 @@ class PaillierPublicKey {
   /// Encrypt(EncodeSigned(x)).
   Result<BigInt> EncryptSigned(const BigInt& x, SecureRandom& rng) const;
 
+  /// Range precondition on a ciphertext: InvalidArgument unless 0 < c < n².
+  /// Zero and out-of-range values are never valid Paillier ciphertexts (the
+  /// multiplicative group of Z*_{n²} excludes them); every receive site of
+  /// the SMC protocol checks this before feeding a wire value into the
+  /// homomorphic ops or decryption.
+  Status ValidateCiphertext(const BigInt& c) const;
+
   /// Homomorphic addition of plaintexts.
   BigInt Add(const BigInt& c1, const BigInt& c2) const;
 
@@ -98,6 +105,10 @@ class PaillierPrivateKey {
 
   /// True when the key can take the CRT fast path.
   bool has_crt() const { return has_crt_; }
+
+  /// Same precondition as PaillierPublicKey::ValidateCiphertext; every
+  /// Decrypt* entry point enforces it.
+  Status ValidateCiphertext(const BigInt& c) const { return CheckCiphertext(c); }
 
   /// Decrypts to [0, n); uses CRT when available.
   Result<BigInt> Decrypt(const BigInt& c) const;

@@ -13,6 +13,17 @@ class MetricsRegistry;
 
 namespace hprl {
 
+/// Labels written by MatchOracle::CompareBatch into the position-addressed
+/// result vector.
+inline constexpr uint8_t kPairNonMatch = 0;
+inline constexpr uint8_t kPairMatch = 1;
+/// The pair could not be labeled because of a persistent transport fault
+/// (crash, or a transient fault that survived every retry). Quarantined
+/// pairs are conservatively treated as non-matches — precision is never
+/// spent on a pair the protocol could not finish — but reported separately
+/// from both match counts and budget starvation so degradation is visible.
+inline constexpr uint8_t kPairQuarantined = 2;
+
 /// One unit of batched oracle work: a row pair to label. The records are
 /// borrowed — the caller keeps them alive across the CompareBatch call.
 struct RowPairRequest {

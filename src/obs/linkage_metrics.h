@@ -33,6 +33,15 @@ struct LinkageMetrics {
   int64_t smc_matched = 0;       ///< matches confirmed by the SMC step
   int64_t unprocessed_pairs = 0; ///< U pairs defaulted to non-match
 
+  // Degradation accounting (fault injection / resume; 0 on clean runs).
+  /// Pairs the protocol could not label because of persistent transport
+  /// faults; conservatively non-matches, reported separately from both
+  /// smc_matched and the budget-starved unprocessed_pairs.
+  int64_t quarantined_pairs = 0;
+  /// Pairs whose labels were restored from an SmcCheckpoint instead of being
+  /// recomputed (counted inside smc_processed).
+  int64_t resumed_pairs = 0;
+
   // Outcome.
   int64_t reported_matches = 0;
   /// Of the reported links, how many are real (-1 = not evaluated). The

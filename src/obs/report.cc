@@ -19,6 +19,8 @@ void WriteLinkageMetricsFields(JsonWriter* w, const LinkageMetrics& m) {
   w->Key("smc_processed"); w->Int(m.smc_processed);
   w->Key("smc_matched"); w->Int(m.smc_matched);
   w->Key("unprocessed_pairs"); w->Int(m.unprocessed_pairs);
+  w->Key("quarantined_pairs"); w->Int(m.quarantined_pairs);
+  w->Key("resumed_pairs"); w->Int(m.resumed_pairs);
   w->Key("reported_matches"); w->Int(m.reported_matches);
   w->Key("true_reported_matches"); w->Int(m.true_reported_matches);
   w->Key("anon_seconds"); w->Double(m.anon_seconds);

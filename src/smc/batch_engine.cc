@@ -20,6 +20,22 @@ uint64_t WorkerSeed(uint64_t base, int worker) {
   // encryption randomness without touching the shared key.
   return base == 0 ? 0 : base ^ (0x51Dull * static_cast<uint64_t>(worker + 1));
 }
+
+/// Fault-class failures: the protocol layer exhausted its retries on a
+/// transient transport fault, or a party crashed mid-exchange. These
+/// quarantine the pair and restart the worker; anything else is a genuine
+/// semantic error and fails the batch.
+bool IsFaultClass(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kIOError:
+    case StatusCode::kNotFound:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
 }  // namespace
 
 BatchSmcEngine::BatchSmcEngine(SmcConfig config, MatchRule rule, int threads)
@@ -59,6 +75,23 @@ Status BatchSmcEngine::Init() {
   return Status::OK();
 }
 
+Status BatchSmcEngine::RestartWorker(size_t w) {
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    retired_ += workers_[w]->costs();
+  }
+  SmcConfig worker_cfg = config_;
+  worker_cfg.test_seed = WorkerSeed(config_.test_seed, static_cast<int>(w));
+  auto fresh = std::make_unique<SecureRecordComparator>(worker_cfg, rule_);
+  HPRL_RETURN_IF_ERROR(fresh->InitWithKeyPair(keypair_));
+  if (pool_ != nullptr) fresh->AttachRandomizerPool(pool_.get());
+  if (metrics_ != nullptr) fresh->AttachMetrics(metrics_);
+  workers_[w] = std::move(fresh);
+  worker_restarts_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_ != nullptr) obs::Add(metrics_, "smc.worker_restarts");
+  return Status::OK();
+}
+
 Result<bool> BatchSmcEngine::CompareRows(int64_t a_id, int64_t b_id,
                                          const Record& a, const Record& b) {
   if (!initialized_) {
@@ -78,13 +111,24 @@ Result<std::vector<uint8_t>> BatchSmcEngine::CompareBatch(
       static_cast<size_t>(threads_),
       std::max<size_t>(1, (batch.size() + kStealChunk - 1) / kStealChunk));
 
+  auto quarantine = [&](std::vector<uint8_t>* out, size_t i) {
+    (*out)[i] = kPairQuarantined;
+    pairs_quarantined_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_ != nullptr) obs::Add(metrics_, "smc.pairs_quarantined");
+  };
+
   if (active <= 1) {
     for (size_t i = 0; i < batch.size(); ++i) {
       const RowPairRequest& req = batch[i];
       auto m = workers_.front()->CompareRows(req.a_id, req.b_id, *req.a,
                                              *req.b);
-      if (!m.ok()) return m.status();
-      labels[i] = *m ? 1 : 0;
+      if (!m.ok()) {
+        if (!IsFaultClass(m.status())) return m.status();
+        quarantine(&labels, i);
+        HPRL_RETURN_IF_ERROR(RestartWorker(0));
+        continue;
+      }
+      labels[i] = *m ? kPairMatch : kPairNonMatch;
     }
   } else {
     std::atomic<size_t> cursor{0};
@@ -93,7 +137,6 @@ Result<std::vector<uint8_t>> BatchSmcEngine::CompareBatch(
     std::vector<size_t> error_index(active, batch.size());
 
     auto drain = [&](size_t w) {
-      SecureRecordComparator* cmp = workers_[w].get();
       while (!failed.load(std::memory_order_relaxed)) {
         const size_t begin =
             cursor.fetch_add(kStealChunk, std::memory_order_relaxed);
@@ -101,14 +144,23 @@ Result<std::vector<uint8_t>> BatchSmcEngine::CompareBatch(
         const size_t end = std::min(begin + kStealChunk, batch.size());
         for (size_t i = begin; i < end; ++i) {
           const RowPairRequest& req = batch[i];
-          auto m = cmp->CompareRows(req.a_id, req.b_id, *req.a, *req.b);
-          if (!m.ok()) {
-            worker_status[w] = m.status();
-            error_index[w] = i;
-            failed.store(true, std::memory_order_relaxed);
-            return;
+          // No cached comparator pointer: a restart swaps the worker slot.
+          auto m = workers_[w]->CompareRows(req.a_id, req.b_id, *req.a,
+                                            *req.b);
+          if (m.ok()) {
+            labels[i] = *m ? kPairMatch : kPairNonMatch;
+            continue;
           }
-          labels[i] = *m ? 1 : 0;
+          Status st = m.status();
+          if (IsFaultClass(st)) {
+            quarantine(&labels, i);
+            st = RestartWorker(w);
+            if (st.ok()) continue;  // healed: next pair on the fresh stack
+          }
+          worker_status[w] = st;
+          error_index[w] = i;
+          failed.store(true, std::memory_order_relaxed);
+          return;
         }
       }
     };
@@ -143,7 +195,10 @@ const SmcCosts& BatchSmcEngine::costs() const {
   // Summed on demand; sums are order-independent, so the totals are
   // identical for every thread count. Only call between batches (the
   // session's usage) — workers mutate their costs while a batch runs.
-  aggregated_.Clear();
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    aggregated_ = retired_;  // work done by since-restarted stacks
+  }
   for (const auto& worker : workers_) aggregated_ += worker->costs();
   return aggregated_;
 }

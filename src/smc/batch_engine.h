@@ -1,7 +1,9 @@
 #ifndef HPRL_SMC_BATCH_ENGINE_H_
 #define HPRL_SMC_BATCH_ENGINE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/result.h"
@@ -47,14 +49,33 @@ class BatchSmcEngine {
   Result<bool> CompareRows(int64_t a_id, int64_t b_id, const Record& a,
                            const Record& b);
 
-  /// Labels batch[i] into slot i of the result (1 = match); see class
-  /// comment for the determinism argument. On any worker error the batch
-  /// fails with the error of the smallest-index failing pair.
+  /// Labels batch[i] into slot i of the result (kPairMatch / kPairNonMatch /
+  /// kPairQuarantined); see class comment for the determinism argument.
+  ///
+  /// Worker supervision: when a pair fails with a fault-class status — an
+  /// injected crash (Unavailable), or a transient transport fault that
+  /// survived the protocol's retries (NotFound / IOError / Internal) — the
+  /// pair is quarantined (labeled kPairQuarantined, counted in
+  /// pairs_quarantined()), the worker's comparator stack is rebuilt around
+  /// the shared key pair (worker_restarts()), and the batch continues.
+  /// Genuine semantic errors (InvalidArgument, Unimplemented, ...) still
+  /// fail the whole batch with the error of the smallest-index failing pair.
   Result<std::vector<uint8_t>> CompareBatch(
       const std::vector<RowPairRequest>& batch);
 
-  /// Aggregated protocol costs across all workers (order-independent sums).
+  /// Aggregated protocol costs across all workers (order-independent sums),
+  /// including the costs retired by workers that were since restarted.
   const SmcCosts& costs() const;
+
+  /// Pairs labeled kPairQuarantined across all batches so far.
+  int64_t pairs_quarantined() const {
+    return pairs_quarantined_.load(std::memory_order_relaxed);
+  }
+
+  /// Worker comparator stacks rebuilt after a fault-class failure.
+  int64_t worker_restarts() const {
+    return worker_restarts_.load(std::memory_order_relaxed);
+  }
 
   /// Worker 0's message bus (per-worker traffic; tests and demos).
   const MessageBus& bus() const;
@@ -70,6 +91,12 @@ class BatchSmcEngine {
   void AttachMetrics(obs::MetricsRegistry* registry);
 
  private:
+  /// Rebuilds worker `w`'s comparator stack (same shared key, same derived
+  /// seed), retiring its accumulated costs first so costs() keeps counting
+  /// the work the dead stack already did. Called from the worker's own
+  /// thread — each worker slot is owned exclusively by one thread per batch.
+  Status RestartWorker(size_t w);
+
   SmcConfig config_;
   MatchRule rule_;
   int threads_;
@@ -78,6 +105,10 @@ class BatchSmcEngine {
   std::unique_ptr<crypto::RandomizerPool> pool_;
   std::vector<std::unique_ptr<SecureRecordComparator>> workers_;
   mutable SmcCosts aggregated_;  // scratch for costs(); see .cc
+  mutable std::mutex retired_mu_;
+  SmcCosts retired_;  // costs of restarted workers' previous stacks
+  std::atomic<int64_t> pairs_quarantined_{0};
+  std::atomic<int64_t> worker_restarts_{0};
   obs::MetricsRegistry* metrics_ = nullptr;  // not owned; may be null
 };
 

@@ -2,7 +2,21 @@
 
 namespace hprl::smc {
 
-void MessageBus::Send(Message msg) {
+uint32_t PayloadChecksum(const std::vector<uint8_t>& payload) {
+  uint32_t h = 2166136261u;  // FNV-1a
+  for (uint8_t b : payload) {
+    h ^= b;
+    h *= 16777619u;
+  }
+  return h == 0 ? 1 : h;
+}
+
+void MessageBus::Stamp(Message* msg) {
+  msg->seq = ++next_seq_[{msg->from, msg->to}];
+  if (msg->checksum == 0) msg->checksum = PayloadChecksum(msg->payload);
+}
+
+void MessageBus::Enqueue(Message msg) {
   LinkStats& link = links_[{msg.from, msg.to}];
   link.messages += 1;
   link.bytes += static_cast<int64_t>(msg.payload.size());
@@ -13,6 +27,11 @@ void MessageBus::Send(Message msg) {
     bytes_counter_->Increment(static_cast<int64_t>(msg.payload.size()));
   }
   inboxes_[msg.to].push_back(std::move(msg));
+}
+
+void MessageBus::Send(Message msg) {
+  Stamp(&msg);
+  Enqueue(std::move(msg));
 }
 
 void MessageBus::AttachMetrics(obs::MetricsRegistry* registry) {
@@ -38,8 +57,22 @@ Result<Message> MessageBus::Expect(const std::string& to,
     return Status::Internal("protocol desync: " + to + " expected '" + tag +
                             "' but got '" + msg->tag + "'");
   }
+  if (msg->checksum != 0 && msg->checksum != PayloadChecksum(msg->payload)) {
+    return Status::IOError("corrupted payload: checksum mismatch on '" + tag +
+                           "' for " + to);
+  }
+  if (msg->seq != 0) {
+    uint64_t& last = last_delivered_[{msg->from, msg->to}];
+    if (msg->seq <= last) {
+      return Status::Internal("protocol desync: stale sequence on '" + tag +
+                              "' for " + to);
+    }
+    last = msg->seq;
+  }
   return msg;
 }
+
+void MessageBus::PurgeAll() { inboxes_.clear(); }
 
 void MessageBus::ResetStats() {
   links_.clear();

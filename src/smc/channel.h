@@ -13,13 +13,22 @@
 
 namespace hprl::smc {
 
-/// One protocol message.
+/// One protocol message. `seq` and `checksum` are transport integrity
+/// metadata stamped by MessageBus::Send (senders leave them 0): the receiver
+/// rejects payloads whose checksum no longer matches (corruption) and
+/// messages whose per-link sequence number does not advance (replay /
+/// reordering). Both checks are how the retry layer detects transit faults.
 struct Message {
   std::string from;
   std::string to;
   std::string tag;
   std::vector<uint8_t> payload;
+  uint64_t seq = 0;       // per (from, to) link, strictly increasing; 0 = unset
+  uint32_t checksum = 0;  // FNV-1a of payload (never 0 once stamped); 0 = unset
 };
+
+/// FNV-1a over the payload, forced non-zero so 0 can mean "unstamped".
+uint32_t PayloadChecksum(const std::vector<uint8_t>& payload);
 
 /// Traffic counters for one directed link.
 struct LinkStats {
@@ -31,16 +40,38 @@ struct LinkStats {
 /// protocol logic is identical to a networked deployment; only the transport
 /// is simulated, and every byte is accounted so communication costs can be
 /// reported (paper §VI cost model).
+///
+/// Send/Receive/Expect are virtual so a decorating transport (FaultyBus,
+/// smc/fault.h) can inject deterministic faults underneath the protocol
+/// without the parties knowing.
 class MessageBus {
  public:
-  void Send(Message msg);
+  virtual ~MessageBus() = default;
+
+  virtual void Send(Message msg);
 
   /// Pops the oldest message addressed to `to`; NotFound when none pending.
-  Result<Message> Receive(const std::string& to);
+  virtual Result<Message> Receive(const std::string& to);
 
-  /// Pops the oldest message for `to`, requiring a tag; error on mismatch
-  /// (protocol desynchronization is a bug, not a recoverable state).
-  Result<Message> Expect(const std::string& to, const std::string& tag);
+  /// Pops the oldest message for `to`, requiring a tag, a valid payload
+  /// checksum and an advancing per-link sequence number. Tag or sequence
+  /// mismatch is a desynchronization (Internal); a checksum mismatch is a
+  /// corrupted payload (IOError). Both are retried by the protocol layer.
+  virtual Result<Message> Expect(const std::string& to, const std::string& tag);
+
+  /// Discards every pending message (stats are kept). The retry layer calls
+  /// this between attempts so a half-delivered exchange cannot desync the
+  /// next one.
+  virtual void PurgeAll();
+
+  /// Fault-injection context hook: the comparator announces which record
+  /// pair (and retry attempt) the next messages belong to, so a decorating
+  /// FaultyBus can schedule faults deterministically per pair. No-op here.
+  virtual void SetPairContext(int64_t a_id, int64_t b_id, int attempt) {
+    (void)a_id;
+    (void)b_id;
+    (void)attempt;
+  }
 
   const std::map<std::pair<std::string, std::string>, LinkStats>& links()
       const {
@@ -54,11 +85,23 @@ class MessageBus {
 
   /// Streams smc.bytes_sent / smc.messages into `registry` on every Send
   /// (nullptr detaches). The per-link LinkStats accounting is unaffected.
-  void AttachMetrics(obs::MetricsRegistry* registry);
+  virtual void AttachMetrics(obs::MetricsRegistry* registry);
+
+ protected:
+  /// Accounting + enqueue of an already-stamped message. Decorators call
+  /// this after applying their faults so the checksum still covers the
+  /// payload as the sender produced it.
+  void Enqueue(Message msg);
+
+  /// Assigns the per-link sequence number and (when still unset) the payload
+  /// checksum.
+  void Stamp(Message* msg);
 
  private:
   std::map<std::string, std::deque<Message>> inboxes_;
   std::map<std::pair<std::string, std::string>, LinkStats> links_;
+  std::map<std::pair<std::string, std::string>, uint64_t> next_seq_;
+  std::map<std::pair<std::string, std::string>, uint64_t> last_delivered_;
   int64_t total_bytes_ = 0;
   int64_t total_messages_ = 0;
   obs::Counter* bytes_counter_ = nullptr;     // not owned

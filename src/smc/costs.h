@@ -17,6 +17,7 @@ struct SmcCosts {
   int64_t decryptions = 0;
   int64_t homomorphic_adds = 0;
   int64_t scalar_muls = 0;
+  int64_t retries = 0;  ///< exchanges replayed after a transient fault
 
   void Clear() { *this = SmcCosts{}; }
 
@@ -27,6 +28,7 @@ struct SmcCosts {
     decryptions += o.decryptions;
     homomorphic_adds += o.homomorphic_adds;
     scalar_muls += o.scalar_muls;
+    retries += o.retries;
     return *this;
   }
 

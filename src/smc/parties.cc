@@ -11,6 +11,18 @@ std::unique_ptr<crypto::SecureRandom> MakeRng(uint64_t test_seed) {
   return test_seed != 0 ? std::make_unique<crypto::SecureRandom>(test_seed)
                         : std::make_unique<crypto::SecureRandom>();
 }
+
+/// Receive-site ciphertext validation. A wire value that fails the range
+/// precondition was damaged in transit (or forged); surface it as an IOError
+/// so the retry layer treats it like any other transport fault instead of
+/// aborting the run.
+Status ValidateReceived(const crypto::PaillierPublicKey& pub,
+                        const BigInt& c, const char* what) {
+  Status st = pub.ValidateCiphertext(c);
+  if (st.ok()) return st;
+  return Status::IOError(std::string("received ") + what +
+                         " failed validation: " + st.message());
+}
 }  // namespace
 
 QueryingParty::QueryingParty(const ProtocolParams& params, uint64_t test_seed)
@@ -51,6 +63,7 @@ Result<bool> QueryingParty::DecideAttr(MessageBus* bus,
   size_t off = 0;
   auto c = ConsumeBigInt(msg->payload, &off);
   if (!c.ok()) return c.status();
+  HPRL_RETURN_IF_ERROR(ValidateReceived(pub_, *c, "bob_ct"));
   auto plain = DecryptSignedCt(*c);
   if (!plain.ok()) return plain.status();
   costs->decryptions += 1;
@@ -66,6 +79,7 @@ Result<BigInt> QueryingParty::ReceivePlain(MessageBus* bus, SmcCosts* costs) {
   size_t off = 0;
   auto c = ConsumeBigInt(msg->payload, &off);
   if (!c.ok()) return c.status();
+  HPRL_RETURN_IF_ERROR(ValidateReceived(pub_, *c, "bob_ct"));
   auto plain = DecryptSignedCt(*c);
   if (!plain.ok()) return plain.status();
   costs->decryptions += 1;
@@ -89,6 +103,9 @@ Status DataHolder::ReceiveKey(MessageBus* bus) {
   size_t off = 0;
   auto n = ConsumeBigInt(msg->payload, &off);
   if (!n.ok()) return n.status();
+  if (n->Sign() <= 0) {
+    return Status::IOError("received pubkey failed validation: n <= 0");
+  }
   pub_ = crypto::PaillierPublicKey(std::move(n).value());
   have_key_ = true;
   return Status::OK();
@@ -141,6 +158,8 @@ Status DataHolder::FoldAndForward(MessageBus* bus, const BigInt& y,
   if (!c_x2.ok()) return c_x2.status();
   auto c_m2x = ConsumeBigInt(msg->payload, &off);
   if (!c_m2x.ok()) return c_m2x.status();
+  HPRL_RETURN_IF_ERROR(ValidateReceived(pub_, *c_x2, "alice_ct[0]"));
+  HPRL_RETURN_IF_ERROR(ValidateReceived(pub_, *c_m2x, "alice_ct[1]"));
 
   // Enc(d) = Enc(x²) +h (Enc(-2x) ×h y) +h Enc(y²), d = (x-y)².
   BigInt c_y2;

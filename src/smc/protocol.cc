@@ -1,6 +1,8 @@
 #include "smc/protocol.h"
 
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "common/timer.h"
 
@@ -25,6 +27,27 @@ ProtocolParams ToParams(const SmcConfig& cfg) {
 /// entropy for every party).
 uint64_t Seed(uint64_t base, uint64_t salt) { return base == 0 ? 0 : base ^ salt; }
 
+std::unique_ptr<MessageBus> MakeBus(const FaultPlan& plan) {
+  if (plan.enabled()) return std::make_unique<FaultyBus>(plan);
+  return std::make_unique<MessageBus>();
+}
+
+/// Faults the protocol heals in place: a dropped message (NotFound at the
+/// receiver), a damaged payload (IOError from checksum / ciphertext-range
+/// validation), or a desynchronized link (Internal from tag / sequence
+/// checks). Everything else — semantic errors, and Unavailable crashes —
+/// propagates to the caller.
+bool IsTransient(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kNotFound:
+    case StatusCode::kIOError:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 SecureRecordComparator::SecureRecordComparator(SmcConfig config,
@@ -32,6 +55,7 @@ SecureRecordComparator::SecureRecordComparator(SmcConfig config,
     : config_(config),
       rule_(std::move(rule)),
       codec_(config.fp_scale),
+      bus_(MakeBus(config.fault_plan)),
       qp_(ToParams(config), Seed(config.test_seed, 0x9999)),
       alice_(std::string("alice"), ToParams(config),
              Seed(config.test_seed, 0xA11CE)),
@@ -39,9 +63,9 @@ SecureRecordComparator::SecureRecordComparator(SmcConfig config,
            Seed(config.test_seed, 0xB0B)) {}
 
 Status SecureRecordComparator::Init() {
-  HPRL_RETURN_IF_ERROR(qp_.PublishKey(&bus_, &costs_));
-  HPRL_RETURN_IF_ERROR(alice_.ReceiveKey(&bus_));
-  HPRL_RETURN_IF_ERROR(bob_.ReceiveKey(&bus_));
+  HPRL_RETURN_IF_ERROR(qp_.PublishKey(bus_.get(), &costs_));
+  HPRL_RETURN_IF_ERROR(alice_.ReceiveKey(bus_.get()));
+  HPRL_RETURN_IF_ERROR(bob_.ReceiveKey(bus_.get()));
   initialized_ = true;
   if (metrics_ != nullptr) AttachMetrics(metrics_);  // re-attach fresh keys
   if (pool_ != nullptr) AttachRandomizerPool(pool_);
@@ -50,9 +74,9 @@ Status SecureRecordComparator::Init() {
 
 Status SecureRecordComparator::InitWithKeyPair(
     const crypto::PaillierKeyPair& kp) {
-  HPRL_RETURN_IF_ERROR(qp_.PublishKeyPair(kp, &bus_, &costs_));
-  HPRL_RETURN_IF_ERROR(alice_.ReceiveKey(&bus_));
-  HPRL_RETURN_IF_ERROR(bob_.ReceiveKey(&bus_));
+  HPRL_RETURN_IF_ERROR(qp_.PublishKeyPair(kp, bus_.get(), &costs_));
+  HPRL_RETURN_IF_ERROR(alice_.ReceiveKey(bus_.get()));
+  HPRL_RETURN_IF_ERROR(bob_.ReceiveKey(bus_.get()));
   initialized_ = true;
   if (metrics_ != nullptr) AttachMetrics(metrics_);  // re-attach fresh keys
   if (pool_ != nullptr) AttachRandomizerPool(pool_);
@@ -68,7 +92,7 @@ void SecureRecordComparator::AttachRandomizerPool(
 
 void SecureRecordComparator::AttachMetrics(obs::MetricsRegistry* registry) {
   metrics_ = registry;
-  bus_.AttachMetrics(registry);
+  bus_->AttachMetrics(registry);
   qp_.AttachMetrics(registry);
   alice_.AttachMetrics(registry);
   bob_.AttachMetrics(registry);
@@ -99,6 +123,32 @@ BigInt SecureRecordComparator::AttrThreshold(const AttrRule& rule) const {
   return BigInt(static_cast<int64_t>(std::floor(t * t + 1e-9)));
 }
 
+template <typename Exchange>
+auto SecureRecordComparator::RetryExchange(int64_t a_id, int64_t b_id,
+                                           int exchange_idx,
+                                           Exchange&& exchange)
+    -> decltype(exchange()) {
+  for (int attempt = 0;; ++attempt) {
+    // The fault schedule distinguishes exchanges of the same pair through
+    // the context's attempt field: high bits carry the exchange index,
+    // low bits the retry attempt.
+    bus_->SetPairContext(a_id, b_id, (exchange_idx << 8) | attempt);
+    auto r = exchange();
+    if (r.ok() || !IsTransient(r.status()) || attempt >= config_.max_retries) {
+      return r;
+    }
+    // Heal: discard whatever half-delivered state the fault left behind,
+    // optionally back off, and replay the exchange from its first message.
+    bus_->PurgeAll();
+    costs_.retries += 1;
+    if (metrics_ != nullptr) obs::Add(metrics_, "smc.retries");
+    if (config_.retry_backoff_micros > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<int64_t>(config_.retry_backoff_micros) << attempt));
+    }
+  }
+}
+
 Result<bool> SecureRecordComparator::Compare(const Record& a,
                                              const Record& b) {
   return CompareRows(-1, -1, a, b);
@@ -114,6 +164,7 @@ Result<bool> SecureRecordComparator::CompareRows(int64_t a_id, int64_t b_id,
   costs_.invocations += 1;
   WallTimer compare_timer;
   int64_t rounds = 0;
+  int exchange_idx = 0;
   bool match = true;
   for (size_t attr_pos = 0; attr_pos < rule_.attrs.size(); ++attr_pos) {
     const AttrRule& rule = rule_.attrs[attr_pos];
@@ -130,11 +181,14 @@ Result<bool> SecureRecordComparator::CompareRows(int64_t a_id, int64_t b_id,
     int64_t b_key = cache ? (b_id << 8) | static_cast<int64_t>(attr_pos) : -1;
     costs_.attr_comparisons += 1;
     rounds += 1;  // one alice -> bob -> qp round trip per attribute
-    HPRL_RETURN_IF_ERROR(alice_.SendAttr(&bus_, bob_.name(), *x, a_key,
-                                         &costs_));
-    HPRL_RETURN_IF_ERROR(
-        bob_.FoldAndForward(&bus_, *y, threshold, b_key, &costs_));
-    auto within = qp_.DecideAttr(&bus_, threshold, &costs_);
+    auto within =
+        RetryExchange(a_id, b_id, exchange_idx++, [&]() -> Result<bool> {
+          HPRL_RETURN_IF_ERROR(
+              alice_.SendAttr(bus_.get(), bob_.name(), *x, a_key, &costs_));
+          HPRL_RETURN_IF_ERROR(
+              bob_.FoldAndForward(bus_.get(), *y, threshold, b_key, &costs_));
+          return qp_.DecideAttr(bus_.get(), threshold, &costs_);
+        });
     if (!within.ok()) return within.status();
     if (!*within) {
       match = false;
@@ -142,9 +196,14 @@ Result<bool> SecureRecordComparator::CompareRows(int64_t a_id, int64_t b_id,
     }
   }
   // The querying party reports the pair's label to both holders.
-  HPRL_RETURN_IF_ERROR(qp_.AnnounceResult(&bus_, match));
-  HPRL_RETURN_IF_ERROR(alice_.ReceiveResult(&bus_).status());
-  HPRL_RETURN_IF_ERROR(bob_.ReceiveResult(&bus_).status());
+  auto announced =
+      RetryExchange(a_id, b_id, exchange_idx++, [&]() -> Result<bool> {
+        HPRL_RETURN_IF_ERROR(qp_.AnnounceResult(bus_.get(), match));
+        HPRL_RETURN_IF_ERROR(alice_.ReceiveResult(bus_.get()).status());
+        HPRL_RETURN_IF_ERROR(bob_.ReceiveResult(bus_.get()).status());
+        return true;
+      });
+  if (!announced.ok()) return announced.status();
   rounds += 1;  // result announcement
   if (metrics_ != nullptr) {
     obs::Add(metrics_, "smc.rounds", rounds);
@@ -166,9 +225,11 @@ Result<double> SecureRecordComparator::SecureSquaredDistance(double x,
   }
   BigInt xi = codec_.Encode(x);
   BigInt yi = codec_.Encode(y);
-  HPRL_RETURN_IF_ERROR(alice_.SendAttr(&bus_, bob_.name(), xi, -1, &costs_));
-  HPRL_RETURN_IF_ERROR(bob_.FoldAndForward(&bus_, yi, BigInt(0), -1, &costs_));
-  auto plain = qp_.ReceivePlain(&bus_, &costs_);
+  HPRL_RETURN_IF_ERROR(
+      alice_.SendAttr(bus_.get(), bob_.name(), xi, -1, &costs_));
+  HPRL_RETURN_IF_ERROR(
+      bob_.FoldAndForward(bus_.get(), yi, BigInt(0), -1, &costs_));
+  auto plain = qp_.ReceivePlain(bus_.get(), &costs_);
   if (!plain.ok()) return plain.status();
   return codec_.DecodeSquared(*plain);
 }

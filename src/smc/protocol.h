@@ -12,6 +12,7 @@
 #include "linkage/match_rule.h"
 #include "smc/channel.h"
 #include "smc/costs.h"
+#include "smc/fault.h"
 #include "smc/parties.h"
 
 namespace hprl::smc {
@@ -57,6 +58,23 @@ struct SmcConfig {
   /// never pool (their encryptions stay inline), so this knob only matters
   /// when comparing through SmcMatchOracle / BatchSmcEngine.
   int randomizer_pool_depth = 64;
+
+  /// Deterministic fault-injection schedule for the transport (smc/fault.h).
+  /// When enabled, each worker's bus is decorated as a FaultyBus; disabled
+  /// (the default), the comparator runs on the plain MessageBus and the
+  /// zero-fault path is byte-identical to a build without the fault layer.
+  FaultPlan fault_plan;
+
+  /// How many times one per-attribute exchange (or the result announcement)
+  /// is retried after a transient transport fault — a dropped message,
+  /// a corrupted payload, or a desync — before the pair is given up
+  /// (and, under BatchSmcEngine, quarantined). 0 disables retries.
+  int max_retries = 3;
+
+  /// Base of the exponential retry backoff: attempt k sleeps
+  /// retry_backoff_micros << (k-1). 0 (the default) retries immediately —
+  /// right for the in-process bus, where a retry cannot race the fault away.
+  int retry_backoff_micros = 0;
 };
 
 /// Drives the paper's §V-A secure record comparison among the three party
@@ -110,7 +128,7 @@ class SecureRecordComparator {
   Result<double> SecureSquaredDistance(double x, double y);
 
   const SmcCosts& costs() const { return costs_; }
-  const MessageBus& bus() const { return bus_; }
+  const MessageBus& bus() const { return *bus_; }
   const crypto::PaillierPublicKey& public_key() const {
     return qp_.public_key();
   }
@@ -129,10 +147,19 @@ class SecureRecordComparator {
   /// Scaled integer threshold for attribute `rule` (compare vs (x-y)^2).
   crypto::BigInt AttrThreshold(const AttrRule& rule) const;
 
+  /// Retries `exchange` after transient transport faults (see
+  /// SmcConfig::max_retries), purging the bus and re-announcing the pair
+  /// context between attempts. Crashes (Unavailable) are not retried here —
+  /// a dead party is the batch engine's supervision problem, not a
+  /// transit glitch.
+  template <typename Exchange>
+  auto RetryExchange(int64_t a_id, int64_t b_id, int exchange_idx,
+                     Exchange&& exchange) -> decltype(exchange());
+
   SmcConfig config_;
   MatchRule rule_;
   crypto::FixedPointCodec codec_;
-  MessageBus bus_;
+  std::unique_ptr<MessageBus> bus_;  // FaultyBus when fault_plan is enabled
   SmcCosts costs_;
   bool initialized_ = false;
   obs::MetricsRegistry* metrics_ = nullptr;  // not owned; may be null

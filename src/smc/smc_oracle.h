@@ -49,6 +49,10 @@ class SmcMatchOracle : public MatchOracle {
   /// Aggregated costs across the engine's workers.
   const SmcCosts& costs() const { return engine_.costs(); }
 
+  /// Degradation accounting under fault injection (see BatchSmcEngine).
+  int64_t pairs_quarantined() const { return engine_.pairs_quarantined(); }
+  int64_t worker_restarts() const { return engine_.worker_restarts(); }
+
   /// Worker 0's message bus (per-worker traffic).
   const MessageBus& bus() const { return engine_.bus(); }
 

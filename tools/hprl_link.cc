@@ -4,6 +4,9 @@
 //             [--links links.csv] [--release-r ra.txt] [--release-s rb.txt]
 //             [--with-rows] [--evaluate] [--metrics_out run.json]
 //             [--threads N] [--smc_threads N]
+//             [--checkpoint drain.json]
+//             [--fault_seed N] [--fault_drop R] [--fault_corrupt R]
+//             [--fault_delay R] [--fault_delay_micros N] [--fault_crash R]
 //
 // The spec file declares attributes, hierarchies, thresholds and protocol
 // parameters (see src/cli/spec.h for the format). With `keybits > 0` in the
@@ -36,6 +39,25 @@ int main(int argc, char** argv) {
       "smc_threads", 0,
       "SMC worker comparators (0 = use the spec's setting; both default to "
       "the machine's hardware concurrency)");
+  std::string* checkpoint = flags.AddString(
+      "checkpoint", "",
+      "resumable SMC drain: persist progress here after every batch and "
+      "resume from it on restart");
+  int64_t* fault_seed = flags.AddInt(
+      "fault_seed", 0, "fault-injection schedule seed (0 = use the spec's)");
+  double* fault_drop = flags.AddDouble(
+      "fault_drop", -1, "message drop rate in [0,1] (-1 = use the spec's)");
+  double* fault_corrupt = flags.AddDouble(
+      "fault_corrupt", -1,
+      "payload corruption rate in [0,1] (-1 = use the spec's)");
+  double* fault_delay = flags.AddDouble(
+      "fault_delay", -1, "message delay rate in [0,1] (-1 = use the spec's)");
+  int64_t* fault_delay_micros = flags.AddInt(
+      "fault_delay_micros", -1,
+      "injected latency per delayed message (-1 = use the spec's)");
+  double* fault_crash = flags.AddDouble(
+      "fault_crash", -1,
+      "party crash rate per receive in [0,1] (-1 = use the spec's)");
 
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kNotFound) return 0;  // --help
@@ -48,6 +70,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--spec, --r and --s are required\n%s",
                  flags.Usage(argv[0]).c_str());
     return 2;
+  }
+  if (*threads < 0 || *smc_threads < 0) {
+    std::fprintf(stderr,
+                 "--threads and --smc_threads must be >= 0 (0 = spec/auto)\n");
+    return 2;
+  }
+  for (double rate : {*fault_drop, *fault_corrupt, *fault_delay,
+                      *fault_crash}) {
+    if (rate > 1 || (rate < 0 && rate != -1)) {
+      std::fprintf(stderr,
+                   "fault rates must be in [0,1] (-1 = use the spec's)\n");
+      return 2;
+    }
   }
 
   auto spec = cli::LoadLinkageSpec(*spec_path);
@@ -64,6 +99,13 @@ int main(int argc, char** argv) {
   options.metrics_out = *metrics_out;
   options.threads_override = static_cast<int>(*threads);
   options.smc_threads_override = static_cast<int>(*smc_threads);
+  options.checkpoint = *checkpoint;
+  options.fault_seed_override = *fault_seed;
+  options.fault_drop_override = *fault_drop;
+  options.fault_corrupt_override = *fault_corrupt;
+  options.fault_delay_override = *fault_delay;
+  options.fault_delay_micros_override = *fault_delay_micros;
+  options.fault_crash_override = *fault_crash;
 
   auto report = cli::RunLinkageFromFiles(*spec, *csv_r, *csv_s, options);
   if (!report.ok()) {
