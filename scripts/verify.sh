@@ -20,25 +20,55 @@ for seed in 11 23 47; do
   HPRL_FAULT_SEED="${seed}" ./build/tests/fault_test --gtest_brief=1
 done
 
+echo "== tcp transport smoke: three-process loopback, bit-identical links =="
+# The coordinator spawns three hprl_party daemons on loopback and the run
+# must reproduce the in-process transport's links bit for bit (pinned seed,
+# exact protocol). Also checks the 5% wire-vs-accounted byte criterion.
+cmake --build build -j --target hprl_link hprl_party hprl_gen
+TCP_TMP="$(mktemp -d)"
+trap 'rm -rf "$TCP_TMP"' EXIT
+./build/tools/hprl_gen --out "$TCP_TMP" --rows 300 --seed 7 >/dev/null
+sed -i 's/^keybits .*/keybits 256/; s/^allowance .*/allowance 0.01/' \
+  "$TCP_TMP/linkage.spec"
+./build/tools/hprl_link --spec "$TCP_TMP/linkage.spec" \
+  --r "$TCP_TMP/r.csv" --s "$TCP_TMP/s.csv" \
+  --links "$TCP_TMP/links_inproc.csv" >/dev/null
+./build/tools/hprl_link --spec "$TCP_TMP/linkage.spec" \
+  --r "$TCP_TMP/r.csv" --s "$TCP_TMP/s.csv" --transport tcp \
+  --links "$TCP_TMP/links_tcp.csv" \
+  --metrics_out "$TCP_TMP/run_tcp.json" >/dev/null
+diff "$TCP_TMP/links_inproc.csv" "$TCP_TMP/links_tcp.csv" \
+  || { echo "FAIL: tcp links differ from in-process links"; exit 1; }
+python3 - "$TCP_TMP/run_tcp.json" <<'EOF'
+import json, sys
+g = json.load(open(sys.argv[1]))["gauges"]
+wire, bus = g["net.wire_bytes_sent"], g["net.bus_accounted_bytes"]
+drift = abs(wire - bus) / wire
+assert drift < 0.05, f"wire {wire} vs accounted {bus}: drift {drift:.4f}"
+print(f"tcp loopback OK: links bit-identical, byte drift {drift:.4%}")
+EOF
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipped sanitizer passes (--fast) =="
   exit 0
 fi
 
-echo "== ASan: fault injection (corrupted payloads, retries, checkpoints) =="
+echo "== ASan: fault injection + real TCP transport =="
 cmake -B build-asan -S . -DHPRL_SANITIZE=address >/dev/null
-cmake --build build-asan -j --target fault_test
+cmake --build build-asan -j --target fault_test net_test
 ./build-asan/tests/fault_test
+./build-asan/tests/net_test
 
 echo "== TSan: metrics registry + threaded blocking + parallel/faulty SMC =="
 cmake -B build-tsan -S . -DHPRL_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target obs_test blocking_test session_test \
-  parallel_smc_test crypto_test fault_test
+  parallel_smc_test crypto_test fault_test net_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/blocking_test
 ./build-tsan/tests/session_test
 ./build-tsan/tests/parallel_smc_test
 ./build-tsan/tests/crypto_test
 ./build-tsan/tests/fault_test
+./build-tsan/tests/net_test
 
 echo "== verify OK =="

@@ -1,6 +1,15 @@
 #include "cli/runner.h"
 
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
 #include <fstream>
 #include <thread>
 
@@ -13,8 +22,11 @@
 #include "hierarchy/vgh_parser.h"
 #include "linkage/ground_truth.h"
 #include "linkage/oracle.h"
+#include "net/remote_oracle.h"
+#include "net/socket.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "smc/network.h"
 #include "smc/smc_oracle.h"
 
 namespace hprl::cli {
@@ -174,6 +186,151 @@ Status WriteLinksCsv(const std::string& path, const Table& r, const Table& s,
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// --transport=tcp deployment: parse a user-supplied mesh, or spawn three
+// local hprl_party daemons on kernel-assigned loopback ports.
+
+/// "host:port,host:port,host:port" in alice,bob,qp order.
+Result<net::MeshEndpoints> ParseMeshEndpoints(const std::string& text) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t comma = text.find(',', start);
+    parts.push_back(text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (parts.size() != 3) {
+    return Status::InvalidArgument(
+        "--parties wants exactly three host:port endpoints in alice,bob,qp "
+        "order, got '" + text + "'");
+  }
+  static const char* kNames[3] = {"alice", "bob", "qp"};
+  net::PeerAddress addrs[3];
+  for (int i = 0; i < 3; ++i) {
+    const std::string& p = parts[i];
+    size_t colon = p.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= p.size()) {
+      return Status::InvalidArgument(
+          StrFormat("--parties: %s endpoint must be host:port, got '%s'",
+                    kNames[i], p.c_str()));
+    }
+    int port = 0;
+    for (size_t j = colon + 1; j < p.size(); ++j) {
+      if (p[j] < '0' || p[j] > '9' || port > 65535) {
+        return Status::InvalidArgument(
+            StrFormat("--parties: bad port in %s endpoint '%s'", kNames[i],
+                      p.c_str()));
+      }
+      port = port * 10 + (p[j] - '0');
+    }
+    if (port == 0 || port > 65535) {
+      return Status::InvalidArgument(
+          StrFormat("--parties: bad port in %s endpoint '%s'", kNames[i],
+                    p.c_str()));
+    }
+    addrs[i].name = kNames[i];
+    addrs[i].host = p.substr(0, colon);
+    addrs[i].port = static_cast<uint16_t>(port);
+  }
+  net::MeshEndpoints mesh;
+  mesh.alice = addrs[0];
+  mesh.bob = addrs[1];
+  mesh.qp = addrs[2];
+  return mesh;
+}
+
+/// Three kernel-assigned ports, all held open while being read so the same
+/// port cannot be handed out twice. The daemons rebind them right after
+/// (SO_REUSEADDR makes the close-then-bind handoff safe).
+Result<std::array<uint16_t, 3>> ProbeFreePorts() {
+  std::array<uint16_t, 3> ports{};
+  net::Fd holds[3];
+  for (int i = 0; i < 3; ++i) {
+    auto listener = net::TcpListen(0);
+    if (!listener.ok()) return listener.status();
+    auto port = net::LocalPort(*listener);
+    if (!port.ok()) return port.status();
+    ports[i] = *port;
+    holds[i] = std::move(*listener);
+  }
+  return ports;
+}
+
+/// fork/execs the three hprl_party daemons and reaps them on destruction.
+/// The coordinator's shutdown command is what actually asks them to exit;
+/// Terminate() only waits, escalating to SIGKILL for a wedged daemon.
+class SpawnedParties {
+ public:
+  ~SpawnedParties() { Terminate(); }
+
+  Status Spawn(const std::string& binary,
+               const std::array<std::string, 3>& endpoints,
+               int connect_timeout_ms, int receive_timeout_ms) {
+    static const char* kRoles[3] = {"alice", "bob", "qp"};
+    for (int i = 0; i < 3; ++i) {
+      std::vector<std::string> args = {
+          binary,          "--role",
+          kRoles[i],       "--alice",
+          endpoints[0],    "--bob",
+          endpoints[1],    "--qp",
+          endpoints[2],    "--connect_timeout_ms",
+          StrFormat("%d", connect_timeout_ms),
+          "--receive_timeout_ms",
+          StrFormat("%d", receive_timeout_ms)};
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      pid_t pid = ::fork();
+      if (pid < 0) {
+        return Status::IOError(std::string("fork failed spawning hprl_party: ") +
+                               std::strerror(errno));
+      }
+      if (pid == 0) {
+        // Keep the coordinator's stdout clean; daemon chatter goes to
+        // stderr only (its own prints are informational).
+        int devnull = ::open("/dev/null", O_WRONLY);
+        if (devnull >= 0) {
+          ::dup2(devnull, STDOUT_FILENO);
+          ::close(devnull);
+        }
+        ::execvp(argv[0], argv.data());
+        std::fprintf(stderr, "hprl_link: cannot exec %s: %s\n", binary.c_str(),
+                     std::strerror(errno));
+        ::_exit(127);
+      }
+      pids_.push_back(pid);
+    }
+    return Status::OK();
+  }
+
+  void Terminate() {
+    for (pid_t pid : pids_) {
+      bool reaped = false;
+      for (int tick = 0; tick < 100 && !reaped; ++tick) {  // ~5 s grace
+        int status = 0;
+        pid_t r = ::waitpid(pid, &status, WNOHANG);
+        if (r == pid || (r < 0 && errno == ECHILD)) {
+          reaped = true;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      if (!reaped) {
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+      }
+    }
+    pids_.clear();
+  }
+
+ private:
+  std::vector<pid_t> pids_;
+};
+
 }  // namespace
 
 std::string RunnerReport::ToString() const {
@@ -212,6 +369,14 @@ std::string RunnerReport::ToString() const {
     out += StrFormat("evaluation: recall %.2f%% of %lld true matches\n",
                      100.0 * result.recall,
                      static_cast<long long>(result.true_matches));
+  }
+  if (estimated_smc_seconds >= 0) {
+    out += StrFormat(
+        "transport: tcp — SMC wall %.3fs measured vs %.3fs modeled (LAN); "
+        "%lld wire bytes sent vs %lld bus-accounted\n",
+        result.smc_seconds, estimated_smc_seconds,
+        static_cast<long long>(wire_bytes_sent),
+        static_cast<long long>(bus_accounted_bytes));
   }
   return out;
 }
@@ -308,7 +473,83 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
         "fault injection targets the SMC transport; it requires keybits > 0 "
         "(the plaintext oracle has no transport to fault)");
   }
-  if (spec.key_bits > 0) {
+  const bool use_tcp = options.transport == "tcp";
+  if (!options.transport.empty() && options.transport != "inproc" &&
+      !use_tcp) {
+    return Status::InvalidArgument("unknown transport '" + options.transport +
+                                   "' (expected inproc or tcp)");
+  }
+  net::MeshStats mesh_stats;
+  std::string parties_desc;
+  if (use_tcp) {
+    if (spec.key_bits == 0) {
+      return Status::InvalidArgument(
+          "--transport=tcp runs the SMC protocol across hprl_party daemons; "
+          "it requires keybits > 0");
+    }
+    if (fault_plan.enabled()) {
+      return Status::InvalidArgument(
+          "fault injection simulates transport faults and only applies "
+          "in-process; on --transport=tcp faults are real (stop a daemon "
+          "instead)");
+    }
+
+    net::MeshEndpoints mesh;
+    SpawnedParties daemons;
+    if (options.tcp_endpoints.empty()) {
+      auto ports = ProbeFreePorts();
+      if (!ports.ok()) return ports.status();
+      std::array<std::string, 3> eps;
+      for (int i = 0; i < 3; ++i) {
+        eps[i] = StrFormat("127.0.0.1:%u", unsigned{(*ports)[i]});
+      }
+      HPRL_RETURN_IF_ERROR(daemons.Spawn(options.party_binary, eps,
+                                         options.net_connect_timeout_ms,
+                                         options.net_receive_timeout_ms));
+      mesh.alice = {"alice", "127.0.0.1", (*ports)[0]};
+      mesh.bob = {"bob", "127.0.0.1", (*ports)[1]};
+      mesh.qp = {"qp", "127.0.0.1", (*ports)[2]};
+      parties_desc = eps[0] + "," + eps[1] + "," + eps[2] + " (spawned)";
+    } else {
+      auto parsed = ParseMeshEndpoints(options.tcp_endpoints);
+      if (!parsed.ok()) return parsed.status();
+      mesh = *parsed;
+      parties_desc = options.tcp_endpoints;
+    }
+
+    net::RemoteOracleOptions ropts;
+    ropts.config.key_bits = spec.key_bits;
+    ropts.config.max_retries = spec.smc_retries;
+    ropts.rule = plan->rule;
+    ropts.endpoints = mesh;
+    ropts.connect_timeout_ms = options.net_connect_timeout_ms;
+    ropts.receive_timeout_ms = options.net_receive_timeout_ms;
+    net::RemoteSmcOracle oracle(ropts);
+    oracle.AttachMetrics(metrics);
+    HPRL_RETURN_IF_ERROR(oracle.Init());
+    report.oracle = StrFormat("paillier-%d/tcp", spec.key_bits);
+    result = session.WithOracle(oracle).Run();
+
+    // The session detaches oracle metrics when Run() returns; re-attach so
+    // the final stats sweep lands the mesh-wide net.* totals in the report.
+    oracle.AttachMetrics(metrics);
+    Status shut = oracle.Shutdown(/*stop_daemons=*/true);
+    if (result.ok()) {
+      // Stats are best-effort once the linkage itself succeeded: a daemon
+      // that died right at shutdown loses its counters, not the run.
+      mesh_stats = oracle.mesh_stats();
+      report.wire_bytes_sent = mesh_stats.wire_bytes_sent;
+      report.bus_accounted_bytes = mesh_stats.bus_bytes;
+      if (shut.ok()) {
+        auto timings = smc::CryptoTimings::Measure(spec.key_bits);
+        if (timings.ok()) {
+          report.estimated_smc_seconds = smc::EstimateSeconds(
+              mesh_stats.costs, mesh_stats.bus_bytes, mesh_stats.bus_messages,
+              smc::NetworkModel::Lan(), *timings);
+        }
+      }
+    }
+  } else if (spec.key_bits > 0) {
     smc::SmcConfig smc_cfg;
     smc_cfg.key_bits = spec.key_bits;
     smc_cfg.fault_plan = fault_plan;
@@ -326,6 +567,19 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
   report.result = std::move(result).value();
   report.result.anon_seconds = anon_seconds;
 
+  if (use_tcp) {
+    obs::SetGauge(metrics, "net.measured_smc_seconds",
+                  report.result.smc_seconds);
+    if (report.estimated_smc_seconds >= 0) {
+      obs::SetGauge(metrics, "net.estimated_smc_seconds",
+                    report.estimated_smc_seconds);
+    }
+    obs::SetGauge(metrics, "net.wire_bytes_sent",
+                  static_cast<double>(report.wire_bytes_sent));
+    obs::SetGauge(metrics, "net.bus_accounted_bytes",
+                  static_cast<double>(report.bus_accounted_bytes));
+  }
+
   if (!options.metrics_out.empty()) {
     obs::RunReport run;
     run.tool = "hprl_link";
@@ -337,6 +591,8 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
     run.AddConfig("threads", StrFormat("%d", hc.blocking_threads));
     run.AddConfig("smc_threads", StrFormat("%d", smc_threads));
     run.AddConfig("oracle", report.oracle);
+    run.AddConfig("transport", use_tcp ? "tcp" : "inproc");
+    if (use_tcp) run.AddConfig("parties", parties_desc);
     if (fault_plan.enabled()) {
       run.AddConfig("fault_seed",
                     StrFormat("%llu", static_cast<unsigned long long>(

@@ -42,6 +42,29 @@ struct RunnerOptions {
   int64_t fault_seed_override = 0;
   int64_t fault_delay_micros_override = -1;
 
+  /// "" or "inproc": the SMC step runs in-process (the default). "tcp": the
+  /// three parties run as hprl_party daemons and the SMC step goes over real
+  /// sockets (requires keybits > 0; incompatible with fault injection, whose
+  /// faults are simulated — TCP faults are real).
+  std::string transport;
+
+  /// --transport=tcp only. Comma-separated listen endpoints of the three
+  /// daemons in alice,bob,qp order ("host:port,host:port,host:port") when
+  /// joining an already-running mesh; empty = spawn three local hprl_party
+  /// processes on kernel-assigned loopback ports and tear them down after
+  /// the run.
+  std::string tcp_endpoints;
+
+  /// Path of the hprl_party binary for spawn mode (resolved via PATH when
+  /// not absolute).
+  std::string party_binary = "hprl_party";
+
+  /// --transport=tcp: deadline for establishing the mesh, and the blocking-
+  /// receive bound on every protocol link (a daemon that stays silent longer
+  /// surfaces as a retryable timeout to the coordinator).
+  int net_connect_timeout_ms = 10000;
+  int net_receive_timeout_ms = 4000;
+
   /// Optional external registry (not owned; may be null). When null and
   /// metrics_out is set, the runner uses a private registry for the report.
   obs::MetricsRegistry* metrics = nullptr;
@@ -52,7 +75,13 @@ struct RunnerOptions {
 /// LinkageMetrics base — see src/obs/linkage_metrics.h.
 struct RunnerReport {
   HybridResult result;
-  std::string oracle;  // "plaintext" or "paillier-<bits>"
+  std::string oracle;  // "plaintext", "paillier-<bits>" or "paillier-<bits>/tcp"
+
+  /// --transport=tcp only: deployment ground truth vs the NetworkModel
+  /// projection. estimated_smc_seconds < 0 means "not a TCP run".
+  double estimated_smc_seconds = -1;    ///< EstimateSeconds under the LAN model
+  int64_t wire_bytes_sent = 0;          ///< socket-measured, all four processes
+  int64_t bus_accounted_bytes = 0;      ///< MessageBus accounting, same scope
 
   /// Human-readable multi-line summary.
   std::string ToString() const;

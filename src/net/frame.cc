@@ -1,0 +1,241 @@
+#include "net/frame.h"
+
+#include "common/string_util.h"
+
+namespace hprl::net {
+
+using smc::Message;
+
+namespace {
+
+void PutU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+/// Short name field (from/to/tag): 1-byte length prefix.
+Status AppendName(const std::string& s, std::vector<uint8_t>* out) {
+  if (s.size() > 255) return Status::InvalidArgument("name too long: " + s);
+  out->push_back(static_cast<uint8_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+  return Status::OK();
+}
+
+Result<std::string> ConsumeName(const uint8_t* body, size_t n, size_t* off) {
+  if (*off + 1 > n) return Status::IOError("truncated frame: name length");
+  size_t len = body[*off];
+  *off += 1;
+  if (*off + len > n) return Status::IOError("truncated frame: name bytes");
+  std::string s(reinterpret_cast<const char*>(body + *off), len);
+  *off += len;
+  return s;
+}
+
+}  // namespace
+
+size_t FrameSize(const Message& msg) {
+  // len + magic + version + flags + 3 length-prefixed names + seq + checksum.
+  return 4 + 4 + 2 + 1 + (1 + msg.from.size()) + (1 + msg.to.size()) +
+         (1 + msg.tag.size()) + 8 + 4 + msg.payload.size();
+}
+
+std::vector<uint8_t> EncodeFrame(const Message& msg) {
+  std::vector<uint8_t> out;
+  out.reserve(FrameSize(msg));
+  AppendU32(0, &out);  // length placeholder
+  AppendU32(kWireMagic, &out);
+  PutU16(kWireVersion, &out);
+  out.push_back(0);  // flags
+  // Names are bounded by the protocol (party roles + ":ctl" suffixes); a
+  // violation is a programming error surfaced by the empty-frame fallback.
+  if (!AppendName(msg.from, &out).ok() || !AppendName(msg.to, &out).ok() ||
+      !AppendName(msg.tag, &out).ok()) {
+    return {};
+  }
+  AppendU64(msg.seq, &out);
+  AppendU32(msg.checksum, &out);
+  out.insert(out.end(), msg.payload.begin(), msg.payload.end());
+  uint32_t len = static_cast<uint32_t>(out.size() - 4);
+  out[0] = static_cast<uint8_t>(len >> 24);
+  out[1] = static_cast<uint8_t>(len >> 16);
+  out[2] = static_cast<uint8_t>(len >> 8);
+  out[3] = static_cast<uint8_t>(len);
+  return out;
+}
+
+Result<Message> DecodeFrame(const uint8_t* body, size_t n) {
+  size_t off = 0;
+  auto u32 = [&](const char* what) -> Result<uint32_t> {
+    if (off + 4 > n) {
+      return Status::IOError(StrFormat("truncated frame: %s", what));
+    }
+    uint32_t v = (static_cast<uint32_t>(body[off]) << 24) |
+                 (static_cast<uint32_t>(body[off + 1]) << 16) |
+                 (static_cast<uint32_t>(body[off + 2]) << 8) |
+                 static_cast<uint32_t>(body[off + 3]);
+    off += 4;
+    return v;
+  };
+  auto magic = u32("magic");
+  if (!magic.ok()) return magic.status();
+  if (*magic != kWireMagic) {
+    return Status::IOError(StrFormat("bad frame magic 0x%08X", *magic));
+  }
+  if (off + 3 > n) return Status::IOError("truncated frame: version");
+  uint16_t version = static_cast<uint16_t>((body[off] << 8) | body[off + 1]);
+  off += 2;
+  if (version != kWireVersion) {
+    return Status::IOError(StrFormat(
+        "wire version mismatch: peer speaks v%u, this build speaks v%u",
+        unsigned{version}, unsigned{kWireVersion}));
+  }
+  off += 1;  // flags (reserved)
+
+  Message msg;
+  auto from = ConsumeName(body, n, &off);
+  if (!from.ok()) return from.status();
+  auto to = ConsumeName(body, n, &off);
+  if (!to.ok()) return to.status();
+  auto tag = ConsumeName(body, n, &off);
+  if (!tag.ok()) return tag.status();
+  msg.from = std::move(from).value();
+  msg.to = std::move(to).value();
+  msg.tag = std::move(tag).value();
+
+  if (off + 8 > n) return Status::IOError("truncated frame: seq");
+  uint64_t seq = 0;
+  for (int i = 0; i < 8; ++i) seq = (seq << 8) | body[off + i];
+  off += 8;
+  msg.seq = seq;
+  auto checksum = u32("checksum");
+  if (!checksum.ok()) return checksum.status();
+  msg.checksum = *checksum;
+  msg.payload.assign(body + off, body + n);
+  // A stamped checksum that no longer covers the payload means the frame was
+  // truncated or corrupted in transit; reject it here so a bad frame never
+  // reaches an inbox. Unstamped frames (checksum 0: the hello handshake)
+  // carry no payload to protect.
+  if (msg.checksum != 0 && msg.checksum != smc::PayloadChecksum(msg.payload)) {
+    return Status::IOError(StrFormat(
+        "frame checksum mismatch on '%s' (%zu payload bytes): truncated or "
+        "corrupted in transit",
+        msg.tag.c_str(), msg.payload.size()));
+  }
+  return msg;
+}
+
+Result<Message> ReadFrame(int fd, int timeout_ms, size_t* wire_bytes) {
+  uint8_t len_buf[4];
+  HPRL_RETURN_IF_ERROR(FullRead(fd, len_buf, 4, timeout_ms));
+  uint32_t len = (static_cast<uint32_t>(len_buf[0]) << 24) |
+                 (static_cast<uint32_t>(len_buf[1]) << 16) |
+                 (static_cast<uint32_t>(len_buf[2]) << 8) |
+                 static_cast<uint32_t>(len_buf[3]);
+  if (len == 0 || len > kMaxFrameBytes) {
+    // The stream is desynchronized or hostile; the connection cannot be
+    // trusted past this point.
+    return Status::IOError(StrFormat(
+        "oversized frame length %u (max %u): stream desynchronized",
+        unsigned{len}, unsigned{kMaxFrameBytes}));
+  }
+  std::vector<uint8_t> body(len);
+  HPRL_RETURN_IF_ERROR(FullRead(fd, body.data(), len, timeout_ms));
+  if (wire_bytes != nullptr) *wire_bytes = 4 + static_cast<size_t>(len);
+  return DecodeFrame(body.data(), body.size());
+}
+
+Status WriteFrame(int fd, const Message& msg, size_t* wire_bytes) {
+  std::vector<uint8_t> frame = EncodeFrame(msg);
+  if (frame.empty()) {
+    return Status::InvalidArgument("unframeable message (name over 255 bytes)");
+  }
+  if (wire_bytes != nullptr) *wire_bytes = frame.size();
+  return FullWrite(fd, frame.data(), frame.size());
+}
+
+// --------------------------------------------------------------- ctl payloads
+
+void AppendU8(uint8_t v, std::vector<uint8_t>* out) { out->push_back(v); }
+
+void AppendU32(uint32_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v >> 24));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+void AppendU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<uint8_t>(v >> shift));
+  }
+}
+
+void AppendI64(int64_t v, std::vector<uint8_t>* out) {
+  AppendU64(static_cast<uint64_t>(v), out);
+}
+
+void AppendString(const std::string& s, std::vector<uint8_t>* out) {
+  AppendU32(static_cast<uint32_t>(s.size()), out);
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+void AppendSignedBigInt(const crypto::BigInt& x, std::vector<uint8_t>* out) {
+  AppendU8(x.Sign() < 0 ? 1 : 0, out);
+  smc::AppendBigInt(x.Sign() < 0 ? -x : x, out);
+}
+
+Result<uint8_t> ConsumeU8(const std::vector<uint8_t>& buf, size_t* off) {
+  if (*off + 1 > buf.size()) return Status::IOError("truncated ctl field: u8");
+  return buf[(*off)++];
+}
+
+Result<uint32_t> ConsumeU32(const std::vector<uint8_t>& buf, size_t* off) {
+  if (*off + 4 > buf.size()) {
+    return Status::IOError("truncated ctl field: u32");
+  }
+  uint32_t v = (static_cast<uint32_t>(buf[*off]) << 24) |
+               (static_cast<uint32_t>(buf[*off + 1]) << 16) |
+               (static_cast<uint32_t>(buf[*off + 2]) << 8) |
+               static_cast<uint32_t>(buf[*off + 3]);
+  *off += 4;
+  return v;
+}
+
+Result<uint64_t> ConsumeU64(const std::vector<uint8_t>& buf, size_t* off) {
+  if (*off + 8 > buf.size()) {
+    return Status::IOError("truncated ctl field: u64");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | buf[*off + i];
+  *off += 8;
+  return v;
+}
+
+Result<int64_t> ConsumeI64(const std::vector<uint8_t>& buf, size_t* off) {
+  auto v = ConsumeU64(buf, off);
+  if (!v.ok()) return v.status();
+  return static_cast<int64_t>(*v);
+}
+
+Result<std::string> ConsumeString(const std::vector<uint8_t>& buf,
+                                  size_t* off) {
+  auto len = ConsumeU32(buf, off);
+  if (!len.ok()) return len.status();
+  if (*off + *len > buf.size()) {
+    return Status::IOError("truncated ctl field: string bytes");
+  }
+  std::string s(reinterpret_cast<const char*>(buf.data() + *off), *len);
+  *off += *len;
+  return s;
+}
+
+Result<crypto::BigInt> ConsumeSignedBigInt(const std::vector<uint8_t>& buf,
+                                           size_t* off) {
+  auto neg = ConsumeU8(buf, off);
+  if (!neg.ok()) return neg.status();
+  auto mag = smc::ConsumeBigInt(buf, off);
+  if (!mag.ok()) return mag.status();
+  return *neg != 0 ? -*mag : *mag;
+}
+
+}  // namespace hprl::net

@@ -1,0 +1,89 @@
+#ifndef HPRL_NET_FRAME_H_
+#define HPRL_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/bigint.h"
+#include "net/socket.h"
+#include "smc/channel.h"
+
+namespace hprl::net {
+
+/// Wire framing for smc::Message (docs/PROTOCOL.md, "Wire format"). Every
+/// frame on a party link is
+///
+///   u32  length     bytes that follow this field (big-endian, like all ints)
+///   u32  magic      0x4850524C ("HPRL")
+///   u16  version    kWireVersion; a mismatch rejects the frame
+///   u8   flags      reserved, 0
+///   u8+  from       length-prefixed sender name
+///   u8+  to         length-prefixed recipient name
+///   u8+  tag        length-prefixed message tag
+///   u64  seq        per (from, to) link sequence number (MessageBus::Stamp)
+///   u32  checksum   FNV-1a of the payload (smc::PayloadChecksum)
+///   ...  payload    the remaining length bytes
+///
+/// Encode/Decode round-trip a Message byte-exactly: from, to, tag, payload,
+/// seq and checksum all survive the wire unchanged, so receiver-side
+/// Expect validation (checksum, sequence advance) behaves identically to the
+/// in-process transport.
+
+inline constexpr uint32_t kWireMagic = 0x4850524C;  // "HPRL"
+inline constexpr uint16_t kWireVersion = 1;
+
+/// Frames larger than this are rejected before any allocation — an oversized
+/// length prefix means a corrupted or hostile stream, not a big message
+/// (the largest legitimate payload is a few KiB of ciphertexts).
+inline constexpr uint32_t kMaxFrameBytes = 1u << 24;  // 16 MiB
+
+/// Total wire size of `msg` once framed (length prefix included) — what the
+/// transport charges to the bandwidth accounting.
+size_t FrameSize(const smc::Message& msg);
+
+/// Serializes `msg` into a ready-to-send frame (length prefix included).
+std::vector<uint8_t> EncodeFrame(const smc::Message& msg);
+
+/// Parses a frame body (everything after the length prefix). IOError on bad
+/// magic, wrong version, or truncated fields.
+Result<smc::Message> DecodeFrame(const uint8_t* body, size_t n);
+
+/// Reads one frame from `fd`. `timeout_ms` bounds the wait for the frame to
+/// start (NotFound on expiry); once the length prefix arrived the body must
+/// follow within the same timeout (IOError mid-frame otherwise). When
+/// `wire_bytes` is non-null it receives the frame's total wire size.
+Result<smc::Message> ReadFrame(int fd, int timeout_ms,
+                               size_t* wire_bytes = nullptr);
+
+/// Encodes and writes one frame. Returns FullWrite's status (Unavailable
+/// when the peer is gone). When `wire_bytes` is non-null it receives the
+/// frame's total wire size.
+Status WriteFrame(int fd, const smc::Message& msg,
+                  size_t* wire_bytes = nullptr);
+
+// ---------------------------------------------------------------------------
+// Payload builders for the coordination (ctl) messages: fixed-width
+// big-endian integers, length-prefixed strings, and sign-carrying BigInts
+// (the protocol's AppendBigInt is magnitude-only, which is fine for
+// ciphertexts but loses the sign of plaintext attribute encodings).
+
+void AppendU8(uint8_t v, std::vector<uint8_t>* out);
+void AppendU32(uint32_t v, std::vector<uint8_t>* out);
+void AppendU64(uint64_t v, std::vector<uint8_t>* out);
+void AppendI64(int64_t v, std::vector<uint8_t>* out);
+void AppendString(const std::string& s, std::vector<uint8_t>* out);
+void AppendSignedBigInt(const crypto::BigInt& x, std::vector<uint8_t>* out);
+
+Result<uint8_t> ConsumeU8(const std::vector<uint8_t>& buf, size_t* off);
+Result<uint32_t> ConsumeU32(const std::vector<uint8_t>& buf, size_t* off);
+Result<uint64_t> ConsumeU64(const std::vector<uint8_t>& buf, size_t* off);
+Result<int64_t> ConsumeI64(const std::vector<uint8_t>& buf, size_t* off);
+Result<std::string> ConsumeString(const std::vector<uint8_t>& buf,
+                                  size_t* off);
+Result<crypto::BigInt> ConsumeSignedBigInt(const std::vector<uint8_t>& buf,
+                                           size_t* off);
+
+}  // namespace hprl::net
+
+#endif  // HPRL_NET_FRAME_H_

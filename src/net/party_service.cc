@@ -1,0 +1,423 @@
+#include "net/party_service.h"
+
+#include <utility>
+
+namespace hprl::net {
+
+using crypto::BigInt;
+using smc::Message;
+
+namespace {
+
+/// Same per-party seed derivation as the in-process comparator
+/// (smc/protocol.cc): identical seeds is what makes a pinned-seed TCP run
+/// bit-identical to the in-process transport.
+uint64_t Seed(uint64_t base, uint64_t salt) {
+  return base == 0 ? 0 : base ^ salt;
+}
+
+constexpr uint64_t kQpSalt = 0x9999;
+constexpr uint64_t kAliceSalt = 0xA11CE;
+constexpr uint64_t kBobSalt = 0xB0B;
+
+constexpr uint8_t kFlagRevealDistances = 1u << 0;
+constexpr uint8_t kFlagCacheCiphertexts = 1u << 1;
+constexpr uint8_t kFlagCrtDecrypt = 1u << 2;
+
+}  // namespace
+
+void AppendCtlReply(const CtlReply& r, std::vector<uint8_t>* out) {
+  AppendString(r.role, out);
+  AppendString(r.op, out);
+  AppendU64(r.pair_index, out);
+  AppendU32(r.attempt, out);
+  AppendU8(static_cast<uint8_t>(r.code), out);
+  AppendU8(r.label, out);
+  AppendString(r.detail, out);
+  out->insert(out->end(), r.extra.begin(), r.extra.end());
+}
+
+Result<CtlReply> ParseCtlReply(const std::vector<uint8_t>& payload) {
+  CtlReply r;
+  size_t off = 0;
+  auto role = ConsumeString(payload, &off);
+  if (!role.ok()) return role.status();
+  auto op = ConsumeString(payload, &off);
+  if (!op.ok()) return op.status();
+  auto pair_index = ConsumeU64(payload, &off);
+  if (!pair_index.ok()) return pair_index.status();
+  auto attempt = ConsumeU32(payload, &off);
+  if (!attempt.ok()) return attempt.status();
+  auto code = ConsumeU8(payload, &off);
+  if (!code.ok()) return code.status();
+  if (*code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return Status::IOError("ctl reply carries unknown status code " +
+                           std::to_string(int{*code}));
+  }
+  auto label = ConsumeU8(payload, &off);
+  if (!label.ok()) return label.status();
+  auto detail = ConsumeString(payload, &off);
+  if (!detail.ok()) return detail.status();
+  r.role = std::move(role).value();
+  r.op = std::move(op).value();
+  r.pair_index = *pair_index;
+  r.attempt = *attempt;
+  r.code = static_cast<StatusCode>(*code);
+  r.label = *label;
+  r.detail = std::move(detail).value();
+  r.extra.assign(payload.begin() + static_cast<long>(off), payload.end());
+  return r;
+}
+
+void AppendPartyStats(const PartyStats& s, std::vector<uint8_t>* out) {
+  AppendI64(s.costs.invocations, out);
+  AppendI64(s.costs.attr_comparisons, out);
+  AppendI64(s.costs.encryptions, out);
+  AppendI64(s.costs.decryptions, out);
+  AppendI64(s.costs.homomorphic_adds, out);
+  AppendI64(s.costs.scalar_muls, out);
+  AppendI64(s.costs.retries, out);
+  AppendI64(s.bus_bytes, out);
+  AppendI64(s.bus_messages, out);
+  AppendI64(s.net.bytes_sent, out);
+  AppendI64(s.net.bytes_received, out);
+  AppendI64(s.net.frames_sent, out);
+  AppendI64(s.net.frames_received, out);
+  AppendI64(s.net.connects, out);
+  AppendI64(s.net.reconnects, out);
+  AppendI64(s.net.stale_dropped, out);
+  AppendI64(s.net.send_errors, out);
+}
+
+Result<PartyStats> ParsePartyStats(const std::vector<uint8_t>& extra,
+                                   size_t* off) {
+  PartyStats s;
+  int64_t* fields[] = {
+      &s.costs.invocations,     &s.costs.attr_comparisons,
+      &s.costs.encryptions,     &s.costs.decryptions,
+      &s.costs.homomorphic_adds, &s.costs.scalar_muls,
+      &s.costs.retries,         &s.bus_bytes,
+      &s.bus_messages,          &s.net.bytes_sent,
+      &s.net.bytes_received,    &s.net.frames_sent,
+      &s.net.frames_received,   &s.net.connects,
+      &s.net.reconnects,        &s.net.stale_dropped,
+      &s.net.send_errors,
+  };
+  for (int64_t* field : fields) {
+    auto v = ConsumeI64(extra, off);
+    if (!v.ok()) return v.status();
+    *field = *v;
+  }
+  return s;
+}
+
+SocketBusOptions MeshBusOptions(const std::string& role,
+                                const MeshEndpoints& endpoints,
+                                int connect_timeout_ms,
+                                int receive_timeout_ms) {
+  SocketBusOptions opts;
+  opts.local_name = role;
+  opts.connect_timeout_ms = connect_timeout_ms;
+  opts.receive_timeout_ms = receive_timeout_ms;
+  opts.flush_timeout_ms = receive_timeout_ms;
+  if (role == endpoints.alice.name) {
+    opts.listen = true;
+    opts.listen_port = endpoints.alice.port;
+    opts.accept_from = {endpoints.bob.name, endpoints.qp.name, kCoordName};
+  } else if (role == endpoints.bob.name) {
+    opts.listen = true;
+    opts.listen_port = endpoints.bob.port;
+    opts.dial = {endpoints.alice};
+    opts.accept_from = {endpoints.qp.name, kCoordName};
+  } else if (role == endpoints.qp.name) {
+    opts.listen = true;
+    opts.listen_port = endpoints.qp.port;
+    opts.dial = {endpoints.alice, endpoints.bob};
+    opts.accept_from = {kCoordName};
+  } else {  // coordinator
+    opts.dial = {endpoints.alice, endpoints.bob, endpoints.qp};
+  }
+  return opts;
+}
+
+PartyService::PartyService(PartyServiceOptions opts)
+    : opts_(std::move(opts)),
+      bus_(std::make_unique<SocketBus>(
+          MeshBusOptions(opts_.role, opts_.endpoints, opts_.connect_timeout_ms,
+                         opts_.receive_timeout_ms))) {}
+
+PartyService::~PartyService() { bus_->Stop(); }
+
+Status PartyService::Start() {
+  if (opts_.role != opts_.endpoints.alice.name &&
+      opts_.role != opts_.endpoints.bob.name &&
+      opts_.role != opts_.endpoints.qp.name) {
+    return Status::InvalidArgument("unknown party role: " + opts_.role);
+  }
+  if (opts_.metrics != nullptr) bus_->AttachMetrics(opts_.metrics);
+  return bus_->Start();
+}
+
+Status PartyService::Serve() {
+  const std::string ctl_inbox = opts_.role + kCtlSuffix;
+  while (!stop_requested_.load()) {
+    auto msg = bus_->ReceiveTimeout(ctl_inbox, 200);
+    if (!msg.ok()) {
+      if (msg.status().code() == StatusCode::kNotFound) continue;  // idle
+      return msg.status();
+    }
+    if (msg->tag == kCtlShutdown) {
+      Reply(kCtlShutdown, 0, 0, Status::OK(), 0, {});
+      return Status::OK();
+    }
+    Status handled = Dispatch(*msg);
+    // Command-level failures were already acknowledged; only transport death
+    // (no way to talk to anyone anymore) ends the serve loop.
+    if (!handled.ok() && handled.code() == StatusCode::kUnavailable) {
+      return handled;
+    }
+  }
+  return Status::OK();
+}
+
+Status PartyService::Dispatch(const Message& msg) {
+  if (msg.tag == kCtlConfigure) {
+    Status st = HandleConfigure(msg.payload);
+    Reply(kCtlConfigure, 0, 0, st, 0, {});
+    return st;
+  }
+  if (msg.tag == kCtlKeygen) {
+    Status st = HandleKeygen();
+    Reply(kCtlKeygen, 0, 0, st, 0, {});
+    return st;
+  }
+  if (msg.tag == kCtlRecvKey) {
+    Status st = HandleRecvKey();
+    Reply(kCtlRecvKey, 0, 0, st, 0, {});
+    return st;
+  }
+  if (msg.tag == kCtlPair) {
+    auto cmd = ParsePair(msg.payload);
+    if (!cmd.ok()) {
+      Reply(kCtlPair, 0, 0, cmd.status(), 0, {});
+      return cmd.status();
+    }
+    if (fail_next_pairs_ > 0) {
+      fail_next_pairs_ -= 1;
+      Status injected = Status::IOError("injected pair fault (test hook)");
+      Reply(kCtlPair, cmd->pair_index, cmd->attempt, injected, 0, {});
+      return injected;
+    }
+    uint8_t label = 0;
+    Status st = HandlePair(*cmd, &label);
+    Reply(kCtlPair, cmd->pair_index, cmd->attempt, st, label, {});
+    return st;
+  }
+  if (msg.tag == kCtlPurge) {
+    size_t off = 0;
+    auto barrier_id = ConsumeU64(msg.payload, &off);
+    if (!barrier_id.ok()) {
+      Reply(kCtlPurge, 0, 0, barrier_id.status(), 0, {});
+      return barrier_id.status();
+    }
+    std::vector<std::string> peers = {opts_.endpoints.alice.name,
+                                      opts_.endpoints.bob.name,
+                                      opts_.endpoints.qp.name};
+    Status st = bus_->Flush(peers, *barrier_id);
+    Reply(kCtlPurge, *barrier_id, 0, st, 0, {});
+    return st;
+  }
+  if (msg.tag == kCtlStats) {
+    PartyStats stats;
+    stats.costs = costs_;
+    stats.bus_bytes = bus_->total_bytes();
+    stats.bus_messages = bus_->total_messages();
+    stats.net = bus_->net_stats();
+    std::vector<uint8_t> extra;
+    AppendPartyStats(stats, &extra);
+    Reply(kCtlStats, 0, 0, Status::OK(), 0, std::move(extra));
+    return Status::OK();
+  }
+  if (msg.tag == kCtlInjectFail) {
+    size_t off = 0;
+    auto count = ConsumeU32(msg.payload, &off);
+    Status st = count.ok() ? Status::OK() : count.status();
+    if (count.ok()) fail_next_pairs_ = *count;
+    Reply(kCtlInjectFail, 0, 0, st, 0, {});
+    return st;
+  }
+  Status unknown = Status::InvalidArgument("unknown ctl command: " + msg.tag);
+  Reply(msg.tag, 0, 0, unknown, 0, {});
+  return unknown;
+}
+
+Status PartyService::HandleConfigure(const std::vector<uint8_t>& payload) {
+  size_t off = 0;
+  auto key_bits = ConsumeU32(payload, &off);
+  if (!key_bits.ok()) return key_bits.status();
+  auto fp_scale = ConsumeI64(payload, &off);
+  if (!fp_scale.ok()) return fp_scale.status();
+  auto blind_bits = ConsumeU32(payload, &off);
+  if (!blind_bits.ok()) return blind_bits.status();
+  auto flags = ConsumeU8(payload, &off);
+  if (!flags.ok()) return flags.status();
+  auto test_seed = ConsumeU64(payload, &off);
+  if (!test_seed.ok()) return test_seed.status();
+
+  params_.key_bits = static_cast<int>(*key_bits);
+  params_.fp_scale = *fp_scale;
+  params_.blind_bits = static_cast<int>(*blind_bits);
+  params_.reveal_distances = (*flags & kFlagRevealDistances) != 0;
+  params_.cache_ciphertexts = (*flags & kFlagCacheCiphertexts) != 0;
+  params_.crt_decrypt = (*flags & kFlagCrtDecrypt) != 0;
+
+  if (opts_.role == opts_.endpoints.qp.name) {
+    qp_ = std::make_unique<smc::QueryingParty>(params_,
+                                               Seed(*test_seed, kQpSalt));
+  } else {
+    uint64_t salt =
+        opts_.role == opts_.endpoints.alice.name ? kAliceSalt : kBobSalt;
+    holder_ = std::make_unique<smc::DataHolder>(opts_.role, params_,
+                                                Seed(*test_seed, salt));
+  }
+  configured_ = true;
+  costs_.Clear();
+  return Status::OK();
+}
+
+Status PartyService::HandleKeygen() {
+  if (!configured_ || qp_ == nullptr) {
+    return Status::FailedPrecondition(
+        "keygen requires a configured querying party");
+  }
+  HPRL_RETURN_IF_ERROR(qp_->PublishKey(bus_.get(), &costs_));
+  if (opts_.metrics != nullptr) qp_->AttachMetrics(opts_.metrics);
+  return Status::OK();
+}
+
+Status PartyService::HandleRecvKey() {
+  if (!configured_ || holder_ == nullptr) {
+    return Status::FailedPrecondition(
+        "recvkey requires a configured data holder");
+  }
+  HPRL_RETURN_IF_ERROR(holder_->ReceiveKey(bus_.get()));
+  if (opts_.metrics != nullptr) holder_->AttachMetrics(opts_.metrics);
+  return Status::OK();
+}
+
+Result<PartyService::PairCmd> PartyService::ParsePair(
+    const std::vector<uint8_t>& payload) const {
+  PairCmd cmd;
+  size_t off = 0;
+  auto pair_index = ConsumeU64(payload, &off);
+  if (!pair_index.ok()) return pair_index.status();
+  auto attempt = ConsumeU32(payload, &off);
+  if (!attempt.ok()) return attempt.status();
+  auto a_id = ConsumeI64(payload, &off);
+  if (!a_id.ok()) return a_id.status();
+  auto b_id = ConsumeI64(payload, &off);
+  if (!b_id.ok()) return b_id.status();
+  auto n = ConsumeU32(payload, &off);
+  if (!n.ok()) return n.status();
+  cmd.pair_index = *pair_index;
+  cmd.attempt = *attempt;
+  cmd.a_id = *a_id;
+  cmd.b_id = *b_id;
+
+  const bool is_alice = opts_.role == opts_.endpoints.alice.name;
+  const bool is_bob = opts_.role == opts_.endpoints.bob.name;
+  cmd.attrs.reserve(*n);
+  for (uint32_t i = 0; i < *n; ++i) {
+    PairAttr attr;
+    auto pos = ConsumeU32(payload, &off);
+    if (!pos.ok()) return pos.status();
+    attr.pos = *pos;
+    if (is_alice) {
+      auto x = ConsumeSignedBigInt(payload, &off);
+      if (!x.ok()) return x.status();
+      attr.x = std::move(x).value();
+    } else if (is_bob) {
+      auto y = ConsumeSignedBigInt(payload, &off);
+      if (!y.ok()) return y.status();
+      attr.y = std::move(y).value();
+      auto threshold = ConsumeSignedBigInt(payload, &off);
+      if (!threshold.ok()) return threshold.status();
+      attr.threshold = std::move(threshold).value();
+    } else {  // qp
+      auto threshold = ConsumeSignedBigInt(payload, &off);
+      if (!threshold.ok()) return threshold.status();
+      attr.threshold = std::move(threshold).value();
+    }
+    cmd.attrs.push_back(std::move(attr));
+  }
+  return cmd;
+}
+
+Status PartyService::HandlePair(const PairCmd& cmd, uint8_t* label) {
+  if (!configured_) {
+    return Status::FailedPrecondition("pair before cfg");
+  }
+  costs_.invocations += 1;
+  const bool cache =
+      params_.cache_ciphertexts && cmd.a_id >= 0 && cmd.b_id >= 0;
+
+  if (opts_.role == opts_.endpoints.alice.name) {
+    // Alice's whole side is pipelined: every alice_ct goes out back-to-back,
+    // then she waits for the verdict.
+    for (const PairAttr& attr : cmd.attrs) {
+      int64_t key =
+          cache ? (cmd.a_id << 8) | static_cast<int64_t>(attr.pos) : -1;
+      HPRL_RETURN_IF_ERROR(holder_->SendAttr(
+          bus_.get(), opts_.endpoints.bob.name, attr.x, key, &costs_));
+    }
+    return holder_->ReceiveResult(bus_.get()).status();
+  }
+
+  if (opts_.role == opts_.endpoints.bob.name) {
+    for (const PairAttr& attr : cmd.attrs) {
+      int64_t key =
+          cache ? (cmd.b_id << 8) | static_cast<int64_t>(attr.pos) : -1;
+      HPRL_RETURN_IF_ERROR(holder_->FoldAndForward(bus_.get(), attr.y,
+                                                   attr.threshold, key,
+                                                   &costs_));
+    }
+    return holder_->ReceiveResult(bus_.get()).status();
+  }
+
+  // qp: decide every attribute (the holders already committed their sides,
+  // so there is nothing to save by short-circuiting), announce the
+  // conjunction. Labels are identical to the in-process comparator's: each
+  // decision is an exact decryption-and-compare.
+  costs_.attr_comparisons += static_cast<int64_t>(cmd.attrs.size());
+  bool match = true;
+  for (const PairAttr& attr : cmd.attrs) {
+    auto within = qp_->DecideAttr(bus_.get(), attr.threshold, &costs_);
+    if (!within.ok()) return within.status();
+    if (!*within) match = false;
+  }
+  HPRL_RETURN_IF_ERROR(qp_->AnnounceResult(bus_.get(), match));
+  *label = match ? 1 : 0;
+  return Status::OK();
+}
+
+void PartyService::Reply(const std::string& op, uint64_t pair_index,
+                         uint32_t attempt, const Status& st, uint8_t label,
+                         std::vector<uint8_t> extra) {
+  CtlReply r;
+  r.role = opts_.role;
+  r.op = op;
+  r.pair_index = pair_index;
+  r.attempt = attempt;
+  r.code = st.code();
+  r.label = label;
+  r.detail = st.message();
+  r.extra = std::move(extra);
+  Message msg;
+  msg.from = opts_.role;
+  msg.to = kCoordName;
+  msg.tag = kCtlReply;
+  AppendCtlReply(r, &msg.payload);
+  bus_->Send(std::move(msg));
+}
+
+}  // namespace hprl::net

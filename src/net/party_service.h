@@ -1,0 +1,167 @@
+#ifndef HPRL_NET_PARTY_SERVICE_H_
+#define HPRL_NET_PARTY_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/socket_bus.h"
+#include "obs/metrics.h"
+#include "smc/costs.h"
+#include "smc/parties.h"
+
+namespace hprl::net {
+
+// ---------------------------------------------------------------------------
+// Coordination (ctl) plane shared by the daemons and the coordinator.
+//
+// The coordinator ("coord") drives the three party daemons over the same
+// socket mesh the protocol runs on, using messages addressed to the
+// "<role>:ctl" sub-inbox so control traffic never collides with protocol
+// traffic. Each command is acknowledged with a kCtlReply to "coord". The
+// protocol proper (pubkey / alice_ct / bob_ct / result) flows directly
+// between the party daemons, never through the coordinator.
+
+inline constexpr char kCoordName[] = "coord";
+inline constexpr char kCtlSuffix[] = ":ctl";
+
+/// Ctl command tags.
+inline constexpr char kCtlConfigure[] = "cfg";      // protocol parameters
+inline constexpr char kCtlKeygen[] = "keygen";      // qp only: publish key
+inline constexpr char kCtlRecvKey[] = "recvkey";    // holders: consume pubkey
+inline constexpr char kCtlPair[] = "pair";          // run one pair attempt
+inline constexpr char kCtlPurge[] = "purge";        // inter-attempt barrier
+inline constexpr char kCtlStats[] = "stats";        // report cost counters
+inline constexpr char kCtlShutdown[] = "shutdown";  // leave the serve loop
+inline constexpr char kCtlInjectFail[] = "inject_fail";  // test hook
+inline constexpr char kCtlReply[] = "ctl_re";       // every command's ack
+
+/// Parsed kCtlReply. `extra` carries op-specific data (kCtlStats counters).
+struct CtlReply {
+  std::string role;
+  std::string op;
+  uint64_t pair_index = 0;
+  uint32_t attempt = 0;
+  StatusCode code = StatusCode::kOk;
+  uint8_t label = 0;  ///< kCtlPair from qp: 1 = match
+  std::string detail;
+  std::vector<uint8_t> extra;
+};
+
+void AppendCtlReply(const CtlReply& r, std::vector<uint8_t>* out);
+Result<CtlReply> ParseCtlReply(const std::vector<uint8_t>& payload);
+
+/// One party's cost/traffic counters as reported by kCtlStats.
+struct PartyStats {
+  smc::SmcCosts costs;
+  int64_t bus_bytes = 0;     ///< MessageBus wire-size accounting
+  int64_t bus_messages = 0;
+  SocketBus::NetStats net;   ///< socket-level truth
+};
+
+void AppendPartyStats(const PartyStats& s, std::vector<uint8_t>* out);
+Result<PartyStats> ParsePartyStats(const std::vector<uint8_t>& extra,
+                                   size_t* off);
+
+/// The three daemons' advertised endpoints.
+struct MeshEndpoints {
+  PeerAddress alice;
+  PeerAddress bob;
+  PeerAddress qp;
+};
+
+/// Bus topology for one mesh member. Ranked dialing keeps the mesh free of
+/// crossed simultaneous connects: alice (rank 0) only listens; bob dials
+/// alice; qp dials alice and bob; coord dials all three. Everyone accepts
+/// from every higher rank.
+SocketBusOptions MeshBusOptions(const std::string& role,
+                                const MeshEndpoints& endpoints,
+                                int connect_timeout_ms,
+                                int receive_timeout_ms);
+
+// ---------------------------------------------------------------------------
+
+struct PartyServiceOptions {
+  std::string role;  ///< "alice", "bob" or "qp"
+  MeshEndpoints endpoints;
+  int connect_timeout_ms = 10000;
+  int receive_timeout_ms = 4000;
+  obs::MetricsRegistry* metrics = nullptr;  ///< not owned; may be null
+};
+
+/// One party daemon: hosts the real party object (QueryingParty or
+/// DataHolder, smc/parties.h) behind a SocketBus and executes its side of
+/// the §V-A exchange for every pair the coordinator dispatches. The party's
+/// secrets — the private key on qp, cleartext attribute encodings in flight —
+/// exist only inside this process; what crosses the wire is exactly what the
+/// in-process protocol puts on the bus, plus the ctl plane.
+///
+/// Each kCtlPair command carries every compared attribute of the pair, so
+/// the daemon runs its whole side without waiting on the coordinator:
+/// alice ships all alice_ct frames back-to-back, bob folds them as they
+/// arrive, qp decides each attribute and announces the conjunction. A
+/// transient fault anywhere surfaces as a failed reply; the coordinator
+/// purges the mesh with a kCtlPurge barrier and re-dispatches the attempt,
+/// mirroring the in-process RetryExchange.
+class PartyService {
+ public:
+  explicit PartyService(PartyServiceOptions opts);
+  ~PartyService();
+
+  /// Establishes the mesh (Unavailable when peers cannot be reached).
+  Status Start();
+
+  /// Serves ctl commands until kCtlShutdown or RequestStop(). Returns OK on
+  /// an orderly shutdown; the bus error that broke the loop otherwise.
+  Status Serve();
+
+  /// Asks a Serve() running on another thread to exit at its next poll.
+  void RequestStop() { stop_requested_.store(true); }
+
+  SocketBus& bus() { return *bus_; }
+  const smc::SmcCosts& costs() const { return costs_; }
+
+ private:
+  struct PairAttr {
+    uint32_t pos = 0;         // attribute position (cache-key component)
+    crypto::BigInt x;         // alice's encoded value
+    crypto::BigInt y;         // bob's encoded value
+    crypto::BigInt threshold; // bob + qp
+  };
+  struct PairCmd {
+    uint64_t pair_index = 0;
+    uint32_t attempt = 0;
+    int64_t a_id = -1;
+    int64_t b_id = -1;
+    std::vector<PairAttr> attrs;
+  };
+
+  Status Dispatch(const smc::Message& msg);
+  Status HandleConfigure(const std::vector<uint8_t>& payload);
+  Status HandleKeygen();
+  Status HandleRecvKey();
+  /// Runs this role's side of one pair attempt; fills `label` on qp.
+  Status HandlePair(const PairCmd& cmd, uint8_t* label);
+  Result<PairCmd> ParsePair(const std::vector<uint8_t>& payload) const;
+  void Reply(const std::string& op, uint64_t pair_index, uint32_t attempt,
+             const Status& st, uint8_t label, std::vector<uint8_t> extra);
+
+  PartyServiceOptions opts_;
+  std::unique_ptr<SocketBus> bus_;
+  std::atomic<bool> stop_requested_{false};
+
+  smc::ProtocolParams params_;
+  bool configured_ = false;
+  // Exactly one of these is live, by role.
+  std::unique_ptr<smc::QueryingParty> qp_;
+  std::unique_ptr<smc::DataHolder> holder_;
+
+  smc::SmcCosts costs_;
+  uint32_t fail_next_pairs_ = 0;  // kCtlInjectFail
+};
+
+}  // namespace hprl::net
+
+#endif  // HPRL_NET_PARTY_SERVICE_H_

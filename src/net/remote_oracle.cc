@@ -1,0 +1,412 @@
+#include "net/remote_oracle.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+namespace hprl::net {
+
+using crypto::BigInt;
+using smc::Message;
+
+namespace {
+
+/// Same transient/fatal split as the in-process retry layer
+/// (smc/protocol.cc): timeouts, corruption and desyncs heal; Unavailable
+/// (a dead link or daemon) quarantines.
+bool IsTransient(StatusCode code) {
+  switch (code) {
+    case StatusCode::kNotFound:
+    case StatusCode::kIOError:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status ReplyStatus(const CtlReply& r) {
+  if (r.code == StatusCode::kOk) return Status::OK();
+  return Status(r.code, r.role + ": " + r.detail);
+}
+
+constexpr uint8_t kFlagRevealDistances = 1u << 0;
+constexpr uint8_t kFlagCacheCiphertexts = 1u << 1;
+constexpr uint8_t kFlagCrtDecrypt = 1u << 2;
+
+}  // namespace
+
+RemoteSmcOracle::RemoteSmcOracle(RemoteOracleOptions opts)
+    : opts_(std::move(opts)),
+      codec_(opts_.config.fp_scale),
+      bus_(std::make_unique<SocketBus>(
+          MeshBusOptions(kCoordName, opts_.endpoints, opts_.connect_timeout_ms,
+                         opts_.receive_timeout_ms))) {}
+
+RemoteSmcOracle::~RemoteSmcOracle() {
+  if (initialized_ && !shut_down_) Shutdown(/*stop_daemons=*/false);
+  bus_->Stop();
+}
+
+std::vector<std::string> RemoteSmcOracle::PartyRoles() const {
+  return {opts_.endpoints.alice.name, opts_.endpoints.bob.name,
+          opts_.endpoints.qp.name};
+}
+
+void RemoteSmcOracle::SendCtl(const std::string& role, const std::string& tag,
+                              std::vector<uint8_t> payload) {
+  Message msg;
+  msg.from = kCoordName;
+  msg.to = role + kCtlSuffix;
+  msg.tag = tag;
+  msg.payload = std::move(payload);
+  bus_->Send(std::move(msg));
+}
+
+Status RemoteSmcOracle::CollectReplies(const std::string& op,
+                                       uint64_t pair_index, uint32_t attempt,
+                                       const std::vector<std::string>& roles,
+                                       int deadline_ms,
+                                       std::map<std::string, CtlReply>* out) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  while (out->size() < roles.size()) {
+    int remaining_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count());
+    if (remaining_ms <= 0) break;
+    auto msg = bus_->ReceiveTimeout(kCoordName, remaining_ms);
+    if (!msg.ok()) break;
+    if (msg->tag != kCtlReply) continue;  // not ours; drop
+    auto reply = ParseCtlReply(msg->payload);
+    if (!reply.ok()) continue;  // a malformed ack is as good as a lost one
+    // Replies from superseded attempts (a daemon answering late, after the
+    // coordinator already moved on) are filtered here, not errors.
+    if (reply->op != op || reply->pair_index != pair_index ||
+        reply->attempt != attempt) {
+      continue;
+    }
+    (*out)[reply->role] = std::move(reply).value();
+  }
+  if (out->size() == roles.size()) return Status::OK();
+  std::string missing;
+  bool link_down = false;
+  for (const std::string& role : roles) {
+    if (out->find(role) != out->end()) continue;
+    missing += missing.empty() ? role : ", " + role;
+    if (!bus_->PeerAlive(role)) link_down = true;
+  }
+  std::string what = "no '" + op + "' reply from " + missing;
+  return link_down ? Status::Unavailable(what + " (link down)")
+                   : Status::NotFound(what);
+}
+
+Status RemoteSmcOracle::Init() {
+  if (metrics_ != nullptr) bus_->AttachMetrics(metrics_);
+  obs::ScopedSpan span(metrics_, "smc/transport");
+  HPRL_RETURN_IF_ERROR(bus_->Start());
+
+  std::vector<uint8_t> cfg;
+  AppendU32(static_cast<uint32_t>(opts_.config.key_bits), &cfg);
+  AppendI64(opts_.config.fp_scale, &cfg);
+  AppendU32(static_cast<uint32_t>(opts_.config.blind_bits), &cfg);
+  uint8_t flags = 0;
+  if (opts_.config.reveal_distances) flags |= kFlagRevealDistances;
+  if (opts_.config.cache_ciphertexts) flags |= kFlagCacheCiphertexts;
+  if (opts_.config.crt_decrypt) flags |= kFlagCrtDecrypt;
+  AppendU8(flags, &cfg);
+  AppendU64(opts_.config.test_seed, &cfg);
+  for (const std::string& role : PartyRoles()) SendCtl(role, kCtlConfigure, cfg);
+  std::map<std::string, CtlReply> acks;
+  HPRL_RETURN_IF_ERROR(CollectReplies(kCtlConfigure, 0, 0, PartyRoles(),
+                                      opts_.receive_timeout_ms * 2, &acks));
+  for (const auto& [role, reply] : acks) {
+    HPRL_RETURN_IF_ERROR(ReplyStatus(reply));
+  }
+
+  // Key setup: qp generates and broadcasts; generation of a production-size
+  // modulus takes seconds, so the ack deadline is generous.
+  SendCtl(opts_.endpoints.qp.name, kCtlKeygen, {});
+  acks.clear();
+  HPRL_RETURN_IF_ERROR(CollectReplies(kCtlKeygen, 0, 0,
+                                      {opts_.endpoints.qp.name}, 120000,
+                                      &acks));
+  HPRL_RETURN_IF_ERROR(ReplyStatus(acks.begin()->second));
+
+  SendCtl(opts_.endpoints.alice.name, kCtlRecvKey, {});
+  SendCtl(opts_.endpoints.bob.name, kCtlRecvKey, {});
+  acks.clear();
+  HPRL_RETURN_IF_ERROR(CollectReplies(
+      kCtlRecvKey, 0, 0,
+      {opts_.endpoints.alice.name, opts_.endpoints.bob.name},
+      opts_.receive_timeout_ms * 2, &acks));
+  for (const auto& [role, reply] : acks) {
+    HPRL_RETURN_IF_ERROR(ReplyStatus(reply));
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+void RemoteSmcOracle::AttachMetrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  bus_->AttachMetrics(registry);
+}
+
+Result<BigInt> RemoteSmcOracle::EncodeAttr(const Value& v,
+                                           const AttrRule& rule) const {
+  switch (rule.type) {
+    case AttrType::kCategorical:
+      return BigInt(v.category());
+    case AttrType::kNumeric:
+      return codec_.Encode(v.num());
+    case AttrType::kText:
+      return Status::Unimplemented(
+          "text attributes in the SMC step are future work (paper §VIII)");
+  }
+  return Status::Internal("unreachable");
+}
+
+BigInt RemoteSmcOracle::AttrThreshold(const AttrRule& rule) const {
+  if (rule.type == AttrType::kCategorical) return BigInt(0);
+  double t = rule.theta * rule.norm * static_cast<double>(codec_.scale());
+  return BigInt(static_cast<int64_t>(std::floor(t * t + 1e-9)));
+}
+
+Result<bool> RemoteSmcOracle::Compare(const Record& a, const Record& b) {
+  return CompareRows(-1, -1, a, b);
+}
+
+Result<bool> RemoteSmcOracle::CompareRows(int64_t a_id, int64_t b_id,
+                                          const Record& a, const Record& b) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Init() before Compare()");
+  }
+  invocations_ += 1;
+
+  // Encode once; re-dispatched attempts reuse the same values.
+  std::vector<EncodedAttr> attrs;
+  for (size_t attr_pos = 0; attr_pos < opts_.rule.attrs.size(); ++attr_pos) {
+    const AttrRule& rule = opts_.rule.attrs[attr_pos];
+    if (rule.type == AttrType::kCategorical && rule.theta >= 1.0) {
+      continue;  // Hamming distance never exceeds 1: vacuous threshold
+    }
+    EncodedAttr enc;
+    enc.pos = static_cast<uint32_t>(attr_pos);
+    auto x = EncodeAttr(a[rule.attr_index], rule);
+    if (!x.ok()) return x.status();
+    auto y = EncodeAttr(b[rule.attr_index], rule);
+    if (!y.ok()) return y.status();
+    enc.x = std::move(x).value();
+    enc.y = std::move(y).value();
+    enc.threshold = AttrThreshold(rule);
+    attrs.push_back(std::move(enc));
+  }
+
+  const uint64_t pair_index = next_pair_index_++;
+  // Worst case a daemon blocks receive_timeout per expected message before
+  // reporting the failure; give the slowest script room, plus crypto time.
+  const int reply_deadline_ms =
+      opts_.receive_timeout_ms * (static_cast<int>(attrs.size()) + 2) + 2000;
+
+  for (int attempt = 0;; ++attempt) {
+    for (const std::string& role : PartyRoles()) {
+      std::vector<uint8_t> payload;
+      AppendU64(pair_index, &payload);
+      AppendU32(static_cast<uint32_t>(attempt), &payload);
+      AppendI64(a_id, &payload);
+      AppendI64(b_id, &payload);
+      AppendU32(static_cast<uint32_t>(attrs.size()), &payload);
+      for (const EncodedAttr& attr : attrs) {
+        AppendU32(attr.pos, &payload);
+        if (role == opts_.endpoints.alice.name) {
+          AppendSignedBigInt(attr.x, &payload);
+        } else if (role == opts_.endpoints.bob.name) {
+          AppendSignedBigInt(attr.y, &payload);
+          AppendSignedBigInt(attr.threshold, &payload);
+        } else {
+          AppendSignedBigInt(attr.threshold, &payload);
+        }
+      }
+      SendCtl(role, kCtlPair, std::move(payload));
+    }
+
+    std::map<std::string, CtlReply> replies;
+    Status collected =
+        CollectReplies(kCtlPair, pair_index, static_cast<uint32_t>(attempt),
+                       PartyRoles(), reply_deadline_ms, &replies);
+    Status attempt_status = collected;
+    uint8_t label = 0;
+    if (collected.ok()) {
+      for (const auto& [role, reply] : replies) {
+        Status st = ReplyStatus(reply);
+        if (st.ok()) continue;
+        // A dead party outranks any transient co-failure.
+        if (!attempt_status.ok() &&
+            attempt_status.code() == StatusCode::kUnavailable) {
+          continue;
+        }
+        attempt_status = st;
+      }
+      label = replies[opts_.endpoints.qp.name].label;
+    }
+    if (attempt_status.ok()) return label == 1;
+    if (attempt_status.code() == StatusCode::kUnavailable ||
+        !IsTransient(attempt_status.code()) ||
+        attempt >= opts_.config.max_retries) {
+      return attempt_status;
+    }
+    // Heal exactly like the in-process RetryExchange: flush the mesh of
+    // half-delivered state, back off, replay the attempt.
+    retries_ += 1;
+    if (metrics_ != nullptr) obs::Add(metrics_, "smc.retries");
+    HPRL_RETURN_IF_ERROR(PurgeBarrier());
+    if (opts_.config.retry_backoff_micros > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<int64_t>(opts_.config.retry_backoff_micros)
+          << attempt));
+    }
+  }
+}
+
+Status RemoteSmcOracle::PurgeBarrier() {
+  const uint64_t barrier_id = ++next_barrier_id_;
+  std::vector<uint8_t> payload;
+  AppendU64(barrier_id, &payload);
+  for (const std::string& role : PartyRoles()) {
+    SendCtl(role, kCtlPurge, payload);
+  }
+  std::map<std::string, CtlReply> acks;
+  Status collected =
+      CollectReplies(kCtlPurge, barrier_id, 0, PartyRoles(),
+                     opts_.receive_timeout_ms * 3 + 2000, &acks);
+  if (!collected.ok()) {
+    return Status::Unavailable("purge barrier failed: " +
+                               collected.message());
+  }
+  for (const auto& [role, reply] : acks) {
+    if (reply.code != StatusCode::kOk) {
+      return Status::Unavailable("purge barrier failed on " + role + ": " +
+                                 reply.detail);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> RemoteSmcOracle::CompareBatch(
+    const std::vector<RowPairRequest>& batch) {
+  obs::ScopedSpan span(metrics_, "smc/transport");
+  std::vector<uint8_t> labels(batch.size(), kPairNonMatch);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto m = CompareRows(batch[i].a_id, batch[i].b_id, *batch[i].a,
+                         *batch[i].b);
+    if (m.ok()) {
+      labels[i] = *m ? kPairMatch : kPairNonMatch;
+      continue;
+    }
+    StatusCode code = m.status().code();
+    if (code == StatusCode::kUnavailable || IsTransient(code)) {
+      // Crash, or a transient fault that survived every retry: the same
+      // taxonomy the in-process batch engine quarantines under.
+      labels[i] = kPairQuarantined;
+      pairs_quarantined_ += 1;
+      if (metrics_ != nullptr) obs::Add(metrics_, "smc.pairs_quarantined");
+      continue;
+    }
+    return m.status();  // semantic error: abort the batch
+  }
+  return labels;
+}
+
+Result<MeshStats> RemoteSmcOracle::CollectStats() {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Init() before CollectStats()");
+  }
+  for (const std::string& role : PartyRoles()) SendCtl(role, kCtlStats, {});
+  std::map<std::string, CtlReply> acks;
+  HPRL_RETURN_IF_ERROR(CollectReplies(kCtlStats, 0, 0, PartyRoles(),
+                                      opts_.receive_timeout_ms * 2, &acks));
+  MeshStats mesh;
+  for (const auto& [role, reply] : acks) {
+    HPRL_RETURN_IF_ERROR(ReplyStatus(reply));
+    size_t off = 0;
+    auto stats = ParsePartyStats(reply.extra, &off);
+    if (!stats.ok()) return stats.status();
+    mesh.costs += stats->costs;
+    mesh.wire_bytes_sent += stats->net.bytes_sent;
+    mesh.wire_bytes_received += stats->net.bytes_received;
+    mesh.bus_bytes += stats->bus_bytes;
+    mesh.bus_messages += stats->bus_messages;
+    mesh.connects += stats->net.connects;
+    mesh.reconnects += stats->net.reconnects;
+    mesh.stale_dropped += stats->net.stale_dropped;
+    mesh.send_errors += stats->net.send_errors;
+    mesh.per_party[role] = std::move(stats).value();
+  }
+  // The daemons count per-party invocations (3 per pair); the coordinator's
+  // count is the paper's cost unit.
+  mesh.costs.invocations = invocations_;
+  mesh.costs.retries += retries_;
+
+  SocketBus::NetStats own = bus_->net_stats();
+  mesh.wire_bytes_sent += own.bytes_sent;
+  mesh.wire_bytes_received += own.bytes_received;
+  mesh.bus_bytes += bus_->total_bytes();
+  mesh.bus_messages += bus_->total_messages();
+  mesh.connects += own.connects;
+  mesh.reconnects += own.reconnects;
+  mesh.stale_dropped += own.stale_dropped;
+  mesh.send_errors += own.send_errors;
+
+  if (metrics_ != nullptr) {
+    // The live net.bytes_* counters stream only the coordinator's own
+    // traffic; topping them up with the daemons' totals makes the final
+    // counter the mesh-wide figure (each byte counted at its sender).
+    obs::Add(metrics_, "net.bytes_sent",
+             mesh.wire_bytes_sent - own.bytes_sent);
+    obs::Add(metrics_, "net.bytes_received",
+             mesh.wire_bytes_received - own.bytes_received);
+    obs::Add(metrics_, "net.connects", mesh.connects);
+    obs::Add(metrics_, "net.reconnects", mesh.reconnects);
+    obs::Add(metrics_, "net.stale_dropped", mesh.stale_dropped);
+    obs::Add(metrics_, "net.send_errors", mesh.send_errors);
+  }
+  mesh_stats_ = mesh;
+  return mesh;
+}
+
+Status RemoteSmcOracle::Shutdown(bool stop_daemons) {
+  if (shut_down_ || !initialized_) {
+    shut_down_ = true;
+    return Status::OK();
+  }
+  shut_down_ = true;
+  Status stats = CollectStats().status();
+  if (stop_daemons) {
+    for (const std::string& role : PartyRoles()) {
+      SendCtl(role, kCtlShutdown, {});
+    }
+    std::map<std::string, CtlReply> acks;
+    // Best effort: a daemon that already died cannot ack.
+    (void)CollectReplies(kCtlShutdown, 0, 0, PartyRoles(),
+                         opts_.receive_timeout_ms, &acks);
+  }
+  return stats;
+}
+
+Status RemoteSmcOracle::InjectFailures(const std::string& role,
+                                       uint32_t count) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Init() before InjectFailures()");
+  }
+  std::vector<uint8_t> payload;
+  AppendU32(count, &payload);
+  SendCtl(role, kCtlInjectFail, std::move(payload));
+  std::map<std::string, CtlReply> acks;
+  HPRL_RETURN_IF_ERROR(CollectReplies(kCtlInjectFail, 0, 0, {role},
+                                      opts_.receive_timeout_ms * 2, &acks));
+  return ReplyStatus(acks.begin()->second);
+}
+
+}  // namespace hprl::net

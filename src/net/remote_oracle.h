@@ -1,0 +1,144 @@
+#ifndef HPRL_NET_REMOTE_ORACLE_H_
+#define HPRL_NET_REMOTE_ORACLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/fixed_point.h"
+#include "linkage/oracle.h"
+#include "net/party_service.h"
+#include "net/socket_bus.h"
+#include "smc/protocol.h"
+
+namespace hprl::net {
+
+struct RemoteOracleOptions {
+  smc::SmcConfig config;  ///< fault_plan is ignored: faults here are real
+  MatchRule rule;
+  MeshEndpoints endpoints;
+  int connect_timeout_ms = 10000;
+  int receive_timeout_ms = 4000;
+};
+
+/// Mesh-wide traffic and cost totals collected from the daemons at the end
+/// of a run (kCtlStats) plus the coordinator's own bus. Each byte is counted
+/// once, at its sender, so wire_bytes_sent summed over the four processes is
+/// the total traffic the deployment put on the network.
+struct MeshStats {
+  smc::SmcCosts costs;  ///< party-side crypto ops + coordinator invocations
+  int64_t wire_bytes_sent = 0;      ///< socket-measured, all processes
+  int64_t wire_bytes_received = 0;
+  int64_t bus_bytes = 0;     ///< MessageBus accounting, all processes
+  int64_t bus_messages = 0;
+  int64_t connects = 0;
+  int64_t reconnects = 0;
+  int64_t stale_dropped = 0;
+  int64_t send_errors = 0;
+  std::map<std::string, PartyStats> per_party;
+};
+
+/// MatchOracle that runs the §V-A protocol across process boundaries: the
+/// three parties live in hprl_party daemons, and this coordinator ships each
+/// pair's encoded attribute values over the ctl plane, then waits for the
+/// three per-pair acknowledgements (the querying party's carries the label).
+///
+/// Fault handling mirrors the in-process stack (protocol.cc RetryExchange +
+/// batch_engine.cc supervision), but over real sockets: a transient fault on
+/// any hop — a timed-out read, a corrupted frame, a desynchronized link —
+/// fails the attempt, the coordinator flushes the mesh with a kCtlPurge
+/// barrier, and the attempt is re-dispatched up to config.max_retries times.
+/// A dead link (Unavailable) is never retried: CompareBatch labels the pair
+/// kPairQuarantined and moves on, exactly like the in-process engine.
+///
+/// Determinism: with a pinned config.test_seed the daemons derive the same
+/// per-party seeds as the in-process comparator, and every label is an exact
+/// decrypt-and-compare — a TCP run's links are bit-identical to the
+/// in-process transport's.
+///
+/// Deployment note (documented limitation): the coordinator ships the
+/// encoded cleartext values to the daemons, which models the paper's
+/// deployment only when the coordinator is co-located with the respective
+/// data holders. Loading holder-side tables directly into the daemons is
+/// future work; the wire protocol between the parties is already the real
+/// one.
+class RemoteSmcOracle : public MatchOracle {
+ public:
+  explicit RemoteSmcOracle(RemoteOracleOptions opts);
+  ~RemoteSmcOracle() override;
+
+  /// Connects the mesh and runs the setup handshake: cfg to all parties,
+  /// keygen on qp (which broadcasts the public key), recvkey on the holders.
+  Status Init();
+
+  /// Collects final stats from the daemons and, when `stop_daemons`, sends
+  /// kCtlShutdown to all three. Safe to call more than once.
+  Status Shutdown(bool stop_daemons);
+
+  Result<bool> Compare(const Record& a, const Record& b) override;
+  Result<bool> CompareRows(int64_t a_id, int64_t b_id, const Record& a,
+                           const Record& b) override;
+  Result<std::vector<uint8_t>> CompareBatch(
+      const std::vector<RowPairRequest>& batch) override;
+  int64_t invocations() const override { return invocations_; }
+  void AttachMetrics(obs::MetricsRegistry* registry) override;
+
+  /// Pulls kCtlStats from every daemon, aggregates with the coordinator's
+  /// own counters, streams the net.* totals into the attached registry, and
+  /// caches the result (also returned by mesh_stats() afterwards).
+  Result<MeshStats> CollectStats();
+  const MeshStats& mesh_stats() const { return mesh_stats_; }
+
+  int64_t pairs_quarantined() const { return pairs_quarantined_; }
+  int64_t retries() const { return retries_; }
+  const SocketBus& bus() const { return *bus_; }
+
+  /// Test hook: the next `count` pair commands on `role` fail with an
+  /// injected IOError before running, exercising the purge-and-retry path
+  /// over real sockets.
+  Status InjectFailures(const std::string& role, uint32_t count);
+
+ private:
+  struct EncodedAttr {
+    uint32_t pos = 0;
+    crypto::BigInt x;
+    crypto::BigInt y;
+    crypto::BigInt threshold;
+  };
+
+  Result<crypto::BigInt> EncodeAttr(const Value& v, const AttrRule& rule) const;
+  crypto::BigInt AttrThreshold(const AttrRule& rule) const;
+
+  void SendCtl(const std::string& role, const std::string& tag,
+               std::vector<uint8_t> payload);
+  /// Waits for a kCtlReply per role matching (op, pair_index, attempt).
+  /// OK once all arrived (their codes may still be errors); NotFound on
+  /// deadline with every missing link alive, Unavailable otherwise.
+  Status CollectReplies(const std::string& op, uint64_t pair_index,
+                        uint32_t attempt, const std::vector<std::string>& roles,
+                        int deadline_ms,
+                        std::map<std::string, CtlReply>* out);
+  /// Flushes the mesh between attempts; Unavailable when it cannot.
+  Status PurgeBarrier();
+  std::vector<std::string> PartyRoles() const;
+
+  RemoteOracleOptions opts_;
+  crypto::FixedPointCodec codec_;
+  std::unique_ptr<SocketBus> bus_;
+  bool initialized_ = false;
+  bool shut_down_ = false;
+  obs::MetricsRegistry* metrics_ = nullptr;  // not owned; may be null
+
+  int64_t invocations_ = 0;
+  int64_t pairs_quarantined_ = 0;
+  int64_t retries_ = 0;
+  uint64_t next_pair_index_ = 0;
+  uint64_t next_barrier_id_ = 0;
+  MeshStats mesh_stats_;
+};
+
+}  // namespace hprl::net
+
+#endif  // HPRL_NET_REMOTE_ORACLE_H_

@@ -1,0 +1,220 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/string_util.h"
+
+namespace hprl::net {
+
+namespace {
+
+Status Errno(const char* op) {
+  return Status::IOError(StrFormat("%s: %s", op, strerror(errno)));
+}
+
+/// Connection-level errno values that mean "the peer is gone".
+bool IsPeerGone(int err) {
+  return err == ECONNRESET || err == EPIPE || err == ECONNABORTED ||
+         err == ESHUTDOWN || err == ENOTCONN;
+}
+
+Status SetNoDelay(int fd) {
+  int one = 1;
+  if (setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+/// poll() for `events` with EINTR handling. Returns +1 ready, 0 timeout,
+/// or an error status. timeout_ms < 0 waits forever.
+Result<int> PollFd(int fd, short events, int timeout_ms) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = events;
+  for (;;) {
+    int rc = poll(&p, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (rc == 0) return 0;
+    if (p.revents & POLLNVAL) return Status::IOError("poll: invalid fd");
+    return 1;
+  }
+}
+
+}  // namespace
+
+void Fd::Close() {
+  if (fd_ >= 0) {
+    // EINTR on close is not retried: POSIX leaves the fd state unspecified
+    // and Linux always releases it.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Fd> TcpListen(uint16_t port, int backlog) {
+  Fd fd(socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  int one = 1;
+  if (setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (bind(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (listen(fd.get(), backlog) != 0) return Errno("listen");
+  return fd;
+}
+
+Result<uint16_t> LocalPort(const Fd& listener) {
+  struct sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (getsockname(listener.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                  &len) != 0) {
+    return Errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Result<Fd> TcpAccept(const Fd& listener, int timeout_ms) {
+  auto ready = PollFd(listener.get(), POLLIN, timeout_ms);
+  if (!ready.ok()) return ready.status();
+  if (*ready == 0) return Status::NotFound("accept timed out");
+  for (;;) {
+    int fd = accept(listener.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return Errno("accept");
+    }
+    Fd conn(fd);
+    HPRL_RETURN_IF_ERROR(SetNoDelay(conn.get()));
+    return conn;
+  }
+}
+
+Result<Fd> TcpConnect(const std::string& host, uint16_t port, int timeout_ms) {
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Not a numeric address: resolve the name (getaddrinfo, IPv4).
+    struct addrinfo hints;
+    memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo* res = nullptr;
+    int rc = getaddrinfo(host.c_str(), nullptr, &hints, &res);
+    if (rc != 0 || res == nullptr) {
+      return Status::Unavailable(StrFormat("cannot resolve %s: %s",
+                                           host.c_str(), gai_strerror(rc)));
+    }
+    addr.sin_addr =
+        reinterpret_cast<struct sockaddr_in*>(res->ai_addr)->sin_addr;
+    freeaddrinfo(res);
+  }
+
+  Fd fd(socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  int flags = fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+
+  int rc = connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+    return Status::Unavailable(StrFormat("connect %s:%u: %s", host.c_str(),
+                                         unsigned{port}, strerror(errno)));
+  }
+  if (rc != 0) {
+    auto ready = PollFd(fd.get(), POLLOUT, timeout_ms);
+    if (!ready.ok()) return ready.status();
+    if (*ready == 0) {
+      return Status::Unavailable(StrFormat("connect %s:%u: timed out",
+                                           host.c_str(), unsigned{port}));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return Status::Unavailable(StrFormat("connect %s:%u: %s", host.c_str(),
+                                           unsigned{port}, strerror(err)));
+    }
+  }
+  if (fcntl(fd.get(), F_SETFL, flags) != 0) return Errno("fcntl(restore)");
+  HPRL_RETURN_IF_ERROR(SetNoDelay(fd.get()));
+  return fd;
+}
+
+Status FullRead(int fd, uint8_t* buf, size_t n, int timeout_ms) {
+  size_t got = 0;
+  while (got < n) {
+    auto ready = PollFd(fd, POLLIN, timeout_ms);
+    if (!ready.ok()) return ready.status();
+    if (*ready == 0) {
+      if (got == 0) return Status::NotFound("read timed out");
+      return Status::IOError(StrFormat(
+          "read timed out mid-frame (%zu of %zu bytes)", got, n));
+    }
+    ssize_t rc = recv(fd, buf + got, n - got, 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (IsPeerGone(errno)) {
+        return Status::Unavailable(StrFormat("connection lost: %s",
+                                             strerror(errno)));
+      }
+      return Errno("recv");
+    }
+    if (rc == 0) {
+      return Status::Unavailable(StrFormat(
+          "connection closed by peer (%zu of %zu bytes read)", got, n));
+    }
+    got += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+Status FullWrite(int fd, const uint8_t* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t rc = send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        auto ready = PollFd(fd, POLLOUT, -1);
+        if (!ready.ok()) return ready.status();
+        continue;
+      }
+      if (IsPeerGone(errno)) {
+        return Status::Unavailable(StrFormat("connection lost: %s",
+                                             strerror(errno)));
+      }
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(rc);
+  }
+  return Status::OK();
+}
+
+}  // namespace hprl::net

@@ -1,0 +1,88 @@
+#ifndef HPRL_NET_SOCKET_H_
+#define HPRL_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace hprl::net {
+
+/// Blocking TCP socket layer under the wire transport. Thin, explicit and
+/// testable: every call loops over partial reads/writes and EINTR, and maps
+/// the failure modes the protocol layer cares about onto the repo's Status
+/// codes so the PR 3 retry/quarantine machinery heals real network faults
+/// exactly like injected ones:
+///
+///   timeout (nothing arrived)            -> NotFound   (transient; retried)
+///   malformed / truncated wire data      -> IOError    (transient; retried)
+///   peer gone (ECONNRESET, EPIPE, EOF)   -> Unavailable (dead party;
+///                                           quarantined, never retried)
+///
+/// All sockets are loopback/LAN TCP with TCP_NODELAY; IPv4 only (the three
+/// parties name each other by host:port endpoints).
+
+/// Move-only RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Close(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      Close();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens a listening TCP socket on `port` (0 = kernel-assigned ephemeral
+/// port) bound to all interfaces, SO_REUSEADDR set.
+Result<Fd> TcpListen(uint16_t port, int backlog = 8);
+
+/// The port a listening socket is actually bound to (resolves port 0).
+Result<uint16_t> LocalPort(const Fd& listener);
+
+/// Accepts one connection; NotFound after `timeout_ms` with no connection
+/// pending. TCP_NODELAY is set on the accepted socket.
+Result<Fd> TcpAccept(const Fd& listener, int timeout_ms);
+
+/// Connects to host:port within `timeout_ms` (non-blocking connect + poll,
+/// then restored to blocking). Refused/unreachable/timeout -> Unavailable —
+/// the peer is not there yet; callers that expect a daemon to come up retry
+/// around this.
+Result<Fd> TcpConnect(const std::string& host, uint16_t port, int timeout_ms);
+
+/// Reads exactly `n` bytes, looping over short reads and EINTR. `timeout_ms`
+/// bounds the wait for *each* poll of readability (< 0 waits forever).
+/// Timeout before the first byte -> NotFound; EOF or a reset mid-stream ->
+/// Unavailable; a timeout after some bytes arrived -> IOError (the stream is
+/// mid-frame and now desynchronized).
+Status FullRead(int fd, uint8_t* buf, size_t n, int timeout_ms);
+
+/// Writes exactly `n` bytes, looping over short writes and EINTR. SIGPIPE is
+/// suppressed (MSG_NOSIGNAL); EPIPE/ECONNRESET -> Unavailable.
+Status FullWrite(int fd, const uint8_t* data, size_t n);
+
+}  // namespace hprl::net
+
+#endif  // HPRL_NET_SOCKET_H_

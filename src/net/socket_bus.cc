@@ -1,0 +1,415 @@
+#include "net/socket_bus.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace hprl::net {
+
+using smc::Message;
+using Clock = std::chrono::steady_clock;
+
+SocketBus::SocketBus(SocketBusOptions opts) : opts_(std::move(opts)) {}
+
+SocketBus::~SocketBus() { Stop(); }
+
+std::string SocketBus::RouteOf(const std::string& to) {
+  size_t colon = to.find(':');
+  return colon == std::string::npos ? to : to.substr(0, colon);
+}
+
+Status SocketBus::Start() {
+  running_.store(true);
+  if (opts_.listen) {
+    auto listener = TcpListen(opts_.listen_port);
+    if (!listener.ok()) return listener.status();
+    listener_ = std::move(listener).value();
+    auto port = LocalPort(listener_);
+    if (!port.ok()) return port.status();
+    bound_port_.store(*port);
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+  }
+
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(opts_.connect_timeout_ms);
+  for (const PeerAddress& addr : opts_.dial) {
+    // Peers may still be starting up: keep knocking until the deadline.
+    for (;;) {
+      auto conn = Dial(addr, 1000, /*is_reconnect=*/false);
+      if (conn.ok()) {
+        Register(std::move(conn).value());
+        break;
+      }
+      if (Clock::now() >= deadline) {
+        Stop();
+        return Status::Unavailable("could not reach " + addr.name + " at " +
+                                   addr.host + ":" +
+                                   std::to_string(addr.port) + ": " +
+                                   conn.status().message());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  if (!opts_.accept_from.empty()) {
+    std::unique_lock<std::mutex> lock(conns_mu_);
+    bool all = conns_cv_.wait_until(lock, deadline, [this] {
+      for (const std::string& name : opts_.accept_from) {
+        auto it = conns_.find(name);
+        if (it == conns_.end() || !it->second->alive.load()) return false;
+      }
+      return true;
+    });
+    if (!all) {
+      std::string missing;
+      for (const std::string& name : opts_.accept_from) {
+        if (conns_.find(name) == conns_.end()) {
+          missing += missing.empty() ? name : ", " + name;
+        }
+      }
+      lock.unlock();
+      Stop();
+      return Status::Unavailable("peers never dialed in: " + missing);
+    }
+  }
+  return Status::OK();
+}
+
+void SocketBus::Stop() {
+  running_.store(false);
+  // Join before closing: the accept loop polls the listener in 200ms ticks
+  // and re-checks running_, so it exits promptly — closing the fd out from
+  // under its poll() would be a data race on the descriptor.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+
+  std::vector<std::shared_ptr<Conn>> to_join;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [name, conn] : conns_) to_join.push_back(conn);
+    for (auto& conn : retired_conns_) to_join.push_back(conn);
+    conns_.clear();
+    retired_conns_.clear();
+  }
+  for (auto& conn : to_join) {
+    conn->alive.store(false);
+    // shutdown() unblocks a reader parked in poll/recv; Close() alone might
+    // not if the fd is mid-read.
+    if (conn->fd.valid()) ::shutdown(conn->fd.get(), SHUT_RDWR);
+    if (conn->reader.joinable()) conn->reader.join();
+    conn->fd.Close();
+  }
+  inbox_cv_.notify_all();
+}
+
+bool SocketBus::PeerAlive(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  auto it = conns_.find(name);
+  return it != conns_.end() && it->second->alive.load();
+}
+
+Result<std::shared_ptr<SocketBus::Conn>> SocketBus::Dial(
+    const PeerAddress& addr, int timeout_ms, bool is_reconnect) {
+  auto fd = TcpConnect(addr.host, addr.port, timeout_ms);
+  if (!fd.ok()) return fd.status();
+  auto conn = std::make_shared<Conn>();
+  conn->name = addr.name;
+  conn->fd = std::move(fd).value();
+  conn->dialed = true;
+  conn->addr = addr;
+  // Hello frame: tells the acceptor who is on this socket. Unstamped
+  // (seq 0) so it never perturbs protocol sequence numbers.
+  Message hello;
+  hello.from = opts_.local_name;
+  hello.to = addr.name;
+  hello.tag = kHelloTag;
+  size_t wire = 0;
+  Status sent = WriteFrame(conn->fd.get(), hello, &wire);
+  if (!sent.ok()) return sent;
+  bytes_sent_.fetch_add(static_cast<int64_t>(wire));
+  frames_sent_.fetch_add(1);
+  (is_reconnect ? reconnects_ : connects_).fetch_add(1);
+  return conn;
+}
+
+void SocketBus::Register(std::shared_ptr<Conn> conn) {
+  std::shared_ptr<Conn> old;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    auto it = conns_.find(conn->name);
+    if (it != conns_.end()) {
+      old = it->second;
+      retired_conns_.push_back(old);
+    }
+    conns_[conn->name] = conn;
+  }
+  if (old != nullptr) {
+    old->alive.store(false);
+    if (old->fd.valid()) ::shutdown(old->fd.get(), SHUT_RDWR);
+  }
+  conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+  conns_cv_.notify_all();
+}
+
+std::shared_ptr<SocketBus::Conn> SocketBus::Lookup(const std::string& name) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  auto it = conns_.find(name);
+  return it == conns_.end() ? nullptr : it->second;
+}
+
+void SocketBus::AcceptLoop() {
+  while (running_.load()) {
+    auto fd = TcpAccept(listener_, /*timeout_ms=*/200);
+    if (!fd.ok()) {
+      if (fd.status().code() == StatusCode::kNotFound) continue;  // idle tick
+      return;  // listener closed
+    }
+    // The dialer introduces itself before anything else travels the link.
+    auto hello = ReadFrame(fd->get(), /*timeout_ms=*/2000);
+    if (!hello.ok() || hello->tag != kHelloTag || hello->from.empty()) {
+      continue;  // drop strangers silently
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->name = hello->from;
+    conn->fd = std::move(fd).value();
+    bool replaced = Lookup(conn->name) != nullptr;
+    (replaced ? reconnects_ : connects_).fetch_add(1);
+    Register(std::move(conn));
+  }
+}
+
+void SocketBus::ReaderLoop(std::shared_ptr<Conn> conn) {
+  while (running_.load() && conn->alive.load()) {
+    size_t wire = 0;
+    auto msg = ReadFrame(conn->fd.get(), /*timeout_ms=*/250, &wire);
+    if (!msg.ok()) {
+      if (msg.status().code() == StatusCode::kNotFound) continue;  // idle
+      // Unavailable (peer closed) or IOError (stream desynchronized): either
+      // way this connection cannot carry another frame.
+      conn->alive.store(false);
+      inbox_cv_.notify_all();
+      return;
+    }
+    CountRecv(wire);
+    Deliver(std::move(msg).value());
+  }
+}
+
+void SocketBus::CountRecv(size_t wire_bytes) {
+  bytes_received_.fetch_add(static_cast<int64_t>(wire_bytes));
+  frames_received_.fetch_add(1);
+  if (net_received_counter_ != nullptr) {
+    net_received_counter_->Increment(static_cast<int64_t>(wire_bytes));
+  }
+}
+
+void SocketBus::Deliver(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    inboxes_[msg.to].push_back(std::move(msg));
+  }
+  inbox_cv_.notify_all();
+}
+
+void SocketBus::Send(Message msg) {
+  Stamp(&msg);
+  const std::string route = RouteOf(msg.to);
+  if (route == opts_.local_name) {
+    // Local loopback (a party messaging its own sub-inbox): no wire, so
+    // charge the payload like the in-process transport would.
+    Account(msg.from, msg.to, static_cast<int64_t>(msg.payload.size()));
+    Deliver(std::move(msg));
+    return;
+  }
+  std::shared_ptr<Conn> conn = Lookup(route);
+  if (conn != nullptr && !conn->alive.load() && conn->dialed) {
+    // One redial attempt per send: enough to ride out a peer restart
+    // without turning a dead party into a spin loop.
+    auto redial = Dial(conn->addr, 1000, /*is_reconnect=*/true);
+    if (redial.ok()) {
+      Register(std::move(redial).value());
+      conn = Lookup(route);
+    }
+  }
+  if (conn == nullptr || !conn->alive.load()) {
+    send_errors_.fetch_add(1);
+    return;  // receiver's timeout / liveness check surfaces the loss
+  }
+  size_t wire = FrameSize(msg);
+  // Charge the link before the write so accounting matches the wire even if
+  // the kernel accepts only part of the frame before the peer vanishes.
+  Account(msg.from, msg.to, static_cast<int64_t>(wire));
+  Status sent;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    sent = WriteFrame(conn->fd.get(), msg);
+  }
+  if (!sent.ok()) {
+    conn->alive.store(false);
+    send_errors_.fetch_add(1);
+    inbox_cv_.notify_all();
+    return;
+  }
+  bytes_sent_.fetch_add(static_cast<int64_t>(wire));
+  frames_sent_.fetch_add(1);
+  if (net_sent_counter_ != nullptr) {
+    net_sent_counter_->Increment(static_cast<int64_t>(wire));
+  }
+}
+
+Result<Message> SocketBus::Receive(const std::string& to) {
+  return ReceiveTimeout(to, opts_.receive_timeout_ms);
+}
+
+Result<Message> SocketBus::ReceiveTimeout(const std::string& to,
+                                          int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::unique_lock<std::mutex> lock(inbox_mu_);
+  for (;;) {
+    auto it = inboxes_.find(to);
+    if (it != inboxes_.end() && !it->second.empty()) {
+      Message msg = std::move(it->second.front());
+      it->second.pop_front();
+      return msg;
+    }
+    if (inbox_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return Status::NotFound(StrFormat(
+          "no message pending for %s (timed out after %dms)", to.c_str(),
+          timeout_ms));
+    }
+  }
+}
+
+Result<Message> SocketBus::Expect(const std::string& to,
+                                  const std::string& tag) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(opts_.receive_timeout_ms);
+  for (;;) {
+    int remaining_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                              Clock::now())
+            .count());
+    if (remaining_ms <= 0) remaining_ms = 1;
+    auto msg = ReceiveTimeout(to, remaining_ms);
+    if (!msg.ok()) return msg.status();
+    if (msg->seq != 0) {
+      uint64_t& last = seen_seq_[{msg->from, msg->to}];
+      if (msg->seq <= last) {
+        // A duplicate or an in-flight leftover from an aborted attempt: the
+        // network equivalent of a message PurgeAll would have discarded.
+        stale_dropped_.fetch_add(1);
+        continue;
+      }
+      last = msg->seq;
+    }
+    if (msg->tag == kFlushTag) {
+      // A barrier marker racing with a still-running exchange: stash it for
+      // the Flush call that will want it, never hand it to the protocol.
+      size_t off = 0;
+      auto id = ConsumeU64(msg->payload, &off);
+      early_markers_[msg->from] = id.ok() ? *id : 0;
+      continue;
+    }
+    if (msg->tag != tag) {
+      return Status::Internal("protocol desync on link " + msg->from + "->" +
+                              to + ": expected '" + tag + "' but got '" +
+                              msg->tag + "' (seq " +
+                              std::to_string(msg->seq) + ")");
+    }
+    if (msg->checksum != 0 &&
+        msg->checksum != smc::PayloadChecksum(msg->payload)) {
+      return Status::IOError("corrupted payload on link " + msg->from + "->" +
+                             to + ": checksum mismatch on '" + tag +
+                             "' (seq " + std::to_string(msg->seq) + ")");
+    }
+    return msg;
+  }
+}
+
+void SocketBus::PurgeAll() {
+  std::lock_guard<std::mutex> lock(inbox_mu_);
+  inboxes_.clear();
+}
+
+Status SocketBus::Flush(const std::vector<std::string>& peers,
+                        uint64_t barrier_id) {
+  std::set<std::string> pending(peers.begin(), peers.end());
+  pending.erase(opts_.local_name);
+  for (const std::string& peer : pending) {
+    if (!PeerAlive(peer)) {
+      return Status::Unavailable("flush barrier: link to " + peer +
+                                 " is down");
+    }
+    Message marker;
+    marker.from = opts_.local_name;
+    marker.to = peer;
+    marker.tag = kFlushTag;
+    AppendU64(barrier_id, &marker.payload);
+    Send(std::move(marker));
+  }
+  // Markers an Expect already swallowed count toward this barrier.
+  for (auto it = early_markers_.begin(); it != early_markers_.end();) {
+    if (it->second == barrier_id && pending.erase(it->first) > 0) {
+      it = early_markers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(opts_.flush_timeout_ms);
+  while (!pending.empty()) {
+    int remaining_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                              Clock::now())
+            .count());
+    if (remaining_ms <= 0) {
+      std::string missing;
+      for (const std::string& name : pending) {
+        missing += missing.empty() ? name : ", " + name;
+      }
+      return Status::NotFound("flush barrier timed out waiting for " +
+                              missing);
+    }
+    auto msg = ReceiveTimeout(opts_.local_name, remaining_ms);
+    if (!msg.ok()) continue;  // loop re-checks the deadline
+    if (msg->tag == kFlushTag) {
+      size_t off = 0;
+      auto id = ConsumeU64(msg->payload, &off);
+      if (id.ok() && *id == barrier_id) pending.erase(msg->from);
+      // Markers of another barrier are stale; fall through to discard.
+    } else {
+      // Ordinary traffic that was in flight when the barrier began: exactly
+      // what the barrier exists to discard.
+      stale_dropped_.fetch_add(1);
+    }
+  }
+  return Status::OK();
+}
+
+void SocketBus::AttachMetrics(obs::MetricsRegistry* registry) {
+  MessageBus::AttachMetrics(registry);
+  net_sent_counter_ =
+      registry ? registry->counter("net.bytes_sent") : nullptr;
+  net_received_counter_ =
+      registry ? registry->counter("net.bytes_received") : nullptr;
+}
+
+SocketBus::NetStats SocketBus::net_stats() const {
+  NetStats s;
+  s.bytes_sent = bytes_sent_.load();
+  s.bytes_received = bytes_received_.load();
+  s.frames_sent = frames_sent_.load();
+  s.frames_received = frames_received_.load();
+  s.connects = connects_.load();
+  s.reconnects = reconnects_.load();
+  s.stale_dropped = stale_dropped_.load();
+  s.send_errors = send_errors_.load();
+  return s;
+}
+
+}  // namespace hprl::net

@@ -1,0 +1,201 @@
+#ifndef HPRL_NET_SOCKET_BUS_H_
+#define HPRL_NET_SOCKET_BUS_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "smc/channel.h"
+
+namespace hprl::net {
+
+/// One named remote endpoint of the mesh.
+struct PeerAddress {
+  std::string name;  ///< party name ("alice", "bob", "qp", "coord")
+  std::string host;
+  uint16_t port = 0;
+};
+
+struct SocketBusOptions {
+  /// This process's party name; messages addressed to it (or to
+  /// "<name>:<channel>" sub-inboxes) are delivered locally.
+  std::string local_name;
+
+  /// Open a listening socket (daemons listen; the coordinator only dials).
+  bool listen = false;
+  uint16_t listen_port = 0;  ///< 0 = kernel-assigned; see listen_port()
+
+  /// Peers this process dials at Start() (retried until the connect
+  /// deadline, so parties may come up in any order).
+  std::vector<PeerAddress> dial;
+
+  /// Peer names expected to dial in; Start() blocks until they all have.
+  std::vector<std::string> accept_from;
+
+  int connect_timeout_ms = 10000;  ///< total deadline for dialing + accepting
+  int receive_timeout_ms = 4000;   ///< Receive/Expect block bound
+  int flush_timeout_ms = 4000;     ///< Flush barrier deadline
+};
+
+/// MessageBus over real TCP: the networked transport of the three-party
+/// protocol. Each process runs one SocketBus; the buses form a full mesh
+/// (every party one hop from every other), with each link carrying
+/// length-prefixed frames (net/frame.h) that round-trip the Message struct
+/// byte-exactly — so checksum and sequence validation at the receiver work
+/// identically to the in-process transport.
+///
+/// Differences from the in-process bus, all deliberate:
+///  - Receive/Expect BLOCK until a message arrives or receive_timeout_ms
+///    expires, then return NotFound — the same status an in-process drop
+///    produces, so the PR 3 retry machinery heals a slow or lossy network
+///    without knowing it is one.
+///  - A lost connection surfaces as Unavailable (from sends' error counter
+///    and receives that observe the closed link), which the supervision
+///    layer treats as a dead party: quarantine, never retry.
+///  - Expect silently discards stale-sequence messages (duplicates from an
+///    aborted retry attempt still in flight) instead of failing: real
+///    networks reorder and redeliver, and the checksum/seq metadata exists
+///    exactly so the receiver can drop what the in-process PurgeAll would
+///    have purged. Dropped messages are counted in net.stale_dropped.
+///  - Byte accounting (links()/total_bytes()) charges the framed wire size,
+///    not the bare payload: on a socket the header toll is real, and the
+///    run report's measured-vs-accounted check holds the two within 5%.
+///
+/// Threading: Send/Receive/Expect/PurgeAll/Flush must be called from one
+/// owner thread (the party's service loop). Reader threads (one per
+/// connection) only append to the locked inboxes and bump atomic counters.
+class SocketBus : public smc::MessageBus {
+ public:
+  explicit SocketBus(SocketBusOptions opts);
+  ~SocketBus() override;
+
+  SocketBus(const SocketBus&) = delete;
+  SocketBus& operator=(const SocketBus&) = delete;
+
+  /// Opens the listener, dials every peer in opts.dial (retrying until the
+  /// connect deadline) and waits for every name in opts.accept_from to dial
+  /// in. Unavailable when the mesh cannot be established in time.
+  Status Start();
+
+  /// Closes every connection and joins the reader threads. Idempotent;
+  /// called by the destructor.
+  void Stop();
+
+  /// The port the listener is actually bound to (resolves ephemeral 0).
+  /// Atomic: callers may poll it while Start() runs on another thread.
+  uint16_t listen_port() const { return bound_port_.load(); }
+
+  /// True while `name`'s link is established and healthy.
+  bool PeerAlive(const std::string& name) const;
+
+  // MessageBus interface ----------------------------------------------------
+  void Send(smc::Message msg) override;
+  Result<smc::Message> Receive(const std::string& to) override;
+  Result<smc::Message> Expect(const std::string& to,
+                              const std::string& tag) override;
+  void PurgeAll() override;
+  void AttachMetrics(obs::MetricsRegistry* registry) override;
+
+  /// Receive with an explicit deadline (the coordinator waits longer for a
+  /// pair acknowledgement than for an idle poll).
+  Result<smc::Message> ReceiveTimeout(const std::string& to, int timeout_ms);
+
+  /// Link-flush barrier used between retry attempts: sends a flush marker
+  /// (carrying `barrier_id`) to each named peer, then discards every inbound
+  /// message until markers with the same id arrive from all of them. Because
+  /// each TCP link is ordered, once a peer's marker is seen everything that
+  /// peer sent before its own purge has been received and discarded — the
+  /// distributed equivalent of the in-process PurgeAll-between-attempts.
+  /// A marker a concurrent Expect consumed before this call began still
+  /// counts (Expect stashes it), so parties may enter the barrier in any
+  /// order. NotFound on deadline; Unavailable when a named peer's link is
+  /// down.
+  Status Flush(const std::vector<std::string>& peers, uint64_t barrier_id);
+
+  /// Socket-level traffic counters (frame bytes as written/read on fds).
+  struct NetStats {
+    int64_t bytes_sent = 0;
+    int64_t bytes_received = 0;
+    int64_t frames_sent = 0;
+    int64_t frames_received = 0;
+    int64_t connects = 0;    ///< links established (dialed + accepted)
+    int64_t reconnects = 0;  ///< links re-established after a loss
+    int64_t stale_dropped = 0;
+    int64_t send_errors = 0;  ///< frames dropped on a dead link
+  };
+  NetStats net_stats() const;
+
+ private:
+  struct Conn {
+    std::string name;
+    Fd fd;
+    std::mutex write_mu;
+    std::atomic<bool> alive{true};
+    std::thread reader;
+    bool dialed = false;
+    PeerAddress addr;  // redial target when dialed
+  };
+
+  /// Marker tag that never collides with protocol tags.
+  static constexpr char kFlushTag[] = "hprl.flush";
+  static constexpr char kHelloTag[] = "hprl.hello";
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Conn> conn);
+  void Deliver(smc::Message msg);
+  /// Registers (or replaces) `name`'s connection and starts its reader.
+  void Register(std::shared_ptr<Conn> conn);
+  std::shared_ptr<Conn> Lookup(const std::string& name);
+  /// Dials `addr`, performs the hello handshake. Counts a (re)connect.
+  Result<std::shared_ptr<Conn>> Dial(const PeerAddress& addr, int timeout_ms,
+                                     bool is_reconnect);
+  /// Destination party of an addressed name ("alice:ctl" -> "alice").
+  static std::string RouteOf(const std::string& to);
+  void CountRecv(size_t wire_bytes);
+
+  SocketBusOptions opts_;
+  Fd listener_;
+  std::atomic<uint16_t> bound_port_{0};
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+
+  mutable std::mutex conns_mu_;
+  std::condition_variable conns_cv_;
+  std::map<std::string, std::shared_ptr<Conn>> conns_;
+  std::vector<std::shared_ptr<Conn>> retired_conns_;  // joined at Stop()
+
+  mutable std::mutex inbox_mu_;
+  std::condition_variable inbox_cv_;
+  std::map<std::string, std::deque<smc::Message>> inboxes_;
+
+  /// Last delivered seq per (from, to): Expect's staleness filter.
+  std::map<std::pair<std::string, std::string>, uint64_t> seen_seq_;
+
+  /// Flush markers a concurrent Expect consumed before Flush began:
+  /// sender -> barrier id of its latest marker. Owner-thread only.
+  std::map<std::string, uint64_t> early_markers_;
+
+  std::atomic<int64_t> bytes_sent_{0};
+  std::atomic<int64_t> bytes_received_{0};
+  std::atomic<int64_t> frames_sent_{0};
+  std::atomic<int64_t> frames_received_{0};
+  std::atomic<int64_t> connects_{0};
+  std::atomic<int64_t> reconnects_{0};
+  std::atomic<int64_t> stale_dropped_{0};
+  std::atomic<int64_t> send_errors_{0};
+  obs::Counter* net_sent_counter_ = nullptr;      // not owned
+  obs::Counter* net_received_counter_ = nullptr;  // not owned
+};
+
+}  // namespace hprl::net
+
+#endif  // HPRL_NET_SOCKET_BUS_H_

@@ -16,16 +16,21 @@ void MessageBus::Stamp(Message* msg) {
   if (msg->checksum == 0) msg->checksum = PayloadChecksum(msg->payload);
 }
 
-void MessageBus::Enqueue(Message msg) {
-  LinkStats& link = links_[{msg.from, msg.to}];
+void MessageBus::Account(const std::string& from, const std::string& to,
+                         int64_t bytes) {
+  LinkStats& link = links_[{from, to}];
   link.messages += 1;
-  link.bytes += static_cast<int64_t>(msg.payload.size());
+  link.bytes += bytes;
   total_messages_ += 1;
-  total_bytes_ += static_cast<int64_t>(msg.payload.size());
+  total_bytes_ += bytes;
   if (messages_counter_ != nullptr) {
     messages_counter_->Increment();
-    bytes_counter_->Increment(static_cast<int64_t>(msg.payload.size()));
+    bytes_counter_->Increment(bytes);
   }
+}
+
+void MessageBus::Enqueue(Message msg) {
+  Account(msg.from, msg.to, static_cast<int64_t>(msg.payload.size()));
   inboxes_[msg.to].push_back(std::move(msg));
 }
 
@@ -53,19 +58,28 @@ Result<Message> MessageBus::Expect(const std::string& to,
                                    const std::string& tag) {
   auto msg = Receive(to);
   if (!msg.ok()) return msg.status();
+  // Validation failures name the offending link (from->to), tag and
+  // sequence numbers: when the parties run as separate processes these
+  // strings are all an operator has to attribute a fault to one hop.
   if (msg->tag != tag) {
-    return Status::Internal("protocol desync: " + to + " expected '" + tag +
-                            "' but got '" + msg->tag + "'");
+    return Status::Internal("protocol desync on link " + msg->from + "->" +
+                            to + ": expected '" + tag + "' but got '" +
+                            msg->tag + "' (seq " +
+                            std::to_string(msg->seq) + ")");
   }
   if (msg->checksum != 0 && msg->checksum != PayloadChecksum(msg->payload)) {
-    return Status::IOError("corrupted payload: checksum mismatch on '" + tag +
-                           "' for " + to);
+    return Status::IOError("corrupted payload on link " + msg->from + "->" +
+                           to + ": checksum mismatch on '" + tag + "' (seq " +
+                           std::to_string(msg->seq) + ")");
   }
   if (msg->seq != 0) {
     uint64_t& last = last_delivered_[{msg->from, msg->to}];
     if (msg->seq <= last) {
-      return Status::Internal("protocol desync: stale sequence on '" + tag +
-                              "' for " + to);
+      return Status::Internal(
+          "protocol desync on link " + msg->from + "->" + to +
+          ": stale sequence on '" + tag + "' (got seq " +
+          std::to_string(msg->seq) + ", already delivered " +
+          std::to_string(last) + ")");
     }
     last = msg->seq;
   }

@@ -93,6 +93,12 @@ class MessageBus {
   /// payload as the sender produced it.
   void Enqueue(Message msg);
 
+  /// Charges `bytes` on the (from, to) link and the totals (and the attached
+  /// per-send counters) without enqueueing anything. Enqueue uses it with the
+  /// payload size; a networked transport (net::SocketBus) uses it with the
+  /// framed wire size of messages it puts on a socket instead of an inbox.
+  void Account(const std::string& from, const std::string& to, int64_t bytes);
+
   /// Assigns the per-link sequence number and (when still unset) the payload
   /// checksum.
   void Stamp(Message* msg);

@@ -1,0 +1,693 @@
+// Tests for the real network transport (src/net): wire framing edge cases,
+// the SocketBus over loopback TCP, the NetworkModel projection, and a
+// hermetic three-daemon mesh (PartyService on threads) driven end to end by
+// the RemoteSmcOracle — including the fault-retry and quarantine paths over
+// real sockets.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/party_service.h"
+#include "net/remote_oracle.h"
+#include "net/socket.h"
+#include "net/socket_bus.h"
+#include "smc/channel.h"
+#include "smc/network.h"
+#include "smc/protocol.h"
+
+namespace hprl {
+namespace {
+
+using net::DecodeFrame;
+using net::EncodeFrame;
+using net::Fd;
+using net::FrameSize;
+using net::MeshEndpoints;
+using net::PartyService;
+using net::PartyServiceOptions;
+using net::PeerAddress;
+using net::ReadFrame;
+using net::RemoteOracleOptions;
+using net::RemoteSmcOracle;
+using net::SocketBus;
+using net::SocketBusOptions;
+using smc::Message;
+
+// ------------------------------------------------------------------ helpers
+
+/// One connected loopback TCP pair.
+struct TcpPair {
+  Fd a;  // accepted side
+  Fd b;  // connected side
+};
+
+TcpPair MakeTcpPair() {
+  auto listener = net::TcpListen(0);
+  EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+  auto port = net::LocalPort(*listener);
+  EXPECT_TRUE(port.ok());
+  auto client = net::TcpConnect("127.0.0.1", *port, 2000);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  auto served = net::TcpAccept(*listener, 2000);
+  EXPECT_TRUE(served.ok()) << served.status().ToString();
+  TcpPair pair;
+  pair.a = std::move(*served);
+  pair.b = std::move(*client);
+  return pair;
+}
+
+Message MakeMessage() {
+  Message msg;
+  msg.from = "alice";
+  msg.to = "bob";
+  msg.tag = "alice_ct";
+  msg.payload = {0x00, 0x01, 0xFF, 0x7E, 0x80, 0x00};
+  msg.seq = 42;
+  msg.checksum = smc::PayloadChecksum(msg.payload);
+  return msg;
+}
+
+// ------------------------------------------------------------------ framing
+
+TEST(FrameTest, RoundTripsMessageByteExactly) {
+  Message msg = MakeMessage();
+  std::vector<uint8_t> wire = EncodeFrame(msg);
+  EXPECT_EQ(wire.size(), FrameSize(msg));
+
+  // Body = everything after the 4-byte length prefix.
+  auto back = DecodeFrame(wire.data() + 4, wire.size() - 4);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->from, msg.from);
+  EXPECT_EQ(back->to, msg.to);
+  EXPECT_EQ(back->tag, msg.tag);
+  EXPECT_EQ(back->payload, msg.payload);
+  EXPECT_EQ(back->seq, msg.seq);
+  EXPECT_EQ(back->checksum, msg.checksum);
+}
+
+TEST(FrameTest, EmptyPayloadRoundTrips) {
+  Message msg;
+  msg.from = "qp";
+  msg.to = "alice";
+  msg.tag = "result";
+  msg.seq = 1;
+  std::vector<uint8_t> wire = EncodeFrame(msg);
+  auto back = DecodeFrame(wire.data() + 4, wire.size() - 4);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->payload.empty());
+}
+
+TEST(FrameTest, RejectsBadMagic) {
+  Message msg = MakeMessage();
+  std::vector<uint8_t> wire = EncodeFrame(msg);
+  wire[4] ^= 0xFF;  // first magic byte
+  auto back = DecodeFrame(wire.data() + 4, wire.size() - 4);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kIOError);
+}
+
+TEST(FrameTest, RejectsVersionMismatch) {
+  Message msg = MakeMessage();
+  std::vector<uint8_t> wire = EncodeFrame(msg);
+  // Body layout: magic u32, then version u16 (big-endian).
+  wire[4 + 4] = 0xFF;
+  wire[4 + 5] = 0xFE;
+  auto back = DecodeFrame(wire.data() + 4, wire.size() - 4);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kIOError);
+  EXPECT_NE(back.status().ToString().find("version"), std::string::npos);
+}
+
+TEST(FrameTest, RejectsTruncationAtEveryLength) {
+  Message msg = MakeMessage();
+  std::vector<uint8_t> wire = EncodeFrame(msg);
+  // A frame cut anywhere inside the body must fail cleanly, never read
+  // out of bounds (ASan guards the buffer) and never succeed.
+  for (size_t n = 0; n + 4 < wire.size(); ++n) {
+    auto back = DecodeFrame(wire.data() + 4, n);
+    EXPECT_FALSE(back.ok()) << "truncated at " << n;
+  }
+}
+
+TEST(FrameTest, ReadFrameRejectsOversizedLengthPrefix) {
+  TcpPair pair = MakeTcpPair();
+  // A hostile/corrupt length prefix far beyond kMaxFrameBytes must be
+  // rejected before any allocation happens.
+  const uint32_t huge = net::kMaxFrameBytes + 1;
+  uint8_t prefix[4] = {static_cast<uint8_t>(huge >> 24),
+                       static_cast<uint8_t>(huge >> 16),
+                       static_cast<uint8_t>(huge >> 8),
+                       static_cast<uint8_t>(huge)};
+  ASSERT_TRUE(net::FullWrite(pair.b.get(), prefix, sizeof prefix).ok());
+  auto got = ReadFrame(pair.a.get(), 1000);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIOError);
+}
+
+TEST(FrameTest, ReadFrameReassemblesSplitWrites) {
+  TcpPair pair = MakeTcpPair();
+  Message msg = MakeMessage();
+  std::vector<uint8_t> wire = EncodeFrame(msg);
+
+  // Dribble the frame a few bytes at a time: the reader must loop over
+  // short reads until the whole frame arrived.
+  std::thread writer([&] {
+    for (size_t off = 0; off < wire.size(); off += 3) {
+      size_t n = std::min<size_t>(3, wire.size() - off);
+      ASSERT_TRUE(net::FullWrite(pair.b.get(), wire.data() + off, n).ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  size_t wire_bytes = 0;
+  auto got = ReadFrame(pair.a.get(), 2000, &wire_bytes);
+  writer.join();
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(wire_bytes, wire.size());
+  EXPECT_EQ(got->payload, msg.payload);
+  EXPECT_EQ(got->seq, msg.seq);
+}
+
+TEST(FrameTest, ReadFrameTimesOutNotFoundWhenIdle) {
+  TcpPair pair = MakeTcpPair();
+  auto got = ReadFrame(pair.a.get(), 50);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FrameTest, ReadFrameUnavailableOnPeerClose) {
+  TcpPair pair = MakeTcpPair();
+  pair.b.Close();
+  auto got = ReadFrame(pair.a.get(), 1000);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FrameTest, CtlPayloadHelpersRoundTrip) {
+  std::vector<uint8_t> buf;
+  net::AppendU8(7, &buf);
+  net::AppendU32(123456, &buf);
+  net::AppendU64(0xDEADBEEFCAFEBABEull, &buf);
+  net::AppendI64(-987654321, &buf);
+  net::AppendString("hello mesh", &buf);
+  net::AppendSignedBigInt(crypto::BigInt(-31337), &buf);
+
+  size_t off = 0;
+  EXPECT_EQ(net::ConsumeU8(buf, &off).value(), 7);
+  EXPECT_EQ(net::ConsumeU32(buf, &off).value(), 123456u);
+  EXPECT_EQ(net::ConsumeU64(buf, &off).value(), 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(net::ConsumeI64(buf, &off).value(), -987654321);
+  EXPECT_EQ(net::ConsumeString(buf, &off).value(), "hello mesh");
+  EXPECT_EQ(net::ConsumeSignedBigInt(buf, &off).value(), crypto::BigInt(-31337));
+  EXPECT_EQ(off, buf.size());
+
+  // Truncated consumption fails instead of reading past the end.
+  buf.resize(buf.size() - 1);
+  off = 0;
+  (void)net::ConsumeU8(buf, &off);
+  (void)net::ConsumeU32(buf, &off);
+  (void)net::ConsumeU64(buf, &off);
+  (void)net::ConsumeI64(buf, &off);
+  (void)net::ConsumeString(buf, &off);
+  EXPECT_FALSE(net::ConsumeSignedBigInt(buf, &off).ok());
+}
+
+// ----------------------------------------------- error attribution (bus)
+
+TEST(ChannelAttributionTest, ChecksumErrorNamesLinkAndTag) {
+  smc::MessageBus bus;
+  Message msg;
+  msg.from = "alice";
+  msg.to = "bob";
+  msg.tag = "alice_ct";
+  msg.payload = {1, 2, 3};
+  msg.checksum = 777;  // wrong, and non-zero so Stamp keeps it
+  bus.Send(std::move(msg));
+
+  auto got = bus.Expect("bob", "alice_ct");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIOError);
+  std::string text = got.status().ToString();
+  EXPECT_NE(text.find("alice->bob"), std::string::npos) << text;
+  EXPECT_NE(text.find("alice_ct"), std::string::npos) << text;
+}
+
+TEST(ChannelAttributionTest, TagMismatchNamesLinkAndBothTags) {
+  smc::MessageBus bus;
+  Message msg;
+  msg.from = "bob";
+  msg.to = "qp";
+  msg.tag = "bob_ct";
+  msg.payload = {9};
+  bus.Send(std::move(msg));
+
+  auto got = bus.Expect("qp", "result");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInternal);
+  std::string text = got.status().ToString();
+  EXPECT_NE(text.find("bob->qp"), std::string::npos) << text;
+  EXPECT_NE(text.find("result"), std::string::npos) << text;
+  EXPECT_NE(text.find("bob_ct"), std::string::npos) << text;
+}
+
+// ----------------------------------------------------------- NetworkModel
+
+TEST(NetworkModelTest, EstimateSecondsMonotonic) {
+  smc::SmcCosts costs;
+  costs.encryptions = 100;
+  costs.decryptions = 50;
+  costs.homomorphic_adds = 200;
+  costs.scalar_muls = 100;
+
+  smc::CryptoTimings crypto;
+  crypto.key_bits = 1024;
+  crypto.encrypt_seconds = 1e-3;
+  crypto.decrypt_seconds = 1e-3;
+  crypto.hom_add_seconds = 1e-5;
+  crypto.scalar_mul_seconds = 1e-4;
+
+  const int64_t bytes = 1 << 20;
+  const int64_t messages = 1000;
+  smc::NetworkModel lan = smc::NetworkModel::Lan();
+  const double base = EstimateSeconds(costs, bytes, messages, lan, crypto);
+  ASSERT_GT(base, 0);
+
+  // More latency costs more.
+  smc::NetworkModel slow_latency = lan;
+  slow_latency.latency_seconds = lan.latency_seconds * 10;
+  EXPECT_GT(EstimateSeconds(costs, bytes, messages, slow_latency, crypto),
+            base);
+
+  // Less bandwidth costs more.
+  smc::NetworkModel thin_pipe = lan;
+  thin_pipe.bandwidth_bytes_per_second = lan.bandwidth_bytes_per_second / 100;
+  EXPECT_GT(EstimateSeconds(costs, bytes, messages, thin_pipe, crypto), base);
+
+  // More messages cost more (each pays a latency).
+  EXPECT_GT(EstimateSeconds(costs, bytes, messages * 10, lan, crypto), base);
+
+  // More traffic costs more.
+  EXPECT_GT(EstimateSeconds(costs, bytes * 100, messages, lan, crypto), base);
+
+  // WAN dominates LAN on the same workload.
+  EXPECT_GT(
+      EstimateSeconds(costs, bytes, messages, smc::NetworkModel::Wan(), crypto),
+      EstimateSeconds(costs, bytes, messages, lan, crypto));
+
+  // The in-process model charges no transport at all: pure crypto time.
+  const double local = EstimateSeconds(costs, bytes, messages,
+                                       smc::NetworkModel::Local(), crypto);
+  EXPECT_LT(local, base);
+  EXPECT_GT(local, 0);
+}
+
+// -------------------------------------------------------------- SocketBus
+
+/// Starts a two-node mesh: "alice" listens, "bob" dials.
+struct BusPair {
+  std::unique_ptr<SocketBus> alice;
+  std::unique_ptr<SocketBus> bob;
+};
+
+BusPair MakeBusPair(int receive_timeout_ms = 2000) {
+  SocketBusOptions a;
+  a.local_name = "alice";
+  a.listen = true;
+  a.accept_from = {"bob"};
+  a.connect_timeout_ms = 5000;
+  a.receive_timeout_ms = receive_timeout_ms;
+  a.flush_timeout_ms = 2000;
+  BusPair pair;
+  pair.alice = std::make_unique<SocketBus>(a);
+
+  // Start the listener first on a thread (it blocks until bob dials in).
+  std::atomic<bool> alice_ok{false};
+  std::thread alice_start([&] { alice_ok = pair.alice->Start().ok(); });
+  // Wait until the listener's port is known.
+  for (int i = 0; i < 100 && pair.alice->listen_port() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_NE(pair.alice->listen_port(), 0);
+
+  SocketBusOptions b;
+  b.local_name = "bob";
+  b.dial = {{"alice", "127.0.0.1", pair.alice->listen_port()}};
+  b.connect_timeout_ms = 5000;
+  b.receive_timeout_ms = receive_timeout_ms;
+  b.flush_timeout_ms = 2000;
+  pair.bob = std::make_unique<SocketBus>(b);
+  EXPECT_TRUE(pair.bob->Start().ok());
+  alice_start.join();
+  EXPECT_TRUE(alice_ok);
+  return pair;
+}
+
+TEST(SocketBusTest, DeliversStampedMessagesBothWays) {
+  BusPair mesh = MakeBusPair();
+
+  Message ping;
+  ping.from = "bob";
+  ping.to = "alice";
+  ping.tag = "ping";
+  ping.payload = {1, 2, 3, 4};
+  mesh.bob->Send(ping);
+
+  auto got = mesh.alice->Expect("alice", "ping");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->payload, ping.payload);
+  EXPECT_GT(got->seq, 0u);  // stamped by the sender's bus
+  EXPECT_EQ(got->checksum, smc::PayloadChecksum(ping.payload));
+
+  Message pong;
+  pong.from = "alice";
+  pong.to = "bob";
+  pong.tag = "pong";
+  pong.payload = {9};
+  mesh.alice->Send(pong);
+  auto back = mesh.bob->Expect("bob", "pong");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->payload, pong.payload);
+
+  EXPECT_TRUE(mesh.alice->PeerAlive("bob"));
+  EXPECT_TRUE(mesh.bob->PeerAlive("alice"));
+}
+
+TEST(SocketBusTest, AccountsFramedWireSizeWithinFivePercent) {
+  BusPair mesh = MakeBusPair();
+
+  Message msg;
+  msg.from = "bob";
+  msg.to = "alice";
+  msg.tag = "bulk";
+  msg.payload.assign(4096, 0xAB);
+  for (int i = 0; i < 20; ++i) {
+    mesh.bob->Send(msg);
+    ASSERT_TRUE(mesh.alice->Expect("alice", "bulk").ok());
+  }
+
+  // The bus accounting charges the framed wire size; the socket counters are
+  // ground truth. They differ only by the unaccounted hello handshake, which
+  // is why the acceptance bound is a percentage, not equality.
+  const int64_t accounted = mesh.bob->total_bytes();
+  const int64_t wire = mesh.bob->net_stats().bytes_sent;
+  ASSERT_GT(accounted, 20 * 4096);
+  EXPECT_GE(wire, accounted);
+  EXPECT_LT(static_cast<double>(wire - accounted), 0.05 * wire);
+
+  // Receiver-side socket counter sees the same traffic.
+  EXPECT_GE(mesh.alice->net_stats().bytes_received, accounted);
+}
+
+TEST(SocketBusTest, ReceiveTimesOutAsNotFound) {
+  BusPair mesh = MakeBusPair(/*receive_timeout_ms=*/100);
+  auto got = mesh.alice->Receive("alice");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SocketBusTest, SubInboxRoutesBySuffix) {
+  BusPair mesh = MakeBusPair();
+  Message ctl;
+  ctl.from = "bob";
+  ctl.to = "alice:ctl";
+  ctl.tag = "cfg";
+  ctl.payload = {1};
+  mesh.bob->Send(ctl);
+
+  // Nothing lands in the main inbox; the ctl sub-inbox gets it.
+  auto main_inbox = mesh.alice->Receive("alice");
+  EXPECT_FALSE(main_inbox.ok());
+  auto sub = mesh.alice->Expect("alice:ctl", "cfg");
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  EXPECT_EQ(sub->payload, std::vector<uint8_t>{1});
+}
+
+TEST(SocketBusTest, FlushBarrierDiscardsInFlightTraffic) {
+  BusPair mesh = MakeBusPair();
+
+  // Bob leaves two stale protocol messages in flight, then both sides enter
+  // the barrier. After it, alice's inbox must be clean.
+  Message junk;
+  junk.from = "bob";
+  junk.to = "alice";
+  junk.tag = "alice_ct";
+  junk.payload = {7, 7, 7};
+  mesh.bob->Send(junk);
+  mesh.bob->Send(junk);
+
+  std::atomic<bool> bob_ok{false};
+  std::thread bob_flush(
+      [&] { bob_ok = mesh.bob->Flush({"alice"}, /*barrier_id=*/5).ok(); });
+  Status alice_flush = mesh.alice->Flush({"bob"}, /*barrier_id=*/5);
+  bob_flush.join();
+  EXPECT_TRUE(alice_flush.ok()) << alice_flush.ToString();
+  EXPECT_TRUE(bob_ok);
+
+  auto after = mesh.alice->Receive("alice");
+  EXPECT_FALSE(after.ok()) << "stale message survived the barrier";
+  EXPECT_GE(mesh.alice->net_stats().stale_dropped, 2);
+}
+
+TEST(SocketBusTest, DeadPeerStopsBeingAliveAndFlushFails) {
+  BusPair mesh = MakeBusPair(/*receive_timeout_ms=*/200);
+  mesh.bob->Stop();
+
+  // The reader notices the closed link quickly.
+  for (int i = 0; i < 100 && mesh.alice->PeerAlive("bob"); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_FALSE(mesh.alice->PeerAlive("bob"));
+
+  Status flush = mesh.alice->Flush({"bob"}, 9);
+  ASSERT_FALSE(flush.ok());
+  EXPECT_EQ(flush.code(), StatusCode::kUnavailable);
+
+  // Sends to the dead link are dropped and counted, never crash.
+  Message msg;
+  msg.from = "alice";
+  msg.to = "bob";
+  msg.tag = "ping";
+  mesh.alice->Send(msg);
+  EXPECT_GE(mesh.alice->net_stats().send_errors, 1);
+}
+
+// ------------------------------------------------------- three-party mesh
+
+MatchRule MixedRule() {
+  MatchRule rule;
+  AttrRule cat;
+  cat.attr_index = 0;
+  cat.type = AttrType::kCategorical;
+  cat.theta = 0.5;
+  AttrRule num;
+  num.attr_index = 1;
+  num.type = AttrType::kNumeric;
+  num.theta = 0.1;
+  num.norm = 100;  // |x-y| <= 10 matches
+  rule.attrs = {cat, num};
+  return rule;
+}
+
+Record Rec(int32_t cat, double num) {
+  return {Value::Category(cat), Value::Numeric(num)};
+}
+
+/// Three PartyService daemons on threads plus a RemoteSmcOracle coordinator
+/// in the test thread — the full TCP deployment, hermetically in one
+/// process.
+class MeshTest : public ::testing::Test {
+ protected:
+  void StartMesh(int receive_timeout_ms) {
+    // Three kernel-assigned ports, all held while read.
+    Fd holds[3];
+    uint16_t ports[3];
+    for (int i = 0; i < 3; ++i) {
+      auto listener = net::TcpListen(0);
+      ASSERT_TRUE(listener.ok());
+      auto port = net::LocalPort(*listener);
+      ASSERT_TRUE(port.ok());
+      ports[i] = *port;
+      holds[i] = std::move(*listener);
+    }
+    for (int i = 0; i < 3; ++i) holds[i].Close();
+    endpoints_.alice = {"alice", "127.0.0.1", ports[0]};
+    endpoints_.bob = {"bob", "127.0.0.1", ports[1]};
+    endpoints_.qp = {"qp", "127.0.0.1", ports[2]};
+
+    for (const char* role : {"alice", "bob", "qp"}) {
+      PartyServiceOptions opts;
+      opts.role = role;
+      opts.endpoints = endpoints_;
+      opts.connect_timeout_ms = 10000;
+      opts.receive_timeout_ms = receive_timeout_ms;
+      services_.push_back(std::make_unique<PartyService>(opts));
+    }
+    for (auto& service : services_) {
+      threads_.emplace_back([s = service.get()] {
+        Status started = s->Start();
+        ASSERT_TRUE(started.ok()) << started.ToString();
+        Status served = s->Serve();
+        EXPECT_TRUE(served.ok()) << served.ToString();
+      });
+    }
+  }
+
+  std::unique_ptr<RemoteSmcOracle> MakeOracle(int receive_timeout_ms) {
+    RemoteOracleOptions opts;
+    opts.config.key_bits = 256;  // small key: fast tests
+    opts.config.test_seed = 4242;
+    opts.config.max_retries = 3;
+    opts.rule = MixedRule();
+    opts.endpoints = endpoints_;
+    opts.connect_timeout_ms = 10000;
+    opts.receive_timeout_ms = receive_timeout_ms;
+    return std::make_unique<RemoteSmcOracle>(opts);
+  }
+
+  /// Tears one daemon down completely: serve loop, then the bus (only the
+  /// destructor closes the links, mirroring a killed process).
+  void KillService(size_t i) {
+    services_[i]->RequestStop();
+    threads_[i].join();
+    services_[i].reset();
+  }
+
+  void TearDown() override {
+    for (auto& service : services_) {
+      if (service != nullptr) service->RequestStop();
+    }
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    services_.clear();
+  }
+
+  MeshEndpoints endpoints_;
+  std::vector<std::unique_ptr<PartyService>> services_;
+  std::vector<std::thread> threads_;
+};
+
+TEST_F(MeshTest, EndToEndLabelsMatchInProcessProtocol) {
+  StartMesh(/*receive_timeout_ms=*/2000);
+  auto oracle = MakeOracle(2000);
+  ASSERT_TRUE(oracle->Init().ok());
+
+  // Reference: the in-process comparator with the same config.
+  smc::SmcConfig cfg;
+  cfg.key_bits = 256;
+  cfg.test_seed = 4242;
+  smc::SecureRecordComparator reference(cfg, MixedRule());
+  ASSERT_TRUE(reference.Init().ok());
+
+  const std::vector<std::pair<Record, Record>> pairs = {
+      {Rec(3, 50), Rec(3, 55)},   // match: same cat, |Δ|=5 <= 10
+      {Rec(3, 50), Rec(4, 55)},   // cat differs
+      {Rec(1, 10), Rec(1, 90)},   // numeric too far
+      {Rec(2, 70), Rec(2, 70)},   // exact
+      {Rec(5, 30), Rec(5, 41)},   // just over the threshold
+      {Rec(5, 30), Rec(5, 40)},   // exactly at the threshold
+  };
+  std::vector<RowPairRequest> batch;
+  batch.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    RowPairRequest req;
+    req.a_id = static_cast<int64_t>(i);
+    req.b_id = static_cast<int64_t>(100 + i);
+    req.a = &pairs[i].first;
+    req.b = &pairs[i].second;
+    batch.push_back(req);
+  }
+
+  auto labels = oracle->CompareBatch(batch);
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  ASSERT_EQ(labels->size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    auto expected = reference.Compare(pairs[i].first, pairs[i].second);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ((*labels)[i], *expected ? kPairMatch : kPairNonMatch)
+        << "pair " << i;
+    // And both agree with the plaintext rule: SMC is exact.
+    EXPECT_EQ(*expected, RecordsMatch(pairs[i].first, pairs[i].second,
+                                      MixedRule()))
+        << "pair " << i;
+  }
+  EXPECT_EQ(oracle->invocations(), static_cast<int64_t>(pairs.size()));
+  EXPECT_EQ(oracle->pairs_quarantined(), 0);
+
+  auto mesh = oracle->CollectStats();
+  ASSERT_TRUE(mesh.ok()) << mesh.status().ToString();
+  EXPECT_EQ(mesh->costs.invocations, static_cast<int64_t>(pairs.size()));
+  EXPECT_GT(mesh->costs.encryptions, 0);
+  EXPECT_GT(mesh->costs.decryptions, 0);
+  // Acceptance bound: measured wire bytes within 5% of bus accounting.
+  ASSERT_GT(mesh->bus_bytes, 0);
+  double drift = static_cast<double>(mesh->wire_bytes_sent - mesh->bus_bytes) /
+                 static_cast<double>(mesh->wire_bytes_sent);
+  EXPECT_GE(drift, 0) << "bus accounted more than the sockets carried";
+  EXPECT_LT(drift, 0.05);
+
+  EXPECT_TRUE(oracle->Shutdown(/*stop_daemons=*/true).ok());
+}
+
+TEST_F(MeshTest, InjectedFaultIsRetriedAndHeals) {
+  StartMesh(/*receive_timeout_ms=*/500);
+  auto oracle = MakeOracle(500);
+  ASSERT_TRUE(oracle->Init().ok());
+
+  // The next pair command on bob fails before running; the coordinator must
+  // flush the mesh and re-dispatch, and the retry must produce the right
+  // label — over real sockets, with real in-flight leftovers to discard.
+  ASSERT_TRUE(oracle->InjectFailures("bob", 1).ok());
+
+  Record a = Rec(3, 50), b = Rec(3, 55);
+  std::vector<RowPairRequest> batch(1);
+  batch[0].a_id = 1;
+  batch[0].b_id = 2;
+  batch[0].a = &a;
+  batch[0].b = &b;
+  auto labels = oracle->CompareBatch(batch);
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  EXPECT_EQ((*labels)[0], kPairMatch);
+  EXPECT_GE(oracle->retries(), 1);
+  EXPECT_EQ(oracle->pairs_quarantined(), 0);
+
+  EXPECT_TRUE(oracle->Shutdown(/*stop_daemons=*/true).ok());
+}
+
+TEST_F(MeshTest, DeadPartyQuarantinesPair) {
+  StartMesh(/*receive_timeout_ms=*/300);
+  auto oracle = MakeOracle(300);
+  ASSERT_TRUE(oracle->Init().ok());
+
+  // Kill bob outright: its serve thread exits and its bus closes. The
+  // coordinator must quarantine the pair (never retry a dead party), exactly
+  // like the in-process engine does on a crash fault.
+  KillService(1);
+  // Wait until the coordinator's link to bob actually drops.
+  for (int i = 0; i < 200 && oracle->bus().PeerAlive("bob"); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_FALSE(oracle->bus().PeerAlive("bob"));
+
+  Record a = Rec(3, 50), b = Rec(3, 55);
+  std::vector<RowPairRequest> batch(1);
+  batch[0].a_id = 1;
+  batch[0].b_id = 2;
+  batch[0].a = &a;
+  batch[0].b = &b;
+  auto labels = oracle->CompareBatch(batch);
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  EXPECT_EQ((*labels)[0], kPairQuarantined);
+  EXPECT_EQ(oracle->pairs_quarantined(), 1);
+
+  // Shutdown is best-effort with a dead party; it must not hang.
+  (void)oracle->Shutdown(/*stop_daemons=*/true);
+}
+
+}  // namespace
+}  // namespace hprl

@@ -7,12 +7,18 @@
 //             [--checkpoint drain.json]
 //             [--fault_seed N] [--fault_drop R] [--fault_corrupt R]
 //             [--fault_delay R] [--fault_delay_micros N] [--fault_crash R]
+//             [--transport tcp] [--parties a:p,b:p,q:p] [--party_bin PATH]
+//             [--net_connect_timeout_ms N] [--net_receive_timeout_ms N]
 //
 // The spec file declares attributes, hierarchies, thresholds and protocol
 // parameters (see src/cli/spec.h for the format). With `keybits > 0` in the
-// spec, the SMC step runs the real three-party Paillier protocol.
+// spec, the SMC step runs the real three-party Paillier protocol — in
+// process by default, or across hprl_party daemons with --transport=tcp
+// (spawned locally, or joined via --parties; see README.md for the
+// three-terminal walkthrough).
 
 #include <cstdio>
+#include <string>
 
 #include "cli/runner.h"
 #include "common/flags.h"
@@ -58,6 +64,23 @@ int main(int argc, char** argv) {
   double* fault_crash = flags.AddDouble(
       "fault_crash", -1,
       "party crash rate per receive in [0,1] (-1 = use the spec's)");
+  std::string* transport = flags.AddString(
+      "transport", "inproc",
+      "SMC transport: inproc, or tcp to run the parties as hprl_party "
+      "daemons over real sockets");
+  std::string* parties = flags.AddString(
+      "parties", "",
+      "tcp: alice,bob,qp listen endpoints (host:port,host:port,host:port) "
+      "of an already-running mesh; empty = spawn local daemons");
+  std::string* party_bin = flags.AddString(
+      "party_bin", "",
+      "tcp spawn mode: hprl_party binary (default: next to this binary)");
+  int64_t* net_connect_timeout_ms = flags.AddInt(
+      "net_connect_timeout_ms", 10000,
+      "tcp: deadline for establishing the three-party mesh");
+  int64_t* net_receive_timeout_ms = flags.AddInt(
+      "net_receive_timeout_ms", 4000,
+      "tcp: blocking-receive bound per protocol link");
 
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kNotFound) return 0;  // --help
@@ -106,6 +129,25 @@ int main(int argc, char** argv) {
   options.fault_delay_override = *fault_delay;
   options.fault_delay_micros_override = *fault_delay_micros;
   options.fault_crash_override = *fault_crash;
+  options.transport = (*transport == "inproc") ? "" : *transport;
+  options.tcp_endpoints = *parties;
+  if (*net_connect_timeout_ms <= 0 || *net_receive_timeout_ms <= 0) {
+    std::fprintf(stderr, "net timeouts must be positive\n");
+    return 2;
+  }
+  options.net_connect_timeout_ms = static_cast<int>(*net_connect_timeout_ms);
+  options.net_receive_timeout_ms = static_cast<int>(*net_receive_timeout_ms);
+  if (!party_bin->empty()) {
+    options.party_binary = *party_bin;
+  } else {
+    // Default to the hprl_party that was built alongside this binary,
+    // falling back to PATH lookup when argv[0] carries no directory.
+    std::string self = argv[0];
+    size_t slash = self.rfind('/');
+    options.party_binary = slash == std::string::npos
+                               ? "hprl_party"
+                               : self.substr(0, slash + 1) + "hprl_party";
+  }
 
   auto report = cli::RunLinkageFromFiles(*spec, *csv_r, *csv_s, options);
   if (!report.ok()) {
