@@ -120,6 +120,25 @@ int main(int argc, char** argv) {
   if (!(direct_tallies == memo_tallies) || !(direct_tallies == par_tallies)) {
     bench::Die(Status::Internal("blocking variants disagree on M/N/U"));
   }
+
+  // Cutoff guard: the parallel gate must stay serial when thread spawn would
+  // dwarf the sweep, and fan out once the pair count clears the cutoff with
+  // enough groups to split across workers. Pins UseParallelBlocking against
+  // regressions (see core/blocking.h).
+  if (UseParallelBlocking(8, 8, 4) ||
+      UseParallelBlocking(2000, 100, 4) ||  // 200k pairs: under the cutoff
+      UseParallelBlocking(2000, 1000, 1)) {
+    bench::Die(Status::Internal("parallel blocking cutoff fans out too early"));
+  }
+  if (!UseParallelBlocking(2000, 1000, 4)) {
+    bench::Die(Status::Internal("parallel blocking cutoff never engages"));
+  }
+  const bool workload_parallel = UseParallelBlocking(
+      static_cast<size_t>(anon_r->NumSequences()),
+      static_cast<size_t>(anon_s->NumSequences()),
+      static_cast<int>(*threads));
+  std::printf("cutoff guard OK (this workload: %s sweep)\n",
+              workload_parallel ? "parallel" : "serial");
   std::printf("tallies agree: M=%lld N=%lld U=%lld\n",
               static_cast<long long>(direct_tallies.m),
               static_cast<long long>(direct_tallies.n),

@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include "crypto/fixed_base.h"
 #include "crypto/paillier.h"
 
 namespace hprl::crypto {
@@ -106,6 +109,51 @@ void BM_PaillierEncryptPooled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PaillierEncryptPooled)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+// The randomizer hot path, both ways: drawing r^n mod n² as h_n^s with a
+// short exponent through the fixed-base windowed table, vs the reference
+// square-and-multiply PowMod(r, n, n²). This pair is the per-randomizer cost
+// behind the RandomizerPool's fast refill.
+void BM_RandomizerFixedBasePow(benchmark::State& state) {
+  KeyFixture& f = Fixture(static_cast<int>(state.range(0)));
+  const BigInt& n = f.kp.pub.n();
+  const BigInt& n2 = f.kp.pub.n_squared();
+  SecureRandom rng(99);
+  BigInt h;
+  do {
+    h = rng.NextBelow(n);
+  } while (h.IsZero() || BigInt::Gcd(h, n) != BigInt(1));
+  BigInt hn = BigInt::PowMod((h * h) % n, n, n2);
+  int short_bits = std::max(128, static_cast<int>(n.BitLength()) / 2);
+  FixedBaseTable table(hn, n2, short_bits);
+  if (!table.ready()) std::abort();
+  BigInt s = rng.NextBits(short_bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Pow(s));
+  }
+}
+BENCHMARK(BM_RandomizerFixedBasePow)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RandomizerReferencePowMod(benchmark::State& state) {
+  KeyFixture& f = Fixture(static_cast<int>(state.range(0)));
+  const BigInt& n = f.kp.pub.n();
+  const BigInt& n2 = f.kp.pub.n_squared();
+  SecureRandom rng(99);
+  BigInt r;
+  do {
+    r = rng.NextBelow(n);
+  } while (r.IsZero());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::PowMod(r, n, n2));
+  }
+}
+BENCHMARK(BM_RandomizerReferencePowMod)
     ->Arg(1024)
     ->Arg(2048)
     ->Unit(benchmark::kMillisecond);

@@ -1,17 +1,29 @@
 #!/usr/bin/env bash
-# Hot-path benchmark smoke run. Builds the release tree, runs the three
-# hot-path benches at smoke sizes and writes the before/after ratios to
+# Hot-path benchmark smoke run. Builds the release tree, runs the hot-path
+# benches at smoke sizes and writes the before/after ratios to
 # BENCH_hotpath.json at the repo root:
 #   - Paillier decryption: CRT fast path vs reference lambda/mu path
+#   - randomizer: fixed-base windowed table vs square-and-multiply PowMod
 #   - SMC stage: batched engine (threads + CRT + randomizer pool) vs the
 #     serial reference engine, on the timing-table workload
+#   - packed SMC: several pairs per ciphertext on top of the fast engine
 #   - blocking: memoized SlackTable sweep vs the seed's direct sweep
 #   - tcp transport: measured wall clock and wire bytes of a real
 #     three-daemon loopback run vs the NetworkModel(LAN) projection
+#   - pipelined rpc: ctl round trips at batch 32 vs one round trip per pair
 #
-#   scripts/bench_smoke.sh [build-dir]   # default build dir: build
+#   scripts/bench_smoke.sh [build-dir]           # run + write BENCH_hotpath.json
+#   scripts/bench_smoke.sh --check [build-dir]   # run, compare against the
+#       committed BENCH_hotpath.json and fail if any recorded speedup drops
+#       below 80% of its committed value; the committed file is not rewritten
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+CHECK=0
+if [[ "${1:-}" == "--check" ]]; then
+  CHECK=1
+  shift
+fi
 BUILD="${1:-build}"
 
 cmake -B "$BUILD" -S . >/dev/null
@@ -21,17 +33,17 @@ cmake --build "$BUILD" -j --target micro_crypto micro_blocking timing_table \
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
-echo "== micro_crypto: Paillier decrypt, CRT vs reference (1024 bit) =="
+echo "== micro_crypto: CRT decrypt + fixed-base randomizer (1024 bit) =="
 "./$BUILD/bench/micro_crypto" \
-  --benchmark_filter='BM_PaillierDecrypt(Crt|Reference)/1024' \
+  --benchmark_filter='(BM_PaillierDecrypt(Crt|Reference)|BM_Randomizer(FixedBasePow|ReferencePowMod))/1024' \
   --benchmark_format=json --benchmark_out="$TMP/crypto.json" \
   --benchmark_out_format=json
 
-echo "== timing_table: batched SMC stage vs serial reference =="
+echo "== timing_table: batched + packed SMC stage vs serial reference =="
 "./$BUILD/bench/timing_table" --rows 400 --smc-reps 3 --smc-threads 4 \
-  --smc-batch 16 --metrics_out "$TMP/timing.json"
+  --smc-batch 32 --smc-pack 8 --metrics_out "$TMP/timing.json"
 
-echo "== micro_blocking: memoized sweep vs direct sweep =="
+echo "== micro_blocking: memoized sweep vs direct sweep (+ cutoff guard) =="
 "./$BUILD/bench/micro_blocking" --rows 4000 --k 8 --threads 4 \
   --metrics_out "$TMP/blocking.json"
 
@@ -43,10 +55,20 @@ sed -i 's/^keybits .*/keybits 256/; s/^allowance .*/allowance 0.01/' \
   --r "$TMP/tcpdata/r.csv" --s "$TMP/tcpdata/s.csv" --transport tcp \
   --metrics_out "$TMP/tcp.json" >/dev/null
 
-python3 - "$TMP" <<'EOF'
+echo "== pipelined rpc: ctl round trips, per-pair vs batch 32 =="
+"./$BUILD/tools/hprl_link" --spec "$TMP/tcpdata/linkage.spec" \
+  --r "$TMP/tcpdata/r.csv" --s "$TMP/tcpdata/s.csv" --transport tcp \
+  --rpc_batch 1 --metrics_out "$TMP/tcp_perpair.json" >/dev/null
+"./$BUILD/tools/hprl_link" --spec "$TMP/tcpdata/linkage.spec" \
+  --r "$TMP/tcpdata/r.csv" --s "$TMP/tcpdata/s.csv" --transport tcp \
+  --rpc_batch 32 --rpc_window 4 --metrics_out "$TMP/tcp_batch32.json" \
+  >/dev/null
+
+CHECK="$CHECK" python3 - "$TMP" <<'EOF'
 import json, sys, os
 
 tmp = sys.argv[1]
+check = os.environ.get("CHECK") == "1"
 
 with open(os.path.join(tmp, "crypto.json")) as f:
     crypto = json.load(f)
@@ -54,6 +76,8 @@ bench_ms = {b["name"]: b["real_time"] for b in crypto["benchmarks"]
             if b.get("run_type", "iteration") == "iteration"}
 crt_ms = bench_ms["BM_PaillierDecryptCrt/1024"]
 ref_ms = bench_ms["BM_PaillierDecryptReference/1024"]
+fb_ms = bench_ms["BM_RandomizerFixedBasePow/1024"]
+powmod_ms = bench_ms["BM_RandomizerReferencePowMod/1024"]
 
 def series(path):
     with open(os.path.join(tmp, path)) as f:
@@ -62,6 +86,7 @@ def series(path):
 timing = series("timing.json")
 smc_serial = timing["smc_stage_serial_reference"]["smc_seconds"]
 smc_fast = timing["smc_stage_fast"]["smc_seconds"]
+smc_packed = timing["smc_stage_packed"]["smc_seconds"]
 smc_plain_call = timing["smc_compare_plain"]["smc_seconds"]
 smc_fault_call = timing["smc_compare_fault_layer"]["smc_seconds"]
 
@@ -73,16 +98,34 @@ par_label = [l for l in blocking if l.startswith("memoized_") and
 par = blocking[par_label]["blocking_seconds"]
 
 report = {
-    "schema": "hprl-bench-hotpath/1",
+    "schema": "hprl-bench-hotpath/2",
     "paillier_decrypt_1024": {
         "reference_ms": ref_ms,
         "crt_ms": crt_ms,
         "speedup": ref_ms / crt_ms,
     },
+    # Randomizer hot path: h_n^s through the fixed-base windowed table vs the
+    # reference square-and-multiply r^n mod n². This is the per-randomizer
+    # cost behind the RandomizerPool's fast refill.
+    "randomizer_fixed_base_1024": {
+        "reference_powmod_ms": powmod_ms,
+        "fixed_base_ms": fb_ms,
+        "speedup": powmod_ms / fb_ms,
+    },
     "smc_stage": {
         "serial_reference_seconds": smc_serial,
         "fast_seconds": smc_fast,
         "speedup": smc_serial / smc_fast,
+    },
+    # Packed plaintext path (8 pairs per ciphertext) on top of the fast
+    # engine, vs the serial scalar reference. fast_seconds is recorded next
+    # to it so the packing delta on the already-fast engine stays visible.
+    "packed_smc": {
+        "serial_reference_seconds": smc_serial,
+        "fast_seconds": smc_fast,
+        "packed_seconds": smc_packed,
+        "pack_pairs": 8,
+        "speedup": smc_serial / smc_packed,
     },
     # Fault-injection layer decorating the transport at all-zero rates,
     # measured as the per-comparison latency floor on the serial protocol:
@@ -120,10 +163,56 @@ report["tcp_transport"] = {
     "bus_accounted_bytes": accounted,
     "wire_vs_accounted_ratio": wire / accounted,
 }
-with open("BENCH_hotpath.json", "w") as f:
-    json.dump(report, f, indent=2)
-    f.write("\n")
-print(json.dumps(report, indent=2))
+
+# Windowed pipelined batch RPC: the same loopback linkage with one ctl round
+# trip per pair vs pairb frames of 32 pairs, 4 batches in flight. The
+# reduction is the acceptance criterion (>= 8x at batch 32).
+def ctl_trips(path):
+    with open(os.path.join(tmp, path)) as f:
+        run = json.load(f)
+    return run["counters"]["net.ctl_round_trips"]
+
+per_pair = ctl_trips("tcp_perpair.json")
+batch32 = ctl_trips("tcp_batch32.json")
+report["pipelined_rpc"] = {
+    "ctl_round_trips_per_pair_mode": per_pair,
+    "ctl_round_trips_batch32": batch32,
+    "round_trip_reduction": per_pair / batch32,
+}
+
+if check:
+    with open("BENCH_hotpath.json") as f:
+        committed = json.load(f)
+    failures = []
+    for block, values in committed.items():
+        if not isinstance(values, dict):
+            continue
+        for key, committed_value in values.items():
+            if key not in ("speedup", "round_trip_reduction"):
+                continue
+            measured = report.get(block, {}).get(key)
+            if measured is None:
+                failures.append(f"{block}.{key}: missing from this run")
+            elif measured < 0.8 * committed_value:
+                failures.append(
+                    f"{block}.{key}: measured {measured:.2f} < 80% of "
+                    f"committed {committed_value:.2f}")
+            else:
+                print(f"check OK {block}.{key}: {measured:.2f} "
+                      f"(committed {committed_value:.2f})")
+    if failures:
+        print("BENCH CHECK FAILED:", *failures, sep="\n  ")
+        sys.exit(1)
+    print("bench check passed: no speedup below 80% of committed")
+else:
+    with open("BENCH_hotpath.json", "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(json.dumps(report, indent=2))
 EOF
 
-echo "== wrote BENCH_hotpath.json =="
+if [[ "$CHECK" == "1" ]]; then
+  echo "== bench check OK (BENCH_hotpath.json unchanged) =="
+else
+  echo "== wrote BENCH_hotpath.json =="
+fi

@@ -49,9 +49,14 @@ print(f"tcp loopback OK: links bit-identical, byte drift {drift:.4%}")
 EOF
 
 if [[ "${1:-}" == "--fast" ]]; then
-  echo "== skipped sanitizer passes (--fast) =="
+  echo "== skipped sanitizer passes and bench check (--fast) =="
   exit 0
 fi
+
+echo "== bench check: hot-path speedups vs committed BENCH_hotpath.json =="
+# Re-runs the smoke benches and fails when any recorded speedup drops below
+# 80% of its committed value (scripts/bench_smoke.sh --check).
+scripts/bench_smoke.sh --check
 
 echo "== ASan: fault injection + real TCP transport =="
 cmake -B build-asan -S . -DHPRL_SANITIZE=address >/dev/null

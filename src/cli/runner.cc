@@ -437,6 +437,20 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
   const int smc_threads =
       resolve(options.smc_threads_override, spec.smc_threads);
 
+  // Datapath knobs: CLI overrides beat the spec's directives.
+  const int smc_pack = options.smc_pack_override >= 0
+                           ? options.smc_pack_override
+                           : spec.smc_pack;
+  const int smc_pack_slot_bits = options.smc_pack_slot_bits_override >= 8
+                                     ? options.smc_pack_slot_bits_override
+                                     : spec.smc_pack_slot_bits;
+  const int rpc_batch = options.rpc_batch_override >= 1
+                            ? options.rpc_batch_override
+                            : spec.rpc_batch;
+  const int rpc_window = options.rpc_window_override >= 1
+                             ? options.rpc_window_override
+                             : spec.rpc_window;
+
   // Fault plan: CLI overrides (>= 0 rates, > 0 seed/latency) beat the
   // spec's `fault` directives.
   smc::FaultPlan fault_plan;
@@ -520,6 +534,8 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
     net::RemoteOracleOptions ropts;
     ropts.config.key_bits = spec.key_bits;
     ropts.config.max_retries = spec.smc_retries;
+    ropts.rpc_batch_pairs = rpc_batch;
+    ropts.rpc_window = rpc_window;
     ropts.rule = plan->rule;
     ropts.endpoints = mesh;
     ropts.connect_timeout_ms = options.net_connect_timeout_ms;
@@ -554,6 +570,8 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
     smc_cfg.key_bits = spec.key_bits;
     smc_cfg.fault_plan = fault_plan;
     smc_cfg.max_retries = spec.smc_retries;
+    smc_cfg.pack_pairs = smc_pack;
+    smc_cfg.pack_slot_bits = smc_pack_slot_bits;
     smc::SmcMatchOracle oracle(smc_cfg, plan->rule, smc_threads);
     HPRL_RETURN_IF_ERROR(oracle.Init());
     report.oracle = StrFormat("paillier-%d", spec.key_bits);
@@ -590,9 +608,14 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
     run.AddConfig("key_bits", StrFormat("%d", spec.key_bits));
     run.AddConfig("threads", StrFormat("%d", hc.blocking_threads));
     run.AddConfig("smc_threads", StrFormat("%d", smc_threads));
+    run.AddConfig("smc_pack", StrFormat("%d", smc_pack));
     run.AddConfig("oracle", report.oracle);
     run.AddConfig("transport", use_tcp ? "tcp" : "inproc");
-    if (use_tcp) run.AddConfig("parties", parties_desc);
+    if (use_tcp) {
+      run.AddConfig("parties", parties_desc);
+      run.AddConfig("rpc_batch", StrFormat("%d", rpc_batch));
+      run.AddConfig("rpc_window", StrFormat("%d", rpc_window));
+    }
     if (fault_plan.enabled()) {
       run.AddConfig("fault_seed",
                     StrFormat("%llu", static_cast<unsigned long long>(

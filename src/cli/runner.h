@@ -29,6 +29,18 @@ struct RunnerOptions {
   /// of the batched SMC oracle).
   int smc_threads_override = 0;
 
+  /// >= 0: overrides the spec's `smc_pack` directive (pairs per packed SMC
+  /// exchange; 0 forces the scalar exchange). < 0 keeps the spec's value.
+  int smc_pack_override = -1;
+  /// >= 8: overrides the spec's packed slot width. < 0 keeps the spec's.
+  int smc_pack_slot_bits_override = -1;
+
+  /// >= 1: overrides the spec's `rpc_batch` directive (pairs per TCP ctl
+  /// batch; 1 forces the per-pair round trip). < 1 keeps the spec's value.
+  int rpc_batch_override = 0;
+  /// >= 1: overrides the spec's `rpc_window` directive. < 1 keeps the spec's.
+  int rpc_window_override = 0;
+
   /// Non-empty: resumable allowance drain — the session checkpoints after
   /// every SMC batch and resumes from this path (core/checkpoint.h).
   std::string checkpoint;

@@ -146,6 +146,28 @@ Result<LinkageSpec> ParseLinkageSpec(const std::string& text,
       auto v = ParseInt(tok[1]);
       if (!v.ok() || *v < 0) return err("bad smc_retries");
       spec.smc_retries = static_cast<int>(*v);
+    } else if (key == "smc_pack") {
+      if (tok.size() != 2 && tok.size() != 3) {
+        return err("smc_pack needs: <pairs> [slot_bits]");
+      }
+      auto v = ParseInt(tok[1]);
+      if (!v.ok() || *v < 0) return err("bad smc_pack pairs");
+      spec.smc_pack = static_cast<int>(*v);
+      if (tok.size() == 3) {
+        auto bits = ParseInt(tok[2]);
+        if (!bits.ok() || *bits < 8) return err("bad smc_pack slot bits");
+        spec.smc_pack_slot_bits = static_cast<int>(*bits);
+      }
+    } else if (key == "rpc_batch") {
+      if (tok.size() != 2) return err("rpc_batch needs a value");
+      auto v = ParseInt(tok[1]);
+      if (!v.ok() || *v < 1) return err("bad rpc_batch");
+      spec.rpc_batch = static_cast<int>(*v);
+    } else if (key == "rpc_window") {
+      if (tok.size() != 2) return err("rpc_window needs a value");
+      auto v = ParseInt(tok[1]);
+      if (!v.ok() || *v < 1) return err("bad rpc_window");
+      spec.rpc_window = static_cast<int>(*v);
     } else if (key == "fault") {
       if (tok.size() < 3) return err("fault needs: <kind> <value>");
       const std::string& kind = tok[1];

@@ -41,6 +41,9 @@ struct AttrSpec {
 ///   anonymizer MaxEntropy
 ///   keybits 0            # 0 = exact plaintext oracle; >0 = Paillier bits
 ///   smc_retries 3        # transient-fault retries per protocol exchange
+///   smc_pack 8 64        # pairs per packed SMC exchange, then slot bits
+///   rpc_batch 32         # TCP: pairs per ctl batch frame (1 = per-pair)
+///   rpc_window 4         # TCP: batches kept in flight
 ///   fault seed 11        # deterministic fault-injection schedule (smc/fault.h)
 ///   fault drop 0.25      # rates are per protocol step, in [0,1]
 ///   fault corrupt 0.25
@@ -67,6 +70,18 @@ struct LinkageSpec {
 
   /// Transient-fault retries per protocol exchange (smc::SmcConfig).
   int smc_retries = 3;
+
+  /// Plaintext packing: pairs per packed SMC exchange
+  /// (smc::SmcConfig::pack_pairs); 0 keeps the scalar exchange.
+  int smc_pack = 0;
+  /// Bit width of one packed slot (smc::SmcConfig::pack_slot_bits).
+  int smc_pack_slot_bits = 64;
+
+  /// TCP transport: pairs per kCtlPairBatch frame
+  /// (net::RemoteOracleOptions::rpc_batch_pairs); <= 1 disables batching.
+  int rpc_batch = 32;
+  /// TCP transport: batches in flight (net::RemoteOracleOptions::rpc_window).
+  int rpc_window = 4;
 
   /// Fault-injection schedule for the SMC transport (smc::FaultPlan); all
   /// rates zero (the default) leaves the transport undecorated.

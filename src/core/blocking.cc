@@ -103,7 +103,7 @@ Result<BlockingResult> RunBlocking(const AnonymizedTable& anon_r,
   };
 
   const size_t n = anon_r.groups.size();
-  if (threads == 1 || n < 2 * static_cast<size_t>(threads)) {
+  if (!UseParallelBlocking(n, anon_s.groups.size(), threads)) {
     int64_t lookups = 0;
     BlockRange(anon_r, anon_s, table, 0, n, &out, &lookups);
     publish(out, lookups);

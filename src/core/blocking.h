@@ -63,6 +63,28 @@ Result<BlockingResult> RunBlocking(const AnonymizedTable& anon_r,
                                    const MatchRule& rule, int threads = 1,
                                    obs::MetricsRegistry* metrics = nullptr);
 
+/// Sequence pairs (|R groups| x |S groups|) below which the parallel sweep
+/// is not worth its thread spawn/merge overhead. The memoized sweep labels a
+/// sequence pair in well under a microsecond, so a sub-million-pair sweep
+/// finishes in the hundreds of microseconds — the range where measured
+/// parallel runs came out SLOWER than the serial sweep (thread startup alone
+/// eats the win). One million pairs is comfortably past the crossover.
+inline constexpr int64_t kParallelBlockingCutoff = 1'000'000;
+
+/// The size gate RunBlocking applies before fanning out: true when the sweep
+/// over `r_groups` x `s_groups` sequence pairs should use `threads` workers,
+/// false when the serial memoized sweep wins. Exposed for the benchmark
+/// guard (bench/micro_blocking.cc) that pins the cutoff against regressions.
+inline bool UseParallelBlocking(size_t r_groups, size_t s_groups,
+                                int threads) {
+  if (threads <= 1 || r_groups < 2 * static_cast<size_t>(threads)) {
+    return false;
+  }
+  const int64_t sequence_pairs =
+      static_cast<int64_t>(r_groups) * static_cast<int64_t>(s_groups);
+  return sequence_pairs >= kParallelBlockingCutoff;
+}
+
 }  // namespace hprl
 
 #endif  // HPRL_CORE_BLOCKING_H_

@@ -1,0 +1,64 @@
+#include "crypto/fixed_base.h"
+
+namespace hprl::crypto {
+
+FixedBaseTable::FixedBaseTable(const BigInt& base, const BigInt& modulus,
+                               int max_exp_bits, int window_bits)
+    : modulus_(modulus) {
+  if (modulus.Sign() <= 0 || max_exp_bits <= 0 || window_bits <= 0 ||
+      window_bits > 16) {
+    return;  // leaves the table empty; Pow reports FailedPrecondition
+  }
+  window_bits_ = window_bits;
+  max_exp_bits_ = max_exp_bits;
+  const int digits = 1 << window_bits;
+  const int num_windows = (max_exp_bits + window_bits - 1) / window_bits;
+  windows_.reserve(num_windows);
+  // step = base^{2^{w·i}} for the current window; advance by w squarings.
+  BigInt step = base % modulus_;
+  for (int i = 0; i < num_windows; ++i) {
+    std::vector<BigInt> row;
+    row.reserve(digits - 1);
+    BigInt acc = step;
+    for (int j = 1; j < digits; ++j) {
+      row.push_back(acc);
+      acc = (acc * step) % modulus_;
+    }
+    windows_.push_back(std::move(row));
+    step = std::move(acc);  // acc == step^{2^w} == base^{2^{w·(i+1)}}
+  }
+}
+
+size_t FixedBaseTable::table_entries() const {
+  size_t total = 0;
+  for (const auto& row : windows_) total += row.size();
+  return total;
+}
+
+Result<BigInt> FixedBaseTable::Pow(const BigInt& exp) const {
+  if (windows_.empty()) {
+    return Status::FailedPrecondition("fixed-base table not initialized");
+  }
+  if (exp.Sign() < 0) {
+    return Status::InvalidArgument("fixed-base exponent must be non-negative");
+  }
+  if (static_cast<int>(exp.BitLength()) > max_exp_bits_) {
+    return Status::InvalidArgument("fixed-base exponent wider than table");
+  }
+  BigInt result(1);
+  const size_t bits = exp.BitLength();
+  for (size_t i = 0; i * window_bits_ < bits; ++i) {
+    unsigned digit = 0;
+    for (int b = window_bits_ - 1; b >= 0; --b) {
+      const size_t pos = i * window_bits_ + b;
+      digit = (digit << 1) |
+              (pos < bits ? mpz_tstbit(exp.raw(), pos) : 0u);
+    }
+    if (digit != 0) {
+      result = (result * windows_[i][digit - 1]) % modulus_;
+    }
+  }
+  return result;
+}
+
+}  // namespace hprl::crypto

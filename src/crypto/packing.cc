@@ -1,0 +1,85 @@
+#include "crypto/packing.h"
+
+namespace hprl::crypto {
+
+Result<PackingLayout> PackingLayout::Plan(int modulus_bits, int slot_bits) {
+  if (slot_bits < 8) {
+    return Status::InvalidArgument("packing slot width must be >= 8 bits");
+  }
+  // Keep the packed value strictly below 2^{modulus_bits - 2} <= n/2 so it
+  // also survives the signed decode used elsewhere in the protocol.
+  const int usable_bits = modulus_bits - 2;
+  const int slots = usable_bits / slot_bits;
+  if (slots < 1) {
+    return Status::InvalidArgument("modulus too small for one packed slot");
+  }
+  PackingLayout layout;
+  layout.slot_bits = slot_bits;
+  layout.num_slots = slots;
+  return layout;
+}
+
+BigInt PackingLayout::SlotWeight(size_t slot) const {
+  BigInt w;
+  mpz_set_ui(w.raw(), 1);
+  mpz_mul_2exp(w.raw(), w.raw(), static_cast<mp_bitcnt_t>(slot_bits) * slot);
+  return w;
+}
+
+bool PackingLayout::SlotHolds(const BigInt& v) const {
+  return v.Sign() >= 0 &&
+         static_cast<int>(v.BitLength()) <= slot_bits && v < SlotWeight(1);
+}
+
+Result<BigInt> PackSlots(const std::vector<BigInt>& values,
+                         const PackingLayout& layout) {
+  if (layout.slot_bits <= 0 || layout.num_slots <= 0) {
+    return Status::FailedPrecondition("packing layout not planned");
+  }
+  if (values.size() > static_cast<size_t>(layout.num_slots)) {
+    return Status::InvalidArgument("more values than packing slots");
+  }
+  BigInt packed;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const BigInt& v = values[i];
+    if (!layout.SlotHolds(v)) {
+      return Status::InvalidArgument("value does not fit its packing slot");
+    }
+    BigInt shifted;
+    mpz_mul_2exp(shifted.raw(), v.raw(),
+                 static_cast<mp_bitcnt_t>(layout.slot_bits) * i);
+    packed = packed + shifted;
+  }
+  return packed;
+}
+
+Result<std::vector<BigInt>> UnpackSlots(const BigInt& packed, size_t count,
+                                        const PackingLayout& layout) {
+  if (layout.slot_bits <= 0 || layout.num_slots <= 0) {
+    return Status::FailedPrecondition("packing layout not planned");
+  }
+  if (packed.Sign() < 0) {
+    return Status::InvalidArgument("packed value must be non-negative");
+  }
+  if (count > static_cast<size_t>(layout.num_slots)) {
+    return Status::InvalidArgument("more slots requested than the layout has");
+  }
+  std::vector<BigInt> values;
+  values.reserve(count);
+  BigInt rest = packed;
+  for (size_t i = 0; i < count; ++i) {
+    BigInt slot;
+    mpz_fdiv_r_2exp(slot.raw(), rest.raw(),
+                    static_cast<mp_bitcnt_t>(layout.slot_bits));
+    mpz_fdiv_q_2exp(rest.raw(), rest.raw(),
+                    static_cast<mp_bitcnt_t>(layout.slot_bits));
+    values.push_back(std::move(slot));
+  }
+  if (!rest.IsZero()) {
+    return Status::InvalidArgument(
+        "packed plaintext has residue past the requested slots");
+  }
+  return values;
+}
+
+}  // namespace hprl::crypto

@@ -1,0 +1,55 @@
+#ifndef HPRL_CRYPTO_PACKING_H_
+#define HPRL_CRYPTO_PACKING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/bigint.h"
+
+namespace hprl::crypto {
+
+/// Layout of a packed Paillier plaintext: `num_slots` disjoint bit-slots of
+/// `slot_bits` bits each, packed as  m = Σ v_i · 2^{slot_bits · i}.
+///
+/// Additively homomorphic slot-wise: as long as every slot of every operand —
+/// and every slot of the SUM — stays inside [0, 2^slot_bits), homomorphic
+/// addition adds the slots independently (no carries cross a slot boundary)
+/// and one Encrypt/Add/Decrypt does the work of num_slots scalar ones.
+/// Callers are responsible for the carry-safety analysis; the SMC layer
+/// checks (|x| + |y|)² < 2^slot_bits per packed distance slot before taking
+/// the packed path.
+struct PackingLayout {
+  int slot_bits = 0;
+  int num_slots = 0;
+
+  /// Plans a layout for a modulus of `modulus_bits` bits: capacity is
+  /// (modulus_bits - 2) / slot_bits slots, so the packed value is < n/2 and
+  /// survives the signed-embedding round trip. Fails when no full slot fits
+  /// or slot_bits is below 8 (a squared distance of even 16 would not fit).
+  static Result<PackingLayout> Plan(int modulus_bits, int slot_bits);
+
+  /// 2^{slot_bits · slot} — the weight of slot `slot` in the packed value.
+  BigInt SlotWeight(size_t slot) const;
+
+  /// True when v can occupy one slot: 0 <= v < 2^slot_bits.
+  bool SlotHolds(const BigInt& v) const;
+};
+
+/// Packs slot values into one plaintext. Fails (InvalidArgument) when there
+/// are more values than slots or any value is negative or >= 2^slot_bits —
+/// the slot-overflow rejection the protocol relies on to never silently
+/// corrupt a neighbouring slot.
+Result<BigInt> PackSlots(const std::vector<BigInt>& values,
+                         const PackingLayout& layout);
+
+/// Recovers the first `count` slot values from a packed plaintext. Exact
+/// inverse of PackSlots for carry-safe inputs. Fails when packed is negative,
+/// count exceeds the layout, or a nonzero residue remains past `count` slots
+/// (evidence of slot overflow or a corrupted plaintext).
+Result<std::vector<BigInt>> UnpackSlots(const BigInt& packed, size_t count,
+                                        const PackingLayout& layout);
+
+}  // namespace hprl::crypto
+
+#endif  // HPRL_CRYPTO_PACKING_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "crypto/fixed_base.h"
+
 namespace hprl::crypto {
 
 PaillierPublicKey::PaillierPublicKey(BigInt n)
@@ -203,12 +205,26 @@ Result<PaillierKeyPair> GeneratePaillierKeyPair(int modulus_bits,
 }
 
 RandomizerPool::RandomizerPool(const PaillierPublicKey& pub, int target_depth,
-                               uint64_t test_seed)
+                               uint64_t test_seed, bool use_fixed_base)
     : n_(pub.n()),
       n2_(pub.n_squared()),
       target_(std::max(1, target_depth)),
       rng_(test_seed != 0 ? std::make_unique<SecureRandom>(test_seed)
-                          : std::make_unique<SecureRandom>()) {}
+                          : std::make_unique<SecureRandom>()) {
+  if (!use_fixed_base || n_.Sign() <= 0) return;
+  // Fix h_n = (h² mod n)^n mod n² once (h random coprime to n; the squaring
+  // lands h² in the quadratic residues, the standard subgroup choice for
+  // short-exponent randomizers) and later draw r^n = h_n^s with s of
+  // modulus_bits/2 bits through the windowed table.
+  BigInt h;
+  do {
+    h = rng_->NextBelow(n_);
+  } while (h.IsZero() || BigInt::Gcd(h, n_) != BigInt(1));
+  BigInt hn = BigInt::PowMod((h * h) % n_, n_, n2_);
+  short_exp_bits_ = std::max(128, static_cast<int>(n_.BitLength()) / 2);
+  fixed_base_ = std::make_unique<FixedBaseTable>(hn, n2_, short_exp_bits_);
+  if (!fixed_base_->ready()) fixed_base_.reset();
+}
 
 RandomizerPool::~RandomizerPool() { Stop(); }
 
@@ -231,6 +247,18 @@ void RandomizerPool::Stop() {
 }
 
 BigInt RandomizerPool::ComputeOne() {
+  if (fixed_base_ != nullptr) {
+    BigInt s;
+    {
+      std::lock_guard<std::mutex> lk(rng_mu_);
+      do {
+        s = rng_->NextBits(short_exp_bits_);
+      } while (s.IsZero());
+    }
+    auto rn = fixed_base_->Pow(s);
+    if (rn.ok()) return std::move(rn).value();
+    // Unreachable for in-range s; fall through to the full-width path.
+  }
   BigInt r;
   {
     std::lock_guard<std::mutex> lk(rng_mu_);
@@ -264,13 +292,24 @@ BigInt RandomizerPool::Take() {
       if (depth_gauge_ != nullptr) {
         depth_gauge_->Set(static_cast<double>(ready_.size()));
       }
+      PublishHitRate();
       need_fill_.notify_one();
       return rn;
     }
     ++misses_;
     if (misses_counter_ != nullptr) misses_counter_->Increment();
+    PublishHitRate();
   }
-  return ComputeOne();  // pool ran dry — fall back to the inline PowMod
+  return ComputeOne();  // pool ran dry — fall back to the inline path
+}
+
+void RandomizerPool::PublishHitRate() {
+  if (hit_rate_gauge_ == nullptr) return;
+  const int64_t takes = hits_ + misses_;
+  if (takes > 0) {
+    hit_rate_gauge_->Set(static_cast<double>(hits_) /
+                         static_cast<double>(takes));
+  }
 }
 
 void RandomizerPool::FillLoop() {
@@ -313,6 +352,9 @@ void RandomizerPool::AttachMetrics(obs::MetricsRegistry* registry) {
       registry ? registry->counter("paillier.randomizer_pool_misses") : nullptr;
   depth_gauge_ =
       registry ? registry->gauge("paillier.randomizer_pool_depth") : nullptr;
+  hit_rate_gauge_ =
+      registry ? registry->gauge("crypto.pool_hit_rate") : nullptr;
+  PublishHitRate();
 }
 
 }  // namespace hprl::crypto

@@ -14,6 +14,7 @@
 
 namespace hprl::crypto {
 
+class FixedBaseTable;
 class RandomizerPool;
 
 /// Paillier public key (Paillier, Eurocrypt'99) with the standard g = n + 1
@@ -164,6 +165,14 @@ Result<PaillierKeyPair> GeneratePaillierKeyPair(int modulus_bits,
 /// queue pop on the latency path; when the pool runs dry the caller computes
 /// inline (correctness never depends on the filler keeping up).
 ///
+/// By default the pool generates randomizers through a fixed-base windowed
+/// table (built once per keypair, shared by every comparator worker that
+/// encrypts under this key): it fixes h_n = (h² mod n)^n mod n² for a random
+/// h ∈ Z*_n and draws r^n = h_n^s for a short random exponent s, so each
+/// randomizer costs ~⌈|s|/w⌉ modular multiplies instead of a full-width
+/// PowMod. Randomizers never touch plaintexts, so protocol outputs are
+/// unaffected by which generation path produced them.
+///
 /// Thread-safe: any number of encryptors may Take() concurrently with the
 /// filler. Each value is handed out exactly once, so pool-backed encryption
 /// is exactly as probabilistic as the inline path.
@@ -171,8 +180,10 @@ class RandomizerPool {
  public:
   /// `pub` is only read during construction (modulus copied out).
   /// `test_seed` != 0 makes the pool deterministic for tests/benches.
+  /// `use_fixed_base` = false forces the full-width PowMod per randomizer
+  /// (the before/after baseline for benches).
   RandomizerPool(const PaillierPublicKey& pub, int target_depth,
-                 uint64_t test_seed = 0);
+                 uint64_t test_seed = 0, bool use_fixed_base = true);
   ~RandomizerPool();
 
   RandomizerPool(const RandomizerPool&) = delete;
@@ -196,13 +207,18 @@ class RandomizerPool {
   int64_t hits() const;    ///< Takes served from the pool
   int64_t misses() const;  ///< Takes computed inline
 
-  /// Streams paillier.randomizer_pool_hits / _misses counters and the
-  /// paillier.randomizer_pool_depth gauge into `registry`; nullptr detaches.
+  /// True when randomizers come from the fixed-base table fast path.
+  bool uses_fixed_base() const { return fixed_base_ != nullptr; }
+
+  /// Streams paillier.randomizer_pool_hits / _misses counters plus the
+  /// paillier.randomizer_pool_depth and crypto.pool_hit_rate gauges into
+  /// `registry`; nullptr detaches.
   void AttachMetrics(obs::MetricsRegistry* registry);
 
  private:
   BigInt ComputeOne();
   void FillLoop();
+  void PublishHitRate();  // caller holds mu_
 
   const BigInt n_;
   const BigInt n2_;
@@ -219,9 +235,15 @@ class RandomizerPool {
   std::mutex rng_mu_;  // the rng is shared by the filler and inline fallback
   std::unique_ptr<SecureRandom> rng_;
 
+  // Fixed-base randomizer generation (see class comment). Built once in the
+  // constructor, const afterwards; short_exp_bits_ is the width of s.
+  std::unique_ptr<FixedBaseTable> fixed_base_;
+  int short_exp_bits_ = 0;
+
   obs::Counter* hits_counter_ = nullptr;    // not owned
   obs::Counter* misses_counter_ = nullptr;  // not owned
   obs::Gauge* depth_gauge_ = nullptr;       // not owned
+  obs::Gauge* hit_rate_gauge_ = nullptr;    // not owned
 };
 
 }  // namespace hprl::crypto

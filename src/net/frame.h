@@ -31,7 +31,10 @@ namespace hprl::net {
 /// in-process transport.
 
 inline constexpr uint32_t kWireMagic = 0x4850524C;  // "HPRL"
-inline constexpr uint16_t kWireVersion = 1;
+/// Version 2: the ctl plane gained the batched pair command (kCtlPairBatch)
+/// with per-slot status replies, and kCtlConfigure carries the randomizer
+/// pool depth. Mixed-version meshes are rejected at the frame layer.
+inline constexpr uint16_t kWireVersion = 2;
 
 /// Frames larger than this are rejected before any allocation — an oversized
 /// length prefix means a corrupted or hostile stream, not a big message

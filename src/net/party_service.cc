@@ -77,6 +77,8 @@ void AppendPartyStats(const PartyStats& s, std::vector<uint8_t>* out) {
   AppendI64(s.costs.homomorphic_adds, out);
   AppendI64(s.costs.scalar_muls, out);
   AppendI64(s.costs.retries, out);
+  AppendI64(s.costs.packed_exchanges, out);
+  AppendI64(s.costs.packed_pairs, out);
   AppendI64(s.bus_bytes, out);
   AppendI64(s.bus_messages, out);
   AppendI64(s.net.bytes_sent, out);
@@ -96,7 +98,8 @@ Result<PartyStats> ParsePartyStats(const std::vector<uint8_t>& extra,
       &s.costs.invocations,     &s.costs.attr_comparisons,
       &s.costs.encryptions,     &s.costs.decryptions,
       &s.costs.homomorphic_adds, &s.costs.scalar_muls,
-      &s.costs.retries,         &s.bus_bytes,
+      &s.costs.retries,         &s.costs.packed_exchanges,
+      &s.costs.packed_pairs,    &s.bus_bytes,
       &s.bus_messages,          &s.net.bytes_sent,
       &s.net.bytes_received,    &s.net.frames_sent,
       &s.net.frames_received,   &s.net.connects,
@@ -109,6 +112,42 @@ Result<PartyStats> ParsePartyStats(const std::vector<uint8_t>& extra,
     *field = *v;
   }
   return s;
+}
+
+void AppendPairSlots(const std::vector<PairSlot>& slots,
+                     std::vector<uint8_t>* out) {
+  AppendU32(static_cast<uint32_t>(slots.size()), out);
+  for (const PairSlot& slot : slots) {
+    AppendU64(slot.pair_index, out);
+    AppendU8(static_cast<uint8_t>(slot.code), out);
+    AppendU8(slot.label, out);
+  }
+}
+
+Result<std::vector<PairSlot>> ParsePairSlots(const std::vector<uint8_t>& extra,
+                                             size_t* off) {
+  auto count = ConsumeU32(extra, off);
+  if (!count.ok()) return count.status();
+  std::vector<PairSlot> slots;
+  slots.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    PairSlot slot;
+    auto pair_index = ConsumeU64(extra, off);
+    if (!pair_index.ok()) return pair_index.status();
+    auto code = ConsumeU8(extra, off);
+    if (!code.ok()) return code.status();
+    if (*code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+      return Status::IOError("pair slot carries unknown status code " +
+                             std::to_string(int{*code}));
+    }
+    auto label = ConsumeU8(extra, off);
+    if (!label.ok()) return label.status();
+    slot.pair_index = *pair_index;
+    slot.code = static_cast<StatusCode>(*code);
+    slot.label = *label;
+    slots.push_back(slot);
+  }
+  return slots;
 }
 
 SocketBusOptions MeshBusOptions(const std::string& role,
@@ -204,6 +243,12 @@ Status PartyService::Dispatch(const Message& msg) {
     }
     if (fail_next_pairs_ > 0) {
       fail_next_pairs_ -= 1;
+      if (crash_on_fault_) {
+        // Simulated process death: the bus goes down mid-protocol and no
+        // reply is ever sent, exactly what a crashed daemon looks like.
+        bus_->Stop();
+        return Status::Unavailable("injected crash (test hook)");
+      }
       Status injected = Status::IOError("injected pair fault (test hook)");
       Reply(kCtlPair, cmd->pair_index, cmd->attempt, injected, 0, {});
       return injected;
@@ -211,6 +256,23 @@ Status PartyService::Dispatch(const Message& msg) {
     uint8_t label = 0;
     Status st = HandlePair(*cmd, &label);
     Reply(kCtlPair, cmd->pair_index, cmd->attempt, st, label, {});
+    return st;
+  }
+  if (msg.tag == kCtlPairBatch) {
+    auto cmd = ParsePairBatch(msg.payload);
+    if (!cmd.ok()) {
+      Reply(kCtlPairBatch, 0, 0, cmd.status(), 0, {});
+      return cmd.status();
+    }
+    std::vector<PairSlot> slots;
+    Status st = HandlePairBatch(*cmd, &slots);
+    if (st.code() == StatusCode::kUnavailable) return st;  // bus is gone
+    std::vector<uint8_t> extra;
+    AppendPairSlots(slots, &extra);
+    // The batch-level code stays OK even when slots failed: per-pair
+    // outcomes live in the slots, and the coordinator retries or
+    // quarantines at that granularity.
+    Reply(kCtlPairBatch, cmd->batch_id, cmd->attempt, st, 0, std::move(extra));
     return st;
   }
   if (msg.tag == kCtlPurge) {
@@ -242,7 +304,13 @@ Status PartyService::Dispatch(const Message& msg) {
     size_t off = 0;
     auto count = ConsumeU32(msg.payload, &off);
     Status st = count.ok() ? Status::OK() : count.status();
-    if (count.ok()) fail_next_pairs_ = *count;
+    if (count.ok()) {
+      fail_next_pairs_ = *count;
+      // Optional trailing flag (older coordinators omit it): non-zero turns
+      // the injected fault into a simulated crash instead of a clean error.
+      auto crash = ConsumeU8(msg.payload, &off);
+      crash_on_fault_ = crash.ok() && *crash != 0;
+    }
     Reply(kCtlInjectFail, 0, 0, st, 0, {});
     return st;
   }
@@ -263,6 +331,8 @@ Status PartyService::HandleConfigure(const std::vector<uint8_t>& payload) {
   if (!flags.ok()) return flags.status();
   auto test_seed = ConsumeU64(payload, &off);
   if (!test_seed.ok()) return test_seed.status();
+  auto pool_depth = ConsumeU32(payload, &off);
+  if (!pool_depth.ok()) return pool_depth.status();
 
   params_.key_bits = static_cast<int>(*key_bits);
   params_.fp_scale = *fp_scale;
@@ -270,6 +340,9 @@ Status PartyService::HandleConfigure(const std::vector<uint8_t>& payload) {
   params_.reveal_distances = (*flags & kFlagRevealDistances) != 0;
   params_.cache_ciphertexts = (*flags & kFlagCacheCiphertexts) != 0;
   params_.crt_decrypt = (*flags & kFlagCrtDecrypt) != 0;
+  test_seed_ = *test_seed;
+  pool_depth_ = *pool_depth;
+  pool_.reset();  // a new configuration means a new key is coming
 
   if (opts_.role == opts_.endpoints.qp.name) {
     qp_ = std::make_unique<smc::QueryingParty>(params_,
@@ -302,6 +375,51 @@ Status PartyService::HandleRecvKey() {
   }
   HPRL_RETURN_IF_ERROR(holder_->ReceiveKey(bus_.get()));
   if (opts_.metrics != nullptr) holder_->AttachMetrics(opts_.metrics);
+  if (pool_depth_ > 0) {
+    // Pre-warm during the rest of the coordinator's setup: the pool's
+    // background thread starts filling now, so the first pairs draw
+    // precomputed randomizers instead of paying full exponentiations.
+    uint64_t salt =
+        opts_.role == opts_.endpoints.alice.name ? kAliceSalt : kBobSalt;
+    pool_ = std::make_unique<crypto::RandomizerPool>(
+        holder_->public_key(), static_cast<int>(pool_depth_),
+        Seed(test_seed_, salt ^ 0xF1100u));
+    pool_->Start();
+    if (opts_.metrics != nullptr) pool_->AttachMetrics(opts_.metrics);
+    holder_->AttachRandomizerPool(pool_.get());
+  }
+  return Status::OK();
+}
+
+Status PartyService::ConsumeAttrs(const std::vector<uint8_t>& payload,
+                                  size_t* off, uint32_t n,
+                                  std::vector<PairAttr>* attrs) const {
+  const bool is_alice = opts_.role == opts_.endpoints.alice.name;
+  const bool is_bob = opts_.role == opts_.endpoints.bob.name;
+  attrs->reserve(attrs->size() + n);
+  for (uint32_t i = 0; i < n; ++i) {
+    PairAttr attr;
+    auto pos = ConsumeU32(payload, off);
+    if (!pos.ok()) return pos.status();
+    attr.pos = *pos;
+    if (is_alice) {
+      auto x = ConsumeSignedBigInt(payload, off);
+      if (!x.ok()) return x.status();
+      attr.x = std::move(x).value();
+    } else if (is_bob) {
+      auto y = ConsumeSignedBigInt(payload, off);
+      if (!y.ok()) return y.status();
+      attr.y = std::move(y).value();
+      auto threshold = ConsumeSignedBigInt(payload, off);
+      if (!threshold.ok()) return threshold.status();
+      attr.threshold = std::move(threshold).value();
+    } else {  // qp
+      auto threshold = ConsumeSignedBigInt(payload, off);
+      if (!threshold.ok()) return threshold.status();
+      attr.threshold = std::move(threshold).value();
+    }
+    attrs->push_back(std::move(attr));
+  }
   return Status::OK();
 }
 
@@ -323,32 +441,39 @@ Result<PartyService::PairCmd> PartyService::ParsePair(
   cmd.attempt = *attempt;
   cmd.a_id = *a_id;
   cmd.b_id = *b_id;
+  HPRL_RETURN_IF_ERROR(ConsumeAttrs(payload, &off, *n, &cmd.attrs));
+  return cmd;
+}
 
-  const bool is_alice = opts_.role == opts_.endpoints.alice.name;
-  const bool is_bob = opts_.role == opts_.endpoints.bob.name;
-  cmd.attrs.reserve(*n);
-  for (uint32_t i = 0; i < *n; ++i) {
-    PairAttr attr;
-    auto pos = ConsumeU32(payload, &off);
-    if (!pos.ok()) return pos.status();
-    attr.pos = *pos;
-    if (is_alice) {
-      auto x = ConsumeSignedBigInt(payload, &off);
-      if (!x.ok()) return x.status();
-      attr.x = std::move(x).value();
-    } else if (is_bob) {
-      auto y = ConsumeSignedBigInt(payload, &off);
-      if (!y.ok()) return y.status();
-      attr.y = std::move(y).value();
-      auto threshold = ConsumeSignedBigInt(payload, &off);
-      if (!threshold.ok()) return threshold.status();
-      attr.threshold = std::move(threshold).value();
-    } else {  // qp
-      auto threshold = ConsumeSignedBigInt(payload, &off);
-      if (!threshold.ok()) return threshold.status();
-      attr.threshold = std::move(threshold).value();
-    }
-    cmd.attrs.push_back(std::move(attr));
+Result<PartyService::BatchCmd> PartyService::ParsePairBatch(
+    const std::vector<uint8_t>& payload) const {
+  BatchCmd cmd;
+  size_t off = 0;
+  auto batch_id = ConsumeU64(payload, &off);
+  if (!batch_id.ok()) return batch_id.status();
+  auto attempt = ConsumeU32(payload, &off);
+  if (!attempt.ok()) return attempt.status();
+  auto npairs = ConsumeU32(payload, &off);
+  if (!npairs.ok()) return npairs.status();
+  cmd.batch_id = *batch_id;
+  cmd.attempt = *attempt;
+  cmd.pairs.reserve(*npairs);
+  for (uint32_t p = 0; p < *npairs; ++p) {
+    PairCmd pair;
+    pair.attempt = *attempt;
+    auto pair_index = ConsumeU64(payload, &off);
+    if (!pair_index.ok()) return pair_index.status();
+    auto a_id = ConsumeI64(payload, &off);
+    if (!a_id.ok()) return a_id.status();
+    auto b_id = ConsumeI64(payload, &off);
+    if (!b_id.ok()) return b_id.status();
+    auto n = ConsumeU32(payload, &off);
+    if (!n.ok()) return n.status();
+    pair.pair_index = *pair_index;
+    pair.a_id = *a_id;
+    pair.b_id = *b_id;
+    HPRL_RETURN_IF_ERROR(ConsumeAttrs(payload, &off, *n, &pair.attrs));
+    cmd.pairs.push_back(std::move(pair));
   }
   return cmd;
 }
@@ -397,6 +522,45 @@ Status PartyService::HandlePair(const PairCmd& cmd, uint8_t* label) {
   }
   HPRL_RETURN_IF_ERROR(qp_->AnnounceResult(bus_.get(), match));
   *label = match ? 1 : 0;
+  return Status::OK();
+}
+
+Status PartyService::HandlePairBatch(const BatchCmd& cmd,
+                                     std::vector<PairSlot>* slots) {
+  if (!configured_) {
+    return Status::FailedPrecondition("pair batch before cfg");
+  }
+  slots->reserve(cmd.pairs.size());
+  bool aborted = false;
+  for (const PairCmd& pair : cmd.pairs) {
+    PairSlot slot;
+    slot.pair_index = pair.pair_index;
+    if (aborted) {
+      // The three daemons walk the batch positionally; once this side
+      // faulted, running later pairs would desynchronize the data plane.
+      slot.code = StatusCode::kNotFound;  // "skipped after earlier fault"
+      slots->push_back(slot);
+      continue;
+    }
+    if (fail_next_pairs_ > 0) {
+      fail_next_pairs_ -= 1;
+      if (crash_on_fault_) {
+        bus_->Stop();  // simulated mid-batch process death: no reply at all
+        return Status::Unavailable("injected crash (test hook)");
+      }
+      slot.code = StatusCode::kIOError;  // injected pair fault (test hook)
+      slots->push_back(slot);
+      aborted = true;
+      continue;
+    }
+    uint8_t label = 0;
+    Status st = HandlePair(pair, &label);
+    if (st.code() == StatusCode::kUnavailable) return st;  // bus is gone
+    slot.code = st.code();
+    slot.label = label;
+    slots->push_back(slot);
+    if (!st.ok()) aborted = true;
+  }
   return Status::OK();
 }
 

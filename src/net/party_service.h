@@ -32,6 +32,7 @@ inline constexpr char kCtlConfigure[] = "cfg";      // protocol parameters
 inline constexpr char kCtlKeygen[] = "keygen";      // qp only: publish key
 inline constexpr char kCtlRecvKey[] = "recvkey";    // holders: consume pubkey
 inline constexpr char kCtlPair[] = "pair";          // run one pair attempt
+inline constexpr char kCtlPairBatch[] = "pairb";    // run a batch of pairs
 inline constexpr char kCtlPurge[] = "purge";        // inter-attempt barrier
 inline constexpr char kCtlStats[] = "stats";        // report cost counters
 inline constexpr char kCtlShutdown[] = "shutdown";  // leave the serve loop
@@ -52,6 +53,22 @@ struct CtlReply {
 
 void AppendCtlReply(const CtlReply& r, std::vector<uint8_t>* out);
 Result<CtlReply> ParseCtlReply(const std::vector<uint8_t>& payload);
+
+/// Per-pair outcome inside a kCtlPairBatch reply. The batch ack's `extra`
+/// carries one slot per dispatched pair (u32 count, then per slot u64
+/// pair_index, u8 code, u8 label), which is what gives the coordinator
+/// per-pair retry/quarantine granularity within a batch: slot codes are the
+/// unit of failure, not the batch.
+struct PairSlot {
+  uint64_t pair_index = 0;
+  StatusCode code = StatusCode::kOk;
+  uint8_t label = 0;  ///< from qp: 1 = match (valid only when code is kOk)
+};
+
+void AppendPairSlots(const std::vector<PairSlot>& slots,
+                     std::vector<uint8_t>* out);
+Result<std::vector<PairSlot>> ParsePairSlots(const std::vector<uint8_t>& extra,
+                                             size_t* off);
 
 /// One party's cost/traffic counters as reported by kCtlStats.
 struct PartyStats {
@@ -137,6 +154,11 @@ class PartyService {
     int64_t b_id = -1;
     std::vector<PairAttr> attrs;
   };
+  struct BatchCmd {
+    uint64_t batch_id = 0;
+    uint32_t attempt = 0;
+    std::vector<PairCmd> pairs;
+  };
 
   Status Dispatch(const smc::Message& msg);
   Status HandleConfigure(const std::vector<uint8_t>& payload);
@@ -144,7 +166,17 @@ class PartyService {
   Status HandleRecvKey();
   /// Runs this role's side of one pair attempt; fills `label` on qp.
   Status HandlePair(const PairCmd& cmd, uint8_t* label);
+  /// Runs the pairs of one batch attempt in dispatch order, one slot each.
+  /// The first failing pair aborts the rest of the batch (remaining slots are
+  /// marked skipped) — the three daemons run their batch sides positionally,
+  /// so pressing on after a desynchronizing fault would misalign every later
+  /// pair. Returns Unavailable only when the transport itself died.
+  Status HandlePairBatch(const BatchCmd& cmd, std::vector<PairSlot>* slots);
   Result<PairCmd> ParsePair(const std::vector<uint8_t>& payload) const;
+  Result<BatchCmd> ParsePairBatch(const std::vector<uint8_t>& payload) const;
+  /// Shared attribute-list tail of kCtlPair and each kCtlPairBatch entry.
+  Status ConsumeAttrs(const std::vector<uint8_t>& payload, size_t* off,
+                      uint32_t n, std::vector<PairAttr>* attrs) const;
   void Reply(const std::string& op, uint64_t pair_index, uint32_t attempt,
              const Status& st, uint8_t label, std::vector<uint8_t> extra);
 
@@ -154,12 +186,19 @@ class PartyService {
 
   smc::ProtocolParams params_;
   bool configured_ = false;
+  uint64_t test_seed_ = 0;
+  uint32_t pool_depth_ = 0;  // kCtlConfigure; 0 disables the pool
   // Exactly one of these is live, by role.
   std::unique_ptr<smc::QueryingParty> qp_;
   std::unique_ptr<smc::DataHolder> holder_;
+  // Holder-side randomizer pool, started the moment the public key arrives
+  // (HandleRecvKey) so it pre-warms during the coordinator's remaining setup
+  // instead of competing with the first batch.
+  std::unique_ptr<crypto::RandomizerPool> pool_;
 
   smc::SmcCosts costs_;
   uint32_t fail_next_pairs_ = 0;  // kCtlInjectFail
+  bool crash_on_fault_ = false;   // kCtlInjectFail crash flag: die, don't fail
 };
 
 }  // namespace hprl::net

@@ -1,5 +1,6 @@
 #include "net/remote_oracle.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <thread>
@@ -118,6 +119,11 @@ Status RemoteSmcOracle::Init() {
   if (opts_.config.crt_decrypt) flags |= kFlagCrtDecrypt;
   AppendU8(flags, &cfg);
   AppendU64(opts_.config.test_seed, &cfg);
+  // Holder daemons start filling their randomizer pools the moment the key
+  // arrives, so the pool pre-warms during the rest of this handshake.
+  AppendU32(static_cast<uint32_t>(
+                std::max(0, opts_.config.randomizer_pool_depth)),
+            &cfg);
   for (const std::string& role : PartyRoles()) SendCtl(role, kCtlConfigure, cfg);
   std::map<std::string, CtlReply> acks;
   HPRL_RETURN_IF_ERROR(CollectReplies(kCtlConfigure, 0, 0, PartyRoles(),
@@ -178,14 +184,8 @@ Result<bool> RemoteSmcOracle::Compare(const Record& a, const Record& b) {
   return CompareRows(-1, -1, a, b);
 }
 
-Result<bool> RemoteSmcOracle::CompareRows(int64_t a_id, int64_t b_id,
-                                          const Record& a, const Record& b) {
-  if (!initialized_) {
-    return Status::FailedPrecondition("call Init() before Compare()");
-  }
-  invocations_ += 1;
-
-  // Encode once; re-dispatched attempts reuse the same values.
+Result<std::vector<RemoteSmcOracle::EncodedAttr>> RemoteSmcOracle::EncodePair(
+    const Record& a, const Record& b) const {
   std::vector<EncodedAttr> attrs;
   for (size_t attr_pos = 0; attr_pos < opts_.rule.attrs.size(); ++attr_pos) {
     const AttrRule& rule = opts_.rule.attrs[attr_pos];
@@ -203,6 +203,20 @@ Result<bool> RemoteSmcOracle::CompareRows(int64_t a_id, int64_t b_id,
     enc.threshold = AttrThreshold(rule);
     attrs.push_back(std::move(enc));
   }
+  return attrs;
+}
+
+Result<bool> RemoteSmcOracle::CompareRows(int64_t a_id, int64_t b_id,
+                                          const Record& a, const Record& b) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Init() before Compare()");
+  }
+  invocations_ += 1;
+
+  // Encode once; re-dispatched attempts reuse the same values.
+  auto encoded = EncodePair(a, b);
+  if (!encoded.ok()) return encoded.status();
+  std::vector<EncodedAttr> attrs = std::move(encoded).value();
 
   const uint64_t pair_index = next_pair_index_++;
   // Worst case a daemon blocks receive_timeout per expected message before
@@ -231,6 +245,8 @@ Result<bool> RemoteSmcOracle::CompareRows(int64_t a_id, int64_t b_id,
       }
       SendCtl(role, kCtlPair, std::move(payload));
     }
+    ctl_round_trips_ += 1;
+    if (metrics_ != nullptr) obs::Add(metrics_, "net.ctl_round_trips");
 
     std::map<std::string, CtlReply> replies;
     Status collected =
@@ -298,25 +314,290 @@ Result<std::vector<uint8_t>> RemoteSmcOracle::CompareBatch(
     const std::vector<RowPairRequest>& batch) {
   obs::ScopedSpan span(metrics_, "smc/transport");
   std::vector<uint8_t> labels(batch.size(), kPairNonMatch);
+
+  if (opts_.rpc_batch_pairs <= 1) {
+    // Degenerate (pre-batching) mode: one kCtlPair round trip per pair.
+    // Kept literal so batching can always be switched off for comparison —
+    // labels are bit-identical either way.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      auto m = CompareRows(batch[i].a_id, batch[i].b_id, *batch[i].a,
+                           *batch[i].b);
+      if (m.ok()) {
+        labels[i] = *m ? kPairMatch : kPairNonMatch;
+        continue;
+      }
+      StatusCode code = m.status().code();
+      if (code == StatusCode::kUnavailable || IsTransient(code)) {
+        // Crash, or a transient fault that survived every retry: the same
+        // taxonomy the in-process batch engine quarantines under.
+        labels[i] = kPairQuarantined;
+        pairs_quarantined_ += 1;
+        if (metrics_ != nullptr) obs::Add(metrics_, "smc.pairs_quarantined");
+        continue;
+      }
+      return m.status();  // semantic error: abort the batch
+    }
+    return labels;
+  }
+
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Init() before Compare()");
+  }
+
+  // Pipelined batch RPC: encode everything up front, then stream the pairs
+  // to the daemons in kCtlPairBatch frames with up to rpc_window batches in
+  // flight. Each round re-batches only the transiently failed pairs.
+  std::vector<BatchPair> pending;
+  pending.reserve(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
-    auto m = CompareRows(batch[i].a_id, batch[i].b_id, *batch[i].a,
-                         *batch[i].b);
-    if (m.ok()) {
-      labels[i] = *m ? kPairMatch : kPairNonMatch;
-      continue;
+    invocations_ += 1;
+    auto attrs = EncodePair(*batch[i].a, *batch[i].b);
+    if (!attrs.ok()) return attrs.status();  // semantic: abort the batch
+    BatchPair p;
+    p.batch_pos = i;
+    p.a_id = batch[i].a_id;
+    p.b_id = batch[i].b_id;
+    p.attrs = std::move(attrs).value();
+    pending.push_back(std::move(p));
+  }
+
+  for (int round = 0; !pending.empty(); ++round) {
+    HPRL_RETURN_IF_ERROR(RunBatchRound(&pending, &labels));
+    if (pending.empty()) break;
+    // Transient leftovers: heal the mesh and re-batch them, mirroring the
+    // per-pair retry loop (purge barrier, backoff, replay).
+    retries_ += static_cast<int64_t>(pending.size());
+    if (metrics_ != nullptr) {
+      obs::Add(metrics_, "smc.retries",
+               static_cast<int64_t>(pending.size()));
     }
-    StatusCode code = m.status().code();
-    if (code == StatusCode::kUnavailable || IsTransient(code)) {
-      // Crash, or a transient fault that survived every retry: the same
-      // taxonomy the in-process batch engine quarantines under.
-      labels[i] = kPairQuarantined;
-      pairs_quarantined_ += 1;
-      if (metrics_ != nullptr) obs::Add(metrics_, "smc.pairs_quarantined");
-      continue;
+    Status purged = PurgeBarrier();
+    if (!purged.ok()) {
+      // The mesh cannot even flush: everything still pending is stranded.
+      for (const BatchPair& p : pending) {
+        labels[p.batch_pos] = kPairQuarantined;
+        pairs_quarantined_ += 1;
+        if (metrics_ != nullptr) obs::Add(metrics_, "smc.pairs_quarantined");
+      }
+      break;
     }
-    return m.status();  // semantic error: abort the batch
+    if (opts_.config.retry_backoff_micros > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<int64_t>(opts_.config.retry_backoff_micros) << round));
+    }
   }
   return labels;
+}
+
+Status RemoteSmcOracle::RunBatchRound(std::vector<BatchPair>* pending,
+                                      std::vector<uint8_t>* labels) {
+  const size_t batch_pairs = static_cast<size_t>(opts_.rpc_batch_pairs);
+  const size_t window =
+      static_cast<size_t>(std::max(1, opts_.rpc_window));
+  const size_t num_batches =
+      (pending->size() + batch_pairs - 1) / batch_pairs;
+
+  struct Outstanding {
+    uint64_t batch_id = 0;
+    size_t first = 0;  ///< index of the batch's first pair in *pending
+    size_t count = 0;
+    std::chrono::steady_clock::time_point deadline;
+    std::map<std::string, CtlReply> replies;
+  };
+
+  for (BatchPair& p : *pending) p.pair_index = next_pair_index_++;
+
+  auto send_batch = [&](size_t b) -> Outstanding {
+    Outstanding o;
+    o.batch_id = ++next_batch_id_;
+    o.first = b * batch_pairs;
+    o.count = std::min(batch_pairs, pending->size() - o.first);
+    size_t max_attrs = 0;
+    for (const std::string& role : PartyRoles()) {
+      std::vector<uint8_t> payload;
+      AppendU64(o.batch_id, &payload);
+      AppendU32(0, &payload);  // attempt: batch ids are already unique
+      AppendU32(static_cast<uint32_t>(o.count), &payload);
+      for (size_t j = 0; j < o.count; ++j) {
+        const BatchPair& p = (*pending)[o.first + j];
+        max_attrs = std::max(max_attrs, p.attrs.size());
+        AppendU64(p.pair_index, &payload);
+        AppendI64(p.a_id, &payload);
+        AppendI64(p.b_id, &payload);
+        AppendU32(static_cast<uint32_t>(p.attrs.size()), &payload);
+        for (const EncodedAttr& attr : p.attrs) {
+          AppendU32(attr.pos, &payload);
+          if (role == opts_.endpoints.alice.name) {
+            AppendSignedBigInt(attr.x, &payload);
+          } else if (role == opts_.endpoints.bob.name) {
+            AppendSignedBigInt(attr.y, &payload);
+            AppendSignedBigInt(attr.threshold, &payload);
+          } else {
+            AppendSignedBigInt(attr.threshold, &payload);
+          }
+        }
+      }
+      SendCtl(role, kCtlPairBatch, std::move(payload));
+    }
+    ctl_round_trips_ += 1;
+    if (metrics_ != nullptr) obs::Add(metrics_, "net.ctl_round_trips");
+    // One daemon-side timeout per expected message plus per-pair crypto
+    // time; a faulting daemon skips its remaining pairs, so at most one
+    // timeout cascades into the deadline.
+    const int deadline_ms =
+        opts_.receive_timeout_ms * (static_cast<int>(max_attrs) + 3) + 2000 +
+        20 * static_cast<int>(o.count);
+    o.deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(deadline_ms);
+    return o;
+  };
+
+  std::vector<BatchPair> failed;  // transient this round; re-batched next
+  Status semantic = Status::OK();
+
+  auto quarantine = [&](const BatchPair& p) {
+    (*labels)[p.batch_pos] = kPairQuarantined;
+    pairs_quarantined_ += 1;
+    if (metrics_ != nullptr) obs::Add(metrics_, "smc.pairs_quarantined");
+  };
+
+  // Applies the per-slot accept rule: a pair's label is taken iff the qp
+  // slot AND every data holder's slot report OK. Anything else classifies
+  // the pair — dead link or crash: quarantine now; transient: re-batch;
+  // semantic: abort the whole compare.
+  auto settle = [&](Outstanding& o) {
+    std::map<std::string, std::vector<PairSlot>> slots;
+    std::map<std::string, Status> role_status;
+    for (const std::string& role : PartyRoles()) {
+      auto it = o.replies.find(role);
+      if (it == o.replies.end()) {
+        role_status[role] =
+            bus_->PeerAlive(role)
+                ? Status::NotFound("no batch reply from " + role)
+                : Status::Unavailable("no batch reply from " + role +
+                                      " (link down)");
+        continue;
+      }
+      if (it->second.code != StatusCode::kOk) {
+        role_status[role] = Status(it->second.code,
+                                   role + ": " + it->second.detail);
+        continue;
+      }
+      size_t off = 0;
+      auto parsed = ParsePairSlots(it->second.extra, &off);
+      if (!parsed.ok()) {
+        role_status[role] = Status::IOError(role + ": malformed batch ack");
+        continue;
+      }
+      slots[role] = std::move(parsed).value();
+      role_status[role] = Status::OK();
+    }
+
+    for (size_t j = 0; j < o.count; ++j) {
+      BatchPair& p = (*pending)[o.first + j];
+      Status pair_status = Status::OK();
+      uint8_t qp_label = 0;
+      for (const std::string& role : PartyRoles()) {
+        Status st = role_status[role];
+        if (st.ok()) {
+          const std::vector<PairSlot>& role_slots = slots[role];
+          if (j >= role_slots.size() ||
+              role_slots[j].pair_index != p.pair_index) {
+            st = Status::IOError(role + ": batch ack slots misaligned");
+          } else if (role_slots[j].code != StatusCode::kOk) {
+            st = Status(role_slots[j].code,
+                        role + " failed pair " +
+                            std::to_string(p.pair_index) + " in batch");
+          } else if (role == opts_.endpoints.qp.name) {
+            qp_label = role_slots[j].label;
+          }
+        }
+        if (st.ok()) continue;
+        // A dead party outranks any transient co-failure (same ranking as
+        // the per-pair path).
+        if (!pair_status.ok() &&
+            pair_status.code() == StatusCode::kUnavailable) {
+          continue;
+        }
+        if (pair_status.ok() || st.code() == StatusCode::kUnavailable) {
+          pair_status = st;
+        }
+      }
+
+      if (pair_status.ok()) {
+        (*labels)[p.batch_pos] = qp_label == 1 ? kPairMatch : kPairNonMatch;
+        continue;
+      }
+      if (pair_status.code() == StatusCode::kUnavailable) {
+        quarantine(p);
+        continue;
+      }
+      if (!IsTransient(pair_status.code())) {
+        // Semantic error: remember the first one; the compare aborts.
+        if (semantic.ok()) semantic = pair_status;
+        continue;
+      }
+      p.attempts += 1;
+      if (p.attempts > opts_.config.max_retries) {
+        quarantine(p);
+      } else {
+        failed.push_back(std::move(p));
+      }
+    }
+  };
+
+  std::vector<Outstanding> inflight;
+  size_t next_to_send = 0;
+  while (next_to_send < num_batches || !inflight.empty()) {
+    if (semantic.ok() && next_to_send < num_batches &&
+        inflight.size() < window) {
+      inflight.push_back(send_batch(next_to_send++));
+      continue;
+    }
+    if (inflight.empty()) break;  // semantic error stopped the stream
+
+    size_t earliest = 0;
+    for (size_t i = 1; i < inflight.size(); ++i) {
+      if (inflight[i].deadline < inflight[earliest].deadline) earliest = i;
+    }
+    const int remaining_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            inflight[earliest].deadline - std::chrono::steady_clock::now())
+            .count());
+    if (remaining_ms <= 0) {
+      settle(inflight[earliest]);
+      inflight.erase(inflight.begin() + static_cast<long>(earliest));
+      continue;
+    }
+    auto msg = bus_->ReceiveTimeout(kCoordName, remaining_ms);
+    if (!msg.ok()) {
+      if (msg.status().code() != StatusCode::kNotFound) {
+        // The coordinator's own bus is in trouble; settle the oldest batch
+        // with what arrived (PeerAlive decides transient vs dead) so the
+        // loop keeps draining instead of spinning.
+        settle(inflight[earliest]);
+        inflight.erase(inflight.begin() + static_cast<long>(earliest));
+      }
+      continue;
+    }
+    if (msg->tag != kCtlReply) continue;
+    auto reply = ParseCtlReply(msg->payload);
+    if (!reply.ok()) continue;  // a malformed ack is as good as a lost one
+    if (reply->op != kCtlPairBatch) continue;
+    for (size_t i = 0; i < inflight.size(); ++i) {
+      if (inflight[i].batch_id != reply->pair_index) continue;
+      inflight[i].replies[reply->role] = std::move(reply).value();
+      if (inflight[i].replies.size() == PartyRoles().size()) {
+        settle(inflight[i]);
+        inflight.erase(inflight.begin() + static_cast<long>(i));
+      }
+      break;
+    }
+  }
+
+  if (!semantic.ok()) return semantic;
+  *pending = std::move(failed);
+  return Status::OK();
 }
 
 Result<MeshStats> RemoteSmcOracle::CollectStats() {
@@ -396,12 +677,13 @@ Status RemoteSmcOracle::Shutdown(bool stop_daemons) {
 }
 
 Status RemoteSmcOracle::InjectFailures(const std::string& role,
-                                       uint32_t count) {
+                                       uint32_t count, bool crash) {
   if (!initialized_) {
     return Status::FailedPrecondition("call Init() before InjectFailures()");
   }
   std::vector<uint8_t> payload;
   AppendU32(count, &payload);
+  AppendU8(crash ? 1 : 0, &payload);
   SendCtl(role, kCtlInjectFail, std::move(payload));
   std::map<std::string, CtlReply> acks;
   HPRL_RETURN_IF_ERROR(CollectReplies(kCtlInjectFail, 0, 0, {role},

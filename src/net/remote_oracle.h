@@ -21,6 +21,19 @@ struct RemoteOracleOptions {
   MeshEndpoints endpoints;
   int connect_timeout_ms = 10000;
   int receive_timeout_ms = 4000;
+
+  /// Pairs per kCtlPairBatch frame. CompareBatch ships pairs to the daemons
+  /// in batches of this size, collapsing the per-pair ctl round trip to one
+  /// per batch (O(pairs) -> O(pairs / rpc_batch_pairs)). <= 1 disables
+  /// batching: CompareBatch degenerates to the per-pair kCtlPair loop,
+  /// bit-identical to the pre-batching coordinator.
+  int rpc_batch_pairs = 32;
+
+  /// Batches kept in flight at once (the pipeline window). The coordinator
+  /// streams up to this many unacknowledged batches before blocking on the
+  /// oldest ack, hiding the mesh round-trip latency behind daemon compute.
+  /// 1 = stop-and-wait (send a batch, await its acks, send the next).
+  int rpc_window = 4;
 };
 
 /// Mesh-wide traffic and cost totals collected from the daemons at the end
@@ -93,12 +106,18 @@ class RemoteSmcOracle : public MatchOracle {
 
   int64_t pairs_quarantined() const { return pairs_quarantined_; }
   int64_t retries() const { return retries_; }
+  /// Pair/batch dispatches the coordinator has waited on — the latency unit
+  /// of the ctl plane. Per-pair mode pays one per pair attempt; batched mode
+  /// one per kCtlPairBatch. Also streamed as the net.ctl_round_trips counter.
+  int64_t ctl_round_trips() const { return ctl_round_trips_; }
   const SocketBus& bus() const { return *bus_; }
 
   /// Test hook: the next `count` pair commands on `role` fail with an
   /// injected IOError before running, exercising the purge-and-retry path
-  /// over real sockets.
-  Status InjectFailures(const std::string& role, uint32_t count);
+  /// over real sockets. With `crash`, the injected fault instead stops the
+  /// daemon's bus mid-protocol without a reply — a simulated process death.
+  Status InjectFailures(const std::string& role, uint32_t count,
+                        bool crash = false);
 
  private:
   struct EncodedAttr {
@@ -107,9 +126,28 @@ class RemoteSmcOracle : public MatchOracle {
     crypto::BigInt y;
     crypto::BigInt threshold;
   };
+  /// One pair of the pipelined batch path, carried across retry rounds.
+  struct BatchPair {
+    size_t batch_pos = 0;       ///< index into CompareBatch's input/labels
+    uint64_t pair_index = 0;    ///< wire id, fresh per dispatch round
+    int64_t a_id = -1;
+    int64_t b_id = -1;
+    std::vector<EncodedAttr> attrs;
+    int attempts = 0;           ///< failed transient rounds so far
+  };
 
   Result<crypto::BigInt> EncodeAttr(const Value& v, const AttrRule& rule) const;
   crypto::BigInt AttrThreshold(const AttrRule& rule) const;
+  Result<std::vector<EncodedAttr>> EncodePair(const Record& a, const Record& b)
+      const;
+
+  /// One pipelined dispatch round over `pending`: ships the pairs in
+  /// kCtlPairBatch frames with up to rpc_window batches in flight, applies
+  /// the per-slot accept rule, fills `labels`, and rewrites `pending` to the
+  /// transiently failed pairs that should be re-batched. Quarantines
+  /// crash-class pairs in place. Returns a semantic error verbatim.
+  Status RunBatchRound(std::vector<BatchPair>* pending,
+                       std::vector<uint8_t>* labels);
 
   void SendCtl(const std::string& role, const std::string& tag,
                std::vector<uint8_t> payload);
@@ -134,7 +172,9 @@ class RemoteSmcOracle : public MatchOracle {
   int64_t invocations_ = 0;
   int64_t pairs_quarantined_ = 0;
   int64_t retries_ = 0;
+  int64_t ctl_round_trips_ = 0;
   uint64_t next_pair_index_ = 0;
+  uint64_t next_batch_id_ = 0;
   uint64_t next_barrier_id_ = 0;
   MeshStats mesh_stats_;
 };

@@ -117,6 +117,91 @@ Result<std::vector<uint8_t>> BatchSmcEngine::CompareBatch(
     if (metrics_ != nullptr) obs::Add(metrics_, "smc.pairs_quarantined");
   };
 
+  // Packed fast path: workers drain fixed position-based GROUPS of pairs,
+  // each group one packed exchange. Grouping depends only on config + rule,
+  // so every thread count produces the same groups — and both paths compute
+  // exact distances, so the labels match the scalar path bit for bit.
+  const size_t group_pairs =
+      static_cast<size_t>(workers_.front()->PackedGroupPairs());
+  if (group_pairs >= 1) {
+    const size_t num_groups = (batch.size() + group_pairs - 1) / group_pairs;
+    const size_t active_groups =
+        std::min(static_cast<size_t>(threads_), std::max<size_t>(1, num_groups));
+
+    auto run_group = [&](size_t w, size_t g) -> Status {
+      const size_t begin = g * group_pairs;
+      const size_t end = std::min(begin + group_pairs, batch.size());
+      std::vector<RowPairRequest> group(batch.begin() + begin,
+                                        batch.begin() + end);
+      auto matches = workers_[w]->ComparePackedGroup(group);
+      if (matches.ok()) {
+        for (size_t i = begin; i < end; ++i) {
+          labels[i] = (*matches)[i - begin] ? kPairMatch : kPairNonMatch;
+        }
+        return Status::OK();
+      }
+      Status st = matches.status();
+      if (IsFaultClass(st)) {
+        // Quarantine granularity is the group here: one packed exchange is
+        // indivisible, so a crash mid-group takes its whole group out.
+        for (size_t i = begin; i < end; ++i) quarantine(&labels, i);
+        return RestartWorker(w);
+      }
+      return st;
+    };
+
+    if (active_groups <= 1) {
+      for (size_t g = 0; g < num_groups; ++g) {
+        HPRL_RETURN_IF_ERROR(run_group(0, g));
+      }
+    } else {
+      std::atomic<size_t> cursor{0};
+      std::atomic<bool> failed{false};
+      std::vector<Status> worker_status(active_groups, Status::OK());
+      std::vector<size_t> error_group(active_groups, num_groups);
+
+      auto drain_groups = [&](size_t w) {
+        while (!failed.load(std::memory_order_relaxed)) {
+          const size_t g = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (g >= num_groups) break;
+          Status st = run_group(w, g);
+          if (!st.ok()) {
+            worker_status[w] = st;
+            error_group[w] = g;
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      };
+
+      std::vector<std::thread> pool;
+      pool.reserve(active_groups - 1);
+      for (size_t w = 1; w < active_groups; ++w) {
+        pool.emplace_back(drain_groups, w);
+      }
+      drain_groups(0);
+      for (auto& th : pool) th.join();
+
+      if (failed.load()) {
+        size_t best = active_groups;
+        for (size_t w = 0; w < active_groups; ++w) {
+          if (!worker_status[w].ok() &&
+              (best == active_groups || error_group[w] < error_group[best])) {
+            best = w;
+          }
+        }
+        return worker_status[best];
+      }
+    }
+
+    if (metrics_ != nullptr) {
+      obs::Add(metrics_, "smc.batches");
+      obs::Observe(metrics_, "smc.batch_seconds",
+                   batch_timer.ElapsedSeconds());
+    }
+    return labels;
+  }
+
   if (active <= 1) {
     for (size_t i = 0; i < batch.size(); ++i) {
       const RowPairRequest& req = batch[i];

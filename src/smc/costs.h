@@ -18,6 +18,12 @@ struct SmcCosts {
   int64_t homomorphic_adds = 0;
   int64_t scalar_muls = 0;
   int64_t retries = 0;  ///< exchanges replayed after a transient fault
+  /// Packed-plaintext fast path: packed exchange runs, and how many record
+  /// pairs they carried. Amortized per-pair crypto is the enc/dec/hadd/smul
+  /// totals divided by packed_pairs; the scalar counters above keep counting
+  /// raw operations either way, so packed and unpacked runs stay comparable.
+  int64_t packed_exchanges = 0;
+  int64_t packed_pairs = 0;
 
   void Clear() { *this = SmcCosts{}; }
 
@@ -29,6 +35,8 @@ struct SmcCosts {
     homomorphic_adds += o.homomorphic_adds;
     scalar_muls += o.scalar_muls;
     retries += o.retries;
+    packed_exchanges += o.packed_exchanges;
+    packed_pairs += o.packed_pairs;
     return *this;
   }
 

@@ -50,6 +50,11 @@ Result<BigInt> QueryingParty::DecryptSignedCt(const BigInt& c) const {
   return priv_.DecryptSigned(c);
 }
 
+Result<BigInt> QueryingParty::DecryptCt(const BigInt& c) const {
+  if (!params_.crt_decrypt) return priv_.DecryptReference(c);
+  return priv_.Decrypt(c);
+}
+
 void QueryingParty::AttachMetrics(obs::MetricsRegistry* registry) {
   pub_.AttachMetrics(registry);
   priv_.AttachMetrics(registry);
@@ -86,10 +91,56 @@ Result<BigInt> QueryingParty::ReceivePlain(MessageBus* bus, SmcCosts* costs) {
   return plain;
 }
 
+Result<std::vector<bool>> QueryingParty::DecideAttrsPacked(
+    MessageBus* bus, const std::vector<BigInt>& thresholds,
+    const crypto::PackingLayout& layout, SmcCosts* costs) {
+  if (!params_.reveal_distances) {
+    return Status::FailedPrecondition(
+        "packed exchange requires reveal_distances");
+  }
+  auto msg = bus->Expect(kQp, "bob_pk");
+  if (!msg.ok()) return msg.status();
+  size_t off = 0;
+  auto c = ConsumeBigInt(msg->payload, &off);
+  if (!c.ok()) return c.status();
+  HPRL_RETURN_IF_ERROR(ValidateReceived(pub_, *c, "bob_pk"));
+  // ONE decryption covers every slot. The packed plaintext is Σ d_i·W_i with
+  // d_i = (x_i - y_i)² >= 0, so the unsigned decode is exact even though the
+  // homomorphic fold passed through negative slot contributions mod n.
+  auto plain = DecryptCt(*c);
+  if (!plain.ok()) return plain.status();
+  costs->decryptions += 1;
+  auto slots = crypto::UnpackSlots(*plain, thresholds.size(), layout);
+  if (!slots.ok()) {
+    // A residue past the last slot means the plaintext was damaged (or a
+    // slot overflowed); hand it to the retry layer as transit damage.
+    return Status::IOError(std::string("packed plaintext failed unpack: ") +
+                           slots.status().message());
+  }
+  std::vector<bool> within;
+  within.reserve(thresholds.size());
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    within.push_back((*slots)[i] <= thresholds[i]);
+  }
+  return within;
+}
+
+// Results travel on a dedicated ":res" sub-inbox so a pipelined next pair's
+// "alice_ct" (addressed to the main inbox) can never interleave with a
+// still-in-flight result announcement. With per-pair lockstep the main inbox
+// was safe; the batched RPC path overlaps pairs, so the split is load-bearing.
 Status QueryingParty::AnnounceResult(MessageBus* bus, bool match) {
   std::vector<uint8_t> result = {static_cast<uint8_t>(match ? 1 : 0)};
-  bus->Send({kQp, "alice", "result", result});
-  bus->Send({kQp, "bob", "result", std::move(result)});
+  bus->Send({kQp, "alice:res", "result", result});
+  bus->Send({kQp, "bob:res", "result", std::move(result)});
+  return Status::OK();
+}
+
+Status QueryingParty::AnnounceResults(MessageBus* bus,
+                                      const std::vector<uint8_t>& labels) {
+  std::vector<uint8_t> payload = labels;
+  bus->Send({kQp, "alice:res", "results", payload});
+  bus->Send({kQp, "bob:res", "results", std::move(payload)});
   return Status::OK();
 }
 
@@ -203,13 +254,90 @@ Status DataHolder::FoldAndForward(MessageBus* bus, const BigInt& y,
   return Status::OK();
 }
 
+Status DataHolder::SendAttrsPacked(MessageBus* bus, const std::string& peer,
+                                   const std::vector<BigInt>& xs,
+                                   const crypto::PackingLayout& layout,
+                                   SmcCosts* costs) {
+  if (!have_key_) return Status::FailedPrecondition("no public key yet");
+  std::vector<BigInt> x2;
+  x2.reserve(xs.size());
+  for (const BigInt& x : xs) x2.push_back(x * x);
+  auto packed = crypto::PackSlots(x2, layout);
+  if (!packed.ok()) return packed.status();
+  auto c_px2 = pub_.Encrypt(*packed, *rng_);
+  if (!c_px2.ok()) return c_px2.status();
+  costs->encryptions += 1;
+  std::vector<uint8_t> payload;
+  AppendBigInt(*c_px2, &payload);
+  for (const BigInt& x : xs) {
+    auto c_m2x = pub_.EncryptSigned(BigInt(-2) * x, *rng_);
+    if (!c_m2x.ok()) return c_m2x.status();
+    costs->encryptions += 1;
+    AppendBigInt(*c_m2x, &payload);
+  }
+  bus->Send({name_, peer, "alice_pk", std::move(payload)});
+  return Status::OK();
+}
+
+Status DataHolder::FoldAndForwardPacked(MessageBus* bus,
+                                        const std::vector<BigInt>& ys,
+                                        const crypto::PackingLayout& layout,
+                                        SmcCosts* costs) {
+  if (!have_key_) return Status::FailedPrecondition("no public key yet");
+  auto msg = bus->Expect(name_, "alice_pk");
+  if (!msg.ok()) return msg.status();
+  size_t off = 0;
+  auto c_px2 = ConsumeBigInt(msg->payload, &off);
+  if (!c_px2.ok()) return c_px2.status();
+  HPRL_RETURN_IF_ERROR(ValidateReceived(pub_, *c_px2, "alice_pk[0]"));
+  std::vector<BigInt> c_m2x;
+  c_m2x.reserve(ys.size());
+  for (size_t i = 0; i < ys.size(); ++i) {
+    auto c = ConsumeBigInt(msg->payload, &off);
+    if (!c.ok()) return c.status();
+    HPRL_RETURN_IF_ERROR(ValidateReceived(pub_, *c, "alice_pk[i]"));
+    c_m2x.push_back(std::move(c).value());
+  }
+  std::vector<BigInt> y2;
+  y2.reserve(ys.size());
+  for (const BigInt& y : ys) y2.push_back(y * y);
+  auto packed_y2 = crypto::PackSlots(y2, layout);
+  if (!packed_y2.ok()) return packed_y2.status();
+  auto c_py2 = pub_.Encrypt(*packed_y2, *rng_);
+  if (!c_py2.ok()) return c_py2.status();
+  costs->encryptions += 1;
+  // Σ_i Enc(d_i · W_i): the x² terms arrive pre-packed, the cross terms are
+  // steered into slot i by scaling Enc(-2x_i) with y_i · W_i.
+  BigInt acc = pub_.Add(*c_px2, *c_py2);
+  costs->homomorphic_adds += 1;
+  for (size_t i = 0; i < ys.size(); ++i) {
+    acc = pub_.Add(acc, pub_.ScalarMul(c_m2x[i], ys[i] * layout.SlotWeight(i)));
+  }
+  costs->homomorphic_adds += static_cast<int64_t>(ys.size());
+  costs->scalar_muls += static_cast<int64_t>(ys.size());
+  std::vector<uint8_t> payload;
+  AppendBigInt(acc, &payload);
+  bus->Send({name_, kQp, "bob_pk", std::move(payload)});
+  return Status::OK();
+}
+
 Result<bool> DataHolder::ReceiveResult(MessageBus* bus) {
-  auto msg = bus->Expect(name_, "result");
+  auto msg = bus->Expect(name_ + ":res", "result");
   if (!msg.ok()) return msg.status();
   if (msg->payload.size() != 1) {
     return Status::Internal("malformed result message");
   }
   return msg->payload[0] != 0;
+}
+
+Result<std::vector<uint8_t>> DataHolder::ReceiveResults(MessageBus* bus,
+                                                        size_t count) {
+  auto msg = bus->Expect(name_ + ":res", "results");
+  if (!msg.ok()) return msg.status();
+  if (msg->payload.size() != count) {
+    return Status::Internal("malformed results message");
+  }
+  return msg->payload;
 }
 
 }  // namespace hprl::smc

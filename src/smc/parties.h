@@ -5,9 +5,11 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "crypto/fixed_point.h"
+#include "crypto/packing.h"
 #include "crypto/paillier.h"
 #include "smc/channel.h"
 #include "smc/costs.h"
@@ -57,8 +59,22 @@ class QueryingParty {
   /// plaintext (distance-revealing variant only; test/benchmark hook).
   Result<crypto::BigInt> ReceivePlain(MessageBus* bus, SmcCosts* costs);
 
+  /// Packed variant: consumes one "bob_pk" ciphertext carrying every slot
+  /// distance of the packed exchange, decrypts ONCE, unpacks, and compares
+  /// slot i against thresholds[i]. A plaintext that fails to unpack (nonzero
+  /// residue past the last slot) is reported as an IOError so the retry
+  /// layer treats it like any other damaged payload. Distance-revealing
+  /// variant only (the packed plaintext is the distances).
+  Result<std::vector<bool>> DecideAttrsPacked(
+      MessageBus* bus, const std::vector<crypto::BigInt>& thresholds,
+      const crypto::PackingLayout& layout, SmcCosts* costs);
+
   /// Broadcasts the final pair label to both holders (who consume it).
   Status AnnounceResult(MessageBus* bus, bool match);
+
+  /// Packed variant: one "results" message carrying the labels of every
+  /// pair in the packed group.
+  Status AnnounceResults(MessageBus* bus, const std::vector<uint8_t>& labels);
 
   /// Attaches the party's Paillier keys to `registry` (paillier.* op
   /// counters). Call after PublishKey — key generation replaces the key
@@ -69,6 +85,10 @@ class QueryingParty {
   /// DecryptSigned through the CRT fast path or, when
   /// params_.crt_decrypt is false, the reference path.
   Result<crypto::BigInt> DecryptSignedCt(const crypto::BigInt& c) const;
+
+  /// Unsigned decrypt with the same path selection (packed plaintexts are
+  /// non-negative by construction).
+  Result<crypto::BigInt> DecryptCt(const crypto::BigInt& c) const;
 
   ProtocolParams params_;
   std::unique_ptr<crypto::SecureRandom> rng_;
@@ -86,6 +106,10 @@ class DataHolder {
 
   const std::string& name() const { return name_; }
 
+  /// The received public key (valid after ReceiveKey; zero before). Lets a
+  /// daemon build a RandomizerPool around the same key its encryptions use.
+  const crypto::PaillierPublicKey& public_key() const { return pub_; }
+
   /// Consumes the published public key from the bus.
   Status ReceiveKey(MessageBus* bus);
 
@@ -101,8 +125,29 @@ class DataHolder {
                         const crypto::BigInt& threshold, int64_t cache_key,
                         SmcCosts* costs);
 
+  /// Packed Alice: one "alice_pk" message carrying Enc(Σ x_i²·W_i) — every
+  /// slot's x² packed into ONE plaintext — plus per-slot Enc(-2·x_i). Cuts
+  /// the 2k scalar encryptions of k SendAttr calls to k + 1. The caller has
+  /// already checked carry safety ((|x|+|y|)² fits a slot) for every slot.
+  Status SendAttrsPacked(MessageBus* bus, const std::string& peer,
+                         const std::vector<crypto::BigInt>& xs,
+                         const crypto::PackingLayout& layout, SmcCosts* costs);
+
+  /// Packed Bob: folds y_i into slot i through the slot weight —
+  ///   Enc(Σ d_i·W_i) = Enc(Σx_i²W_i) +h Σ_i (Enc(-2x_i) ×h y_i·W_i)
+  ///                    +h Enc(Σ y_i²W_i),  d_i = (x_i - y_i)²
+  /// — and forwards ONE ciphertext to the querying party where the scalar
+  /// protocol sends k.
+  Status FoldAndForwardPacked(MessageBus* bus,
+                              const std::vector<crypto::BigInt>& ys,
+                              const crypto::PackingLayout& layout,
+                              SmcCosts* costs);
+
   /// Consumes the querying party's result announcement.
   Result<bool> ReceiveResult(MessageBus* bus);
+
+  /// Packed variant: consumes the group announcement of `count` labels.
+  Result<std::vector<uint8_t>> ReceiveResults(MessageBus* bus, size_t count);
 
   /// Attaches the holder's public-key copy to `registry` (paillier.* op
   /// counters). Call after ReceiveKey — receiving replaces the key object.

@@ -1,5 +1,6 @@
 #include "smc/protocol.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <thread>
@@ -212,6 +213,146 @@ Result<bool> SecureRecordComparator::CompareRows(int64_t a_id, int64_t b_id,
                  compare_timer.ElapsedSeconds());
   }
   return match;
+}
+
+int SecureRecordComparator::PackedGroupPairs() const {
+  if (config_.pack_pairs <= 0 || !config_.reveal_distances ||
+      config_.cache_ciphertexts) {
+    return 0;
+  }
+  auto layout =
+      crypto::PackingLayout::Plan(config_.key_bits, config_.pack_slot_bits);
+  if (!layout.ok()) return 0;
+  int active = 0;
+  for (const AttrRule& rule : rule_.attrs) {
+    if (rule.type == AttrType::kText) return 0;
+    if (rule.type == AttrType::kCategorical && rule.theta >= 1.0) continue;
+    ++active;
+  }
+  if (active == 0) return 0;
+  const int per_plaintext = layout->num_slots / active;
+  if (per_plaintext < 1) return 0;
+  return std::min(config_.pack_pairs, per_plaintext);
+}
+
+Result<std::vector<bool>> SecureRecordComparator::ComparePackedGroup(
+    const std::vector<RowPairRequest>& pairs) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Init() before comparing");
+  }
+  const int group_pairs = PackedGroupPairs();
+  if (group_pairs < 1) {
+    return Status::FailedPrecondition(
+        "packed path unavailable for this config/rule");
+  }
+  if (pairs.size() > static_cast<size_t>(group_pairs)) {
+    return Status::InvalidArgument("packed group larger than capacity");
+  }
+  std::vector<bool> results(pairs.size(), false);
+  if (pairs.empty()) return results;
+  auto layout =
+      crypto::PackingLayout::Plan(config_.key_bits, config_.pack_slot_bits);
+  if (!layout.ok()) return layout.status();
+
+  WallTimer compare_timer;
+  // Encode every pair and split the group into packable pairs (every slot
+  // passes the carry-safety check) and scalar fallbacks. Slot order is
+  // pair-major, attribute-minor, so the unpack on the querying side walks
+  // the same sequence.
+  std::vector<crypto::BigInt> xs, ys, thresholds;
+  std::vector<size_t> packed_idx;    // input index per packed pair
+  std::vector<size_t> slots_of;      // slots per packed pair
+  std::vector<size_t> fallback_idx;  // pairs compared through the scalar path
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    std::vector<crypto::BigInt> pxs, pys, pthr;
+    bool packable = true;
+    for (const AttrRule& rule : rule_.attrs) {
+      if (rule.type == AttrType::kCategorical && rule.theta >= 1.0) continue;
+      auto x = EncodeAttr((*pairs[p].a)[rule.attr_index], rule);
+      if (!x.ok()) return x.status();
+      auto y = EncodeAttr((*pairs[p].b)[rule.attr_index], rule);
+      if (!y.ok()) return y.status();
+      // Carry safety: |x - y|² <= (|x| + |y|)² must stay inside one slot.
+      crypto::BigInt mag =
+          (x->Sign() < 0 ? -*x : *x) + (y->Sign() < 0 ? -*y : *y);
+      if (!layout->SlotHolds(mag * mag)) {
+        packable = false;
+        break;
+      }
+      pxs.push_back(std::move(x).value());
+      pys.push_back(std::move(y).value());
+      pthr.push_back(AttrThreshold(rule));
+    }
+    if (!packable) {
+      fallback_idx.push_back(p);
+      continue;
+    }
+    packed_idx.push_back(p);
+    slots_of.push_back(pxs.size());
+    for (size_t i = 0; i < pxs.size(); ++i) {
+      xs.push_back(std::move(pxs[i]));
+      ys.push_back(std::move(pys[i]));
+      thresholds.push_back(std::move(pthr[i]));
+    }
+  }
+
+  if (!packed_idx.empty()) {
+    const int64_t ctx_a = pairs[packed_idx.front()].a_id;
+    const int64_t ctx_b = pairs[packed_idx.front()].b_id;
+    costs_.invocations += static_cast<int64_t>(packed_idx.size());
+    costs_.attr_comparisons += static_cast<int64_t>(xs.size());
+    costs_.packed_exchanges += 1;
+    costs_.packed_pairs += static_cast<int64_t>(packed_idx.size());
+    auto within =
+        RetryExchange(ctx_a, ctx_b, 0, [&]() -> Result<std::vector<bool>> {
+          HPRL_RETURN_IF_ERROR(alice_.SendAttrsPacked(
+              bus_.get(), bob_.name(), xs, *layout, &costs_));
+          HPRL_RETURN_IF_ERROR(
+              bob_.FoldAndForwardPacked(bus_.get(), ys, *layout, &costs_));
+          return qp_.DecideAttrsPacked(bus_.get(), thresholds, *layout,
+                                       &costs_);
+        });
+    if (!within.ok()) return within.status();
+    // Conjunction per pair over its slot verdicts (exact distances, so the
+    // label matches the scalar path's early-exit conjunction bit for bit).
+    std::vector<uint8_t> labels;
+    labels.reserve(packed_idx.size());
+    size_t slot = 0;
+    for (size_t g = 0; g < packed_idx.size(); ++g) {
+      bool match = true;
+      for (size_t i = 0; i < slots_of[g]; ++i, ++slot) {
+        match = match && (*within)[slot];
+      }
+      results[packed_idx[g]] = match;
+      labels.push_back(match ? 1 : 0);
+    }
+    auto announced =
+        RetryExchange(ctx_a, ctx_b, 1, [&]() -> Result<bool> {
+          HPRL_RETURN_IF_ERROR(qp_.AnnounceResults(bus_.get(), labels));
+          HPRL_RETURN_IF_ERROR(
+              alice_.ReceiveResults(bus_.get(), labels.size()).status());
+          HPRL_RETURN_IF_ERROR(
+              bob_.ReceiveResults(bus_.get(), labels.size()).status());
+          return true;
+        });
+    if (!announced.ok()) return announced.status();
+    if (metrics_ != nullptr) {
+      obs::Add(metrics_, "smc.rounds", 2);
+      obs::Add(metrics_, "smc.attr_comparisons",
+               static_cast<int64_t>(xs.size()));
+      obs::Add(metrics_, "smc.packed_groups");
+      obs::Observe(metrics_, "smc.compare_seconds",
+                   compare_timer.ElapsedSeconds());
+    }
+  }
+
+  for (size_t idx : fallback_idx) {
+    auto m = CompareRows(pairs[idx].a_id, pairs[idx].b_id, *pairs[idx].a,
+                         *pairs[idx].b);
+    if (!m.ok()) return m.status();
+    results[idx] = *m;
+  }
+  return results;
 }
 
 Result<double> SecureRecordComparator::SecureSquaredDistance(double x,

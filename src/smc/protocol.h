@@ -8,8 +8,10 @@
 
 #include "common/result.h"
 #include "crypto/fixed_point.h"
+#include "crypto/packing.h"
 #include "crypto/paillier.h"
 #include "linkage/match_rule.h"
+#include "linkage/oracle.h"
 #include "smc/channel.h"
 #include "smc/costs.h"
 #include "smc/fault.h"
@@ -75,6 +77,22 @@ struct SmcConfig {
   /// retry_backoff_micros << (k-1). 0 (the default) retries immediately —
   /// right for the in-process bus, where a retry cannot race the fault away.
   int retry_backoff_micros = 0;
+
+  /// Plaintext packing (the packed SMC fast path): > 0 lets the batch
+  /// engine group up to this many pairs into ONE packed exchange — all the
+  /// pairs' per-attribute distances land in disjoint bit-slots of a single
+  /// Paillier plaintext, so one Encrypt/Add/Decrypt replaces k of them.
+  /// Requires reveal_distances (the packed plaintext IS the distances) and
+  /// is ignored with ciphertext caching on (a packed exchange is unique to
+  /// its group). 0 (the default) keeps the scalar §V-A exchange everywhere.
+  /// Labels are bit-identical either way — both paths compute the exact
+  /// (x-y)² per attribute.
+  int pack_pairs = 0;
+
+  /// Bit width of one packed slot. Every slot must hold (|x| + |y|)² for
+  /// its attribute pair; groups containing a pair that fails this carry-
+  /// safety check fall back to the scalar exchange for that pair.
+  int pack_slot_bits = 64;
 };
 
 /// Drives the paper's §V-A secure record comparison among the three party
@@ -121,6 +139,25 @@ class SecureRecordComparator {
   /// Compare.
   Result<bool> CompareRows(int64_t a_id, int64_t b_id, const Record& a,
                            const Record& b);
+
+  /// Pairs one packed exchange can carry under this config and rule
+  /// (active attributes per pair vs slots per plaintext); 0 when the packed
+  /// path is unavailable (packing off, blinded comparisons, ciphertext
+  /// caching, text attributes, or a modulus too small for one slot group).
+  /// Depends only on the config and rule, so every worker of a batch engine
+  /// plans identical groups regardless of thread count.
+  int PackedGroupPairs() const;
+
+  /// Runs the packed variant of the §V-A exchange on up to
+  /// PackedGroupPairs() pairs at once: one "alice_pk" message (packed
+  /// Enc(Σx²·W) plus per-slot Enc(-2x)), one folded "bob_pk" ciphertext,
+  /// ONE decryption, then a single group result announcement. Pairs whose
+  /// values fail the per-slot carry-safety check are compared through the
+  /// scalar path instead (same labels, see SmcConfig::pack_pairs). Returns
+  /// per-pair match flags in input order. Transient transport faults heal
+  /// through the same retry layer as the scalar exchange.
+  Result<std::vector<bool>> ComparePackedGroup(
+      const std::vector<RowPairRequest>& pairs);
 
   /// Secure squared distance on raw scalars (test/benchmark entry point):
   /// returns the exact (x - y)^2 as seen by the querying party. Requires

@@ -3,7 +3,9 @@
 #include <vector>
 
 #include "crypto/bigint.h"
+#include "crypto/fixed_base.h"
 #include "crypto/fixed_point.h"
+#include "crypto/packing.h"
 #include "crypto/paillier.h"
 #include "crypto/secure_random.h"
 
@@ -405,6 +407,162 @@ TEST(FixedPointTest, RoundTripAndSquares) {
   EXPECT_EQ(codec.Encode(-2.5), BigInt(-2500));
   EXPECT_DOUBLE_EQ(codec.Decode(BigInt(1500)), 1.5);
   EXPECT_DOUBLE_EQ(codec.DecodeSquared(BigInt(2250000)), 2.25);  // 1.5^2
+}
+
+TEST(FixedBaseTest, MatchesPowModOnRandomExponents) {
+  SecureRandom rng(314);
+  BigInt modulus = rng.NextPrime(192) * rng.NextPrime(192);
+  BigInt base = rng.NextBelow(modulus - BigInt(2)) + BigInt(2);
+  FixedBaseTable table(base, modulus, /*max_exp_bits=*/200);
+  ASSERT_TRUE(table.ready());
+  for (int i = 0; i < 20; ++i) {
+    BigInt exp = rng.NextBits(200);
+    auto got = table.Pow(exp);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, BigInt::PowMod(base, exp, modulus)) << exp.ToString();
+  }
+}
+
+TEST(FixedBaseTest, EdgeExponents) {
+  BigInt base(7), modulus(1000003);
+  FixedBaseTable table(base, modulus, /*max_exp_bits=*/64, /*window_bits=*/4);
+  ASSERT_TRUE(table.ready());
+  EXPECT_EQ(*table.Pow(BigInt(0)), BigInt(1));
+  EXPECT_EQ(*table.Pow(BigInt(1)), base);
+  // Exactly max_exp_bits wide (2^64 - 1) must still be accepted.
+  BigInt max_exp = *BigInt::FromString("18446744073709551615");
+  EXPECT_EQ(*table.Pow(max_exp), BigInt::PowMod(base, max_exp, modulus));
+}
+
+TEST(FixedBaseTest, RejectsBadExponentsAndUnreadyTable) {
+  BigInt base(5), modulus(104729);
+  FixedBaseTable table(base, modulus, /*max_exp_bits=*/32);
+  ASSERT_TRUE(table.ready());
+  EXPECT_FALSE(table.Pow(BigInt(-1)).ok());
+  EXPECT_FALSE(table.Pow(BigInt(1LL << 32)).ok());  // 33 bits wide
+  FixedBaseTable empty;
+  EXPECT_FALSE(empty.ready());
+  EXPECT_FALSE(empty.Pow(BigInt(3)).ok());
+}
+
+TEST(PackingTest, PlanComputesSlotCount) {
+  auto layout = PackingLayout::Plan(/*modulus_bits=*/256, /*slot_bits=*/64);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->slot_bits, 64);
+  EXPECT_EQ(layout->num_slots, 3);  // (256 - 2) / 64
+  EXPECT_FALSE(PackingLayout::Plan(256, 7).ok());    // below the minimum width
+  EXPECT_FALSE(PackingLayout::Plan(32, 64).ok());    // no full slot fits
+}
+
+TEST(PackingTest, PackUnpackRoundTrip) {
+  auto layout = PackingLayout::Plan(256, 64);
+  ASSERT_TRUE(layout.ok());
+  std::vector<BigInt> values = {BigInt(0), BigInt(123456789),
+                                layout->SlotWeight(1) - BigInt(1)};
+  auto packed = PackSlots(values, *layout);
+  ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+  auto back = UnpackSlots(*packed, values.size(), *layout);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, values);
+  // Unpacking fewer slots than were packed leaves a nonzero residue.
+  EXPECT_FALSE(UnpackSlots(*packed, 2, *layout).ok());
+}
+
+TEST(PackingTest, RejectsOverflowNegativeAndTooMany) {
+  auto layout = PackingLayout::Plan(256, 64);
+  ASSERT_TRUE(layout.ok());
+  const BigInt slot_cap = layout->SlotWeight(1);  // 2^64
+  EXPECT_TRUE(layout->SlotHolds(slot_cap - BigInt(1)));
+  EXPECT_FALSE(layout->SlotHolds(slot_cap));
+  EXPECT_FALSE(layout->SlotHolds(BigInt(-1)));
+  EXPECT_FALSE(PackSlots({slot_cap}, *layout).ok());
+  EXPECT_FALSE(PackSlots({BigInt(-1)}, *layout).ok());
+  EXPECT_FALSE(PackSlots({BigInt(1), BigInt(2), BigInt(3), BigInt(4)},
+                         *layout).ok());
+  EXPECT_FALSE(UnpackSlots(BigInt(-5), 1, *layout).ok());
+  EXPECT_FALSE(UnpackSlots(BigInt(7), 4, *layout).ok());
+}
+
+TEST_F(PaillierTest, PackedFoldMatchesScalarSquaredDistances) {
+  // Satellite property test: pack the x² vector, fold in Enc(-2x_i)·(y_i·W_i)
+  // and the packed y² vector homomorphically, decrypt ONCE, unpack — every
+  // slot must equal the scalar (x_i - y_i)², including at the fixed-point
+  // extremes where |x| + |y| squared fills the 64-bit slot exactly.
+  auto layout = PackingLayout::Plan(pub_.modulus_bits(), 64);
+  ASSERT_TRUE(layout.ok());
+  const size_t k = static_cast<size_t>(layout->num_slots);
+  ASSERT_GE(k, 3u);
+  SecureRandom vals(31);
+  const BigInt kMax((1LL << 31) - 1);  // |x|+|y| <= 2^32-1 keeps (x-y)² in-slot
+  for (int round = 0; round < 6; ++round) {
+    std::vector<BigInt> xs(k), ys(k);
+    if (round == 0) {
+      // Extremes: the carry-safety boundary, zero, and negative encodings
+      // (FixedPointCodec turns -2.5 into -2500 — signed values flow through
+      // Enc(-2x) and y·W as-is).
+      xs = {kMax, BigInt(0), FixedPointCodec(1000).Encode(-2.5)};
+      ys = {-kMax - BigInt(1), BigInt(0), FixedPointCodec(1000).Encode(1.5)};
+      for (size_t i = 3; i < k; ++i) xs[i] = ys[i] = BigInt(0);
+    } else {
+      for (size_t i = 0; i < k; ++i) {
+        xs[i] = vals.NextBelow(kMax) - vals.NextBelow(kMax);
+        ys[i] = vals.NextBelow(kMax) - vals.NextBelow(kMax);
+      }
+    }
+    std::vector<BigInt> x2(k), y2(k);
+    for (size_t i = 0; i < k; ++i) {
+      x2[i] = xs[i] * xs[i];
+      y2[i] = ys[i] * ys[i];
+    }
+    auto px2 = PackSlots(x2, *layout);
+    auto py2 = PackSlots(y2, *layout);
+    ASSERT_TRUE(px2.ok() && py2.ok());
+    auto cx2 = pub_.Encrypt(*px2, rng_);
+    auto cy2 = pub_.Encrypt(*py2, rng_);
+    ASSERT_TRUE(cx2.ok() && cy2.ok());
+    BigInt acc = pub_.Add(*cx2, *cy2);
+    for (size_t i = 0; i < k; ++i) {
+      auto cm2x = pub_.EncryptSigned(BigInt(-2) * xs[i], rng_);
+      ASSERT_TRUE(cm2x.ok());
+      acc = pub_.Add(acc, pub_.ScalarMul(*cm2x, ys[i] * layout->SlotWeight(i)));
+    }
+    auto packed = priv_.Decrypt(acc);
+    ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+    auto slots = UnpackSlots(*packed, k, *layout);
+    ASSERT_TRUE(slots.ok()) << slots.status().ToString();
+    for (size_t i = 0; i < k; ++i) {
+      BigInt d = xs[i] - ys[i];
+      EXPECT_EQ((*slots)[i], d * d) << "round " << round << " slot " << i;
+    }
+  }
+}
+
+TEST_F(RandomizerPoolTest, FixedBaseRandomizersAreValidUnits) {
+  RandomizerPool fast(pub_, 4, 21);
+  RandomizerPool slow(pub_, 4, 21, /*use_fixed_base=*/false);
+  EXPECT_TRUE(fast.uses_fixed_base());
+  EXPECT_FALSE(slow.uses_fixed_base());
+  fast.Prefill(4);
+  slow.Prefill(4);
+  for (int i = 0; i < 4; ++i) {
+    // A valid randomizer is a unit r^n mod n²: it decrypts (as a ciphertext)
+    // to 0, whichever path produced it.
+    EXPECT_EQ(*priv_.Decrypt(fast.Take()), BigInt(0));
+    EXPECT_EQ(*priv_.Decrypt(slow.Take()), BigInt(0));
+  }
+}
+
+TEST_F(RandomizerPoolTest, HitRateGaugeTracksServedFraction) {
+  obs::MetricsRegistry registry;
+  RandomizerPool pool(pub_, 3, 23);
+  pool.AttachMetrics(&registry);
+  pool.Prefill(3);
+  pub_.AttachRandomizerPool(&pool);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(pub_.Encrypt(BigInt(i), rng_).ok());
+  }
+  // 3 hits, 1 miss -> 75% served from the pool.
+  EXPECT_DOUBLE_EQ(registry.GaugeValues().at("crypto.pool_hit_rate"), 0.75);
 }
 
 }  // namespace

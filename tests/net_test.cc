@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -215,6 +216,49 @@ TEST(FrameTest, CtlPayloadHelpersRoundTrip) {
   (void)net::ConsumeI64(buf, &off);
   (void)net::ConsumeString(buf, &off);
   EXPECT_FALSE(net::ConsumeSignedBigInt(buf, &off).ok());
+}
+
+TEST(FrameTest, PairSlotsRoundTrip) {
+  std::vector<net::PairSlot> slots(3);
+  slots[0] = {7, StatusCode::kOk, 1};
+  slots[1] = {8, StatusCode::kIOError, 0};
+  slots[2] = {12345678901234ull, StatusCode::kNotFound, 0};
+  std::vector<uint8_t> buf;
+  net::AppendPairSlots(slots, &buf);
+
+  size_t off = 0;
+  auto back = net::ParsePairSlots(buf, &off);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(off, buf.size());
+  ASSERT_EQ(back->size(), slots.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    EXPECT_EQ((*back)[i].pair_index, slots[i].pair_index) << i;
+    EXPECT_EQ((*back)[i].code, slots[i].code) << i;
+    EXPECT_EQ((*back)[i].label, slots[i].label) << i;
+  }
+}
+
+TEST(FrameTest, PairSlotsRejectTruncationAtEveryLength) {
+  std::vector<net::PairSlot> slots(2);
+  slots[0] = {1, StatusCode::kOk, 1};
+  slots[1] = {2, StatusCode::kUnavailable, 0};
+  std::vector<uint8_t> buf;
+  net::AppendPairSlots(slots, &buf);
+  for (size_t n = 0; n < buf.size(); ++n) {
+    std::vector<uint8_t> cut(buf.begin(), buf.begin() + n);
+    size_t off = 0;
+    EXPECT_FALSE(net::ParsePairSlots(cut, &off).ok()) << "truncated at " << n;
+  }
+}
+
+TEST(FrameTest, PairSlotsRejectUnknownStatusCode) {
+  std::vector<net::PairSlot> slots(1);
+  slots[0] = {1, StatusCode::kOk, 1};
+  std::vector<uint8_t> buf;
+  net::AppendPairSlots(slots, &buf);
+  buf[buf.size() - 2] = 0xEE;  // the slot's status-code byte
+  size_t off = 0;
+  EXPECT_FALSE(net::ParsePairSlots(buf, &off).ok());
 }
 
 // ----------------------------------------------- error attribution (bus)
@@ -527,17 +571,21 @@ class MeshTest : public ::testing::Test {
       opts.receive_timeout_ms = receive_timeout_ms;
       services_.push_back(std::make_unique<PartyService>(opts));
     }
-    for (auto& service : services_) {
-      threads_.emplace_back([s = service.get()] {
+    for (size_t i = 0; i < services_.size(); ++i) {
+      threads_.emplace_back([this, i, s = services_[i].get()] {
         Status started = s->Start();
         ASSERT_TRUE(started.ok()) << started.ToString();
         Status served = s->Serve();
-        EXPECT_TRUE(served.ok()) << served.ToString();
+        // An injected crash makes that one daemon's serve loop exit with the
+        // transport error — expected for roles the test crashed on purpose.
+        EXPECT_TRUE(served.ok() || may_crash_[i].load()) << served.ToString();
       });
     }
   }
 
-  std::unique_ptr<RemoteSmcOracle> MakeOracle(int receive_timeout_ms) {
+  std::unique_ptr<RemoteSmcOracle> MakeOracle(int receive_timeout_ms,
+                                              int rpc_batch = 0,
+                                              int rpc_window = 0) {
     RemoteOracleOptions opts;
     opts.config.key_bits = 256;  // small key: fast tests
     opts.config.test_seed = 4242;
@@ -546,6 +594,8 @@ class MeshTest : public ::testing::Test {
     opts.endpoints = endpoints_;
     opts.connect_timeout_ms = 10000;
     opts.receive_timeout_ms = receive_timeout_ms;
+    if (rpc_batch > 0) opts.rpc_batch_pairs = rpc_batch;
+    if (rpc_window > 0) opts.rpc_window = rpc_window;
     return std::make_unique<RemoteSmcOracle>(opts);
   }
 
@@ -570,7 +620,35 @@ class MeshTest : public ::testing::Test {
   MeshEndpoints endpoints_;
   std::vector<std::unique_ptr<PartyService>> services_;
   std::vector<std::thread> threads_;
+  std::array<std::atomic<bool>, 3> may_crash_{};  // alice, bob, qp
 };
+
+/// Six record pairs with known plaintext outcomes, ids 0..5 / 100..105.
+std::vector<std::pair<Record, Record>> SixPairs() {
+  return {
+      {Rec(3, 50), Rec(3, 55)},   // match
+      {Rec(3, 50), Rec(4, 55)},   // cat differs
+      {Rec(1, 10), Rec(1, 90)},   // numeric too far
+      {Rec(2, 70), Rec(2, 70)},   // exact
+      {Rec(5, 30), Rec(5, 41)},   // just over
+      {Rec(5, 30), Rec(5, 40)},   // at the threshold
+  };
+}
+
+std::vector<RowPairRequest> PairBatch(
+    const std::vector<std::pair<Record, Record>>& pairs) {
+  std::vector<RowPairRequest> batch;
+  batch.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    RowPairRequest req;
+    req.a_id = static_cast<int64_t>(i);
+    req.b_id = static_cast<int64_t>(100 + i);
+    req.a = &pairs[i].first;
+    req.b = &pairs[i].second;
+    batch.push_back(req);
+  }
+  return batch;
+}
 
 TEST_F(MeshTest, EndToEndLabelsMatchInProcessProtocol) {
   StartMesh(/*receive_timeout_ms=*/2000);
@@ -684,6 +762,110 @@ TEST_F(MeshTest, DeadPartyQuarantinesPair) {
   ASSERT_TRUE(labels.ok()) << labels.status().ToString();
   EXPECT_EQ((*labels)[0], kPairQuarantined);
   EXPECT_EQ(oracle->pairs_quarantined(), 1);
+
+  // Shutdown is best-effort with a dead party; it must not hang.
+  (void)oracle->Shutdown(/*stop_daemons=*/true);
+}
+
+// rpc_batch = 1 is the degenerate pipelined mode: it must take the literal
+// per-pair round-trip path and produce exactly the plaintext-rule labels the
+// batched mode produces (EndToEndLabelsMatchInProcessProtocol pins the
+// batched mode to the same reference).
+TEST_F(MeshTest, BatchSizeOneDegeneratesToPerPairRoundTrips) {
+  StartMesh(/*receive_timeout_ms=*/2000);
+  auto oracle = MakeOracle(2000, /*rpc_batch=*/1);
+  ASSERT_TRUE(oracle->Init().ok());
+
+  const auto pairs = SixPairs();
+  const auto batch = PairBatch(pairs);
+  auto labels = oracle->CompareBatch(batch);
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  ASSERT_EQ(labels->size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ((*labels)[i],
+              RecordsMatch(pairs[i].first, pairs[i].second, MixedRule())
+                  ? kPairMatch
+                  : kPairNonMatch)
+        << "pair " << i;
+  }
+  // Per-pair mode pays one ctl round trip per pair ...
+  EXPECT_EQ(oracle->ctl_round_trips(), static_cast<int64_t>(pairs.size()));
+  EXPECT_TRUE(oracle->Shutdown(/*stop_daemons=*/true).ok());
+}
+
+TEST_F(MeshTest, BatchedModeCollapsesCtlRoundTrips) {
+  StartMesh(/*receive_timeout_ms=*/2000);
+  auto oracle = MakeOracle(2000, /*rpc_batch=*/32, /*rpc_window=*/4);
+  ASSERT_TRUE(oracle->Init().ok());
+
+  const auto pairs = SixPairs();
+  const auto batch = PairBatch(pairs);
+  auto labels = oracle->CompareBatch(batch);
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  // ... while the batched mode ships all six pairs in ONE frame.
+  EXPECT_EQ(oracle->ctl_round_trips(), 1) << "retries=" << oracle->retries();
+  EXPECT_EQ(oracle->pairs_quarantined(), 0);
+  EXPECT_TRUE(oracle->Shutdown(/*stop_daemons=*/true).ok());
+}
+
+// A transient fault inside one batch only retries the slots it touched: the
+// injected pair fails, the daemons positionally skip the rest of that batch,
+// the other batch of the window completes untouched, and one extra round
+// heals everything — no quarantine, exact labels.
+TEST_F(MeshTest, MidBatchTransientFaultHealsOnlyAffectedSlots) {
+  StartMesh(/*receive_timeout_ms=*/500);
+  auto oracle = MakeOracle(500, /*rpc_batch=*/3, /*rpc_window=*/2);
+  ASSERT_TRUE(oracle->Init().ok());
+  ASSERT_TRUE(oracle->InjectFailures("bob", 1).ok());
+
+  const auto pairs = SixPairs();
+  const auto batch = PairBatch(pairs);
+  auto labels = oracle->CompareBatch(batch);
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ((*labels)[i],
+              RecordsMatch(pairs[i].first, pairs[i].second, MixedRule())
+                  ? kPairMatch
+                  : kPairNonMatch)
+        << "pair " << i;
+  }
+  EXPECT_GE(oracle->retries(), 1);
+  EXPECT_EQ(oracle->pairs_quarantined(), 0);
+  // Two first-round batches plus at least one retry batch.
+  EXPECT_GE(oracle->ctl_round_trips(), 3);
+  EXPECT_TRUE(oracle->Shutdown(/*stop_daemons=*/true).ok());
+}
+
+// A party that DIES mid-batch (no reply, bus down — a real process death,
+// not a clean error) must quarantine the affected pairs and never fabricate
+// a label; the coordinator and the surviving daemons keep running.
+TEST_F(MeshTest, MidBatchCrashQuarantinesWithoutFalseLabels) {
+  StartMesh(/*receive_timeout_ms=*/300);
+  auto oracle = MakeOracle(300, /*rpc_batch=*/2, /*rpc_window=*/2);
+  ASSERT_TRUE(oracle->Init().ok());
+  may_crash_[1] = true;  // bob's serve loop may exit with the transport error
+  ASSERT_TRUE(oracle->InjectFailures("bob", 1, /*crash=*/true).ok());
+
+  const auto pairs = SixPairs();
+  const auto batch = PairBatch(pairs);
+  auto labels = oracle->CompareBatch(batch);
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  ASSERT_EQ(labels->size(), pairs.size());
+  int64_t quarantined = 0;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if ((*labels)[i] == kPairQuarantined) {
+      ++quarantined;
+      continue;
+    }
+    // Any label the run did commit must be the exact plaintext outcome.
+    EXPECT_EQ((*labels)[i],
+              RecordsMatch(pairs[i].first, pairs[i].second, MixedRule())
+                  ? kPairMatch
+                  : kPairNonMatch)
+        << "pair " << i;
+  }
+  EXPECT_GE(quarantined, 1);
+  EXPECT_EQ(oracle->pairs_quarantined(), quarantined);
 
   // Shutdown is best-effort with a dead party; it must not hang.
   (void)oracle->Shutdown(/*stop_daemons=*/true);

@@ -14,6 +14,7 @@
 #include "core/experiment.h"
 #include "core/session.h"
 #include "smc/batch_engine.h"
+#include "smc/protocol.h"
 #include "smc/smc_oracle.h"
 
 namespace hprl {
@@ -188,6 +189,111 @@ TEST(ParallelSmcPipelineTest, SerialAndParallelRunsAreIdentical) {
             parallel.histograms.at("smc.compare_seconds").count);
   EXPECT_EQ(serial.histograms.at("smc.batch_seconds").count,
             parallel.histograms.at("smc.batch_seconds").count);
+}
+
+smc::SmcConfig PackedSmcConfig(int pack_pairs, int slot_bits = 64) {
+  smc::SmcConfig cfg = TestSmcConfig();
+  // A 512-bit modulus gives the packed layout 7 slots, so groups hold more
+  // than one pair and the amortization assertions below have teeth.
+  cfg.key_bits = 512;
+  cfg.pack_pairs = pack_pairs;
+  cfg.pack_slot_bits = slot_bits;
+  return cfg;
+}
+
+// The packed fast path must be a pure optimization: bit-identical labels to
+// the scalar exchange, at every thread count, while actually exercising the
+// packed exchange (the cost counters prove it ran).
+TEST(PackedSmcTest, PackedLabelsBitIdenticalToScalar) {
+  const Workload& w = SmallWorkload();
+  const auto batch = MakeBatch(w, 40);
+
+  smc::BatchSmcEngine scalar(TestSmcConfig(), w.rule, 2);
+  ASSERT_TRUE(scalar.Init().ok());
+  auto scalar_labels = scalar.CompareBatch(batch);
+  ASSERT_TRUE(scalar_labels.ok());
+  EXPECT_EQ(scalar.costs().packed_exchanges, 0);
+
+  for (int threads : {1, 4}) {
+    smc::BatchSmcEngine packed(PackedSmcConfig(4), w.rule, threads);
+    ASSERT_TRUE(packed.Init().ok());
+    auto labels = packed.CompareBatch(batch);
+    ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+    EXPECT_EQ(*labels, *scalar_labels) << "threads=" << threads;
+    EXPECT_GT(packed.costs().packed_exchanges, 0) << "threads=" << threads;
+    EXPECT_GT(packed.costs().packed_pairs,
+              packed.costs().packed_exchanges)  // > 1 pair per exchange
+        << "threads=" << threads;
+  }
+}
+
+// Same fault schedule + same seed => the packed engine is deterministic
+// across thread counts (quarantine labels included).
+TEST(PackedSmcTest, PackedDeterministicUnderFaults) {
+  const Workload& w = SmallWorkload();
+  const auto batch = MakeBatch(w, 40);
+
+  smc::SmcConfig cfg = PackedSmcConfig(4);
+  cfg.fault_plan.seed = 47;
+  cfg.fault_plan.drop_rate = 0.15;
+  cfg.fault_plan.corrupt_rate = 0.10;
+
+  std::vector<std::vector<uint8_t>> by_threads;
+  for (int threads : {1, 4}) {
+    smc::BatchSmcEngine engine(cfg, w.rule, threads);
+    ASSERT_TRUE(engine.Init().ok());
+    auto labels = engine.CompareBatch(batch);
+    ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+    by_threads.push_back(std::move(labels).value());
+  }
+  EXPECT_EQ(by_threads[0], by_threads[1]);
+}
+
+// Slots too narrow for the scaled attribute values: every pair fails the
+// (|x|+|y|)² carry-safety check, falls back to the scalar exchange inside
+// its group, and still gets the exact label.
+TEST(PackedSmcTest, NarrowSlotsFallBackToScalarPerPair) {
+  const Workload& w = SmallWorkload();
+  const auto batch = MakeBatch(w, 20);
+
+  smc::BatchSmcEngine scalar(TestSmcConfig(), w.rule, 2);
+  ASSERT_TRUE(scalar.Init().ok());
+  auto scalar_labels = scalar.CompareBatch(batch);
+  ASSERT_TRUE(scalar_labels.ok());
+
+  // fp_scale = 1000 makes every numeric encoding ≥ 10⁴ in magnitude, so an
+  // 8-bit slot can never hold its squared sum.
+  smc::BatchSmcEngine narrow(PackedSmcConfig(4, /*slot_bits=*/8), w.rule, 2);
+  ASSERT_TRUE(narrow.Init().ok());
+  auto labels = narrow.CompareBatch(batch);
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  EXPECT_EQ(*labels, *scalar_labels);
+  EXPECT_EQ(narrow.costs().packed_pairs, 0);
+}
+
+// Packing requires revealed distances (the packed plaintext IS the distance
+// vector): a blinded config must ignore pack_pairs entirely.
+TEST(PackedSmcTest, BlindedConfigDisablesPacking) {
+  const Workload& w = SmallWorkload();
+  smc::SmcConfig cfg = PackedSmcConfig(4);
+  cfg.reveal_distances = false;
+  smc::SecureRecordComparator comparator(cfg, w.rule);
+  EXPECT_EQ(comparator.PackedGroupPairs(), 0);
+
+  const auto batch = MakeBatch(w, 12);
+  smc::BatchSmcEngine engine(cfg, w.rule, 2);
+  ASSERT_TRUE(engine.Init().ok());
+  auto labels = engine.CompareBatch(batch);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(engine.costs().packed_exchanges, 0);
+
+  smc::SmcConfig blinded_scalar = TestSmcConfig();
+  blinded_scalar.reveal_distances = false;
+  smc::BatchSmcEngine reference(blinded_scalar, w.rule, 2);
+  ASSERT_TRUE(reference.Init().ok());
+  auto ref_labels = reference.CompareBatch(batch);
+  ASSERT_TRUE(ref_labels.ok());
+  EXPECT_EQ(*labels, *ref_labels);
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 //             [--links links.csv] [--release-r ra.txt] [--release-s rb.txt]
 //             [--with-rows] [--evaluate] [--metrics_out run.json]
 //             [--threads N] [--smc_threads N]
+//             [--smc_pack N] [--smc_pack_slot_bits N]
+//             [--rpc_batch N] [--rpc_window N]
 //             [--checkpoint drain.json]
 //             [--fault_seed N] [--fault_drop R] [--fault_corrupt R]
 //             [--fault_delay R] [--fault_delay_micros N] [--fault_crash R]
@@ -45,6 +47,18 @@ int main(int argc, char** argv) {
       "smc_threads", 0,
       "SMC worker comparators (0 = use the spec's setting; both default to "
       "the machine's hardware concurrency)");
+  int64_t* smc_pack = flags.AddInt(
+      "smc_pack", -1,
+      "pairs per packed SMC exchange (0 = scalar; -1 = use the spec's)");
+  int64_t* smc_pack_slot_bits = flags.AddInt(
+      "smc_pack_slot_bits", -1,
+      "bit width of one packed slot (-1 = use the spec's)");
+  int64_t* rpc_batch = flags.AddInt(
+      "rpc_batch", 0,
+      "tcp: pairs per ctl batch frame (1 = per-pair; 0 = use the spec's)");
+  int64_t* rpc_window = flags.AddInt(
+      "rpc_window", 0,
+      "tcp: batches kept in flight (0 = use the spec's)");
   std::string* checkpoint = flags.AddString(
       "checkpoint", "",
       "resumable SMC drain: persist progress here after every batch and "
@@ -122,6 +136,10 @@ int main(int argc, char** argv) {
   options.metrics_out = *metrics_out;
   options.threads_override = static_cast<int>(*threads);
   options.smc_threads_override = static_cast<int>(*smc_threads);
+  options.smc_pack_override = static_cast<int>(*smc_pack);
+  options.smc_pack_slot_bits_override = static_cast<int>(*smc_pack_slot_bits);
+  options.rpc_batch_override = static_cast<int>(*rpc_batch);
+  options.rpc_window_override = static_cast<int>(*rpc_window);
   options.checkpoint = *checkpoint;
   options.fault_seed_override = *fault_seed;
   options.fault_drop_override = *fault_drop;
