@@ -11,6 +11,8 @@
 #   - tcp transport: measured wall clock and wire bytes of a real
 #     three-daemon loopback run vs the NetworkModel(LAN) projection
 #   - pipelined rpc: ctl round trips at batch 32 vs one round trip per pair
+#   - sharded smc: the same linkage over a 4-shard comparator fleet vs one
+#     shard, under emulated per-pair latency (the overlap sharding buys)
 #
 #   scripts/bench_smoke.sh [build-dir]           # run + write BENCH_hotpath.json
 #   scripts/bench_smoke.sh --check [build-dir]   # run, compare against the
@@ -63,6 +65,24 @@ echo "== pipelined rpc: ctl round trips, per-pair vs batch 32 =="
   --r "$TMP/tcpdata/r.csv" --s "$TMP/tcpdata/s.csv" --transport tcp \
   --rpc_batch 32 --rpc_window 4 --metrics_out "$TMP/tcp_batch32.json" \
   >/dev/null
+
+echo "== sharded smc: 4-shard comparator fleet vs 1 shard (emulated latency) =="
+# The daemons sleep 10 ms per pair (--net_emu_latency_micros), making the
+# stage latency-bound: the speedup measures the coordinator overlapping the
+# shards' latency windows — what sharding buys on a real network — not CPU
+# core multiplication (docs/CLUSTER.md). Labels must stay bit-identical.
+"./$BUILD/tools/hprl_link" --spec "$TMP/tcpdata/linkage.spec" \
+  --r "$TMP/tcpdata/r.csv" --s "$TMP/tcpdata/s.csv" --transport tcp \
+  --shards 1 --net_emu_latency_micros 10000 \
+  --links "$TMP/links_shard1.csv" --metrics_out "$TMP/tcp_shard1.json" \
+  >/dev/null
+"./$BUILD/tools/hprl_link" --spec "$TMP/tcpdata/linkage.spec" \
+  --r "$TMP/tcpdata/r.csv" --s "$TMP/tcpdata/s.csv" --transport tcp \
+  --shards 4 --net_emu_latency_micros 10000 \
+  --links "$TMP/links_shard4.csv" --metrics_out "$TMP/tcp_shard4.json" \
+  >/dev/null
+diff "$TMP/links_shard1.csv" "$TMP/links_shard4.csv" \
+  || { echo "FAIL: 4-shard links differ from single-shard links"; exit 1; }
 
 CHECK="$CHECK" python3 - "$TMP" <<'EOF'
 import json, sys, os
@@ -178,6 +198,24 @@ report["pipelined_rpc"] = {
     "ctl_round_trips_per_pair_mode": per_pair,
     "ctl_round_trips_batch32": batch32,
     "round_trip_reduction": per_pair / batch32,
+}
+
+# Comparator fleet: the same linkage over 4 shard meshes vs 1, with the
+# daemons sleeping 10 ms per pair so the stage is latency-bound. The
+# speedup is the SMC-stage wall-clock ratio (acceptance: >= 2.5x at 4
+# shards); links were diffed bit-identical by the shell above.
+def smc_wall_seconds(path):
+    with open(os.path.join(tmp, path)) as f:
+        return json.load(f)["gauges"]["net.measured_smc_seconds"]
+
+shard1_s = smc_wall_seconds("tcp_shard1.json")
+shard4_s = smc_wall_seconds("tcp_shard4.json")
+report["sharded_smc"] = {
+    "shards": 4,
+    "emulated_latency_micros": 10000,
+    "smc_seconds_1_shard": shard1_s,
+    "smc_seconds_4_shards": shard4_s,
+    "speedup": shard1_s / shard4_s,
 }
 
 if check:

@@ -48,6 +48,62 @@ assert drift < 0.05, f"wire {wire} vs accounted {bus}: drift {drift:.4f}"
 print(f"tcp loopback OK: links bit-identical, byte drift {drift:.4%}")
 EOF
 
+echo "== comparator fleet smoke: 2 shards (7 processes), bit-identical links =="
+# Sharding is a throughput measure only: a 2-shard fleet run must reproduce
+# the in-process links bit for bit at the pinned seed (docs/CLUSTER.md).
+./build/tools/hprl_link --spec "$TCP_TMP/linkage.spec" \
+  --r "$TCP_TMP/r.csv" --s "$TCP_TMP/s.csv" --transport tcp --shards 2 \
+  --links "$TCP_TMP/links_fleet.csv" >/dev/null
+diff "$TCP_TMP/links_inproc.csv" "$TCP_TMP/links_fleet.csv" \
+  || { echo "FAIL: 2-shard fleet links differ from in-process links"; exit 1; }
+echo "fleet OK: 2-shard links bit-identical to in-process"
+
+echo "== fleet failover smoke: one replica SIGKILLed mid-drain =="
+# Two manually started shard meshes; bob#1 is SIGKILLed while the drain is
+# in flight. The coordinator must rebalance its work onto shard 0 and still
+# produce bit-identical links with zero quarantined pairs.
+BASE=$((20000 + RANDOM % 20000))
+FLEET_PIDS=()
+BOB1_PID=""
+for s in 0 1; do
+  A="127.0.0.1:$((BASE + 10 * s + 1))"
+  B="127.0.0.1:$((BASE + 10 * s + 2))"
+  Q="127.0.0.1:$((BASE + 10 * s + 3))"
+  for role in alice bob qp; do
+    ./build/tools/hprl_party --role "$role" --alice "$A" --bob "$B" \
+      --qp "$Q" --shard "$s" >/dev/null 2>&1 &
+    FLEET_PIDS+=($!)
+    if [[ "$role" == bob && "$s" == 1 ]]; then BOB1_PID=$!; fi
+  done
+done
+sleep 0.5
+PARTIES="127.0.0.1:$((BASE + 1)),127.0.0.1:$((BASE + 2)),127.0.0.1:$((BASE + 3))"
+PARTIES="$PARTIES;127.0.0.1:$((BASE + 11)),127.0.0.1:$((BASE + 12)),127.0.0.1:$((BASE + 13))"
+./build/tools/hprl_link --spec "$TCP_TMP/linkage.spec" \
+  --r "$TCP_TMP/r.csv" --s "$TCP_TMP/s.csv" --transport tcp \
+  --parties "$PARTIES" --net_emu_latency_micros 20000 \
+  --links "$TCP_TMP/links_killed.csv" \
+  --metrics_out "$TCP_TMP/run_killed.json" >/dev/null &
+LINK_PID=$!
+sleep 1.5
+kill -9 "$BOB1_PID" 2>/dev/null || true
+wait "$LINK_PID" \
+  || { echo "FAIL: fleet run did not survive the killed replica"; exit 1; }
+for pid in "${FLEET_PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+wait 2>/dev/null || true
+diff "$TCP_TMP/links_inproc.csv" "$TCP_TMP/links_killed.csv" \
+  || { echo "FAIL: killed-replica links differ from in-process links"; exit 1; }
+python3 - "$TCP_TMP/run_killed.json" <<'EOF'
+import json, sys
+run = json.load(open(sys.argv[1]))
+quarantined = run["metrics"]["quarantined_pairs"]
+rebalanced = run["counters"].get("net.membership.rebalanced_pairs", 0)
+assert quarantined == 0, f"{quarantined} pairs quarantined despite a live shard"
+assert rebalanced > 0, "no pairs rebalanced: the kill missed the drain"
+print(f"failover OK: links bit-identical, {rebalanced} pairs rebalanced, "
+      f"0 quarantined")
+EOF
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipped sanitizer passes and bench check (--fast) =="
   exit 0
@@ -58,22 +114,24 @@ echo "== bench check: hot-path speedups vs committed BENCH_hotpath.json =="
 # 80% of its committed value (scripts/bench_smoke.sh --check).
 scripts/bench_smoke.sh --check
 
-echo "== ASan: fault injection + real TCP transport =="
+echo "== ASan: fault injection + membership/scheduler + real TCP transport =="
 cmake -B build-asan -S . -DHPRL_SANITIZE=address >/dev/null
-cmake --build build-asan -j --target fault_test net_test
+cmake --build build-asan -j --target fault_test membership_test net_test
 ./build-asan/tests/fault_test
+./build-asan/tests/membership_test
 ./build-asan/tests/net_test
 
 echo "== TSan: metrics registry + threaded blocking + parallel/faulty SMC =="
 cmake -B build-tsan -S . -DHPRL_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target obs_test blocking_test session_test \
-  parallel_smc_test crypto_test fault_test net_test
+  parallel_smc_test crypto_test fault_test membership_test net_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/blocking_test
 ./build-tsan/tests/session_test
 ./build-tsan/tests/parallel_smc_test
 ./build-tsan/tests/crypto_test
 ./build-tsan/tests/fault_test
+./build-tsan/tests/membership_test
 ./build-tsan/tests/net_test
 
 echo "== verify OK =="

@@ -1,15 +1,6 @@
 #include "cli/runner.h"
 
-#include <fcntl.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <array>
-#include <cerrno>
-#include <chrono>
-#include <csignal>
-#include <cstring>
 #include <fstream>
 #include <thread>
 
@@ -21,13 +12,10 @@
 #include "data/csv.h"
 #include "hierarchy/vgh_parser.h"
 #include "linkage/ground_truth.h"
-#include "linkage/oracle.h"
-#include "net/remote_oracle.h"
-#include "net/socket.h"
+#include "net/backend.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "smc/network.h"
-#include "smc/smc_oracle.h"
 
 namespace hprl::cli {
 
@@ -186,151 +174,6 @@ Status WriteLinksCsv(const std::string& path, const Table& r, const Table& s,
   return Status::OK();
 }
 
-// ---------------------------------------------------------------------------
-// --transport=tcp deployment: parse a user-supplied mesh, or spawn three
-// local hprl_party daemons on kernel-assigned loopback ports.
-
-/// "host:port,host:port,host:port" in alice,bob,qp order.
-Result<net::MeshEndpoints> ParseMeshEndpoints(const std::string& text) {
-  std::vector<std::string> parts;
-  size_t start = 0;
-  while (true) {
-    size_t comma = text.find(',', start);
-    parts.push_back(text.substr(
-        start, comma == std::string::npos ? std::string::npos : comma - start));
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  if (parts.size() != 3) {
-    return Status::InvalidArgument(
-        "--parties wants exactly three host:port endpoints in alice,bob,qp "
-        "order, got '" + text + "'");
-  }
-  static const char* kNames[3] = {"alice", "bob", "qp"};
-  net::PeerAddress addrs[3];
-  for (int i = 0; i < 3; ++i) {
-    const std::string& p = parts[i];
-    size_t colon = p.rfind(':');
-    if (colon == std::string::npos || colon == 0 || colon + 1 >= p.size()) {
-      return Status::InvalidArgument(
-          StrFormat("--parties: %s endpoint must be host:port, got '%s'",
-                    kNames[i], p.c_str()));
-    }
-    int port = 0;
-    for (size_t j = colon + 1; j < p.size(); ++j) {
-      if (p[j] < '0' || p[j] > '9' || port > 65535) {
-        return Status::InvalidArgument(
-            StrFormat("--parties: bad port in %s endpoint '%s'", kNames[i],
-                      p.c_str()));
-      }
-      port = port * 10 + (p[j] - '0');
-    }
-    if (port == 0 || port > 65535) {
-      return Status::InvalidArgument(
-          StrFormat("--parties: bad port in %s endpoint '%s'", kNames[i],
-                    p.c_str()));
-    }
-    addrs[i].name = kNames[i];
-    addrs[i].host = p.substr(0, colon);
-    addrs[i].port = static_cast<uint16_t>(port);
-  }
-  net::MeshEndpoints mesh;
-  mesh.alice = addrs[0];
-  mesh.bob = addrs[1];
-  mesh.qp = addrs[2];
-  return mesh;
-}
-
-/// Three kernel-assigned ports, all held open while being read so the same
-/// port cannot be handed out twice. The daemons rebind them right after
-/// (SO_REUSEADDR makes the close-then-bind handoff safe).
-Result<std::array<uint16_t, 3>> ProbeFreePorts() {
-  std::array<uint16_t, 3> ports{};
-  net::Fd holds[3];
-  for (int i = 0; i < 3; ++i) {
-    auto listener = net::TcpListen(0);
-    if (!listener.ok()) return listener.status();
-    auto port = net::LocalPort(*listener);
-    if (!port.ok()) return port.status();
-    ports[i] = *port;
-    holds[i] = std::move(*listener);
-  }
-  return ports;
-}
-
-/// fork/execs the three hprl_party daemons and reaps them on destruction.
-/// The coordinator's shutdown command is what actually asks them to exit;
-/// Terminate() only waits, escalating to SIGKILL for a wedged daemon.
-class SpawnedParties {
- public:
-  ~SpawnedParties() { Terminate(); }
-
-  Status Spawn(const std::string& binary,
-               const std::array<std::string, 3>& endpoints,
-               int connect_timeout_ms, int receive_timeout_ms) {
-    static const char* kRoles[3] = {"alice", "bob", "qp"};
-    for (int i = 0; i < 3; ++i) {
-      std::vector<std::string> args = {
-          binary,          "--role",
-          kRoles[i],       "--alice",
-          endpoints[0],    "--bob",
-          endpoints[1],    "--qp",
-          endpoints[2],    "--connect_timeout_ms",
-          StrFormat("%d", connect_timeout_ms),
-          "--receive_timeout_ms",
-          StrFormat("%d", receive_timeout_ms)};
-      std::vector<char*> argv;
-      argv.reserve(args.size() + 1);
-      for (std::string& a : args) argv.push_back(a.data());
-      argv.push_back(nullptr);
-      pid_t pid = ::fork();
-      if (pid < 0) {
-        return Status::IOError(std::string("fork failed spawning hprl_party: ") +
-                               std::strerror(errno));
-      }
-      if (pid == 0) {
-        // Keep the coordinator's stdout clean; daemon chatter goes to
-        // stderr only (its own prints are informational).
-        int devnull = ::open("/dev/null", O_WRONLY);
-        if (devnull >= 0) {
-          ::dup2(devnull, STDOUT_FILENO);
-          ::close(devnull);
-        }
-        ::execvp(argv[0], argv.data());
-        std::fprintf(stderr, "hprl_link: cannot exec %s: %s\n", binary.c_str(),
-                     std::strerror(errno));
-        ::_exit(127);
-      }
-      pids_.push_back(pid);
-    }
-    return Status::OK();
-  }
-
-  void Terminate() {
-    for (pid_t pid : pids_) {
-      bool reaped = false;
-      for (int tick = 0; tick < 100 && !reaped; ++tick) {  // ~5 s grace
-        int status = 0;
-        pid_t r = ::waitpid(pid, &status, WNOHANG);
-        if (r == pid || (r < 0 && errno == ECHILD)) {
-          reaped = true;
-          break;
-        }
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
-      }
-      if (!reaped) {
-        ::kill(pid, SIGKILL);
-        int status = 0;
-        ::waitpid(pid, &status, 0);
-      }
-    }
-    pids_.clear();
-  }
-
- private:
-  std::vector<pid_t> pids_;
-};
-
 }  // namespace
 
 std::string RunnerReport::ToString() const {
@@ -481,79 +324,50 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
       .WithEvaluation(options.evaluate);
   if (!options.checkpoint.empty()) session.WithCheckpoint(options.checkpoint);
 
-  Result<HybridResult> result = Status::Internal("unset");
-  if (fault_plan.enabled() && spec.key_bits == 0) {
-    return Status::InvalidArgument(
-        "fault injection targets the SMC transport; it requires keybits > 0 "
-        "(the plaintext oracle has no transport to fault)");
-  }
-  const bool use_tcp = options.transport == "tcp";
-  if (!options.transport.empty() && options.transport != "inproc" &&
-      !use_tcp) {
-    return Status::InvalidArgument("unknown transport '" + options.transport +
-                                   "' (expected inproc or tcp)");
-  }
+  // Oracle acquisition goes through the one backend factory: it validates
+  // the deployment (transport/keybits/fault/shard compatibility), spawns or
+  // joins daemon fleets, and hands back the MatchOracle to run against.
+  const int shards = options.shards_override > 0 ? options.shards_override
+                                                 : spec.shards;
+  net::BackendOptions bopts;
+  bopts.config.key_bits = spec.key_bits;
+  bopts.config.max_retries = spec.smc_retries;
+  bopts.config.fault_plan = fault_plan;
+  bopts.config.pack_pairs = smc_pack;
+  bopts.config.pack_slot_bits = smc_pack_slot_bits;
+  bopts.rule = plan->rule;
+  bopts.smc_threads = smc_threads;
+  bopts.transport = options.transport;
+  bopts.tcp_endpoints = options.tcp_endpoints;
+  bopts.party_binary = options.party_binary;
+  bopts.shards = shards;
+  bopts.rpc_batch_pairs = rpc_batch;
+  bopts.rpc_window = rpc_window;
+  bopts.connect_timeout_ms = options.net_connect_timeout_ms;
+  bopts.receive_timeout_ms = options.net_receive_timeout_ms;
+  bopts.emulated_latency_micros = options.net_emu_latency_micros;
+
+  auto backend = net::SmcBackend::Create(std::move(bopts));
+  if (!backend.ok()) return backend.status();
+  net::SmcBackend& be = **backend;
+  be.AttachMetrics(metrics);
+  HPRL_RETURN_IF_ERROR(be.Init());
+  report.oracle = be.description();
+  const bool use_tcp = be.is_tcp();
+  const std::string parties_desc = be.parties_description();
+
+  Result<HybridResult> result = session.WithOracle(be.oracle()).Run();
+
   net::MeshStats mesh_stats;
-  std::string parties_desc;
   if (use_tcp) {
-    if (spec.key_bits == 0) {
-      return Status::InvalidArgument(
-          "--transport=tcp runs the SMC protocol across hprl_party daemons; "
-          "it requires keybits > 0");
-    }
-    if (fault_plan.enabled()) {
-      return Status::InvalidArgument(
-          "fault injection simulates transport faults and only applies "
-          "in-process; on --transport=tcp faults are real (stop a daemon "
-          "instead)");
-    }
-
-    net::MeshEndpoints mesh;
-    SpawnedParties daemons;
-    if (options.tcp_endpoints.empty()) {
-      auto ports = ProbeFreePorts();
-      if (!ports.ok()) return ports.status();
-      std::array<std::string, 3> eps;
-      for (int i = 0; i < 3; ++i) {
-        eps[i] = StrFormat("127.0.0.1:%u", unsigned{(*ports)[i]});
-      }
-      HPRL_RETURN_IF_ERROR(daemons.Spawn(options.party_binary, eps,
-                                         options.net_connect_timeout_ms,
-                                         options.net_receive_timeout_ms));
-      mesh.alice = {"alice", "127.0.0.1", (*ports)[0]};
-      mesh.bob = {"bob", "127.0.0.1", (*ports)[1]};
-      mesh.qp = {"qp", "127.0.0.1", (*ports)[2]};
-      parties_desc = eps[0] + "," + eps[1] + "," + eps[2] + " (spawned)";
-    } else {
-      auto parsed = ParseMeshEndpoints(options.tcp_endpoints);
-      if (!parsed.ok()) return parsed.status();
-      mesh = *parsed;
-      parties_desc = options.tcp_endpoints;
-    }
-
-    net::RemoteOracleOptions ropts;
-    ropts.config.key_bits = spec.key_bits;
-    ropts.config.max_retries = spec.smc_retries;
-    ropts.rpc_batch_pairs = rpc_batch;
-    ropts.rpc_window = rpc_window;
-    ropts.rule = plan->rule;
-    ropts.endpoints = mesh;
-    ropts.connect_timeout_ms = options.net_connect_timeout_ms;
-    ropts.receive_timeout_ms = options.net_receive_timeout_ms;
-    net::RemoteSmcOracle oracle(ropts);
-    oracle.AttachMetrics(metrics);
-    HPRL_RETURN_IF_ERROR(oracle.Init());
-    report.oracle = StrFormat("paillier-%d/tcp", spec.key_bits);
-    result = session.WithOracle(oracle).Run();
-
     // The session detaches oracle metrics when Run() returns; re-attach so
     // the final stats sweep lands the mesh-wide net.* totals in the report.
-    oracle.AttachMetrics(metrics);
-    Status shut = oracle.Shutdown(/*stop_daemons=*/true);
+    be.AttachMetrics(metrics);
+    Status shut = be.Shutdown(/*stop_daemons=*/true);
     if (result.ok()) {
       // Stats are best-effort once the linkage itself succeeded: a daemon
       // that died right at shutdown loses its counters, not the run.
-      mesh_stats = oracle.mesh_stats();
+      mesh_stats = be.mesh_stats();
       report.wire_bytes_sent = mesh_stats.wire_bytes_sent;
       report.bus_accounted_bytes = mesh_stats.bus_bytes;
       if (shut.ok()) {
@@ -565,21 +379,6 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
         }
       }
     }
-  } else if (spec.key_bits > 0) {
-    smc::SmcConfig smc_cfg;
-    smc_cfg.key_bits = spec.key_bits;
-    smc_cfg.fault_plan = fault_plan;
-    smc_cfg.max_retries = spec.smc_retries;
-    smc_cfg.pack_pairs = smc_pack;
-    smc_cfg.pack_slot_bits = smc_pack_slot_bits;
-    smc::SmcMatchOracle oracle(smc_cfg, plan->rule, smc_threads);
-    HPRL_RETURN_IF_ERROR(oracle.Init());
-    report.oracle = StrFormat("paillier-%d", spec.key_bits);
-    result = session.WithOracle(oracle).Run();
-  } else {
-    CountingPlaintextOracle oracle(plan->rule);
-    report.oracle = "plaintext";
-    result = session.WithOracle(oracle).Run();
   }
   if (!result.ok()) return result.status();
   report.result = std::move(result).value();
@@ -615,6 +414,7 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
       run.AddConfig("parties", parties_desc);
       run.AddConfig("rpc_batch", StrFormat("%d", rpc_batch));
       run.AddConfig("rpc_window", StrFormat("%d", rpc_window));
+      run.AddConfig("shards", StrFormat("%d", shards));
     }
     if (fault_plan.enabled()) {
       run.AddConfig("fault_seed",

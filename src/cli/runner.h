@@ -71,6 +71,15 @@ struct RunnerOptions {
   /// not absolute).
   std::string party_binary = "hprl_party";
 
+  /// > 0: overrides the spec's `shards` directive — comparator shard meshes
+  /// per fleet (docs/CLUSTER.md). Requires --transport=tcp when > 1.
+  int shards_override = 0;
+
+  /// --transport=tcp bench knob: per-pair daemon-side sleep in microseconds,
+  /// making the SMC stage latency-bound so shard scaling measures overlap
+  /// (docs/CLUSTER.md). 0 (the default) in production.
+  uint32_t net_emu_latency_micros = 0;
+
   /// --transport=tcp: deadline for establishing the mesh, and the blocking-
   /// receive bound on every protocol link (a daemon that stays silent longer
   /// surfaces as a retryable timeout to the coordinator).

@@ -168,6 +168,11 @@ Result<LinkageSpec> ParseLinkageSpec(const std::string& text,
       auto v = ParseInt(tok[1]);
       if (!v.ok() || *v < 1) return err("bad rpc_window");
       spec.rpc_window = static_cast<int>(*v);
+    } else if (key == "shards") {
+      if (tok.size() != 2) return err("shards needs a value");
+      auto v = ParseInt(tok[1]);
+      if (!v.ok() || *v < 1) return err("bad shards");
+      spec.shards = static_cast<int>(*v);
     } else if (key == "fault") {
       if (tok.size() < 3) return err("fault needs: <kind> <value>");
       const std::string& kind = tok[1];

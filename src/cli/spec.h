@@ -43,7 +43,8 @@ struct AttrSpec {
 ///   smc_retries 3        # transient-fault retries per protocol exchange
 ///   smc_pack 8 64        # pairs per packed SMC exchange, then slot bits
 ///   rpc_batch 32         # TCP: pairs per ctl batch frame (1 = per-pair)
-///   rpc_window 4         # TCP: batches kept in flight
+///   rpc_window 4         # TCP: batches kept in flight per shard
+///   shards 4             # TCP: comparator shard meshes per fleet
 ///   fault seed 11        # deterministic fault-injection schedule (smc/fault.h)
 ///   fault drop 0.25      # rates are per protocol step, in [0,1]
 ///   fault corrupt 0.25
@@ -77,11 +78,15 @@ struct LinkageSpec {
   /// Bit width of one packed slot (smc::SmcConfig::pack_slot_bits).
   int smc_pack_slot_bits = 64;
 
-  /// TCP transport: pairs per kCtlPairBatch frame
+  /// TCP transport: pairs per kPairBatch frame
   /// (net::RemoteOracleOptions::rpc_batch_pairs); <= 1 disables batching.
   int rpc_batch = 32;
-  /// TCP transport: batches in flight (net::RemoteOracleOptions::rpc_window).
+  /// TCP transport: batches in flight per shard
+  /// (net::RemoteOracleOptions::rpc_window).
   int rpc_window = 4;
+  /// TCP transport: comparator shard meshes per fleet (net::SmcBackend,
+  /// docs/CLUSTER.md). 1 = the single-daemon deployment.
+  int shards = 1;
 
   /// Fault-injection schedule for the SMC transport (smc::FaultPlan); all
   /// rates zero (the default) leaves the transport undecorated.

@@ -238,4 +238,99 @@ Result<crypto::BigInt> ConsumeSignedBigInt(const std::vector<uint8_t>& buf,
   return *neg != 0 ? -*mag : *mag;
 }
 
+const char* CtlVerbTag(CtlVerb verb) {
+  switch (verb) {
+    case CtlVerb::kConfigure:
+      return "cfg";
+    case CtlVerb::kKeygen:
+      return "keygen";
+    case CtlVerb::kRecvKey:
+      return "recvkey";
+    case CtlVerb::kPair:
+      return "pair";
+    case CtlVerb::kPairBatch:
+      return "pairb";
+    case CtlVerb::kPurge:
+      return "purge";
+    case CtlVerb::kStats:
+      return "stats";
+    case CtlVerb::kShutdown:
+      return "shutdown";
+    case CtlVerb::kInjectFail:
+      return "inject_fail";
+    case CtlVerb::kHeartbeat:
+      return "hb";
+  }
+  return "unknown";  // unreachable: the switch above is exhaustive
+}
+
+Result<CtlVerb> CtlVerbFromTag(const std::string& tag) {
+  for (uint8_t v = 0; v < kCtlVerbCount; ++v) {
+    CtlVerb verb = static_cast<CtlVerb>(v);
+    if (tag == CtlVerbTag(verb)) return verb;
+  }
+  return Status::InvalidArgument("unknown ctl command: " + tag);
+}
+
+std::string CtlInbox(const std::string& role, CtlVerb verb) {
+  return role + (verb == CtlVerb::kHeartbeat ? ":hb" : ":ctl");
+}
+
+smc::Message EncodeCtlRequest(const std::string& from, const std::string& role,
+                              const CtlRequest& req) {
+  Message msg;
+  msg.from = from;
+  msg.to = CtlInbox(role, req.verb);
+  msg.tag = CtlVerbTag(req.verb);
+  msg.payload = req.body;
+  return msg;
+}
+
+void AppendCtlResponse(const CtlResponse& r, std::vector<uint8_t>* out) {
+  AppendString(r.role, out);
+  AppendU8(static_cast<uint8_t>(r.verb), out);
+  AppendU64(r.id, out);
+  AppendU32(r.attempt, out);
+  AppendU8(static_cast<uint8_t>(r.code), out);
+  AppendU8(r.label, out);
+  AppendString(r.detail, out);
+  out->insert(out->end(), r.extra.begin(), r.extra.end());
+}
+
+Result<CtlResponse> ParseCtlResponse(const std::vector<uint8_t>& payload) {
+  CtlResponse r;
+  size_t off = 0;
+  auto role = ConsumeString(payload, &off);
+  if (!role.ok()) return role.status();
+  auto verb = ConsumeU8(payload, &off);
+  if (!verb.ok()) return verb.status();
+  if (*verb >= kCtlVerbCount) {
+    return Status::IOError("ctl reply carries unknown verb " +
+                           std::to_string(int{*verb}));
+  }
+  auto id = ConsumeU64(payload, &off);
+  if (!id.ok()) return id.status();
+  auto attempt = ConsumeU32(payload, &off);
+  if (!attempt.ok()) return attempt.status();
+  auto code = ConsumeU8(payload, &off);
+  if (!code.ok()) return code.status();
+  if (*code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return Status::IOError("ctl reply carries unknown status code " +
+                           std::to_string(int{*code}));
+  }
+  auto label = ConsumeU8(payload, &off);
+  if (!label.ok()) return label.status();
+  auto detail = ConsumeString(payload, &off);
+  if (!detail.ok()) return detail.status();
+  r.role = std::move(role).value();
+  r.verb = static_cast<CtlVerb>(*verb);
+  r.id = *id;
+  r.attempt = *attempt;
+  r.code = static_cast<StatusCode>(*code);
+  r.label = *label;
+  r.detail = std::move(detail).value();
+  r.extra.assign(payload.begin() + static_cast<long>(off), payload.end());
+  return r;
+}
+
 }  // namespace hprl::net

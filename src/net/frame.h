@@ -31,10 +31,13 @@ namespace hprl::net {
 /// in-process transport.
 
 inline constexpr uint32_t kWireMagic = 0x4850524C;  // "HPRL"
-/// Version 2: the ctl plane gained the batched pair command (kCtlPairBatch)
-/// with per-slot status replies, and kCtlConfigure carries the randomizer
-/// pool depth. Mixed-version meshes are rejected at the frame layer.
-inline constexpr uint16_t kWireVersion = 2;
+/// Version 3: ctl verbs are a typed enum (CtlVerb, one byte on the wire in
+/// every ctl acknowledgement), the mesh gained heartbeat probes on the ":hb"
+/// sub-inbox, kCtlConfigure carries the emulated per-pair latency knob, and
+/// party stats report the rebalanced-pair counter. Version 2 added the
+/// batched pair command and the randomizer pool depth. Mixed-version meshes
+/// are rejected at the frame layer.
+inline constexpr uint16_t kWireVersion = 3;
 
 /// Frames larger than this are rejected before any allocation — an oversized
 /// length prefix means a corrupted or hostile stream, not a big message
@@ -86,6 +89,73 @@ Result<std::string> ConsumeString(const std::vector<uint8_t>& buf,
                                   size_t* off);
 Result<crypto::BigInt> ConsumeSignedBigInt(const std::vector<uint8_t>& buf,
                                            size_t* off);
+
+// ---------------------------------------------------------------------------
+// Typed coordination (ctl) plane. Every command the coordinator sends a
+// party daemon is one of these verbs; the verb is carried as the message tag
+// on the wire (stable short strings, so a capture stays greppable) and as a
+// single byte inside every acknowledgement. Adding a verb is a
+// compile-checked change: CtlVerbTag() and the daemons' dispatch switch are
+// exhaustive over the enum, so a missing case is a -Wswitch error, not a
+// silently ignored command.
+
+enum class CtlVerb : uint8_t {
+  kConfigure = 0,   ///< protocol parameters ("cfg")
+  kKeygen = 1,      ///< qp only: generate + publish key ("keygen")
+  kRecvKey = 2,     ///< holders: consume the public key ("recvkey")
+  kPair = 3,        ///< run one pair attempt ("pair")
+  kPairBatch = 4,   ///< run a batch of pairs ("pairb")
+  kPurge = 5,       ///< inter-attempt flush barrier ("purge")
+  kStats = 6,       ///< report cost/traffic counters ("stats")
+  kShutdown = 7,    ///< leave the serve loop ("shutdown")
+  kInjectFail = 8,  ///< test hook: fail/crash upcoming pairs ("inject_fail")
+  kHeartbeat = 9,   ///< membership probe on the ":hb" sub-inbox ("hb")
+};
+
+/// Number of verbs; ParseCtlResponse rejects verb bytes at or above this.
+inline constexpr uint8_t kCtlVerbCount = 10;
+
+/// The verb's wire tag. Exhaustive switch: a new enum value that is not
+/// given a tag here fails to compile.
+const char* CtlVerbTag(CtlVerb verb);
+
+/// Inverse of CtlVerbTag; InvalidArgument for an unknown tag.
+Result<CtlVerb> CtlVerbFromTag(const std::string& tag);
+
+/// Sub-inbox a verb is addressed to on the daemon: heartbeats ride ":hb"
+/// (exempt from flush barriers so membership probes survive a purge),
+/// everything else ":ctl".
+std::string CtlInbox(const std::string& role, CtlVerb verb);
+
+/// One coordinator command: the verb plus its verb-specific body (the
+/// payload layouts are documented in docs/PROTOCOL.md).
+struct CtlRequest {
+  CtlVerb verb = CtlVerb::kConfigure;
+  std::vector<uint8_t> body;
+};
+
+/// Builds the wire message for `req` from `from` to `role`'s proper
+/// sub-inbox.
+smc::Message EncodeCtlRequest(const std::string& from, const std::string& role,
+                              const CtlRequest& req);
+
+/// Every command's acknowledgement. `id` echoes the command's correlation
+/// id (pair index, batch id, barrier id, or heartbeat probe sequence);
+/// `extra` carries verb-specific data (kStats counters, kPairBatch slots,
+/// kConfigure/kHeartbeat the daemon's incarnation number).
+struct CtlResponse {
+  std::string role;  ///< replying replica's mesh name (e.g. "alice#1")
+  CtlVerb verb = CtlVerb::kConfigure;
+  uint64_t id = 0;
+  uint32_t attempt = 0;
+  StatusCode code = StatusCode::kOk;
+  uint8_t label = 0;  ///< kPair from qp: 1 = match
+  std::string detail;
+  std::vector<uint8_t> extra;
+};
+
+void AppendCtlResponse(const CtlResponse& r, std::vector<uint8_t>* out);
+Result<CtlResponse> ParseCtlResponse(const std::vector<uint8_t>& payload);
 
 }  // namespace hprl::net
 

@@ -1,0 +1,167 @@
+#include "net/membership.h"
+
+#include <algorithm>
+
+namespace hprl::net {
+
+const char* ReplicaStateName(ReplicaState state) {
+  switch (state) {
+    case ReplicaState::kUnknown:
+      return "unknown";
+    case ReplicaState::kAlive:
+      return "alive";
+    case ReplicaState::kSuspect:
+      return "suspect";
+    case ReplicaState::kDead:
+      return "dead";
+  }
+  return "invalid";  // unreachable: the switch above is exhaustive
+}
+
+MembershipTable::MembershipTable(MembershipOptions opts) : opts_(opts) {
+  if (opts_.suspect_after_misses < 1) opts_.suspect_after_misses = 1;
+  if (opts_.dead_after_misses <= opts_.suspect_after_misses) {
+    opts_.dead_after_misses = opts_.suspect_after_misses + 1;
+  }
+}
+
+void MembershipTable::Register(const std::string& replica) {
+  entries_.try_emplace(replica);
+}
+
+void MembershipTable::MoveTo(const std::string& replica, Entry* e,
+                             ReplicaState to) {
+  if (e->state == to) return;
+  transitions_.push_back({replica, e->state, to});
+  e->state = to;
+}
+
+void MembershipTable::OnAck(const std::string& replica, uint64_t incarnation) {
+  auto it = entries_.find(replica);
+  if (it == entries_.end()) return;
+  Entry& e = it->second;
+  if (e.state == ReplicaState::kDead) {
+    ++stale_acks_;  // a frame that outlived its sender's membership
+    return;
+  }
+  if (incarnation < e.incarnation) {
+    ++stale_acks_;  // late frame from a superseded configuration
+    return;
+  }
+  e.incarnation = incarnation;
+  e.consecutive_misses = 0;
+  MoveTo(replica, &e, ReplicaState::kAlive);
+}
+
+void MembershipTable::OnProbeMiss(const std::string& replica) {
+  auto it = entries_.find(replica);
+  if (it == entries_.end()) return;
+  Entry& e = it->second;
+  if (e.state == ReplicaState::kDead) return;
+  ++probes_missed_;
+  ++e.consecutive_misses;
+  if (e.state == ReplicaState::kUnknown) return;  // never acked; not suspect
+  if (e.state == ReplicaState::kAlive &&
+      e.consecutive_misses >= opts_.suspect_after_misses) {
+    MoveTo(replica, &e, ReplicaState::kSuspect);
+  }
+  if (e.state == ReplicaState::kSuspect &&
+      e.consecutive_misses >= opts_.dead_after_misses) {
+    MoveTo(replica, &e, ReplicaState::kDead);
+  }
+}
+
+void MembershipTable::OnLinkDown(const std::string& replica) {
+  auto it = entries_.find(replica);
+  if (it == entries_.end()) return;
+  Entry& e = it->second;
+  if (e.state == ReplicaState::kDead) return;
+  if (e.state == ReplicaState::kAlive || e.state == ReplicaState::kUnknown) {
+    MoveTo(replica, &e, ReplicaState::kSuspect);
+  }
+  MoveTo(replica, &e, ReplicaState::kDead);
+}
+
+ReplicaState MembershipTable::state(const std::string& replica) const {
+  auto it = entries_.find(replica);
+  return it == entries_.end() ? ReplicaState::kUnknown : it->second.state;
+}
+
+uint64_t MembershipTable::incarnation(const std::string& replica) const {
+  auto it = entries_.find(replica);
+  return it == entries_.end() ? 0 : it->second.incarnation;
+}
+
+std::vector<std::string> MembershipTable::replicas() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+ShardScheduler::ShardScheduler(int shards)
+    : shards_(static_cast<size_t>(shards < 1 ? 1 : shards)) {}
+
+void ShardScheduler::SetUsable(int shard, bool usable) {
+  shards_[shard].usable = usable;
+}
+
+int ShardScheduler::UsableCount() const {
+  int n = 0;
+  for (const Shard& s : shards_) n += s.usable ? 1 : 0;
+  return n;
+}
+
+int ShardScheduler::Assign(uint64_t batch_id, int64_t pairs,
+                           int max_inflight_batches) {
+  int best = -1;
+  for (int i = 0; i < shards(); ++i) {
+    if (!shards_[i].usable) continue;
+    if (max_inflight_batches > 0 &&
+        shards_[i].inflight_batches >= max_inflight_batches) {
+      continue;
+    }
+    if (best < 0 ||
+        shards_[i].inflight_pairs < shards_[best].inflight_pairs) {
+      best = i;
+    }
+  }
+  if (best < 0) return -1;
+  shards_[best].inflight_pairs += pairs;
+  shards_[best].inflight_batches += 1;
+  outstanding_[batch_id] = Batch{best, pairs, next_seq_++};
+  return best;
+}
+
+void ShardScheduler::Complete(uint64_t batch_id) {
+  auto it = outstanding_.find(batch_id);
+  if (it == outstanding_.end()) return;
+  Shard& s = shards_[it->second.shard];
+  s.inflight_pairs -= it->second.pairs;
+  s.inflight_batches -= 1;
+  outstanding_.erase(it);
+}
+
+std::vector<uint64_t> ShardScheduler::Drain(int shard) {
+  std::vector<std::pair<uint64_t, uint64_t>> seq_and_id;
+  for (const auto& [id, batch] : outstanding_) {
+    if (batch.shard == shard) seq_and_id.emplace_back(batch.seq, id);
+  }
+  std::sort(seq_and_id.begin(), seq_and_id.end());
+  std::vector<uint64_t> ids;
+  ids.reserve(seq_and_id.size());
+  for (const auto& [seq, id] : seq_and_id) {
+    ids.push_back(id);
+    Complete(id);
+  }
+  return ids;
+}
+
+int ShardScheduler::shard_of(uint64_t batch_id) const {
+  auto it = outstanding_.find(batch_id);
+  return it == outstanding_.end() ? -1 : it->second.shard;
+}
+
+}  // namespace hprl::net

@@ -1,0 +1,173 @@
+#ifndef HPRL_NET_MEMBERSHIP_H_
+#define HPRL_NET_MEMBERSHIP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hprl::net {
+
+// ---------------------------------------------------------------------------
+// Replica membership for the sharded comparator fleet (docs/CLUSTER.md).
+//
+// The coordinator tracks every comparator replica ("alice#2", "qp#0", ...)
+// through a heartbeat-driven state machine in the EK-KOR2 style:
+//
+//   Unknown -> Alive -> Suspect -> Dead        (the only forward path)
+//                 ^________|
+//                  (recovery: an ack while merely suspected)
+//
+// A replica is never moved Alive -> Dead directly: even an observed link
+// loss routes through Suspect so that every transition the table records is
+// one of the four valid edges — the invariant the membership property tests
+// pin. Dead is sticky: a replica that died stays dead for the rest of the
+// run (a restarted daemon would present a fresh incarnation, which a future
+// rejoin path could use; rejoin is out of scope here).
+
+enum class ReplicaState : uint8_t {
+  kUnknown = 0,  ///< registered, no ack yet
+  kAlive = 1,    ///< acking probes within the miss budget
+  kSuspect = 2,  ///< missed probes; still scheduled off, may recover
+  kDead = 3,     ///< exceeded the dead threshold or lost its link; sticky
+};
+
+/// Exhaustive switch: a new state that is not named here fails to compile.
+const char* ReplicaStateName(ReplicaState state);
+
+struct MembershipOptions {
+  /// Consecutive probe misses before an alive replica becomes suspect.
+  int suspect_after_misses = 2;
+  /// Consecutive probe misses (counted from the first miss) before a
+  /// suspect replica is declared dead.
+  int dead_after_misses = 4;
+};
+
+/// One recorded state transition, in observation order.
+struct MembershipTransition {
+  std::string replica;
+  ReplicaState from = ReplicaState::kUnknown;
+  ReplicaState to = ReplicaState::kUnknown;
+};
+
+/// Per-replica membership bookkeeping. Not thread-safe: the coordinator
+/// drives it from its single pump thread, mirroring the SocketBus
+/// owner-thread discipline.
+class MembershipTable {
+ public:
+  explicit MembershipTable(MembershipOptions opts = {});
+
+  /// Adds `replica` in Unknown state (idempotent).
+  void Register(const std::string& replica);
+
+  /// A liveness proof from `replica` carrying its incarnation number (the
+  /// daemon bumps it on every kCtlConfigure). Acks with an incarnation
+  /// lower than the highest seen are stale — a late frame from a superseded
+  /// configuration — and are counted but otherwise ignored. Acks from a
+  /// dead replica are likewise counted and ignored (dead is sticky). A
+  /// fresh ack clears the miss counter and revives a suspect.
+  void OnAck(const std::string& replica, uint64_t incarnation);
+
+  /// A heartbeat probe deadline passed without an ack.
+  void OnProbeMiss(const std::string& replica);
+
+  /// The transport observed the replica's link go down — the strongest
+  /// failure signal. Routes Alive -> Suspect -> Dead recording both edges,
+  /// so the no-direct-alive-to-dead invariant holds even here.
+  void OnLinkDown(const std::string& replica);
+
+  ReplicaState state(const std::string& replica) const;
+  /// Highest incarnation seen; monotone per replica by construction.
+  uint64_t incarnation(const std::string& replica) const;
+  bool alive(const std::string& replica) const {
+    return state(replica) == ReplicaState::kAlive;
+  }
+
+  std::vector<std::string> replicas() const;
+  /// Every state transition in observation order (the property tests' and
+  /// the per-shard transition counters' source of truth).
+  const std::vector<MembershipTransition>& transitions() const {
+    return transitions_;
+  }
+  int64_t probes_missed() const { return probes_missed_; }
+  int64_t stale_acks() const { return stale_acks_; }
+
+ private:
+  struct Entry {
+    ReplicaState state = ReplicaState::kUnknown;
+    uint64_t incarnation = 0;
+    int consecutive_misses = 0;
+  };
+
+  void MoveTo(const std::string& replica, Entry* e, ReplicaState to);
+
+  MembershipOptions opts_;
+  std::map<std::string, Entry> entries_;
+  std::vector<MembershipTransition> transitions_;
+  int64_t probes_missed_ = 0;
+  int64_t stale_acks_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+/// Work-queue bookkeeping for the shard scheduler: which batch is in flight
+/// on which shard, how many pairs each shard is carrying, and which batches
+/// must be rebalanced when a shard is retired. Assignment is least-loaded
+/// (fewest in-flight pairs) over the usable shards, ties to the lowest
+/// shard index — deterministic, so reruns schedule identically.
+///
+/// The multiset invariant the property tests pin: at any point,
+/// assigned batches = completed + drained + still-outstanding, with no
+/// batch duplicated or lost across any Drain/Assign interleaving.
+class ShardScheduler {
+ public:
+  explicit ShardScheduler(int shards);
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  void SetUsable(int shard, bool usable);
+  bool usable(int shard) const { return shards_[shard].usable; }
+  int UsableCount() const;
+
+  /// Picks the least-loaded usable shard for `batch_id` (`pairs` pairs) and
+  /// records the assignment. Shards already carrying `max_inflight_batches`
+  /// batches are skipped (0 = no cap). -1 when no shard qualifies.
+  int Assign(uint64_t batch_id, int64_t pairs, int max_inflight_batches = 0);
+
+  /// The batch finished (settled or fully quarantined); forgets it.
+  void Complete(uint64_t batch_id);
+
+  /// Retires every outstanding batch on `shard` and returns their ids (in
+  /// assignment order) for re-dispatch elsewhere. Does not change the
+  /// shard's usable flag — callers decide that via SetUsable.
+  std::vector<uint64_t> Drain(int shard);
+
+  int64_t inflight_pairs(int shard) const {
+    return shards_[shard].inflight_pairs;
+  }
+  int inflight_batches(int shard) const {
+    return shards_[shard].inflight_batches;
+  }
+  int shard_of(uint64_t batch_id) const;  ///< -1 when not outstanding
+
+ private:
+  struct Shard {
+    bool usable = true;
+    int64_t inflight_pairs = 0;
+    int inflight_batches = 0;
+  };
+  struct Batch {
+    int shard = 0;
+    int64_t pairs = 0;
+    uint64_t seq = 0;  ///< assignment order, for deterministic Drain
+  };
+
+  std::vector<Shard> shards_;
+  std::map<uint64_t, Batch> outstanding_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace hprl::net
+
+#endif  // HPRL_NET_MEMBERSHIP_H_

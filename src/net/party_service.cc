@@ -1,5 +1,7 @@
 #include "net/party_service.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace hprl::net {
@@ -11,7 +13,9 @@ namespace {
 
 /// Same per-party seed derivation as the in-process comparator
 /// (smc/protocol.cc): identical seeds is what makes a pinned-seed TCP run
-/// bit-identical to the in-process transport.
+/// bit-identical to the in-process transport. Every shard of a pinned-seed
+/// fleet derives the same seeds, which is how the replicas share the party
+/// keypair without it ever crossing the wire.
 uint64_t Seed(uint64_t base, uint64_t salt) {
   return base == 0 ? 0 : base ^ salt;
 }
@@ -26,49 +30,6 @@ constexpr uint8_t kFlagCrtDecrypt = 1u << 2;
 
 }  // namespace
 
-void AppendCtlReply(const CtlReply& r, std::vector<uint8_t>* out) {
-  AppendString(r.role, out);
-  AppendString(r.op, out);
-  AppendU64(r.pair_index, out);
-  AppendU32(r.attempt, out);
-  AppendU8(static_cast<uint8_t>(r.code), out);
-  AppendU8(r.label, out);
-  AppendString(r.detail, out);
-  out->insert(out->end(), r.extra.begin(), r.extra.end());
-}
-
-Result<CtlReply> ParseCtlReply(const std::vector<uint8_t>& payload) {
-  CtlReply r;
-  size_t off = 0;
-  auto role = ConsumeString(payload, &off);
-  if (!role.ok()) return role.status();
-  auto op = ConsumeString(payload, &off);
-  if (!op.ok()) return op.status();
-  auto pair_index = ConsumeU64(payload, &off);
-  if (!pair_index.ok()) return pair_index.status();
-  auto attempt = ConsumeU32(payload, &off);
-  if (!attempt.ok()) return attempt.status();
-  auto code = ConsumeU8(payload, &off);
-  if (!code.ok()) return code.status();
-  if (*code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
-    return Status::IOError("ctl reply carries unknown status code " +
-                           std::to_string(int{*code}));
-  }
-  auto label = ConsumeU8(payload, &off);
-  if (!label.ok()) return label.status();
-  auto detail = ConsumeString(payload, &off);
-  if (!detail.ok()) return detail.status();
-  r.role = std::move(role).value();
-  r.op = std::move(op).value();
-  r.pair_index = *pair_index;
-  r.attempt = *attempt;
-  r.code = static_cast<StatusCode>(*code);
-  r.label = *label;
-  r.detail = std::move(detail).value();
-  r.extra.assign(payload.begin() + static_cast<long>(off), payload.end());
-  return r;
-}
-
 void AppendPartyStats(const PartyStats& s, std::vector<uint8_t>* out) {
   AppendI64(s.costs.invocations, out);
   AppendI64(s.costs.attr_comparisons, out);
@@ -77,6 +38,7 @@ void AppendPartyStats(const PartyStats& s, std::vector<uint8_t>* out) {
   AppendI64(s.costs.homomorphic_adds, out);
   AppendI64(s.costs.scalar_muls, out);
   AppendI64(s.costs.retries, out);
+  AppendI64(s.costs.rebalanced_pairs, out);
   AppendI64(s.costs.packed_exchanges, out);
   AppendI64(s.costs.packed_pairs, out);
   AppendI64(s.bus_bytes, out);
@@ -98,13 +60,13 @@ Result<PartyStats> ParsePartyStats(const std::vector<uint8_t>& extra,
       &s.costs.invocations,     &s.costs.attr_comparisons,
       &s.costs.encryptions,     &s.costs.decryptions,
       &s.costs.homomorphic_adds, &s.costs.scalar_muls,
-      &s.costs.retries,         &s.costs.packed_exchanges,
-      &s.costs.packed_pairs,    &s.bus_bytes,
-      &s.bus_messages,          &s.net.bytes_sent,
-      &s.net.bytes_received,    &s.net.frames_sent,
-      &s.net.frames_received,   &s.net.connects,
-      &s.net.reconnects,        &s.net.stale_dropped,
-      &s.net.send_errors,
+      &s.costs.retries,         &s.costs.rebalanced_pairs,
+      &s.costs.packed_exchanges, &s.costs.packed_pairs,
+      &s.bus_bytes,             &s.bus_messages,
+      &s.net.bytes_sent,        &s.net.bytes_received,
+      &s.net.frames_sent,       &s.net.frames_received,
+      &s.net.connects,          &s.net.reconnects,
+      &s.net.stale_dropped,     &s.net.send_errors,
   };
   for (int64_t* field : fields) {
     auto v = ConsumeI64(extra, off);
@@ -197,19 +159,41 @@ Status PartyService::Start() {
   return bus_->Start();
 }
 
+void PartyService::DrainHeartbeats() {
+  const std::string hb_inbox = opts_.role + kHbSuffix;
+  for (;;) {
+    auto msg = bus_->ReceiveTimeout(hb_inbox, 0);
+    if (!msg.ok()) return;  // empty (NotFound) or bus trouble: nothing to ack
+    size_t off = 0;
+    auto seq = ConsumeU64(msg->payload, &off);
+    if (!seq.ok()) continue;  // malformed probe: as good as a lost one
+    std::vector<uint8_t> extra;
+    AppendU64(incarnation_, &extra);
+    Reply(CtlVerb::kHeartbeat, *seq, 0, Status::OK(), 0, std::move(extra));
+  }
+}
+
 Status PartyService::Serve() {
   const std::string ctl_inbox = opts_.role + kCtlSuffix;
   while (!stop_requested_.load()) {
-    auto msg = bus_->ReceiveTimeout(ctl_inbox, 200);
+    DrainHeartbeats();
+    auto msg = bus_->ReceiveTimeout(ctl_inbox, 50);
     if (!msg.ok()) {
       if (msg.status().code() == StatusCode::kNotFound) continue;  // idle
       return msg.status();
     }
-    if (msg->tag == kCtlShutdown) {
-      Reply(kCtlShutdown, 0, 0, Status::OK(), 0, {});
+    auto verb = CtlVerbFromTag(msg->tag);
+    if (!verb.ok()) {
+      // A coordinator that speaks a verb this daemon does not know would be
+      // a wire-version mismatch, which the frame layer already rejects;
+      // anything reaching this point is noise and is dropped.
+      continue;
+    }
+    if (*verb == CtlVerb::kShutdown) {
+      Reply(CtlVerb::kShutdown, 0, 0, Status::OK(), 0, {});
       return Status::OK();
     }
-    Status handled = Dispatch(*msg);
+    Status handled = Dispatch(*verb, *msg);
     // Command-level failures were already acknowledged; only transport death
     // (no way to talk to anyone anymore) ends the serve loop.
     if (!handled.ok() && handled.code() == StatusCode::kUnavailable) {
@@ -219,104 +203,127 @@ Status PartyService::Serve() {
   return Status::OK();
 }
 
-Status PartyService::Dispatch(const Message& msg) {
-  if (msg.tag == kCtlConfigure) {
-    Status st = HandleConfigure(msg.payload);
-    Reply(kCtlConfigure, 0, 0, st, 0, {});
-    return st;
-  }
-  if (msg.tag == kCtlKeygen) {
-    Status st = HandleKeygen();
-    Reply(kCtlKeygen, 0, 0, st, 0, {});
-    return st;
-  }
-  if (msg.tag == kCtlRecvKey) {
-    Status st = HandleRecvKey();
-    Reply(kCtlRecvKey, 0, 0, st, 0, {});
-    return st;
-  }
-  if (msg.tag == kCtlPair) {
-    auto cmd = ParsePair(msg.payload);
-    if (!cmd.ok()) {
-      Reply(kCtlPair, 0, 0, cmd.status(), 0, {});
-      return cmd.status();
+Status PartyService::Dispatch(CtlVerb verb, const Message& msg) {
+  // Exhaustive over CtlVerb: adding a verb without a case here is a
+  // -Wswitch compile error, not a silently ignored command.
+  switch (verb) {
+    case CtlVerb::kConfigure: {
+      Status st = HandleConfigure(msg.payload);
+      std::vector<uint8_t> extra;
+      AppendU64(incarnation_, &extra);
+      Reply(CtlVerb::kConfigure, 0, 0, st, 0, std::move(extra));
+      return st;
     }
-    if (fail_next_pairs_ > 0) {
-      fail_next_pairs_ -= 1;
-      if (crash_on_fault_) {
-        // Simulated process death: the bus goes down mid-protocol and no
-        // reply is ever sent, exactly what a crashed daemon looks like.
-        bus_->Stop();
-        return Status::Unavailable("injected crash (test hook)");
+    case CtlVerb::kKeygen: {
+      Status st = HandleKeygen();
+      Reply(CtlVerb::kKeygen, 0, 0, st, 0, {});
+      return st;
+    }
+    case CtlVerb::kRecvKey: {
+      Status st = HandleRecvKey();
+      Reply(CtlVerb::kRecvKey, 0, 0, st, 0, {});
+      return st;
+    }
+    case CtlVerb::kPair: {
+      auto cmd = ParsePair(msg.payload);
+      if (!cmd.ok()) {
+        Reply(CtlVerb::kPair, 0, 0, cmd.status(), 0, {});
+        return cmd.status();
       }
-      Status injected = Status::IOError("injected pair fault (test hook)");
-      Reply(kCtlPair, cmd->pair_index, cmd->attempt, injected, 0, {});
-      return injected;
+      if (fail_next_pairs_ > 0) {
+        fail_next_pairs_ -= 1;
+        if (crash_on_fault_) {
+          // Simulated process death: the bus goes down mid-protocol and no
+          // reply is ever sent, exactly what a crashed daemon looks like.
+          bus_->Stop();
+          return Status::Unavailable("injected crash (test hook)");
+        }
+        Status injected = Status::IOError("injected pair fault (test hook)");
+        Reply(CtlVerb::kPair, cmd->pair_index, cmd->attempt, injected, 0, {});
+        return injected;
+      }
+      uint8_t label = 0;
+      Status st = HandlePair(*cmd, &label);
+      Reply(CtlVerb::kPair, cmd->pair_index, cmd->attempt, st, label, {});
+      return st;
     }
-    uint8_t label = 0;
-    Status st = HandlePair(*cmd, &label);
-    Reply(kCtlPair, cmd->pair_index, cmd->attempt, st, label, {});
-    return st;
-  }
-  if (msg.tag == kCtlPairBatch) {
-    auto cmd = ParsePairBatch(msg.payload);
-    if (!cmd.ok()) {
-      Reply(kCtlPairBatch, 0, 0, cmd.status(), 0, {});
-      return cmd.status();
+    case CtlVerb::kPairBatch: {
+      auto cmd = ParsePairBatch(msg.payload);
+      if (!cmd.ok()) {
+        Reply(CtlVerb::kPairBatch, 0, 0, cmd.status(), 0, {});
+        return cmd.status();
+      }
+      std::vector<PairSlot> slots;
+      Status st = HandlePairBatch(*cmd, &slots);
+      if (st.code() == StatusCode::kUnavailable) return st;  // bus is gone
+      std::vector<uint8_t> extra;
+      AppendPairSlots(slots, &extra);
+      // The batch-level code stays OK even when slots failed: per-pair
+      // outcomes live in the slots, and the coordinator retries or
+      // quarantines at that granularity.
+      Reply(CtlVerb::kPairBatch, cmd->batch_id, cmd->attempt, st, 0,
+            std::move(extra));
+      return st;
     }
-    std::vector<PairSlot> slots;
-    Status st = HandlePairBatch(*cmd, &slots);
-    if (st.code() == StatusCode::kUnavailable) return st;  // bus is gone
-    std::vector<uint8_t> extra;
-    AppendPairSlots(slots, &extra);
-    // The batch-level code stays OK even when slots failed: per-pair
-    // outcomes live in the slots, and the coordinator retries or
-    // quarantines at that granularity.
-    Reply(kCtlPairBatch, cmd->batch_id, cmd->attempt, st, 0, std::move(extra));
-    return st;
-  }
-  if (msg.tag == kCtlPurge) {
-    size_t off = 0;
-    auto barrier_id = ConsumeU64(msg.payload, &off);
-    if (!barrier_id.ok()) {
-      Reply(kCtlPurge, 0, 0, barrier_id.status(), 0, {});
-      return barrier_id.status();
+    case CtlVerb::kPurge: {
+      size_t off = 0;
+      auto barrier_id = ConsumeU64(msg.payload, &off);
+      if (!barrier_id.ok()) {
+        Reply(CtlVerb::kPurge, 0, 0, barrier_id.status(), 0, {});
+        return barrier_id.status();
+      }
+      std::vector<std::string> peers = {opts_.endpoints.alice.name,
+                                        opts_.endpoints.bob.name,
+                                        opts_.endpoints.qp.name};
+      Status st = bus_->Flush(peers, *barrier_id);
+      Reply(CtlVerb::kPurge, *barrier_id, 0, st, 0, {});
+      return st;
     }
-    std::vector<std::string> peers = {opts_.endpoints.alice.name,
-                                      opts_.endpoints.bob.name,
-                                      opts_.endpoints.qp.name};
-    Status st = bus_->Flush(peers, *barrier_id);
-    Reply(kCtlPurge, *barrier_id, 0, st, 0, {});
-    return st;
-  }
-  if (msg.tag == kCtlStats) {
-    PartyStats stats;
-    stats.costs = costs_;
-    stats.bus_bytes = bus_->total_bytes();
-    stats.bus_messages = bus_->total_messages();
-    stats.net = bus_->net_stats();
-    std::vector<uint8_t> extra;
-    AppendPartyStats(stats, &extra);
-    Reply(kCtlStats, 0, 0, Status::OK(), 0, std::move(extra));
-    return Status::OK();
-  }
-  if (msg.tag == kCtlInjectFail) {
-    size_t off = 0;
-    auto count = ConsumeU32(msg.payload, &off);
-    Status st = count.ok() ? Status::OK() : count.status();
-    if (count.ok()) {
-      fail_next_pairs_ = *count;
-      // Optional trailing flag (older coordinators omit it): non-zero turns
-      // the injected fault into a simulated crash instead of a clean error.
-      auto crash = ConsumeU8(msg.payload, &off);
-      crash_on_fault_ = crash.ok() && *crash != 0;
+    case CtlVerb::kStats: {
+      PartyStats stats;
+      stats.costs = costs_;
+      stats.bus_bytes = bus_->total_bytes();
+      stats.bus_messages = bus_->total_messages();
+      stats.net = bus_->net_stats();
+      std::vector<uint8_t> extra;
+      AppendPartyStats(stats, &extra);
+      Reply(CtlVerb::kStats, 0, 0, Status::OK(), 0, std::move(extra));
+      return Status::OK();
     }
-    Reply(kCtlInjectFail, 0, 0, st, 0, {});
-    return st;
+    case CtlVerb::kShutdown: {
+      // Serve() intercepts shutdown before dispatch; acknowledging here too
+      // keeps the switch total.
+      Reply(CtlVerb::kShutdown, 0, 0, Status::OK(), 0, {});
+      return Status::OK();
+    }
+    case CtlVerb::kInjectFail: {
+      size_t off = 0;
+      auto count = ConsumeU32(msg.payload, &off);
+      Status st = count.ok() ? Status::OK() : count.status();
+      if (count.ok()) {
+        fail_next_pairs_ = *count;
+        // Optional trailing flag (older coordinators omit it): non-zero turns
+        // the injected fault into a simulated crash instead of a clean error.
+        auto crash = ConsumeU8(msg.payload, &off);
+        crash_on_fault_ = crash.ok() && *crash != 0;
+      }
+      Reply(CtlVerb::kInjectFail, 0, 0, st, 0, {});
+      return st;
+    }
+    case CtlVerb::kHeartbeat: {
+      // Probes normally arrive on ":hb" and are answered by
+      // DrainHeartbeats(); one that was addressed to ":ctl" is still a
+      // probe and still deserves its ack.
+      size_t off = 0;
+      auto seq = ConsumeU64(msg.payload, &off);
+      std::vector<uint8_t> extra;
+      AppendU64(incarnation_, &extra);
+      Reply(CtlVerb::kHeartbeat, seq.ok() ? *seq : 0, 0, Status::OK(), 0,
+            std::move(extra));
+      return Status::OK();
+    }
   }
-  Status unknown = Status::InvalidArgument("unknown ctl command: " + msg.tag);
-  Reply(msg.tag, 0, 0, unknown, 0, {});
-  return unknown;
+  return Status::Internal("unreachable: unhandled ctl verb");
 }
 
 Status PartyService::HandleConfigure(const std::vector<uint8_t>& payload) {
@@ -333,6 +340,9 @@ Status PartyService::HandleConfigure(const std::vector<uint8_t>& payload) {
   if (!test_seed.ok()) return test_seed.status();
   auto pool_depth = ConsumeU32(payload, &off);
   if (!pool_depth.ok()) return pool_depth.status();
+  // Optional trailing knob (version-2 coordinators omit it).
+  auto emu_latency = ConsumeU32(payload, &off);
+  emulated_latency_micros_ = emu_latency.ok() ? *emu_latency : 0;
 
   params_.key_bits = static_cast<int>(*key_bits);
   params_.fp_scale = *fp_scale;
@@ -343,6 +353,7 @@ Status PartyService::HandleConfigure(const std::vector<uint8_t>& payload) {
   test_seed_ = *test_seed;
   pool_depth_ = *pool_depth;
   pool_.reset();  // a new configuration means a new key is coming
+  incarnation_ += 1;
 
   if (opts_.role == opts_.endpoints.qp.name) {
     qp_ = std::make_unique<smc::QueryingParty>(params_,
@@ -483,6 +494,10 @@ Status PartyService::HandlePair(const PairCmd& cmd, uint8_t* label) {
     return Status::FailedPrecondition("pair before cfg");
   }
   costs_.invocations += 1;
+  if (emulated_latency_micros_ > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(emulated_latency_micros_));
+  }
   const bool cache =
       params_.cache_ciphertexts && cmd.a_id >= 0 && cmd.b_id >= 0;
 
@@ -533,6 +548,9 @@ Status PartyService::HandlePairBatch(const BatchCmd& cmd,
   slots->reserve(cmd.pairs.size());
   bool aborted = false;
   for (const PairCmd& pair : cmd.pairs) {
+    // A long batch must not starve the membership plane: answer any queued
+    // probes between pairs so a busy shard never reads as a dead one.
+    DrainHeartbeats();
     PairSlot slot;
     slot.pair_index = pair.pair_index;
     if (aborted) {
@@ -564,13 +582,13 @@ Status PartyService::HandlePairBatch(const BatchCmd& cmd,
   return Status::OK();
 }
 
-void PartyService::Reply(const std::string& op, uint64_t pair_index,
-                         uint32_t attempt, const Status& st, uint8_t label,
+void PartyService::Reply(CtlVerb verb, uint64_t id, uint32_t attempt,
+                         const Status& st, uint8_t label,
                          std::vector<uint8_t> extra) {
-  CtlReply r;
+  CtlResponse r;
   r.role = opts_.role;
-  r.op = op;
-  r.pair_index = pair_index;
+  r.verb = verb;
+  r.id = id;
   r.attempt = attempt;
   r.code = st.code();
   r.label = label;
@@ -580,7 +598,7 @@ void PartyService::Reply(const std::string& op, uint64_t pair_index,
   msg.from = opts_.role;
   msg.to = kCoordName;
   msg.tag = kCtlReply;
-  AppendCtlReply(r, &msg.payload);
+  AppendCtlResponse(r, &msg.payload);
   bus_->Send(std::move(msg));
 }
 

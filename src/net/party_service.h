@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "net/frame.h"
 #include "net/socket_bus.h"
 #include "obs/metrics.h"
 #include "smc/costs.h"
@@ -18,43 +19,26 @@ namespace hprl::net {
 // Coordination (ctl) plane shared by the daemons and the coordinator.
 //
 // The coordinator ("coord") drives the three party daemons over the same
-// socket mesh the protocol runs on, using messages addressed to the
-// "<role>:ctl" sub-inbox so control traffic never collides with protocol
-// traffic. Each command is acknowledged with a kCtlReply to "coord". The
+// socket mesh the protocol runs on. Commands are typed CtlVerb messages
+// (net/frame.h): ordinary verbs arrive on the "<role>:ctl" sub-inbox,
+// heartbeat probes on "<role>:hb" (kept separate — and flush-exempt — so a
+// purge barrier can never swallow a membership probe). Each command is
+// acknowledged with a CtlResponse under the kCtlReply tag to "coord". The
 // protocol proper (pubkey / alice_ct / bob_ct / result) flows directly
 // between the party daemons, never through the coordinator.
+//
+// In a sharded deployment (docs/CLUSTER.md) every comparator shard is one
+// complete, independent alice/bob/qp mesh on its own ports; the coordinator
+// runs one bus per shard. Inside a shard the party names stay the bare
+// "alice"/"bob"/"qp" — the shard-qualified labels ("alice#1") exist only in
+// the coordinator's membership table and stats.
 
 inline constexpr char kCoordName[] = "coord";
 inline constexpr char kCtlSuffix[] = ":ctl";
+inline constexpr char kHbSuffix[] = ":hb";
+inline constexpr char kCtlReply[] = "ctl_re";  ///< every command's ack tag
 
-/// Ctl command tags.
-inline constexpr char kCtlConfigure[] = "cfg";      // protocol parameters
-inline constexpr char kCtlKeygen[] = "keygen";      // qp only: publish key
-inline constexpr char kCtlRecvKey[] = "recvkey";    // holders: consume pubkey
-inline constexpr char kCtlPair[] = "pair";          // run one pair attempt
-inline constexpr char kCtlPairBatch[] = "pairb";    // run a batch of pairs
-inline constexpr char kCtlPurge[] = "purge";        // inter-attempt barrier
-inline constexpr char kCtlStats[] = "stats";        // report cost counters
-inline constexpr char kCtlShutdown[] = "shutdown";  // leave the serve loop
-inline constexpr char kCtlInjectFail[] = "inject_fail";  // test hook
-inline constexpr char kCtlReply[] = "ctl_re";       // every command's ack
-
-/// Parsed kCtlReply. `extra` carries op-specific data (kCtlStats counters).
-struct CtlReply {
-  std::string role;
-  std::string op;
-  uint64_t pair_index = 0;
-  uint32_t attempt = 0;
-  StatusCode code = StatusCode::kOk;
-  uint8_t label = 0;  ///< kCtlPair from qp: 1 = match
-  std::string detail;
-  std::vector<uint8_t> extra;
-};
-
-void AppendCtlReply(const CtlReply& r, std::vector<uint8_t>* out);
-Result<CtlReply> ParseCtlReply(const std::vector<uint8_t>& payload);
-
-/// Per-pair outcome inside a kCtlPairBatch reply. The batch ack's `extra`
+/// Per-pair outcome inside a kPairBatch reply. The batch ack's `extra`
 /// carries one slot per dispatched pair (u32 count, then per slot u64
 /// pair_index, u8 code, u8 label), which is what gives the coordinator
 /// per-pair retry/quarantine granularity within a batch: slot codes are the
@@ -70,7 +54,7 @@ void AppendPairSlots(const std::vector<PairSlot>& slots,
 Result<std::vector<PairSlot>> ParsePairSlots(const std::vector<uint8_t>& extra,
                                              size_t* off);
 
-/// One party's cost/traffic counters as reported by kCtlStats.
+/// One party's cost/traffic counters as reported by kStats.
 struct PartyStats {
   smc::SmcCosts costs;
   int64_t bus_bytes = 0;     ///< MessageBus wire-size accounting
@@ -82,7 +66,7 @@ void AppendPartyStats(const PartyStats& s, std::vector<uint8_t>* out);
 Result<PartyStats> ParsePartyStats(const std::vector<uint8_t>& extra,
                                    size_t* off);
 
-/// The three daemons' advertised endpoints.
+/// The three daemons' advertised endpoints (one shard's mesh).
 struct MeshEndpoints {
   PeerAddress alice;
   PeerAddress bob;
@@ -115,13 +99,18 @@ struct PartyServiceOptions {
 /// exist only inside this process; what crosses the wire is exactly what the
 /// in-process protocol puts on the bus, plus the ctl plane.
 ///
-/// Each kCtlPair command carries every compared attribute of the pair, so
+/// Each kPair command carries every compared attribute of the pair, so
 /// the daemon runs its whole side without waiting on the coordinator:
 /// alice ships all alice_ct frames back-to-back, bob folds them as they
 /// arrive, qp decides each attribute and announces the conjunction. A
 /// transient fault anywhere surfaces as a failed reply; the coordinator
-/// purges the mesh with a kCtlPurge barrier and re-dispatches the attempt,
+/// purges the mesh with a kPurge barrier and re-dispatches the attempt,
 /// mirroring the in-process RetryExchange.
+///
+/// Membership: the daemon answers heartbeat probes on "<role>:hb" with its
+/// incarnation number (bumped on every kConfigure) both while idle in the
+/// serve loop and between the pairs of a long batch, so a busy shard never
+/// reads as a dead one.
 class PartyService {
  public:
   explicit PartyService(PartyServiceOptions opts);
@@ -130,7 +119,7 @@ class PartyService {
   /// Establishes the mesh (Unavailable when peers cannot be reached).
   Status Start();
 
-  /// Serves ctl commands until kCtlShutdown or RequestStop(). Returns OK on
+  /// Serves ctl commands until kShutdown or RequestStop(). Returns OK on
   /// an orderly shutdown; the bus error that broke the loop otherwise.
   Status Serve();
 
@@ -160,7 +149,7 @@ class PartyService {
     std::vector<PairCmd> pairs;
   };
 
-  Status Dispatch(const smc::Message& msg);
+  Status Dispatch(CtlVerb verb, const smc::Message& msg);
   Status HandleConfigure(const std::vector<uint8_t>& payload);
   Status HandleKeygen();
   Status HandleRecvKey();
@@ -172,13 +161,15 @@ class PartyService {
   /// so pressing on after a desynchronizing fault would misalign every later
   /// pair. Returns Unavailable only when the transport itself died.
   Status HandlePairBatch(const BatchCmd& cmd, std::vector<PairSlot>* slots);
+  /// Answers every queued probe on "<role>:hb" without blocking.
+  void DrainHeartbeats();
   Result<PairCmd> ParsePair(const std::vector<uint8_t>& payload) const;
   Result<BatchCmd> ParsePairBatch(const std::vector<uint8_t>& payload) const;
-  /// Shared attribute-list tail of kCtlPair and each kCtlPairBatch entry.
+  /// Shared attribute-list tail of kPair and each kPairBatch entry.
   Status ConsumeAttrs(const std::vector<uint8_t>& payload, size_t* off,
                       uint32_t n, std::vector<PairAttr>* attrs) const;
-  void Reply(const std::string& op, uint64_t pair_index, uint32_t attempt,
-             const Status& st, uint8_t label, std::vector<uint8_t> extra);
+  void Reply(CtlVerb verb, uint64_t id, uint32_t attempt, const Status& st,
+             uint8_t label, std::vector<uint8_t> extra);
 
   PartyServiceOptions opts_;
   std::unique_ptr<SocketBus> bus_;
@@ -187,7 +178,15 @@ class PartyService {
   smc::ProtocolParams params_;
   bool configured_ = false;
   uint64_t test_seed_ = 0;
-  uint32_t pool_depth_ = 0;  // kCtlConfigure; 0 disables the pool
+  uint32_t pool_depth_ = 0;  // kConfigure; 0 disables the pool
+  /// Bumped on every kConfigure; echoed in cfg and heartbeat acks so the
+  /// coordinator's membership table can drop acks from a superseded
+  /// configuration.
+  uint64_t incarnation_ = 0;
+  /// kConfigure knob: sleep this long at the start of every pair, emulating
+  /// a network/compute latency window. 0 in production; the sharded bench
+  /// uses it to make the SMC stage latency-bound (docs/CLUSTER.md).
+  uint32_t emulated_latency_micros_ = 0;
   // Exactly one of these is live, by role.
   std::unique_ptr<smc::QueryingParty> qp_;
   std::unique_ptr<smc::DataHolder> holder_;
@@ -197,8 +196,8 @@ class PartyService {
   std::unique_ptr<crypto::RandomizerPool> pool_;
 
   smc::SmcCosts costs_;
-  uint32_t fail_next_pairs_ = 0;  // kCtlInjectFail
-  bool crash_on_fault_ = false;   // kCtlInjectFail crash flag: die, don't fail
+  uint32_t fail_next_pairs_ = 0;  // kInjectFail
+  bool crash_on_fault_ = false;   // kInjectFail crash flag: die, don't fail
 };
 
 }  // namespace hprl::net

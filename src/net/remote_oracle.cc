@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <deque>
 #include <thread>
 #include <utility>
 
@@ -15,7 +16,7 @@ namespace {
 
 /// Same transient/fatal split as the in-process retry layer
 /// (smc/protocol.cc): timeouts, corruption and desyncs heal; Unavailable
-/// (a dead link or daemon) quarantines.
+/// (a dead link or daemon) rebalances or quarantines.
 bool IsTransient(StatusCode code) {
   switch (code) {
     case StatusCode::kNotFound:
@@ -27,7 +28,7 @@ bool IsTransient(StatusCode code) {
   }
 }
 
-Status ReplyStatus(const CtlReply& r) {
+Status ReplyStatus(const CtlResponse& r) {
   if (r.code == StatusCode::kOk) return Status::OK();
   return Status(r.code, r.role + ": " + r.detail);
 }
@@ -36,40 +37,82 @@ constexpr uint8_t kFlagRevealDistances = 1u << 0;
 constexpr uint8_t kFlagCacheCiphertexts = 1u << 1;
 constexpr uint8_t kFlagCrtDecrypt = 1u << 2;
 
+std::vector<MeshEndpoints> ResolveShards(const RemoteOracleOptions& opts) {
+  if (!opts.shard_endpoints.empty()) return opts.shard_endpoints;
+  return {opts.endpoints};
+}
+
 }  // namespace
 
 RemoteSmcOracle::RemoteSmcOracle(RemoteOracleOptions opts)
     : opts_(std::move(opts)),
       codec_(opts_.config.fp_scale),
-      bus_(std::make_unique<SocketBus>(
-          MeshBusOptions(kCoordName, opts_.endpoints, opts_.connect_timeout_ms,
-                         opts_.receive_timeout_ms))) {}
+      shards_(ResolveShards(opts_)),
+      membership_(opts_.membership),
+      sched_(static_cast<int>(ResolveShards(opts_).size())) {
+  buses_.reserve(shards_.size());
+  for (const MeshEndpoints& mesh : shards_) {
+    buses_.push_back(std::make_unique<SocketBus>(
+        MeshBusOptions(kCoordName, mesh, opts_.connect_timeout_ms,
+                       opts_.receive_timeout_ms)));
+  }
+}
 
 RemoteSmcOracle::~RemoteSmcOracle() {
   if (initialized_ && !shut_down_) Shutdown(/*stop_daemons=*/false);
-  bus_->Stop();
+  for (auto& bus : buses_) bus->Stop();
 }
 
-std::vector<std::string> RemoteSmcOracle::PartyRoles() const {
-  return {opts_.endpoints.alice.name, opts_.endpoints.bob.name,
-          opts_.endpoints.qp.name};
+std::vector<std::string> RemoteSmcOracle::ShardRoles(int shard) const {
+  const MeshEndpoints& mesh = shards_[shard];
+  return {mesh.alice.name, mesh.bob.name, mesh.qp.name};
 }
 
-void RemoteSmcOracle::SendCtl(const std::string& role, const std::string& tag,
+std::string RemoteSmcOracle::ReplicaLabel(int shard,
+                                          const std::string& role) const {
+  if (shards_.size() == 1) return role;
+  return role + "#" + std::to_string(shard);
+}
+
+bool RemoteSmcOracle::ShardAllAlive(int shard) const {
+  for (const std::string& role : ShardRoles(shard)) {
+    if (!membership_.alive(ReplicaLabel(shard, role))) return false;
+  }
+  return true;
+}
+
+int RemoteSmcOracle::FirstUsableShard() const {
+  for (int s = 0; s < num_shards(); ++s) {
+    if (sched_.usable(s)) return s;
+  }
+  return -1;
+}
+
+void RemoteSmcOracle::SendCtl(int shard, const std::string& role, CtlVerb verb,
                               std::vector<uint8_t> payload) {
-  Message msg;
-  msg.from = kCoordName;
-  msg.to = role + kCtlSuffix;
-  msg.tag = tag;
-  msg.payload = std::move(payload);
-  bus_->Send(std::move(msg));
+  CtlRequest req;
+  req.verb = verb;
+  req.body = std::move(payload);
+  buses_[shard]->Send(EncodeCtlRequest(kCoordName, role, req));
 }
 
-Status RemoteSmcOracle::CollectReplies(const std::string& op,
-                                       uint64_t pair_index, uint32_t attempt,
-                                       const std::vector<std::string>& roles,
-                                       int deadline_ms,
-                                       std::map<std::string, CtlReply>* out) {
+void RemoteSmcOracle::HandleHbAck(int shard, const CtlResponse& r) {
+  const std::string label = ReplicaLabel(shard, r.role);
+  size_t off = 0;
+  auto incarnation = ConsumeU64(r.extra, &off);
+  membership_.OnAck(label, incarnation.ok()
+                               ? *incarnation
+                               : membership_.incarnation(label));
+  auto it = probes_.find(label);
+  if (it != probes_.end() && it->second.seq == r.id) {
+    it->second.answered = true;
+  }
+}
+
+Status RemoteSmcOracle::CollectReplies(
+    int shard, CtlVerb verb, uint64_t id, uint32_t attempt,
+    const std::vector<std::string>& roles, int deadline_ms,
+    std::map<std::string, CtlResponse>* out) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(deadline_ms);
   while (out->size() < roles.size()) {
@@ -78,15 +121,20 @@ Status RemoteSmcOracle::CollectReplies(const std::string& op,
             deadline - std::chrono::steady_clock::now())
             .count());
     if (remaining_ms <= 0) break;
-    auto msg = bus_->ReceiveTimeout(kCoordName, remaining_ms);
+    auto msg = buses_[shard]->ReceiveTimeout(kCoordName, remaining_ms);
     if (!msg.ok()) break;
     if (msg->tag != kCtlReply) continue;  // not ours; drop
-    auto reply = ParseCtlReply(msg->payload);
+    auto reply = ParseCtlResponse(msg->payload);
     if (!reply.ok()) continue;  // a malformed ack is as good as a lost one
+    if (reply->verb == CtlVerb::kHeartbeat) {
+      // Membership probes share the coordinator inbox; consuming one here
+      // must not turn it into a false miss.
+      HandleHbAck(shard, *reply);
+      continue;
+    }
     // Replies from superseded attempts (a daemon answering late, after the
     // coordinator already moved on) are filtered here, not errors.
-    if (reply->op != op || reply->pair_index != pair_index ||
-        reply->attempt != attempt) {
+    if (reply->verb != verb || reply->id != id || reply->attempt != attempt) {
       continue;
     }
     (*out)[reply->role] = std::move(reply).value();
@@ -97,17 +145,22 @@ Status RemoteSmcOracle::CollectReplies(const std::string& op,
   for (const std::string& role : roles) {
     if (out->find(role) != out->end()) continue;
     missing += missing.empty() ? role : ", " + role;
-    if (!bus_->PeerAlive(role)) link_down = true;
+    if (!buses_[shard]->PeerAlive(role)) link_down = true;
   }
-  std::string what = "no '" + op + "' reply from " + missing;
+  std::string what = std::string("no '") + CtlVerbTag(verb) + "' reply from " +
+                     missing;
   return link_down ? Status::Unavailable(what + " (link down)")
                    : Status::NotFound(what);
 }
 
 Status RemoteSmcOracle::Init() {
-  if (metrics_ != nullptr) bus_->AttachMetrics(metrics_);
+  if (metrics_ != nullptr) {
+    for (auto& bus : buses_) bus->AttachMetrics(metrics_);
+  }
   obs::ScopedSpan span(metrics_, "smc/transport");
-  HPRL_RETURN_IF_ERROR(bus_->Start());
+  for (auto& bus : buses_) {
+    HPRL_RETURN_IF_ERROR(bus->Start());
+  }
 
   std::vector<uint8_t> cfg;
   AppendU32(static_cast<uint32_t>(opts_.config.key_bits), &cfg);
@@ -124,40 +177,88 @@ Status RemoteSmcOracle::Init() {
   AppendU32(static_cast<uint32_t>(
                 std::max(0, opts_.config.randomizer_pool_depth)),
             &cfg);
-  for (const std::string& role : PartyRoles()) SendCtl(role, kCtlConfigure, cfg);
-  std::map<std::string, CtlReply> acks;
-  HPRL_RETURN_IF_ERROR(CollectReplies(kCtlConfigure, 0, 0, PartyRoles(),
-                                      opts_.receive_timeout_ms * 2, &acks));
-  for (const auto& [role, reply] : acks) {
-    HPRL_RETURN_IF_ERROR(ReplyStatus(reply));
+  AppendU32(opts_.emulated_latency_micros, &cfg);
+
+  // Fan the handshake out to every shard before collecting any acks, so the
+  // shards run their setup (keygen above all) concurrently.
+  for (int s = 0; s < num_shards(); ++s) {
+    for (const std::string& role : ShardRoles(s)) {
+      membership_.Register(ReplicaLabel(s, role));
+      SendCtl(s, role, CtlVerb::kConfigure, cfg);
+    }
+  }
+  for (int s = 0; s < num_shards(); ++s) {
+    std::map<std::string, CtlResponse> acks;
+    HPRL_RETURN_IF_ERROR(CollectReplies(s, CtlVerb::kConfigure, 0, 0,
+                                        ShardRoles(s),
+                                        opts_.receive_timeout_ms * 2, &acks));
+    for (const auto& [role, reply] : acks) {
+      HPRL_RETURN_IF_ERROR(ReplyStatus(reply));
+      size_t off = 0;
+      auto incarnation = ConsumeU64(reply.extra, &off);
+      membership_.OnAck(ReplicaLabel(s, role),
+                        incarnation.ok() ? *incarnation : 1);
+    }
   }
 
-  // Key setup: qp generates and broadcasts; generation of a production-size
-  // modulus takes seconds, so the ack deadline is generous.
-  SendCtl(opts_.endpoints.qp.name, kCtlKeygen, {});
-  acks.clear();
-  HPRL_RETURN_IF_ERROR(CollectReplies(kCtlKeygen, 0, 0,
-                                      {opts_.endpoints.qp.name}, 120000,
-                                      &acks));
-  HPRL_RETURN_IF_ERROR(ReplyStatus(acks.begin()->second));
+  // Key setup: each shard's qp generates and broadcasts inside its own mesh.
+  // At a pinned test_seed every qp derives the same keypair from the same
+  // salted seed, which is how the fleet shares the party key without it
+  // crossing the wire; generation of a production-size modulus takes
+  // seconds, so the ack deadline is generous.
+  for (int s = 0; s < num_shards(); ++s) {
+    SendCtl(s, shards_[s].qp.name, CtlVerb::kKeygen, {});
+  }
+  for (int s = 0; s < num_shards(); ++s) {
+    std::map<std::string, CtlResponse> acks;
+    HPRL_RETURN_IF_ERROR(CollectReplies(s, CtlVerb::kKeygen, 0, 0,
+                                        {shards_[s].qp.name}, 120000, &acks));
+    HPRL_RETURN_IF_ERROR(ReplyStatus(acks.begin()->second));
+  }
 
-  SendCtl(opts_.endpoints.alice.name, kCtlRecvKey, {});
-  SendCtl(opts_.endpoints.bob.name, kCtlRecvKey, {});
-  acks.clear();
-  HPRL_RETURN_IF_ERROR(CollectReplies(
-      kCtlRecvKey, 0, 0,
-      {opts_.endpoints.alice.name, opts_.endpoints.bob.name},
-      opts_.receive_timeout_ms * 2, &acks));
-  for (const auto& [role, reply] : acks) {
-    HPRL_RETURN_IF_ERROR(ReplyStatus(reply));
+  for (int s = 0; s < num_shards(); ++s) {
+    SendCtl(s, shards_[s].alice.name, CtlVerb::kRecvKey, {});
+    SendCtl(s, shards_[s].bob.name, CtlVerb::kRecvKey, {});
+  }
+  for (int s = 0; s < num_shards(); ++s) {
+    std::map<std::string, CtlResponse> acks;
+    HPRL_RETURN_IF_ERROR(CollectReplies(
+        s, CtlVerb::kRecvKey, 0, 0,
+        {shards_[s].alice.name, shards_[s].bob.name},
+        opts_.receive_timeout_ms * 2, &acks));
+    for (const auto& [role, reply] : acks) {
+      HPRL_RETURN_IF_ERROR(ReplyStatus(reply));
+    }
   }
   initialized_ = true;
+  StreamMembershipMetrics();
   return Status::OK();
 }
 
 void RemoteSmcOracle::AttachMetrics(obs::MetricsRegistry* registry) {
   metrics_ = registry;
-  bus_->AttachMetrics(registry);
+  for (auto& bus : buses_) bus->AttachMetrics(registry);
+}
+
+void RemoteSmcOracle::StreamMembershipMetrics() {
+  if (metrics_ == nullptr) return;
+  const auto& transitions = membership_.transitions();
+  for (; transitions_seen_ < transitions.size(); ++transitions_seen_) {
+    obs::Add(metrics_, "net.membership.transitions");
+  }
+  for (const std::string& label : membership_.replicas()) {
+    obs::SetGauge(metrics_, "net.membership." + label + ".state",
+                  static_cast<int64_t>(membership_.state(label)));
+  }
+  obs::SetGauge(metrics_, "net.membership.probe_misses",
+                membership_.probes_missed());
+  obs::SetGauge(metrics_, "net.membership.stale_acks",
+                membership_.stale_acks());
+  for (int s = 0; s < num_shards(); ++s) {
+    obs::SetGauge(metrics_, "net.shard." + std::to_string(s) +
+                                ".inflight_pairs",
+                  sched_.inflight_pairs(s));
+  }
 }
 
 Result<BigInt> RemoteSmcOracle::EncodeAttr(const Value& v,
@@ -220,12 +321,18 @@ Result<bool> RemoteSmcOracle::CompareRows(int64_t a_id, int64_t b_id,
 
   const uint64_t pair_index = next_pair_index_++;
   // Worst case a daemon blocks receive_timeout per expected message before
-  // reporting the failure; give the slowest script room, plus crypto time.
+  // reporting the failure; give the slowest script room, plus crypto and
+  // emulated-latency time.
   const int reply_deadline_ms =
-      opts_.receive_timeout_ms * (static_cast<int>(attrs.size()) + 2) + 2000;
+      opts_.receive_timeout_ms * (static_cast<int>(attrs.size()) + 2) + 2000 +
+      3 * static_cast<int>(opts_.emulated_latency_micros / 1000);
 
-  for (int attempt = 0;; ++attempt) {
-    for (const std::string& role : PartyRoles()) {
+  for (int attempt = 0;;) {
+    const int shard = FirstUsableShard();
+    if (shard < 0) {
+      return Status::Unavailable("no usable comparator shard");
+    }
+    for (const std::string& role : ShardRoles(shard)) {
       std::vector<uint8_t> payload;
       AppendU64(pair_index, &payload);
       AppendU32(static_cast<uint32_t>(attempt), &payload);
@@ -234,24 +341,25 @@ Result<bool> RemoteSmcOracle::CompareRows(int64_t a_id, int64_t b_id,
       AppendU32(static_cast<uint32_t>(attrs.size()), &payload);
       for (const EncodedAttr& attr : attrs) {
         AppendU32(attr.pos, &payload);
-        if (role == opts_.endpoints.alice.name) {
+        if (role == shards_[shard].alice.name) {
           AppendSignedBigInt(attr.x, &payload);
-        } else if (role == opts_.endpoints.bob.name) {
+        } else if (role == shards_[shard].bob.name) {
           AppendSignedBigInt(attr.y, &payload);
           AppendSignedBigInt(attr.threshold, &payload);
         } else {
           AppendSignedBigInt(attr.threshold, &payload);
         }
       }
-      SendCtl(role, kCtlPair, std::move(payload));
+      SendCtl(shard, role, CtlVerb::kPair, std::move(payload));
     }
     ctl_round_trips_ += 1;
     if (metrics_ != nullptr) obs::Add(metrics_, "net.ctl_round_trips");
 
-    std::map<std::string, CtlReply> replies;
-    Status collected =
-        CollectReplies(kCtlPair, pair_index, static_cast<uint32_t>(attempt),
-                       PartyRoles(), reply_deadline_ms, &replies);
+    std::map<std::string, CtlResponse> replies;
+    Status collected = CollectReplies(shard, CtlVerb::kPair, pair_index,
+                                      static_cast<uint32_t>(attempt),
+                                      ShardRoles(shard), reply_deadline_ms,
+                                      &replies);
     Status attempt_status = collected;
     uint8_t label = 0;
     if (collected.ok()) {
@@ -265,37 +373,53 @@ Result<bool> RemoteSmcOracle::CompareRows(int64_t a_id, int64_t b_id,
         }
         attempt_status = st;
       }
-      label = replies[opts_.endpoints.qp.name].label;
+      label = replies[shards_[shard].qp.name].label;
     }
     if (attempt_status.ok()) return label == 1;
-    if (attempt_status.code() == StatusCode::kUnavailable ||
-        !IsTransient(attempt_status.code()) ||
+    if (attempt_status.code() == StatusCode::kUnavailable) {
+      // The shard died under this pair. Retire it and, when another usable
+      // shard exists, rebalance the pair there — without burning retry
+      // budget, since the pair itself never failed.
+      for (const std::string& role : ShardRoles(shard)) {
+        membership_.OnLinkDown(ReplicaLabel(shard, role));
+      }
+      sched_.SetUsable(shard, false);
+      StreamMembershipMetrics();
+      if (FirstUsableShard() < 0) return attempt_status;
+      rebalanced_pairs_ += 1;
+      if (metrics_ != nullptr) {
+        obs::Add(metrics_, "net.membership.rebalanced_pairs");
+      }
+      continue;
+    }
+    if (!IsTransient(attempt_status.code()) ||
         attempt >= opts_.config.max_retries) {
       return attempt_status;
     }
-    // Heal exactly like the in-process RetryExchange: flush the mesh of
+    // Heal exactly like the in-process RetryExchange: flush the shard of
     // half-delivered state, back off, replay the attempt.
+    attempt += 1;
     retries_ += 1;
     if (metrics_ != nullptr) obs::Add(metrics_, "smc.retries");
-    HPRL_RETURN_IF_ERROR(PurgeBarrier());
+    HPRL_RETURN_IF_ERROR(PurgeShard(shard));
     if (opts_.config.retry_backoff_micros > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(
           static_cast<int64_t>(opts_.config.retry_backoff_micros)
-          << attempt));
+          << (attempt - 1)));
     }
   }
 }
 
-Status RemoteSmcOracle::PurgeBarrier() {
+Status RemoteSmcOracle::PurgeShard(int shard) {
   const uint64_t barrier_id = ++next_barrier_id_;
   std::vector<uint8_t> payload;
   AppendU64(barrier_id, &payload);
-  for (const std::string& role : PartyRoles()) {
-    SendCtl(role, kCtlPurge, payload);
+  for (const std::string& role : ShardRoles(shard)) {
+    SendCtl(shard, role, CtlVerb::kPurge, payload);
   }
-  std::map<std::string, CtlReply> acks;
+  std::map<std::string, CtlResponse> acks;
   Status collected =
-      CollectReplies(kCtlPurge, barrier_id, 0, PartyRoles(),
+      CollectReplies(shard, CtlVerb::kPurge, barrier_id, 0, ShardRoles(shard),
                      opts_.receive_timeout_ms * 3 + 2000, &acks);
   if (!collected.ok()) {
     return Status::Unavailable("purge barrier failed: " +
@@ -310,13 +434,70 @@ Status RemoteSmcOracle::PurgeBarrier() {
   return Status::OK();
 }
 
+Status RemoteSmcOracle::PurgeUsableShards() {
+  for (int s = 0; s < num_shards(); ++s) {
+    if (!sched_.usable(s)) continue;
+    Status purged = PurgeShard(s);
+    if (purged.ok()) continue;
+    // A shard that cannot even flush is retired, not retried.
+    for (const std::string& role : ShardRoles(s)) {
+      membership_.OnLinkDown(ReplicaLabel(s, role));
+    }
+    sched_.SetUsable(s, false);
+    StreamMembershipMetrics();
+  }
+  if (FirstUsableShard() < 0) {
+    return Status::Unavailable("no usable comparator shard after purge");
+  }
+  return Status::OK();
+}
+
+Status RemoteSmcOracle::PumpReceive(int timeout_ms, int* shard,
+                                    CtlResponse* out) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    // Drain whatever is already queued on any shard's bus first.
+    for (int i = 0; i < num_shards(); ++i) {
+      const int s = static_cast<int>((pump_rotor_ + i) % buses_.size());
+      auto msg = buses_[s]->ReceiveTimeout(kCoordName, 0);
+      if (!msg.ok()) continue;
+      pump_rotor_ = static_cast<size_t>(s);
+      if (msg->tag != kCtlReply) break;  // not ours; drop and rescan
+      auto reply = ParseCtlResponse(msg->payload);
+      if (!reply.ok()) break;  // a malformed ack is as good as a lost one
+      *shard = s;
+      *out = std::move(reply).value();
+      return Status::OK();
+    }
+    int remaining_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count());
+    if (remaining_ms <= 0) return Status::NotFound("no ctl reply");
+    // Nothing queued: block on one bus for a short slice (or the full
+    // remainder when there is only one bus to watch).
+    const int slice =
+        buses_.size() == 1 ? remaining_ms : std::min(remaining_ms, 5);
+    pump_rotor_ = (pump_rotor_ + 1) % buses_.size();
+    auto msg = buses_[pump_rotor_]->ReceiveTimeout(kCoordName, slice);
+    if (!msg.ok()) continue;
+    if (msg->tag != kCtlReply) continue;
+    auto reply = ParseCtlResponse(msg->payload);
+    if (!reply.ok()) continue;
+    *shard = static_cast<int>(pump_rotor_);
+    *out = std::move(reply).value();
+    return Status::OK();
+  }
+}
+
 Result<std::vector<uint8_t>> RemoteSmcOracle::CompareBatch(
     const std::vector<RowPairRequest>& batch) {
   obs::ScopedSpan span(metrics_, "smc/transport");
   std::vector<uint8_t> labels(batch.size(), kPairNonMatch);
 
   if (opts_.rpc_batch_pairs <= 1) {
-    // Degenerate (pre-batching) mode: one kCtlPair round trip per pair.
+    // Degenerate (pre-batching) mode: one kPair round trip per pair.
     // Kept literal so batching can always be switched off for comparison —
     // labels are bit-identical either way.
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -328,8 +509,9 @@ Result<std::vector<uint8_t>> RemoteSmcOracle::CompareBatch(
       }
       StatusCode code = m.status().code();
       if (code == StatusCode::kUnavailable || IsTransient(code)) {
-        // Crash, or a transient fault that survived every retry: the same
-        // taxonomy the in-process batch engine quarantines under.
+        // Crash with no shard left to rebalance to, or a transient fault
+        // that survived every retry: the same taxonomy the in-process batch
+        // engine quarantines under.
         labels[i] = kPairQuarantined;
         pairs_quarantined_ += 1;
         if (metrics_ != nullptr) obs::Add(metrics_, "smc.pairs_quarantined");
@@ -345,8 +527,9 @@ Result<std::vector<uint8_t>> RemoteSmcOracle::CompareBatch(
   }
 
   // Pipelined batch RPC: encode everything up front, then stream the pairs
-  // to the daemons in kCtlPairBatch frames with up to rpc_window batches in
-  // flight. Each round re-batches only the transiently failed pairs.
+  // across the usable shards in kPairBatch frames with up to rpc_window
+  // batches in flight per shard. Each round re-batches only the transiently
+  // failed pairs.
   std::vector<BatchPair> pending;
   pending.reserve(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -364,16 +547,16 @@ Result<std::vector<uint8_t>> RemoteSmcOracle::CompareBatch(
   for (int round = 0; !pending.empty(); ++round) {
     HPRL_RETURN_IF_ERROR(RunBatchRound(&pending, &labels));
     if (pending.empty()) break;
-    // Transient leftovers: heal the mesh and re-batch them, mirroring the
+    // Transient leftovers: heal the shards and re-batch them, mirroring the
     // per-pair retry loop (purge barrier, backoff, replay).
     retries_ += static_cast<int64_t>(pending.size());
     if (metrics_ != nullptr) {
       obs::Add(metrics_, "smc.retries",
                static_cast<int64_t>(pending.size()));
     }
-    Status purged = PurgeBarrier();
+    Status purged = PurgeUsableShards();
     if (!purged.ok()) {
-      // The mesh cannot even flush: everything still pending is stranded.
+      // No shard can even flush: everything still pending is stranded.
       for (const BatchPair& p : pending) {
         labels[p.batch_pos] = kPairQuarantined;
         pairs_quarantined_ += 1;
@@ -392,66 +575,20 @@ Result<std::vector<uint8_t>> RemoteSmcOracle::CompareBatch(
 Status RemoteSmcOracle::RunBatchRound(std::vector<BatchPair>* pending,
                                       std::vector<uint8_t>* labels) {
   const size_t batch_pairs = static_cast<size_t>(opts_.rpc_batch_pairs);
-  const size_t window =
-      static_cast<size_t>(std::max(1, opts_.rpc_window));
-  const size_t num_batches =
-      (pending->size() + batch_pairs - 1) / batch_pairs;
+  const int window = std::max(1, opts_.rpc_window);
 
   struct Outstanding {
     uint64_t batch_id = 0;
-    size_t first = 0;  ///< index of the batch's first pair in *pending
-    size_t count = 0;
+    int shard = 0;
+    std::vector<BatchPair> pairs;  ///< owned: survives any work-queue churn
     std::chrono::steady_clock::time_point deadline;
-    std::map<std::string, CtlReply> replies;
+    std::map<std::string, CtlResponse> replies;
   };
 
-  for (BatchPair& p : *pending) p.pair_index = next_pair_index_++;
-
-  auto send_batch = [&](size_t b) -> Outstanding {
-    Outstanding o;
-    o.batch_id = ++next_batch_id_;
-    o.first = b * batch_pairs;
-    o.count = std::min(batch_pairs, pending->size() - o.first);
-    size_t max_attrs = 0;
-    for (const std::string& role : PartyRoles()) {
-      std::vector<uint8_t> payload;
-      AppendU64(o.batch_id, &payload);
-      AppendU32(0, &payload);  // attempt: batch ids are already unique
-      AppendU32(static_cast<uint32_t>(o.count), &payload);
-      for (size_t j = 0; j < o.count; ++j) {
-        const BatchPair& p = (*pending)[o.first + j];
-        max_attrs = std::max(max_attrs, p.attrs.size());
-        AppendU64(p.pair_index, &payload);
-        AppendI64(p.a_id, &payload);
-        AppendI64(p.b_id, &payload);
-        AppendU32(static_cast<uint32_t>(p.attrs.size()), &payload);
-        for (const EncodedAttr& attr : p.attrs) {
-          AppendU32(attr.pos, &payload);
-          if (role == opts_.endpoints.alice.name) {
-            AppendSignedBigInt(attr.x, &payload);
-          } else if (role == opts_.endpoints.bob.name) {
-            AppendSignedBigInt(attr.y, &payload);
-            AppendSignedBigInt(attr.threshold, &payload);
-          } else {
-            AppendSignedBigInt(attr.threshold, &payload);
-          }
-        }
-      }
-      SendCtl(role, kCtlPairBatch, std::move(payload));
-    }
-    ctl_round_trips_ += 1;
-    if (metrics_ != nullptr) obs::Add(metrics_, "net.ctl_round_trips");
-    // One daemon-side timeout per expected message plus per-pair crypto
-    // time; a faulting daemon skips its remaining pairs, so at most one
-    // timeout cascades into the deadline.
-    const int deadline_ms =
-        opts_.receive_timeout_ms * (static_cast<int>(max_attrs) + 3) + 2000 +
-        20 * static_cast<int>(o.count);
-    o.deadline = std::chrono::steady_clock::now() +
-                 std::chrono::milliseconds(deadline_ms);
-    return o;
-  };
-
+  std::deque<BatchPair> work(std::make_move_iterator(pending->begin()),
+                             std::make_move_iterator(pending->end()));
+  pending->clear();
+  std::vector<Outstanding> inflight;
   std::vector<BatchPair> failed;  // transient this round; re-batched next
   Status semantic = Status::OK();
 
@@ -461,26 +598,156 @@ Status RemoteSmcOracle::RunBatchRound(std::vector<BatchPair>* pending,
     if (metrics_ != nullptr) obs::Add(metrics_, "smc.pairs_quarantined");
   };
 
+  // Re-dispatch a pair on another shard after its shard was retired: it
+  // goes back on the work queue with its attempt budget untouched — the
+  // pair never failed, its shard did.
+  auto rebalance = [&](BatchPair p) {
+    rebalanced_pairs_ += 1;
+    if (metrics_ != nullptr) {
+      obs::Add(metrics_, "net.membership.rebalanced_pairs");
+    }
+    work.push_back(std::move(p));
+  };
+
+  // Retires a shard from this round: stops scheduling onto it, pulls its
+  // in-flight batches back, and rebalances their pairs (or quarantines
+  // them when this was the last usable shard).
+  auto retire_shard = [&](int shard) {
+    sched_.SetUsable(shard, false);
+    std::vector<uint64_t> drained = sched_.Drain(shard);
+    const bool somewhere_else = FirstUsableShard() >= 0;
+    int64_t drained_pairs = 0;
+    for (uint64_t batch_id : drained) {
+      for (size_t i = 0; i < inflight.size(); ++i) {
+        if (inflight[i].batch_id != batch_id) continue;
+        drained_pairs += static_cast<int64_t>(inflight[i].pairs.size());
+        for (BatchPair& p : inflight[i].pairs) {
+          if (somewhere_else) {
+            rebalance(std::move(p));
+          } else {
+            quarantine(p);
+          }
+        }
+        inflight.erase(inflight.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+    if (metrics_ != nullptr && drained_pairs > 0) {
+      obs::Add(metrics_,
+               "net.shard." + std::to_string(shard) + ".drained_pairs",
+               drained_pairs);
+    }
+  };
+
+  // Folds transport-observed link state into the membership table and keeps
+  // the scheduler's usable set in sync with it: a shard is schedulable only
+  // while all three replicas are alive. Shards that turned suspect are
+  // drained (their work rebalances) but may recover; dead is sticky.
+  auto sweep_membership = [&] {
+    for (int s = 0; s < num_shards(); ++s) {
+      for (const std::string& role : ShardRoles(s)) {
+        const std::string label = ReplicaLabel(s, role);
+        if (membership_.state(label) != ReplicaState::kDead &&
+            !buses_[s]->PeerAlive(role)) {
+          membership_.OnLinkDown(label);
+        }
+      }
+    }
+    for (int s = 0; s < num_shards(); ++s) {
+      const bool healthy = ShardAllAlive(s);
+      if (healthy == sched_.usable(s)) continue;
+      if (healthy) {
+        sched_.SetUsable(s, true);  // a suspect recovered
+      } else {
+        retire_shard(s);
+      }
+    }
+    StreamMembershipMetrics();
+  };
+
+  auto send_batch = [&] {
+    // The shard is chosen before the pairs are pulled so a full window on
+    // every shard leaves the queue untouched.
+    const uint64_t batch_id = ++next_batch_id_;
+    const int64_t take = static_cast<int64_t>(
+        std::min(batch_pairs, work.size()));
+    const int shard = sched_.Assign(batch_id, take, window);
+    if (shard < 0) return false;
+    Outstanding o;
+    o.batch_id = batch_id;
+    o.shard = shard;
+    o.pairs.reserve(static_cast<size_t>(take));
+    for (int64_t i = 0; i < take; ++i) {
+      work.front().pair_index = next_pair_index_++;
+      o.pairs.push_back(std::move(work.front()));
+      work.pop_front();
+    }
+    size_t max_attrs = 0;
+    for (const std::string& role : ShardRoles(shard)) {
+      std::vector<uint8_t> payload;
+      AppendU64(o.batch_id, &payload);
+      AppendU32(0, &payload);  // attempt: batch ids are already unique
+      AppendU32(static_cast<uint32_t>(o.pairs.size()), &payload);
+      for (const BatchPair& p : o.pairs) {
+        max_attrs = std::max(max_attrs, p.attrs.size());
+        AppendU64(p.pair_index, &payload);
+        AppendI64(p.a_id, &payload);
+        AppendI64(p.b_id, &payload);
+        AppendU32(static_cast<uint32_t>(p.attrs.size()), &payload);
+        for (const EncodedAttr& attr : p.attrs) {
+          AppendU32(attr.pos, &payload);
+          if (role == shards_[shard].alice.name) {
+            AppendSignedBigInt(attr.x, &payload);
+          } else if (role == shards_[shard].bob.name) {
+            AppendSignedBigInt(attr.y, &payload);
+            AppendSignedBigInt(attr.threshold, &payload);
+          } else {
+            AppendSignedBigInt(attr.threshold, &payload);
+          }
+        }
+      }
+      SendCtl(shard, role, CtlVerb::kPairBatch, std::move(payload));
+    }
+    ctl_round_trips_ += 1;
+    if (metrics_ != nullptr) obs::Add(metrics_, "net.ctl_round_trips");
+    // One daemon-side timeout per expected message plus per-pair crypto and
+    // emulated-latency time; a faulting daemon skips its remaining pairs,
+    // so at most one timeout cascades into the deadline.
+    const int deadline_ms =
+        opts_.receive_timeout_ms * (static_cast<int>(max_attrs) + 3) + 2000 +
+        static_cast<int>(o.pairs.size()) *
+            (20 + 2 * static_cast<int>(opts_.emulated_latency_micros / 1000));
+    o.deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(deadline_ms);
+    inflight.push_back(std::move(o));
+    return true;
+  };
+
   // Applies the per-slot accept rule: a pair's label is taken iff the qp
   // slot AND every data holder's slot report OK. Anything else classifies
-  // the pair — dead link or crash: quarantine now; transient: re-batch;
-  // semantic: abort the whole compare.
+  // the pair — dead shard: rebalance (quarantine when it was the last);
+  // transient: re-batch; semantic: abort the whole compare.
   auto settle = [&](Outstanding& o) {
+    sched_.Complete(o.batch_id);
     std::map<std::string, std::vector<PairSlot>> slots;
     std::map<std::string, Status> role_status;
-    for (const std::string& role : PartyRoles()) {
+    bool shard_down = false;
+    for (const std::string& role : ShardRoles(o.shard)) {
       auto it = o.replies.find(role);
       if (it == o.replies.end()) {
+        const bool alive = buses_[o.shard]->PeerAlive(role);
         role_status[role] =
-            bus_->PeerAlive(role)
-                ? Status::NotFound("no batch reply from " + role)
-                : Status::Unavailable("no batch reply from " + role +
-                                      " (link down)");
+            alive ? Status::NotFound("no batch reply from " + role)
+                  : Status::Unavailable("no batch reply from " + role +
+                                        " (link down)");
+        shard_down = shard_down || !alive;
         continue;
       }
       if (it->second.code != StatusCode::kOk) {
         role_status[role] = Status(it->second.code,
                                    role + ": " + it->second.detail);
+        shard_down =
+            shard_down || it->second.code == StatusCode::kUnavailable;
         continue;
       }
       size_t off = 0;
@@ -493,11 +760,11 @@ Status RemoteSmcOracle::RunBatchRound(std::vector<BatchPair>* pending,
       role_status[role] = Status::OK();
     }
 
-    for (size_t j = 0; j < o.count; ++j) {
-      BatchPair& p = (*pending)[o.first + j];
+    for (size_t j = 0; j < o.pairs.size(); ++j) {
+      BatchPair& p = o.pairs[j];
       Status pair_status = Status::OK();
       uint8_t qp_label = 0;
-      for (const std::string& role : PartyRoles()) {
+      for (const std::string& role : ShardRoles(o.shard)) {
         Status st = role_status[role];
         if (st.ok()) {
           const std::vector<PairSlot>& role_slots = slots[role];
@@ -508,7 +775,7 @@ Status RemoteSmcOracle::RunBatchRound(std::vector<BatchPair>* pending,
             st = Status(role_slots[j].code,
                         role + " failed pair " +
                             std::to_string(p.pair_index) + " in batch");
-          } else if (role == opts_.endpoints.qp.name) {
+          } else if (role == shards_[o.shard].qp.name) {
             qp_label = role_slots[j].label;
           }
         }
@@ -529,7 +796,18 @@ Status RemoteSmcOracle::RunBatchRound(std::vector<BatchPair>* pending,
         continue;
       }
       if (pair_status.code() == StatusCode::kUnavailable) {
-        quarantine(p);
+        // The shard died under this pair; whether it can move depends on
+        // whether any other shard is still standing. retire_shard() below
+        // handles this batch's siblings the same way.
+        bool somewhere_else = false;
+        for (int s = 0; s < num_shards(); ++s) {
+          if (s != o.shard && sched_.usable(s)) somewhere_else = true;
+        }
+        if (somewhere_else) {
+          rebalance(std::move(p));
+        } else {
+          quarantine(p);
+        }
         continue;
       }
       if (!IsTransient(pair_status.code())) {
@@ -544,57 +822,110 @@ Status RemoteSmcOracle::RunBatchRound(std::vector<BatchPair>* pending,
         failed.push_back(std::move(p));
       }
     }
+
+    if (shard_down) {
+      for (const std::string& role : ShardRoles(o.shard)) {
+        const std::string label = ReplicaLabel(o.shard, role);
+        if (!buses_[o.shard]->PeerAlive(role)) {
+          membership_.OnLinkDown(label);
+        }
+      }
+      // Other in-flight batches on this shard drain via the next sweep.
+    }
   };
 
-  std::vector<Outstanding> inflight;
-  size_t next_to_send = 0;
-  while (next_to_send < num_batches || !inflight.empty()) {
-    if (semantic.ok() && next_to_send < num_batches &&
-        inflight.size() < window) {
-      inflight.push_back(send_batch(next_to_send++));
-      continue;
+  auto next_hb = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(opts_.hb_interval_ms);
+  auto maybe_probe = [&] {
+    const auto now = std::chrono::steady_clock::now();
+    if (now < next_hb) return;
+    next_hb = now + std::chrono::milliseconds(opts_.hb_interval_ms);
+    for (int s = 0; s < num_shards(); ++s) {
+      for (const std::string& role : ShardRoles(s)) {
+        const std::string label = ReplicaLabel(s, role);
+        if (membership_.state(label) == ReplicaState::kDead) continue;
+        Probe& probe = probes_[label];
+        if (!probe.answered) {
+          membership_.OnProbeMiss(label);
+        }
+        probe.seq = ++next_probe_seq_;
+        probe.answered = false;
+        std::vector<uint8_t> payload;
+        AppendU64(probe.seq, &payload);
+        SendCtl(s, role, CtlVerb::kHeartbeat, std::move(payload));
+        if (metrics_ != nullptr) obs::Add(metrics_, "net.membership.probes");
+      }
     }
-    if (inflight.empty()) break;  // semantic error stopped the stream
+  };
+
+  while (!work.empty() || !inflight.empty()) {
+    sweep_membership();
+    if (FirstUsableShard() < 0) {
+      // Nothing left to run on: everything still in this round strands.
+      for (Outstanding& o : inflight) {
+        sched_.Complete(o.batch_id);
+        for (BatchPair& p : o.pairs) quarantine(p);
+      }
+      inflight.clear();
+      while (!work.empty()) {
+        quarantine(work.front());
+        work.pop_front();
+      }
+      for (BatchPair& p : failed) quarantine(p);
+      failed.clear();
+      break;
+    }
+    while (semantic.ok() && !work.empty() && send_batch()) {
+    }
+    if (inflight.empty()) {
+      if (!semantic.ok() || work.empty()) break;
+      continue;  // the sweep freed capacity; try filling again
+    }
+    maybe_probe();
 
     size_t earliest = 0;
     for (size_t i = 1; i < inflight.size(); ++i) {
       if (inflight[i].deadline < inflight[earliest].deadline) earliest = i;
     }
-    const int remaining_ms = static_cast<int>(
-        std::chrono::duration_cast<std::chrono::milliseconds>(
-            inflight[earliest].deadline - std::chrono::steady_clock::now())
-            .count());
-    if (remaining_ms <= 0) {
-      settle(inflight[earliest]);
+    const auto now = std::chrono::steady_clock::now();
+    if (inflight[earliest].deadline <= now) {
+      Outstanding o = std::move(inflight[earliest]);
       inflight.erase(inflight.begin() + static_cast<long>(earliest));
+      settle(o);
       continue;
     }
-    auto msg = bus_->ReceiveTimeout(kCoordName, remaining_ms);
-    if (!msg.ok()) {
-      if (msg.status().code() != StatusCode::kNotFound) {
-        // The coordinator's own bus is in trouble; settle the oldest batch
-        // with what arrived (PeerAlive decides transient vs dead) so the
-        // loop keeps draining instead of spinning.
-        settle(inflight[earliest]);
-        inflight.erase(inflight.begin() + static_cast<long>(earliest));
-      }
+    auto wake = std::min(inflight[earliest].deadline, next_hb);
+    int wait_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(wake - now)
+            .count());
+    wait_ms = std::max(1, std::min(wait_ms, 200));
+
+    int from_shard = 0;
+    CtlResponse reply;
+    Status got = PumpReceive(wait_ms, &from_shard, &reply);
+    if (!got.ok()) continue;  // timeout: deadlines/probes handle themselves
+    if (reply.verb == CtlVerb::kHeartbeat) {
+      HandleHbAck(from_shard, reply);
       continue;
     }
-    if (msg->tag != kCtlReply) continue;
-    auto reply = ParseCtlReply(msg->payload);
-    if (!reply.ok()) continue;  // a malformed ack is as good as a lost one
-    if (reply->op != kCtlPairBatch) continue;
+    if (reply.verb != CtlVerb::kPairBatch) continue;  // late ack of smth else
+    // Any reply is a liveness proof for its sender.
+    membership_.OnAck(ReplicaLabel(from_shard, reply.role),
+                      membership_.incarnation(
+                          ReplicaLabel(from_shard, reply.role)));
     for (size_t i = 0; i < inflight.size(); ++i) {
-      if (inflight[i].batch_id != reply->pair_index) continue;
-      inflight[i].replies[reply->role] = std::move(reply).value();
-      if (inflight[i].replies.size() == PartyRoles().size()) {
-        settle(inflight[i]);
+      if (inflight[i].batch_id != reply.id) continue;
+      inflight[i].replies[reply.role] = std::move(reply);
+      if (inflight[i].replies.size() == ShardRoles(inflight[i].shard).size()) {
+        Outstanding o = std::move(inflight[i]);
         inflight.erase(inflight.begin() + static_cast<long>(i));
+        settle(o);
       }
       break;
     }
   }
 
+  StreamMembershipMetrics();
   if (!semantic.ok()) return semantic;
   *pending = std::move(failed);
   return Status::OK();
@@ -604,50 +935,70 @@ Result<MeshStats> RemoteSmcOracle::CollectStats() {
   if (!initialized_) {
     return Status::FailedPrecondition("call Init() before CollectStats()");
   }
-  for (const std::string& role : PartyRoles()) SendCtl(role, kCtlStats, {});
-  std::map<std::string, CtlReply> acks;
-  HPRL_RETURN_IF_ERROR(CollectReplies(kCtlStats, 0, 0, PartyRoles(),
-                                      opts_.receive_timeout_ms * 2, &acks));
   MeshStats mesh;
-  for (const auto& [role, reply] : acks) {
-    HPRL_RETURN_IF_ERROR(ReplyStatus(reply));
-    size_t off = 0;
-    auto stats = ParsePartyStats(reply.extra, &off);
-    if (!stats.ok()) return stats.status();
-    mesh.costs += stats->costs;
-    mesh.wire_bytes_sent += stats->net.bytes_sent;
-    mesh.wire_bytes_received += stats->net.bytes_received;
-    mesh.bus_bytes += stats->bus_bytes;
-    mesh.bus_messages += stats->bus_messages;
-    mesh.connects += stats->net.connects;
-    mesh.reconnects += stats->net.reconnects;
-    mesh.stale_dropped += stats->net.stale_dropped;
-    mesh.send_errors += stats->net.send_errors;
-    mesh.per_party[role] = std::move(stats).value();
+  for (int s = 0; s < num_shards(); ++s) {
+    std::vector<std::string> reachable;
+    for (const std::string& role : ShardRoles(s)) {
+      if (membership_.state(ReplicaLabel(s, role)) == ReplicaState::kDead) {
+        continue;  // best effort: the dead contribute nothing
+      }
+      reachable.push_back(role);
+      SendCtl(s, role, CtlVerb::kStats, {});
+    }
+    if (reachable.empty()) continue;
+    std::map<std::string, CtlResponse> acks;
+    // Best effort here too: a replica that died since the last sweep simply
+    // stays missing from the aggregate.
+    (void)CollectReplies(s, CtlVerb::kStats, 0, 0, reachable,
+                         opts_.receive_timeout_ms * 2, &acks);
+    for (const auto& [role, reply] : acks) {
+      if (reply.code != StatusCode::kOk) continue;
+      size_t off = 0;
+      auto stats = ParsePartyStats(reply.extra, &off);
+      if (!stats.ok()) continue;
+      mesh.costs += stats->costs;
+      mesh.wire_bytes_sent += stats->net.bytes_sent;
+      mesh.wire_bytes_received += stats->net.bytes_received;
+      mesh.bus_bytes += stats->bus_bytes;
+      mesh.bus_messages += stats->bus_messages;
+      mesh.connects += stats->net.connects;
+      mesh.reconnects += stats->net.reconnects;
+      mesh.stale_dropped += stats->net.stale_dropped;
+      mesh.send_errors += stats->net.send_errors;
+      mesh.per_party[ReplicaLabel(s, role)] = std::move(stats).value();
+    }
   }
   // The daemons count per-party invocations (3 per pair); the coordinator's
-  // count is the paper's cost unit.
+  // count is the paper's cost unit. Rebalanced pairs are a coordinator-side
+  // observation — the daemons never know a pair moved.
   mesh.costs.invocations = invocations_;
   mesh.costs.retries += retries_;
+  mesh.costs.rebalanced_pairs = rebalanced_pairs_;
 
-  SocketBus::NetStats own = bus_->net_stats();
-  mesh.wire_bytes_sent += own.bytes_sent;
-  mesh.wire_bytes_received += own.bytes_received;
-  mesh.bus_bytes += bus_->total_bytes();
-  mesh.bus_messages += bus_->total_messages();
-  mesh.connects += own.connects;
-  mesh.reconnects += own.reconnects;
-  mesh.stale_dropped += own.stale_dropped;
-  mesh.send_errors += own.send_errors;
+  int64_t own_bytes_sent = 0;
+  int64_t own_bytes_received = 0;
+  for (const auto& bus : buses_) {
+    SocketBus::NetStats own = bus->net_stats();
+    own_bytes_sent += own.bytes_sent;
+    own_bytes_received += own.bytes_received;
+    mesh.wire_bytes_sent += own.bytes_sent;
+    mesh.wire_bytes_received += own.bytes_received;
+    mesh.bus_bytes += bus->total_bytes();
+    mesh.bus_messages += bus->total_messages();
+    mesh.connects += own.connects;
+    mesh.reconnects += own.reconnects;
+    mesh.stale_dropped += own.stale_dropped;
+    mesh.send_errors += own.send_errors;
+  }
 
   if (metrics_ != nullptr) {
     // The live net.bytes_* counters stream only the coordinator's own
     // traffic; topping them up with the daemons' totals makes the final
     // counter the mesh-wide figure (each byte counted at its sender).
     obs::Add(metrics_, "net.bytes_sent",
-             mesh.wire_bytes_sent - own.bytes_sent);
+             mesh.wire_bytes_sent - own_bytes_sent);
     obs::Add(metrics_, "net.bytes_received",
-             mesh.wire_bytes_received - own.bytes_received);
+             mesh.wire_bytes_received - own_bytes_received);
     obs::Add(metrics_, "net.connects", mesh.connects);
     obs::Add(metrics_, "net.reconnects", mesh.reconnects);
     obs::Add(metrics_, "net.stale_dropped", mesh.stale_dropped);
@@ -665,30 +1016,46 @@ Status RemoteSmcOracle::Shutdown(bool stop_daemons) {
   shut_down_ = true;
   Status stats = CollectStats().status();
   if (stop_daemons) {
-    for (const std::string& role : PartyRoles()) {
-      SendCtl(role, kCtlShutdown, {});
+    for (int s = 0; s < num_shards(); ++s) {
+      std::vector<std::string> reachable;
+      for (const std::string& role : ShardRoles(s)) {
+        if (membership_.state(ReplicaLabel(s, role)) == ReplicaState::kDead) {
+          continue;
+        }
+        reachable.push_back(role);
+        SendCtl(s, role, CtlVerb::kShutdown, {});
+      }
+      if (reachable.empty()) continue;
+      std::map<std::string, CtlResponse> acks;
+      // Best effort: a daemon that already died cannot ack.
+      (void)CollectReplies(s, CtlVerb::kShutdown, 0, 0, reachable,
+                           opts_.receive_timeout_ms, &acks);
     }
-    std::map<std::string, CtlReply> acks;
-    // Best effort: a daemon that already died cannot ack.
-    (void)CollectReplies(kCtlShutdown, 0, 0, PartyRoles(),
-                         opts_.receive_timeout_ms, &acks);
   }
   return stats;
 }
 
-Status RemoteSmcOracle::InjectFailures(const std::string& role,
+Status RemoteSmcOracle::InjectFailures(const std::string& replica,
                                        uint32_t count, bool crash) {
   if (!initialized_) {
     return Status::FailedPrecondition("call Init() before InjectFailures()");
   }
-  std::vector<uint8_t> payload;
-  AppendU32(count, &payload);
-  AppendU8(crash ? 1 : 0, &payload);
-  SendCtl(role, kCtlInjectFail, std::move(payload));
-  std::map<std::string, CtlReply> acks;
-  HPRL_RETURN_IF_ERROR(CollectReplies(kCtlInjectFail, 0, 0, {role},
-                                      opts_.receive_timeout_ms * 2, &acks));
-  return ReplyStatus(acks.begin()->second);
+  for (int s = 0; s < num_shards(); ++s) {
+    for (const std::string& role : ShardRoles(s)) {
+      if (ReplicaLabel(s, role) != replica) continue;
+      std::vector<uint8_t> payload;
+      AppendU32(count, &payload);
+      AppendU8(crash ? 1 : 0, &payload);
+      SendCtl(s, role, CtlVerb::kInjectFail, std::move(payload));
+      std::map<std::string, CtlResponse> acks;
+      HPRL_RETURN_IF_ERROR(CollectReplies(s, CtlVerb::kInjectFail, 0, 0,
+                                          {role},
+                                          opts_.receive_timeout_ms * 2,
+                                          &acks));
+      return ReplyStatus(acks.begin()->second);
+    }
+  }
+  return Status::InvalidArgument("unknown replica: " + replica);
 }
 
 }  // namespace hprl::net

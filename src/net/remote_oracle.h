@@ -9,6 +9,7 @@
 
 #include "crypto/fixed_point.h"
 #include "linkage/oracle.h"
+#include "net/membership.h"
 #include "net/party_service.h"
 #include "net/socket_bus.h"
 #include "smc/protocol.h"
@@ -18,28 +19,48 @@ namespace hprl::net {
 struct RemoteOracleOptions {
   smc::SmcConfig config;  ///< fault_plan is ignored: faults here are real
   MatchRule rule;
-  MeshEndpoints endpoints;
+
+  /// The comparator shards, one complete alice/bob/qp mesh each
+  /// (docs/CLUSTER.md). The coordinator runs one bus per shard and
+  /// schedules batches across them. When empty, `endpoints` supplies the
+  /// single shard (the pre-fleet configuration).
+  std::vector<MeshEndpoints> shard_endpoints;
+  MeshEndpoints endpoints;  ///< single-shard shorthand
+
   int connect_timeout_ms = 10000;
   int receive_timeout_ms = 4000;
 
-  /// Pairs per kCtlPairBatch frame. CompareBatch ships pairs to the daemons
+  /// Pairs per kPairBatch frame. CompareBatch ships pairs to the daemons
   /// in batches of this size, collapsing the per-pair ctl round trip to one
   /// per batch (O(pairs) -> O(pairs / rpc_batch_pairs)). <= 1 disables
-  /// batching: CompareBatch degenerates to the per-pair kCtlPair loop,
+  /// batching: CompareBatch degenerates to the per-pair kPair loop,
   /// bit-identical to the pre-batching coordinator.
   int rpc_batch_pairs = 32;
 
-  /// Batches kept in flight at once (the pipeline window). The coordinator
-  /// streams up to this many unacknowledged batches before blocking on the
-  /// oldest ack, hiding the mesh round-trip latency behind daemon compute.
-  /// 1 = stop-and-wait (send a batch, await its acks, send the next).
+  /// Batches kept in flight per shard (the pipeline window). The coordinator
+  /// streams up to this many unacknowledged batches to each shard before
+  /// holding back, hiding the mesh round-trip latency behind daemon compute.
+  /// 1 = stop-and-wait per shard.
   int rpc_window = 4;
+
+  /// Membership probe cadence during a batch drain. Every interval the
+  /// coordinator probes each non-dead replica on its ":hb" sub-inbox; a
+  /// probe still unanswered when the next one is due counts as a miss.
+  int hb_interval_ms = 250;
+  MembershipOptions membership;
+
+  /// Forwarded to the daemons in kConfigure: sleep this long at the start
+  /// of every pair, emulating a per-pair latency window. 0 in production;
+  /// the sharded bench uses it to make the SMC stage latency-bound so shard
+  /// scaling measures overlap, not core count (docs/CLUSTER.md).
+  uint32_t emulated_latency_micros = 0;
 };
 
 /// Mesh-wide traffic and cost totals collected from the daemons at the end
-/// of a run (kCtlStats) plus the coordinator's own bus. Each byte is counted
-/// once, at its sender, so wire_bytes_sent summed over the four processes is
-/// the total traffic the deployment put on the network.
+/// of a run (kStats) plus the coordinator's own buses. Each byte is counted
+/// once, at its sender, so wire_bytes_sent summed over the processes is
+/// the total traffic the deployment put on the network. Collection is
+/// best-effort: a dead replica simply contributes nothing.
 struct MeshStats {
   smc::SmcCosts costs;  ///< party-side crypto ops + coordinator invocations
   int64_t wire_bytes_sent = 0;      ///< socket-measured, all processes
@@ -50,26 +71,33 @@ struct MeshStats {
   int64_t reconnects = 0;
   int64_t stale_dropped = 0;
   int64_t send_errors = 0;
+  /// Keyed by replica label: bare role names in a single-shard mesh,
+  /// "alice#1"-style labels in a fleet.
   std::map<std::string, PartyStats> per_party;
 };
 
 /// MatchOracle that runs the §V-A protocol across process boundaries: the
-/// three parties live in hprl_party daemons, and this coordinator ships each
-/// pair's encoded attribute values over the ctl plane, then waits for the
-/// three per-pair acknowledgements (the querying party's carries the label).
+/// three parties live in hprl_party daemons — N independent shard meshes of
+/// them in a fleet — and this coordinator ships each pair's encoded
+/// attribute values over the ctl plane, then waits for the per-pair
+/// acknowledgements (the querying party's carries the label).
 ///
-/// Fault handling mirrors the in-process stack (protocol.cc RetryExchange +
-/// batch_engine.cc supervision), but over real sockets: a transient fault on
-/// any hop — a timed-out read, a corrupted frame, a desynchronized link —
-/// fails the attempt, the coordinator flushes the mesh with a kCtlPurge
-/// barrier, and the attempt is re-dispatched up to config.max_retries times.
-/// A dead link (Unavailable) is never retried: CompareBatch labels the pair
-/// kPairQuarantined and moves on, exactly like the in-process engine.
+/// Scheduling: CompareBatch feeds a work queue; batches go to the
+/// least-loaded usable shard, up to rpc_window in flight per shard. A shard
+/// is usable while all three of its replicas are alive in the membership
+/// table (alive -> suspect -> dead, driven by ":hb" probes and link state).
+/// When a shard turns suspect or dead its in-flight batches are drained and
+/// re-dispatched on healthy shards without burning retry budget; pairs are
+/// quarantined only when no usable shard remains. Because every label is an
+/// exact decrypt-and-compare, where a pair runs never changes its label —
+/// a fleet run, a single-daemon run and an in-process run are bit-identical
+/// at a pinned config.test_seed, killed replica or not.
 ///
-/// Determinism: with a pinned config.test_seed the daemons derive the same
-/// per-party seeds as the in-process comparator, and every label is an exact
-/// decrypt-and-compare — a TCP run's links are bit-identical to the
-/// in-process transport's.
+/// Fault handling within a shard mirrors the in-process stack (protocol.cc
+/// RetryExchange + batch_engine.cc supervision), but over real sockets: a
+/// transient fault on any hop fails the attempt, the coordinator flushes
+/// that shard's mesh with a kPurge barrier, and the attempt is re-dispatched
+/// up to config.max_retries times.
 ///
 /// Deployment note (documented limitation): the coordinator ships the
 /// encoded cleartext values to the daemons, which models the paper's
@@ -77,17 +105,22 @@ struct MeshStats {
 /// data holders. Loading holder-side tables directly into the daemons is
 /// future work; the wire protocol between the parties is already the real
 /// one.
+///
+/// Prefer obtaining one of these through net::SmcBackend (net/backend.h)
+/// rather than constructing it directly: the backend owns transport
+/// selection, daemon spawning and endpoint parsing.
 class RemoteSmcOracle : public MatchOracle {
  public:
   explicit RemoteSmcOracle(RemoteOracleOptions opts);
   ~RemoteSmcOracle() override;
 
-  /// Connects the mesh and runs the setup handshake: cfg to all parties,
-  /// keygen on qp (which broadcasts the public key), recvkey on the holders.
+  /// Connects every shard mesh and runs the setup handshake on each: cfg to
+  /// all replicas, keygen on the qps (which broadcast the public key inside
+  /// their shard), recvkey on the holders. Registers every replica alive.
   Status Init();
 
   /// Collects final stats from the daemons and, when `stop_daemons`, sends
-  /// kCtlShutdown to all three. Safe to call more than once.
+  /// kShutdown to every replica. Safe to call more than once.
   Status Shutdown(bool stop_daemons);
 
   Result<bool> Compare(const Record& a, const Record& b) override;
@@ -98,25 +131,33 @@ class RemoteSmcOracle : public MatchOracle {
   int64_t invocations() const override { return invocations_; }
   void AttachMetrics(obs::MetricsRegistry* registry) override;
 
-  /// Pulls kCtlStats from every daemon, aggregates with the coordinator's
-  /// own counters, streams the net.* totals into the attached registry, and
-  /// caches the result (also returned by mesh_stats() afterwards).
+  /// Pulls kStats from every reachable daemon, aggregates with the
+  /// coordinator's own counters, streams the net.* totals into the attached
+  /// registry, and caches the result (also returned by mesh_stats()
+  /// afterwards). Dead replicas are skipped, not errors.
   Result<MeshStats> CollectStats();
   const MeshStats& mesh_stats() const { return mesh_stats_; }
 
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const MembershipTable& membership() const { return membership_; }
   int64_t pairs_quarantined() const { return pairs_quarantined_; }
   int64_t retries() const { return retries_; }
+  /// Pairs re-dispatched onto another shard after theirs turned
+  /// suspect/dead. Distinct from retries: the pair never failed.
+  int64_t rebalanced_pairs() const { return rebalanced_pairs_; }
   /// Pair/batch dispatches the coordinator has waited on — the latency unit
   /// of the ctl plane. Per-pair mode pays one per pair attempt; batched mode
-  /// one per kCtlPairBatch. Also streamed as the net.ctl_round_trips counter.
+  /// one per kPairBatch. Also streamed as the net.ctl_round_trips counter.
   int64_t ctl_round_trips() const { return ctl_round_trips_; }
-  const SocketBus& bus() const { return *bus_; }
+  /// Shard 0's coordinator bus (kept for single-shard callers).
+  const SocketBus& bus() const { return *buses_[0]; }
 
-  /// Test hook: the next `count` pair commands on `role` fail with an
+  /// Test hook: the next `count` pair commands on `replica` fail with an
   /// injected IOError before running, exercising the purge-and-retry path
-  /// over real sockets. With `crash`, the injected fault instead stops the
-  /// daemon's bus mid-protocol without a reply — a simulated process death.
-  Status InjectFailures(const std::string& role, uint32_t count,
+  /// over real sockets. `replica` is a replica label ("bob", or "bob#2" in
+  /// a fleet). With `crash`, the injected fault instead stops the daemon's
+  /// bus mid-protocol without a reply — a simulated process death.
+  Status InjectFailures(const std::string& replica, uint32_t count,
                         bool crash = false);
 
  private:
@@ -129,7 +170,7 @@ class RemoteSmcOracle : public MatchOracle {
   /// One pair of the pipelined batch path, carried across retry rounds.
   struct BatchPair {
     size_t batch_pos = 0;       ///< index into CompareBatch's input/labels
-    uint64_t pair_index = 0;    ///< wire id, fresh per dispatch round
+    uint64_t pair_index = 0;    ///< wire id, fresh per dispatch
     int64_t a_id = -1;
     int64_t b_id = -1;
     std::vector<EncodedAttr> attrs;
@@ -141,37 +182,65 @@ class RemoteSmcOracle : public MatchOracle {
   Result<std::vector<EncodedAttr>> EncodePair(const Record& a, const Record& b)
       const;
 
-  /// One pipelined dispatch round over `pending`: ships the pairs in
-  /// kCtlPairBatch frames with up to rpc_window batches in flight, applies
-  /// the per-slot accept rule, fills `labels`, and rewrites `pending` to the
-  /// transiently failed pairs that should be re-batched. Quarantines
-  /// crash-class pairs in place. Returns a semantic error verbatim.
+  /// One pipelined dispatch round over `pending`: schedules the pairs across
+  /// the usable shards in kPairBatch frames, pumps heartbeats and
+  /// membership, rebalances off failing shards, applies the per-slot accept
+  /// rule, fills `labels`, and rewrites `pending` to the transiently failed
+  /// pairs that should be re-batched. Quarantines pairs only when no usable
+  /// shard remains. Returns a semantic error verbatim.
   Status RunBatchRound(std::vector<BatchPair>* pending,
                        std::vector<uint8_t>* labels);
 
-  void SendCtl(const std::string& role, const std::string& tag,
+  std::vector<std::string> ShardRoles(int shard) const;
+  std::string ReplicaLabel(int shard, const std::string& role) const;
+  bool ShardAllAlive(int shard) const;
+  int FirstUsableShard() const;
+  void SendCtl(int shard, const std::string& role, CtlVerb verb,
                std::vector<uint8_t> payload);
-  /// Waits for a kCtlReply per role matching (op, pair_index, attempt).
-  /// OK once all arrived (their codes may still be errors); NotFound on
-  /// deadline with every missing link alive, Unavailable otherwise.
-  Status CollectReplies(const std::string& op, uint64_t pair_index,
-                        uint32_t attempt, const std::vector<std::string>& roles,
-                        int deadline_ms,
-                        std::map<std::string, CtlReply>* out);
-  /// Flushes the mesh between attempts; Unavailable when it cannot.
-  Status PurgeBarrier();
-  std::vector<std::string> PartyRoles() const;
+  /// Records a heartbeat ack in the membership table.
+  void HandleHbAck(int shard, const CtlResponse& r);
+  /// Waits on `shard`'s bus for a CtlResponse per role matching (verb, id,
+  /// attempt). OK once all arrived (their codes may still be errors);
+  /// NotFound on deadline with every missing link alive, Unavailable
+  /// otherwise. Heartbeat acks consumed along the way still reach the
+  /// membership table.
+  Status CollectReplies(int shard, CtlVerb verb, uint64_t id, uint32_t attempt,
+                        const std::vector<std::string>& roles, int deadline_ms,
+                        std::map<std::string, CtlResponse>* out);
+  /// Flushes one shard's mesh between attempts; Unavailable when it cannot.
+  Status PurgeShard(int shard);
+  /// Flushes every usable shard, retiring shards whose purge fails.
+  /// Unavailable when no usable shard remains afterwards.
+  Status PurgeUsableShards();
+  /// Receives one ctl reply from any shard's bus within `timeout_ms`
+  /// (NotFound on expiry). Round-robins across buses in short slices.
+  Status PumpReceive(int timeout_ms, int* shard, CtlResponse* out);
+  void StreamMembershipMetrics();
 
   RemoteOracleOptions opts_;
   crypto::FixedPointCodec codec_;
-  std::unique_ptr<SocketBus> bus_;
+  std::vector<MeshEndpoints> shards_;
+  std::vector<std::unique_ptr<SocketBus>> buses_;  ///< one per shard
+  MembershipTable membership_;
+  ShardScheduler sched_;
   bool initialized_ = false;
   bool shut_down_ = false;
   obs::MetricsRegistry* metrics_ = nullptr;  // not owned; may be null
 
+  /// Heartbeat bookkeeping per replica label.
+  struct Probe {
+    uint64_t seq = 0;
+    bool answered = true;
+  };
+  std::map<std::string, Probe> probes_;
+  uint64_t next_probe_seq_ = 0;
+  size_t pump_rotor_ = 0;       ///< PumpReceive round-robin cursor
+  size_t transitions_seen_ = 0; ///< membership transitions already streamed
+
   int64_t invocations_ = 0;
   int64_t pairs_quarantined_ = 0;
   int64_t retries_ = 0;
+  int64_t rebalanced_pairs_ = 0;
   int64_t ctl_round_trips_ = 0;
   uint64_t next_pair_index_ = 0;
   uint64_t next_batch_id_ = 0;

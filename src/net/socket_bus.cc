@@ -390,14 +390,17 @@ Status SocketBus::Flush(const std::vector<std::string>& peers,
   }
   // Per-link FIFO means every pre-barrier message has been delivered by the
   // time the marker arrives — so anything still queued in one of our
-  // sub-inboxes (e.g. ":res") belongs to the aborted attempt. The ctl
-  // sub-inbox is exempt: the coordinator link is not part of the barrier.
+  // sub-inboxes (e.g. ":res") belongs to the aborted attempt. The ctl and hb
+  // sub-inboxes are exempt: the coordinator link is not part of the barrier,
+  // and a flush must never swallow a membership probe (a drained heartbeat
+  // would read as a missed probe and could tip a healthy replica into
+  // suspect during a perfectly normal retry purge).
   {
     std::lock_guard<std::mutex> lock(inbox_mu_);
     const std::string prefix = opts_.local_name + ":";
     for (auto& [name, queue] : inboxes_) {
       if (name.rfind(prefix, 0) == 0 && name != prefix + "ctl" &&
-          !queue.empty()) {
+          name != prefix + "hb" && !queue.empty()) {
         stale_dropped_.fetch_add(static_cast<int64_t>(queue.size()));
         queue.clear();
       }

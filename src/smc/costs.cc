@@ -7,12 +7,14 @@ namespace hprl::smc {
 std::string SmcCosts::ToString() const {
   return StrFormat(
       "invocations=%lld attr_comparisons=%lld enc=%lld dec=%lld hadd=%lld "
-      "smul=%lld retries=%lld packed_exchanges=%lld packed_pairs=%lld",
+      "smul=%lld retries=%lld rebalanced=%lld packed_exchanges=%lld "
+      "packed_pairs=%lld",
       static_cast<long long>(invocations),
       static_cast<long long>(attr_comparisons),
       static_cast<long long>(encryptions), static_cast<long long>(decryptions),
       static_cast<long long>(homomorphic_adds),
       static_cast<long long>(scalar_muls), static_cast<long long>(retries),
+      static_cast<long long>(rebalanced_pairs),
       static_cast<long long>(packed_exchanges),
       static_cast<long long>(packed_pairs));
 }

@@ -18,6 +18,10 @@ struct SmcCosts {
   int64_t homomorphic_adds = 0;
   int64_t scalar_muls = 0;
   int64_t retries = 0;  ///< exchanges replayed after a transient fault
+  /// Pairs moved off a suspect/dead comparator shard and re-dispatched on a
+  /// healthy one by the sharded coordinator (net/remote_oracle.cc). Distinct
+  /// from retries: a rebalanced pair never failed, its shard did.
+  int64_t rebalanced_pairs = 0;
   /// Packed-plaintext fast path: packed exchange runs, and how many record
   /// pairs they carried. Amortized per-pair crypto is the enc/dec/hadd/smul
   /// totals divided by packed_pairs; the scalar counters above keep counting
@@ -35,6 +39,7 @@ struct SmcCosts {
     homomorphic_adds += o.homomorphic_adds;
     scalar_muls += o.scalar_muls;
     retries += o.retries;
+    rebalanced_pairs += o.rebalanced_pairs;
     packed_exchanges += o.packed_exchanges;
     packed_pairs += o.packed_pairs;
     return *this;

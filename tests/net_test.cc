@@ -497,6 +497,52 @@ TEST(SocketBusTest, FlushBarrierDiscardsInFlightTraffic) {
   EXPECT_GE(mesh.alice->net_stats().stale_dropped, 2);
 }
 
+TEST(SocketBusTest, FlushExemptsHeartbeatSubInbox) {
+  BusPair mesh = MakeBusPair(/*receive_timeout_ms=*/200);
+
+  // Three messages are in flight when the barrier runs: stale protocol
+  // traffic for the main inbox, a stale result for the ":res" sub-inbox,
+  // and a liveness probe for ":hb". The barrier must discard the first two
+  // but NEVER the heartbeat — a purge that ate probes would read as a
+  // missed probe and could tip a healthy replica into suspect during a
+  // perfectly normal retry flush.
+  Message junk;
+  junk.from = "bob";
+  junk.to = "alice";
+  junk.tag = "alice_ct";
+  junk.payload = {7};
+  mesh.bob->Send(junk);
+  Message res;
+  res.from = "bob";
+  res.to = "alice:res";
+  res.tag = "result";
+  res.payload = {3};
+  mesh.bob->Send(res);
+  Message hb;
+  hb.from = "bob";
+  hb.to = "alice:hb";
+  hb.tag = "hb";
+  hb.payload = {9};
+  mesh.bob->Send(hb);
+
+  std::atomic<bool> bob_ok{false};
+  std::thread bob_flush(
+      [&] { bob_ok = mesh.bob->Flush({"alice"}, /*barrier_id=*/6).ok(); });
+  Status alice_flush = mesh.alice->Flush({"bob"}, /*barrier_id=*/6);
+  bob_flush.join();
+  EXPECT_TRUE(alice_flush.ok()) << alice_flush.ToString();
+  EXPECT_TRUE(bob_ok);
+
+  EXPECT_FALSE(mesh.alice->Receive("alice").ok())
+      << "stale main-inbox message survived the barrier";
+  EXPECT_FALSE(mesh.alice->Receive("alice:res").ok())
+      << "stale sub-inbox message survived the barrier";
+  auto probe = mesh.alice->Expect("alice:hb", "hb");
+  ASSERT_TRUE(probe.ok()) << "barrier swallowed a heartbeat: "
+                          << probe.status().ToString();
+  EXPECT_EQ(probe->payload, std::vector<uint8_t>{9});
+}
+
 TEST(SocketBusTest, DeadPeerStopsBeingAliveAndFlushFails) {
   BusPair mesh = MakeBusPair(/*receive_timeout_ms=*/200);
   mesh.bob->Stop();
@@ -868,6 +914,167 @@ TEST_F(MeshTest, MidBatchCrashQuarantinesWithoutFalseLabels) {
   EXPECT_EQ(oracle->pairs_quarantined(), quarantined);
 
   // Shutdown is best-effort with a dead party; it must not hang.
+  (void)oracle->Shutdown(/*stop_daemons=*/true);
+}
+
+// ------------------------------------------------------- comparator fleet
+
+/// Two complete shard meshes (six PartyService daemons on threads) driven by
+/// one fleet coordinator — the sharded deployment of docs/CLUSTER.md,
+/// hermetically in one process.
+class FleetTest : public ::testing::Test {
+ protected:
+  static constexpr int kShards = 2;
+
+  void StartFleet(int receive_timeout_ms) {
+    for (int shard = 0; shard < kShards; ++shard) {
+      Fd holds[3];
+      uint16_t ports[3];
+      for (int i = 0; i < 3; ++i) {
+        auto listener = net::TcpListen(0);
+        ASSERT_TRUE(listener.ok());
+        auto port = net::LocalPort(*listener);
+        ASSERT_TRUE(port.ok());
+        ports[i] = *port;
+        holds[i] = std::move(*listener);
+      }
+      for (int i = 0; i < 3; ++i) holds[i].Close();
+      MeshEndpoints mesh;
+      mesh.alice = {"alice", "127.0.0.1", ports[0]};
+      mesh.bob = {"bob", "127.0.0.1", ports[1]};
+      mesh.qp = {"qp", "127.0.0.1", ports[2]};
+      shard_endpoints_.push_back(mesh);
+
+      for (const char* role : {"alice", "bob", "qp"}) {
+        PartyServiceOptions opts;
+        opts.role = role;
+        opts.endpoints = mesh;
+        opts.connect_timeout_ms = 10000;
+        opts.receive_timeout_ms = receive_timeout_ms;
+        services_.push_back(std::make_unique<PartyService>(opts));
+      }
+    }
+    for (size_t i = 0; i < services_.size(); ++i) {
+      threads_.emplace_back([this, i, s = services_[i].get()] {
+        Status started = s->Start();
+        ASSERT_TRUE(started.ok()) << started.ToString();
+        Status served = s->Serve();
+        // A replica the test kills on purpose exits with the transport
+        // error; so may its shard siblings, cut off mid-protocol.
+        EXPECT_TRUE(served.ok() || may_crash_[i].load()) << served.ToString();
+      });
+    }
+  }
+
+  std::unique_ptr<RemoteSmcOracle> MakeFleetOracle(int receive_timeout_ms,
+                                                   int rpc_batch,
+                                                   int rpc_window) {
+    RemoteOracleOptions opts;
+    opts.config.key_bits = 256;  // small key: fast tests
+    opts.config.test_seed = 4242;
+    opts.config.max_retries = 3;
+    opts.rule = MixedRule();
+    opts.shard_endpoints = shard_endpoints_;
+    opts.connect_timeout_ms = 10000;
+    opts.receive_timeout_ms = receive_timeout_ms;
+    opts.rpc_batch_pairs = rpc_batch;
+    opts.rpc_window = rpc_window;
+    opts.hb_interval_ms = 100;  // fast death detection in tests
+    return std::make_unique<RemoteSmcOracle>(opts);
+  }
+
+  /// Marks every replica of `shard` as allowed to exit with a transport
+  /// error (killing one cuts its two siblings off mid-protocol).
+  void AllowShardCrash(int shard) {
+    for (int i = 0; i < 3; ++i) may_crash_[3 * shard + i] = true;
+  }
+
+  void TearDown() override {
+    for (auto& service : services_) {
+      if (service != nullptr) service->RequestStop();
+    }
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    services_.clear();
+  }
+
+  std::vector<MeshEndpoints> shard_endpoints_;
+  std::vector<std::unique_ptr<PartyService>> services_;
+  std::vector<std::thread> threads_;
+  std::array<std::atomic<bool>, 3 * kShards> may_crash_{};
+};
+
+// The fleet is an implementation detail of throughput: at a pinned
+// config.test_seed, a 2-shard run produces exactly the labels the
+// single-shard mesh and the in-process comparator produce, pair for pair.
+TEST_F(FleetTest, TwoShardLabelsMatchInProcessProtocol) {
+  StartFleet(/*receive_timeout_ms=*/2000);
+  auto oracle = MakeFleetOracle(2000, /*rpc_batch=*/2, /*rpc_window=*/2);
+  ASSERT_TRUE(oracle->Init().ok());
+  ASSERT_EQ(oracle->num_shards(), 2);
+
+  smc::SmcConfig cfg;
+  cfg.key_bits = 256;
+  cfg.test_seed = 4242;
+  smc::SecureRecordComparator reference(cfg, MixedRule());
+  ASSERT_TRUE(reference.Init().ok());
+
+  const auto pairs = SixPairs();
+  const auto batch = PairBatch(pairs);
+  auto labels = oracle->CompareBatch(batch);
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  ASSERT_EQ(labels->size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    auto expected = reference.Compare(pairs[i].first, pairs[i].second);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ((*labels)[i], *expected ? kPairMatch : kPairNonMatch)
+        << "pair " << i;
+  }
+  EXPECT_EQ(oracle->pairs_quarantined(), 0);
+  EXPECT_EQ(oracle->rebalanced_pairs(), 0);
+
+  // With batch 2 over six pairs, least-loaded scheduling must actually use
+  // both shards — the parity above is not vacuous.
+  auto mesh = oracle->CollectStats();
+  ASSERT_TRUE(mesh.ok()) << mesh.status().ToString();
+  EXPECT_GT(mesh->per_party.count("bob#0"), 0u);
+  EXPECT_GT(mesh->per_party.count("bob#1"), 0u);
+  EXPECT_GT(mesh->per_party.at("bob#0").costs.invocations, 0);
+  EXPECT_GT(mesh->per_party.at("bob#1").costs.invocations, 0);
+
+  EXPECT_TRUE(oracle->Shutdown(/*stop_daemons=*/true).ok());
+}
+
+// A replica that dies mid-drain retires its whole shard: the in-flight
+// batch is drained off it and re-dispatched on the surviving shard WITHOUT
+// burning retry budget, membership records the death, and every label is
+// still the exact protocol outcome — no quarantine while a usable shard
+// remains.
+TEST_F(FleetTest, KilledReplicaRebalancesOntoSurvivingShard) {
+  StartFleet(/*receive_timeout_ms=*/300);
+  auto oracle = MakeFleetOracle(300, /*rpc_batch=*/2, /*rpc_window=*/2);
+  ASSERT_TRUE(oracle->Init().ok());
+  AllowShardCrash(1);
+  ASSERT_TRUE(oracle->InjectFailures("bob#1", 1, /*crash=*/true).ok());
+
+  const auto pairs = SixPairs();
+  const auto batch = PairBatch(pairs);
+  auto labels = oracle->CompareBatch(batch);
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  ASSERT_EQ(labels->size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ((*labels)[i],
+              RecordsMatch(pairs[i].first, pairs[i].second, MixedRule())
+                  ? kPairMatch
+                  : kPairNonMatch)
+        << "pair " << i;
+  }
+  EXPECT_EQ(oracle->pairs_quarantined(), 0);
+  EXPECT_GT(oracle->rebalanced_pairs(), 0);
+  EXPECT_EQ(oracle->membership().state("bob#1"), net::ReplicaState::kDead);
+
+  // Shutdown is best-effort with a dead shard; it must not hang.
   (void)oracle->Shutdown(/*stop_daemons=*/true);
 }
 

@@ -5,7 +5,7 @@
 //             [--with-rows] [--evaluate] [--metrics_out run.json]
 //             [--threads N] [--smc_threads N]
 //             [--smc_pack N] [--smc_pack_slot_bits N]
-//             [--rpc_batch N] [--rpc_window N]
+//             [--rpc_batch N] [--rpc_window N] [--shards N]
 //             [--checkpoint drain.json]
 //             [--fault_seed N] [--fault_drop R] [--fault_corrupt R]
 //             [--fault_delay R] [--fault_delay_micros N] [--fault_crash R]
@@ -58,7 +58,14 @@ int main(int argc, char** argv) {
       "tcp: pairs per ctl batch frame (1 = per-pair; 0 = use the spec's)");
   int64_t* rpc_window = flags.AddInt(
       "rpc_window", 0,
-      "tcp: batches kept in flight (0 = use the spec's)");
+      "tcp: batches kept in flight per shard (0 = use the spec's)");
+  int64_t* shards = flags.AddInt(
+      "shards", 0,
+      "tcp: comparator shard meshes per fleet (0 = use the spec's)");
+  int64_t* net_emu_latency = flags.AddInt(
+      "net_emu_latency_micros", 0,
+      "tcp bench knob: per-pair daemon-side sleep, making the SMC stage "
+      "latency-bound so shard scaling measures overlap (0 = off)");
   std::string* checkpoint = flags.AddString(
       "checkpoint", "",
       "resumable SMC drain: persist progress here after every batch and "
@@ -85,7 +92,8 @@ int main(int argc, char** argv) {
   std::string* parties = flags.AddString(
       "parties", "",
       "tcp: alice,bob,qp listen endpoints (host:port,host:port,host:port) "
-      "of an already-running mesh; empty = spawn local daemons");
+      "of an already-running mesh — one triple per shard, ';' between "
+      "shards; empty = spawn local daemons");
   std::string* party_bin = flags.AddString(
       "party_bin", "",
       "tcp spawn mode: hprl_party binary (default: next to this binary)");
@@ -140,6 +148,13 @@ int main(int argc, char** argv) {
   options.smc_pack_slot_bits_override = static_cast<int>(*smc_pack_slot_bits);
   options.rpc_batch_override = static_cast<int>(*rpc_batch);
   options.rpc_window_override = static_cast<int>(*rpc_window);
+  if (*shards < 0 || *net_emu_latency < 0) {
+    std::fprintf(stderr,
+                 "--shards and --net_emu_latency_micros must be >= 0\n");
+    return 2;
+  }
+  options.shards_override = static_cast<int>(*shards);
+  options.net_emu_latency_micros = static_cast<uint32_t>(*net_emu_latency);
   options.checkpoint = *checkpoint;
   options.fault_seed_override = *fault_seed;
   options.fault_drop_override = *fault_drop;

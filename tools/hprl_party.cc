@@ -1,7 +1,7 @@
 // hprl_party — one party daemon of the networked three-party SMC protocol.
 //
 //   hprl_party --role alice --alice 127.0.0.1:7101 --bob 127.0.0.1:7102
-//              --qp 127.0.0.1:7103 [--connect_timeout_ms N]
+//              --qp 127.0.0.1:7103 [--shard N] [--connect_timeout_ms N]
 //              [--receive_timeout_ms N] [--metrics_out party.json]
 //
 // The daemon hosts the real party object (the querying party's private key
@@ -63,6 +63,10 @@ int main(int argc, char** argv) {
                                      "bob's listen endpoint (host:port)");
   std::string* qp = flags.AddString(
       "qp", "127.0.0.1:7103", "querying party's listen endpoint (host:port)");
+  int64_t* shard = flags.AddInt(
+      "shard", -1,
+      "shard index of this replica within a comparator fleet (labeling "
+      "only: the wire protocol is identical; -1 = standalone mesh)");
   int64_t* connect_timeout_ms = flags.AddInt(
       "connect_timeout_ms", 10000, "deadline for establishing the mesh");
   int64_t* receive_timeout_ms = flags.AddInt(
@@ -121,8 +125,14 @@ int main(int argc, char** argv) {
                  started.ToString().c_str());
     return 1;
   }
-  std::printf("hprl_party %s: mesh up, listening on port %u\n", role->c_str(),
-              unsigned{service.bus().listen_port()});
+  if (*shard >= 0) {
+    std::printf("hprl_party %s#%lld: mesh up, listening on port %u\n",
+                role->c_str(), static_cast<long long>(*shard),
+                unsigned{service.bus().listen_port()});
+  } else {
+    std::printf("hprl_party %s: mesh up, listening on port %u\n",
+                role->c_str(), unsigned{service.bus().listen_port()});
+  }
   std::fflush(stdout);
 
   Status served = service.Serve();
@@ -141,6 +151,9 @@ int main(int argc, char** argv) {
     obs::RunReport run;
     run.tool = "hprl_party";
     run.AddConfig("role", *role);
+    if (*shard >= 0) {
+      run.AddConfig("shard", std::to_string(*shard));
+    }
     run.registry = &registry;
     Status wrote = obs::WriteRunReport(run, *metrics_out);
     if (!wrote.ok()) {
