@@ -31,6 +31,10 @@ int main(int argc, char** argv) {
   int64_t* smc_pack = common.flags.AddInt(
       "smc-pack", 4,
       "pairs per packed ciphertext in the packed SMC stage (0 = skip)");
+  std::string* material_dir = common.flags.AddString(
+      "material-dir", "",
+      "run the cold/warm offline-material comparison against this store "
+      "directory (start it empty for a true cold run; \"\" = skip)");
   common.ParseOrDie(argc, argv);
   ExperimentData data = common.PrepareOrDie();
 
@@ -73,6 +77,9 @@ int main(int argc, char** argv) {
   // --smc-threads workers sharing the published key. Same labels, ~the
   // hotpath speedup recorded in BENCH_hotpath.json.
   double smc_serial_seconds = 0, smc_fast_seconds = 0, smc_packed_seconds = 0;
+  double smc_setup_serial_seconds = 0, smc_setup_fast_seconds = 0;
+  double material_cold_total = 0, material_warm_offline = 0,
+         material_warm_online = 0;
   {
     std::vector<Record> recs_a, recs_s;
     for (int64_t i = 0; i < *smc_batch; ++i) {
@@ -107,11 +114,20 @@ int main(int argc, char** argv) {
       return labels;
     };
 
+    // Setup (key generation, pool construction and any material prewarm)
+    // is the offline phase: reported on its own line and series entry, never
+    // folded into the per-stage online numbers below.
     smc::SmcConfig ref_cfg = smc_cfg;
     ref_cfg.crt_decrypt = false;
     ref_cfg.randomizer_pool_depth = 0;
     smc::BatchSmcEngine ref_engine(ref_cfg, one_attr, 1);
-    if (auto s = ref_engine.Init(); !s.ok()) bench::Die(s);
+    {
+      WallTimer t;
+      if (auto s = ref_engine.Init(); !s.ok()) bench::Die(s);
+      smc_setup_serial_seconds = t.ElapsedSeconds();
+    }
+    std::printf("%-52s %10.3f s\n", "SMC setup (keygen), serial engine",
+                smc_setup_serial_seconds);
     auto ref_labels = time_stage(ref_engine, 0, &smc_serial_seconds);
     std::printf("%-52s %10.3f s\n", "SMC stage, serial reference engine",
                 smc_serial_seconds);
@@ -121,7 +137,13 @@ int main(int argc, char** argv) {
     fast_cfg.randomizer_pool_depth = static_cast<int>(3 * *smc_batch + 8);
     smc::BatchSmcEngine fast_engine(fast_cfg, one_attr,
                                     static_cast<int>(*smc_threads));
-    if (auto s = fast_engine.Init(); !s.ok()) bench::Die(s);
+    {
+      WallTimer t;
+      if (auto s = fast_engine.Init(); !s.ok()) bench::Die(s);
+      smc_setup_fast_seconds = t.ElapsedSeconds();
+    }
+    std::printf("%-52s %10.3f s\n", "SMC setup (keygen + pool), fast engine",
+                smc_setup_fast_seconds);
     auto fast_labels =
         time_stage(fast_engine, fast_cfg.randomizer_pool_depth,
                    &smc_fast_seconds);
@@ -160,6 +182,57 @@ int main(int argc, char** argv) {
                     static_cast<double>(pc.packed_pairs) /
                         static_cast<double>(pc.packed_exchanges));
       }
+    }
+
+    // --- offline/online phase split against a persistent material store ---
+    // Cold: empty store, so Init pays keygen + full randomizer generation
+    // and persists the result. Warm: a fresh engine adopts that material,
+    // so its online batch runs with every expensive exponentiation already
+    // on disk. Labels must match the reference bit for bit in both runs —
+    // material changes where the work happens, never the answer.
+    if (!material_dir->empty()) {
+      smc::SmcConfig mat_cfg = fast_cfg;
+      mat_cfg.material_dir = *material_dir;
+      mat_cfg.offline_pairs = static_cast<int>(*smc_batch);
+      smc::BatchSmcEngine cold_engine(mat_cfg, one_attr,
+                                      static_cast<int>(*smc_threads));
+      {
+        WallTimer t;
+        if (auto s = cold_engine.Init(); !s.ok()) bench::Die(s);
+        auto labels = cold_engine.CompareBatch(batch);
+        if (!labels.ok()) bench::Die(labels.status());
+        material_cold_total = t.ElapsedSeconds();
+        if (*labels != ref_labels) {
+          bench::Die(Status::Internal("cold material-run labels diverge"));
+        }
+      }
+      smc::BatchSmcEngine warm_engine(mat_cfg, one_attr,
+                                      static_cast<int>(*smc_threads));
+      {
+        WallTimer t;
+        if (auto s = warm_engine.Init(); !s.ok()) bench::Die(s);
+        material_warm_offline = t.ElapsedSeconds();
+        if (!warm_engine.material_warm()) {
+          bench::Die(Status::Internal(
+              "warm engine missed the material store (cold run saved "
+              "nothing, or the store key mismatched)"));
+        }
+        WallTimer online;
+        auto labels = warm_engine.CompareBatch(batch);
+        if (!labels.ok()) bench::Die(labels.status());
+        material_warm_online = online.ElapsedSeconds();
+        if (*labels != ref_labels) {
+          bench::Die(Status::Internal("warm material-run labels diverge"));
+        }
+      }
+      std::printf("%-52s %10.3f s\n",
+                  "SMC cold end-to-end (keygen + material + batch)",
+                  material_cold_total);
+      std::printf(
+          "SMC warm online (material adopted in %.3f s) %*s %8.3f s   "
+          "(%.2fx)\n",
+          material_warm_offline, 5, "", material_warm_online,
+          material_cold_total / material_warm_online);
     }
   }
 
@@ -271,6 +344,18 @@ int main(int argc, char** argv) {
     if (smc_packed_seconds > 0) {
       stage.smc_seconds = smc_packed_seconds;
       series.Add("smc_stage_packed", stage);
+    }
+    stage.smc_seconds = smc_setup_serial_seconds;
+    series.Add("smc_stage_setup_serial", stage);
+    stage.smc_seconds = smc_setup_fast_seconds;
+    series.Add("smc_stage_setup_fast", stage);
+    if (material_warm_online > 0) {
+      stage.smc_seconds = material_cold_total;
+      series.Add("material_cold_total", stage);
+      stage.smc_seconds = material_warm_offline;
+      series.Add("material_warm_offline", stage);
+      stage.smc_seconds = material_warm_online;
+      series.Add("material_warm_online", stage);
     }
     stage.smc_seconds = smc_plain_call;
     series.Add("smc_compare_plain", stage);

@@ -7,6 +7,8 @@
 #   - SMC stage: batched engine (threads + CRT + randomizer pool) vs the
 #     serial reference engine, on the timing-table workload
 #   - packed SMC: several pairs per ciphertext on top of the fast engine
+#   - offline/online: warm persisted-material online stage vs the cold
+#     end-to-end stage (keygen + prewarm + compare) on the same workload
 #   - blocking: memoized SlackTable sweep vs the seed's direct sweep
 #   - tcp transport: measured wall clock and wire bytes of a real
 #     three-daemon loopback run vs the NetworkModel(LAN) projection
@@ -41,21 +43,26 @@ echo "== micro_crypto: CRT decrypt + fixed-base randomizer (1024 bit) =="
   --benchmark_format=json --benchmark_out="$TMP/crypto.json" \
   --benchmark_out_format=json
 
-echo "== timing_table: batched + packed SMC stage vs serial reference =="
+echo "== timing_table: batched + packed SMC + cold/warm material stages =="
 "./$BUILD/bench/timing_table" --rows 400 --smc-reps 3 --smc-threads 4 \
-  --smc-batch 32 --smc-pack 8 --metrics_out "$TMP/timing.json"
+  --smc-batch 32 --smc-pack 8 --material-dir "$TMP/material" \
+  --metrics_out "$TMP/timing.json"
 
 echo "== micro_blocking: memoized sweep vs direct sweep (+ cutoff guard) =="
 "./$BUILD/bench/micro_blocking" --rows 4000 --k 8 --threads 4 \
   --metrics_out "$TMP/blocking.json"
 
 echo "== tcp transport: three-daemon loopback run, measured vs modeled =="
+# Wall-clock blocks run three times; the python below keeps the best rep
+# of each so a scheduler hiccup cannot fail --check spuriously.
 "./$BUILD/tools/hprl_gen" --out "$TMP/tcpdata" --rows 300 --seed 7 >/dev/null
 sed -i 's/^keybits .*/keybits 256/; s/^allowance .*/allowance 0.01/' \
   "$TMP/tcpdata/linkage.spec"
-"./$BUILD/tools/hprl_link" --spec "$TMP/tcpdata/linkage.spec" \
-  --r "$TMP/tcpdata/r.csv" --s "$TMP/tcpdata/s.csv" --transport tcp \
-  --metrics_out "$TMP/tcp.json" >/dev/null
+for rep in 1 2 3; do
+  "./$BUILD/tools/hprl_link" --spec "$TMP/tcpdata/linkage.spec" \
+    --r "$TMP/tcpdata/r.csv" --s "$TMP/tcpdata/s.csv" --transport tcp \
+    --metrics_out "$TMP/tcp_$rep.json" >/dev/null
+done
 
 echo "== pipelined rpc: ctl round trips, per-pair vs batch 32 =="
 "./$BUILD/tools/hprl_link" --spec "$TMP/tcpdata/linkage.spec" \
@@ -71,18 +78,20 @@ echo "== sharded smc: 4-shard comparator fleet vs 1 shard (emulated latency) =="
 # stage latency-bound: the speedup measures the coordinator overlapping the
 # shards' latency windows — what sharding buys on a real network — not CPU
 # core multiplication (docs/CLUSTER.md). Labels must stay bit-identical.
-"./$BUILD/tools/hprl_link" --spec "$TMP/tcpdata/linkage.spec" \
-  --r "$TMP/tcpdata/r.csv" --s "$TMP/tcpdata/s.csv" --transport tcp \
-  --shards 1 --net_emu_latency_micros 10000 \
-  --links "$TMP/links_shard1.csv" --metrics_out "$TMP/tcp_shard1.json" \
-  >/dev/null
-"./$BUILD/tools/hprl_link" --spec "$TMP/tcpdata/linkage.spec" \
-  --r "$TMP/tcpdata/r.csv" --s "$TMP/tcpdata/s.csv" --transport tcp \
-  --shards 4 --net_emu_latency_micros 10000 \
-  --links "$TMP/links_shard4.csv" --metrics_out "$TMP/tcp_shard4.json" \
-  >/dev/null
-diff "$TMP/links_shard1.csv" "$TMP/links_shard4.csv" \
-  || { echo "FAIL: 4-shard links differ from single-shard links"; exit 1; }
+for rep in 1 2 3; do
+  "./$BUILD/tools/hprl_link" --spec "$TMP/tcpdata/linkage.spec" \
+    --r "$TMP/tcpdata/r.csv" --s "$TMP/tcpdata/s.csv" --transport tcp \
+    --shards 1 --net_emu_latency_micros 10000 \
+    --links "$TMP/links_shard1.csv" \
+    --metrics_out "$TMP/tcp_shard1_$rep.json" >/dev/null
+  "./$BUILD/tools/hprl_link" --spec "$TMP/tcpdata/linkage.spec" \
+    --r "$TMP/tcpdata/r.csv" --s "$TMP/tcpdata/s.csv" --transport tcp \
+    --shards 4 --net_emu_latency_micros 10000 \
+    --links "$TMP/links_shard4.csv" \
+    --metrics_out "$TMP/tcp_shard4_$rep.json" >/dev/null
+  diff "$TMP/links_shard1.csv" "$TMP/links_shard4.csv" \
+    || { echo "FAIL: 4-shard links differ from single-shard links"; exit 1; }
+done
 
 CHECK="$CHECK" python3 - "$TMP" <<'EOF'
 import json, sys, os
@@ -164,12 +173,32 @@ report = {
     },
 }
 
+# Offline/online phase split: cold end-to-end SMC stage (keygen + material
+# prewarm + compare, empty store) vs the warm online stage alone (persisted
+# material adopted; the offline phase shrinks to a file load, reported next
+# to it). Same labels both ways, asserted inside timing_table. The warm
+# speedup is the acceptance criterion (>= 3x).
+report["offline_online"] = {
+    "cold_total_seconds": timing["material_cold_total"]["smc_seconds"],
+    "warm_offline_seconds": timing["material_warm_offline"]["smc_seconds"],
+    "warm_online_seconds": timing["material_warm_online"]["smc_seconds"],
+    "speedup": (timing["material_cold_total"]["smc_seconds"]
+                / timing["material_warm_online"]["smc_seconds"]),
+}
+
 # Real three-daemon loopback run vs the NetworkModel(LAN) projection. The
 # wire/accounted ratio is the acceptance criterion (within 5%); the
 # measured/estimated ratio quantifies how pessimistic the serialized-crypto
-# LAN model is against a loopback deployment.
-with open(os.path.join(tmp, "tcp.json")) as f:
-    tcp_gauges = json.load(f)["gauges"]
+# LAN model is against a loopback deployment. Wall-clock blocks are
+# best-of-3: each rep wrote its own report, keep the fastest stage.
+def best_gauges(pattern):
+    reps = []
+    for rep in (1, 2, 3):
+        with open(os.path.join(tmp, pattern % rep)) as f:
+            reps.append(json.load(f)["gauges"])
+    return min(reps, key=lambda g: g["net.measured_smc_seconds"])
+
+tcp_gauges = best_gauges("tcp_%d.json")
 wire = tcp_gauges["net.wire_bytes_sent"]
 accounted = tcp_gauges["net.bus_accounted_bytes"]
 measured_s = tcp_gauges["net.measured_smc_seconds"]
@@ -203,13 +232,10 @@ report["pipelined_rpc"] = {
 # Comparator fleet: the same linkage over 4 shard meshes vs 1, with the
 # daemons sleeping 10 ms per pair so the stage is latency-bound. The
 # speedup is the SMC-stage wall-clock ratio (acceptance: >= 2.5x at 4
-# shards); links were diffed bit-identical by the shell above.
-def smc_wall_seconds(path):
-    with open(os.path.join(tmp, path)) as f:
-        return json.load(f)["gauges"]["net.measured_smc_seconds"]
-
-shard1_s = smc_wall_seconds("tcp_shard1.json")
-shard4_s = smc_wall_seconds("tcp_shard4.json")
+# shards), best-of-3 per side; links were diffed bit-identical by the
+# shell above on every rep.
+shard1_s = best_gauges("tcp_shard1_%d.json")["net.measured_smc_seconds"]
+shard4_s = best_gauges("tcp_shard4_%d.json")["net.measured_smc_seconds"]
 report["sharded_smc"] = {
     "shards": 4,
     "emulated_latency_micros": 10000,

@@ -48,6 +48,50 @@ assert drift < 0.05, f"wire {wire} vs accounted {bus}: drift {drift:.4f}"
 print(f"tcp loopback OK: links bit-identical, byte drift {drift:.4%}")
 EOF
 
+echo "== offline/online smoke: cold-then-warm material, bit-identical links =="
+# First run is cold (empty store: generate + persist), second is warm
+# (adopt persisted material). Warm links must be bit-identical and the
+# warm offline phase must be a small fraction of the cold one; the same
+# warm store must also reproduce the links over TCP and a 2-shard fleet
+# (the daemons keep their own stores, so their first run is their cold).
+MAT_DIR="$TCP_TMP/material"
+for phase in cold warm; do
+  ./build/tools/hprl_link --spec "$TCP_TMP/linkage.spec" \
+    --r "$TCP_TMP/r.csv" --s "$TCP_TMP/s.csv" \
+    --smc_seed 4242 --material_dir "$MAT_DIR" --offline_pairs 64 \
+    --links "$TCP_TMP/links_${phase}.csv" \
+    --metrics_out "$TCP_TMP/run_${phase}.json" >/dev/null
+done
+diff "$TCP_TMP/links_cold.csv" "$TCP_TMP/links_warm.csv" \
+  || { echo "FAIL: warm-material links differ from cold links"; exit 1; }
+python3 - "$TCP_TMP/run_cold.json" "$TCP_TMP/run_warm.json" <<'EOF'
+import json, sys
+cold = json.load(open(sys.argv[1]))
+warm = json.load(open(sys.argv[2]))
+assert cold["counters"].get("crypto.material.hits", 0) == 0, "cold run hit"
+assert cold["counters"].get("crypto.material.misses", 0) >= 1, "no cold miss"
+hits = warm["counters"].get("crypto.material.hits", 0)
+assert hits >= 1, "warm run did not adopt persisted material"
+co, wo = cold["metrics"]["offline_seconds"], warm["metrics"]["offline_seconds"]
+assert co > 0 and wo < 0.5 * co, f"warm offline {wo:.3f}s vs cold {co:.3f}s"
+print(f"material OK: warm adopted ({hits} hit), offline {co:.3f}s -> {wo:.3f}s")
+EOF
+for variant in tcp2 fleet2; do
+  extra=()
+  [[ "$variant" == fleet2 ]] && extra=(--shards 2)
+  ./build/tools/hprl_link --spec "$TCP_TMP/linkage.spec" \
+    --r "$TCP_TMP/r.csv" --s "$TCP_TMP/s.csv" --transport tcp "${extra[@]}" \
+    --smc_seed 4242 --material_dir "$MAT_DIR/$variant" --offline_pairs 64 \
+    --links "$TCP_TMP/links_mat_$variant.csv" >/dev/null
+  ./build/tools/hprl_link --spec "$TCP_TMP/linkage.spec" \
+    --r "$TCP_TMP/r.csv" --s "$TCP_TMP/s.csv" --transport tcp "${extra[@]}" \
+    --smc_seed 4242 --material_dir "$MAT_DIR/$variant" --offline_pairs 64 \
+    --links "$TCP_TMP/links_mat_${variant}_warm.csv" >/dev/null
+  diff "$TCP_TMP/links_cold.csv" "$TCP_TMP/links_mat_${variant}_warm.csv" \
+    || { echo "FAIL: warm $variant links differ from cold inproc"; exit 1; }
+done
+echo "material OK: warm tcp + warm 2-shard fleet links bit-identical"
+
 echo "== comparator fleet smoke: 2 shards (7 processes), bit-identical links =="
 # Sharding is a throughput measure only: a 2-shard fleet run must reproduce
 # the in-process links bit for bit at the pinned seed (docs/CLUSTER.md).
@@ -114,17 +158,20 @@ echo "== bench check: hot-path speedups vs committed BENCH_hotpath.json =="
 # 80% of its committed value (scripts/bench_smoke.sh --check).
 scripts/bench_smoke.sh --check
 
-echo "== ASan: fault injection + membership/scheduler + real TCP transport =="
+echo "== ASan: fault injection + membership/scheduler + TCP + material =="
 cmake -B build-asan -S . -DHPRL_SANITIZE=address >/dev/null
-cmake --build build-asan -j --target fault_test membership_test net_test
+cmake --build build-asan -j --target fault_test membership_test net_test \
+  material_test
 ./build-asan/tests/fault_test
 ./build-asan/tests/membership_test
 ./build-asan/tests/net_test
+./build-asan/tests/material_test
 
 echo "== TSan: metrics registry + threaded blocking + parallel/faulty SMC =="
 cmake -B build-tsan -S . -DHPRL_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target obs_test blocking_test session_test \
-  parallel_smc_test crypto_test fault_test membership_test net_test
+  parallel_smc_test crypto_test fault_test membership_test net_test \
+  material_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/blocking_test
 ./build-tsan/tests/session_test
@@ -133,5 +180,6 @@ cmake --build build-tsan -j --target obs_test blocking_test session_test \
 ./build-tsan/tests/fault_test
 ./build-tsan/tests/membership_test
 ./build-tsan/tests/net_test
+./build-tsan/tests/material_test
 
 echo "== verify OK =="

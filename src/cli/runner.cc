@@ -196,6 +196,11 @@ std::string RunnerReport::ToString() const {
                    oracle.c_str(),
                    static_cast<long long>(result.smc_processed),
                    static_cast<long long>(result.allowance_pairs));
+  if (result.offline_seconds > 0 || result.online_seconds > 0) {
+    out += StrFormat("SMC phases: offline %.3fs (setup/material), "
+                     "online %.3fs (per-pair protocol)\n",
+                     result.offline_seconds, result.online_seconds);
+  }
   out += StrFormat("links reported: %lld (precision 100%% by construction)\n",
                    static_cast<long long>(result.reported_matches));
   if (result.quarantined_pairs > 0) {
@@ -294,6 +299,24 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
                              ? options.rpc_window_override
                              : spec.rpc_window;
 
+  // Offline/online phase split knobs. The material store only ever hits at
+  // a pinned smc_seed (unseeded runs draw fresh keypairs from OS entropy,
+  // so their fingerprints never repeat).
+  const uint64_t smc_seed =
+      options.smc_seed_override >= 0
+          ? static_cast<uint64_t>(options.smc_seed_override)
+          : spec.smc_seed;
+  const std::string material_dir = !options.material_dir_override.empty()
+                                       ? options.material_dir_override
+                                       : spec.material_dir;
+  const int offline_pairs = options.offline_pairs_override >= 0
+                                ? options.offline_pairs_override
+                                : spec.offline_pairs;
+  if (options.offline_only && material_dir.empty()) {
+    return Status::InvalidArgument(
+        "--offline requires a material_dir (spec directive or flag)");
+  }
+
   // Fault plan: CLI overrides (>= 0 rates, > 0 seed/latency) beat the
   // spec's `fault` directives.
   smc::FaultPlan fault_plan;
@@ -335,6 +358,9 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
   bopts.config.fault_plan = fault_plan;
   bopts.config.pack_pairs = smc_pack;
   bopts.config.pack_slot_bits = smc_pack_slot_bits;
+  bopts.config.test_seed = smc_seed;
+  bopts.config.material_dir = material_dir;
+  bopts.config.offline_pairs = offline_pairs;
   bopts.rule = plan->rule;
   bopts.smc_threads = smc_threads;
   bopts.transport = options.transport;
@@ -351,10 +377,38 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
   if (!backend.ok()) return backend.status();
   net::SmcBackend& be = **backend;
   be.AttachMetrics(metrics);
+  // Everything inside Init is record-independent offline work: key setup,
+  // material-store load/adopt, randomizer prewarm. On a warm store this
+  // collapses to a file read plus validation.
+  WallTimer offline_timer;
   HPRL_RETURN_IF_ERROR(be.Init());
+  const double offline_seconds = offline_timer.ElapsedSeconds();
   report.oracle = be.description();
   const bool use_tcp = be.is_tcp();
   const std::string parties_desc = be.parties_description();
+
+  if (options.offline_only) {
+    // Generate-and-exit: the material is on disk, nothing record-dependent
+    // ran. The TCP daemons persist their material on the shutdown drain.
+    report.offline_only = true;
+    report.result.offline_seconds = offline_seconds;
+    if (use_tcp) HPRL_RETURN_IF_ERROR(be.Shutdown(/*stop_daemons=*/true));
+    if (!options.metrics_out.empty()) {
+      obs::RunReport run;
+      run.tool = "hprl_link";
+      run.AddConfig("mode", "offline");
+      run.AddConfig("key_bits", StrFormat("%d", spec.key_bits));
+      run.AddConfig("material_dir", material_dir);
+      run.AddConfig("offline_pairs", StrFormat("%d", offline_pairs));
+      run.AddConfig("smc_seed", StrFormat("%llu",
+                                          static_cast<unsigned long long>(
+                                              smc_seed)));
+      run.metrics = report.result;
+      run.registry = metrics;
+      HPRL_RETURN_IF_ERROR(obs::WriteRunReport(run, options.metrics_out));
+    }
+    return report;
+  }
 
   Result<HybridResult> result = session.WithOracle(be.oracle()).Run();
 
@@ -383,6 +437,8 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
   if (!result.ok()) return result.status();
   report.result = std::move(result).value();
   report.result.anon_seconds = anon_seconds;
+  report.result.offline_seconds = offline_seconds;
+  report.result.online_seconds = report.result.smc_seconds;
 
   if (use_tcp) {
     obs::SetGauge(metrics, "net.measured_smc_seconds",
@@ -408,6 +464,15 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
     run.AddConfig("threads", StrFormat("%d", hc.blocking_threads));
     run.AddConfig("smc_threads", StrFormat("%d", smc_threads));
     run.AddConfig("smc_pack", StrFormat("%d", smc_pack));
+    if (smc_seed != 0) {
+      run.AddConfig("smc_seed",
+                    StrFormat("%llu",
+                              static_cast<unsigned long long>(smc_seed)));
+    }
+    if (!material_dir.empty()) {
+      run.AddConfig("material_dir", material_dir);
+      run.AddConfig("offline_pairs", StrFormat("%d", offline_pairs));
+    }
     run.AddConfig("oracle", report.oracle);
     run.AddConfig("transport", use_tcp ? "tcp" : "inproc");
     if (use_tcp) {

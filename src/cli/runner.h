@@ -41,6 +41,20 @@ struct RunnerOptions {
   /// >= 1: overrides the spec's `rpc_window` directive. < 1 keeps the spec's.
   int rpc_window_override = 0;
 
+  /// >= 0: overrides the spec's `smc_seed` directive (pinned keypair seed;
+  /// 0 = OS entropy). < 0 keeps the spec's value.
+  int64_t smc_seed_override = -1;
+  /// Non-empty: overrides the spec's `material_dir` directive (persistent
+  /// offline crypto material store).
+  std::string material_dir_override;
+  /// >= 0: overrides the spec's `offline_pairs` directive. < 0 keeps the
+  /// spec's value.
+  int offline_pairs_override = -1;
+  /// Run only the offline phase — key setup, material generation, persist —
+  /// then exit without touching the input records' pairs. Requires a
+  /// material_dir; the linkage numbers in the report stay zero.
+  bool offline_only = false;
+
   /// Non-empty: resumable allowance drain — the session checkpoints after
   /// every SMC batch and resumes from this path (core/checkpoint.h).
   std::string checkpoint;
@@ -97,6 +111,9 @@ struct RunnerOptions {
 struct RunnerReport {
   HybridResult result;
   std::string oracle;  // "plaintext", "paillier-<bits>" or "paillier-<bits>/tcp"
+
+  /// True when the run stopped after the offline phase (offline_only).
+  bool offline_only = false;
 
   /// --transport=tcp only: deployment ground truth vs the NetworkModel
   /// projection. estimated_smc_seconds < 0 means "not a TCP run".

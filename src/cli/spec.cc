@@ -158,6 +158,22 @@ Result<LinkageSpec> ParseLinkageSpec(const std::string& text,
         if (!bits.ok() || *bits < 8) return err("bad smc_pack slot bits");
         spec.smc_pack_slot_bits = static_cast<int>(*bits);
       }
+    } else if (key == "smc_seed") {
+      if (tok.size() != 2) return err("smc_seed needs a value");
+      auto v = ParseInt(tok[1]);
+      if (!v.ok() || *v < 0) return err("bad smc_seed");
+      spec.smc_seed = static_cast<uint64_t>(*v);
+    } else if (key == "material_dir") {
+      if (tok.size() != 2) return err("material_dir needs a path");
+      std::filesystem::path p(tok[1]);
+      spec.material_dir =
+          p.is_absolute() ? p.string()
+                          : (std::filesystem::path(base_dir) / p).string();
+    } else if (key == "offline_pairs") {
+      if (tok.size() != 2) return err("offline_pairs needs a value");
+      auto v = ParseInt(tok[1]);
+      if (!v.ok() || *v < 0) return err("bad offline_pairs");
+      spec.offline_pairs = static_cast<int>(*v);
     } else if (key == "rpc_batch") {
       if (tok.size() != 2) return err("rpc_batch needs a value");
       auto v = ParseInt(tok[1]);

@@ -42,6 +42,9 @@ struct AttrSpec {
 ///   keybits 0            # 0 = exact plaintext oracle; >0 = Paillier bits
 ///   smc_retries 3        # transient-fault retries per protocol exchange
 ///   smc_pack 8 64        # pairs per packed SMC exchange, then slot bits
+///   smc_seed 4242        # pinned keypair seed (0 = OS entropy, the default)
+///   material_dir cache/  # persistent offline crypto material store
+///   offline_pairs 500    # offline phase sizing, in expected record pairs
 ///   rpc_batch 32         # TCP: pairs per ctl batch frame (1 = per-pair)
 ///   rpc_window 4         # TCP: batches kept in flight per shard
 ///   shards 4             # TCP: comparator shard meshes per fleet
@@ -77,6 +80,18 @@ struct LinkageSpec {
   int smc_pack = 0;
   /// Bit width of one packed slot (smc::SmcConfig::pack_slot_bits).
   int smc_pack_slot_bits = 64;
+
+  /// Pinned keypair/protocol seed (smc::SmcConfig::test_seed). 0 — the
+  /// default — draws keys from OS entropy; non-zero makes runs repeatable
+  /// and is what lets a persistent material store hit across runs.
+  uint64_t smc_seed = 0;
+  /// Persistent offline crypto material store directory
+  /// (smc::SmcConfig::material_dir); relative paths resolve against the
+  /// spec file's directory. Empty disables the store.
+  std::string material_dir;
+  /// Offline phase sizing in expected record pairs
+  /// (smc::SmcConfig::offline_pairs); 0 sizes by the pool depth.
+  int offline_pairs = 0;
 
   /// TCP transport: pairs per kPairBatch frame
   /// (net::RemoteOracleOptions::rpc_batch_pairs); <= 1 disables batching.

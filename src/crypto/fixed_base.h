@@ -41,6 +41,20 @@ class FixedBaseTable {
   /// precomputed max_exp_bits, or when the table is empty.
   Result<BigInt> Pow(const BigInt& exp) const;
 
+  /// Serializes the precomputed table (window parameters plus every entry)
+  /// so a later run against the same base and modulus can skip the
+  /// construction cost. The modulus is not stored: the caller re-binds it at
+  /// Deserialize, and the material store's fingerprint + checksum guard
+  /// against cross-keypair mixups (src/crypto/material.h).
+  std::vector<uint8_t> Serialize() const;
+
+  /// Rebuilds a table from Serialize() output. Any structural problem —
+  /// truncation, out-of-range window parameters, entries outside
+  /// [1, modulus) — returns InvalidArgument; callers treat that as a cache
+  /// miss and rebuild from scratch.
+  static Result<FixedBaseTable> Deserialize(const std::vector<uint8_t>& blob,
+                                            const BigInt& modulus);
+
  private:
   BigInt modulus_;
   int window_bits_ = 0;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "crypto/fixed_base.h"
+#include "crypto/material.h"
 
 namespace hprl::crypto {
 
@@ -281,6 +282,65 @@ void RandomizerPool::Prefill(int count) {
   }
 }
 
+int RandomizerPool::Prewarm(int count) {
+  int generated = 0;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (static_cast<int>(ready_.size()) >= count) return generated;
+    }
+    BigInt rn = ComputeOne();
+    std::lock_guard<std::mutex> lk(mu_);
+    ready_.push_back(std::move(rn));
+    ++generated;
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->Set(static_cast<double>(ready_.size()));
+    }
+  }
+}
+
+Status RandomizerPool::AdoptMaterial(const CryptoMaterial& m) {
+  std::unique_ptr<FixedBaseTable> table;
+  if (!m.table_blob.empty()) {
+    auto parsed = FixedBaseTable::Deserialize(m.table_blob, n2_);
+    if (!parsed.ok()) return parsed.status();
+    table = std::make_unique<FixedBaseTable>(std::move(parsed).value());
+  }
+  // Validate every randomizer before touching pool state so a bad entry
+  // can never leave a half-adopted pool behind.
+  for (const BigInt& r : m.randomizers) {
+    if (r.Sign() <= 0 || !(r < n2_)) {
+      return Status::InvalidArgument("material randomizer out of (0, n^2)");
+    }
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (filler_.joinable()) {
+    return Status::FailedPrecondition("AdoptMaterial must run before Start");
+  }
+  if (table != nullptr) {
+    fixed_base_ = std::move(table);
+    short_exp_bits_ = static_cast<int>(m.short_exp_bits);
+  }
+  for (const BigInt& r : m.randomizers) ready_.push_back(r);
+  adopted_ += static_cast<int64_t>(m.randomizers.size());
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->Set(static_cast<double>(ready_.size()));
+  }
+  return Status::OK();
+}
+
+CryptoMaterial RandomizerPool::ExportMaterial(uint32_t slot_bits) const {
+  CryptoMaterial m;
+  m.fingerprint = KeyFingerprint(n_);
+  m.modulus_bits = static_cast<uint32_t>(n_.BitLength());
+  m.slot_bits = slot_bits;
+  m.short_exp_bits = static_cast<uint32_t>(short_exp_bits_);
+  if (fixed_base_ != nullptr) m.table_blob = fixed_base_->Serialize();
+  std::lock_guard<std::mutex> lk(mu_);
+  m.randomizers.assign(ready_.begin(), ready_.end());
+  return m;
+}
+
 BigInt RandomizerPool::Take() {
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -342,6 +402,11 @@ int64_t RandomizerPool::hits() const {
 int64_t RandomizerPool::misses() const {
   std::lock_guard<std::mutex> lk(mu_);
   return misses_;
+}
+
+int64_t RandomizerPool::adopted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return adopted_;
 }
 
 void RandomizerPool::AttachMetrics(obs::MetricsRegistry* registry) {

@@ -16,6 +16,7 @@ namespace hprl::crypto {
 
 class FixedBaseTable;
 class RandomizerPool;
+struct CryptoMaterial;
 
 /// Paillier public key (Paillier, Eurocrypt'99) with the standard g = n + 1
 /// optimization: Enc(m; r) = (1 + m·n) · r^n mod n².
@@ -200,12 +201,34 @@ class RandomizerPool {
   /// way a deployment's idle periods would.
   void Prefill(int count);
 
+  /// The dedicated offline phase: synchronously fills the pool to at least
+  /// `count` ready values, PAST the fill target when asked (the background
+  /// filler never tops past the target, so prewarmed surplus is consumed
+  /// before any new randomizer is generated). Returns how many values this
+  /// call generated.
+  int Prewarm(int count);
+
+  /// Installs persisted offline material (crypto/material.h): deserializes
+  /// the fixed-base table against this pool's modulus and enqueues every
+  /// stored randomizer. Must run before Start. Loaded values land above the
+  /// fill target, so the pool runs consume-only until they are spent.
+  /// Structural problems return InvalidArgument and leave the pool exactly
+  /// as constructed — the caller treats that as a cache miss.
+  Status AdoptMaterial(const CryptoMaterial& m);
+
+  /// Snapshot of the pool as persistable material: the serialized fixed-base
+  /// table plus every currently ready randomizer. `slot_bits` is the
+  /// packed-plaintext layout key the material is filed under.
+  CryptoMaterial ExportMaterial(uint32_t slot_bits) const;
+
   /// Pops one precomputed r^n mod n², or computes one inline when empty.
   BigInt Take();
 
   int depth() const;
   int64_t hits() const;    ///< Takes served from the pool
   int64_t misses() const;  ///< Takes computed inline
+  int64_t adopted() const; ///< randomizers installed from the material store
+  int short_exp_bits() const { return short_exp_bits_; }
 
   /// True when randomizers come from the fixed-base table fast path.
   bool uses_fixed_base() const { return fixed_base_ != nullptr; }
@@ -229,6 +252,7 @@ class RandomizerPool {
   std::deque<BigInt> ready_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  int64_t adopted_ = 0;
   bool stop_ = false;
   std::thread filler_;
 

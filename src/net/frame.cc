@@ -260,6 +260,8 @@ const char* CtlVerbTag(CtlVerb verb) {
       return "inject_fail";
     case CtlVerb::kHeartbeat:
       return "hb";
+    case CtlVerb::kWarmup:
+      return "warmup";
   }
   return "unknown";  // unreachable: the switch above is exhaustive
 }

@@ -31,13 +31,14 @@ namespace hprl::net {
 /// in-process transport.
 
 inline constexpr uint32_t kWireMagic = 0x4850524C;  // "HPRL"
-/// Version 3: ctl verbs are a typed enum (CtlVerb, one byte on the wire in
-/// every ctl acknowledgement), the mesh gained heartbeat probes on the ":hb"
-/// sub-inbox, kCtlConfigure carries the emulated per-pair latency knob, and
-/// party stats report the rebalanced-pair counter. Version 2 added the
-/// batched pair command and the randomizer pool depth. Mixed-version meshes
-/// are rejected at the frame layer.
-inline constexpr uint16_t kWireVersion = 3;
+/// Version 4: the offline/online phase split — kConfigure carries the
+/// material directory + offline-pairs knobs, a kWarmup verb runs the
+/// dedicated offline phase on the daemons, and party stats gained the
+/// offline-attribution cost counters plus the crypto.material.* sweep.
+/// Version 3 made ctl verbs a typed enum with ":hb" heartbeat probes;
+/// version 2 added the batched pair command and the randomizer pool depth.
+/// Mixed-version meshes are rejected at the frame layer.
+inline constexpr uint16_t kWireVersion = 4;
 
 /// Frames larger than this are rejected before any allocation — an oversized
 /// length prefix means a corrupted or hostile stream, not a big message
@@ -110,10 +111,12 @@ enum class CtlVerb : uint8_t {
   kShutdown = 7,    ///< leave the serve loop ("shutdown")
   kInjectFail = 8,  ///< test hook: fail/crash upcoming pairs ("inject_fail")
   kHeartbeat = 9,   ///< membership probe on the ":hb" sub-inbox ("hb")
+  kWarmup = 10,     ///< run the offline phase now: prewarm + persist
+                    ///  randomizer material ("warmup")
 };
 
 /// Number of verbs; ParseCtlResponse rejects verb bytes at or above this.
-inline constexpr uint8_t kCtlVerbCount = 10;
+inline constexpr uint8_t kCtlVerbCount = 11;
 
 /// The verb's wire tag. Exhaustive switch: a new enum value that is not
 /// given a tag here fails to compile.

@@ -1,5 +1,6 @@
 #include "net/party_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -41,6 +42,8 @@ void AppendPartyStats(const PartyStats& s, std::vector<uint8_t>* out) {
   AppendI64(s.costs.rebalanced_pairs, out);
   AppendI64(s.costs.packed_exchanges, out);
   AppendI64(s.costs.packed_pairs, out);
+  AppendI64(s.costs.offline_randomizers, out);
+  AppendI64(s.costs.material_randomizers, out);
   AppendI64(s.bus_bytes, out);
   AppendI64(s.bus_messages, out);
   AppendI64(s.net.bytes_sent, out);
@@ -51,6 +54,10 @@ void AppendPartyStats(const PartyStats& s, std::vector<uint8_t>* out) {
   AppendI64(s.net.reconnects, out);
   AppendI64(s.net.stale_dropped, out);
   AppendI64(s.net.send_errors, out);
+  AppendI64(s.material.hits, out);
+  AppendI64(s.material.misses, out);
+  AppendI64(s.material.rejected, out);
+  AppendI64(s.material.bytes, out);
 }
 
 Result<PartyStats> ParsePartyStats(const std::vector<uint8_t>& extra,
@@ -62,11 +69,14 @@ Result<PartyStats> ParsePartyStats(const std::vector<uint8_t>& extra,
       &s.costs.homomorphic_adds, &s.costs.scalar_muls,
       &s.costs.retries,         &s.costs.rebalanced_pairs,
       &s.costs.packed_exchanges, &s.costs.packed_pairs,
+      &s.costs.offline_randomizers, &s.costs.material_randomizers,
       &s.bus_bytes,             &s.bus_messages,
       &s.net.bytes_sent,        &s.net.bytes_received,
       &s.net.frames_sent,       &s.net.frames_received,
       &s.net.connects,          &s.net.reconnects,
       &s.net.stale_dropped,     &s.net.send_errors,
+      &s.material.hits,         &s.material.misses,
+      &s.material.rejected,     &s.material.bytes,
   };
   for (int64_t* field : fields) {
     auto v = ConsumeI64(extra, off);
@@ -279,9 +289,34 @@ Status PartyService::Dispatch(CtlVerb verb, const Message& msg) {
       Reply(CtlVerb::kPurge, *barrier_id, 0, st, 0, {});
       return st;
     }
+    case CtlVerb::kWarmup: {
+      size_t off = 0;
+      auto count = ConsumeU32(msg.payload, &off);
+      if (!count.ok()) {
+        Reply(CtlVerb::kWarmup, 0, 0, count.status(), 0, {});
+        return count.status();
+      }
+      int64_t generated = 0;
+      Status st = HandleWarmup(*count, &generated);
+      std::vector<uint8_t> extra;
+      AppendI64(generated, &extra);
+      Reply(CtlVerb::kWarmup, 0, 0, st, 0, std::move(extra));
+      return st;
+    }
     case CtlVerb::kStats: {
       PartyStats stats;
       stats.costs = costs_;
+      if (pool_ != nullptr) {
+        // Offline attribution mirrors BatchSmcEngine: every pool hit was an
+        // encryption paid for off the critical path; FIFO draw order means
+        // adopted (disk-loaded) randomizers are consumed first.
+        stats.costs.offline_randomizers = pool_->hits();
+        stats.costs.material_randomizers =
+            std::min<int64_t>(pool_->hits(), pool_->adopted());
+      }
+      if (material_store_ != nullptr) {
+        stats.material = material_store_->stats();
+      }
       stats.bus_bytes = bus_->total_bytes();
       stats.bus_messages = bus_->total_messages();
       stats.net = bus_->net_stats();
@@ -340,9 +375,14 @@ Status PartyService::HandleConfigure(const std::vector<uint8_t>& payload) {
   if (!test_seed.ok()) return test_seed.status();
   auto pool_depth = ConsumeU32(payload, &off);
   if (!pool_depth.ok()) return pool_depth.status();
-  // Optional trailing knob (version-2 coordinators omit it).
+  // Optional trailing knobs (older coordinators omit them). emu_latency is
+  // version-2; the offline/online material knobs are version-4.
   auto emu_latency = ConsumeU32(payload, &off);
   emulated_latency_micros_ = emu_latency.ok() ? *emu_latency : 0;
+  auto offline_pairs = ConsumeU32(payload, &off);
+  offline_pairs_ = offline_pairs.ok() ? *offline_pairs : 0;
+  auto material_dir = ConsumeString(payload, &off);
+  material_dir_ = material_dir.ok() ? *material_dir : "";
 
   params_.key_bits = static_cast<int>(*key_bits);
   params_.fp_scale = *fp_scale;
@@ -353,6 +393,8 @@ Status PartyService::HandleConfigure(const std::vector<uint8_t>& payload) {
   test_seed_ = *test_seed;
   pool_depth_ = *pool_depth;
   pool_.reset();  // a new configuration means a new key is coming
+  material_store_.reset();
+  material_dirty_ = false;
   incarnation_ += 1;
 
   if (opts_.role == opts_.endpoints.qp.name) {
@@ -395,11 +437,54 @@ Status PartyService::HandleRecvKey() {
     pool_ = std::make_unique<crypto::RandomizerPool>(
         holder_->public_key(), static_cast<int>(pool_depth_),
         Seed(test_seed_, salt ^ 0xF1100u));
+    if (!material_dir_.empty()) {
+      // Material must be adopted before the filler thread starts. A load
+      // failure of any kind — absent, truncated, corrupted, wrong key —
+      // only means a cold start: the pool regenerates and the fresh
+      // material is persisted by kWarmup or the shutdown drain.
+      // Role-scoped subdirectory: alice and bob persist under the SAME
+      // (fingerprint, bits, slot) key, and sharing one randomizer bank
+      // across parties would let the querying party divide ciphertexts
+      // and learn plaintext differences. Each daemon gets its own store.
+      material_store_ = std::make_unique<crypto::MaterialStore>(
+          material_dir_ + "/" + opts_.role);
+      const BigInt& n = holder_->public_key().n();
+      auto loaded = material_store_->Load(
+          crypto::KeyFingerprint(n),
+          static_cast<uint32_t>(n.BitLength()), /*slot_bits=*/0);
+      if (loaded.ok() && pool_->AdoptMaterial(*loaded).ok()) {
+        material_dirty_ = false;
+      } else {
+        material_dirty_ = true;
+      }
+    }
     pool_->Start();
     if (opts_.metrics != nullptr) pool_->AttachMetrics(opts_.metrics);
     holder_->AttachRandomizerPool(pool_.get());
   }
   return Status::OK();
+}
+
+Status PartyService::HandleWarmup(uint32_t randomizers, int64_t* generated) {
+  *generated = 0;
+  if (!configured_) {
+    return Status::FailedPrecondition("warmup before cfg");
+  }
+  if (pool_ == nullptr) return Status::OK();  // qp, or pool disabled
+  uint32_t want = randomizers > 0 ? randomizers : offline_pairs_ * 3;
+  *generated = pool_->Prewarm(static_cast<int>(want));
+  if (*generated > 0) material_dirty_ = true;
+  PersistMaterial();
+  return Status::OK();
+}
+
+void PartyService::PersistMaterial() {
+  if (material_store_ == nullptr || pool_ == nullptr || !material_dirty_) {
+    return;
+  }
+  if (material_store_->Save(pool_->ExportMaterial(/*slot_bits=*/0)).ok()) {
+    material_dirty_ = false;
+  }
 }
 
 Status PartyService::ConsumeAttrs(const std::vector<uint8_t>& payload,

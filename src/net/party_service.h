@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/material.h"
 #include "net/frame.h"
 #include "net/socket_bus.h"
 #include "obs/metrics.h"
@@ -54,12 +55,17 @@ void AppendPairSlots(const std::vector<PairSlot>& slots,
 Result<std::vector<PairSlot>> ParsePairSlots(const std::vector<uint8_t>& extra,
                                              size_t* off);
 
-/// One party's cost/traffic counters as reported by kStats.
+/// One party's cost/traffic counters as reported by kStats. Serialized as
+/// positional i64s — costs in declaration order (offline attribution
+/// included), bus accounting, socket stats, then the material-store sweep —
+/// so AppendPartyStats/ParsePartyStats must change in lockstep (guarded by
+/// the wire version).
 struct PartyStats {
   smc::SmcCosts costs;
   int64_t bus_bytes = 0;     ///< MessageBus wire-size accounting
   int64_t bus_messages = 0;
   SocketBus::NetStats net;   ///< socket-level truth
+  crypto::MaterialStats material;  ///< offline material cache accounting
 };
 
 void AppendPartyStats(const PartyStats& s, std::vector<uint8_t>* out);
@@ -126,6 +132,12 @@ class PartyService {
   /// Asks a Serve() running on another thread to exit at its next poll.
   void RequestStop() { stop_requested_.store(true); }
 
+  /// Writes any freshly generated randomizer material back to the material
+  /// store (no-op when no store is configured or nothing new was generated).
+  /// Called after a kWarmup offline phase and again on the SIGTERM drain
+  /// path, so work done during daemon idle time survives the process.
+  void PersistMaterial();
+
   SocketBus& bus() { return *bus_; }
   const smc::SmcCosts& costs() const { return costs_; }
 
@@ -153,6 +165,10 @@ class PartyService {
   Status HandleConfigure(const std::vector<uint8_t>& payload);
   Status HandleKeygen();
   Status HandleRecvKey();
+  /// Dedicated offline phase: top the randomizer pool up to `randomizers`
+  /// entries (0 falls back to the configured offline_pairs sizing) and
+  /// persist the result. No-op on qp, whose offline work is keygen itself.
+  Status HandleWarmup(uint32_t randomizers, int64_t* generated);
   /// Runs this role's side of one pair attempt; fills `label` on qp.
   Status HandlePair(const PairCmd& cmd, uint8_t* label);
   /// Runs the pairs of one batch attempt in dispatch order, one slot each.
@@ -187,6 +203,11 @@ class PartyService {
   /// a network/compute latency window. 0 in production; the sharded bench
   /// uses it to make the SMC stage latency-bound (docs/CLUSTER.md).
   uint32_t emulated_latency_micros_ = 0;
+  /// kConfigure knobs (optional trailing fields; older coordinators omit
+  /// them): offline sizing fallback for kWarmup and the on-disk material
+  /// store directory. Empty dir disables the store entirely.
+  uint32_t offline_pairs_ = 0;
+  std::string material_dir_;
   // Exactly one of these is live, by role.
   std::unique_ptr<smc::QueryingParty> qp_;
   std::unique_ptr<smc::DataHolder> holder_;
@@ -194,6 +215,11 @@ class PartyService {
   // (HandleRecvKey) so it pre-warms during the coordinator's remaining setup
   // instead of competing with the first batch.
   std::unique_ptr<crypto::RandomizerPool> pool_;
+  // Holder-side material store (material_dir_ non-empty). dirty tracks
+  // whether the pool holds randomizers the store has not seen yet, so
+  // PersistMaterial never rewrites an unchanged file.
+  std::unique_ptr<crypto::MaterialStore> material_store_;
+  bool material_dirty_ = false;
 
   smc::SmcCosts costs_;
   uint32_t fail_next_pairs_ = 0;  // kInjectFail

@@ -178,6 +178,12 @@ Status RemoteSmcOracle::Init() {
                 std::max(0, opts_.config.randomizer_pool_depth)),
             &cfg);
   AppendU32(opts_.emulated_latency_micros, &cfg);
+  // Version-4 material knobs: the daemons load persisted randomizer
+  // material keyed by their (identically derived) keypair and run a
+  // dedicated offline phase on kWarmup below.
+  AppendU32(static_cast<uint32_t>(std::max(0, opts_.config.offline_pairs)),
+            &cfg);
+  AppendString(opts_.config.material_dir, &cfg);
 
   // Fan the handshake out to every shard before collecting any acks, so the
   // shards run their setup (keygen above all) concurrently.
@@ -228,6 +234,35 @@ Status RemoteSmcOracle::Init() {
         opts_.receive_timeout_ms * 2, &acks));
     for (const auto& [role, reply] : acks) {
       HPRL_RETURN_IF_ERROR(ReplyStatus(reply));
+    }
+  }
+
+  // Dedicated offline phase: with a cold material store the holders
+  // generate their randomizer budget now — before the first pair, off the
+  // online critical path — and persist it for the next run. With a warm
+  // store the daemons adopted the material during recvkey and this returns
+  // almost immediately. Generation scales with offline_pairs, so the
+  // deadline is as generous as keygen's.
+  if (opts_.config.offline_pairs > 0 && !opts_.config.material_dir.empty()) {
+    const int attrs =
+        std::max<int>(1, static_cast<int>(opts_.rule.attrs.size()));
+    const uint32_t randomizers =
+        static_cast<uint32_t>(opts_.config.offline_pairs) * 3u *
+        static_cast<uint32_t>(attrs);
+    std::vector<uint8_t> warm;
+    AppendU32(randomizers, &warm);
+    for (int s = 0; s < num_shards(); ++s) {
+      SendCtl(s, shards_[s].alice.name, CtlVerb::kWarmup, warm);
+      SendCtl(s, shards_[s].bob.name, CtlVerb::kWarmup, warm);
+    }
+    for (int s = 0; s < num_shards(); ++s) {
+      std::map<std::string, CtlResponse> acks;
+      HPRL_RETURN_IF_ERROR(CollectReplies(
+          s, CtlVerb::kWarmup, 0, 0,
+          {shards_[s].alice.name, shards_[s].bob.name}, 120000, &acks));
+      for (const auto& [role, reply] : acks) {
+        HPRL_RETURN_IF_ERROR(ReplyStatus(reply));
+      }
     }
   }
   initialized_ = true;
@@ -965,6 +1000,10 @@ Result<MeshStats> RemoteSmcOracle::CollectStats() {
       mesh.reconnects += stats->net.reconnects;
       mesh.stale_dropped += stats->net.stale_dropped;
       mesh.send_errors += stats->net.send_errors;
+      mesh.material.hits += stats->material.hits;
+      mesh.material.misses += stats->material.misses;
+      mesh.material.rejected += stats->material.rejected;
+      mesh.material.bytes += stats->material.bytes;
       mesh.per_party[ReplicaLabel(s, role)] = std::move(stats).value();
     }
   }
@@ -1003,6 +1042,13 @@ Result<MeshStats> RemoteSmcOracle::CollectStats() {
     obs::Add(metrics_, "net.reconnects", mesh.reconnects);
     obs::Add(metrics_, "net.stale_dropped", mesh.stale_dropped);
     obs::Add(metrics_, "net.send_errors", mesh.send_errors);
+    // Material accounting lives on the daemons; in remote mode the
+    // coordinator's own registry has no crypto.material.* source, so the
+    // daemons' totals become the run's counters here.
+    obs::Add(metrics_, "crypto.material.hits", mesh.material.hits);
+    obs::Add(metrics_, "crypto.material.misses", mesh.material.misses);
+    obs::Add(metrics_, "crypto.material.rejected", mesh.material.rejected);
+    obs::Add(metrics_, "crypto.material.bytes", mesh.material.bytes);
   }
   mesh_stats_ = mesh;
   return mesh;

@@ -71,6 +71,9 @@ struct MeshStats {
   int64_t reconnects = 0;
   int64_t stale_dropped = 0;
   int64_t send_errors = 0;
+  /// Material-store accounting summed over the holder daemons
+  /// (crypto.material.* in the coordinator's registry).
+  crypto::MaterialStats material;
   /// Keyed by replica label: bare role names in a single-shard mesh,
   /// "alice#1"-style labels in a fleet.
   std::map<std::string, PartyStats> per_party;

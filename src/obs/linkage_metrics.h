@@ -53,6 +53,12 @@ struct LinkageMetrics {
   double anon_seconds = 0;
   double blocking_seconds = 0;
   double smc_seconds = 0;
+  /// Offline/online phase split of the SMC step: offline covers setup that
+  /// does not depend on the records — key generation, material-store
+  /// load/adopt, randomizer prewarm (near zero on a warm store) — while
+  /// online is the per-pair protocol wall clock (== smc_seconds).
+  double offline_seconds = 0;
+  double online_seconds = 0;
 
   // Evaluation against ground truth (-1 until EvaluateRecall runs).
   int64_t true_matches = -1;

@@ -26,6 +26,8 @@ void WriteLinkageMetricsFields(JsonWriter* w, const LinkageMetrics& m) {
   w->Key("anon_seconds"); w->Double(m.anon_seconds);
   w->Key("blocking_seconds"); w->Double(m.blocking_seconds);
   w->Key("smc_seconds"); w->Double(m.smc_seconds);
+  w->Key("offline_seconds"); w->Double(m.offline_seconds);
+  w->Key("online_seconds"); w->Double(m.online_seconds);
   w->Key("true_matches"); w->Int(m.true_matches);
   w->Key("recall"); w->Double(m.recall);
   w->Key("precision"); w->Double(m.precision);

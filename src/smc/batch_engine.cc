@@ -44,6 +44,7 @@ BatchSmcEngine::BatchSmcEngine(SmcConfig config, MatchRule rule, int threads)
 BatchSmcEngine::~BatchSmcEngine() = default;
 
 Status BatchSmcEngine::Init() {
+  WallTimer offline_timer;
   auto rng = config_.test_seed != 0
                  ? std::make_unique<crypto::SecureRandom>(config_.test_seed ^
                                                           0x9999)
@@ -56,6 +57,36 @@ Status BatchSmcEngine::Init() {
     pool_ = std::make_unique<crypto::RandomizerPool>(
         keypair_.pub, config_.randomizer_pool_depth,
         WorkerSeed(config_.test_seed, 0xF11));
+    // Offline phase against the persistent material store: adopt persisted
+    // tables + randomizers when a verified file exists for this keypair,
+    // otherwise prewarm offline_pairs' worth and save it for the next run.
+    // All of this happens before Start so the background filler never races
+    // the adoption, and before any worker exists so no online op can
+    // interleave.
+    if (!config_.material_dir.empty()) {
+      material_store_ =
+          std::make_unique<crypto::MaterialStore>(config_.material_dir);
+      const uint32_t slot = static_cast<uint32_t>(
+          config_.pack_pairs > 0 ? config_.pack_slot_bits : 0);
+      // Keyed by the ACTUAL modulus bit length, matching ExportMaterial —
+      // n = p·q can come up one bit short of config key_bits.
+      auto loaded = material_store_->Load(
+          crypto::KeyFingerprint(keypair_.pub.n()),
+          static_cast<uint32_t>(keypair_.pub.n().BitLength()), slot);
+      if (loaded.ok() && pool_->AdoptMaterial(*loaded).ok()) {
+        material_warm_ = true;
+      } else {
+        const int attrs = std::max<int>(1, static_cast<int>(
+                                               rule_.attrs.size()));
+        const int want = config_.offline_pairs > 0
+                             ? config_.offline_pairs * 3 * attrs
+                             : config_.randomizer_pool_depth;
+        pool_->Prewarm(want);
+        // Best-effort: a read-only store degrades to always-cold, never to
+        // a failed run.
+        (void)material_store_->Save(pool_->ExportMaterial(slot));
+      }
+    }
     pool_->Start();
   }
 
@@ -71,8 +102,26 @@ Status BatchSmcEngine::Init() {
     workers_.push_back(std::move(worker));
   }
   initialized_ = true;
+  offline_seconds_ = offline_timer.ElapsedSeconds();
   if (metrics_ != nullptr) AttachMetrics(metrics_);  // re-attach fresh keys
+  PublishMaterialMetrics();
   return Status::OK();
+}
+
+// The store's counters are fixed after Init (all loads/saves happen there),
+// but the registry often arrives later — LinkageSession attaches it at Run.
+// Publish on whichever side happens second, exactly once.
+void BatchSmcEngine::PublishMaterialMetrics() {
+  if (metrics_ == nullptr || material_store_ == nullptr ||
+      material_metrics_published_) {
+    return;
+  }
+  const crypto::MaterialStats& ms = material_store_->stats();
+  obs::Add(metrics_, "crypto.material.hits", ms.hits);
+  obs::Add(metrics_, "crypto.material.misses", ms.misses);
+  obs::Add(metrics_, "crypto.material.rejected", ms.rejected);
+  obs::Add(metrics_, "crypto.material.bytes", ms.bytes);
+  material_metrics_published_ = true;
 }
 
 Status BatchSmcEngine::RestartWorker(size_t w) {
@@ -285,6 +334,14 @@ const SmcCosts& BatchSmcEngine::costs() const {
     aggregated_ = retired_;  // work done by since-restarted stacks
   }
   for (const auto& worker : workers_) aggregated_ += worker->costs();
+  if (pool_ != nullptr) {
+    // Offline attribution: every pool hit consumed a randomizer whose
+    // exponentiation was paid for ahead of the online path; the first
+    // adopted() of those came off disk rather than being generated this run.
+    aggregated_.offline_randomizers = pool_->hits();
+    aggregated_.material_randomizers =
+        std::min(pool_->hits(), pool_->adopted());
+  }
   return aggregated_;
 }
 
@@ -299,6 +356,7 @@ void BatchSmcEngine::AttachMetrics(obs::MetricsRegistry* registry) {
   if (registry != nullptr && initialized_) {
     obs::SetGauge(registry, "smc.workers", static_cast<double>(threads_));
   }
+  PublishMaterialMetrics();
 }
 
 }  // namespace hprl::smc

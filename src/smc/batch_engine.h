@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "crypto/material.h"
 #include "linkage/oracle.h"
 #include "smc/protocol.h"
 
@@ -41,6 +42,13 @@ class BatchSmcEngine {
 
   /// Generates the shared key pair, spins up the randomizer pool (when
   /// SmcConfig::randomizer_pool_depth > 0) and initializes the workers.
+  ///
+  /// With SmcConfig::material_dir set this also runs the offline phase:
+  /// persisted material for the keypair's fingerprint is loaded into the
+  /// pool (warm run — the pool starts consume-only), or, on a miss,
+  /// offline_pairs' worth of randomizers are prewarmed and saved back so
+  /// the NEXT run is warm. Everything Init does is input-independent;
+  /// offline_seconds() reports its cost separately from the online stage.
   Status Init();
 
   int threads() const { return threads_; }
@@ -86,6 +94,20 @@ class BatchSmcEngine {
   /// Prefill before timing.
   crypto::RandomizerPool* randomizer_pool() { return pool_.get(); }
 
+  /// Wall seconds Init spent on input-independent work: key generation,
+  /// fixed-base table construction, material load/prewarm/save.
+  double offline_seconds() const { return offline_seconds_; }
+
+  /// Material-store accounting for this engine's Init (all zeros when no
+  /// material_dir was configured).
+  crypto::MaterialStats material_stats() const {
+    return material_store_ != nullptr ? material_store_->stats()
+                                      : crypto::MaterialStats{};
+  }
+
+  /// True when Init adopted persisted material (warm start).
+  bool material_warm() const { return material_warm_; }
+
   /// Streams every worker's protocol stack plus the pool gauges and the
   /// engine's smc.batches / smc.batch_seconds into `registry`.
   void AttachMetrics(obs::MetricsRegistry* registry);
@@ -97,12 +119,21 @@ class BatchSmcEngine {
   /// thread — each worker slot is owned exclusively by one thread per batch.
   Status RestartWorker(size_t w);
 
+  /// Streams the material store's counters into `metrics_` exactly once —
+  /// at Init when the registry is already attached, else at the first
+  /// attach after Init (LinkageSession attaches at Run).
+  void PublishMaterialMetrics();
+
   SmcConfig config_;
   MatchRule rule_;
   int threads_;
   bool initialized_ = false;
   crypto::PaillierKeyPair keypair_;
   std::unique_ptr<crypto::RandomizerPool> pool_;
+  std::unique_ptr<crypto::MaterialStore> material_store_;
+  double offline_seconds_ = 0;
+  bool material_warm_ = false;
+  bool material_metrics_published_ = false;
   std::vector<std::unique_ptr<SecureRecordComparator>> workers_;
   mutable SmcCosts aggregated_;  // scratch for costs(); see .cc
   mutable std::mutex retired_mu_;

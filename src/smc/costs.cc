@@ -8,7 +8,7 @@ std::string SmcCosts::ToString() const {
   return StrFormat(
       "invocations=%lld attr_comparisons=%lld enc=%lld dec=%lld hadd=%lld "
       "smul=%lld retries=%lld rebalanced=%lld packed_exchanges=%lld "
-      "packed_pairs=%lld",
+      "packed_pairs=%lld offline_rand=%lld material_rand=%lld",
       static_cast<long long>(invocations),
       static_cast<long long>(attr_comparisons),
       static_cast<long long>(encryptions), static_cast<long long>(decryptions),
@@ -16,7 +16,9 @@ std::string SmcCosts::ToString() const {
       static_cast<long long>(scalar_muls), static_cast<long long>(retries),
       static_cast<long long>(rebalanced_pairs),
       static_cast<long long>(packed_exchanges),
-      static_cast<long long>(packed_pairs));
+      static_cast<long long>(packed_pairs),
+      static_cast<long long>(offline_randomizers),
+      static_cast<long long>(material_randomizers));
 }
 
 }  // namespace hprl::smc

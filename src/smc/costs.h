@@ -28,6 +28,14 @@ struct SmcCosts {
   /// raw operations either way, so packed and unpacked runs stay comparable.
   int64_t packed_exchanges = 0;
   int64_t packed_pairs = 0;
+  /// Offline/online attribution: encryptions whose r^n factor was consumed
+  /// from the precomputed randomizer pool paid for that exponentiation in
+  /// the offline phase (pool prewarm or idle-time fill), so the online cost
+  /// was one modular multiply. material_randomizers counts the subset whose
+  /// randomizers were LOADED from the persistent material store rather than
+  /// generated this run (crypto/material.h).
+  int64_t offline_randomizers = 0;
+  int64_t material_randomizers = 0;
 
   void Clear() { *this = SmcCosts{}; }
 
@@ -42,6 +50,8 @@ struct SmcCosts {
     rebalanced_pairs += o.rebalanced_pairs;
     packed_exchanges += o.packed_exchanges;
     packed_pairs += o.packed_pairs;
+    offline_randomizers += o.offline_randomizers;
+    material_randomizers += o.material_randomizers;
     return *this;
   }
 

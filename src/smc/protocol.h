@@ -93,6 +93,20 @@ struct SmcConfig {
   /// its attribute pair; groups containing a pair that fails this carry-
   /// safety check fall back to the scalar exchange for that pair.
   int pack_slot_bits = 64;
+
+  /// Non-empty: persistent offline-material store directory
+  /// (crypto/material.h). The batch engine (and, over TCP, every daemon)
+  /// loads fixed-base tables + pre-encrypted randomizers keyed by keypair
+  /// fingerprint from here at Init and saves freshly generated material
+  /// back, so warm runs skip the offline phase entirely. Corrupt or
+  /// mismatched files are silently regenerated. Material only ever hits at
+  /// a pinned test_seed (production keys never repeat).
+  std::string material_dir;
+
+  /// Record pairs the dedicated offline phase provisions randomizers for
+  /// (roughly 3 encryptions per pair per attribute are prewarmed). 0 keeps
+  /// the background filler as the only producer.
+  int offline_pairs = 0;
 };
 
 /// Drives the paper's §V-A secure record comparison among the three party

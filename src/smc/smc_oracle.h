@@ -61,6 +61,13 @@ class SmcMatchOracle : public MatchOracle {
     return engine_.randomizer_pool();
   }
 
+  /// Offline-phase cost + material-store accounting (see BatchSmcEngine).
+  double offline_seconds() const { return engine_.offline_seconds(); }
+  crypto::MaterialStats material_stats() const {
+    return engine_.material_stats();
+  }
+  bool material_warm() const { return engine_.material_warm(); }
+
  private:
   BatchSmcEngine engine_;
 };

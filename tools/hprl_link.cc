@@ -5,6 +5,8 @@
 //             [--with-rows] [--evaluate] [--metrics_out run.json]
 //             [--threads N] [--smc_threads N]
 //             [--smc_pack N] [--smc_pack_slot_bits N]
+//             [--smc_seed N] [--material_dir DIR] [--offline_pairs N]
+//             [--offline]
 //             [--rpc_batch N] [--rpc_window N] [--shards N]
 //             [--checkpoint drain.json]
 //             [--fault_seed N] [--fault_drop R] [--fault_corrupt R]
@@ -53,6 +55,20 @@ int main(int argc, char** argv) {
   int64_t* smc_pack_slot_bits = flags.AddInt(
       "smc_pack_slot_bits", -1,
       "bit width of one packed slot (-1 = use the spec's)");
+  int64_t* smc_seed = flags.AddInt(
+      "smc_seed", -1,
+      "pinned keypair/protocol seed; 0 = OS entropy, -1 = use the spec's. "
+      "The material store only hits across runs at a pinned seed");
+  std::string* material_dir = flags.AddString(
+      "material_dir", "",
+      "persistent offline crypto material store directory (fixed-base "
+      "tables + pre-encrypted randomizers; \"\" = use the spec's)");
+  int64_t* offline_pairs = flags.AddInt(
+      "offline_pairs", -1,
+      "offline phase sizing in expected record pairs (-1 = use the spec's)");
+  bool* offline = flags.AddBool(
+      "offline", false,
+      "run only the offline phase: generate + persist material, then exit");
   int64_t* rpc_batch = flags.AddInt(
       "rpc_batch", 0,
       "tcp: pairs per ctl batch frame (1 = per-pair; 0 = use the spec's)");
@@ -148,6 +164,10 @@ int main(int argc, char** argv) {
   options.smc_pack_slot_bits_override = static_cast<int>(*smc_pack_slot_bits);
   options.rpc_batch_override = static_cast<int>(*rpc_batch);
   options.rpc_window_override = static_cast<int>(*rpc_window);
+  options.smc_seed_override = *smc_seed;
+  options.material_dir_override = *material_dir;
+  options.offline_pairs_override = static_cast<int>(*offline_pairs);
+  options.offline_only = *offline;
   if (*shards < 0 || *net_emu_latency < 0) {
     std::fprintf(stderr,
                  "--shards and --net_emu_latency_micros must be >= 0\n");
@@ -186,6 +206,11 @@ int main(int argc, char** argv) {
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
     return 1;
+  }
+  if (report->offline_only) {
+    std::printf("offline phase complete (%s oracle): %.3fs, material ready\n",
+                report->oracle.c_str(), report->result.offline_seconds);
+    return 0;
   }
   std::fputs(report->ToString().c_str(), stdout);
   return 0;

@@ -14,6 +14,12 @@
 // Each party's address flag names where THAT party listens; every daemon
 // gets all three so it can dial its lower-ranked peers (bob dials alice,
 // qp dials alice and bob).
+//
+// SIGTERM/SIGINT request a graceful drain: the serve loop exits at its next
+// poll, freshly generated offline material is persisted to the material
+// store, and the final metrics report is still written — so `kill <pid>`
+// loses neither the counters nor the randomizers the daemon precomputed
+// during idle time.
 
 #include <csignal>
 #include <cstdio>
@@ -49,6 +55,14 @@ Result<net::PeerAddress> ParseEndpoint(const std::string& name,
   }
   addr.port = static_cast<uint16_t>(port);
   return addr;
+}
+
+/// Signal-handler target: RequestStop is a lone atomic store, so flipping
+/// it from the handler is async-signal-safe.
+net::PartyService* g_service = nullptr;
+
+void OnTerm(int /*sig*/) {
+  if (g_service != nullptr) g_service->RequestStop();
 }
 
 }  // namespace
@@ -135,7 +149,18 @@ int main(int argc, char** argv) {
   }
   std::fflush(stdout);
 
+  g_service = &service;
+  std::signal(SIGTERM, OnTerm);
+  std::signal(SIGINT, OnTerm);
+
   Status served = service.Serve();
+
+  // Graceful drain: whatever randomizer material the pool generated since
+  // the last save survives the shutdown (no-op when nothing is dirty).
+  service.PersistMaterial();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_service = nullptr;
 
   net::SocketBus::NetStats net = service.bus().net_stats();
   std::printf(
