@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a ThreadSanitizer pass over the concurrency-
-# sensitive pieces (metrics registry, threaded blocking, session plumbing).
+# Tier-1 verification plus the process-level smokes (TCP transport, material
+# store, comparator fleet, failover, seeded chaos schedules) and sanitizer
+# passes (ASan/TSan/UBSan) over the concurrency- and codec-sensitive pieces.
 #
-#   scripts/verify.sh            # full: tier-1 build+tests, then TSan subset
-#   scripts/verify.sh --fast     # tier-1 only
+#   scripts/verify.sh            # everything
+#   scripts/verify.sh --fast     # tier-1 + smokes only (no bench/sanitizers)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -148,6 +149,15 @@ print(f"failover OK: links bit-identical, {rebalanced} pairs rebalanced, "
       f"0 quarantined")
 EOF
 
+echo "== chaos smoke: seeded crash/stun schedules (scripts/chaos_smoke.sh) =="
+# Three pinned fault schedules, each replaying a SIGSTOP pulse, a whole-shard
+# SIGKILL with identical-argv restart (rejoin handshake), and coordinator
+# SIGKILLs recovered with --resume — in-process and across a 2-shard TCP
+# fleet. Every schedule must converge to the uninterrupted run's links.
+for seed in 3 11 29; do
+  scripts/chaos_smoke.sh "$seed"
+done
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipped sanitizer passes and bench check (--fast) =="
   exit 0
@@ -161,17 +171,18 @@ scripts/bench_smoke.sh --check
 echo "== ASan: fault injection + membership/scheduler + TCP + material =="
 cmake -B build-asan -S . -DHPRL_SANITIZE=address >/dev/null
 cmake --build build-asan -j --target fault_test membership_test net_test \
-  material_test
+  material_test journal_test
 ./build-asan/tests/fault_test
 ./build-asan/tests/membership_test
 ./build-asan/tests/net_test
 ./build-asan/tests/material_test
+./build-asan/tests/journal_test
 
 echo "== TSan: metrics registry + threaded blocking + parallel/faulty SMC =="
 cmake -B build-tsan -S . -DHPRL_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target obs_test blocking_test session_test \
   parallel_smc_test crypto_test fault_test membership_test net_test \
-  material_test
+  material_test journal_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/blocking_test
 ./build-tsan/tests/session_test
@@ -181,5 +192,15 @@ cmake --build build-tsan -j --target obs_test blocking_test session_test \
 ./build-tsan/tests/membership_test
 ./build-tsan/tests/net_test
 ./build-tsan/tests/material_test
+./build-tsan/tests/journal_test
+
+echo "== UBSan: wire/journal codecs + membership + fault schedules =="
+cmake -B build-ubsan -S . -DHPRL_SANITIZE=undefined >/dev/null
+cmake --build build-ubsan -j --target fault_test membership_test \
+  journal_test net_test
+./build-ubsan/tests/fault_test
+./build-ubsan/tests/membership_test
+./build-ubsan/tests/journal_test
+./build-ubsan/tests/net_test
 
 echo "== verify OK =="

@@ -8,6 +8,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/experiment.h"
+#include "core/journal.h"
 #include "core/session.h"
 #include "data/csv.h"
 #include "hierarchy/vgh_parser.h"
@@ -339,6 +340,46 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
           ? static_cast<int>(options.fault_delay_micros_override)
           : spec.fault_delay_micros;
 
+  // Failure-detector knobs: CLI overrides beat the spec's directives. The
+  // cross-threshold constraint is re-checked because overrides can break an
+  // ordering that each source satisfied on its own.
+  const int hb_interval_ms = options.hb_interval_override > 0
+                                 ? options.hb_interval_override
+                                 : spec.hb_interval_ms;
+  const int suspect_misses = options.suspect_misses_override > 0
+                                 ? options.suspect_misses_override
+                                 : spec.suspect_misses;
+  const int dead_misses = options.dead_misses_override > 0
+                              ? options.dead_misses_override
+                              : spec.dead_misses;
+  if (dead_misses <= suspect_misses) {
+    return Status::InvalidArgument(StrFormat(
+        "dead_misses (%d) must exceed suspect_misses (%d)", dead_misses,
+        suspect_misses));
+  }
+
+  // Session journal / resume. A coordinator that finds a loadable journal
+  // runs at the journaled epoch + 1, fencing whatever ctl frames the
+  // crashed incarnation left in flight; the session itself restores the
+  // recorded dispositions (or rejects a corrupt/mismatched file).
+  uint64_t session_epoch = 1;
+  if (options.resume && options.journal.empty()) {
+    return Status::InvalidArgument("--resume requires --journal=<path>");
+  }
+  if (!options.journal.empty()) {
+    auto journal = LoadSessionJournal(options.journal);
+    if (journal.ok()) {
+      session_epoch = journal->epoch + 1;
+    } else if (options.resume) {
+      if (journal.status().code() == StatusCode::kNotFound) {
+        return Status::InvalidArgument(
+            "--resume requested but there is no session journal at " +
+            options.journal);
+      }
+      return journal.status();
+    }
+  }
+
   LinkageSession session;
   session.WithTables(*table_r, *table_s)
       .WithReleases(*anon_r, *anon_s)
@@ -346,6 +387,11 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
       .WithMetrics(metrics)
       .WithEvaluation(options.evaluate);
   if (!options.checkpoint.empty()) session.WithCheckpoint(options.checkpoint);
+  if (!options.journal.empty()) {
+    session.WithJournal(options.journal)
+        .WithResume(options.resume)
+        .WithSessionEpoch(session_epoch);
+  }
 
   // Oracle acquisition goes through the one backend factory: it validates
   // the deployment (transport/keybits/fault/shard compatibility), spawns or
@@ -369,6 +415,10 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
   bopts.shards = shards;
   bopts.rpc_batch_pairs = rpc_batch;
   bopts.rpc_window = rpc_window;
+  bopts.hb_interval_ms = hb_interval_ms;
+  bopts.membership.suspect_after_misses = suspect_misses;
+  bopts.membership.dead_after_misses = dead_misses;
+  bopts.session_epoch = session_epoch;
   bopts.connect_timeout_ms = options.net_connect_timeout_ms;
   bopts.receive_timeout_ms = options.net_receive_timeout_ms;
   bopts.emulated_latency_micros = options.net_emu_latency_micros;
@@ -480,6 +530,15 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
       run.AddConfig("rpc_batch", StrFormat("%d", rpc_batch));
       run.AddConfig("rpc_window", StrFormat("%d", rpc_window));
       run.AddConfig("shards", StrFormat("%d", shards));
+      run.AddConfig("hb_interval_ms", StrFormat("%d", hb_interval_ms));
+      run.AddConfig("membership_misses",
+                    StrFormat("%d/%d", suspect_misses, dead_misses));
+    }
+    if (!options.journal.empty()) {
+      run.AddConfig("journal", options.journal);
+      run.AddConfig("session_epoch",
+                    StrFormat("%llu",
+                              static_cast<unsigned long long>(session_epoch)));
     }
     if (fault_plan.enabled()) {
       run.AddConfig("fault_seed",

@@ -59,6 +59,26 @@ struct RunnerOptions {
   /// every SMC batch and resumes from this path (core/checkpoint.h).
   std::string checkpoint;
 
+  /// Non-empty: crash-consistent session journal (core/journal.h). The
+  /// session records per-shard batch dispositions after every SMC batch; a
+  /// relaunched coordinator given the same path runs at the journaled
+  /// session epoch + 1, fencing whatever ctl frames the crashed run left in
+  /// flight, and drains only the unfinished remainder.
+  std::string journal;
+  /// Strict resume from `journal`: a missing journal is a usage error and a
+  /// corrupt or fingerprint-mismatched one an integrity error — the run
+  /// never silently starts over. Requires `journal`.
+  bool resume = false;
+
+  /// > 0: overrides the spec's `hb_interval` directive (TCP membership
+  /// heartbeat cadence, milliseconds).
+  int hb_interval_override = 0;
+  /// > 0: override the spec's `suspect_misses` / `dead_misses` directives
+  /// (consecutive missed heartbeats before suspect / dead; dead must stay
+  /// above suspect after both overrides apply).
+  int suspect_misses_override = 0;
+  int dead_misses_override = 0;
+
   /// >= 0: override the spec's fault-injection rates (< 0 keeps the spec's
   /// value). > 0 for the seed / delay overrides.
   double fault_drop_override = -1;

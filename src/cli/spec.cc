@@ -189,6 +189,21 @@ Result<LinkageSpec> ParseLinkageSpec(const std::string& text,
       auto v = ParseInt(tok[1]);
       if (!v.ok() || *v < 1) return err("bad shards");
       spec.shards = static_cast<int>(*v);
+    } else if (key == "hb_interval") {
+      if (tok.size() != 2) return err("hb_interval needs milliseconds");
+      auto v = ParseDouble(tok[1]);
+      // std::isfinite, like the fault rates: ParseDouble accepts "nan"/"inf"
+      // and NaN slips through any plain comparison chain.
+      if (!v.ok() || !std::isfinite(*v) || *v < 1) {
+        return err("hb_interval must be a finite positive millisecond count");
+      }
+      spec.hb_interval_ms = static_cast<int>(*v);
+    } else if (key == "suspect_misses" || key == "dead_misses") {
+      if (tok.size() != 2) return err(key + " needs a value");
+      auto v = ParseInt(tok[1]);
+      if (!v.ok() || *v < 1) return err("bad " + key);
+      (key == "suspect_misses" ? spec.suspect_misses : spec.dead_misses) =
+          static_cast<int>(*v);
     } else if (key == "fault") {
       if (tok.size() < 3) return err("fault needs: <kind> <value>");
       const std::string& kind = tok[1];
@@ -235,6 +250,10 @@ Result<LinkageSpec> ParseLinkageSpec(const std::string& text,
   }
   if (spec.attrs.empty()) {
     return Status::InvalidArgument("spec declares no attributes");
+  }
+  if (spec.dead_misses <= spec.suspect_misses) {
+    return Status::InvalidArgument(
+        "spec: dead_misses must exceed suspect_misses");
   }
   return spec;
 }

@@ -48,6 +48,9 @@ struct AttrSpec {
 ///   rpc_batch 32         # TCP: pairs per ctl batch frame (1 = per-pair)
 ///   rpc_window 4         # TCP: batches kept in flight per shard
 ///   shards 4             # TCP: comparator shard meshes per fleet
+///   hb_interval 250      # TCP: membership heartbeat cadence, milliseconds
+///   suspect_misses 2     # TCP: missed probes before alive -> suspect
+///   dead_misses 4        # TCP: missed probes before dead (> suspect_misses)
 ///   fault seed 11        # deterministic fault-injection schedule (smc/fault.h)
 ///   fault drop 0.25      # rates are per protocol step, in [0,1]
 ///   fault corrupt 0.25
@@ -102,6 +105,14 @@ struct LinkageSpec {
   /// TCP transport: comparator shard meshes per fleet (net::SmcBackend,
   /// docs/CLUSTER.md). 1 = the single-daemon deployment.
   int shards = 1;
+
+  /// TCP transport failure detector: heartbeat probe cadence
+  /// (net::RemoteOracleOptions::hb_interval_ms) and the consecutive-miss
+  /// thresholds for the alive -> suspect and suspect -> dead transitions
+  /// (net::MembershipOptions). dead_misses must exceed suspect_misses.
+  int hb_interval_ms = 250;
+  int suspect_misses = 2;
+  int dead_misses = 4;
 
   /// Fault-injection schedule for the SMC transport (smc::FaultPlan); all
   /// rates zero (the default) leaves the transport undecorated.

@@ -19,9 +19,30 @@ std::string FingerprintToHex(uint64_t fp) {
                 static_cast<unsigned long long>(fp));
   return std::string(buf);
 }
-}  // namespace
 
-Status SaveSmcCheckpoint(const std::string& path, const SmcCheckpoint& cp) {
+/// 32-bit FNV-1a over the canonical body serialization (the same hash the
+/// wire frames use), carried as a hex string like the fingerprint.
+uint32_t BodyChecksum(const std::string& body) {
+  uint32_t h = 2166136261u;
+  for (char c : body) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h == 0 ? 1u : h;
+}
+
+std::string ChecksumToHex(uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return std::string(buf);
+}
+
+/// The canonical serialization of everything the checkpoint asserts. The
+/// trailing "crc" key is FNV-1a over exactly this string; the loader
+/// re-serializes what it parsed and compares, so a bit flip that changes
+/// any believed value — even one that still parses as valid JSON — is
+/// rejected instead of resumed from.
+std::string SerializeBody(const SmcCheckpoint& cp) {
   std::ostringstream body;
   obs::JsonWriter w(&body);
   w.BeginObject();
@@ -40,6 +61,18 @@ Status SaveSmcCheckpoint(const std::string& path, const SmcCheckpoint& cp) {
   }
   w.EndArray();
   w.EndObject();
+  return body.str();
+}
+
+}  // namespace
+
+Status SaveSmcCheckpoint(const std::string& path, const SmcCheckpoint& cp) {
+  const std::string body = SerializeBody(cp);
+  std::ostringstream doc;
+  // The checksummed body plus the "crc" key, spliced into one object: the
+  // body string ends with '}', so the key slots in before it.
+  doc << body.substr(0, body.size() - 1) << ",\"crc\":\""
+      << ChecksumToHex(BodyChecksum(body)) << "\"}";
 
   // Write-to-temp + rename: a kill mid-write leaves the previous checkpoint
   // intact instead of a truncated file.
@@ -49,7 +82,7 @@ Status SaveSmcCheckpoint(const std::string& path, const SmcCheckpoint& cp) {
     if (!out) {
       return Status::IOError("cannot write checkpoint temp file: " + tmp);
     }
-    out << body.str() << "\n";
+    out << doc.str() << "\n";
     if (!out.good()) {
       return Status::IOError("short write on checkpoint temp file: " + tmp);
     }
@@ -118,6 +151,26 @@ Result<SmcCheckpoint> LoadSmcCheckpoint(const std::string& path) {
       cp.matched_row_pairs.emplace_back(item.AsArray()[0].AsInt(),
                                         item.AsArray()[1].AsInt());
     }
+  }
+  // Integrity gate: the stored crc must match the FNV-1a of the canonical
+  // serialization of what was just parsed. A flip that survives the JSON
+  // parser (a changed digit, a dropped pair) changes the canonical form and
+  // fails here — a checkpoint either loads exactly as written or not at all.
+  const obs::JsonValue* crc = doc->Find("crc");
+  if (crc == nullptr || crc->kind() != obs::JsonValue::Kind::kString) {
+    return Status::InvalidArgument("checkpoint " + path +
+                                   " is missing its checksum");
+  }
+  uint32_t stored = 0;
+  try {
+    stored = static_cast<uint32_t>(std::stoul(crc->AsString(), nullptr, 16));
+  } catch (...) {
+    return Status::InvalidArgument("checkpoint " + path +
+                                   " has a malformed checksum");
+  }
+  if (stored != BodyChecksum(SerializeBody(cp))) {
+    return Status::InvalidArgument("checkpoint " + path +
+                                   " failed its checksum; refusing to resume");
   }
   return cp;
 }

@@ -1,0 +1,56 @@
+#ifndef HPRL_CORE_JOURNAL_H_
+#define HPRL_CORE_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "linkage/oracle.h"
+
+namespace hprl {
+
+/// Coordinator-side write-ahead session journal — the distributed
+/// generalization of SmcCheckpoint (core/checkpoint.h). Written atomically
+/// after every flushed SMC batch, it records the drain's durable progress
+/// plus the two facts a relaunched coordinator needs that a plain
+/// checkpoint cannot carry:
+///
+///   - `epoch`: the session epoch the run executed under. A resume runs at
+///     `epoch + 1`, which the daemons adopt on kConfigure and use to fence
+///     any work frames the crashed coordinator left in flight (wire v5,
+///     docs/PROTOCOL.md) — they are refused, never executed.
+///   - `shards`: per-shard batch dispositions (settled batches and labeled
+///     pairs per comparator shard), so a crash leaves a record of where the
+///     work actually ran.
+///
+/// Like the material store's `HPRLMAT1` format the journal is a binary,
+/// FNV-1a-checksummed, fingerprint-bound artifact: any truncation or bit
+/// flip fails the load (reject-and-restart-clean — a wrong resume is never
+/// possible), and a journal whose fingerprint does not match the current
+/// run shape is refused rather than silently mixing two drains.
+struct SessionJournal {
+  uint64_t fingerprint = 0;  ///< binds to one run shape (session.cc)
+  uint64_t epoch = 1;        ///< session epoch the journaled run ran under
+  int64_t pairs_done = 0;    ///< pairs labeled in completed batches
+  int64_t smc_matched = 0;   ///< matches among them
+  int64_t quarantined = 0;   ///< quarantined among them
+  std::vector<ShardDisposition> shards;  ///< where the batches settled
+  /// SMC-matched (row_r, row_s) pairs in drain order; populated only when
+  /// the session collects matches.
+  std::vector<std::pair<int64_t, int64_t>> matched_row_pairs;
+};
+
+/// Atomically (write-to-temp + rename) persists `j` in the checksummed
+/// `HPRLJNL1` binary format.
+Status SaveSessionJournal(const std::string& path, const SessionJournal& j);
+
+/// Loads and verifies a journal. NotFound when no file exists (a fresh
+/// run); FailedPrecondition on any magic/version/length/checksum damage —
+/// a corrupt journal is rejected whole, never partially resumed.
+Result<SessionJournal> LoadSessionJournal(const std::string& path);
+
+}  // namespace hprl
+
+#endif  // HPRL_CORE_JOURNAL_H_

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "core/checkpoint.h"
+#include "core/journal.h"
 #include "linkage/ground_truth.h"
 #include "linkage/oracle.h"
 
@@ -172,7 +173,45 @@ Result<HybridResult> LinkageSession::Run() {
   // links were appended above); the checkpoint persists only the SMC part.
   const size_t smc_matches_begin = out.matched_row_pairs.size();
   int64_t resume_done = 0;
-  if (!checkpoint_path_.empty()) {
+  auto restore = [&](int64_t pairs_done, int64_t smc_matched,
+                     int64_t quarantined,
+                     const std::vector<std::pair<int64_t, int64_t>>& matched) {
+    resume_done = pairs_done;
+    out.smc_matched = smc_matched;
+    out.quarantined_pairs = quarantined;
+    out.resumed_pairs = pairs_done;
+    if (config.collect_matches) {
+      out.matched_row_pairs.insert(out.matched_row_pairs.end(),
+                                   matched.begin(), matched.end());
+    }
+    obs::Add(metrics_, "linkage.resumed_pairs", pairs_done);
+  };
+  if (!journal_path_.empty()) {
+    obs::ScopedSpan resume_span(metrics_, "resume", &run_span);
+    auto j = LoadSessionJournal(journal_path_);
+    if (j.ok()) {
+      if (j->fingerprint != fingerprint) {
+        return Status::FailedPrecondition(
+            "session journal " + journal_path_ +
+            " belongs to a different run (fingerprint mismatch); "
+            "delete it or point the session elsewhere");
+      }
+      restore(j->pairs_done, j->smc_matched, j->quarantined,
+              j->matched_row_pairs);
+    } else if (j.status().code() == StatusCode::kNotFound) {
+      if (resume_required_) {
+        return Status::InvalidArgument(
+            "--resume requested but there is no session journal at " +
+            journal_path_);
+      }
+    } else {
+      // Corrupt. Never resume from it; whether that aborts the run depends
+      // on intent: a strict resume must surface the damage, a fresh run
+      // with journaling enabled just starts clean and overwrites it.
+      if (resume_required_) return j.status();
+      obs::Add(metrics_, "linkage.journal_rejected");
+    }
+  } else if (!checkpoint_path_.empty()) {
     obs::ScopedSpan resume_span(metrics_, "resume", &run_span);
     auto cp = LoadSmcCheckpoint(checkpoint_path_);
     if (cp.ok()) {
@@ -182,16 +221,8 @@ Result<HybridResult> LinkageSession::Run() {
             " belongs to a different run (fingerprint mismatch); "
             "delete it or point the session elsewhere");
       }
-      resume_done = cp->pairs_done;
-      out.smc_matched = cp->smc_matched;
-      out.quarantined_pairs = cp->quarantined;
-      out.resumed_pairs = cp->pairs_done;
-      if (config.collect_matches) {
-        out.matched_row_pairs.insert(out.matched_row_pairs.end(),
-                                     cp->matched_row_pairs.begin(),
-                                     cp->matched_row_pairs.end());
-      }
-      obs::Add(metrics_, "linkage.resumed_pairs", cp->pairs_done);
+      restore(cp->pairs_done, cp->smc_matched, cp->quarantined,
+              cp->matched_row_pairs);
     } else if (cp.status().code() != StatusCode::kNotFound) {
       return cp.status();  // a corrupt checkpoint is an error, not a restart
     }
@@ -243,6 +274,22 @@ Result<HybridResult> LinkageSession::Run() {
       }
       HPRL_RETURN_IF_ERROR(SaveSmcCheckpoint(checkpoint_path_, cp));
     }
+    if (!journal_path_.empty()) {
+      SessionJournal j;
+      j.fingerprint = fingerprint;
+      j.epoch = session_epoch_;
+      j.pairs_done = pairs_done;
+      j.smc_matched = out.smc_matched;
+      j.quarantined = out.quarantined_pairs;
+      j.shards = oracle_->ShardDispositions();
+      if (config.collect_matches) {
+        j.matched_row_pairs.assign(
+            out.matched_row_pairs.begin() +
+                static_cast<int64_t>(smc_matches_begin),
+            out.matched_row_pairs.end());
+      }
+      HPRL_RETURN_IF_ERROR(SaveSessionJournal(journal_path_, j));
+    }
     if (max_batches_ > 0 && batches_flushed >= max_batches_) {
       return Status::Unavailable(
           "smc batch limit reached (simulated interruption)");
@@ -287,6 +334,9 @@ Result<HybridResult> LinkageSession::Run() {
     // The drain completed; the checkpoint has served its purpose, and a
     // stale file must not leak into an unrelated future run.
     std::remove(checkpoint_path_.c_str());
+  }
+  if (!journal_path_.empty()) {
+    std::remove(journal_path_.c_str());
   }
 
   obs::Add(metrics_, "smc.allowance_pairs", out.allowance_pairs);

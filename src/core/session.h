@@ -92,6 +92,38 @@ class LinkageSession {
     return *this;
   }
 
+  /// Distributed generalization of WithCheckpoint: after every flushed SMC
+  /// batch the session persists a SessionJournal (core/journal.h) at `path`
+  /// — progress plus the session epoch and the oracle's per-shard batch
+  /// dispositions. At startup a journal matching this run's fingerprint
+  /// restores the drain exactly like a checkpoint; a corrupt journal is
+  /// rejected (never partially resumed) and, unless WithResume(true), the
+  /// run simply restarts clean. Takes restore precedence over
+  /// WithCheckpoint when both are set. Empty path (the default) disables
+  /// journaling.
+  LinkageSession& WithJournal(const std::string& path) {
+    journal_path_ = path;
+    return *this;
+  }
+
+  /// Strict resume: Run() refuses to start unless the journal exists
+  /// (InvalidArgument when missing), is intact (FailedPrecondition when
+  /// corrupt) and matches this run's fingerprint. Used by `hprl_link
+  /// --resume`, where silently restarting from zero would hide a lost
+  /// journal.
+  LinkageSession& WithResume(bool required) {
+    resume_required_ = required;
+    return *this;
+  }
+
+  /// Session epoch recorded into every journal write (the fencing token the
+  /// coordinator stamps on its ctl requests; core/journal.h). Purely
+  /// bookkeeping here — the transport enforces it.
+  LinkageSession& WithSessionEpoch(uint64_t epoch) {
+    session_epoch_ = epoch;
+    return *this;
+  }
+
   /// Executes the pipeline. InvalidArgument when a required ingredient
   /// (tables, releases, config, oracle) was not supplied.
   Result<HybridResult> Run();
@@ -106,6 +138,9 @@ class LinkageSession {
   obs::MetricsRegistry* metrics_ = nullptr;
   bool evaluate_ = false;
   std::string checkpoint_path_;
+  std::string journal_path_;
+  bool resume_required_ = false;
+  uint64_t session_epoch_ = 1;
   int64_t max_batches_ = 0;
 };
 

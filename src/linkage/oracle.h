@@ -33,6 +33,15 @@ struct RowPairRequest {
   const Record* b = nullptr;
 };
 
+/// How much completed work one comparator shard has settled so far.
+/// Distributed oracles report these for the session journal, so a crash
+/// leaves a record of where the drain's batches actually ran.
+struct ShardDisposition {
+  int shard = 0;
+  int64_t batches_done = 0;  ///< settled kPairBatch rounds
+  int64_t pairs_done = 0;    ///< pairs definitively labeled on this shard
+};
+
 /// Labels one record pair exactly. In production this is the SMC protocol
 /// (smc::SmcMatchOracle); the figure harnesses use CountingPlaintextOracle,
 /// which produces identical labels (SMC is exact) while counting invocations
@@ -72,6 +81,12 @@ class MatchOracle {
 
   /// Number of Compare calls so far (the paper's SMC cost unit).
   virtual int64_t invocations() const = 0;
+
+  /// Per-shard completed-work dispositions (session journal bookkeeping).
+  /// Only distributed oracles have shards; the default reports nothing.
+  virtual std::vector<ShardDisposition> ShardDispositions() const {
+    return {};
+  }
 
   /// Attaches an observability sink (nullptr detaches). Oracles with
   /// internal cost accounting (smc::SmcMatchOracle) stream their per-compare

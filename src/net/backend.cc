@@ -301,6 +301,7 @@ Status SmcBackend::Init() {
   ropts.rpc_window = opts_.rpc_window;
   ropts.hb_interval_ms = opts_.hb_interval_ms;
   ropts.membership = opts_.membership;
+  ropts.session_epoch = opts_.session_epoch;
   ropts.emulated_latency_micros = opts_.emulated_latency_micros;
   auto oracle = std::make_unique<RemoteSmcOracle>(std::move(ropts));
   if (metrics_ != nullptr) oracle->AttachMetrics(metrics_);

@@ -55,6 +55,11 @@ struct BackendOptions {
   int connect_timeout_ms = 10000;
   int receive_timeout_ms = 4000;
 
+  /// Session-epoch fencing token stamped on every ctl request (TCP; wire
+  /// v5). A resumed coordinator passes the journaled epoch + 1, fencing
+  /// whatever frames the crashed run left in flight. Must be >= 1.
+  uint64_t session_epoch = 1;
+
   /// Per-pair daemon-side sleep, for latency-bound benches (docs/CLUSTER.md).
   uint32_t emulated_latency_micros = 0;
 };

@@ -262,6 +262,8 @@ const char* CtlVerbTag(CtlVerb verb) {
       return "hb";
     case CtlVerb::kWarmup:
       return "warmup";
+    case CtlVerb::kRejoin:
+      return "rejoin";
   }
   return "unknown";  // unreachable: the switch above is exhaustive
 }
@@ -284,7 +286,8 @@ smc::Message EncodeCtlRequest(const std::string& from, const std::string& role,
   msg.from = from;
   msg.to = CtlInbox(role, req.verb);
   msg.tag = CtlVerbTag(req.verb);
-  msg.payload = req.body;
+  AppendU64(req.epoch, &msg.payload);
+  msg.payload.insert(msg.payload.end(), req.body.begin(), req.body.end());
   return msg;
 }
 
@@ -293,6 +296,7 @@ void AppendCtlResponse(const CtlResponse& r, std::vector<uint8_t>* out) {
   AppendU8(static_cast<uint8_t>(r.verb), out);
   AppendU64(r.id, out);
   AppendU32(r.attempt, out);
+  AppendU64(r.epoch, out);
   AppendU8(static_cast<uint8_t>(r.code), out);
   AppendU8(r.label, out);
   AppendString(r.detail, out);
@@ -314,6 +318,8 @@ Result<CtlResponse> ParseCtlResponse(const std::vector<uint8_t>& payload) {
   if (!id.ok()) return id.status();
   auto attempt = ConsumeU32(payload, &off);
   if (!attempt.ok()) return attempt.status();
+  auto epoch = ConsumeU64(payload, &off);
+  if (!epoch.ok()) return epoch.status();
   auto code = ConsumeU8(payload, &off);
   if (!code.ok()) return code.status();
   if (*code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
@@ -328,6 +334,7 @@ Result<CtlResponse> ParseCtlResponse(const std::vector<uint8_t>& payload) {
   r.verb = static_cast<CtlVerb>(*verb);
   r.id = *id;
   r.attempt = *attempt;
+  r.epoch = *epoch;
   r.code = static_cast<StatusCode>(*code);
   r.label = *label;
   r.detail = std::move(detail).value();

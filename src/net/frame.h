@@ -31,14 +31,16 @@ namespace hprl::net {
 /// in-process transport.
 
 inline constexpr uint32_t kWireMagic = 0x4850524C;  // "HPRL"
-/// Version 4: the offline/online phase split — kConfigure carries the
-/// material directory + offline-pairs knobs, a kWarmup verb runs the
-/// dedicated offline phase on the daemons, and party stats gained the
-/// offline-attribution cost counters plus the crypto.material.* sweep.
-/// Version 3 made ctl verbs a typed enum with ":hb" heartbeat probes;
-/// version 2 added the batched pair command and the randomizer pool depth.
-/// Mixed-version meshes are rejected at the frame layer.
-inline constexpr uint16_t kWireVersion = 4;
+/// Version 5: crash-consistent recovery — every ctl request and response
+/// carries a session-epoch fencing token (work verbs from a superseded
+/// epoch are rejected, never executed), and the kRejoin verb lets a
+/// restarted daemon re-enter the fleet with a strictly-higher incarnation.
+/// Version 4 added the offline/online phase split (kWarmup, material
+/// knobs in kConfigure, material counters in party stats); version 3 made
+/// ctl verbs a typed enum with ":hb" heartbeat probes; version 2 added the
+/// batched pair command and the randomizer pool depth. Mixed-version
+/// meshes are rejected at the frame layer.
+inline constexpr uint16_t kWireVersion = 5;
 
 /// Frames larger than this are rejected before any allocation — an oversized
 /// length prefix means a corrupted or hostile stream, not a big message
@@ -113,10 +115,13 @@ enum class CtlVerb : uint8_t {
   kHeartbeat = 9,   ///< membership probe on the ":hb" sub-inbox ("hb")
   kWarmup = 10,     ///< run the offline phase now: prewarm + persist
                     ///  randomizer material ("warmup")
+  kRejoin = 11,     ///< re-admit a restarted daemon: adopt the coordinator's
+                    ///  session epoch and bump past its last-seen
+                    ///  incarnation ("rejoin")
 };
 
 /// Number of verbs; ParseCtlResponse rejects verb bytes at or above this.
-inline constexpr uint8_t kCtlVerbCount = 11;
+inline constexpr uint8_t kCtlVerbCount = 12;
 
 /// The verb's wire tag. Exhaustive switch: a new enum value that is not
 /// given a tag here fails to compile.
@@ -130,10 +135,16 @@ Result<CtlVerb> CtlVerbFromTag(const std::string& tag);
 /// everything else ":ctl".
 std::string CtlInbox(const std::string& role, CtlVerb verb);
 
-/// One coordinator command: the verb plus its verb-specific body (the
-/// payload layouts are documented in docs/PROTOCOL.md).
+/// One coordinator command: the verb, the coordinator's session-epoch
+/// fencing token, and the verb-specific body (the payload layouts are
+/// documented in docs/PROTOCOL.md). kConfigure and kRejoin ADOPT the
+/// epoch on the daemon; work verbs from any other epoch are fenced
+/// (rejected with kFailedPrecondition, never executed), which is what
+/// makes a relaunched coordinator safe against frames the crashed one
+/// left in flight.
 struct CtlRequest {
   CtlVerb verb = CtlVerb::kConfigure;
+  uint64_t epoch = 0;
   std::vector<uint8_t> body;
 };
 
@@ -151,6 +162,7 @@ struct CtlResponse {
   CtlVerb verb = CtlVerb::kConfigure;
   uint64_t id = 0;
   uint32_t attempt = 0;
+  uint64_t epoch = 0;  ///< the daemon's current session epoch
   StatusCode code = StatusCode::kOk;
   uint8_t label = 0;  ///< kPair from qp: 1 = match
   std::string detail;

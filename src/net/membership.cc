@@ -53,6 +53,22 @@ void MembershipTable::OnAck(const std::string& replica, uint64_t incarnation) {
   MoveTo(replica, &e, ReplicaState::kAlive);
 }
 
+bool MembershipTable::OnRejoin(const std::string& replica,
+                               uint64_t incarnation) {
+  auto it = entries_.find(replica);
+  if (it == entries_.end()) return false;
+  Entry& e = it->second;
+  if (e.state != ReplicaState::kDead || incarnation <= e.incarnation) {
+    ++rejected_rejoins_;
+    return false;
+  }
+  e.incarnation = incarnation;
+  e.consecutive_misses = 0;
+  MoveTo(replica, &e, ReplicaState::kAlive);
+  ++rejoins_;
+  return true;
+}
+
 void MembershipTable::OnProbeMiss(const std::string& replica) {
   auto it = entries_.find(replica);
   if (it == entries_.end()) return;

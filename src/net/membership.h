@@ -22,10 +22,12 @@ namespace hprl::net {
 //
 // A replica is never moved Alive -> Dead directly: even an observed link
 // loss routes through Suspect so that every transition the table records is
-// one of the four valid edges — the invariant the membership property tests
-// pin. Dead is sticky: a replica that died stays dead for the rest of the
-// run (a restarted daemon would present a fresh incarnation, which a future
-// rejoin path could use; rejoin is out of scope here).
+// one of the valid edges — the invariant the membership property tests pin.
+// Dead is sticky against every passive signal: no ack, however fresh its
+// incarnation, revives a dead replica. The single legal resurrection is the
+// explicit rejoin handshake (Dead -> Alive via OnRejoin), gated on a
+// strictly-higher incarnation so a late frame from the old process image
+// can never impersonate the restarted one.
 
 enum class ReplicaState : uint8_t {
   kUnknown = 0,  ///< registered, no ack yet
@@ -70,6 +72,14 @@ class MembershipTable {
   /// fresh ack clears the miss counter and revives a suspect.
   void OnAck(const std::string& replica, uint64_t incarnation);
 
+  /// The ctl-plane rejoin handshake completed for a restarted `replica`
+  /// presenting `incarnation`. This is the ONLY dead -> alive edge: it is
+  /// admitted iff the replica is currently dead AND the incarnation is
+  /// strictly higher than the highest ever seen, so a replayed frame from
+  /// the superseded process image can never resurrect it. Returns whether
+  /// the rejoin was admitted; rejected attempts are counted.
+  bool OnRejoin(const std::string& replica, uint64_t incarnation);
+
   /// A heartbeat probe deadline passed without an ack.
   void OnProbeMiss(const std::string& replica);
 
@@ -93,6 +103,8 @@ class MembershipTable {
   }
   int64_t probes_missed() const { return probes_missed_; }
   int64_t stale_acks() const { return stale_acks_; }
+  int64_t rejoins() const { return rejoins_; }
+  int64_t rejected_rejoins() const { return rejected_rejoins_; }
 
  private:
   struct Entry {
@@ -108,6 +120,8 @@ class MembershipTable {
   std::vector<MembershipTransition> transitions_;
   int64_t probes_missed_ = 0;
   int64_t stale_acks_ = 0;
+  int64_t rejoins_ = 0;
+  int64_t rejected_rejoins_ = 0;
 };
 
 // ---------------------------------------------------------------------------

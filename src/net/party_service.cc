@@ -175,12 +175,42 @@ void PartyService::DrainHeartbeats() {
     auto msg = bus_->ReceiveTimeout(hb_inbox, 0);
     if (!msg.ok()) return;  // empty (NotFound) or bus trouble: nothing to ack
     size_t off = 0;
+    // Probes carry the request-header epoch like every ctl command but are
+    // never fenced: liveness must stay observable across a coordinator
+    // handover, or a fenced daemon would read as dead instead of stale.
+    auto epoch = ConsumeU64(msg->payload, &off);
+    if (!epoch.ok()) continue;
     auto seq = ConsumeU64(msg->payload, &off);
     if (!seq.ok()) continue;  // malformed probe: as good as a lost one
     std::vector<uint8_t> extra;
     AppendU64(incarnation_, &extra);
     Reply(CtlVerb::kHeartbeat, *seq, 0, Status::OK(), 0, std::move(extra));
   }
+}
+
+bool PartyService::EpochFenced(CtlVerb verb, uint64_t epoch) const {
+  switch (verb) {
+    case CtlVerb::kConfigure:
+    case CtlVerb::kRejoin:
+      return false;  // these ADOPT the epoch — they are how epochs change
+    case CtlVerb::kHeartbeat:
+    case CtlVerb::kStats:
+    case CtlVerb::kShutdown:
+    case CtlVerb::kInjectFail:
+      return false;  // management plane: observable across epochs
+    case CtlVerb::kKeygen:
+    case CtlVerb::kRecvKey:
+    case CtlVerb::kPair:
+    case CtlVerb::kPairBatch:
+    case CtlVerb::kPurge:
+    case CtlVerb::kWarmup:
+      // Work verbs execute only under the exact configured epoch: a frame
+      // the crashed coordinator left in flight (lower epoch) must never run
+      // a pair, and a future-epoch frame reached a daemon that missed the
+      // reconfiguration and has no matching protocol state.
+      return epoch != epoch_;
+  }
+  return true;  // unreachable: the switch above is exhaustive
 }
 
 Status PartyService::Serve() {
@@ -199,11 +229,30 @@ Status PartyService::Serve() {
       // anything reaching this point is noise and is dropped.
       continue;
     }
+    // Every ctl request leads with the coordinator's session epoch; strip
+    // it here so the verb handlers see only their verb-specific body.
+    size_t epoch_off = 0;
+    auto epoch = ConsumeU64(msg->payload, &epoch_off);
+    if (!epoch.ok()) continue;  // malformed request: drop like noise
+    msg->payload.erase(msg->payload.begin(),
+                       msg->payload.begin() + static_cast<long>(epoch_off));
+    if (EpochFenced(*verb, *epoch)) {
+      // Fenced, never executed: a work frame from a superseded (or not yet
+      // adopted) session epoch gets a refusal the coordinator can tell
+      // apart from a transient fault.
+      fenced_requests_ += 1;
+      Reply(*verb, 0, 0,
+            Status::FailedPrecondition(
+                "stale session epoch " + std::to_string(*epoch) + " fenced (" +
+                opts_.role + " is at " + std::to_string(epoch_) + ")"),
+            0, {});
+      continue;
+    }
     if (*verb == CtlVerb::kShutdown) {
       Reply(CtlVerb::kShutdown, 0, 0, Status::OK(), 0, {});
       return Status::OK();
     }
-    Status handled = Dispatch(*verb, *msg);
+    Status handled = Dispatch(*verb, *epoch, *msg);
     // Command-level failures were already acknowledged; only transport death
     // (no way to talk to anyone anymore) ends the serve loop.
     if (!handled.ok() && handled.code() == StatusCode::kUnavailable) {
@@ -213,16 +262,37 @@ Status PartyService::Serve() {
   return Status::OK();
 }
 
-Status PartyService::Dispatch(CtlVerb verb, const Message& msg) {
+Status PartyService::Dispatch(CtlVerb verb, uint64_t epoch,
+                              const Message& msg) {
   // Exhaustive over CtlVerb: adding a verb without a case here is a
   // -Wswitch compile error, not a silently ignored command.
   switch (verb) {
     case CtlVerb::kConfigure: {
       Status st = HandleConfigure(msg.payload);
+      if (st.ok()) epoch_ = epoch;  // a successful cfg adopts the epoch
       std::vector<uint8_t> extra;
       AppendU64(incarnation_, &extra);
       Reply(CtlVerb::kConfigure, 0, 0, st, 0, std::move(extra));
       return st;
+    }
+    case CtlVerb::kRejoin: {
+      size_t off = 0;
+      auto last_seen = ConsumeU64(msg.payload, &off);
+      if (!last_seen.ok()) {
+        Reply(CtlVerb::kRejoin, 0, 0, last_seen.status(), 0, {});
+        return last_seen.status();
+      }
+      // Re-admission handshake: adopt the coordinator's epoch and present
+      // an incarnation STRICTLY above anything the coordinator ever saw —
+      // a restarted process starts back at zero, so the coordinator's
+      // last-seen value is what makes the bump meaningful. The coordinator
+      // gates the membership dead->alive edge on exactly this property.
+      epoch_ = epoch;
+      incarnation_ = std::max(incarnation_, *last_seen) + 1;
+      std::vector<uint8_t> extra;
+      AppendU64(incarnation_, &extra);
+      Reply(CtlVerb::kRejoin, 0, 0, Status::OK(), 0, std::move(extra));
+      return Status::OK();
     }
     case CtlVerb::kKeygen: {
       Status st = HandleKeygen();
@@ -675,6 +745,7 @@ void PartyService::Reply(CtlVerb verb, uint64_t id, uint32_t attempt,
   r.verb = verb;
   r.id = id;
   r.attempt = attempt;
+  r.epoch = epoch_;
   r.code = st.code();
   r.label = label;
   r.detail = st.message();

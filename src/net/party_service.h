@@ -140,6 +140,9 @@ class PartyService {
 
   SocketBus& bus() { return *bus_; }
   const smc::SmcCosts& costs() const { return costs_; }
+  uint64_t incarnation() const { return incarnation_; }
+  uint64_t epoch() const { return epoch_; }
+  int64_t fenced_requests() const { return fenced_requests_; }
 
  private:
   struct PairAttr {
@@ -161,7 +164,11 @@ class PartyService {
     std::vector<PairCmd> pairs;
   };
 
-  Status Dispatch(CtlVerb verb, const smc::Message& msg);
+  Status Dispatch(CtlVerb verb, uint64_t epoch, const smc::Message& msg);
+  /// Whether `verb` at request-header `epoch` must be refused unexecuted.
+  /// Work verbs run only under the exact adopted epoch; kConfigure/kRejoin
+  /// adopt epochs and the management verbs stay observable across them.
+  bool EpochFenced(CtlVerb verb, uint64_t epoch) const;
   Status HandleConfigure(const std::vector<uint8_t>& payload);
   Status HandleKeygen();
   Status HandleRecvKey();
@@ -195,10 +202,16 @@ class PartyService {
   bool configured_ = false;
   uint64_t test_seed_ = 0;
   uint32_t pool_depth_ = 0;  // kConfigure; 0 disables the pool
-  /// Bumped on every kConfigure; echoed in cfg and heartbeat acks so the
+  /// Bumped on every kConfigure and jumped past the coordinator's last-seen
+  /// value by kRejoin; echoed in cfg/rejoin/heartbeat acks so the
   /// coordinator's membership table can drop acks from a superseded
-  /// configuration.
+  /// configuration and gate the dead->alive rejoin edge.
   uint64_t incarnation_ = 0;
+  /// Session epoch adopted from the last successful kConfigure/kRejoin and
+  /// stamped into every reply; work verbs under any other epoch are fenced.
+  uint64_t epoch_ = 0;
+  /// Requests refused by the epoch fence (diagnostics only).
+  int64_t fenced_requests_ = 0;
   /// kConfigure knob: sleep this long at the start of every pair, emulating
   /// a network/compute latency window. 0 in production; the sharded bench
   /// uses it to make the SMC stage latency-bound (docs/CLUSTER.md).

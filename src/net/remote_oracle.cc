@@ -56,6 +56,21 @@ RemoteSmcOracle::RemoteSmcOracle(RemoteOracleOptions opts)
         MeshBusOptions(kCoordName, mesh, opts_.connect_timeout_ms,
                        opts_.receive_timeout_ms)));
   }
+  shard_batches_done_.assign(shards_.size(), 0);
+  shard_pairs_done_.assign(shards_.size(), 0);
+}
+
+std::vector<ShardDisposition> RemoteSmcOracle::ShardDispositions() const {
+  std::vector<ShardDisposition> out;
+  out.reserve(shards_.size());
+  for (int s = 0; s < num_shards(); ++s) {
+    ShardDisposition d;
+    d.shard = s;
+    d.batches_done = shard_batches_done_[s];
+    d.pairs_done = shard_pairs_done_[s];
+    out.push_back(d);
+  }
+  return out;
 }
 
 RemoteSmcOracle::~RemoteSmcOracle() {
@@ -92,6 +107,7 @@ void RemoteSmcOracle::SendCtl(int shard, const std::string& role, CtlVerb verb,
                               std::vector<uint8_t> payload) {
   CtlRequest req;
   req.verb = verb;
+  req.epoch = opts_.session_epoch;
   req.body = std::move(payload);
   buses_[shard]->Send(EncodeCtlRequest(kCoordName, role, req));
 }
@@ -107,6 +123,33 @@ void RemoteSmcOracle::HandleHbAck(int shard, const CtlResponse& r) {
   if (it != probes_.end() && it->second.seq == r.id) {
     it->second.answered = true;
   }
+}
+
+void RemoteSmcOracle::HandleRejoinAck(int shard, const CtlResponse& r) {
+  if (r.code != StatusCode::kOk) return;
+  const std::string label = ReplicaLabel(shard, r.role);
+  size_t off = 0;
+  auto incarnation = ConsumeU64(r.extra, &off);
+  if (!incarnation.ok()) return;  // malformed ack: no resurrection evidence
+  if (!membership_.OnRejoin(label, *incarnation)) return;
+  if (metrics_ != nullptr) obs::Add(metrics_, "net.membership.rejoins");
+  // A heartbeat probe goes out on the next tick; mark the fresh probe state
+  // so the rejoin ack itself is not counted as a miss.
+  probes_[label].answered = true;
+  if (!ShardAllAlive(shard)) return;  // siblings still down: wait for them
+  // The restarted daemon adopted the epoch but lost all protocol state, so
+  // the whole shard replays the setup handshake (deterministic seed-derived
+  // keys make this safe mid-run; the daemon re-warms from its role-scoped
+  // material store during recvkey). Only then is the shard schedulable.
+  Status replayed = SetupShards({shard});
+  if (!replayed.ok()) {
+    // Died again under the replay: back to dead, a later rejoin retries.
+    for (const std::string& role : ShardRoles(shard)) {
+      membership_.OnLinkDown(ReplicaLabel(shard, role));
+    }
+    return;
+  }
+  sched_.SetUsable(shard, true);
 }
 
 Status RemoteSmcOracle::CollectReplies(
@@ -153,15 +196,7 @@ Status RemoteSmcOracle::CollectReplies(
                    : Status::NotFound(what);
 }
 
-Status RemoteSmcOracle::Init() {
-  if (metrics_ != nullptr) {
-    for (auto& bus : buses_) bus->AttachMetrics(metrics_);
-  }
-  obs::ScopedSpan span(metrics_, "smc/transport");
-  for (auto& bus : buses_) {
-    HPRL_RETURN_IF_ERROR(bus->Start());
-  }
-
+std::vector<uint8_t> RemoteSmcOracle::BuildConfigPayload() const {
   std::vector<uint8_t> cfg;
   AppendU32(static_cast<uint32_t>(opts_.config.key_bits), &cfg);
   AppendI64(opts_.config.fp_scale, &cfg);
@@ -184,16 +219,20 @@ Status RemoteSmcOracle::Init() {
   AppendU32(static_cast<uint32_t>(std::max(0, opts_.config.offline_pairs)),
             &cfg);
   AppendString(opts_.config.material_dir, &cfg);
+  return cfg;
+}
 
-  // Fan the handshake out to every shard before collecting any acks, so the
+Status RemoteSmcOracle::SetupShards(const std::vector<int>& shard_ids) {
+  const std::vector<uint8_t> cfg = BuildConfigPayload();
+
+  // Fan each phase out to every shard before collecting any acks, so the
   // shards run their setup (keygen above all) concurrently.
-  for (int s = 0; s < num_shards(); ++s) {
+  for (int s : shard_ids) {
     for (const std::string& role : ShardRoles(s)) {
-      membership_.Register(ReplicaLabel(s, role));
       SendCtl(s, role, CtlVerb::kConfigure, cfg);
     }
   }
-  for (int s = 0; s < num_shards(); ++s) {
+  for (int s : shard_ids) {
     std::map<std::string, CtlResponse> acks;
     HPRL_RETURN_IF_ERROR(CollectReplies(s, CtlVerb::kConfigure, 0, 0,
                                         ShardRoles(s),
@@ -212,21 +251,21 @@ Status RemoteSmcOracle::Init() {
   // salted seed, which is how the fleet shares the party key without it
   // crossing the wire; generation of a production-size modulus takes
   // seconds, so the ack deadline is generous.
-  for (int s = 0; s < num_shards(); ++s) {
+  for (int s : shard_ids) {
     SendCtl(s, shards_[s].qp.name, CtlVerb::kKeygen, {});
   }
-  for (int s = 0; s < num_shards(); ++s) {
+  for (int s : shard_ids) {
     std::map<std::string, CtlResponse> acks;
     HPRL_RETURN_IF_ERROR(CollectReplies(s, CtlVerb::kKeygen, 0, 0,
                                         {shards_[s].qp.name}, 120000, &acks));
     HPRL_RETURN_IF_ERROR(ReplyStatus(acks.begin()->second));
   }
 
-  for (int s = 0; s < num_shards(); ++s) {
+  for (int s : shard_ids) {
     SendCtl(s, shards_[s].alice.name, CtlVerb::kRecvKey, {});
     SendCtl(s, shards_[s].bob.name, CtlVerb::kRecvKey, {});
   }
-  for (int s = 0; s < num_shards(); ++s) {
+  for (int s : shard_ids) {
     std::map<std::string, CtlResponse> acks;
     HPRL_RETURN_IF_ERROR(CollectReplies(
         s, CtlVerb::kRecvKey, 0, 0,
@@ -251,11 +290,11 @@ Status RemoteSmcOracle::Init() {
         static_cast<uint32_t>(attrs);
     std::vector<uint8_t> warm;
     AppendU32(randomizers, &warm);
-    for (int s = 0; s < num_shards(); ++s) {
+    for (int s : shard_ids) {
       SendCtl(s, shards_[s].alice.name, CtlVerb::kWarmup, warm);
       SendCtl(s, shards_[s].bob.name, CtlVerb::kWarmup, warm);
     }
-    for (int s = 0; s < num_shards(); ++s) {
+    for (int s : shard_ids) {
       std::map<std::string, CtlResponse> acks;
       HPRL_RETURN_IF_ERROR(CollectReplies(
           s, CtlVerb::kWarmup, 0, 0,
@@ -265,6 +304,25 @@ Status RemoteSmcOracle::Init() {
       }
     }
   }
+  return Status::OK();
+}
+
+Status RemoteSmcOracle::Init() {
+  if (metrics_ != nullptr) {
+    for (auto& bus : buses_) bus->AttachMetrics(metrics_);
+  }
+  obs::ScopedSpan span(metrics_, "smc/transport");
+  for (auto& bus : buses_) {
+    HPRL_RETURN_IF_ERROR(bus->Start());
+  }
+  std::vector<int> all;
+  for (int s = 0; s < num_shards(); ++s) {
+    all.push_back(s);
+    for (const std::string& role : ShardRoles(s)) {
+      membership_.Register(ReplicaLabel(s, role));
+    }
+  }
+  HPRL_RETURN_IF_ERROR(SetupShards(all));
   initialized_ = true;
   StreamMembershipMetrics();
   return Status::OK();
@@ -289,6 +347,9 @@ void RemoteSmcOracle::StreamMembershipMetrics() {
                 membership_.probes_missed());
   obs::SetGauge(metrics_, "net.membership.stale_acks",
                 membership_.stale_acks());
+  obs::SetGauge(metrics_, "net.membership.rejoins", membership_.rejoins());
+  obs::SetGauge(metrics_, "net.membership.rejected_rejoins",
+                membership_.rejected_rejoins());
   for (int s = 0; s < num_shards(); ++s) {
     obs::SetGauge(metrics_, "net.shard." + std::to_string(s) +
                                 ".inflight_pairs",
@@ -410,7 +471,10 @@ Result<bool> RemoteSmcOracle::CompareRows(int64_t a_id, int64_t b_id,
       }
       label = replies[shards_[shard].qp.name].label;
     }
-    if (attempt_status.ok()) return label == 1;
+    if (attempt_status.ok()) {
+      shard_pairs_done_[shard] += 1;
+      return label == 1;
+    }
     if (attempt_status.code() == StatusCode::kUnavailable) {
       // The shard died under this pair. Retire it and, when another usable
       // shard exists, rebalance the pair there — without burning retry
@@ -764,6 +828,7 @@ Status RemoteSmcOracle::RunBatchRound(std::vector<BatchPair>* pending,
   // transient: re-batch; semantic: abort the whole compare.
   auto settle = [&](Outstanding& o) {
     sched_.Complete(o.batch_id);
+    shard_batches_done_[o.shard] += 1;
     std::map<std::string, std::vector<PairSlot>> slots;
     std::map<std::string, Status> role_status;
     bool shard_down = false;
@@ -828,6 +893,7 @@ Status RemoteSmcOracle::RunBatchRound(std::vector<BatchPair>* pending,
 
       if (pair_status.ok()) {
         (*labels)[p.batch_pos] = qp_label == 1 ? kPairMatch : kPairNonMatch;
+        shard_pairs_done_[o.shard] += 1;
         continue;
       }
       if (pair_status.code() == StatusCode::kUnavailable) {
@@ -869,16 +935,30 @@ Status RemoteSmcOracle::RunBatchRound(std::vector<BatchPair>* pending,
     }
   };
 
-  auto next_hb = std::chrono::steady_clock::now() +
-                 std::chrono::milliseconds(opts_.hb_interval_ms);
+  // The cadence is wall-clock across rounds (next_hb_ is a member): a
+  // workload of short rounds — per-pair mode, or a caller polling with tiny
+  // batches while a crashed shard restarts — must still probe and offer
+  // rejoins every interval, not only during drains longer than one.
   auto maybe_probe = [&] {
     const auto now = std::chrono::steady_clock::now();
-    if (now < next_hb) return;
-    next_hb = now + std::chrono::milliseconds(opts_.hb_interval_ms);
+    if (now < next_hb_) return;
+    next_hb_ = now + std::chrono::milliseconds(opts_.hb_interval_ms);
     for (int s = 0; s < num_shards(); ++s) {
       for (const std::string& role : ShardRoles(s)) {
         const std::string label = ReplicaLabel(s, role);
-        if (membership_.state(label) == ReplicaState::kDead) continue;
+        if (membership_.state(label) == ReplicaState::kDead) {
+          // Offer the dead replica a way back instead of probing it: the
+          // bus re-dials on send, so the offer lands the moment a restarted
+          // process listens again. Its ack (a strictly-higher incarnation)
+          // is the only evidence that ever revives a dead entry.
+          std::vector<uint8_t> payload;
+          AppendU64(membership_.incarnation(label), &payload);
+          SendCtl(s, role, CtlVerb::kRejoin, std::move(payload));
+          if (metrics_ != nullptr) {
+            obs::Add(metrics_, "net.membership.rejoin_offers");
+          }
+          continue;
+        }
         Probe& probe = probes_[label];
         if (!probe.answered) {
           membership_.OnProbeMiss(label);
@@ -929,7 +1009,7 @@ Status RemoteSmcOracle::RunBatchRound(std::vector<BatchPair>* pending,
       settle(o);
       continue;
     }
-    auto wake = std::min(inflight[earliest].deadline, next_hb);
+    auto wake = std::min(inflight[earliest].deadline, next_hb_);
     int wait_ms = static_cast<int>(
         std::chrono::duration_cast<std::chrono::milliseconds>(wake - now)
             .count());
@@ -941,6 +1021,10 @@ Status RemoteSmcOracle::RunBatchRound(std::vector<BatchPair>* pending,
     if (!got.ok()) continue;  // timeout: deadlines/probes handle themselves
     if (reply.verb == CtlVerb::kHeartbeat) {
       HandleHbAck(from_shard, reply);
+      continue;
+    }
+    if (reply.verb == CtlVerb::kRejoin) {
+      HandleRejoinAck(from_shard, reply);
       continue;
     }
     if (reply.verb != CtlVerb::kPairBatch) continue;  // late ack of smth else

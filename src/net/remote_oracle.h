@@ -1,6 +1,7 @@
 #ifndef HPRL_NET_REMOTE_ORACLE_H_
 #define HPRL_NET_REMOTE_ORACLE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -46,8 +47,16 @@ struct RemoteOracleOptions {
   /// Membership probe cadence during a batch drain. Every interval the
   /// coordinator probes each non-dead replica on its ":hb" sub-inbox; a
   /// probe still unanswered when the next one is due counts as a miss.
+  /// Dead replicas are offered a kRejoin handshake on the same cadence.
   int hb_interval_ms = 250;
   MembershipOptions membership;
+
+  /// Session-epoch fencing token stamped into every ctl request (wire v5).
+  /// Daemons adopt it on kConfigure/kRejoin and refuse work verbs carrying
+  /// any other epoch, so a relaunched coordinator (which resumes at a
+  /// strictly higher epoch) is safe against frames its crashed predecessor
+  /// left in flight. Must be >= 1: the daemons boot at epoch 0.
+  uint64_t session_epoch = 1;
 
   /// Forwarded to the daemons in kConfigure: sleep this long at the start
   /// of every pair, emulating a per-pair latency window. 0 in production;
@@ -96,6 +105,14 @@ struct MeshStats {
 /// a fleet run, a single-daemon run and an in-process run are bit-identical
 /// at a pinned config.test_seed, killed replica or not.
 ///
+/// Resurrection: a dead replica is offered a kRejoin handshake on the
+/// heartbeat cadence (delivered once its restarted process listens again —
+/// the bus re-dials on send). A valid rejoin ack carries a strictly-higher
+/// incarnation, takes the membership table's only dead -> alive edge, and —
+/// once every replica of the shard is back — the coordinator replays the
+/// full setup handshake (cfg/keygen/recvkey/warmup; safe mid-run because
+/// the keys are seed-derived) and re-admits the shard to the scheduler.
+///
 /// Fault handling within a shard mirrors the in-process stack (protocol.cc
 /// RetryExchange + batch_engine.cc supervision), but over real sockets: a
 /// transient fault on any hop fails the attempt, the coordinator flushes
@@ -132,6 +149,9 @@ class RemoteSmcOracle : public MatchOracle {
   Result<std::vector<uint8_t>> CompareBatch(
       const std::vector<RowPairRequest>& batch) override;
   int64_t invocations() const override { return invocations_; }
+  /// Settled work per shard (session-journal bookkeeping): batches settled
+  /// and pairs definitively labeled on each comparator shard so far.
+  std::vector<ShardDisposition> ShardDispositions() const override;
   void AttachMetrics(obs::MetricsRegistry* registry) override;
 
   /// Pulls kStats from every reachable daemon, aggregates with the
@@ -143,6 +163,7 @@ class RemoteSmcOracle : public MatchOracle {
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   const MembershipTable& membership() const { return membership_; }
+  uint64_t session_epoch() const { return opts_.session_epoch; }
   int64_t pairs_quarantined() const { return pairs_quarantined_; }
   int64_t retries() const { return retries_; }
   /// Pairs re-dispatched onto another shard after theirs turned
@@ -200,8 +221,20 @@ class RemoteSmcOracle : public MatchOracle {
   int FirstUsableShard() const;
   void SendCtl(int shard, const std::string& role, CtlVerb verb,
                std::vector<uint8_t> payload);
+  /// The kConfigure body (protocol params, seeds, material knobs).
+  std::vector<uint8_t> BuildConfigPayload() const;
+  /// Runs the full setup handshake on `shard_ids`, fanned out phase by
+  /// phase so the shards work concurrently: cfg to every replica, keygen on
+  /// the qps, recvkey on the holders, then the offline warmup when material
+  /// is configured. Init() runs it over every shard; the rejoin path replays
+  /// it on a single recovered shard.
+  Status SetupShards(const std::vector<int>& shard_ids);
   /// Records a heartbeat ack in the membership table.
   void HandleHbAck(int shard, const CtlResponse& r);
+  /// Applies a kRejoin ack: takes the dead -> alive edge when the daemon's
+  /// new incarnation is strictly higher, then — once the whole shard is
+  /// back — replays the setup handshake and re-admits it to the scheduler.
+  void HandleRejoinAck(int shard, const CtlResponse& r);
   /// Waits on `shard`'s bus for a CtlResponse per role matching (verb, id,
   /// attempt). OK once all arrived (their codes may still be errors);
   /// NotFound on deadline with every missing link alive, Unavailable
@@ -237,10 +270,16 @@ class RemoteSmcOracle : public MatchOracle {
   };
   std::map<std::string, Probe> probes_;
   uint64_t next_probe_seq_ = 0;
+  /// Next heartbeat/rejoin-offer due time; persists across batch rounds so
+  /// short rounds still hit the hb_interval_ms cadence (epoch start = the
+  /// first round probes immediately).
+  std::chrono::steady_clock::time_point next_hb_{};
   size_t pump_rotor_ = 0;       ///< PumpReceive round-robin cursor
   size_t transitions_seen_ = 0; ///< membership transitions already streamed
 
   int64_t invocations_ = 0;
+  std::vector<int64_t> shard_batches_done_;  ///< settled batches per shard
+  std::vector<int64_t> shard_pairs_done_;    ///< labeled pairs per shard
   int64_t pairs_quarantined_ = 0;
   int64_t retries_ = 0;
   int64_t rebalanced_pairs_ = 0;

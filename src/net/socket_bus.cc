@@ -38,21 +38,31 @@ Status SocketBus::Start() {
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(opts_.connect_timeout_ms);
   for (const PeerAddress& addr : opts_.dial) {
-    // Peers may still be starting up: keep knocking until the deadline.
-    for (;;) {
+    // Peers may still be starting up: keep knocking with exponentially
+    // backed-off, jittered waits until the deadline or the attempt cap —
+    // whichever bites first maps to Unavailable.
+    for (int attempt = 0;; ++attempt) {
       auto conn = Dial(addr, 1000, /*is_reconnect=*/false);
       if (conn.ok()) {
         Register(std::move(conn).value());
         break;
       }
+      const std::string target = addr.name + " at " + addr.host + ":" +
+                                 std::to_string(addr.port);
+      if (attempt + 1 >= opts_.dial_max_attempts) {
+        Stop();
+        return Status::Unavailable(
+            "gave up dialing " + target + " after " +
+            std::to_string(attempt + 1) + " attempts: " +
+            conn.status().message());
+      }
       if (Clock::now() >= deadline) {
         Stop();
-        return Status::Unavailable("could not reach " + addr.name + " at " +
-                                   addr.host + ":" +
-                                   std::to_string(addr.port) + ": " +
+        return Status::Unavailable("could not reach " + target + ": " +
                                    conn.status().message());
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(DialBackoffMs(addr.name, attempt)));
     }
   }
 
@@ -105,6 +115,29 @@ void SocketBus::Stop() {
     conn->fd.Close();
   }
   inbox_cv_.notify_all();
+}
+
+int SocketBus::DialBackoffMs(const std::string& peer, int attempt) const {
+  int64_t base = std::max(1, opts_.dial_backoff_ms);
+  const int64_t cap = std::max<int64_t>(base, opts_.dial_backoff_max_ms);
+  for (int i = 0; i < attempt && base < cap; ++i) base *= 2;
+  base = std::min(base, cap);
+  // Jitter in [0, base/2], derived rather than drawn: FNV-1a over the seed,
+  // both link endpoints and the attempt index, finalized with an avalanche
+  // mix so nearby attempts do not produce nearby waits.
+  uint64_t h = 0xcbf29ce484222325ull ^ opts_.dial_jitter_seed;
+  auto fold = [&h](const std::string& s) {
+    for (char c : s) h = (h ^ static_cast<uint8_t>(c)) * 0x100000001b3ull;
+  };
+  fold(opts_.local_name);
+  fold(peer);
+  h ^= static_cast<uint64_t>(attempt);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  const int64_t jitter =
+      static_cast<int64_t>(h % static_cast<uint64_t>(base / 2 + 1));
+  return static_cast<int>(base + jitter);
 }
 
 bool SocketBus::PeerAlive(const std::string& name) const {

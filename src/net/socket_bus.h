@@ -44,6 +44,19 @@ struct SocketBusOptions {
   int connect_timeout_ms = 10000;  ///< total deadline for dialing + accepting
   int receive_timeout_ms = 4000;   ///< Receive/Expect block bound
   int flush_timeout_ms = 4000;     ///< Flush barrier deadline
+
+  /// Dial retry policy. A refused connect is retried with exponential
+  /// backoff: the wait starts at dial_backoff_ms, doubles per attempt up to
+  /// dial_backoff_max_ms, and each wait is stretched by a jitter fraction
+  /// derived (not drawn — pinned seeds reproduce the exact dial schedule)
+  /// from (dial_jitter_seed, local name, peer name, attempt), so a fleet
+  /// restarting in lockstep does not knock in lockstep. After
+  /// dial_max_attempts failed knocks on one peer, Start() gives up with
+  /// Unavailable even if the connect deadline has time left.
+  int dial_backoff_ms = 25;
+  int dial_backoff_max_ms = 800;
+  int dial_max_attempts = 64;
+  uint64_t dial_jitter_seed = 1;
 };
 
 /// MessageBus over real TCP: the networked transport of the three-party
@@ -160,6 +173,8 @@ class SocketBus : public smc::MessageBus {
                                      bool is_reconnect);
   /// Destination party of an addressed name ("alice:ctl" -> "alice").
   static std::string RouteOf(const std::string& to);
+  /// Backed-off, jittered wait before dial attempt `attempt` + 1 to `peer`.
+  int DialBackoffMs(const std::string& peer, int attempt) const;
   void CountRecv(size_t wire_bytes);
 
   SocketBusOptions opts_;

@@ -7,6 +7,7 @@
 #include "adult/adult.h"
 #include "cli/runner.h"
 #include "cli/spec.h"
+#include "common/exit_codes.h"
 #include "data/csv.h"
 #include "common/string_util.h"
 #include "data/partition.h"
@@ -114,6 +115,61 @@ TEST(SpecParserTest, RejectsMalformedSpecs) {
       ParseLinkageSpec("attr x text\nheuristic Bogus\n", ".").ok());
   EXPECT_FALSE(
       ParseLinkageSpec("attr x text\nsensitive y ldiv x\n", ".").ok());
+}
+
+TEST(SpecParserTest, MembershipDirectives) {
+  auto spec = ParseLinkageSpec(
+      "attr x text\nhb_interval 120\nsuspect_misses 3\ndead_misses 9\n", ".");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->hb_interval_ms, 120);
+  EXPECT_EQ(spec->suspect_misses, 3);
+  EXPECT_EQ(spec->dead_misses, 9);
+
+  auto defaults = ParseLinkageSpec("attr x text\n", ".");
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(defaults->hb_interval_ms, 250);
+  EXPECT_EQ(defaults->suspect_misses, 2);
+  EXPECT_EQ(defaults->dead_misses, 4);
+}
+
+TEST(SpecParserTest, RejectsBadMembershipDirectives) {
+  // The probe cadence must be a finite positive millisecond count — and
+  // ParseDouble accepts "nan"/"inf", so the parser must too reject those.
+  EXPECT_FALSE(ParseLinkageSpec("attr x text\nhb_interval 0\n", ".").ok());
+  EXPECT_FALSE(ParseLinkageSpec("attr x text\nhb_interval -5\n", ".").ok());
+  EXPECT_FALSE(ParseLinkageSpec("attr x text\nhb_interval nan\n", ".").ok());
+  EXPECT_FALSE(ParseLinkageSpec("attr x text\nhb_interval inf\n", ".").ok());
+  EXPECT_FALSE(ParseLinkageSpec("attr x text\nhb_interval soon\n", ".").ok());
+  EXPECT_FALSE(ParseLinkageSpec("attr x text\nsuspect_misses 0\n", ".").ok());
+  EXPECT_FALSE(ParseLinkageSpec("attr x text\ndead_misses 0\n", ".").ok());
+  EXPECT_FALSE(ParseLinkageSpec("attr x text\ndead_misses -1\n", ".").ok());
+  // Dead must come strictly after suspect or a replica could skip the
+  // recoverable state entirely.
+  EXPECT_FALSE(
+      ParseLinkageSpec("attr x text\nsuspect_misses 4\ndead_misses 4\n", ".")
+          .ok());
+  EXPECT_FALSE(
+      ParseLinkageSpec("attr x text\nsuspect_misses 5\ndead_misses 3\n", ".")
+          .ok());
+}
+
+// ---------------------------------------------------------------- exit codes
+
+TEST(ExitCodeTest, TaxonomyMapsStatusFamilies) {
+  EXPECT_EQ(ExitCodeForStatus(Status::OK()), kExitOk);
+  // Config/usage family: the operator wrote something wrong.
+  EXPECT_EQ(ExitCodeForStatus(Status::InvalidArgument("x")), kExitConfig);
+  EXPECT_EQ(ExitCodeForStatus(Status::NotFound("x")), kExitConfig);
+  // Transport family: peers or the wire, retryable from outside.
+  EXPECT_EQ(ExitCodeForStatus(Status::Unavailable("x")), kExitTransport);
+  EXPECT_EQ(ExitCodeForStatus(Status::IOError("x")), kExitTransport);
+  // Integrity family: crypto material / journal / fencing refusals.
+  EXPECT_EQ(ExitCodeForStatus(Status::FailedPrecondition("x")),
+            kExitIntegrity);
+  // Everything else stays the generic failure.
+  EXPECT_EQ(ExitCodeForStatus(Status::Internal("x")), kExitFailure);
+  EXPECT_EQ(ExitCodeForStatus(Status::Unimplemented("x")), kExitFailure);
+  EXPECT_EQ(ExitCodeForStatus(Status::OutOfRange("x")), kExitFailure);
 }
 
 // ---------------------------------------------------------------- runner
@@ -291,6 +347,91 @@ TEST_F(RunnerTest, ExternalRegistrySeesPipelineCounters) {
   EXPECT_EQ(counters["blocking.pairs_total"], report->result.total_pairs);
   EXPECT_EQ(counters["linkage.reported_matches"],
             report->result.reported_matches);
+}
+
+TEST_F(RunnerTest, ResumeFlagRequiresAJournalPath) {
+  auto spec = LoadLinkageSpec((dir_ / "linkage.spec").string());
+  ASSERT_TRUE(spec.ok());
+  RunnerOptions options;
+  options.resume = true;
+  auto report = RunLinkageFromFiles(*spec, (dir_ / "r.csv").string(),
+                                    (dir_ / "s.csv").string(), options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RunnerTest, ResumeWithoutAJournalFileIsRefused) {
+  auto spec = LoadLinkageSpec((dir_ / "linkage.spec").string());
+  ASSERT_TRUE(spec.ok());
+  RunnerOptions options;
+  options.resume = true;
+  options.journal = (dir_ / "never_written.jnl").string();
+  auto report = RunLinkageFromFiles(*spec, (dir_ / "r.csv").string(),
+                                    (dir_ / "s.csv").string(), options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(report.status().message().find("no session journal"),
+            std::string::npos);
+}
+
+TEST_F(RunnerTest, CorruptJournalAbortsAStrictResume) {
+  const std::string journal = (dir_ / "damaged.jnl").string();
+  {
+    std::ofstream out(journal, std::ios::binary);
+    out << "HPRLJNL1 but then garbage";
+  }
+  auto spec = LoadLinkageSpec((dir_ / "linkage.spec").string());
+  ASSERT_TRUE(spec.ok());
+  RunnerOptions options;
+  options.resume = true;
+  options.journal = journal;
+  auto report = RunLinkageFromFiles(*spec, (dir_ / "r.csv").string(),
+                                    (dir_ / "s.csv").string(), options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RunnerTest, CorruptJournalWithoutResumeStartsCleanAndCompletes) {
+  const std::string journal = (dir_ / "stale.jnl").string();
+  {
+    std::ofstream out(journal, std::ios::binary);
+    out << "not a journal at all";
+  }
+  auto spec = LoadLinkageSpec((dir_ / "linkage.spec").string());
+  ASSERT_TRUE(spec.ok());
+  RunnerOptions options;
+  options.journal = journal;  // journaling on, but no strict resume
+  auto report = RunLinkageFromFiles(*spec, (dir_ / "r.csv").string(),
+                                    (dir_ / "s.csv").string(), options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // The damaged file was never resumed from, and the completed run cleaned
+  // up after itself.
+  EXPECT_EQ(report->result.resumed_pairs, 0);
+  EXPECT_FALSE(fs::exists(journal));
+}
+
+TEST_F(RunnerTest, CompletedRunRemovesItsJournal) {
+  auto spec = LoadLinkageSpec((dir_ / "linkage.spec").string());
+  ASSERT_TRUE(spec.ok());
+  RunnerOptions options;
+  options.journal = (dir_ / "run.jnl").string();
+  auto report = RunLinkageFromFiles(*spec, (dir_ / "r.csv").string(),
+                                    (dir_ / "s.csv").string(), options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(fs::exists(options.journal));
+}
+
+TEST_F(RunnerTest, MembershipOverridesMustKeepDeadAfterSuspect) {
+  auto spec = LoadLinkageSpec((dir_ / "linkage.spec").string());
+  ASSERT_TRUE(spec.ok());
+  RunnerOptions options;
+  options.suspect_misses_override = 5;
+  options.dead_misses_override = 5;
+  auto report = RunLinkageFromFiles(*spec, (dir_ / "r.csv").string(),
+                                    (dir_ / "s.csv").string(), options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(report.status().message().find("dead_misses"), std::string::npos);
 }
 
 TEST_F(RunnerTest, MissingColumnIsReported) {

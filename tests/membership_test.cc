@@ -40,7 +40,10 @@ bool ValidEdge(ReplicaState from, ReplicaState to) {
     case ReplicaState::kSuspect:
       return to == ReplicaState::kAlive || to == ReplicaState::kDead;
     case ReplicaState::kDead:
-      return false;  // sticky
+      // Sticky against every passive signal; the one legal resurrection is
+      // the explicit rejoin handshake (OnRejoin, strictly-higher
+      // incarnation).
+      return to == ReplicaState::kAlive;
   }
   return false;
 }
@@ -61,7 +64,7 @@ TEST(MembershipPropertyTest, RandomWalkTakesOnlyValidEdges) {
     std::map<std::string, uint64_t> last_seen;
     for (int step = 0; step < 2000; ++step) {
       const std::string& r = replicas[rng() % replicas.size()];
-      switch (rng() % 4) {
+      switch (rng() % 5) {
         case 0:  // fresh ack (daemon-side incarnation only ever grows)
           incarnation[r] += rng() % 2;
           table.OnAck(r, incarnation[r]);
@@ -75,6 +78,19 @@ TEST(MembershipPropertyTest, RandomWalkTakesOnlyValidEdges) {
         case 3:
           table.OnLinkDown(r);
           break;
+        case 4: {  // rejoin handshake: half fresh, half a replayed stale one
+          const uint64_t inc =
+              (rng() % 2) ? incarnation[r] + 1 : incarnation[r];
+          const ReplicaState before = table.state(r);
+          const bool admitted = table.OnRejoin(r, inc);
+          // Admitted iff dead + strictly higher — never from any other
+          // state, never at the stored incarnation.
+          EXPECT_EQ(admitted, before == ReplicaState::kDead &&
+                                  inc > last_seen[r])
+              << "seed " << seed << " step " << step;
+          if (admitted) incarnation[r] = inc;
+          break;
+        }
       }
       // The recorded incarnation never rewinds, whatever the ack order.
       EXPECT_GE(table.incarnation(r), last_seen[r])
@@ -121,6 +137,39 @@ TEST(MembershipPropertyTest, DeadIsStickyAndStaleAcksAreCounted) {
   EXPECT_EQ(table.transitions()[1].to, ReplicaState::kSuspect);
   EXPECT_EQ(table.transitions()[2].from, ReplicaState::kSuspect);
   EXPECT_EQ(table.transitions()[2].to, ReplicaState::kDead);
+}
+
+TEST(MembershipPropertyTest, RejoinIsTheOnlyResurrectionAndIsGated) {
+  MembershipTable table;
+  table.Register("alice#0");
+  table.OnAck("alice#0", 5);
+  // Rejoin from a living replica is a stale offer echo: rejected.
+  EXPECT_FALSE(table.OnRejoin("alice#0", 6));
+  EXPECT_EQ(table.state("alice#0"), ReplicaState::kAlive);
+  EXPECT_EQ(table.rejected_rejoins(), 1);
+
+  table.OnLinkDown("alice#0");
+  ASSERT_EQ(table.state("alice#0"), ReplicaState::kDead);
+
+  // A replayed frame from the dead process image presents at most the
+  // incarnation the coordinator already saw: rejected, still dead.
+  EXPECT_FALSE(table.OnRejoin("alice#0", 5));
+  EXPECT_EQ(table.state("alice#0"), ReplicaState::kDead);
+  EXPECT_EQ(table.rejected_rejoins(), 2);
+
+  // The restarted daemon bumps past everything it ever presented: admitted,
+  // and the transition log records the explicit Dead -> Alive edge.
+  EXPECT_TRUE(table.OnRejoin("alice#0", 6));
+  EXPECT_EQ(table.state("alice#0"), ReplicaState::kAlive);
+  EXPECT_EQ(table.incarnation("alice#0"), 6u);
+  EXPECT_EQ(table.rejoins(), 1);
+  const auto& log = table.transitions();
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.back().from, ReplicaState::kDead);
+  EXPECT_EQ(log.back().to, ReplicaState::kAlive);
+
+  // Unknown replicas cannot "rejoin" into existence.
+  EXPECT_FALSE(table.OnRejoin("ghost#9", 1));
 }
 
 TEST(MembershipPropertyTest, SuspectRecoversOnAckAndMissCounterResets) {
@@ -305,17 +354,27 @@ TEST(CtlVerbTest, HeartbeatRoutesToItsOwnSubInbox) {
 TEST(CtlVerbTest, RequestAndResponseAreInverses) {
   CtlRequest req;
   req.verb = CtlVerb::kPairBatch;
+  req.epoch = 0x0102030405060708ull;
   req.body = {1, 2, 3, 250};
   smc::Message msg = EncodeCtlRequest("coord", "bob", req);
   EXPECT_EQ(msg.to, "bob:ctl");
   EXPECT_EQ(msg.tag, CtlVerbTag(CtlVerb::kPairBatch));
-  EXPECT_EQ(msg.payload, req.body);
+  // Wire v5: the session-epoch fencing token leads every request payload.
+  std::vector<uint8_t> want;
+  AppendU64(req.epoch, &want);
+  want.insert(want.end(), req.body.begin(), req.body.end());
+  EXPECT_EQ(msg.payload, want);
+  size_t off = 0;
+  auto epoch = ConsumeU64(msg.payload, &off);
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(*epoch, req.epoch);
 
   CtlResponse resp;
   resp.role = "bob";
   resp.verb = CtlVerb::kPairBatch;
   resp.id = 0x1122334455667788ull;
   resp.attempt = 7;
+  resp.epoch = 42;
   resp.code = StatusCode::kNotFound;
   resp.label = 2;
   resp.detail = "late";
@@ -328,6 +387,7 @@ TEST(CtlVerbTest, RequestAndResponseAreInverses) {
   EXPECT_EQ(parsed->verb, resp.verb);
   EXPECT_EQ(parsed->id, resp.id);
   EXPECT_EQ(parsed->attempt, resp.attempt);
+  EXPECT_EQ(parsed->epoch, resp.epoch);
   EXPECT_EQ(parsed->code, resp.code);
   EXPECT_EQ(parsed->label, resp.label);
   EXPECT_EQ(parsed->detail, resp.detail);

@@ -9,7 +9,9 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -917,6 +919,94 @@ TEST_F(MeshTest, MidBatchCrashQuarantinesWithoutFalseLabels) {
   (void)oracle->Shutdown(/*stop_daemons=*/true);
 }
 
+// A relaunched coordinator resumes at a strictly higher session epoch: the
+// daemons adopt it on the resume configure, the resumed session's own work
+// runs untouched, and a work frame the crashed predecessor left in flight —
+// stamped with the superseded epoch — is fenced on every daemon: refused
+// with FailedPrecondition, never executed, epoch intact.
+TEST_F(MeshTest, RelaunchedCoordinatorFencesPredecessorsFrames) {
+  StartMesh(/*receive_timeout_ms=*/2000);
+  auto oracle = MakeOracle(2000);
+  ASSERT_TRUE(oracle->Init().ok());
+  for (auto& s : services_) {
+    EXPECT_EQ(s->epoch(), 1u);
+    EXPECT_EQ(s->fenced_requests(), 0);
+  }
+
+  // Coordinator "crash": the first session goes away, daemons keep serving.
+  ASSERT_TRUE(oracle->Shutdown(/*stop_daemons=*/false).ok());
+  oracle.reset();
+
+  // The relaunch resumes at epoch 2 (what the CLI derives from a recovered
+  // session journal: its epoch + 1).
+  RemoteOracleOptions opts;
+  opts.config.key_bits = 256;
+  opts.config.test_seed = 4242;
+  opts.config.max_retries = 3;
+  opts.rule = MixedRule();
+  opts.endpoints = endpoints_;
+  opts.connect_timeout_ms = 10000;
+  opts.receive_timeout_ms = 2000;
+  opts.session_epoch = 2;
+  auto resumed = std::make_unique<RemoteSmcOracle>(opts);
+  ASSERT_TRUE(resumed->Init().ok());
+  for (auto& s : services_) EXPECT_EQ(s->epoch(), 2u);
+
+  const auto pairs = SixPairs();
+  auto labels = resumed->CompareBatch(PairBatch(pairs));
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ((*labels)[i],
+              RecordsMatch(pairs[i].first, pairs[i].second, MixedRule())
+                  ? kPairMatch
+                  : kPairNonMatch)
+        << "pair " << i;
+  }
+  EXPECT_EQ(resumed->pairs_quarantined(), 0);
+  ASSERT_TRUE(resumed->Shutdown(/*stop_daemons=*/false).ok());
+  resumed.reset();
+
+  // The predecessor's leftover: a work verb at the superseded epoch 1,
+  // delivered straight onto the ctl plane by a raw bus posing as the dead
+  // coordinator process.
+  SocketBusOptions bopts;
+  bopts.local_name = "coord";
+  bopts.dial = {endpoints_.alice, endpoints_.bob, endpoints_.qp};
+  bopts.connect_timeout_ms = 5000;
+  bopts.receive_timeout_ms = 2000;
+  SocketBus zombie(bopts);
+  ASSERT_TRUE(zombie.Start().ok());
+  for (const char* role : {"alice", "bob", "qp"}) {
+    net::CtlRequest req;
+    req.verb = net::CtlVerb::kPurge;
+    req.epoch = 1;
+    net::AppendU64(7, &req.body);  // barrier id, never honored
+    zombie.Send(net::EncodeCtlRequest("coord", role, req));
+  }
+  std::map<std::string, net::CtlResponse> replies;
+  while (replies.size() < 3) {
+    auto msg = zombie.ReceiveTimeout("coord", 2000);
+    ASSERT_TRUE(msg.ok()) << msg.status().ToString();
+    if (msg->tag != net::kCtlReply) continue;
+    auto r = net::ParseCtlResponse(msg->payload);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    replies[r->role] = *r;
+  }
+  for (const auto& [role, r] : replies) {
+    EXPECT_EQ(r.verb, net::CtlVerb::kPurge) << role;
+    EXPECT_EQ(r.code, StatusCode::kFailedPrecondition) << role;
+    EXPECT_EQ(r.epoch, 2u) << role;
+    EXPECT_NE(r.detail.find("stale session epoch 1"), std::string::npos)
+        << role << ": " << r.detail;
+  }
+  // Fenced exactly once each, with the adopted epoch intact.
+  for (auto& s : services_) {
+    EXPECT_EQ(s->fenced_requests(), 1);
+    EXPECT_EQ(s->epoch(), 2u);
+  }
+  zombie.Stop();
+}
+
 // ------------------------------------------------------- comparator fleet
 
 /// Two complete shard meshes (six PartyService daemons on threads) driven by
@@ -1076,6 +1166,115 @@ TEST_F(FleetTest, KilledReplicaRebalancesOntoSurvivingShard) {
 
   // Shutdown is best-effort with a dead shard; it must not hang.
   (void)oracle->Shutdown(/*stop_daemons=*/true);
+}
+
+// The full crash-recovery arc: a shard dies mid-run, its replicas restart
+// on their old addresses with empty state, the rejoin handshake re-admits
+// them with a strictly-higher incarnation through the membership table's
+// only dead -> alive edge, the coordinator replays the setup handshake, and
+// the recovered shard receives scheduled work again — with every label
+// still the exact protocol outcome and nothing quarantined.
+TEST_F(FleetTest, RestartedShardRejoinsAndReceivesWork) {
+  StartFleet(/*receive_timeout_ms=*/300);
+  auto oracle = MakeFleetOracle(300, /*rpc_batch=*/2, /*rpc_window=*/2);
+  ASSERT_TRUE(oracle->Init().ok());
+
+  // Kill every replica of shard 1 (stop the loops, then destroy the buses:
+  // the coordinator sees the links drop, like a SIGKILLed process).
+  for (int r = 0; r < 3; ++r) {
+    const size_t i = 3 + r;
+    services_[i]->RequestStop();
+    threads_[i].join();
+    services_[i].reset();
+  }
+  const uint64_t inc_before = oracle->membership().incarnation("bob#1");
+
+  // The next batch runs entirely on the survivor; shard 1 is declared dead.
+  const auto pairs = SixPairs();
+  const auto batch = PairBatch(pairs);
+  auto labels = oracle->CompareBatch(batch);
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ((*labels)[i],
+              RecordsMatch(pairs[i].first, pairs[i].second, MixedRule())
+                  ? kPairMatch
+                  : kPairNonMatch)
+        << "pair " << i;
+  }
+  EXPECT_EQ(oracle->pairs_quarantined(), 0);
+  ASSERT_EQ(oracle->membership().state("bob#1"), net::ReplicaState::kDead);
+
+  // Restart the three replicas on their old addresses, state wiped.
+  const char* roles[3] = {"alice", "bob", "qp"};
+  for (int r = 0; r < 3; ++r) {
+    const size_t i = 3 + r;
+    PartyServiceOptions popts;
+    popts.role = roles[r];
+    popts.endpoints = shard_endpoints_[1];
+    popts.connect_timeout_ms = 10000;
+    popts.receive_timeout_ms = 300;
+    services_[i] = std::make_unique<PartyService>(popts);
+    threads_.emplace_back([this, i, s = services_[i].get()] {
+      Status started = s->Start();
+      ASSERT_TRUE(started.ok()) << started.ToString();
+      Status served = s->Serve();
+      EXPECT_TRUE(served.ok() || may_crash_[i].load()) << served.ToString();
+    });
+  }
+
+  // Rejoin offers ride the heartbeat cadence inside batch rounds, so keep
+  // feeding single-pair batches until the whole shard is alive again.
+  auto shard1_alive = [&] {
+    return oracle->membership().alive("alice#1") &&
+           oracle->membership().alive("bob#1") &&
+           oracle->membership().alive("qp#1");
+  };
+  Record a = Rec(3, 50), b = Rec(3, 55);
+  std::vector<RowPairRequest> poll(1);
+  poll[0].a_id = 7;
+  poll[0].b_id = 107;
+  poll[0].a = &a;
+  poll[0].b = &b;
+  for (int round = 0; round < 200 && !shard1_alive(); ++round) {
+    auto one = oracle->CompareBatch(poll);
+    ASSERT_TRUE(one.ok()) << one.status().ToString();
+    EXPECT_EQ((*one)[0], kPairMatch);
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  ASSERT_TRUE(shard1_alive()) << "shard 1 never rejoined";
+
+  // The resurrection went through the gated handshake: strictly higher
+  // incarnation, and the transition log shows the dead -> alive edge.
+  EXPECT_GE(oracle->membership().rejoins(), 3);
+  EXPECT_GT(oracle->membership().incarnation("bob#1"), inc_before);
+  bool resurrection_logged = false;
+  for (const auto& t : oracle->membership().transitions()) {
+    if (t.replica == "bob#1" && t.from == net::ReplicaState::kDead &&
+        t.to == net::ReplicaState::kAlive) {
+      resurrection_logged = true;
+    }
+  }
+  EXPECT_TRUE(resurrection_logged);
+
+  // And the recovered shard is really back in rotation: a fresh run spreads
+  // over both shards, the restarted daemons (counters wiped) do real work,
+  // and the labels are still bit-exact.
+  auto again = oracle->CompareBatch(batch);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ((*again)[i],
+              RecordsMatch(pairs[i].first, pairs[i].second, MixedRule())
+                  ? kPairMatch
+                  : kPairNonMatch)
+        << "pair " << i;
+  }
+  EXPECT_EQ(oracle->pairs_quarantined(), 0);
+  auto mesh = oracle->CollectStats();
+  ASSERT_TRUE(mesh.ok()) << mesh.status().ToString();
+  ASSERT_GT(mesh->per_party.count("bob#1"), 0u);
+  EXPECT_GT(mesh->per_party.at("bob#1").costs.invocations, 0);
+
+  EXPECT_TRUE(oracle->Shutdown(/*stop_daemons=*/true).ok());
 }
 
 }  // namespace

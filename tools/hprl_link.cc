@@ -9,6 +9,8 @@
 //             [--offline]
 //             [--rpc_batch N] [--rpc_window N] [--shards N]
 //             [--checkpoint drain.json]
+//             [--journal session.jnl] [--resume]
+//             [--hb_interval_ms N] [--suspect_misses N] [--dead_misses N]
 //             [--fault_seed N] [--fault_drop R] [--fault_corrupt R]
 //             [--fault_delay R] [--fault_delay_micros N] [--fault_crash R]
 //             [--transport tcp] [--parties a:p,b:p,q:p] [--party_bin PATH]
@@ -20,11 +22,17 @@
 // process by default, or across hprl_party daemons with --transport=tcp
 // (spawned locally, or joined via --parties; see README.md for the
 // three-terminal walkthrough).
+//
+// Exit codes (common/exit_codes.h): 0 success, 2 configuration/usage error,
+// 3 transport failure, 4 corrupt or mismatched persistent artifact
+// (material store / checkpoint / session journal), 1 anything else.
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 
 #include "cli/runner.h"
+#include "common/exit_codes.h"
 #include "common/flags.h"
 
 using namespace hprl;
@@ -86,6 +94,26 @@ int main(int argc, char** argv) {
       "checkpoint", "",
       "resumable SMC drain: persist progress here after every batch and "
       "resume from it on restart");
+  std::string* journal = flags.AddString(
+      "journal", "",
+      "crash-consistent session journal: record per-shard batch "
+      "dispositions here after every batch; a relaunched coordinator "
+      "resumes the drain from it at a fenced session epoch");
+  bool* resume = flags.AddBool(
+      "resume", false,
+      "require the --journal file to exist and verify; a missing or "
+      "corrupt journal fails the run instead of silently starting over");
+  double* hb_interval_ms = flags.AddDouble(
+      "hb_interval_ms", 0,
+      "tcp: membership heartbeat cadence in milliseconds (0 = the spec's)");
+  int64_t* suspect_misses = flags.AddInt(
+      "suspect_misses", 0,
+      "tcp: consecutive missed probes before a replica turns suspect "
+      "(0 = the spec's)");
+  int64_t* dead_misses = flags.AddInt(
+      "dead_misses", 0,
+      "tcp: consecutive missed probes before a replica is declared dead; "
+      "must exceed suspect_misses (0 = the spec's)");
   int64_t* fault_seed = flags.AddInt(
       "fault_seed", 0, "fault-injection schedule seed (0 = use the spec's)");
   double* fault_drop = flags.AddDouble(
@@ -142,14 +170,34 @@ int main(int argc, char** argv) {
     if (rate > 1 || (rate < 0 && rate != -1)) {
       std::fprintf(stderr,
                    "fault rates must be in [0,1] (-1 = use the spec's)\n");
-      return 2;
+      return kExitConfig;
     }
+  }
+  // std::isfinite, like the fault knobs: a NaN waves through any plain
+  // comparison chain, and "--hb_interval_ms=nan" parses.
+  if (!std::isfinite(*hb_interval_ms) || *hb_interval_ms < 0) {
+    std::fprintf(stderr,
+                 "--hb_interval_ms must be a finite non-negative "
+                 "millisecond count (0 = use the spec's)\n");
+    return kExitConfig;
+  }
+  if (*suspect_misses < 0 || *dead_misses < 0) {
+    std::fprintf(stderr,
+                 "--suspect_misses and --dead_misses must be >= 0 "
+                 "(0 = use the spec's)\n");
+    return kExitConfig;
+  }
+  if (*resume && journal->empty()) {
+    std::fprintf(stderr, "--resume requires --journal=<path>\n");
+    return kExitConfig;
   }
 
   auto spec = cli::LoadLinkageSpec(*spec_path);
   if (!spec.ok()) {
+    // Unreadable or malformed spec is a configuration error regardless of
+    // the underlying status code (IOError here means the file, not a wire).
     std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
-    return 1;
+    return kExitConfig;
   }
   cli::RunnerOptions options;
   options.links_out = *links;
@@ -176,6 +224,11 @@ int main(int argc, char** argv) {
   options.shards_override = static_cast<int>(*shards);
   options.net_emu_latency_micros = static_cast<uint32_t>(*net_emu_latency);
   options.checkpoint = *checkpoint;
+  options.journal = *journal;
+  options.resume = *resume;
+  options.hb_interval_override = static_cast<int>(*hb_interval_ms);
+  options.suspect_misses_override = static_cast<int>(*suspect_misses);
+  options.dead_misses_override = static_cast<int>(*dead_misses);
   options.fault_seed_override = *fault_seed;
   options.fault_drop_override = *fault_drop;
   options.fault_corrupt_override = *fault_corrupt;
@@ -205,7 +258,7 @@ int main(int argc, char** argv) {
   auto report = cli::RunLinkageFromFiles(*spec, *csv_r, *csv_s, options);
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
-    return 1;
+    return ExitCodeForStatus(report.status());
   }
   if (report->offline_only) {
     std::printf("offline phase complete (%s oracle): %.3fs, material ready\n",

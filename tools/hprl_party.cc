@@ -20,10 +20,15 @@
 // store, and the final metrics report is still written — so `kill <pid>`
 // loses neither the counters nor the randomizers the daemon precomputed
 // during idle time.
+//
+// Exit codes (common/exit_codes.h): 0 success, 2 configuration/usage error,
+// 3 transport failure (mesh never came up, socket I/O died), 4 corrupt or
+// mismatched crypto material, 1 anything else.
 
 #include <csignal>
 #include <cstdio>
 
+#include "common/exit_codes.h"
 #include "common/flags.h"
 #include "net/party_service.h"
 #include "obs/report.h"
@@ -137,7 +142,7 @@ int main(int argc, char** argv) {
   if (!started.ok()) {
     std::fprintf(stderr, "hprl_party %s: %s\n", role->c_str(),
                  started.ToString().c_str());
-    return 1;
+    return ExitCodeForStatus(started);
   }
   if (*shard >= 0) {
     std::printf("hprl_party %s#%lld: mesh up, listening on port %u\n",
@@ -189,7 +194,7 @@ int main(int argc, char** argv) {
   if (!served.ok()) {
     std::fprintf(stderr, "hprl_party %s: %s\n", role->c_str(),
                  served.ToString().c_str());
-    return 1;
+    return ExitCodeForStatus(served);
   }
   return 0;
 }
