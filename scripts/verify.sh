@@ -5,8 +5,18 @@
 #
 #   scripts/verify.sh            # everything
 #   scripts/verify.sh --fast     # tier-1 + smokes only (no bench/sanitizers)
+#   scripts/verify.sh --quick    # inner loop: build + `ctest -L tier1` only
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--quick" ]]; then
+  echo "== quick: configure + build + tier1-labeled ctest =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j
+  (cd build && ctest -L tier1 --output-on-failure -j)
+  echo "== quick OK (sub-second suites only; run without --quick before merging) =="
+  exit 0
+fi
 
 echo "== tier-1: configure + build + ctest =="
 cmake -B build -S . >/dev/null
@@ -157,6 +167,13 @@ echo "== chaos smoke: seeded crash/stun schedules (scripts/chaos_smoke.sh) =="
 for seed in 3 11 29; do
   scripts/chaos_smoke.sh "$seed"
 done
+
+echo "== serve smoke: 1k-delta churn stream, crash/resume + tcp fleet =="
+# Streaming service end to end (scripts/serve_smoke.sh --check): final links
+# bit-identical to a one-batch replay, mid-stream coordinator SIGKILL
+# recovered by --resume with zero lost/duplicated verdicts, and the measured
+# throughput/p99 held against the committed `streaming` bench block.
+scripts/serve_smoke.sh --check
 
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipped sanitizer passes and bench check (--fast) =="

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "anon/release_io.h"
+#include "cli/plan.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/experiment.h"
@@ -21,147 +22,6 @@
 namespace hprl::cli {
 
 namespace {
-
-/// Everything derived from the spec that both input files share.
-struct Plan {
-  SchemaPtr schema;                 // QID attrs in spec order (+class/+sensitive)
-  std::vector<VghPtr> hierarchies;  // per QID (nullptr for text)
-  MatchRule rule;
-  AnonymizerConfig anon_cfg;
-};
-
-Result<Plan> BuildPlan(const LinkageSpec& spec, const RawCsv& raw_r,
-                       const RawCsv& raw_s) {
-  Plan plan;
-  auto schema = std::make_shared<Schema>();
-
-  for (const AttrSpec& attr : spec.attrs) {
-    switch (attr.type) {
-      case AttrType::kNumeric: {
-        auto vgh = attr.vgh_file.empty()
-                       ? MakeEquiWidthVgh(attr.lo, attr.leaf_width,
-                                          attr.fanouts)
-                       : LoadNumericVgh(attr.vgh_file);
-        if (!vgh.ok()) return vgh.status();
-        plan.hierarchies.push_back(
-            std::make_shared<const Vgh>(std::move(vgh).value()));
-        schema->AddNumeric(attr.name);
-        break;
-      }
-      case AttrType::kCategorical: {
-        auto vgh = LoadCategoricalVgh(attr.vgh_file);
-        if (!vgh.ok()) return vgh.status();
-        auto shared = std::make_shared<const Vgh>(std::move(vgh).value());
-        schema->AddCategorical(attr.name, shared->MakeDomain());
-        plan.hierarchies.push_back(shared);
-        break;
-      }
-      case AttrType::kText:
-        schema->AddText(attr.name);
-        plan.hierarchies.push_back(nullptr);
-        break;
-    }
-  }
-
-  // Extra (non-QID) columns named by the spec: collect their categories from
-  // both inputs so ids are consistent.
-  auto add_extra = [&](const std::string& name) -> Status {
-    if (name.empty() || schema->FindIndex(name) >= 0) return Status::OK();
-    auto domain = std::make_shared<CategoryDomain>();
-    for (const RawCsv* raw : {&raw_r, &raw_s}) {
-      int col = raw->FindColumn(name);
-      if (col < 0) {
-        return Status::NotFound("column missing from CSV: " + name);
-      }
-      for (const auto& row : raw->rows) domain->GetOrAdd(row[col]);
-    }
-    schema->AddCategorical(name, domain);
-    return Status::OK();
-  };
-  HPRL_RETURN_IF_ERROR(add_extra(spec.class_attr));
-  HPRL_RETURN_IF_ERROR(add_extra(spec.sensitive_attr));
-  plan.schema = schema;
-
-  // Match rule over the QIDs.
-  for (size_t i = 0; i < spec.attrs.size(); ++i) {
-    AttrRule r;
-    r.attr_index = static_cast<int>(i);
-    r.type = spec.attrs[i].type;
-    r.theta = spec.attrs[i].theta;
-    r.name = spec.attrs[i].name;
-    if (r.type == AttrType::kNumeric) {
-      r.norm = plan.hierarchies[i]->RootRange();
-    }
-    plan.rule.attrs.push_back(std::move(r));
-  }
-
-  // Anonymizer configuration.
-  plan.anon_cfg.k = spec.k;
-  for (size_t i = 0; i < spec.attrs.size(); ++i) {
-    plan.anon_cfg.qid_attrs.push_back(static_cast<int>(i));
-    plan.anon_cfg.hierarchies.push_back(plan.hierarchies[i]);
-  }
-  if (!spec.class_attr.empty()) {
-    plan.anon_cfg.class_attr = plan.schema->FindIndex(spec.class_attr);
-  }
-  if (!spec.sensitive_attr.empty()) {
-    plan.anon_cfg.sensitive_attr = plan.schema->FindIndex(spec.sensitive_attr);
-    plan.anon_cfg.l_diversity = spec.l_diversity;
-  }
-  return plan;
-}
-
-/// Converts one raw CSV into a typed table under the plan's schema, locating
-/// columns by header name.
-Result<Table> Typed(const RawCsv& raw, const Plan& plan,
-                    const std::string& which) {
-  const Schema& schema = *plan.schema;
-  std::vector<int> col(schema.num_attributes());
-  for (int i = 0; i < schema.num_attributes(); ++i) {
-    col[i] = raw.FindColumn(schema.attribute(i).name);
-    if (col[i] < 0) {
-      return Status::NotFound(which + ": column missing from CSV: " +
-                              schema.attribute(i).name);
-    }
-  }
-  Table table(plan.schema);
-  table.Reserve(static_cast<int64_t>(raw.rows.size()));
-  for (size_t r = 0; r < raw.rows.size(); ++r) {
-    Record rec(schema.num_attributes());
-    for (int i = 0; i < schema.num_attributes(); ++i) {
-      const std::string& f = raw.rows[r][col[i]];
-      const AttributeDef& attr = schema.attribute(i);
-      switch (attr.type) {
-        case AttrType::kNumeric: {
-          auto v = ParseDouble(f);
-          if (!v.ok()) {
-            return Status::InvalidArgument(
-                StrFormat("%s row %zu: bad numeric '%s' for %s", which.c_str(),
-                          r + 1, f.c_str(), attr.name.c_str()));
-          }
-          rec[i] = Value::Numeric(*v);
-          break;
-        }
-        case AttrType::kCategorical: {
-          int32_t id = attr.domain->Find(f);
-          if (id < 0) {
-            return Status::NotFound(
-                StrFormat("%s row %zu: '%s' is not a leaf of %s's hierarchy",
-                          which.c_str(), r + 1, f.c_str(),
-                          attr.name.c_str()));
-          }
-          rec[i] = Value::Category(id);
-          break;
-        }
-        case AttrType::kText:
-          rec[i] = Value::Text(f);
-          break;
-      }
-    }
-    table.AppendUnchecked(std::move(rec));
-  }
-  return table;
-}
 
 Status WriteLinksCsv(const std::string& path, const Table& r, const Table& s,
                      const HybridResult& result) {
@@ -238,7 +98,7 @@ Result<RunnerReport> RunLinkageFromFiles(const LinkageSpec& spec,
   if (!raw_r.ok()) return raw_r.status();
   auto raw_s = ReadCsvRaw(csv_s);
   if (!raw_s.ok()) return raw_s.status();
-  auto plan = BuildPlan(spec, *raw_r, *raw_s);
+  auto plan = BuildPlan(spec, &*raw_r, &*raw_s);
   if (!plan.ok()) return plan.status();
 
   auto table_r = Typed(*raw_r, *plan, "R");

@@ -233,6 +233,17 @@ Result<LinkageSpec> ParseLinkageSpec(const std::string& text,
           return err("unknown fault directive: " + kind);
         }
       }
+    } else if (key == "serve_allowance" || key == "serve_queue") {
+      if (tok.size() != 2) return err(key + " needs a value");
+      auto v = ParseInt(tok[1]);
+      if (!v.ok() || *v < 0) return err("bad " + key);
+      (key == "serve_allowance" ? spec.serve_allowance : spec.serve_queue) =
+          *v;
+    } else if (key == "serve_gen_level") {
+      if (tok.size() != 2) return err("serve_gen_level needs a value");
+      auto v = ParseInt(tok[1]);
+      if (!v.ok() || *v < 0) return err("bad serve_gen_level");
+      spec.serve_gen_level = static_cast<int>(*v);
     } else if (key == "threads" || key == "smc_threads") {
       if (tok.size() != 2) return err(key + " needs a value");
       int parsed = 0;

@@ -51,6 +51,9 @@ struct AttrSpec {
 ///   hb_interval 250      # TCP: membership heartbeat cadence, milliseconds
 ///   suspect_misses 2     # TCP: missed probes before alive -> suspect
 ///   dead_misses 4        # TCP: missed probes before dead (> suspect_misses)
+///   serve_allowance 5000 # streaming: per-tenant SMC allowance in pairs
+///   serve_queue 1024     # streaming: queued deltas per tenant (0 = reject)
+///   serve_gen_level 1    # streaming: VGH levels lifted above the leaves
 ///   fault seed 11        # deterministic fault-injection schedule (smc/fault.h)
 ///   fault drop 0.25      # rates are per protocol step, in [0,1]
 ///   fault corrupt 0.25
@@ -113,6 +116,15 @@ struct LinkageSpec {
   int hb_interval_ms = 250;
   int suspect_misses = 2;
   int dead_misses = 4;
+
+  /// Streaming service knobs (hprl_link --serve; docs/SERVICE.md): each
+  /// tenant's SMC allowance in pairs (admission control), the per-tenant
+  /// queue capacity for inadmissible deltas (0 = reject instead of queue),
+  /// and the VGH levels every delta attribute is generalized above its leaf
+  /// (the streaming stand-in for the batch anonymizer's release schema).
+  int64_t serve_allowance = 1'000'000;
+  int64_t serve_queue = 1024;
+  int serve_gen_level = 1;
 
   /// Fault-injection schedule for the SMC transport (smc::FaultPlan); all
   /// rates zero (the default) leaves the transport undecorated.

@@ -68,6 +68,20 @@ Status Corrupt(const std::string& path, const std::string& what) {
                                     what + "; refusing to resume from it");
 }
 
+void PutString(const std::string& s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+bool GetString(const std::string& buf, size_t* off, std::string* s) {
+  uint32_t n = 0;
+  if (!GetU32(buf, off, &n) || n > kMaxEntries) return false;
+  if (*off + n > buf.size()) return false;
+  s->assign(buf, *off, n);
+  *off += n;
+  return true;
+}
+
 }  // namespace
 
 Status SaveSessionJournal(const std::string& path, const SessionJournal& j) {
@@ -178,6 +192,118 @@ Result<SessionJournal> LoadSessionJournal(const std::string& path) {
       return Corrupt(path, "truncated");
     }
     j.matched_row_pairs.emplace_back(a, b);
+  }
+  if (off != payload.size()) {
+    return Corrupt(path, "oversized (trailing bytes)");
+  }
+  return j;
+}
+
+namespace {
+constexpr char kServeMagic[8] = {'H', 'P', 'R', 'L', 'S', 'R', 'V', '1'};
+constexpr uint32_t kServeVersion = 1;
+}  // namespace
+
+Status SaveServeJournal(const std::string& path, const ServeJournal& j) {
+  std::string body(kServeMagic, sizeof(kServeMagic));
+  PutU32(kServeVersion, &body);
+  PutU64(j.fingerprint, &body);
+  PutU64(j.epoch, &body);
+  PutI64(j.settled_deltas, &body);
+  PutI64(j.quarantined, &body);
+  PutU32(static_cast<uint32_t>(j.tenants.size()), &body);
+  for (const ServeTenantState& t : j.tenants) {
+    PutString(t.name, &body);
+    PutI64(t.allowance_remaining, &body);
+    PutI64(t.smc_pairs_spent, &body);
+    PutU32(static_cast<uint32_t>(t.links.size()), &body);
+    for (const auto& [a, b] : t.links) {
+      PutI64(a, &body);
+      PutI64(b, &body);
+    }
+  }
+  PutU32(Fnv1a(body), &body);
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot write journal temp file: " + tmp);
+    }
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    if (!out.good()) {
+      return Status::IOError("short write on journal temp file: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("cannot rename journal into place: " + path);
+  }
+  return Status::OK();
+}
+
+Result<ServeJournal> LoadServeJournal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("no serve journal at " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string body = buf.str();
+
+  if (body.size() < sizeof(kServeMagic) + 4 /*version*/ + 4 /*crc*/) {
+    return Corrupt(path, "truncated");
+  }
+  const std::string payload = body.substr(0, body.size() - 4);
+  size_t crc_off = body.size() - 4;
+  uint32_t crc = 0;
+  if (!GetU32(body, &crc_off, &crc) || crc != Fnv1a(payload)) {
+    return Corrupt(path, "corrupt (checksum mismatch)");
+  }
+  if (body.compare(0, sizeof(kServeMagic), kServeMagic,
+                   sizeof(kServeMagic)) != 0) {
+    return Corrupt(path, "not a serve journal (bad magic)");
+  }
+
+  size_t off = sizeof(kServeMagic);
+  uint32_t version = 0;
+  if (!GetU32(payload, &off, &version) || version != kServeVersion) {
+    return Corrupt(path, "an unknown journal version");
+  }
+  ServeJournal j;
+  uint32_t n_tenants = 0;
+  if (!GetU64(payload, &off, &j.fingerprint) ||
+      !GetU64(payload, &off, &j.epoch) ||
+      !GetI64(payload, &off, &j.settled_deltas) ||
+      !GetI64(payload, &off, &j.quarantined) ||
+      !GetU32(payload, &off, &n_tenants) || n_tenants > kMaxEntries) {
+    return Corrupt(path, "truncated");
+  }
+  if (j.settled_deltas < 0 || j.quarantined < 0) {
+    return Corrupt(path, "inconsistent (negative counts)");
+  }
+  j.tenants.reserve(n_tenants);
+  for (uint32_t i = 0; i < n_tenants; ++i) {
+    ServeTenantState t;
+    uint32_t n_links = 0;
+    if (!GetString(payload, &off, &t.name) ||
+        !GetI64(payload, &off, &t.allowance_remaining) ||
+        !GetI64(payload, &off, &t.smc_pairs_spent) ||
+        !GetU32(payload, &off, &n_links) || n_links > kMaxEntries) {
+      return Corrupt(path, "truncated");
+    }
+    if (t.smc_pairs_spent < 0) {
+      return Corrupt(path, "inconsistent (negative spend)");
+    }
+    t.links.reserve(n_links);
+    for (uint32_t k = 0; k < n_links; ++k) {
+      int64_t a = 0;
+      int64_t b = 0;
+      if (!GetI64(payload, &off, &a) || !GetI64(payload, &off, &b)) {
+        return Corrupt(path, "truncated");
+      }
+      t.links.emplace_back(a, b);
+    }
+    j.tenants.push_back(std::move(t));
   }
   if (off != payload.size()) {
     return Corrupt(path, "oversized (trailing bytes)");

@@ -51,6 +51,42 @@ Status SaveSessionJournal(const std::string& path, const SessionJournal& j);
 /// a corrupt journal is rejected whole, never partially resumed.
 Result<SessionJournal> LoadSessionJournal(const std::string& path);
 
+/// Per-tenant durable state of one streaming service tenant (serve
+/// subsystem). `links` holds the settled (row_r, row_s) pairs in sorted
+/// order — the replay oracle for crash recovery (docs/SERVICE.md).
+struct ServeTenantState {
+  std::string name;
+  int64_t allowance_remaining = 0;
+  int64_t smc_pairs_spent = 0;
+  std::vector<std::pair<int64_t, int64_t>> links;
+};
+
+/// Streaming-service journal — the serve counterpart of SessionJournal,
+/// written atomically after every settled delta. `settled_deltas` is the
+/// resume position in the delta stream: a relaunched service replays deltas
+/// [0, settled_deltas) with straddling pairs resolved against the journaled
+/// link sets (no SMC spend), re-deriving queue contents and allowance
+/// remainders deterministically, then continues live at `epoch + 1`.
+///
+/// Same durability contract as SessionJournal: binary `HPRLSRV1`, FNV-1a
+/// checksum over the whole body, atomic tmp+rename, fingerprint-bound (the
+/// fingerprint folds the run config and the delta stream bytes, so a journal
+/// can never be replayed against a different stream).
+struct ServeJournal {
+  uint64_t fingerprint = 0;
+  uint64_t epoch = 1;
+  int64_t settled_deltas = 0;  ///< deltas whose admission outcome settled
+  int64_t quarantined = 0;     ///< U pairs the oracle could not label
+  std::vector<ServeTenantState> tenants;  ///< name-sorted
+};
+
+/// Atomically persists `j` in the checksummed `HPRLSRV1` binary format.
+Status SaveServeJournal(const std::string& path, const ServeJournal& j);
+
+/// Loads and verifies a serve journal. NotFound when no file exists;
+/// FailedPrecondition on any damage (rejected whole, like SessionJournal).
+Result<ServeJournal> LoadServeJournal(const std::string& path);
+
 }  // namespace hprl
 
 #endif  // HPRL_CORE_JOURNAL_H_

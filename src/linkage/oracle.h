@@ -94,6 +94,30 @@ class MatchOracle {
   virtual void AttachMetrics(obs::MetricsRegistry* registry) {
     (void)registry;
   }
+
+  // -------------------------------------------------------------------------
+  // Resident rows (streaming service). A long-lived caller may announce rows
+  // once so distributed oracles can hold the encoded form resident at the
+  // comparator parties and later reference pairs by (side, row_id) alone —
+  // the wire v6 `delta`/`drain` plane (docs/SERVICE.md). side 0 is R, 1 is S.
+  // In-process oracles get the full records with every CompareBatch call
+  // anyway, so the defaults are no-ops.
+
+  /// Announces (or replaces) a resident row. The record is copied.
+  virtual Status PushResidentRow(int side, int64_t row_id,
+                                 const Record& record) {
+    (void)side, (void)row_id, (void)record;
+    return Status::OK();
+  }
+
+  /// Forgets a resident row (absent is not an error).
+  virtual Status EraseResidentRow(int side, int64_t row_id) {
+    (void)side, (void)row_id;
+    return Status::OK();
+  }
+
+  /// Drops every resident row on every party.
+  virtual Status DrainResidentRows() { return Status::OK(); }
 };
 
 /// Exact in-the-clear oracle with invocation accounting.

@@ -93,25 +93,6 @@ SlackVerdict ClassifySlack(const SlackBounds& sb, double theta) {
 
 namespace {
 
-/// Strict weak ordering over GenValues of one attribute (one type), for the
-/// interning maps. Only the fields that AttrSlack reads participate, so two
-/// values comparing equivalent are guaranteed slack-identical.
-struct GenValueLess {
-  bool operator()(const GenValue& a, const GenValue& b) const {
-    if (a.type != b.type) return a.type < b.type;
-    switch (a.type) {
-      case AttrType::kCategorical:
-        return std::tie(a.cat_lo, a.cat_hi) < std::tie(b.cat_lo, b.cat_hi);
-      case AttrType::kNumeric:
-        return std::tie(a.num_lo, a.num_hi) < std::tie(b.num_lo, b.num_hi);
-      case AttrType::kText:
-        return std::tie(a.text_exact, a.text_prefix) <
-               std::tie(b.text_exact, b.text_prefix);
-    }
-    return false;
-  }
-};
-
 /// Interns attribute `attr` of every sequence: fills `ids` with one value id
 /// per sequence and returns the distinct values in id order.
 std::vector<GenValue> InternAttr(const std::vector<const GenSequence*>& seqs,
@@ -163,6 +144,76 @@ PairLabel SlackTable::Decide(size_t r, size_t s, int64_t* lookups) const {
     SlackVerdict v =
         verdicts_[i][static_cast<size_t>(r_ids_[i][r]) * stride_[i] +
                      static_cast<size_t>(s_ids_[i][s])];
+    ++examined;
+    if (v == SlackVerdict::kAbove) {
+      label = PairLabel::kMismatch;
+      all_below = false;
+      break;  // early mismatch exit, mirroring SlackDecide
+    }
+    if (v == SlackVerdict::kStraddles) all_below = false;
+  }
+  if (lookups != nullptr) *lookups += examined;
+  if (label == PairLabel::kMismatch) return label;
+  return all_below ? PairLabel::kMatch : PairLabel::kUnknown;
+}
+
+DynamicSlackTable::DynamicSlackTable(MatchRule rule)
+    : rule_(std::move(rule)), attrs_(rule_.num_attrs()) {}
+
+DynamicSlackTable::ValueIds DynamicSlackTable::InternR(const GenSequence& seq) {
+  HPRL_CHECK(static_cast<int>(seq.size()) == rule_.num_attrs());
+  ValueIds ids(attrs_.size());
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    AttrState& st = attrs_[i];
+    auto [it, fresh] =
+        st.r_interned.emplace(seq[i], static_cast<int32_t>(st.r_vals.size()));
+    if (fresh) {
+      // New R value: one full verdict row against every interned S value.
+      st.r_vals.push_back(seq[i]);
+      const AttrRule& attr = rule_.attrs[i];
+      std::vector<SlackVerdict> row(st.s_vals.size());
+      for (size_t b = 0; b < st.s_vals.size(); ++b) {
+        row[b] = ClassifySlack(AttrSlack(seq[i], st.s_vals[b], attr),
+                               attr.theta);
+      }
+      entries_computed_ += static_cast<int64_t>(row.size());
+      st.rows.push_back(std::move(row));
+    }
+    ids[i] = it->second;
+  }
+  return ids;
+}
+
+DynamicSlackTable::ValueIds DynamicSlackTable::InternS(const GenSequence& seq) {
+  HPRL_CHECK(static_cast<int>(seq.size()) == rule_.num_attrs());
+  ValueIds ids(attrs_.size());
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    AttrState& st = attrs_[i];
+    auto [it, fresh] =
+        st.s_interned.emplace(seq[i], static_cast<int32_t>(st.s_vals.size()));
+    if (fresh) {
+      // New S value: append one verdict column across every interned R row.
+      st.s_vals.push_back(seq[i]);
+      const AttrRule& attr = rule_.attrs[i];
+      for (size_t a = 0; a < st.r_vals.size(); ++a) {
+        st.rows[a].push_back(
+            ClassifySlack(AttrSlack(st.r_vals[a], seq[i], attr), attr.theta));
+      }
+      entries_computed_ += static_cast<int64_t>(st.r_vals.size());
+    }
+    ids[i] = it->second;
+  }
+  return ids;
+}
+
+PairLabel DynamicSlackTable::Decide(const ValueIds& r, const ValueIds& s,
+                                    int64_t* lookups) const {
+  bool all_below = true;
+  int examined = 0;
+  PairLabel label = PairLabel::kMatch;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    SlackVerdict v =
+        attrs_[i].rows[static_cast<size_t>(r[i])][static_cast<size_t>(s[i])];
     ++examined;
     if (v == SlackVerdict::kAbove) {
       label = PairLabel::kMismatch;

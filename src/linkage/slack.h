@@ -2,7 +2,9 @@
 #define HPRL_LINKAGE_SLACK_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "hierarchy/genvalue.h"
@@ -51,6 +53,25 @@ enum class SlackVerdict : uint8_t { kBelow, kStraddles, kAbove };
 /// ClassifySlack(AttrSlack(v, w, rule), θ) as used by SlackDecide.
 SlackVerdict ClassifySlack(const SlackBounds& sb, double theta);
 
+/// Strict weak ordering over GenValues of one attribute (one type), for the
+/// interning maps. Only the fields that AttrSlack reads participate, so two
+/// values comparing equivalent are guaranteed slack-identical.
+struct GenValueLess {
+  bool operator()(const GenValue& a, const GenValue& b) const {
+    if (a.type != b.type) return a.type < b.type;
+    switch (a.type) {
+      case AttrType::kCategorical:
+        return std::tie(a.cat_lo, a.cat_hi) < std::tie(b.cat_lo, b.cat_hi);
+      case AttrType::kNumeric:
+        return std::tie(a.num_lo, a.num_hi) < std::tie(b.num_lo, b.num_hi);
+      case AttrType::kText:
+        return std::tie(a.text_exact, a.text_prefix) <
+               std::tie(b.text_exact, b.text_prefix);
+    }
+    return false;
+  }
+};
+
 /// Memoized slack decisions over two sets of generalization sequences.
 ///
 /// A k-anonymized release reuses a small vocabulary of distinct GenValues
@@ -89,6 +110,61 @@ class SlackTable {
   // [attr] row-major |V_i^R| x |V_i^S| verdict matrix and its row stride.
   std::vector<std::vector<SlackVerdict>> verdicts_;
   std::vector<size_t> stride_;
+  int64_t entries_computed_ = 0;
+};
+
+/// Growable memoized slack store for streaming workloads: the incremental
+/// counterpart to SlackTable. Instead of interning two fixed sequence sets up
+/// front, callers intern sequences one at a time as records arrive and get
+/// back per-attribute value-id handles; Decide on two handles is bit-identical
+/// to SlackDecide on the underlying sequences (same lookup order, same early
+/// kAbove exit as SlackTable::Decide).
+///
+/// A new R-side value computes one verdict row against every interned S value
+/// (and vice versa), so an insert touching only already-seen vocabulary costs
+/// zero slack evaluations — the property that makes delta re-blocking O(n)
+/// in records rather than O(n²) re-sweeps (docs/SERVICE.md).
+///
+/// Not thread-safe: Intern mutates; callers serialize (LinkageService does).
+class DynamicSlackTable {
+ public:
+  /// One interned value id per rule attribute — the handle for one sequence.
+  using ValueIds = std::vector<int32_t>;
+
+  explicit DynamicSlackTable(MatchRule rule);
+
+  /// Interns every attribute of `seq` (one GenValue per rule attribute) on
+  /// the R (left) or S (right) side, computing any missing verdict rows or
+  /// columns. Re-interning an already-seen value is free and returns the
+  /// same ids.
+  ValueIds InternR(const GenSequence& seq);
+  ValueIds InternS(const GenSequence& seq);
+
+  /// Label of an (R handle, S handle) pair; identical to SlackDecide on the
+  /// sequences the handles were interned from. `lookups` (optional)
+  /// accumulates memoized-lookup counts as in SlackTable::Decide.
+  PairLabel Decide(const ValueIds& r, const ValueIds& s,
+                   int64_t* lookups = nullptr) const;
+
+  /// Distinct (value-pair, attribute) slack evaluations computed so far.
+  int64_t entries_computed() const { return entries_computed_; }
+
+  const MatchRule& rule() const { return rule_; }
+
+ private:
+  // Per-attribute interning + verdict state. `rows` is indexed
+  // [r_value_id][s_value_id]; rows grow with R values, each row grows with
+  // S values.
+  struct AttrState {
+    std::map<GenValue, int32_t, GenValueLess> r_interned;
+    std::map<GenValue, int32_t, GenValueLess> s_interned;
+    std::vector<GenValue> r_vals;
+    std::vector<GenValue> s_vals;
+    std::vector<std::vector<SlackVerdict>> rows;
+  };
+
+  MatchRule rule_;
+  std::vector<AttrState> attrs_;
   int64_t entries_computed_ = 0;
 };
 

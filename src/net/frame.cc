@@ -264,6 +264,10 @@ const char* CtlVerbTag(CtlVerb verb) {
       return "warmup";
     case CtlVerb::kRejoin:
       return "rejoin";
+    case CtlVerb::kDelta:
+      return "delta";
+    case CtlVerb::kDrain:
+      return "drain";
   }
   return "unknown";  // unreachable: the switch above is exhaustive
 }

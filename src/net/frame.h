@@ -31,7 +31,11 @@ namespace hprl::net {
 /// in-process transport.
 
 inline constexpr uint32_t kWireMagic = 0x4850524C;  // "HPRL"
-/// Version 5: crash-consistent recovery — every ctl request and response
+/// Version 6: resident tables for the streaming service — the kDelta verb
+/// pushes (or erases) one row's encoded attributes so daemons hold tables
+/// resident between requests, pair commands may then reference rows by id
+/// alone (a sentinel attribute count), and kDrain drops every resident row.
+/// Version 5 added crash-consistent recovery: every ctl request and response
 /// carries a session-epoch fencing token (work verbs from a superseded
 /// epoch are rejected, never executed), and the kRejoin verb lets a
 /// restarted daemon re-enter the fleet with a strictly-higher incarnation.
@@ -40,7 +44,7 @@ inline constexpr uint32_t kWireMagic = 0x4850524C;  // "HPRL"
 /// ctl verbs a typed enum with ":hb" heartbeat probes; version 2 added the
 /// batched pair command and the randomizer pool depth. Mixed-version
 /// meshes are rejected at the frame layer.
-inline constexpr uint16_t kWireVersion = 5;
+inline constexpr uint16_t kWireVersion = 6;
 
 /// Frames larger than this are rejected before any allocation — an oversized
 /// length prefix means a corrupted or hostile stream, not a big message
@@ -118,10 +122,23 @@ enum class CtlVerb : uint8_t {
   kRejoin = 11,     ///< re-admit a restarted daemon: adopt the coordinator's
                     ///  session epoch and bump past its last-seen
                     ///  incarnation ("rejoin")
+  kDelta = 12,      ///< push or erase one resident row's encoded attributes
+                    ///  so pair commands can reference it by id ("delta")
+  kDrain = 13,      ///< drop every resident row ("drain")
 };
 
 /// Number of verbs; ParseCtlResponse rejects verb bytes at or above this.
-inline constexpr uint8_t kCtlVerbCount = 12;
+inline constexpr uint8_t kCtlVerbCount = 14;
+
+/// Sentinel attribute count in kPair/kPairBatch entries: the pair's operands
+/// are not inline — resolve them from the resident table pushed by kDelta
+/// (wire v6; a miss is FailedPrecondition, the coordinator only emits the
+/// sentinel for rows it successfully pushed).
+inline constexpr uint32_t kResidentPairSentinel = 0xFFFFFFFFu;
+
+/// kDelta body op byte: upsert (attrs follow) or erase (row id only).
+inline constexpr uint8_t kDeltaOpUpsert = 1;
+inline constexpr uint8_t kDeltaOpErase = 2;
 
 /// The verb's wire tag. Exhaustive switch: a new enum value that is not
 /// given a tag here fails to compile.

@@ -204,10 +204,14 @@ bool PartyService::EpochFenced(CtlVerb verb, uint64_t epoch) const {
     case CtlVerb::kPairBatch:
     case CtlVerb::kPurge:
     case CtlVerb::kWarmup:
+    case CtlVerb::kDelta:
+    case CtlVerb::kDrain:
       // Work verbs execute only under the exact configured epoch: a frame
       // the crashed coordinator left in flight (lower epoch) must never run
       // a pair, and a future-epoch frame reached a daemon that missed the
-      // reconfiguration and has no matching protocol state.
+      // reconfiguration and has no matching protocol state. Resident-table
+      // mutations are work too: a stale delta must not resurrect a row the
+      // new session's coordinator never pushed.
       return epoch != epoch_;
   }
   return true;  // unreachable: the switch above is exhaustive
@@ -269,7 +273,12 @@ Status PartyService::Dispatch(CtlVerb verb, uint64_t epoch,
   switch (verb) {
     case CtlVerb::kConfigure: {
       Status st = HandleConfigure(msg.payload);
-      if (st.ok()) epoch_ = epoch;  // a successful cfg adopts the epoch
+      if (st.ok()) {
+        epoch_ = epoch;  // a successful cfg adopts the epoch
+        // A new session's resident table starts empty; the coordinator
+        // replays its pushes after cfg (rejoin) or as deltas arrive (serve).
+        resident_.clear();
+      }
       std::vector<uint8_t> extra;
       AppendU64(incarnation_, &extra);
       Reply(CtlVerb::kConfigure, 0, 0, st, 0, std::move(extra));
@@ -414,6 +423,50 @@ Status PartyService::Dispatch(CtlVerb verb, uint64_t epoch,
       }
       Reply(CtlVerb::kInjectFail, 0, 0, st, 0, {});
       return st;
+    }
+    case CtlVerb::kDelta: {
+      size_t off = 0;
+      auto op = ConsumeU8(msg.payload, &off);
+      auto side = op.ok() ? ConsumeU8(msg.payload, &off) : op;
+      auto row_id = side.ok() ? ConsumeI64(msg.payload, &off)
+                              : Result<int64_t>(side.status());
+      Status st = row_id.ok() ? Status::OK() : row_id.status();
+      if (st.ok() && !configured_) {
+        st = Status::FailedPrecondition("delta before cfg");
+      }
+      if (st.ok() && *side > 1) {
+        st = Status::InvalidArgument("delta side must be 0 (R) or 1 (S)");
+      }
+      if (st.ok()) {
+        if (*op == kDeltaOpUpsert) {
+          auto n = ConsumeU32(msg.payload, &off);
+          st = n.ok() ? Status::OK() : n.status();
+          if (st.ok()) {
+            std::vector<PairAttr> attrs;
+            st = ConsumeAttrs(msg.payload, &off, *n, &attrs);
+            if (st.ok()) resident_[{*side, *row_id}] = std::move(attrs);
+          }
+        } else if (*op == kDeltaOpErase) {
+          resident_.erase({*side, *row_id});
+        } else {
+          st = Status::InvalidArgument("unknown delta op byte");
+        }
+      }
+      std::vector<uint8_t> extra;
+      AppendU64(static_cast<uint64_t>(resident_.size()), &extra);
+      // The ack's correlation id is the row id, so the coordinator can
+      // match it the way pair acks match their pair index.
+      Reply(CtlVerb::kDelta, row_id.ok() ? static_cast<uint64_t>(*row_id) : 0,
+            0, st, 0, std::move(extra));
+      return st;
+    }
+    case CtlVerb::kDrain: {
+      uint64_t dropped = static_cast<uint64_t>(resident_.size());
+      resident_.clear();
+      std::vector<uint8_t> extra;
+      AppendU64(dropped, &extra);
+      Reply(CtlVerb::kDrain, 0, 0, Status::OK(), 0, std::move(extra));
+      return Status::OK();
     }
     case CtlVerb::kHeartbeat: {
       // Probes normally arrive on ":hb" and are answered by
@@ -607,7 +660,11 @@ Result<PartyService::PairCmd> PartyService::ParsePair(
   cmd.attempt = *attempt;
   cmd.a_id = *a_id;
   cmd.b_id = *b_id;
-  HPRL_RETURN_IF_ERROR(ConsumeAttrs(payload, &off, *n, &cmd.attrs));
+  if (*n == kResidentPairSentinel) {
+    HPRL_RETURN_IF_ERROR(ResolveResident(cmd.a_id, cmd.b_id, &cmd.attrs));
+  } else {
+    HPRL_RETURN_IF_ERROR(ConsumeAttrs(payload, &off, *n, &cmd.attrs));
+  }
   return cmd;
 }
 
@@ -638,10 +695,30 @@ Result<PartyService::BatchCmd> PartyService::ParsePairBatch(
     pair.pair_index = *pair_index;
     pair.a_id = *a_id;
     pair.b_id = *b_id;
-    HPRL_RETURN_IF_ERROR(ConsumeAttrs(payload, &off, *n, &pair.attrs));
+    if (*n == kResidentPairSentinel) {
+      HPRL_RETURN_IF_ERROR(ResolveResident(pair.a_id, pair.b_id, &pair.attrs));
+    } else {
+      HPRL_RETURN_IF_ERROR(ConsumeAttrs(payload, &off, *n, &pair.attrs));
+    }
     cmd.pairs.push_back(std::move(pair));
   }
   return cmd;
+}
+
+Status PartyService::ResolveResident(int64_t a_id, int64_t b_id,
+                                     std::vector<PairAttr>* attrs) const {
+  const bool is_alice = opts_.role == opts_.endpoints.alice.name;
+  const uint8_t side = is_alice ? 0 : 1;
+  const int64_t row = is_alice ? a_id : b_id;
+  auto it = resident_.find({side, row});
+  if (it == resident_.end()) {
+    return Status::FailedPrecondition(
+        "resident row (side " + std::to_string(side) + ", id " +
+        std::to_string(row) + ") missing on " + opts_.role +
+        "; the table was never pushed or was lost with a restart");
+  }
+  *attrs = it->second;
+  return Status::OK();
 }
 
 Status PartyService::HandlePair(const PairCmd& cmd, uint8_t* label) {

@@ -3,8 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "crypto/material.h"
@@ -191,6 +193,14 @@ class PartyService {
   /// Shared attribute-list tail of kPair and each kPairBatch entry.
   Status ConsumeAttrs(const std::vector<uint8_t>& payload, size_t* off,
                       uint32_t n, std::vector<PairAttr>* attrs) const;
+  /// Resolves a kResidentPairSentinel pair's operands from the resident
+  /// table (wire v6): alice keys on the pair's R row, bob and qp on its S
+  /// row — exactly the rows whose role-dependent encodings kDelta pushed.
+  /// A miss is FailedPrecondition: the coordinator only emits the sentinel
+  /// for rows it successfully pushed, so a miss means lost daemon state
+  /// (e.g. a restart), which the rejoin replay repairs.
+  Status ResolveResident(int64_t a_id, int64_t b_id,
+                         std::vector<PairAttr>* attrs) const;
   void Reply(CtlVerb verb, uint64_t id, uint32_t attempt, const Status& st,
              uint8_t label, std::vector<uint8_t> extra);
 
@@ -237,6 +247,13 @@ class PartyService {
   smc::SmcCosts costs_;
   uint32_t fail_next_pairs_ = 0;  // kInjectFail
   bool crash_on_fault_ = false;   // kInjectFail crash flag: die, don't fail
+
+  /// Resident rows pushed by kDelta, keyed by (side, row id) — side 0 is the
+  /// R table, 1 is S. Each entry holds this role's encoded attribute list in
+  /// the same PairAttr form an inline pair command would carry, so a
+  /// sentinel pair costs one map lookup instead of a re-shipped payload.
+  /// Cleared by kConfigure (new session) and kDrain.
+  std::map<std::pair<uint8_t, int64_t>, std::vector<PairAttr>> resident_;
 };
 
 }  // namespace hprl::net

@@ -142,6 +142,11 @@ void RemoteSmcOracle::HandleRejoinAck(int shard, const CtlResponse& r) {
   // keys make this safe mid-run; the daemon re-warms from its role-scoped
   // material store during recvkey). Only then is the shard schedulable.
   Status replayed = SetupShards({shard});
+  // The handshake rebuilt keys but the resident table started empty
+  // (kConfigure clears it); the shard is schedulable only once it holds
+  // every row the coordinator considers resident, or a sentinel pair
+  // rebalanced onto it would miss.
+  if (replayed.ok()) replayed = ReplayResidents(shard);
   if (!replayed.ok()) {
     // Died again under the replay: back to dead, a later rejoin retries.
     for (const std::string& role : ShardRoles(shard)) {
@@ -403,6 +408,145 @@ Result<std::vector<RemoteSmcOracle::EncodedAttr>> RemoteSmcOracle::EncodePair(
   return attrs;
 }
 
+Result<std::vector<RemoteSmcOracle::EncodedAttr>>
+RemoteSmcOracle::EncodeResidentRow(int side, const Record& record) const {
+  std::vector<EncodedAttr> attrs;
+  for (size_t attr_pos = 0; attr_pos < opts_.rule.attrs.size(); ++attr_pos) {
+    const AttrRule& rule = opts_.rule.attrs[attr_pos];
+    if (rule.type == AttrType::kCategorical && rule.theta >= 1.0) {
+      continue;  // same vacuous-threshold skip as EncodePair
+    }
+    EncodedAttr enc;
+    enc.pos = static_cast<uint32_t>(attr_pos);
+    auto v = EncodeAttr(record[rule.attr_index], rule);
+    if (!v.ok()) return v.status();
+    if (side == 0) {
+      enc.x = std::move(v).value();
+    } else {
+      enc.y = std::move(v).value();
+      enc.threshold = AttrThreshold(rule);
+    }
+    attrs.push_back(std::move(enc));
+  }
+  return attrs;
+}
+
+Status RemoteSmcOracle::DeltaToShard(int shard, uint8_t op, int side,
+                                     int64_t row_id,
+                                     const std::vector<EncodedAttr>* attrs) {
+  // Side 0 rows concern only alice (she holds x); side 1 rows concern bob
+  // (y + threshold) and qp (threshold) — the same role split as a kPair.
+  std::vector<std::string> roles;
+  if (side == 0) {
+    roles.push_back(shards_[shard].alice.name);
+  } else {
+    roles.push_back(shards_[shard].bob.name);
+    roles.push_back(shards_[shard].qp.name);
+  }
+  for (const std::string& role : roles) {
+    std::vector<uint8_t> payload;
+    AppendU8(op, &payload);
+    AppendU8(static_cast<uint8_t>(side), &payload);
+    AppendI64(row_id, &payload);
+    if (op == kDeltaOpUpsert) {
+      AppendU32(static_cast<uint32_t>(attrs->size()), &payload);
+      for (const EncodedAttr& attr : *attrs) {
+        AppendU32(attr.pos, &payload);
+        if (role == shards_[shard].alice.name) {
+          AppendSignedBigInt(attr.x, &payload);
+        } else if (role == shards_[shard].bob.name) {
+          AppendSignedBigInt(attr.y, &payload);
+          AppendSignedBigInt(attr.threshold, &payload);
+        } else {
+          AppendSignedBigInt(attr.threshold, &payload);
+        }
+      }
+    }
+    SendCtl(shard, role, CtlVerb::kDelta, std::move(payload));
+  }
+  ctl_round_trips_ += 1;
+  if (metrics_ != nullptr) obs::Add(metrics_, "net.ctl_round_trips");
+  std::map<std::string, CtlResponse> acks;
+  HPRL_RETURN_IF_ERROR(CollectReplies(
+      shard, CtlVerb::kDelta, static_cast<uint64_t>(row_id), 0, roles,
+      opts_.receive_timeout_ms * 2 + 2000, &acks));
+  for (const auto& [role, reply] : acks) {
+    HPRL_RETURN_IF_ERROR(ReplyStatus(reply));
+  }
+  return Status::OK();
+}
+
+Status RemoteSmcOracle::BroadcastDelta(uint8_t op, int side, int64_t row_id,
+                                       const std::vector<EncodedAttr>* attrs) {
+  for (int s = 0; s < num_shards(); ++s) {
+    if (!sched_.usable(s)) continue;
+    Status st = DeltaToShard(s, op, side, row_id, attrs);
+    if (st.ok()) continue;
+    if (st.code() == StatusCode::kUnavailable || IsTransient(st.code())) {
+      // The shard no longer upholds the resident invariant; retire it. The
+      // rejoin handshake replays the whole cache before re-admission, so
+      // this heals without the caller noticing.
+      for (const std::string& role : ShardRoles(s)) {
+        membership_.OnLinkDown(ReplicaLabel(s, role));
+      }
+      sched_.SetUsable(s, false);
+      StreamMembershipMetrics();
+      continue;
+    }
+    return st;  // semantic: the delta itself is wrong, no shard would differ
+  }
+  return Status::OK();
+}
+
+Status RemoteSmcOracle::ReplayResidents(int shard) {
+  for (const auto& [key, attrs] : resident_) {
+    HPRL_RETURN_IF_ERROR(
+        DeltaToShard(shard, kDeltaOpUpsert, key.first, key.second, &attrs));
+  }
+  return Status::OK();
+}
+
+Status RemoteSmcOracle::PushResidentRow(int side, int64_t row_id,
+                                        const Record& record) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Init() before PushResidentRow()");
+  }
+  if (side != 0 && side != 1) {
+    return Status::InvalidArgument("resident side must be 0 (R) or 1 (S)");
+  }
+  auto attrs = EncodeResidentRow(side, record);
+  if (!attrs.ok()) return attrs.status();
+  auto [it, inserted] =
+      resident_.insert_or_assign(std::make_pair(side, row_id),
+                                 std::move(attrs).value());
+  return BroadcastDelta(kDeltaOpUpsert, side, row_id, &it->second);
+}
+
+Status RemoteSmcOracle::EraseResidentRow(int side, int64_t row_id) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Init() before EraseResidentRow()");
+  }
+  resident_.erase({side, row_id});
+  return BroadcastDelta(kDeltaOpErase, side, row_id, nullptr);
+}
+
+Status RemoteSmcOracle::DrainResidentRows() {
+  resident_.clear();
+  if (!initialized_) return Status::OK();
+  // Best effort: a daemon that cannot drain is about to be shut down or
+  // reconfigured anyway, and kConfigure clears the table regardless.
+  for (int s = 0; s < num_shards(); ++s) {
+    if (!sched_.usable(s)) continue;
+    for (const std::string& role : ShardRoles(s)) {
+      SendCtl(s, role, CtlVerb::kDrain, {});
+    }
+    std::map<std::string, CtlResponse> acks;
+    (void)CollectReplies(s, CtlVerb::kDrain, 0, 0, ShardRoles(s),
+                         opts_.receive_timeout_ms * 2, &acks);
+  }
+  return Status::OK();
+}
+
 Result<bool> RemoteSmcOracle::CompareRows(int64_t a_id, int64_t b_id,
                                           const Record& a, const Record& b) {
   if (!initialized_) {
@@ -633,13 +777,23 @@ Result<std::vector<uint8_t>> RemoteSmcOracle::CompareBatch(
   pending.reserve(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
     invocations_ += 1;
-    auto attrs = EncodePair(*batch[i].a, *batch[i].b);
-    if (!attrs.ok()) return attrs.status();  // semantic: abort the batch
     BatchPair p;
     p.batch_pos = i;
     p.a_id = batch[i].a_id;
     p.b_id = batch[i].b_id;
-    p.attrs = std::move(attrs).value();
+    // Pairs whose BOTH rows are resident on the daemons ship as id-only
+    // sentinels; everything else carries the inline encoding (a non-serve
+    // run has an empty resident cache, so this is the only path it takes).
+    auto ra = resident_.find({0, batch[i].a_id});
+    auto rb = resident_.find({1, batch[i].b_id});
+    if (ra != resident_.end() && rb != resident_.end()) {
+      p.resident = true;
+      p.resident_attrs = ra->second.size();
+    } else {
+      auto attrs = EncodePair(*batch[i].a, *batch[i].b);
+      if (!attrs.ok()) return attrs.status();  // semantic: abort the batch
+      p.attrs = std::move(attrs).value();
+    }
     pending.push_back(std::move(p));
   }
 
@@ -788,10 +942,19 @@ Status RemoteSmcOracle::RunBatchRound(std::vector<BatchPair>* pending,
       AppendU32(0, &payload);  // attempt: batch ids are already unique
       AppendU32(static_cast<uint32_t>(o.pairs.size()), &payload);
       for (const BatchPair& p : o.pairs) {
-        max_attrs = std::max(max_attrs, p.attrs.size());
+        max_attrs = std::max(max_attrs,
+                             p.resident ? p.resident_attrs : p.attrs.size());
         AppendU64(p.pair_index, &payload);
         AppendI64(p.a_id, &payload);
         AppendI64(p.b_id, &payload);
+        if (p.resident) {
+          // Operands live on the daemons: every usable shard holds every
+          // resident row (pushes retire shards that miss one, rejoin
+          // replays the cache), so the sentinel is safe wherever the batch
+          // lands — including after a rebalance.
+          AppendU32(kResidentPairSentinel, &payload);
+          continue;
+        }
         AppendU32(static_cast<uint32_t>(p.attrs.size()), &payload);
         for (const EncodedAttr& attr : p.attrs) {
           AppendU32(attr.pos, &payload);

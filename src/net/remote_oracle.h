@@ -148,6 +148,26 @@ class RemoteSmcOracle : public MatchOracle {
                            const Record& b) override;
   Result<std::vector<uint8_t>> CompareBatch(
       const std::vector<RowPairRequest>& batch) override;
+
+  /// Resident tables (wire v6, the streaming service's hot path). Pushing a
+  /// row encodes it once, caches the encoding, and broadcasts a kDelta to
+  /// every usable shard — side 0 rows to the alice replica, side 1 rows to
+  /// bob and qp, each carrying exactly the fields that role would have
+  /// received inline. CompareBatch then ships pairs whose BOTH rows are
+  /// resident as id-only sentinel entries; labels are bit-identical to the
+  /// inline encoding because the daemons resolve the very bytes a kPair
+  /// would have carried. A shard that cannot take a delta is retired (the
+  /// resident invariant — every schedulable shard holds every resident row —
+  /// must hold); the rejoin handshake replays the full cache before the
+  /// shard is re-admitted. The per-pair CompareRows path stays inline-only.
+  Status PushResidentRow(int side, int64_t row_id,
+                         const Record& record) override;
+  Status EraseResidentRow(int side, int64_t row_id) override;
+  /// Broadcasts kDrain (best effort) and forgets the local cache.
+  Status DrainResidentRows() override;
+  int64_t resident_rows() const {
+    return static_cast<int64_t>(resident_.size());
+  }
   int64_t invocations() const override { return invocations_; }
   /// Settled work per shard (session-journal bookkeeping): batches settled
   /// and pairs definitively labeled on each comparator shard so far.
@@ -197,7 +217,9 @@ class RemoteSmcOracle : public MatchOracle {
     uint64_t pair_index = 0;    ///< wire id, fresh per dispatch
     int64_t a_id = -1;
     int64_t b_id = -1;
-    std::vector<EncodedAttr> attrs;
+    std::vector<EncodedAttr> attrs;  ///< empty when `resident`
+    bool resident = false;      ///< ship the sentinel, not inline attrs
+    size_t resident_attrs = 0;  ///< daemon-side attr count (deadline math)
     int attempts = 0;           ///< failed transient rounds so far
   };
 
@@ -205,6 +227,23 @@ class RemoteSmcOracle : public MatchOracle {
   crypto::BigInt AttrThreshold(const AttrRule& rule) const;
   Result<std::vector<EncodedAttr>> EncodePair(const Record& a, const Record& b)
       const;
+  /// Encodes one side's row for the resident table: side 0 fills x only
+  /// (alice's share), side 1 fills y and the threshold (bob's and qp's).
+  /// Same attr subset and pos values as EncodePair, so a sentinel pair
+  /// resolves to exactly the bytes the inline encoding would have carried.
+  Result<std::vector<EncodedAttr>> EncodeResidentRow(int side,
+                                                     const Record& record)
+      const;
+  /// Sends one kDelta to `shard`'s role(s) for the row's side and waits for
+  /// their acks. `attrs` is required for upserts, ignored for erases.
+  Status DeltaToShard(int shard, uint8_t op, int side, int64_t row_id,
+                      const std::vector<EncodedAttr>* attrs);
+  /// Applies one delta on every usable shard; a shard that cannot take it is
+  /// retired (rejoin replays the cache later). Semantic errors propagate.
+  Status BroadcastDelta(uint8_t op, int side, int64_t row_id,
+                        const std::vector<EncodedAttr>* attrs);
+  /// Replays the whole resident cache onto one (freshly re-setup) shard.
+  Status ReplayResidents(int shard);
 
   /// One pipelined dispatch round over `pending`: schedules the pairs across
   /// the usable shards in kPairBatch frames, pumps heartbeats and
@@ -287,6 +326,9 @@ class RemoteSmcOracle : public MatchOracle {
   uint64_t next_pair_index_ = 0;
   uint64_t next_batch_id_ = 0;
   uint64_t next_barrier_id_ = 0;
+  /// Resident-table cache keyed by (side, row id): the encodings every
+  /// usable shard currently holds, and the source the rejoin path replays.
+  std::map<std::pair<int, int64_t>, std::vector<EncodedAttr>> resident_;
   MeshStats mesh_stats_;
 };
 

@@ -1,0 +1,64 @@
+#include "serve/generalize.h"
+
+#include <algorithm>
+#include <string>
+
+namespace hprl::serve {
+
+Result<GenSequence> GeneralizeRecord(const Record& record,
+                                     const MatchRule& rule,
+                                     const std::vector<VghPtr>& hierarchies,
+                                     int gen_level) {
+  if (gen_level < 0) {
+    return Status::InvalidArgument("gen_level must be non-negative");
+  }
+  GenSequence seq;
+  seq.reserve(rule.attrs.size());
+  for (size_t i = 0; i < rule.attrs.size(); ++i) {
+    const AttrRule& attr = rule.attrs[i];
+    if (attr.attr_index < 0 ||
+        attr.attr_index >= static_cast<int>(record.size())) {
+      return Status::InvalidArgument("rule attr_index outside record arity");
+    }
+    const Value& v = record[attr.attr_index];
+    if (v.is_null()) {
+      return Status::InvalidArgument("null value for rule attribute " +
+                                     attr.name);
+    }
+    if (attr.type == AttrType::kText) {
+      if (v.kind() != Value::Kind::kText) {
+        return Status::InvalidArgument("expected text value for " + attr.name);
+      }
+      seq.push_back(GenValue::TextPrefix(v.text(), /*exact=*/true));
+      continue;
+    }
+    const VghPtr& vgh = i < hierarchies.size() ? hierarchies[i] : nullptr;
+    if (vgh == nullptr) {
+      return Status::InvalidArgument("missing hierarchy for attribute " +
+                                     attr.name);
+    }
+    int leaf = -1;
+    if (attr.type == AttrType::kNumeric) {
+      if (v.kind() != Value::Kind::kNumeric) {
+        return Status::InvalidArgument("expected numeric value for " +
+                                       attr.name);
+      }
+      HPRL_ASSIGN_OR_RETURN(leaf, vgh->LeafForNumeric(v.num()));
+    } else {
+      if (v.kind() != Value::Kind::kCategory) {
+        return Status::InvalidArgument("expected categorical value for " +
+                                       attr.name);
+      }
+      if (v.category() < 0 || v.category() >= vgh->num_leaves()) {
+        return Status::InvalidArgument("category id outside hierarchy for " +
+                                       attr.name);
+      }
+      leaf = vgh->LeafForCategory(v.category());
+    }
+    int target = std::max(0, vgh->level(leaf) - gen_level);
+    seq.push_back(vgh->Gen(vgh->AncestorAtLevel(leaf, target)));
+  }
+  return seq;
+}
+
+}  // namespace hprl::serve

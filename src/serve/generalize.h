@@ -1,0 +1,31 @@
+#ifndef HPRL_SERVE_GENERALIZE_H_
+#define HPRL_SERVE_GENERALIZE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "hierarchy/vgh.h"
+#include "linkage/match_rule.h"
+#include "linkage/slack.h"
+
+namespace hprl::serve {
+
+/// Generalizes one record into the GenSequence the blocking layer consumes:
+/// for each rule attribute, the record's value is lifted `gen_level` VGH
+/// levels above its leaf (clamped at the root). This is the streaming
+/// stand-in for the batch pipeline's k-anonymizer — a delta arrives alone,
+/// so there is no cohort to anonymize against; a fixed generalization level
+/// plays the release schema's role instead (docs/SERVICE.md).
+///
+/// `hierarchies` is indexed like rule.attrs; entries may be null for text
+/// attributes (text generalizes to an exact-string GenValue). Numeric and
+/// categorical attributes require a hierarchy. Null values and out-of-range
+/// numerics are InvalidArgument.
+Result<GenSequence> GeneralizeRecord(const Record& record,
+                                     const MatchRule& rule,
+                                     const std::vector<VghPtr>& hierarchies,
+                                     int gen_level);
+
+}  // namespace hprl::serve
+
+#endif  // HPRL_SERVE_GENERALIZE_H_

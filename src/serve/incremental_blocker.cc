@@ -1,0 +1,53 @@
+#include "serve/incremental_blocker.h"
+
+namespace hprl::serve {
+
+std::vector<AffectedPair> IncrementalBlocker::Label(
+    Side side, int64_t row_id, const ValueIds& ids) const {
+  const auto& others = rows(side == Side::kR ? Side::kS : Side::kR);
+  std::vector<AffectedPair> out;
+  out.reserve(others.size());
+  for (const auto& [other_id, other_ids] : others) {
+    AffectedPair p;
+    if (side == Side::kR) {
+      p.r_id = row_id;
+      p.s_id = other_id;
+      p.label = table_.Decide(ids, other_ids);
+    } else {
+      p.r_id = other_id;
+      p.s_id = row_id;
+      p.label = table_.Decide(other_ids, ids);
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<AffectedPair> IncrementalBlocker::Upsert(Side side, int64_t row_id,
+                                                     const GenSequence& seq) {
+  ValueIds ids =
+      side == Side::kR ? table_.InternR(seq) : table_.InternS(seq);
+  std::vector<AffectedPair> out = Label(side, row_id, ids);
+  rows(side)[row_id] = std::move(ids);
+  return out;
+}
+
+std::vector<AffectedPair> IncrementalBlocker::Preview(Side side,
+                                                      int64_t row_id,
+                                                      const GenSequence& seq) {
+  ValueIds ids =
+      side == Side::kR ? table_.InternR(seq) : table_.InternS(seq);
+  return Label(side, row_id, ids);
+}
+
+void IncrementalBlocker::Insert(Side side, int64_t row_id,
+                                const GenSequence& seq) {
+  rows(side)[row_id] =
+      side == Side::kR ? table_.InternR(seq) : table_.InternS(seq);
+}
+
+void IncrementalBlocker::Erase(Side side, int64_t row_id) {
+  rows(side).erase(row_id);
+}
+
+}  // namespace hprl::serve

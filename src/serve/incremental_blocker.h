@@ -1,0 +1,87 @@
+#ifndef HPRL_SERVE_INCREMENTAL_BLOCKER_H_
+#define HPRL_SERVE_INCREMENTAL_BLOCKER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "linkage/slack.h"
+
+namespace hprl::serve {
+
+/// Which table a streamed record belongs to: R (the left relation) or S.
+enum class Side { kR = 0, kS = 1 };
+
+/// One affected pair surfaced by a delta: the live row on the other side and
+/// the slack label of the (R, S) pair. Pairs are always reported in (r, s)
+/// orientation regardless of which side the delta arrived on.
+struct AffectedPair {
+  int64_t r_id = -1;
+  int64_t s_id = -1;
+  PairLabel label = PairLabel::kUnknown;
+};
+
+/// Incremental counterpart of the batch blocking sweep: maintains the live
+/// generalized rows of both sides over a DynamicSlackTable and, per
+/// insert/update/delete, re-blocks only the affected cells — the delta row
+/// against every live row of the *other* side — instead of the full
+/// |R| × |S| sweep. Labels are bit-identical to a from-scratch SlackTable
+/// rebuild over the same sequences (property-tested in tests/serve_test.cc).
+///
+/// Not thread-safe; the owning LinkageService serializes access.
+class IncrementalBlocker {
+ public:
+  explicit IncrementalBlocker(MatchRule rule) : table_(std::move(rule)) {}
+
+  /// Inserts or replaces the generalized row `(side, row_id)` and returns
+  /// the labels of every (delta row, live other-side row) pair, other-side
+  /// row id ascending. An update is an upsert with the same row_id: the old
+  /// row's pairs vanish, the new row's pairs are returned.
+  std::vector<AffectedPair> Upsert(Side side, int64_t row_id,
+                                   const GenSequence& seq);
+
+  /// Labels `seq` against the live other side without mutating any row
+  /// bookkeeping — the admission-control preview. Interning the sequence's
+  /// values is the only side effect; verdicts are memoized, never changed,
+  /// so a preview is unobservable in later labels.
+  std::vector<AffectedPair> Preview(Side side, int64_t row_id,
+                                    const GenSequence& seq);
+
+  /// Commits the row without re-labeling — the second half of a
+  /// Preview-then-admit sequence (labels were already computed by Preview;
+  /// verdicts are memoized, so splitting costs nothing).
+  void Insert(Side side, int64_t row_id, const GenSequence& seq);
+
+  /// Removes `(side, row_id)` if present. The caller drops the row's links;
+  /// no pair labels result from a delete.
+  void Erase(Side side, int64_t row_id);
+
+  int64_t live_rows(Side side) const {
+    return static_cast<int64_t>(rows(side).size());
+  }
+  int64_t entries_computed() const { return table_.entries_computed(); }
+  const MatchRule& rule() const { return table_.rule(); }
+
+ private:
+  using ValueIds = DynamicSlackTable::ValueIds;
+
+  const std::map<int64_t, ValueIds>& rows(Side side) const {
+    return side == Side::kR ? r_rows_ : s_rows_;
+  }
+  std::map<int64_t, ValueIds>& rows(Side side) {
+    return side == Side::kR ? r_rows_ : s_rows_;
+  }
+
+  std::vector<AffectedPair> Label(Side side, int64_t row_id,
+                                  const ValueIds& ids) const;
+
+  DynamicSlackTable table_;
+  // Live generalized rows, keyed by stable row id (ordered: affected-pair
+  // output and replay order must be deterministic).
+  std::map<int64_t, ValueIds> r_rows_;
+  std::map<int64_t, ValueIds> s_rows_;
+};
+
+}  // namespace hprl::serve
+
+#endif  // HPRL_SERVE_INCREMENTAL_BLOCKER_H_

@@ -3,12 +3,16 @@
 //
 //   hprl_gen --out demo --rows 3000 [--seed 7]
 //   hprl_link --spec demo/linkage.spec --r demo/r.csv --s demo/s.csv --evaluate
+//
+// Exit codes follow the shared taxonomy (common/exit_codes.h): 0 success,
+// 2 configuration/usage error, 3 unwritable output, 1 anything else.
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 
 #include "adult/adult.h"
+#include "common/exit_codes.h"
 #include "common/flags.h"
 #include "data/csv.h"
 #include "data/partition.h"
@@ -26,7 +30,11 @@ int main(int argc, char** argv) {
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
                  flags.Usage(argv[0]).c_str());
-    return 2;
+    return kExitConfig;
+  }
+  if (*rows < 1) {
+    std::fprintf(stderr, "--rows must be >= 1\n");
+    return kExitConfig;
   }
 
   std::filesystem::path dir(*out_dir);
@@ -35,7 +43,7 @@ int main(int argc, char** argv) {
   if (ec) {
     std::fprintf(stderr, "cannot create %s: %s\n", dir.c_str(),
                  ec.message().c_str());
-    return 1;
+    return kExitTransport;  // unwritable output location, like an IOError
   }
 
   auto h = adult::BuildAdultHierarchies();
@@ -44,15 +52,15 @@ int main(int argc, char** argv) {
   auto split = SplitForLinkage(source, rng);
   if (!split.ok()) {
     std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
-    return 1;
+    return ExitCodeForStatus(split.status());
   }
   if (auto s = WriteCsv(split->d1, (dir / "r.csv").string()); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
-    return 1;
+    return ExitCodeForStatus(s);
   }
   if (auto s = WriteCsv(split->d2, (dir / "s.csv").string()); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
-    return 1;
+    return ExitCodeForStatus(s);
   }
 
   for (const char* name :

@@ -16,6 +16,20 @@
 //             [--transport tcp] [--parties a:p,b:p,q:p] [--party_bin PATH]
 //             [--net_connect_timeout_ms N] [--net_receive_timeout_ms N]
 //
+// Streaming mode (docs/SERVICE.md):
+//
+//   hprl_link --spec linkage.spec --serve --deltas stream.csv
+//             [--links links.csv] [--metrics_out run.json]
+//             [--journal serve.jnl] [--resume]
+//             [--tenant_allowance N] [--serve_queue N] [--serve_gen_level N]
+//             [--serve_crash_after N]
+//             [--transport tcp] [--parties ...] [--shards N] ...
+//
+// --serve replaces the two batch CSVs with one delta stream: every line is
+// an insert/update/delete for one tenant's R or S side, applied in order
+// through the long-lived incremental linkage service with per-tenant SMC
+// allowance admission control.
+//
 // The spec file declares attributes, hierarchies, thresholds and protocol
 // parameters (see src/cli/spec.h for the format). With `keybits > 0` in the
 // spec, the SMC step runs the real three-party Paillier protocol — in
@@ -32,6 +46,7 @@
 #include <string>
 
 #include "cli/runner.h"
+#include "cli/serve_runner.h"
 #include "common/exit_codes.h"
 #include "common/flags.h"
 
@@ -147,6 +162,29 @@ int main(int argc, char** argv) {
   int64_t* net_receive_timeout_ms = flags.AddInt(
       "net_receive_timeout_ms", 4000,
       "tcp: blocking-receive bound per protocol link");
+  bool* serve = flags.AddBool(
+      "serve", false,
+      "streaming mode: apply a --deltas stream through the incremental "
+      "linkage service instead of batch-linking --r against --s");
+  std::string* deltas = flags.AddString(
+      "deltas", "",
+      "serve: delta stream CSV (op,tenant,side,row_id,<attr columns>)");
+  int64_t* tenant_allowance = flags.AddInt(
+      "tenant_allowance", -1,
+      "serve: per-tenant SMC allowance in pairs (-1 = the spec's "
+      "serve_allowance)");
+  int64_t* serve_queue = flags.AddInt(
+      "serve_queue", -1,
+      "serve: queued deltas per tenant, 0 rejects instead (-1 = the "
+      "spec's serve_queue)");
+  int64_t* serve_gen_level = flags.AddInt(
+      "serve_gen_level", -1,
+      "serve: VGH levels lifted above the leaves (-1 = the spec's "
+      "serve_gen_level)");
+  int64_t* serve_crash_after = flags.AddInt(
+      "serve_crash_after", 0,
+      "serve crash-injection test hook: SIGKILL after N newly settled "
+      "deltas, after the journal write (0 = off)");
 
   Status st = flags.Parse(argc, argv);
   if (st.code() == StatusCode::kNotFound) return 0;  // --help
@@ -155,10 +193,25 @@ int main(int argc, char** argv) {
                  flags.Usage(argv[0]).c_str());
     return 2;
   }
-  if (spec_path->empty() || csv_r->empty() || csv_s->empty()) {
+  if (*serve) {
+    if (spec_path->empty() || deltas->empty()) {
+      std::fprintf(stderr, "--serve requires --spec and --deltas\n%s",
+                   flags.Usage(argv[0]).c_str());
+      return kExitConfig;
+    }
+    if (!csv_r->empty() || !csv_s->empty()) {
+      std::fprintf(stderr,
+                   "--serve takes a --deltas stream, not --r/--s batches\n");
+      return kExitConfig;
+    }
+  } else if (spec_path->empty() || csv_r->empty() || csv_s->empty()) {
     std::fprintf(stderr, "--spec, --r and --s are required\n%s",
                  flags.Usage(argv[0]).c_str());
     return 2;
+  }
+  if (*serve_crash_after < 0) {
+    std::fprintf(stderr, "--serve_crash_after must be >= 0\n");
+    return kExitConfig;
   }
   if (*threads < 0 || *smc_threads < 0) {
     std::fprintf(stderr,
@@ -253,6 +306,32 @@ int main(int argc, char** argv) {
     options.party_binary = slash == std::string::npos
                                ? "hprl_party"
                                : self.substr(0, slash + 1) + "hprl_party";
+  }
+
+  if (*serve) {
+    cli::ServeRunnerOptions sopts;
+    sopts.links_out = *links;
+    sopts.metrics_out = *metrics_out;
+    sopts.journal = *journal;
+    sopts.resume = *resume;
+    sopts.tenant_allowance_override = *tenant_allowance;
+    sopts.max_queued_override = *serve_queue;
+    sopts.gen_level_override = static_cast<int>(*serve_gen_level);
+    sopts.crash_after = *serve_crash_after;
+    sopts.transport = options.transport;
+    sopts.tcp_endpoints = options.tcp_endpoints;
+    sopts.party_binary = options.party_binary;
+    sopts.shards_override = options.shards_override;
+    sopts.smc_threads_override = options.smc_threads_override;
+    sopts.net_connect_timeout_ms = options.net_connect_timeout_ms;
+    sopts.net_receive_timeout_ms = options.net_receive_timeout_ms;
+    auto serve_report = cli::RunServeFromFiles(*spec, *deltas, sopts);
+    if (!serve_report.ok()) {
+      std::fprintf(stderr, "%s\n", serve_report.status().ToString().c_str());
+      return ExitCodeForStatus(serve_report.status());
+    }
+    std::fputs(serve_report->ToString().c_str(), stdout);
+    return 0;
   }
 
   auto report = cli::RunLinkageFromFiles(*spec, *csv_r, *csv_s, options);

@@ -152,6 +152,10 @@ int main(int argc, char** argv) {
     std::printf("hprl_party %s: mesh up, listening on port %u\n",
                 role->c_str(), unsigned{service.bus().listen_port()});
   }
+  // Machine-parsable port announcement: with `--<role> host:0` the kernel
+  // assigns the port, and a supervisor scripting the fleet scrapes this line
+  // (grep ^HPRL_PARTY_PORT=) instead of parsing the human text above.
+  std::printf("HPRL_PARTY_PORT=%u\n", unsigned{service.bus().listen_port()});
   std::fflush(stdout);
 
   g_service = &service;
