@@ -15,11 +15,17 @@
 #   - pipelined rpc: ctl round trips at batch 32 vs one round trip per pair
 #   - sharded smc: the same linkage over a 4-shard comparator fleet vs one
 #     shard, under emulated per-pair latency (the overlap sharding buys)
+#   - async datapath: SocketBus bulk throughput vs raw loopback TCP moving
+#     the identical checksummed wire-v6 frames (overhead budget: 2x)
+#   - arena alloc: GMP allocations per packed-SMC pair, arena off vs on
+#     (reduction floor: 5x)
 #
 #   scripts/bench_smoke.sh [build-dir]           # run + write BENCH_hotpath.json
 #   scripts/bench_smoke.sh --check [build-dir]   # run, compare against the
 #       committed BENCH_hotpath.json and fail if any recorded speedup drops
-#       below 80% of its committed value; the committed file is not rewritten
+#       below 80% of its committed value, if the async-datapath overhead
+#       ratio exceeds 2x, or if the arena allocation reduction falls below
+#       5x; the committed file is not rewritten
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,7 +38,7 @@ BUILD="${1:-build}"
 
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j --target micro_crypto micro_blocking timing_table \
-  hprl_link hprl_party hprl_gen
+  hprl_link hprl_party hprl_gen net_throughput micro_arena
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -92,6 +98,13 @@ for rep in 1 2 3; do
   diff "$TMP/links_shard1.csv" "$TMP/links_shard4.csv" \
     || { echo "FAIL: 4-shard links differ from single-shard links"; exit 1; }
 done
+
+echo "== net_throughput: SocketBus vs raw TCP, identical framed traffic =="
+"./$BUILD/bench/net_throughput" --msgs 128 --reps 3 \
+  --out "$TMP/net_throughput.json"
+
+echo "== micro_arena: GMP allocations per packed pair, arena off vs on =="
+"./$BUILD/bench/micro_arena" --groups 10 --out "$TMP/arena.json"
 
 CHECK="$CHECK" python3 - "$TMP" <<'EOF'
 import json, sys, os
@@ -244,6 +257,31 @@ report["sharded_smc"] = {
     "speedup": shard1_s / shard4_s,
 }
 
+# Async datapath: the epoll SocketBus pushing bulk messages vs a blocking
+# raw-TCP loop carrying the identical checksummed wire-v6 frames. Lower is
+# better for the ratio; the key deliberately avoids the generic "speedup"
+# name so the 80%-floor loop below never touches it — it carries its own
+# guard (raw_over_bus_ratio <= 2.0).
+with open(os.path.join(tmp, "net_throughput.json")) as f:
+    netthru = json.load(f)
+report["async_datapath"] = {
+    "msg_bytes": netthru["msg_bytes"],
+    "raw_mbps": netthru["raw_mbps"],
+    "bus_mbps": netthru["bus_mbps"],
+    "raw_over_bus_ratio": netthru["raw_over_bus_ratio"],
+}
+
+# Arena allocation audit: GMP heap allocations per packed-SMC pair, scratch
+# arena off vs on, with bit-identical labels asserted by the bench itself.
+# Guarded below by its own floor (reduction >= 5.0), not the generic loop.
+with open(os.path.join(tmp, "arena.json")) as f:
+    arena = json.load(f)
+report["arena_alloc"] = {
+    "allocs_per_pair_no_arena": arena["allocs_per_pair_no_arena"],
+    "allocs_per_pair_arena": arena["allocs_per_pair_arena"],
+    "reduction": arena["reduction"],
+}
+
 if check:
     with open("BENCH_hotpath.json") as f:
         committed = json.load(f)
@@ -264,6 +302,25 @@ if check:
             else:
                 print(f"check OK {block}.{key}: {measured:.2f} "
                       f"(committed {committed_value:.2f})")
+    # Absolute-threshold guards (not relative to the committed value):
+    # the async datapath must stay within its 2x overhead budget and the
+    # arena must keep at least its 5x allocation reduction.
+    ratio = report["async_datapath"]["raw_over_bus_ratio"]
+    if ratio > 2.0:
+        failures.append(
+            f"async_datapath.raw_over_bus_ratio: measured {ratio:.2f} "
+            f"> 2.0 overhead budget")
+    else:
+        print(f"check OK async_datapath.raw_over_bus_ratio: "
+              f"{ratio:.2f} (budget 2.0)")
+    reduction = report["arena_alloc"]["reduction"]
+    if reduction < 5.0:
+        failures.append(
+            f"arena_alloc.reduction: measured {reduction:.2f} "
+            f"< 5.0 floor")
+    else:
+        print(f"check OK arena_alloc.reduction: {reduction:.2f} "
+              f"(floor 5.0)")
     if failures:
         print("BENCH CHECK FAILED:", *failures, sep="\n  ")
         sys.exit(1)

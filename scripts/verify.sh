@@ -188,12 +188,14 @@ scripts/bench_smoke.sh --check
 echo "== ASan: fault injection + membership/scheduler + TCP + material =="
 cmake -B build-asan -S . -DHPRL_SANITIZE=address >/dev/null
 cmake --build build-asan -j --target fault_test membership_test net_test \
-  material_test journal_test
+  material_test journal_test framing_test arena_test
 ./build-asan/tests/fault_test
 ./build-asan/tests/membership_test
 ./build-asan/tests/net_test
 ./build-asan/tests/material_test
 ./build-asan/tests/journal_test
+./build-asan/tests/framing_test
+./build-asan/tests/arena_test
 
 echo "== TSan: metrics registry + threaded blocking + parallel/faulty SMC =="
 cmake -B build-tsan -S . -DHPRL_SANITIZE=thread >/dev/null
@@ -214,10 +216,11 @@ cmake --build build-tsan -j --target obs_test blocking_test session_test \
 echo "== UBSan: wire/journal codecs + membership + fault schedules =="
 cmake -B build-ubsan -S . -DHPRL_SANITIZE=undefined >/dev/null
 cmake --build build-ubsan -j --target fault_test membership_test \
-  journal_test net_test
+  journal_test net_test framing_test
 ./build-ubsan/tests/fault_test
 ./build-ubsan/tests/membership_test
 ./build-ubsan/tests/journal_test
 ./build-ubsan/tests/net_test
+./build-ubsan/tests/framing_test
 
 echo "== verify OK =="

@@ -55,6 +55,12 @@ struct RunnerOptions {
   /// material_dir; the linkage numbers in the report stay zero.
   bool offline_only = false;
 
+  /// Pin spawned SMC worker threads to cores (smc::SmcConfig::pin_cores).
+  bool pin_cores = false;
+  /// Packed-exchange BigInt scratch arena (smc::SmcConfig::use_arena);
+  /// false is the per-op allocation baseline benches compare against.
+  bool use_arena = true;
+
   /// Non-empty: resumable allowance drain — the session checkpoints after
   /// every SMC batch and resumes from this path (core/checkpoint.h).
   std::string checkpoint;

@@ -1,0 +1,58 @@
+#include "crypto/arena.h"
+
+namespace hprl::crypto {
+
+BigIntArena::BigIntArena(size_t value_bits, size_t block_slots)
+    : value_bits_(value_bits == 0 ? 1 : value_bits),
+      block_slots_(block_slots == 0 ? 1 : block_slots) {}
+
+BigInt& BigIntArena::Next() {
+  if (cursor_ == slots_.size()) Grow();
+  return slots_[cursor_++];
+}
+
+void BigIntArena::Reset() {
+  cursor_ = 0;
+  ++resets_;
+  Publish();
+}
+
+int64_t BigIntArena::blocks() const {
+  return static_cast<int64_t>(slots_.size() / block_slots_);
+}
+
+int64_t BigIntArena::reserved_bytes() const {
+  // Reserved widths, not live limb counts: what the arena asked GMP to
+  // preallocate. Slots only ever exceed this if a caller overflows
+  // value_bits, which the sizing contract rules out.
+  return static_cast<int64_t>(slots_.size() * ((value_bits_ + 7) / 8));
+}
+
+void BigIntArena::Grow() {
+  for (size_t i = 0; i < block_slots_; ++i) {
+    slots_.emplace_back();
+    slots_.back().Reserve(value_bits_);
+  }
+  Publish();
+}
+
+void BigIntArena::Publish() {
+  if (blocks_gauge_ != nullptr) {
+    blocks_gauge_->Set(static_cast<double>(blocks()));
+  }
+  if (bytes_gauge_ != nullptr) {
+    bytes_gauge_->Set(static_cast<double>(reserved_bytes()));
+  }
+  if (resets_gauge_ != nullptr) {
+    resets_gauge_->Set(static_cast<double>(resets_));
+  }
+}
+
+void BigIntArena::AttachMetrics(obs::MetricsRegistry* registry) {
+  blocks_gauge_ = registry ? registry->gauge("crypto.arena.blocks") : nullptr;
+  bytes_gauge_ = registry ? registry->gauge("crypto.arena.bytes") : nullptr;
+  resets_gauge_ = registry ? registry->gauge("crypto.arena.resets") : nullptr;
+  Publish();
+}
+
+}  // namespace hprl::crypto

@@ -1,0 +1,73 @@
+#ifndef HPRL_CRYPTO_ARENA_H_
+#define HPRL_CRYPTO_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "crypto/bigint.h"
+#include "obs/metrics.h"
+
+namespace hprl::crypto {
+
+/// Bump allocator for BigInt scratch values on the packed SMC hot path.
+///
+/// GMP heap-allocates limbs for every fresh mpz_t, and the value-semantics
+/// BigInt API creates a fresh mpz per temporary — tens of allocations per
+/// compared pair. The arena replaces that churn with reuse: slots are
+/// initialized once in blocks of `block_slots`, each bulk-reserved at
+/// `value_bits` (the mpz_init2 discipline, applied via mpz_realloc2 on the
+/// just-initialized slot), and Next() hands out the next preallocated slot.
+/// Reset() rewinds the cursor so the following batch reuses the same storage;
+/// nothing is freed until the arena dies.
+///
+/// Size `value_bits` to the LARGEST intermediate the slots will hold — for
+/// Paillier ops mod n² that is a product of two n²-width values, i.e. about
+/// 4x the modulus bits — so in-place mpz ops never grow a slot's allocation.
+///
+/// Blocks live in a deque: growth never moves existing slots, so references
+/// returned by Next() stay valid until the arena is destroyed (NOT merely
+/// until Reset(), which only invalidates their *values*).
+///
+/// Not thread-safe: one arena per comparator worker. Growth is lazy (the
+/// constructor allocates nothing), so with pinned workers the first Next()
+/// first-touches the arena's pages from the worker's own core.
+class BigIntArena {
+ public:
+  explicit BigIntArena(size_t value_bits, size_t block_slots = 64);
+
+  /// The next preallocated slot; grows by one block when exhausted. The
+  /// slot's previous value is unspecified — treat it as an out parameter.
+  BigInt& Next();
+
+  /// Rewinds the cursor to the first slot; capacity is retained.
+  void Reset();
+
+  size_t in_use() const { return cursor_; }
+  size_t capacity() const { return slots_.size(); }
+  int64_t blocks() const;
+  int64_t reserved_bytes() const;
+  int64_t resets() const { return resets_; }
+
+  /// Streams crypto.arena.blocks / .bytes / .resets gauges into `registry`
+  /// (nullptr detaches). Published on every growth and Reset.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
+ private:
+  void Grow();
+  void Publish();
+
+  const size_t value_bits_;
+  const size_t block_slots_;
+  std::deque<BigInt> slots_;
+  size_t cursor_ = 0;
+  int64_t resets_ = 0;
+
+  obs::Gauge* blocks_gauge_ = nullptr;  // not owned
+  obs::Gauge* bytes_gauge_ = nullptr;   // not owned
+  obs::Gauge* resets_gauge_ = nullptr;  // not owned
+};
+
+}  // namespace hprl::crypto
+
+#endif  // HPRL_CRYPTO_ARENA_H_

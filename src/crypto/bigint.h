@@ -17,7 +17,10 @@ namespace hprl::crypto {
 class BigInt {
  public:
   BigInt() { mpz_init(z_); }
-  BigInt(int64_t v) { mpz_init_set_si(z_, v); }  // NOLINT(runtime/explicit): numeric literal convenience
+  /// Explicit: an implicit int64 conversion silently heap-allocates a fresh
+  /// mpz at every literal-argument call site — exactly the temporaries the
+  /// arena audit exists to surface.
+  explicit BigInt(int64_t v) { mpz_init_set_si(z_, v); }
   BigInt(const BigInt& o) { mpz_init_set(z_, o.z_); }
   BigInt(BigInt&& o) noexcept {
     mpz_init(z_);
@@ -43,6 +46,13 @@ class BigInt {
 
   std::string ToString(int base = 10) const;
   Result<int64_t> ToInt64() const;
+
+  /// Widens the backing limb allocation to hold `bits` (value preserved).
+  /// BigIntArena bulk-reserves freshly initialized slots at the width of the
+  /// largest intermediate so in-place mpz ops never touch the allocator.
+  void Reserve(size_t bits) {
+    mpz_realloc2(z_, static_cast<mp_bitcnt_t>(bits));
+  }
 
   size_t BitLength() const { return mpz_sizeinbase(z_, 2); }
   int Sign() const { return mpz_sgn(z_); }

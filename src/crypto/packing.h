@@ -50,6 +50,21 @@ Result<BigInt> PackSlots(const std::vector<BigInt>& values,
 Result<std::vector<BigInt>> UnpackSlots(const BigInt& packed, size_t count,
                                         const PackingLayout& layout);
 
+/// Arena variant of PackSlots: same validation, same result, but the packed
+/// value lands in *out and the only transient lives in *scratch — no BigInt
+/// is constructed. *out and *scratch must be distinct from each other and
+/// from every input.
+Status PackSlotsInto(const std::vector<const BigInt*>& values,
+                     const PackingLayout& layout, BigInt* scratch,
+                     BigInt* out);
+
+/// Arena variant of UnpackSlots: slot i is written through (*slots)[i]
+/// (which must hold `count` distinct destinations) and *rest carries the
+/// running quotient. Same validation and failure modes as UnpackSlots.
+Status UnpackSlotsInto(const BigInt& packed, size_t count,
+                       const PackingLayout& layout, BigInt* rest,
+                       const std::vector<BigInt*>& slots);
+
 }  // namespace hprl::crypto
 
 #endif  // HPRL_CRYPTO_PACKING_H_

@@ -65,6 +65,54 @@ BigInt PaillierPublicKey::ScalarMul(const BigInt& c, const BigInt& k) const {
   return BigInt::PowMod(c, e, n2_);
 }
 
+Status PaillierPublicKey::EncryptInto(const BigInt& m, SecureRandom& rng,
+                                      BigInt* scratch, BigInt* out) const {
+  if (m.Sign() < 0 || m >= n_) {
+    return Status::InvalidArgument("Paillier plaintext out of [0, n)");
+  }
+  if (encryptions_ != nullptr) encryptions_->Increment();
+  // Randomness first, exactly like Encrypt — the draw order is part of the
+  // bit-identical contract at pinned seeds.
+  if (pool_ != nullptr) {
+    *scratch = pool_->Take();
+  } else {
+    BigInt r;
+    do {
+      r = rng.NextBelow(n_);
+    } while (r.IsZero() || BigInt::Gcd(r, n_) != BigInt(1));
+    mpz_powm(scratch->raw(), r.raw(), n_.raw(), n2_.raw());
+  }
+  // (1 + m*n) * r^n mod n², computed in *out. mpz ops permit rop == op1, so
+  // m may alias *out (EncryptSignedInto relies on it; m is consumed by the
+  // first multiply and never read again).
+  mpz_mul(out->raw(), m.raw(), n_.raw());
+  mpz_add_ui(out->raw(), out->raw(), 1);
+  mpz_mod(out->raw(), out->raw(), n2_.raw());
+  mpz_mul(out->raw(), out->raw(), scratch->raw());
+  mpz_mod(out->raw(), out->raw(), n2_.raw());
+  return Status::OK();
+}
+
+Status PaillierPublicKey::EncryptSignedInto(const BigInt& x, SecureRandom& rng,
+                                            BigInt* scratch,
+                                            BigInt* out) const {
+  mpz_mod(out->raw(), x.raw(), n_.raw());  // EncodeSigned, in place
+  return EncryptInto(*out, rng, scratch, out);
+}
+
+void PaillierPublicKey::AddInto(BigInt* acc, const BigInt& c) const {
+  if (adds_ != nullptr) adds_->Increment();
+  mpz_mul(acc->raw(), acc->raw(), c.raw());
+  mpz_mod(acc->raw(), acc->raw(), n2_.raw());
+}
+
+void PaillierPublicKey::ScalarMulInto(const BigInt& c, const BigInt& k,
+                                      BigInt* scratch, BigInt* out) const {
+  if (scalar_muls_ != nullptr) scalar_muls_->Increment();
+  mpz_mod(scratch->raw(), k.raw(), n_.raw());  // negative k maps to n - |k|
+  mpz_powm(out->raw(), c.raw(), scratch->raw(), n2_.raw());
+}
+
 void PaillierPublicKey::AttachMetrics(obs::MetricsRegistry* registry) {
   encryptions_ = registry ? registry->counter("paillier.encryptions") : nullptr;
   adds_ = registry ? registry->counter("paillier.homomorphic_adds") : nullptr;

@@ -58,6 +58,26 @@ class PaillierPublicKey {
   /// Homomorphic multiplication by a (possibly negative) scalar.
   BigInt ScalarMul(const BigInt& c, const BigInt& k) const;
 
+  /// In-place variants for arena-backed callers (the packed SMC hot path):
+  /// results land in *out, the only transient lives in *scratch, so a batch
+  /// of ops over BigIntArena slots touches the heap at most through the
+  /// randomizer draw. Identical math, randomness order and counters as the
+  /// value-returning versions — outputs are bit-identical. *out and *scratch
+  /// must be distinct objects (inputs may alias *out).
+  Status EncryptInto(const BigInt& m, SecureRandom& rng, BigInt* scratch,
+                     BigInt* out) const;
+
+  /// EncodeSigned + EncryptInto, encoding through *out.
+  Status EncryptSignedInto(const BigInt& x, SecureRandom& rng, BigInt* scratch,
+                           BigInt* out) const;
+
+  /// *acc = *acc ⊕ c.
+  void AddInto(BigInt* acc, const BigInt& c) const;
+
+  /// *out = c ×h k (k may be negative).
+  void ScalarMulInto(const BigInt& c, const BigInt& k, BigInt* scratch,
+                     BigInt* out) const;
+
   /// Fresh randomness on an existing ciphertext (same plaintext). Draws from
   /// the attached randomizer pool when one is present.
   Result<BigInt> Rerandomize(const BigInt& c, SecureRandom& rng) const;

@@ -1,0 +1,71 @@
+#include "net/buffer_pool.h"
+
+namespace hprl::net {
+
+BufferPool::BufferPool(size_t block_bytes)
+    : block_bytes_(block_bytes == 0 ? 1 : block_bytes),
+      state_(std::make_shared<State>()) {}
+
+void BufferPool::State::Publish() {
+  if (auto* g = outstanding_gauge.load(std::memory_order_relaxed)) {
+    g->Set(static_cast<double>(outstanding.load(std::memory_order_relaxed)));
+  }
+  if (auto* g = reused_gauge.load(std::memory_order_relaxed)) {
+    g->Set(static_cast<double>(reused.load(std::memory_order_relaxed)));
+  }
+  if (auto* g = expanded_gauge.load(std::memory_order_relaxed)) {
+    g->Set(static_cast<double>(expanded.load(std::memory_order_relaxed)));
+  }
+}
+
+BufferPool::Block BufferPool::Acquire() {
+  std::unique_ptr<std::vector<uint8_t>> storage;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (!state_->free_list.empty()) {
+      storage = std::move(state_->free_list.back());
+      state_->free_list.pop_back();
+    }
+  }
+  if (storage != nullptr) {
+    state_->reused.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    storage = std::make_unique<std::vector<uint8_t>>();
+    storage->reserve(block_bytes_);
+    state_->expanded.fetch_add(1, std::memory_order_relaxed);
+  }
+  storage->clear();
+  state_->outstanding.fetch_add(1, std::memory_order_relaxed);
+  state_->Publish();
+
+  // The deleter is the release path: the last reference returns the storage
+  // to the free list. A weak_ptr keeps blocks safe past the pool's lifetime.
+  std::weak_ptr<State> weak_state = state_;
+  std::vector<uint8_t>* raw = storage.release();
+  return Block(raw, [weak_state](std::vector<uint8_t>* buf) {
+    if (auto state = weak_state.lock()) {
+      state->outstanding.fetch_sub(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->free_list.emplace_back(buf);
+      }
+      state->Publish();
+    } else {
+      delete buf;
+    }
+  });
+}
+
+void BufferPool::AttachMetrics(obs::MetricsRegistry* registry) {
+  state_->outstanding_gauge.store(
+      registry ? registry->gauge("net.buffer_pool.outstanding") : nullptr,
+      std::memory_order_relaxed);
+  state_->reused_gauge.store(
+      registry ? registry->gauge("net.buffer_pool.reused") : nullptr,
+      std::memory_order_relaxed);
+  state_->expanded_gauge.store(
+      registry ? registry->gauge("net.buffer_pool.expanded") : nullptr,
+      std::memory_order_relaxed);
+}
+
+}  // namespace hprl::net

@@ -1,0 +1,71 @@
+#ifndef HPRL_NET_BUFFER_POOL_H_
+#define HPRL_NET_BUFFER_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hprl::net {
+
+/// Ref-counted pool of reusable byte buffers for the epoll read path. Every
+/// connection leases one block as its reassembly buffer; a block released
+/// (last reference dropped) returns to the free list instead of the heap, so
+/// a steady-state bus performs zero read-side allocations regardless of how
+/// many frames it decodes.
+///
+/// Blocks are shared_ptr<vector<uint8_t>> with a deleter that returns the
+/// vector to the pool — the ref count is the lease: a FrameView decoded from
+/// a block stays valid for as long as any holder keeps the block alive, and
+/// the pool reclaims the storage the instant the last holder lets go. The
+/// deleter holds a weak_ptr to the pool's state, so blocks that outlive the
+/// pool itself free normally instead of dangling.
+///
+/// Thread-safe; counters are published as net.buffer_pool.* gauges when a
+/// MetricsRegistry is attached:
+///   net.buffer_pool.outstanding  blocks currently leased
+///   net.buffer_pool.reused       acquisitions served from the free list
+///   net.buffer_pool.expanded     acquisitions that had to allocate
+class BufferPool {
+ public:
+  using Block = std::shared_ptr<std::vector<uint8_t>>;
+
+  /// `block_bytes` is the initial capacity of a fresh block; leaseholders may
+  /// grow a block (it keeps the larger capacity when recycled).
+  explicit BufferPool(size_t block_bytes = 64 * 1024);
+
+  /// Leases a block with at least `block_bytes` capacity and size 0.
+  Block Acquire();
+
+  int64_t outstanding() const { return state_->outstanding.load(); }
+  int64_t reused() const { return state_->reused.load(); }
+  int64_t expanded() const { return state_->expanded.load(); }
+
+  /// Publishes the three counters as net.buffer_pool.* gauges on every
+  /// acquire/release (nullptr detaches).
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
+ private:
+  struct State {
+    std::mutex mu;
+    std::vector<std::unique_ptr<std::vector<uint8_t>>> free_list;
+    std::atomic<int64_t> outstanding{0};
+    std::atomic<int64_t> reused{0};
+    std::atomic<int64_t> expanded{0};
+    std::atomic<obs::Gauge*> outstanding_gauge{nullptr};  // not owned
+    std::atomic<obs::Gauge*> reused_gauge{nullptr};       // not owned
+    std::atomic<obs::Gauge*> expanded_gauge{nullptr};     // not owned
+
+    void Publish();
+  };
+
+  size_t block_bytes_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace hprl::net
+
+#endif  // HPRL_NET_BUFFER_POOL_H_

@@ -21,12 +21,13 @@ Status AppendName(const std::string& s, std::vector<uint8_t>* out) {
   return Status::OK();
 }
 
-Result<std::string> ConsumeName(const uint8_t* body, size_t n, size_t* off) {
+Result<std::string_view> ConsumeNameView(const uint8_t* body, size_t n,
+                                         size_t* off) {
   if (*off + 1 > n) return Status::IOError("truncated frame: name length");
   size_t len = body[*off];
   *off += 1;
   if (*off + len > n) return Status::IOError("truncated frame: name bytes");
-  std::string s(reinterpret_cast<const char*>(body + *off), len);
+  std::string_view s(reinterpret_cast<const char*>(body + *off), len);
   *off += len;
   return s;
 }
@@ -39,9 +40,9 @@ size_t FrameSize(const Message& msg) {
          (1 + msg.tag.size()) + 8 + 4 + msg.payload.size();
 }
 
-std::vector<uint8_t> EncodeFrame(const Message& msg) {
+std::vector<uint8_t> EncodeFrameHeader(const Message& msg) {
   std::vector<uint8_t> out;
-  out.reserve(FrameSize(msg));
+  out.reserve(FrameSize(msg) - msg.payload.size());
   AppendU32(0, &out);  // length placeholder
   AppendU32(kWireMagic, &out);
   PutU16(kWireVersion, &out);
@@ -54,8 +55,9 @@ std::vector<uint8_t> EncodeFrame(const Message& msg) {
   }
   AppendU64(msg.seq, &out);
   AppendU32(msg.checksum, &out);
-  out.insert(out.end(), msg.payload.begin(), msg.payload.end());
-  uint32_t len = static_cast<uint32_t>(out.size() - 4);
+  // The length prefix covers the payload the caller will scatter-gather
+  // after this header: the wire bytes are exactly EncodeFrame's.
+  uint32_t len = static_cast<uint32_t>(out.size() - 4 + msg.payload.size());
   out[0] = static_cast<uint8_t>(len >> 24);
   out[1] = static_cast<uint8_t>(len >> 16);
   out[2] = static_cast<uint8_t>(len >> 8);
@@ -63,7 +65,25 @@ std::vector<uint8_t> EncodeFrame(const Message& msg) {
   return out;
 }
 
-Result<Message> DecodeFrame(const uint8_t* body, size_t n) {
+std::vector<uint8_t> EncodeFrame(const Message& msg) {
+  std::vector<uint8_t> out = EncodeFrameHeader(msg);
+  if (out.empty()) return out;
+  out.insert(out.end(), msg.payload.begin(), msg.payload.end());
+  return out;
+}
+
+Message FrameView::ToMessage() const {
+  Message msg;
+  msg.from.assign(from);
+  msg.to.assign(to);
+  msg.tag.assign(tag);
+  msg.seq = seq;
+  msg.checksum = checksum;
+  msg.payload.assign(payload, payload + payload_size);
+  return msg;
+}
+
+Result<FrameView> DecodeFrameView(const uint8_t* body, size_t n) {
   size_t off = 0;
   auto u32 = [&](const char* what) -> Result<uint32_t> {
     if (off + 4 > n) {
@@ -91,37 +111,46 @@ Result<Message> DecodeFrame(const uint8_t* body, size_t n) {
   }
   off += 1;  // flags (reserved)
 
-  Message msg;
-  auto from = ConsumeName(body, n, &off);
+  FrameView view;
+  auto from = ConsumeNameView(body, n, &off);
   if (!from.ok()) return from.status();
-  auto to = ConsumeName(body, n, &off);
+  auto to = ConsumeNameView(body, n, &off);
   if (!to.ok()) return to.status();
-  auto tag = ConsumeName(body, n, &off);
+  auto tag = ConsumeNameView(body, n, &off);
   if (!tag.ok()) return tag.status();
-  msg.from = std::move(from).value();
-  msg.to = std::move(to).value();
-  msg.tag = std::move(tag).value();
+  view.from = *from;
+  view.to = *to;
+  view.tag = *tag;
 
   if (off + 8 > n) return Status::IOError("truncated frame: seq");
   uint64_t seq = 0;
   for (int i = 0; i < 8; ++i) seq = (seq << 8) | body[off + i];
   off += 8;
-  msg.seq = seq;
+  view.seq = seq;
   auto checksum = u32("checksum");
   if (!checksum.ok()) return checksum.status();
-  msg.checksum = *checksum;
-  msg.payload.assign(body + off, body + n);
+  view.checksum = *checksum;
+  view.payload = body + off;
+  view.payload_size = n - off;
   // A stamped checksum that no longer covers the payload means the frame was
   // truncated or corrupted in transit; reject it here so a bad frame never
   // reaches an inbox. Unstamped frames (checksum 0: the hello handshake)
   // carry no payload to protect.
-  if (msg.checksum != 0 && msg.checksum != smc::PayloadChecksum(msg.payload)) {
+  if (view.checksum != 0 &&
+      view.checksum != smc::PayloadChecksum(view.payload, view.payload_size)) {
     return Status::IOError(StrFormat(
-        "frame checksum mismatch on '%s' (%zu payload bytes): truncated or "
+        "frame checksum mismatch on '%.*s' (%zu payload bytes): truncated or "
         "corrupted in transit",
-        msg.tag.c_str(), msg.payload.size()));
+        static_cast<int>(view.tag.size()), view.tag.data(),
+        view.payload_size));
   }
-  return msg;
+  return view;
+}
+
+Result<Message> DecodeFrame(const uint8_t* body, size_t n) {
+  auto view = DecodeFrameView(body, n);
+  if (!view.ok()) return view.status();
+  return view->ToMessage();
 }
 
 Result<Message> ReadFrame(int fd, int timeout_ms, size_t* wire_bytes) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "crypto/bigint.h"
@@ -58,8 +59,38 @@ size_t FrameSize(const smc::Message& msg);
 /// Serializes `msg` into a ready-to-send frame (length prefix included).
 std::vector<uint8_t> EncodeFrame(const smc::Message& msg);
 
+/// Serializes only the frame header (length prefix through checksum); the
+/// length prefix already covers the payload, so a sender can scatter-gather
+/// {header, payload} with writev and the bytes on the wire are identical to
+/// EncodeFrame's — the payload is never concatenated into a second buffer.
+/// Empty on unframeable names (same fallback as EncodeFrame).
+std::vector<uint8_t> EncodeFrameHeader(const smc::Message& msg);
+
+/// Non-owning view of a decoded frame: the name fields and the payload point
+/// into the caller's buffer (a pooled read buffer in the epoll transport),
+/// valid only as long as that buffer is. ToMessage() materializes the one
+/// owning copy when the frame crosses into an inbox.
+struct FrameView {
+  std::string_view from;
+  std::string_view to;
+  std::string_view tag;
+  uint64_t seq = 0;
+  uint32_t checksum = 0;
+  const uint8_t* payload = nullptr;
+  size_t payload_size = 0;
+
+  smc::Message ToMessage() const;
+};
+
+/// Parses a frame body (everything after the length prefix) without copying:
+/// every field of the returned view aliases `body`. IOError on bad magic,
+/// wrong version, truncated fields, or a checksum that no longer covers the
+/// payload — identical validation to the owning DecodeFrame.
+Result<FrameView> DecodeFrameView(const uint8_t* body, size_t n);
+
 /// Parses a frame body (everything after the length prefix). IOError on bad
-/// magic, wrong version, or truncated fields.
+/// magic, wrong version, or truncated fields. Implemented over
+/// DecodeFrameView: one codec, two ownership disciplines.
 Result<smc::Message> DecodeFrame(const uint8_t* body, size_t n);
 
 /// Reads one frame from `fd`. `timeout_ms` bounds the wait for the frame to

@@ -195,6 +195,16 @@ Status FullRead(int fd, uint8_t* buf, size_t n, int timeout_ms) {
   return Status::OK();
 }
 
+Status SetNonBlocking(int fd, bool nonblocking) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  int want = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && fcntl(fd, F_SETFL, want) != 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::OK();
+}
+
 Status FullWrite(int fd, const uint8_t* data, size_t n) {
   size_t sent = 0;
   while (sent < n) {

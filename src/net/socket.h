@@ -83,6 +83,10 @@ Status FullRead(int fd, uint8_t* buf, size_t n, int timeout_ms);
 /// suppressed (MSG_NOSIGNAL); EPIPE/ECONNRESET -> Unavailable.
 Status FullWrite(int fd, const uint8_t* data, size_t n);
 
+/// Sets (or clears) O_NONBLOCK — the epoll transport flips accepted/dialed
+/// sockets to nonblocking before registering them with the event loop.
+Status SetNonBlocking(int fd, bool nonblocking = true);
+
 }  // namespace hprl::net
 
 #endif  // HPRL_NET_SOCKET_H_

@@ -1,6 +1,14 @@
 #include "net/socket_bus.h"
 
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -8,11 +16,61 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "net/backoff.h"
 
 namespace hprl::net {
 
 using smc::Message;
 using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/// Bytes requested per nonblocking recv; a short read means the socket
+/// buffer is drained (safe to stop under edge-triggered epoll).
+constexpr size_t kReadChunk = 64 * 1024;
+
+/// Parse-cursor threshold past which the reassembly buffer is compacted
+/// (consumed prefix memmoved away) instead of growing without bound.
+constexpr size_t kCompactBytes = 64 * 1024;
+
+/// Bytes read per HandleReadable burst before frames are parsed and the
+/// batch is delivered. Large enough to amortize the inbox lock + wake over
+/// many frames during bulk transfers, small enough to bound the reassembly
+/// buffer and keep a firehose peer from starving the rest of the loop.
+constexpr size_t kReadBurstBytes = 4 * 1024 * 1024;
+
+/// How long an accepted socket may stay anonymous before the loop drops it
+/// (the dialer introduces itself before anything else travels the link).
+constexpr auto kHelloDeadline = std::chrono::milliseconds(2000);
+
+/// Frames batched into one writev call (two iovecs each: header, payload).
+constexpr int kMaxIovFrames = 8;
+
+uint32_t BigEndian32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+/// Kernel buffer each bus socket asks for. A nonblocking sender can only
+/// push one sndbuf worth of bytes per EPOLLOUT wake, so the default ~128 KiB
+/// buffer quantizes bulk transfers into wake-latency-bound slices; blocking
+/// peers (the raw-TCP baseline) sidestep this because the kernel parks them
+/// in-place and autotunes the buffer up. Asking for a few MiB keeps the
+/// pipe full across wake gaps. Best-effort: the kernel clamps to
+/// net.core.{w,r}mem_max and the bus works at whatever it gets.
+constexpr int kSocketBufBytes = 4 * 1024 * 1024;
+
+/// Every bus socket, dialed or accepted: latency off, deep buffers.
+void TuneSocket(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  int buf = kSocketBufBytes;
+  setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
+  setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+}
+
+}  // namespace
 
 SocketBus::SocketBus(SocketBusOptions opts) : opts_(std::move(opts)) {}
 
@@ -25,6 +83,22 @@ std::string SocketBus::RouteOf(const std::string& to) {
 
 Status SocketBus::Start() {
   running_.store(true);
+  epoll_fd_ = Fd(epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_fd_.valid()) {
+    return Status::IOError(StrFormat("epoll_create1: %s", strerror(errno)));
+  }
+  wake_fd_ = Fd(eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  if (!wake_fd_.valid()) {
+    return Status::IOError(StrFormat("eventfd: %s", strerror(errno)));
+  }
+  struct epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_.get();
+  if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) != 0) {
+    return Status::IOError(StrFormat("epoll_ctl(wake): %s", strerror(errno)));
+  }
+
   if (opts_.listen) {
     auto listener = TcpListen(opts_.listen_port);
     if (!listener.ok()) return listener.status();
@@ -32,8 +106,17 @@ Status SocketBus::Start() {
     auto port = LocalPort(listener_);
     if (!port.ok()) return port.status();
     bound_port_.store(*port);
-    accept_thread_ = std::thread([this] { AcceptLoop(); });
+    HPRL_RETURN_IF_ERROR(SetNonBlocking(listener_.get()));
+    memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;  // level-triggered: AcceptReady drains anyway
+    ev.data.fd = listener_.get();
+    if (epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listener_.get(), &ev) != 0) {
+      return Status::IOError(
+          StrFormat("epoll_ctl(listener): %s", strerror(errno)));
+    }
   }
+
+  loop_thread_ = std::thread([this] { EventLoop(); });
 
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(opts_.connect_timeout_ms);
@@ -44,7 +127,7 @@ Status SocketBus::Start() {
     for (int attempt = 0;; ++attempt) {
       auto conn = Dial(addr, 1000, /*is_reconnect=*/false);
       if (conn.ok()) {
-        Register(std::move(conn).value());
+        Register(std::move(conn).value(), /*from_loop=*/false);
         break;
       }
       const std::string target = addr.name + " at " + addr.host + ":" +
@@ -92,52 +175,50 @@ Status SocketBus::Start() {
 
 void SocketBus::Stop() {
   running_.store(false);
-  // Join before closing: the accept loop polls the listener in 200ms ticks
-  // and re-checks running_, so it exits promptly — closing the fd out from
-  // under its poll() would be a data race on the descriptor.
-  if (accept_thread_.joinable()) accept_thread_.join();
+  WakeLoop();
+  if (loop_thread_.joinable()) loop_thread_.join();
   listener_.Close();
 
-  std::vector<std::shared_ptr<Conn>> to_join;
+  // The loop is gone: by_fd_ (its private map, including anonymous pre-hello
+  // sockets) is safe to touch from here.
+  std::vector<std::shared_ptr<Conn>> to_close;
+  std::set<Conn*> seen;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
-    for (auto& [name, conn] : conns_) to_join.push_back(conn);
-    for (auto& conn : retired_conns_) to_join.push_back(conn);
+    for (auto& [name, conn] : conns_) {
+      if (seen.insert(conn.get()).second) to_close.push_back(conn);
+    }
+    for (auto& conn : retired_conns_) {
+      if (seen.insert(conn.get()).second) to_close.push_back(conn);
+    }
     conns_.clear();
     retired_conns_.clear();
   }
-  for (auto& conn : to_join) {
-    conn->alive.store(false);
-    // shutdown() unblocks a reader parked in poll/recv; Close() alone might
-    // not if the fd is mid-read.
-    if (conn->fd.valid()) ::shutdown(conn->fd.get(), SHUT_RDWR);
-    if (conn->reader.joinable()) conn->reader.join();
-    conn->fd.Close();
+  for (auto& [fd, conn] : by_fd_) {
+    if (seen.insert(conn.get()).second) to_close.push_back(conn);
   }
+  by_fd_.clear();
+  {
+    std::lock_guard<std::mutex> lock(cmd_mu_);
+    cmds_.clear();
+  }
+  for (auto& conn : to_close) {
+    conn->alive.store(false);
+    if (conn->fd.valid()) ::shutdown(conn->fd.get(), SHUT_RDWR);
+    conn->fd.Close();
+    conn->rbuf.reset();
+  }
+  epoll_fd_.Close();
+  wake_fd_.Close();
   inbox_cv_.notify_all();
 }
 
 int SocketBus::DialBackoffMs(const std::string& peer, int attempt) const {
-  int64_t base = std::max(1, opts_.dial_backoff_ms);
-  const int64_t cap = std::max<int64_t>(base, opts_.dial_backoff_max_ms);
-  for (int i = 0; i < attempt && base < cap; ++i) base *= 2;
-  base = std::min(base, cap);
-  // Jitter in [0, base/2], derived rather than drawn: FNV-1a over the seed,
-  // both link endpoints and the attempt index, finalized with an avalanche
-  // mix so nearby attempts do not produce nearby waits.
-  uint64_t h = 0xcbf29ce484222325ull ^ opts_.dial_jitter_seed;
-  auto fold = [&h](const std::string& s) {
-    for (char c : s) h = (h ^ static_cast<uint8_t>(c)) * 0x100000001b3ull;
-  };
-  fold(opts_.local_name);
-  fold(peer);
-  h ^= static_cast<uint64_t>(attempt);
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdull;
-  h ^= h >> 33;
-  const int64_t jitter =
-      static_cast<int64_t>(h % static_cast<uint64_t>(base / 2 + 1));
-  return static_cast<int>(base + jitter);
+  BackoffPolicy policy;
+  policy.base_ms = opts_.dial_backoff_ms;
+  policy.max_ms = opts_.dial_backoff_max_ms;
+  policy.seed = opts_.dial_jitter_seed;
+  return BackoffWaitMs(policy, opts_.local_name, peer, attempt);
 }
 
 bool SocketBus::PeerAlive(const std::string& name) const {
@@ -150,13 +231,15 @@ Result<std::shared_ptr<SocketBus::Conn>> SocketBus::Dial(
     const PeerAddress& addr, int timeout_ms, bool is_reconnect) {
   auto fd = TcpConnect(addr.host, addr.port, timeout_ms);
   if (!fd.ok()) return fd.status();
+  TuneSocket(fd->get());
   auto conn = std::make_shared<Conn>();
   conn->name = addr.name;
   conn->fd = std::move(fd).value();
   conn->dialed = true;
   conn->addr = addr;
   // Hello frame: tells the acceptor who is on this socket. Unstamped
-  // (seq 0) so it never perturbs protocol sequence numbers.
+  // (seq 0) so it never perturbs protocol sequence numbers. Written while
+  // the socket is still blocking; the loop only ever sees it nonblocking.
   Message hello;
   hello.from = opts_.local_name;
   hello.to = addr.name;
@@ -164,28 +247,36 @@ Result<std::shared_ptr<SocketBus::Conn>> SocketBus::Dial(
   size_t wire = 0;
   Status sent = WriteFrame(conn->fd.get(), hello, &wire);
   if (!sent.ok()) return sent;
+  HPRL_RETURN_IF_ERROR(SetNonBlocking(conn->fd.get()));
+  conn->rbuf = pool_.Acquire();
   bytes_sent_.fetch_add(static_cast<int64_t>(wire));
   frames_sent_.fetch_add(1);
   (is_reconnect ? reconnects_ : connects_).fetch_add(1);
   return conn;
 }
 
-void SocketBus::Register(std::shared_ptr<Conn> conn) {
+void SocketBus::Register(std::shared_ptr<Conn> conn, bool from_loop) {
   std::shared_ptr<Conn> old;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     auto it = conns_.find(conn->name);
-    if (it != conns_.end()) {
-      old = it->second;
-      retired_conns_.push_back(old);
-    }
+    if (it != conns_.end()) old = it->second;
     conns_[conn->name] = conn;
   }
   if (old != nullptr) {
     old->alive.store(false);
+    // shutdown() (not close) unsticks anything mid-write on the old socket;
+    // the fd itself stays open until Stop() so a Send still holding the old
+    // connection can fail cleanly instead of racing a descriptor reuse.
     if (old->fd.valid()) ::shutdown(old->fd.get(), SHUT_RDWR);
   }
-  conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+  if (from_loop) {
+    if (old != nullptr) RetireConn(old);
+  } else {
+    EnqueueCmd({LoopCmd::kAddConn, conn});
+    if (old != nullptr) EnqueueCmd({LoopCmd::kRetire, old});
+    WakeLoop();
+  }
   conns_cv_.notify_all();
 }
 
@@ -195,43 +286,344 @@ std::shared_ptr<SocketBus::Conn> SocketBus::Lookup(const std::string& name) {
   return it == conns_.end() ? nullptr : it->second;
 }
 
-void SocketBus::AcceptLoop() {
-  while (running_.load()) {
-    auto fd = TcpAccept(listener_, /*timeout_ms=*/200);
-    if (!fd.ok()) {
-      if (fd.status().code() == StatusCode::kNotFound) continue;  // idle tick
-      return;  // listener closed
+// ------------------------------------------------------------- event loop
+
+void SocketBus::EnqueueCmd(LoopCmd cmd) {
+  std::lock_guard<std::mutex> lock(cmd_mu_);
+  cmds_.push_back(std::move(cmd));
+}
+
+void SocketBus::WakeLoop() {
+  if (!wake_fd_.valid()) return;
+  uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; the result is ignorable.
+  ssize_t rc = ::write(wake_fd_.get(), &one, sizeof(one));
+  (void)rc;
+}
+
+void SocketBus::UpdateInterest(const std::shared_ptr<Conn>& conn, bool add) {
+  struct epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP |
+              (conn->want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd.get();
+  epoll_ctl(epoll_fd_.get(), add ? EPOLL_CTL_ADD : EPOLL_CTL_MOD,
+            conn->fd.get(), &ev);
+}
+
+void SocketBus::ProcessCmds() {
+  std::vector<LoopCmd> cmds;
+  {
+    std::lock_guard<std::mutex> lock(cmd_mu_);
+    cmds.swap(cmds_);
+  }
+  for (LoopCmd& cmd : cmds) {
+    switch (cmd.kind) {
+      case LoopCmd::kAddConn: {
+        if (!cmd.conn->fd.valid()) break;
+        by_fd_[cmd.conn->fd.get()] = cmd.conn;
+        UpdateInterest(cmd.conn, /*add=*/true);
+        // Bytes (or kernel-buffer space) that appeared before registration
+        // produce no edge; poke both directions once.
+        HandleReadable(cmd.conn);
+        if (cmd.conn->alive.load()) HandleWritable(cmd.conn);
+        break;
+      }
+      case LoopCmd::kArmWrite: {
+        if (!cmd.conn->alive.load()) break;
+        auto it = by_fd_.find(cmd.conn->fd.get());
+        if (it == by_fd_.end() || it->second != cmd.conn) break;
+        HandleWritable(cmd.conn);
+        break;
+      }
+      case LoopCmd::kRetire:
+        RetireConn(cmd.conn);
+        break;
     }
-    // The dialer introduces itself before anything else travels the link.
-    auto hello = ReadFrame(fd->get(), /*timeout_ms=*/2000);
-    if (!hello.ok() || hello->tag != kHelloTag || hello->from.empty()) {
-      continue;  // drop strangers silently
-    }
-    auto conn = std::make_shared<Conn>();
-    conn->name = hello->from;
-    conn->fd = std::move(fd).value();
-    bool replaced = Lookup(conn->name) != nullptr;
-    (replaced ? reconnects_ : connects_).fetch_add(1);
-    Register(std::move(conn));
   }
 }
 
-void SocketBus::ReaderLoop(std::shared_ptr<Conn> conn) {
-  while (running_.load() && conn->alive.load()) {
-    size_t wire = 0;
-    auto msg = ReadFrame(conn->fd.get(), /*timeout_ms=*/250, &wire);
-    if (!msg.ok()) {
-      if (msg.status().code() == StatusCode::kNotFound) continue;  // idle
-      // Unavailable (peer closed) or IOError (stream desynchronized): either
-      // way this connection cannot carry another frame.
-      conn->alive.store(false);
-      inbox_cv_.notify_all();
-      return;
+void SocketBus::RetireConn(const std::shared_ptr<Conn>& conn) {
+  auto it = by_fd_.find(conn->fd.get());
+  if (it != by_fd_.end() && it->second == conn) {
+    epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, conn->fd.get(), nullptr);
+    by_fd_.erase(it);
+  }
+  conn->rbuf.reset();  // return the pooled block now; the fd waits for Stop
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  retired_conns_.push_back(conn);
+}
+
+void SocketBus::DropConn(const std::shared_ptr<Conn>& conn) {
+  conn->alive.store(false);
+  auto it = by_fd_.find(conn->fd.get());
+  if (it != by_fd_.end() && it->second == conn) {
+    epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, conn->fd.get(), nullptr);
+    by_fd_.erase(it);
+  }
+  conn->rbuf.reset();
+  if (conn->name.empty()) {
+    // A stranger (or a dialer that died before its hello): loop-owned, never
+    // visible to Send, safe to close immediately.
+    --pending_hellos_;
+    conn->fd.Close();
+  }
+  inbox_cv_.notify_all();
+  conns_cv_.notify_all();
+}
+
+void SocketBus::EventLoop() {
+  std::vector<struct epoll_event> events(64);
+  while (running_.load()) {
+    int n = epoll_wait(epoll_fd_.get(), events.data(),
+                       static_cast<int>(events.size()), /*timeout=*/200);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // epoll fd gone: Stop() is tearing the bus down
     }
-    CountRecv(wire);
-    Deliver(std::move(msg).value());
+    for (int i = 0; i < n && running_.load(); ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t ev = events[i].events;
+      if (fd == wake_fd_.get()) {
+        uint64_t drain = 0;
+        ssize_t rc = ::read(wake_fd_.get(), &drain, sizeof(drain));
+        (void)rc;
+        continue;
+      }
+      if (listener_.valid() && fd == listener_.get()) {
+        AcceptReady();
+        continue;
+      }
+      auto it = by_fd_.find(fd);
+      if (it == by_fd_.end()) continue;
+      std::shared_ptr<Conn> conn = it->second;
+      if (ev & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+        HandleReadable(conn);
+      }
+      if (!conn->alive.load()) continue;
+      if (ev & EPOLLOUT) HandleWritable(conn);
+    }
+    ProcessCmds();
+    if (pending_hellos_ > 0) SweepPendingHellos();
   }
 }
+
+void SocketBus::AcceptReady() {
+  for (;;) {
+    int fd = accept4(listener_.get(), nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or the listener is closing
+    }
+    TuneSocket(fd);
+    auto conn = std::make_shared<Conn>();
+    conn->fd = Fd(fd);
+    conn->accepted_at = Clock::now();
+    conn->rbuf = pool_.Acquire();
+    by_fd_[fd] = conn;
+    ++pending_hellos_;
+    UpdateInterest(conn, /*add=*/true);
+    HandleReadable(conn);  // the hello may already be in the socket buffer
+  }
+}
+
+void SocketBus::SweepPendingHellos() {
+  const auto now = Clock::now();
+  std::vector<std::shared_ptr<Conn>> expired;
+  for (auto& [fd, conn] : by_fd_) {
+    if (conn->name.empty() && now - conn->accepted_at > kHelloDeadline) {
+      expired.push_back(conn);
+    }
+  }
+  for (auto& conn : expired) DropConn(conn);  // drop strangers silently
+}
+
+void SocketBus::HandleReadable(const std::shared_ptr<Conn>& conn) {
+  if (!conn->alive.load()) return;
+  if (conn->rbuf == nullptr) conn->rbuf = pool_.Acquire();
+  std::vector<uint8_t>& buf = *conn->rbuf;
+  for (;;) {
+    // Accumulate one bounded burst before parsing, so a bulk transfer is
+    // parsed (and its messages delivered to the inbox) in large batches
+    // instead of paying a lock + condvar wake per frame.
+    bool eof = false;
+    bool drained = false;
+    size_t burst = 0;
+    while (burst < kReadBurstBytes) {
+      const size_t old = buf.size();
+      buf.resize(old + kReadChunk);
+      ssize_t rc = recv(conn->fd.get(), buf.data() + old, kReadChunk, 0);
+      if (rc < 0) {
+        buf.resize(old);
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          drained = true;
+          break;
+        }
+        DropConn(conn);
+        return;
+      }
+      if (rc == 0) {  // EOF: the peer is gone
+        buf.resize(old);
+        eof = true;
+        break;
+      }
+      buf.resize(old + static_cast<size_t>(rc));
+      burst += static_cast<size_t>(rc);
+      // A short read emptied the socket buffer: safe to stop under EPOLLET.
+      if (static_cast<size_t>(rc) < kReadChunk) {
+        drained = true;
+        break;
+      }
+    }
+    if (!ParseFrames(conn)) return;  // desynchronized and dropped
+    if (eof) {
+      DropConn(conn);
+      return;
+    }
+    if (drained) return;
+    // Burst cap hit with the socket still readable: loop and read more (no
+    // new edge is owed for bytes that are already buffered).
+  }
+}
+
+bool SocketBus::ParseFrames(const std::shared_ptr<Conn>& conn) {
+  std::vector<uint8_t>& buf = *conn->rbuf;
+  size_t pos = conn->rpos;
+  bool ok = true;
+  std::vector<Message> batch;
+  while (buf.size() - pos >= 4) {
+    const uint32_t len = BigEndian32(buf.data() + pos);
+    if (len == 0 || len > kMaxFrameBytes) {
+      // The stream is desynchronized or hostile; the connection cannot be
+      // trusted past this point.
+      ok = false;
+      break;
+    }
+    if (buf.size() - pos - 4 < len) break;  // incomplete frame: wait
+    auto view = DecodeFrameView(buf.data() + pos + 4, len);
+    pos += 4 + static_cast<size_t>(len);
+    if (!view.ok()) {
+      ok = false;
+      break;
+    }
+    if (conn->name.empty()) {
+      // The dialer introduces itself before anything else travels the link.
+      if (view->tag != kHelloTag || view->from.empty()) {
+        ok = false;  // stranger: drop silently
+        break;
+      }
+      conn->name.assign(view->from);
+      --pending_hellos_;
+      bool replaced = Lookup(conn->name) != nullptr;
+      (replaced ? reconnects_ : connects_).fetch_add(1);
+      Register(conn, /*from_loop=*/true);
+    } else {
+      CountRecv(4 + static_cast<size_t>(len));
+      batch.push_back(view->ToMessage());
+    }
+  }
+  conn->rpos = pos;
+  if (!batch.empty()) {
+    // One lock + one wake for the whole burst. Messages parsed before a
+    // desync are intact and still delivered (matching the old per-frame
+    // path, which had already handed them over).
+    {
+      std::lock_guard<std::mutex> lock(inbox_mu_);
+      for (Message& m : batch) inboxes_[m.to].push_back(std::move(m));
+    }
+    inbox_cv_.notify_all();
+  }
+  if (!ok) {
+    DropConn(conn);
+    return false;
+  }
+  if (pos == buf.size()) {
+    buf.clear();
+    conn->rpos = 0;
+  } else if (pos >= kCompactBytes) {
+    // A partial frame straddles the buffer end: slide it to the front so the
+    // consumed prefix never grows without bound.
+    buf.erase(buf.begin(), buf.begin() + static_cast<long>(pos));
+    conn->rpos = 0;
+  }
+  return true;
+}
+
+int SocketBus::FlushLocked(Conn& conn) {
+  while (!conn.outq.empty()) {
+    struct iovec iov[kMaxIovFrames * 2];
+    int cnt = 0;
+    size_t skip = conn.out_off;
+    // Each frame contributes up to TWO iovecs (header + payload), so the
+    // bound must leave room for both before the frame is admitted.
+    for (auto it = conn.outq.begin();
+         it != conn.outq.end() && cnt + 2 <= kMaxIovFrames * 2; ++it) {
+      for (const std::vector<uint8_t>* part : {&it->header, &it->payload}) {
+        if (skip >= part->size()) {
+          skip -= part->size();
+          continue;
+        }
+        iov[cnt].iov_base =
+            const_cast<uint8_t*>(part->data()) + skip;
+        iov[cnt].iov_len = part->size() - skip;
+        skip = 0;
+        ++cnt;
+      }
+    }
+    if (cnt == 0) {  // nothing unsent (empty frames): drop them
+      conn.outq.clear();
+      conn.out_off = 0;
+      break;
+    }
+    struct msghdr mh;
+    memset(&mh, 0, sizeof(mh));
+    mh.msg_iov = iov;
+    mh.msg_iovlen = static_cast<size_t>(cnt);
+    ssize_t rc = ::sendmsg(conn.fd.get(), &mh, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+      return -1;
+    }
+    size_t rem = conn.out_off + static_cast<size_t>(rc);
+    while (!conn.outq.empty()) {
+      const size_t frame_size =
+          conn.outq.front().header.size() + conn.outq.front().payload.size();
+      if (rem < frame_size) break;
+      rem -= frame_size;
+      conn.outq.pop_front();
+    }
+    conn.out_off = rem;
+  }
+  return 1;
+}
+
+void SocketBus::HandleWritable(const std::shared_ptr<Conn>& conn) {
+  int rc;
+  size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    rc = FlushLocked(*conn);
+    if (rc < 0) {
+      dropped = conn->outq.size();
+      conn->outq.clear();
+      conn->out_off = 0;
+    }
+  }
+  if (rc < 0) {
+    send_errors_.fetch_add(static_cast<int64_t>(dropped));
+    DropConn(conn);
+    return;
+  }
+  const bool want = (rc == 0);
+  if (want != conn->want_write) {
+    conn->want_write = want;
+    UpdateInterest(conn, /*add=*/false);
+  }
+}
+
+// ----------------------------------------------------------- bus interface
 
 void SocketBus::CountRecv(size_t wire_bytes) {
   bytes_received_.fetch_add(static_cast<int64_t>(wire_bytes));
@@ -265,7 +657,7 @@ void SocketBus::Send(Message msg) {
     // without turning a dead party into a spin loop.
     auto redial = Dial(conn->addr, 1000, /*is_reconnect=*/true);
     if (redial.ok()) {
-      Register(std::move(redial).value());
+      Register(std::move(redial).value(), /*from_loop=*/false);
       conn = Lookup(route);
     }
   }
@@ -273,16 +665,28 @@ void SocketBus::Send(Message msg) {
     send_errors_.fetch_add(1);
     return;  // receiver's timeout / liveness check surfaces the loss
   }
-  size_t wire = FrameSize(msg);
+  const size_t wire = FrameSize(msg);
   // Charge the link before the write so accounting matches the wire even if
   // the kernel accepts only part of the frame before the peer vanishes.
   Account(msg.from, msg.to, static_cast<int64_t>(wire));
-  Status sent;
+  OutFrame frame;
+  frame.header = EncodeFrameHeader(msg);
+  if (frame.header.empty()) {
+    send_errors_.fetch_add(1);
+    return;  // unframeable message (name over 255 bytes)
+  }
+  frame.payload = std::move(msg.payload);
+  int rc;
   {
     std::lock_guard<std::mutex> lock(conn->write_mu);
-    sent = WriteFrame(conn->fd.get(), msg);
+    conn->outq.push_back(std::move(frame));
+    rc = FlushLocked(*conn);
+    if (rc < 0) {
+      conn->outq.clear();
+      conn->out_off = 0;
+    }
   }
-  if (!sent.ok()) {
+  if (rc < 0) {
     conn->alive.store(false);
     send_errors_.fetch_add(1);
     inbox_cv_.notify_all();
@@ -292,6 +696,11 @@ void SocketBus::Send(Message msg) {
   frames_sent_.fetch_add(1);
   if (net_sent_counter_ != nullptr) {
     net_sent_counter_->Increment(static_cast<int64_t>(wire));
+  }
+  if (rc == 0) {
+    // Kernel buffer full: the loop drains the remainder on EPOLLOUT.
+    EnqueueCmd({LoopCmd::kArmWrite, conn});
+    WakeLoop();
   }
 }
 
@@ -444,6 +853,7 @@ Status SocketBus::Flush(const std::vector<std::string>& peers,
 
 void SocketBus::AttachMetrics(obs::MetricsRegistry* registry) {
   MessageBus::AttachMetrics(registry);
+  pool_.AttachMetrics(registry);
   net_sent_counter_ =
       registry ? registry->counter("net.bytes_sent") : nullptr;
   net_received_counter_ =

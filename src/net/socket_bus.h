@@ -2,6 +2,7 @@
 #define HPRL_NET_SOCKET_BUS_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -12,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/buffer_pool.h"
 #include "net/frame.h"
 #include "net/socket.h"
 #include "smc/channel.h"
@@ -45,11 +47,11 @@ struct SocketBusOptions {
   int receive_timeout_ms = 4000;   ///< Receive/Expect block bound
   int flush_timeout_ms = 4000;     ///< Flush barrier deadline
 
-  /// Dial retry policy. A refused connect is retried with exponential
-  /// backoff: the wait starts at dial_backoff_ms, doubles per attempt up to
-  /// dial_backoff_max_ms, and each wait is stretched by a jitter fraction
-  /// derived (not drawn — pinned seeds reproduce the exact dial schedule)
-  /// from (dial_jitter_seed, local name, peer name, attempt), so a fleet
+  /// Dial retry policy (net/backoff.h): a refused connect is retried with
+  /// exponential backoff from dial_backoff_ms doubling up to
+  /// dial_backoff_max_ms, each wait stretched by a jitter fraction derived
+  /// (not drawn — pinned seeds reproduce the exact dial schedule) from
+  /// (dial_jitter_seed, local name, peer name, attempt), so a fleet
   /// restarting in lockstep does not knock in lockstep. After
   /// dial_max_attempts failed knocks on one peer, Start() gives up with
   /// Unavailable even if the connect deadline has time left.
@@ -65,6 +67,17 @@ struct SocketBusOptions {
 /// length-prefixed frames (net/frame.h) that round-trip the Message struct
 /// byte-exactly — so checksum and sequence validation at the receiver work
 /// identically to the in-process transport.
+///
+/// Transport internals (wire bytes and MessageBus semantics unchanged):
+/// instead of one blocking reader thread per connection, each bus runs a
+/// single epoll event loop. Connections are nonblocking and edge-triggered;
+/// inbound bytes land in a per-connection pooled reassembly buffer
+/// (net/buffer_pool.h) and frames are decoded in place via FrameView — the
+/// only copy a frame undergoes between the kernel and its inbox is the one
+/// that materializes the owning Message. Outbound frames are scatter-gather
+/// written (writev) as {header, payload} iovecs, so a payload is never
+/// concatenated into a frame buffer; what the kernel does not accept
+/// immediately is queued and drained by the loop on EPOLLOUT.
 ///
 /// Differences from the in-process bus, all deliberate:
 ///  - Receive/Expect BLOCK until a message arrives or receive_timeout_ms
@@ -84,8 +97,8 @@ struct SocketBusOptions {
 ///    run report's measured-vs-accounted check holds the two within 5%.
 ///
 /// Threading: Send/Receive/Expect/PurgeAll/Flush must be called from one
-/// owner thread (the party's service loop). Reader threads (one per
-/// connection) only append to the locked inboxes and bump atomic counters.
+/// owner thread (the party's service loop). The event-loop thread only
+/// appends to the locked inboxes and bumps atomic counters.
 class SocketBus : public smc::MessageBus {
  public:
   explicit SocketBus(SocketBusOptions opts);
@@ -99,8 +112,8 @@ class SocketBus : public smc::MessageBus {
   /// in. Unavailable when the mesh cannot be established in time.
   Status Start();
 
-  /// Closes every connection and joins the reader threads. Idempotent;
-  /// called by the destructor.
+  /// Closes every connection and joins the event loop. Idempotent; called by
+  /// the destructor.
   void Stop();
 
   /// The port the listener is actually bound to (resolves ephemeral 0).
@@ -147,46 +160,111 @@ class SocketBus : public smc::MessageBus {
   };
   NetStats net_stats() const;
 
+  /// The read-side buffer pool (exposed for tests and metrics assertions).
+  const BufferPool& buffer_pool() const { return pool_; }
+
  private:
+  /// One frame staged for (or partially accepted by) a nonblocking send:
+  /// header and payload stay separate vectors end to end — writev stitches
+  /// them on the wire, never in memory.
+  struct OutFrame {
+    std::vector<uint8_t> header;
+    std::vector<uint8_t> payload;
+  };
+
   struct Conn {
-    std::string name;
+    std::string name;  ///< empty while an accepted socket awaits its hello
     Fd fd;
-    std::mutex write_mu;
     std::atomic<bool> alive{true};
-    std::thread reader;
     bool dialed = false;
     PeerAddress addr;  // redial target when dialed
+
+    // Read reassembly state — event-loop thread only. rbuf holds unparsed
+    // wire bytes; rpos is the parse cursor into it.
+    BufferPool::Block rbuf;
+    size_t rpos = 0;
+    std::chrono::steady_clock::time_point accepted_at;  // hello deadline
+
+    // Write state — write_mu guards outq/out_off between the owner thread's
+    // direct writev attempt and the loop's EPOLLOUT drain.
+    std::mutex write_mu;
+    std::deque<OutFrame> outq;
+    size_t out_off = 0;      ///< bytes of outq.front() already on the wire
+    bool want_write = false; ///< EPOLLOUT armed — loop thread only
+  };
+
+  /// Cross-thread requests into the event loop, applied at the next wakeup
+  /// (only the loop thread touches epoll interest lists and by_fd_).
+  struct LoopCmd {
+    enum Kind { kAddConn, kArmWrite, kRetire } kind;
+    std::shared_ptr<Conn> conn;
   };
 
   /// Marker tag that never collides with protocol tags.
   static constexpr char kFlushTag[] = "hprl.flush";
   static constexpr char kHelloTag[] = "hprl.hello";
 
-  void AcceptLoop();
-  void ReaderLoop(std::shared_ptr<Conn> conn);
+  void EventLoop();
+  void AcceptReady();
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  /// Drains conn->outq with writev until empty or EAGAIN (loop thread).
+  void HandleWritable(const std::shared_ptr<Conn>& conn);
+  /// Scatter-gather drain of outq; requires conn.write_mu held. Returns 1
+  /// when the queue emptied, 0 on EAGAIN (kernel buffer full), -1 when the
+  /// peer is gone.
+  int FlushLocked(Conn& conn);
+  /// Stops watching a replaced connection; its fd stays open until Stop()
+  /// (a concurrent Send may still hold a reference). Loop thread only.
+  void RetireConn(const std::shared_ptr<Conn>& conn);
+  /// Decodes every complete frame in conn's reassembly buffer. False when
+  /// the stream desynchronized and the connection was dropped.
+  bool ParseFrames(const std::shared_ptr<Conn>& conn);
+  /// Loop-side death: stop watching the fd, mark dead, wake receivers.
+  void DropConn(const std::shared_ptr<Conn>& conn);
+  void ProcessCmds();
+  void SweepPendingHellos();
+  void EnqueueCmd(LoopCmd cmd);
+  void WakeLoop();
+  /// Adds `fd` to the epoll set (loop thread). EPOLLOUT per want_write.
+  void UpdateInterest(const std::shared_ptr<Conn>& conn, bool add);
+
   void Deliver(smc::Message msg);
-  /// Registers (or replaces) `name`'s connection and starts its reader.
-  void Register(std::shared_ptr<Conn> conn);
+  /// Registers (or replaces) `name`'s connection with the loop.
+  void Register(std::shared_ptr<Conn> conn, bool from_loop);
   std::shared_ptr<Conn> Lookup(const std::string& name);
-  /// Dials `addr`, performs the hello handshake. Counts a (re)connect.
+  /// Dials `addr`, performs the hello handshake, leaves the socket
+  /// nonblocking. Counts a (re)connect.
   Result<std::shared_ptr<Conn>> Dial(const PeerAddress& addr, int timeout_ms,
                                      bool is_reconnect);
   /// Destination party of an addressed name ("alice:ctl" -> "alice").
   static std::string RouteOf(const std::string& to);
-  /// Backed-off, jittered wait before dial attempt `attempt` + 1 to `peer`.
+  /// Backed-off, jittered wait before dial attempt `attempt` + 1 to `peer`
+  /// (delegates to net/backoff.h).
   int DialBackoffMs(const std::string& peer, int attempt) const;
   void CountRecv(size_t wire_bytes);
 
   SocketBusOptions opts_;
   Fd listener_;
+  Fd epoll_fd_;
+  Fd wake_fd_;  ///< eventfd the other threads poke to interrupt epoll_wait
   std::atomic<uint16_t> bound_port_{0};
-  std::thread accept_thread_;
+  std::thread loop_thread_;
   std::atomic<bool> running_{false};
+
+  BufferPool pool_;
+
+  std::mutex cmd_mu_;
+  std::vector<LoopCmd> cmds_;
+
+  /// Loop-thread-only: every fd the loop watches, including accepted
+  /// connections still anonymous (pre-hello).
+  std::map<int, std::shared_ptr<Conn>> by_fd_;
+  int pending_hellos_ = 0;  ///< anonymous conns awaiting hello (loop only)
 
   mutable std::mutex conns_mu_;
   std::condition_variable conns_cv_;
   std::map<std::string, std::shared_ptr<Conn>> conns_;
-  std::vector<std::shared_ptr<Conn>> retired_conns_;  // joined at Stop()
+  std::vector<std::shared_ptr<Conn>> retired_conns_;  // fds closed at Stop()
 
   mutable std::mutex inbox_mu_;
   std::condition_variable inbox_cv_;

@@ -1,5 +1,8 @@
 #include "smc/batch_engine.h"
 
+#include <pthread.h>
+#include <sched.h>
+
 #include <algorithm>
 #include <atomic>
 #include <thread>
@@ -36,6 +39,21 @@ bool IsFaultClass(const Status& s) {
       return false;
   }
 }
+/// Pins the CALLING thread to a core chosen round-robin by worker index
+/// (SmcConfig::pin_cores). Only ever invoked from threads this engine
+/// spawned — worker 0 runs on the caller's thread, whose affinity is not
+/// ours to change. Best-effort: a restricted cpuset (containers, taskset)
+/// just leaves the thread unpinned; work-stealing still balances the batch.
+void MaybePinWorker(bool pin, size_t w) {
+  if (!pin) return;
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(w % cores), &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+}
+
 }  // namespace
 
 BatchSmcEngine::BatchSmcEngine(SmcConfig config, MatchRule rule, int threads)
@@ -226,7 +244,10 @@ Result<std::vector<uint8_t>> BatchSmcEngine::CompareBatch(
       std::vector<std::thread> pool;
       pool.reserve(active_groups - 1);
       for (size_t w = 1; w < active_groups; ++w) {
-        pool.emplace_back(drain_groups, w);
+        pool.emplace_back([&, w] {
+          MaybePinWorker(config_.pin_cores, w);
+          drain_groups(w);
+        });
       }
       drain_groups(0);
       for (auto& th : pool) th.join();
@@ -301,7 +322,12 @@ Result<std::vector<uint8_t>> BatchSmcEngine::CompareBatch(
 
     std::vector<std::thread> pool;
     pool.reserve(active - 1);
-    for (size_t w = 1; w < active; ++w) pool.emplace_back(drain, w);
+    for (size_t w = 1; w < active; ++w) {
+      pool.emplace_back([&, w] {
+        MaybePinWorker(config_.pin_cores, w);
+        drain(w);
+      });
+    }
     drain(0);
     for (auto& th : pool) th.join();
 

@@ -2,13 +2,17 @@
 
 namespace hprl::smc {
 
-uint32_t PayloadChecksum(const std::vector<uint8_t>& payload) {
+uint32_t PayloadChecksum(const uint8_t* data, size_t n) {
   uint32_t h = 2166136261u;  // FNV-1a
-  for (uint8_t b : payload) {
-    h ^= b;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
     h *= 16777619u;
   }
   return h == 0 ? 1 : h;
+}
+
+uint32_t PayloadChecksum(const std::vector<uint8_t>& payload) {
+  return PayloadChecksum(payload.data(), payload.size());
 }
 
 void MessageBus::Stamp(Message* msg) {
@@ -95,13 +99,21 @@ void MessageBus::ResetStats() {
 }
 
 void AppendBigInt(const crypto::BigInt& x, std::vector<uint8_t>* out) {
-  std::vector<uint8_t> bytes = x.ToBytes();
-  uint32_t len = static_cast<uint32_t>(bytes.size());
+  // Export the limbs straight into the destination: same bytes as the old
+  // ToBytes() hop (big-endian magnitude, zero encodes as length 0) without
+  // materializing an intermediate vector per ciphertext.
+  const uint32_t len =
+      x.IsZero() ? 0 : static_cast<uint32_t>((x.BitLength() + 7) / 8);
   out->push_back(static_cast<uint8_t>(len >> 24));
   out->push_back(static_cast<uint8_t>(len >> 16));
   out->push_back(static_cast<uint8_t>(len >> 8));
   out->push_back(static_cast<uint8_t>(len));
-  out->insert(out->end(), bytes.begin(), bytes.end());
+  if (len == 0) return;
+  const size_t base = out->size();
+  out->resize(base + len);
+  size_t count = 0;
+  mpz_export(out->data() + base, &count, /*order=*/1, /*size=*/1,
+             /*endian=*/1, /*nails=*/0, x.raw());
 }
 
 Result<crypto::BigInt> ConsumeBigInt(const std::vector<uint8_t>& buf,
@@ -121,6 +133,31 @@ Result<crypto::BigInt> ConsumeBigInt(const std::vector<uint8_t>& buf,
                              buf.begin() + static_cast<long>(*offset + len));
   *offset += len;
   return crypto::BigInt::FromBytes(bytes);
+}
+
+Status ConsumeBigIntInto(const std::vector<uint8_t>& buf, size_t* offset,
+                         crypto::BigInt* out) {
+  if (*offset + 4 > buf.size()) {
+    return Status::InvalidArgument("truncated BigInt length");
+  }
+  uint32_t len = (static_cast<uint32_t>(buf[*offset]) << 24) |
+                 (static_cast<uint32_t>(buf[*offset + 1]) << 16) |
+                 (static_cast<uint32_t>(buf[*offset + 2]) << 8) |
+                 static_cast<uint32_t>(buf[*offset + 3]);
+  *offset += 4;
+  if (*offset + len > buf.size()) {
+    return Status::InvalidArgument("truncated BigInt payload");
+  }
+  if (len == 0) {
+    mpz_set_ui(out->raw(), 0);
+  } else {
+    // Import straight into the caller's (typically arena-backed) value: no
+    // intermediate byte vector, no fresh mpz allocation on the hot path.
+    mpz_import(out->raw(), len, /*order=*/1, /*size=*/1, /*endian=*/1,
+               /*nails=*/0, buf.data() + *offset);
+  }
+  *offset += len;
+  return Status::OK();
 }
 
 }  // namespace hprl::smc

@@ -28,6 +28,7 @@ struct Message {
 };
 
 /// FNV-1a over the payload, forced non-zero so 0 can mean "unstamped".
+uint32_t PayloadChecksum(const uint8_t* data, size_t n);
 uint32_t PayloadChecksum(const std::vector<uint8_t>& payload);
 
 /// Traffic counters for one directed link.
@@ -115,10 +116,14 @@ class MessageBus {
 };
 
 /// Serialization helpers: BigInts travel as 4-byte big-endian length followed
-/// by magnitude bytes.
+/// by magnitude bytes. AppendBigInt exports the mpz limbs straight into the
+/// destination buffer (no intermediate byte-vector hop); ConsumeBigIntInto
+/// imports straight into a caller-provided (typically arena-backed) BigInt.
 void AppendBigInt(const crypto::BigInt& x, std::vector<uint8_t>* out);
 Result<crypto::BigInt> ConsumeBigInt(const std::vector<uint8_t>& buf,
                                      size_t* offset);
+Status ConsumeBigIntInto(const std::vector<uint8_t>& buf, size_t* offset,
+                         crypto::BigInt* out);
 
 }  // namespace hprl::smc
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "crypto/arena.h"
 #include "crypto/fixed_point.h"
 #include "crypto/packing.h"
 #include "crypto/paillier.h"
@@ -81,6 +82,12 @@ class QueryingParty {
   /// objects and with them the attachment.
   void AttachMetrics(obs::MetricsRegistry* registry);
 
+  /// Routes the packed path's scratch values through `arena` (nullptr
+  /// detaches back to value semantics). The comparator that owns all three
+  /// parties shares ONE arena among them and resets it per packed exchange;
+  /// the arena must outlive the party's use of it.
+  void AttachArena(crypto::BigIntArena* arena) { arena_ = arena; }
+
  private:
   /// DecryptSigned through the CRT fast path or, when
   /// params_.crt_decrypt is false, the reference path.
@@ -94,6 +101,7 @@ class QueryingParty {
   std::unique_ptr<crypto::SecureRandom> rng_;
   crypto::PaillierPublicKey pub_;
   crypto::PaillierPrivateKey priv_;
+  crypto::BigIntArena* arena_ = nullptr;  // not owned; may be null
 };
 
 /// A data holder (Alice or Bob). Holds only the public key, its own
@@ -158,12 +166,16 @@ class DataHolder {
   /// ReceiveKey; the pool must outlive the holder.
   void AttachRandomizerPool(crypto::RandomizerPool* pool);
 
+  /// See QueryingParty::AttachArena.
+  void AttachArena(crypto::BigIntArena* arena) { arena_ = arena; }
+
  private:
   std::string name_;
   ProtocolParams params_;
   std::unique_ptr<crypto::SecureRandom> rng_;
   crypto::PaillierPublicKey pub_;
   bool have_key_ = false;
+  crypto::BigIntArena* arena_ = nullptr;  // not owned; may be null
 
   // (record id << 8 | attr) -> ciphertexts; see ProtocolParams.
   std::map<int64_t, std::pair<crypto::BigInt, crypto::BigInt>> send_cache_;

@@ -61,7 +61,17 @@ SecureRecordComparator::SecureRecordComparator(SmcConfig config,
       alice_(std::string("alice"), ToParams(config),
              Seed(config.test_seed, 0xA11CE)),
       bob_(std::string("bob"), ToParams(config),
-           Seed(config.test_seed, 0xB0B)) {}
+           Seed(config.test_seed, 0xB0B)) {
+  if (config_.use_arena) {
+    // Widest intermediate an arena slot holds: the product of two mod-n²
+    // values inside an in-place multiply, i.e. ~4x the modulus bits.
+    arena_ = std::make_unique<crypto::BigIntArena>(
+        static_cast<size_t>(config_.key_bits) * 4 + 128);
+    qp_.AttachArena(arena_.get());
+    alice_.AttachArena(arena_.get());
+    bob_.AttachArena(arena_.get());
+  }
+}
 
 Status SecureRecordComparator::Init() {
   HPRL_RETURN_IF_ERROR(qp_.PublishKey(bus_.get(), &costs_));
@@ -97,6 +107,7 @@ void SecureRecordComparator::AttachMetrics(obs::MetricsRegistry* registry) {
   qp_.AttachMetrics(registry);
   alice_.AttachMetrics(registry);
   bob_.AttachMetrics(registry);
+  if (arena_ != nullptr) arena_->AttachMetrics(registry);
 }
 
 Result<BigInt> SecureRecordComparator::EncodeAttr(const Value& v,
@@ -263,6 +274,7 @@ Result<std::vector<bool>> SecureRecordComparator::ComparePackedGroup(
   std::vector<size_t> packed_idx;    // input index per packed pair
   std::vector<size_t> slots_of;      // slots per packed pair
   std::vector<size_t> fallback_idx;  // pairs compared through the scalar path
+  crypto::BigInt mag, sq;  // carry-check scratch, reused across the group
   for (size_t p = 0; p < pairs.size(); ++p) {
     std::vector<crypto::BigInt> pxs, pys, pthr;
     bool packable = true;
@@ -273,9 +285,13 @@ Result<std::vector<bool>> SecureRecordComparator::ComparePackedGroup(
       auto y = EncodeAttr((*pairs[p].b)[rule.attr_index], rule);
       if (!y.ok()) return y.status();
       // Carry safety: |x - y|² <= (|x| + |y|)² must stay inside one slot.
-      crypto::BigInt mag =
-          (x->Sign() < 0 ? -*x : *x) + (y->Sign() < 0 ? -*y : *y);
-      if (!layout->SlotHolds(mag * mag)) {
+      // sq = (|x| + |y|)² is never negative, so SlotHolds reduces to the
+      // allocation-free bit-length bound (BitLength ≤ slot_bits ⟺ v < 2^s).
+      mpz_abs(mag.raw(), x->raw());
+      mpz_abs(sq.raw(), y->raw());
+      mpz_add(mag.raw(), mag.raw(), sq.raw());
+      mpz_mul(sq.raw(), mag.raw(), mag.raw());
+      if (static_cast<int>(sq.BitLength()) > layout->slot_bits) {
         packable = false;
         break;
       }
@@ -305,6 +321,9 @@ Result<std::vector<bool>> SecureRecordComparator::ComparePackedGroup(
     costs_.packed_pairs += static_cast<int64_t>(packed_idx.size());
     auto within =
         RetryExchange(ctx_a, ctx_b, 0, [&]() -> Result<std::vector<bool>> {
+          // Rewind the scratch arena per attempt: nothing allocated during a
+          // previous (possibly faulted) attempt outlives the exchange.
+          if (arena_ != nullptr) arena_->Reset();
           HPRL_RETURN_IF_ERROR(alice_.SendAttrsPacked(
               bus_.get(), bob_.name(), xs, *layout, &costs_));
           HPRL_RETURN_IF_ERROR(

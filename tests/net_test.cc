@@ -456,6 +456,109 @@ TEST(SocketBusTest, ReceiveTimesOutAsNotFound) {
   EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
 }
 
+/// Starts a listening "alice" bus and hands back a raw TCP connection that
+/// has already completed the hello handshake as "bob" — for tests that need
+/// byte-level control over what the epoll read path sees.
+struct RawPeer {
+  std::unique_ptr<SocketBus> alice;
+  Fd sock;
+};
+
+RawPeer MakeRawPeer(int receive_timeout_ms = 2000) {
+  SocketBusOptions a;
+  a.local_name = "alice";
+  a.listen = true;
+  a.accept_from = {"bob"};
+  a.connect_timeout_ms = 5000;
+  a.receive_timeout_ms = receive_timeout_ms;
+  RawPeer peer;
+  peer.alice = std::make_unique<SocketBus>(a);
+  std::thread alice_start([&] { EXPECT_TRUE(peer.alice->Start().ok()); });
+  for (int i = 0; i < 100 && peer.alice->listen_port() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_NE(peer.alice->listen_port(), 0);
+
+  auto sock = net::TcpConnect("127.0.0.1", peer.alice->listen_port(), 2000);
+  EXPECT_TRUE(sock.ok());
+  peer.sock = std::move(*sock);
+
+  // Unstamped hello (seq 0, checksum 0), exactly what Dial sends.
+  Message hello;
+  hello.from = "bob";
+  hello.to = "alice";
+  hello.tag = "hprl.hello";
+  EXPECT_TRUE(net::WriteFrame(peer.sock.get(), hello).ok());
+  alice_start.join();
+  return peer;
+}
+
+Message RawFrame(uint64_t seq, std::vector<uint8_t> payload) {
+  Message msg;
+  msg.from = "bob";
+  msg.to = "alice";
+  msg.tag = "chunked";
+  msg.payload = std::move(payload);
+  msg.seq = seq;
+  msg.checksum = smc::PayloadChecksum(msg.payload);
+  return msg;
+}
+
+// Frames dribbled onto the wire a few bytes per write — every header field
+// and the payload straddle read() boundaries. The reassembly buffer must
+// deliver each frame intact the moment its last byte arrives, no matter how
+// the kernel slices the stream.
+TEST(SocketBusTest, ReassemblesFramesDribbledInTinyChunks) {
+  RawPeer peer = MakeRawPeer();
+
+  std::vector<uint8_t> stream;
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    std::vector<uint8_t> wire =
+        EncodeFrame(RawFrame(seq, {uint8_t(seq), 0xBE, uint8_t(0xF0 + seq)}));
+    stream.insert(stream.end(), wire.begin(), wire.end());
+  }
+  for (size_t off = 0; off < stream.size(); off += 7) {
+    const size_t n = std::min<size_t>(7, stream.size() - off);
+    ASSERT_TRUE(net::FullWrite(peer.sock.get(), stream.data() + off, n).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    auto got = peer.alice->Expect("alice", "chunked");
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got->seq, seq);
+    std::vector<uint8_t> want = {uint8_t(seq), 0xBE, uint8_t(0xF0 + seq)};
+    EXPECT_EQ(got->payload, want);
+  }
+  peer.alice->Stop();
+}
+
+// The opposite slicing: many frames coalesced into one write arrive as one
+// read burst, and the batched parse must deliver every one of them, in
+// order, from that single burst.
+TEST(SocketBusTest, DeliversEveryFrameFromOneCoalescedWrite) {
+  RawPeer peer = MakeRawPeer();
+
+  constexpr int kFrames = 16;
+  std::vector<uint8_t> stream;
+  for (uint64_t seq = 1; seq <= kFrames; ++seq) {
+    std::vector<uint8_t> payload(64 + seq, static_cast<uint8_t>(seq));
+    std::vector<uint8_t> wire = EncodeFrame(RawFrame(seq, std::move(payload)));
+    stream.insert(stream.end(), wire.begin(), wire.end());
+  }
+  ASSERT_TRUE(
+      net::FullWrite(peer.sock.get(), stream.data(), stream.size()).ok());
+
+  for (uint64_t seq = 1; seq <= kFrames; ++seq) {
+    auto got = peer.alice->Expect("alice", "chunked");
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got->seq, seq);
+    ASSERT_EQ(got->payload.size(), 64 + seq);
+    EXPECT_EQ(got->payload[0], static_cast<uint8_t>(seq));
+  }
+  peer.alice->Stop();
+}
+
 TEST(SocketBusTest, SubInboxRoutesBySuffix) {
   BusPair mesh = MakeBusPair();
   Message ctl;
